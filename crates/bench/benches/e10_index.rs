@@ -1,0 +1,110 @@
+//! E10: secondary-index ablation for the relational substrate.
+//!
+//! The SESQL WHERE-clause operators (REPLACECONSTANT in particular) rewrite
+//! a tagged condition into `attr IN (<expanded constant set>)`; a secondary
+//! index on `attr` turns that rewritten filter from a full scan into a set
+//! of point lookups. This bench measures the crossover directly:
+//!
+//! * point / IN-list / range selections, seq-scan vs index-scan, over a
+//!   table-size sweep;
+//! * the cost of index maintenance (bulk load with and without an index);
+//! * the lazy-rebuild penalty after churn (DELETE dirties the index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_relational::db::Database;
+
+/// A databank-shaped table: `samples(id INT, site TEXT, metal TEXT, ppm FLOAT)`
+/// with `sites` distinct sites and ~`rows` rows.
+fn sample_db(rows: usize, with_index: bool) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE samples (id INT, site TEXT, metal TEXT, ppm FLOAT)")
+        .unwrap();
+    let metals = ["Hg", "Pb", "As", "Cd", "Cu", "Zn", "Ni", "Cr"];
+    let mut values = Vec::with_capacity(rows);
+    for i in 0..rows {
+        values.push(format!(
+            "({i}, 'site{:03}', '{}', {:.2})",
+            i % 97,
+            metals[i % metals.len()],
+            (i % 5000) as f64 / 10.0
+        ));
+    }
+    // Chunked inserts keep statement size bounded.
+    for chunk in values.chunks(500) {
+        db.execute(&format!("INSERT INTO samples VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    if with_index {
+        db.execute("CREATE INDEX idx_metal ON samples (metal)").unwrap();
+        db.execute("CREATE INDEX idx_ppm ON samples (ppm)").unwrap();
+    }
+    db
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let queries = [
+        ("point", "SELECT COUNT(*) FROM samples WHERE metal = 'Hg'"),
+        (
+            "in_list",
+            "SELECT COUNT(*) FROM samples WHERE metal IN ('Hg', 'Pb', 'Cd')",
+        ),
+        (
+            "range",
+            "SELECT COUNT(*) FROM samples WHERE ppm BETWEEN 10.0 AND 12.0",
+        ),
+    ];
+    for rows in [1_000usize, 10_000, 50_000] {
+        let seq = sample_db(rows, false);
+        let idx = sample_db(rows, true);
+        let mut group = c.benchmark_group(format!("e10_selection/{rows}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(200));
+        group.measurement_time(std::time::Duration::from_millis(800));
+        for (name, sql) in queries {
+            assert_eq!(
+                seq.query(sql).unwrap().rows,
+                idx.query(sql).unwrap().rows,
+                "index and scan must agree on `{sql}`"
+            );
+            group.bench_with_input(BenchmarkId::new("seqscan", name), &seq, |b, d| {
+                b.iter(|| black_box(d.query(sql).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("indexscan", name), &idx, |b, d| {
+                b.iter(|| black_box(d.query(sql).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_maintenance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for with_index in [false, true] {
+        let label = if with_index { "load_with_index" } else { "load_bare" };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(sample_db(5_000, with_index)))
+        });
+    }
+    // Lazy rebuild: a DELETE dirties the index; the next indexed query pays
+    // one rebuild, subsequent ones are clean.
+    group.bench_function("query_after_churn", |b| {
+        let db = sample_db(10_000, true);
+        b.iter(|| {
+            // Updating one row dirties every index on the table, so the
+            // following query pays one lazy rebuild.
+            db.execute("UPDATE samples SET ppm = 1.0 WHERE id = 0").unwrap();
+            black_box(
+                db.query("SELECT COUNT(*) FROM samples WHERE metal = 'Hg'").unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E1 (paper Fig. 5): SESQL parser throughput over the grammar corpus.
+//!
+//! Regenerates the language-level artifact: how expensive are the SQP's
+//! scanning (ENRICH split + `${cond:id}` extraction) and parsing stages,
+//! per example and as query width grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::parser_corpus;
+use crosse_core::parse_sesql;
+use crosse_core::sesql::scanner::{extract_tags, split_enrich};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_parse");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for (name, sesql) in parser_corpus() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &sesql, |b, q| {
+            b.iter(|| parse_sesql(black_box(q)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_scanner");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let tagged = "SELECT landfill_name FROM elem_contained \
+                  WHERE ${elem_name = HazardousWaste:cond1} AND amount > 10 \
+                  ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)";
+    group.bench_function("split_enrich", |b| {
+        b.iter(|| split_enrich(black_box(tagged)).unwrap());
+    });
+    group.bench_function("extract_tags", |b| {
+        let (sql, _) = split_enrich(tagged).unwrap();
+        b.iter(|| extract_tags(black_box(&sql)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_scanner);
+criterion_main!(benches);

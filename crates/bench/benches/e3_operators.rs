@@ -1,0 +1,33 @@
+//! E3 (paper Sec. IV, Examples 4.1–4.6): per-operator enrichment cost vs
+//! the plain-SQL part of the same query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::engine_at_scale;
+use crosse_smartground::{landfill_name, paper_examples};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_operators");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    let engine = engine_at_scale(100);
+    for q in paper_examples(&landfill_name(0)) {
+        group.bench_with_input(
+            BenchmarkId::new("sesql", q.name),
+            &q.sesql,
+            |b, sesql| b.iter(|| black_box(engine.execute("director", sesql).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_sql", q.name),
+            &q.baseline_sql,
+            |b, sql| b.iter(|| black_box(engine.database().query(sql).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E4 (paper Fig. 4): triple-store scaling — insert throughput, BGP query
+//! latency vs KB size, and the cost of querying across many per-user
+//! graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use crosse_bench::{store_with_triples, store_with_users};
+use crosse_rdf::sparql::eval::query;
+use crosse_rdf::store::TripleStore;
+use crosse_smartground::random_kb;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_insert");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [1_000usize, 10_000] {
+        let triples = random_kb(n, n / 20 + 1, 16, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &triples, |b, ts| {
+            b.iter(|| {
+                let store = TripleStore::new();
+                black_box(store.insert_all("kb", ts.iter()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_bgp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    // A two-pattern join with a numeric filter over growing stores.
+    let sparql = "SELECT ?s ?o WHERE { ?s <prop0> ?o . ?s <prop1> ?v }";
+    for n in [1_000usize, 10_000, 100_000] {
+        let store = store_with_triples(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &store, |b, s| {
+            b.iter(|| black_box(query(s, &["kb"], sparql).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_multi_graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    // Same total triple count, spread over an increasing number of user
+    // graphs; the query unions all of them.
+    for users in [1usize, 10, 100] {
+        let store = store_with_users(users, 10_000);
+        let graphs: Vec<String> = (0..users).map(|u| format!("user{u}")).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(users), &store, |b, s| {
+            let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+            b.iter(|| {
+                black_box(
+                    query(s, &refs, "SELECT ?s ?o WHERE { ?s <prop0> ?o }").unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_bgp, bench_multi_graph);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E5 (paper Fig. 1): federation overhead — the same analytical query over
+//! cached vs live foreign tables, sweeping source count and simulated RTT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use crosse_bench::federation;
+
+/// The mediated sweep: one count per source table, summed client-side
+/// (the SQL subset has no UNION; a cross join would explode
+/// combinatorially).
+fn sweep(fed: &crosse_federation::FederatedDatabase, sources: usize, live: bool) -> i64 {
+    let mut total = 0i64;
+    for i in 0..sources {
+        let rs = fed
+            .query(&format!("SELECT COUNT(*) FROM s{i}__landfill"), live)
+            .unwrap();
+        if let crosse_relational::Value::Int(n) = rs.rows[0][0] {
+            total += n;
+        }
+    }
+    total
+}
+
+fn bench_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sources");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for sources in [1usize, 2, 4, 8] {
+        // 80 landfills total split across sources; zero RTT isolates the
+        // per-source refresh overhead.
+        let fed = federation(sources, Duration::ZERO, 80);
+        group.bench_with_input(
+            BenchmarkId::new("live", sources),
+            &fed,
+            |b, fed| b.iter(|| black_box(sweep(fed, sources, true))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached", sources),
+            &fed,
+            |b, fed| b.iter(|| black_box(sweep(fed, sources, false))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_rtt");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for rtt_us in [0u64, 500, 2_000] {
+        let fed = federation(2, Duration::from_micros(rtt_us), 80);
+        group.bench_with_input(BenchmarkId::from_parameter(rtt_us), &fed, |b, fed| {
+            b.iter(|| black_box(sweep(fed, 2, true)))
+        });
+    }
+    group.finish();
+}
+
+/// Filter pushdown vs full-table live fetch: the selective predicate moves
+/// only the matching rows when shipped to the source; with a per-row
+/// transfer cost the saving is proportional to selectivity.
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pushdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let fed = crosse_federation::FederatedDatabase::new();
+    let db = crosse_bench::engine_at_scale(200).database().clone();
+    fed.register_source(std::sync::Arc::new(crosse_federation::RemoteSource::new(
+        "src",
+        db,
+        crosse_federation::LatencyModel {
+            per_request: Duration::from_micros(200),
+            per_row: Duration::from_micros(2),
+            realtime: true,
+        },
+    )))
+    .unwrap();
+    let sql = "SELECT elem_name FROM src__elem_contained WHERE landfill_name = 'LF00001'";
+    group.bench_function("full_fetch_live", |b| {
+        b.iter(|| black_box(fed.query(sql, true).unwrap()))
+    });
+    group.bench_function("pushdown", |b| {
+        b.iter(|| black_box(fed.query_pushdown(sql).unwrap()))
+    });
+    group.finish();
+}
+
+/// Parallel vs sequential full sync across remote sources with realtime RTT.
+fn bench_parallel_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_parallel_refresh");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for sources in [2usize, 4, 8] {
+        let fed = federation(sources, Duration::from_millis(2), 80);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", sources),
+            &fed,
+            |b, fed| b.iter(|| black_box(fed.refresh_all().unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", sources),
+            &fed,
+            |b, fed| b.iter(|| black_box(fed.refresh_all_parallel().unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sources, bench_rtt, bench_pushdown, bench_parallel_refresh);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E6 (paper Fig. 2, Sec. III): crowdsourcing throughput — statement
+//! assertion, public browsing, and belief import at community scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::community;
+use crosse_rdf::store::Triple;
+use crosse_rdf::term::Term;
+
+fn bench_assert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_assert");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for existing in [100usize, 1_000, 5_000] {
+        let platform = community(5, existing);
+        let kb = platform.knowledge_base().clone();
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(existing),
+            &kb,
+            |b, kb| {
+                b.iter(|| {
+                    i += 1;
+                    black_box(
+                        kb.assert_statement(
+                            "user1",
+                            &Triple::new(
+                                Term::iri(format!("fresh{i}")),
+                                Term::iri("p"),
+                                Term::lit(i.to_string()),
+                            ),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_browse_and_import(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_browse_import");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for statements in [100usize, 1_000] {
+        let platform = community(10, statements);
+        group.bench_with_input(
+            BenchmarkId::new("browse", statements),
+            &platform,
+            |b, p| b.iter(|| black_box(p.browse_peer_statements("user1").len())),
+        );
+        let ids: Vec<_> = platform
+            .knowledge_base()
+            .statements_by("user0")
+            .into_iter()
+            .collect();
+        let mut k = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("import", statements),
+            &platform,
+            |b, p| {
+                b.iter(|| {
+                    let id = ids[k % ids.len()];
+                    k += 1;
+                    let _: () = p.import_statement("user2", id).unwrap();
+                    black_box(())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assert, bench_browse_and_import);
+criterion_main!(benches);

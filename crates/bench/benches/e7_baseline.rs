@@ -1,0 +1,64 @@
+//! E7 (paper Sec. I-B motivation): SESQL enrichment vs the manual
+//! materialisation baseline — a user who exports their knowledge into a
+//! relational table and writes the join by hand.
+//!
+//! Three regimes:
+//! * `sesql` — the enriched query; KB changes are visible immediately.
+//! * `manual_cached` — plain SQL join against a pre-materialised KB table
+//!   (fast, but stale under churn).
+//! * `manual_remat` — re-materialise the KB table before every query
+//!   (fresh, pays the export every time).
+//!
+//! The crossover: as the fraction of queries that follow a KB change
+//! grows, `manual_remat`'s cost approaches/passes `sesql`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::{churn_kb, engine_at_scale, materialise_kb_to_table};
+
+const SESQL: &str = "SELECT elem_name, landfill_name FROM elem_contained \
+                     ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+const MANUAL: &str = "SELECT e.elem_name, e.landfill_name, k.danger \
+                      FROM elem_contained e \
+                      LEFT JOIN kb_danger k ON e.elem_name = k.elem";
+
+fn bench_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_regimes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for landfills in [100usize, 400] {
+        let engine = engine_at_scale(landfills);
+        materialise_kb_to_table(&engine, "director", "kb_danger");
+
+        group.bench_with_input(
+            BenchmarkId::new("sesql", landfills),
+            &engine,
+            |b, e| b.iter(|| black_box(e.execute("director", SESQL).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("manual_cached", landfills),
+            &engine,
+            |b, e| b.iter(|| black_box(e.database().query(MANUAL).unwrap())),
+        );
+        let mut round = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("manual_remat", landfills),
+            &engine,
+            |b, e| {
+                b.iter(|| {
+                    round += 1;
+                    churn_kb(e, "director", round);
+                    materialise_kb_to_table(e, "director", "kb_danger");
+                    black_box(e.database().query(MANUAL).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regimes);
+criterion_main!(benches);

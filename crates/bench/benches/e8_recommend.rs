@@ -1,0 +1,59 @@
+//! E8 (paper Sec. I-B a/b/c): cost of peer discovery, statement
+//! recommendation and context-aware ranking as the community grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::overlapping_community;
+use crosse_core::recommend::{rank_rows, recommend_peers, recommend_statements};
+
+fn bench_peers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_peers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for users in [10usize, 50, 200] {
+        let platform = overlapping_community(users, 20);
+        group.bench_with_input(
+            BenchmarkId::new("peers", users),
+            &platform,
+            |b, p| b.iter(|| black_box(recommend_peers(p, "user0", 10))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("statements", users),
+            &platform,
+            |b, p| b.iter(|| black_box(recommend_statements(p, "user0", 10))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ranking");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let platform = overlapping_community(10, 20);
+    platform
+        .query("user0", "SELECT elem_name FROM elem_contained")
+        .unwrap();
+    let profile = platform.user_profile("user0");
+    for rows in [100usize, 1_000, 10_000] {
+        let rs = crosse_relational::RowSet {
+            schema: crosse_relational::Schema::new(vec![crosse_relational::Column::new(
+                "elem",
+                crosse_relational::DataType::Text,
+            )]),
+            rows: (0..rows)
+                .map(|i| vec![crosse_relational::Value::Str(format!("E{}", i % 40))])
+                .collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rs, |b, rs| {
+            b.iter(|| black_box(rank_rows(rs, &profile)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_peers, bench_ranking);
+criterion_main!(benches);

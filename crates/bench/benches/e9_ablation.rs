@@ -1,0 +1,197 @@
+//! E9: ablations of the design choices DESIGN.md calls out.
+//!
+//! * hash join vs nested-loop join (the equi-join lowering);
+//! * multi-value enrichment policies (RowPerMatch / FirstMatch / Concatenate);
+//! * reified provenance inserts vs raw triple inserts;
+//! * RDFS materialisation vs query-time subclass walking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::engine_at_scale;
+use crosse_core::sqm::{EnrichOptions, MultiValuePolicy};
+use crosse_rdf::provenance::KnowledgeBase;
+use crosse_rdf::reasoner::{instances_of, materialize_rdfs};
+use crosse_rdf::schema as rdfschema;
+use crosse_rdf::store::{Triple, TripleStore};
+use crosse_rdf::term::Term;
+use crosse_smartground::random_kb;
+
+fn bench_join_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let engine = engine_at_scale(300);
+    let db = engine.database();
+    // Identical semantics, different plans: `=` lowers to a hash join;
+    // `<= AND >=` is not decomposable and stays a nested loop.
+    let hash = "SELECT COUNT(*) FROM elem_contained e JOIN landfill l \
+                ON e.landfill_name = l.name";
+    let nested = "SELECT COUNT(*) FROM elem_contained e JOIN landfill l \
+                  ON e.landfill_name <= l.name AND e.landfill_name >= l.name";
+    assert_eq!(
+        db.query(hash).unwrap().rows,
+        db.query(nested).unwrap().rows,
+        "ablation variants must agree"
+    );
+    group.bench_function("hash_join", |b| b.iter(|| black_box(db.query(hash).unwrap())));
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| black_box(db.query(nested).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_multi_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_multi_policy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let sesql = "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, oreAssemblage)";
+    for (name, policy) in [
+        ("row_per_match", MultiValuePolicy::RowPerMatch),
+        ("first_match", MultiValuePolicy::FirstMatch),
+        ("concatenate", MultiValuePolicy::Concatenate),
+    ] {
+        let engine = engine_at_scale(200).with_options(EnrichOptions {
+            multi: policy,
+            ..EnrichOptions::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, e| {
+            b.iter(|| black_box(e.execute("director", sesql).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_provenance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_provenance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let triples = random_kb(500, 100, 10, 5);
+    group.bench_function("raw_store_insert", |b| {
+        b.iter(|| {
+            let store = TripleStore::new();
+            black_box(store.insert_all("u", triples.iter()))
+        })
+    });
+    group.bench_function("reified_assert", |b| {
+        b.iter(|| {
+            let kb = KnowledgeBase::new();
+            kb.register_user("u");
+            for t in &triples {
+                black_box(kb.assert_statement("u", t).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn hierarchy_store(classes: usize, instances: usize) -> TripleStore {
+    let store = TripleStore::new();
+    for i in 1..classes {
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("C{i}")),
+                rdfschema::rdfs_subclass_of(),
+                Term::iri(format!("C{}", i - 1)),
+            ),
+        );
+    }
+    for j in 0..instances {
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("x{j}")),
+                rdfschema::rdf_type(),
+                Term::iri(format!("C{}", classes - 1)),
+            ),
+        );
+    }
+    store
+}
+
+fn bench_inference_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_inference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let store = hierarchy_store(10, 200);
+    let root = Term::iri("C0");
+    group.bench_function("query_time_walk", |b| {
+        b.iter(|| black_box(instances_of(&store, &["kb"], &root)))
+    });
+    group.bench_function("materialise_then_lookup", |b| {
+        b.iter(|| {
+            let s = hierarchy_store(10, 200);
+            materialize_rdfs(&s, &["kb"], "inf");
+            black_box(instances_of(&s, &["kb", "inf"], &root))
+        })
+    });
+    // Amortised: materialise once, look up repeatedly.
+    let store2 = hierarchy_store(10, 200);
+    materialize_rdfs(&store2, &["kb"], "inf");
+    group.bench_function("lookup_after_materialise", |b| {
+        b.iter(|| black_box(instances_of(&store2, &["kb", "inf"], &root)))
+    });
+    group.finish();
+}
+
+/// SPARQL-leg cache ablation: the same enrichment re-executed over an
+/// unchanged knowledge base (exploratory-querying pattern) with the
+/// version-checked cache on vs off, plus the churn case where every query
+/// is preceded by an annotation (cache always invalid → pure overhead).
+fn bench_sparql_leg_cache(c: &mut Criterion) {
+    use crosse_rdf::store::Triple;
+    let mut group = c.benchmark_group("e9_sparql_cache");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let sesql = "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+    for (name, use_cache) in [("cached", true), ("uncached", false)] {
+        let engine = engine_at_scale(200).with_options(EnrichOptions {
+            use_cache,
+            ..EnrichOptions::default()
+        });
+        engine.execute("director", sesql).unwrap(); // warm
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.execute("director", sesql).unwrap()))
+        });
+    }
+    // Churn: an annotation lands before every query, so the cache never
+    // serves and only costs the version check + insert.
+    let engine = engine_at_scale(200);
+    let mut i = 0u64;
+    group.bench_function("cached_under_churn", |b| {
+        b.iter(|| {
+            i += 1;
+            engine
+                .knowledge_base()
+                .assert_statement(
+                    "director",
+                    &Triple::new(
+                        Term::iri(format!("note{i}")),
+                        Term::iri("comment"),
+                        Term::lit("x"),
+                    ),
+                )
+                .unwrap();
+            black_box(engine.execute("director", sesql).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join_strategy,
+    bench_multi_policy,
+    bench_provenance_overhead,
+    bench_inference_strategy,
+    bench_sparql_leg_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Unified error type for the SESQL engine.
+
+use std::fmt;
+
+/// Errors raised while parsing or executing SESQL queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// SESQL-level syntax error (ENRICH clause, `${...:id}` tagging).
+    Sesql { message: String, position: usize },
+    /// Error from the relational substrate.
+    Relational(crosse_relational::Error),
+    /// Error from the semantic substrate.
+    Semantic(crosse_rdf::Error),
+    /// Semantic-query-module orchestration error.
+    Sqm(String),
+    /// Platform-level error (unknown user, scenario violation, ...).
+    Platform(String),
+}
+
+impl Error {
+    pub fn sesql(message: impl Into<String>, position: usize) -> Self {
+        Error::Sesql { message: message.into(), position }
+    }
+    pub fn sqm(message: impl Into<String>) -> Self {
+        Error::Sqm(message.into())
+    }
+    pub fn platform(message: impl Into<String>) -> Self {
+        Error::Platform(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sesql { message, position } => {
+                write!(f, "SESQL error at byte {position}: {message}")
+            }
+            Error::Relational(e) => write!(f, "relational: {e}"),
+            Error::Semantic(e) => write!(f, "semantic: {e}"),
+            Error::Sqm(m) => write!(f, "semantic query module: {m}"),
+            Error::Platform(m) => write!(f, "platform: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Relational(e) => Some(e),
+            Error::Semantic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crosse_relational::Error> for Error {
+    fn from(e: crosse_relational::Error) -> Self {
+        Error::Relational(e)
+    }
+}
+
+impl From<crosse_rdf::Error> for Error {
+    fn from(e: crosse_rdf::Error) -> Self {
+        Error::Semantic(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: Error = crosse_relational::Error::plan("x").into();
+        assert!(e.to_string().contains("relational"));
+        let e: Error = crosse_rdf::Error::eval("y").into();
+        assert!(e.to_string().contains("semantic"));
+        assert!(Error::sesql("bad", 2).to_string().contains("byte 2"));
+        assert!(Error::sqm("z").to_string().contains("module"));
+        assert!(Error::platform("p").to_string().contains("platform"));
+    }
+}

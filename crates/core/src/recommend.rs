@@ -1,0 +1,312 @@
+//! Peer discovery, statement recommendation, context-aware ranking.
+//!
+//! These implement the Sec. I-B vision services of the paper:
+//!
+//! * *(a) peer recommendation* — "based on this researcher's interactions
+//!   with the system ... the system can help the researcher locate other
+//!   individuals (or peers) with similar interests";
+//! * *(b) data recommendations based on peer networks* — "the system can
+//!   recommend the researcher resources that were explored and used by
+//!   others within similar contexts";
+//! * context-aware ranking — "the search should rank and organize results
+//!   differently for these two users".
+
+use std::collections::{HashMap, HashSet};
+
+use crosse_rdf::provenance::{KnowledgeBase, StatementId};
+use crosse_relational::RowSet;
+
+use crate::platform::CrossePlatform;
+
+/// Jaccard similarity of two sets.
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Cosine similarity of two frequency profiles.
+pub fn cosine(a: &HashMap<String, usize>, b: &HashMap<String, usize>) -> f64 {
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(k, &va)| b.get(k).map(|&vb| va as f64 * vb as f64))
+        .sum();
+    let norm = |m: &HashMap<String, usize>| -> f64 {
+        m.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt()
+    };
+    let (na, nb) = (norm(a), norm(b));
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// The statement footprint of a user: everything asserted or believed.
+pub fn knowledge_footprint(kb: &KnowledgeBase, user: &str) -> HashSet<StatementId> {
+    kb.statements_by(user)
+        .into_iter()
+        .chain(kb.beliefs_of(user))
+        .collect()
+}
+
+/// Knowledge-base similarity: Jaccard over statement footprints.
+pub fn kb_similarity(kb: &KnowledgeBase, a: &str, b: &str) -> f64 {
+    jaccard(&knowledge_footprint(kb, a), &knowledge_footprint(kb, b))
+}
+
+/// Combined peer similarity: equal-weight mix of knowledge overlap and
+/// query-activity profile similarity.
+pub fn peer_similarity(platform: &CrossePlatform, a: &str, b: &str) -> f64 {
+    let kb = platform.knowledge_base();
+    let kb_sim = kb_similarity(kb, a, b);
+    let act_sim = cosine(&platform.user_profile(a), &platform.user_profile(b));
+    0.5 * kb_sim + 0.5 * act_sim
+}
+
+/// A scored recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored<T> {
+    pub item: T,
+    pub score: f64,
+}
+
+/// The `k` most similar peers of `user` (score > 0 only).
+pub fn recommend_peers(
+    platform: &CrossePlatform,
+    user: &str,
+    k: usize,
+) -> Vec<Scored<String>> {
+    let mut scored: Vec<Scored<String>> = platform
+        .users()
+        .into_iter()
+        .filter(|u| u != user)
+        .map(|u| {
+            let score = peer_similarity(platform, user, &u);
+            Scored { item: u, score }
+        })
+        .filter(|s| s.score > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.item.cmp(&b.item)));
+    scored.truncate(k);
+    scored
+}
+
+/// Statements held by similar peers that `user` has not adopted yet,
+/// scored by the summed similarity of their holders (Sec. I-B(b)).
+pub fn recommend_statements(
+    platform: &CrossePlatform,
+    user: &str,
+    k: usize,
+) -> Vec<Scored<StatementId>> {
+    let kb = platform.knowledge_base();
+    let own = knowledge_footprint(kb, user);
+    let mut peer_sim: HashMap<String, f64> = HashMap::new();
+    for peer in platform.users() {
+        if peer != user {
+            peer_sim.insert(peer.clone(), peer_similarity(platform, user, &peer));
+        }
+    }
+    let mut scores: HashMap<StatementId, f64> = HashMap::new();
+    for info in kb.public_statements() {
+        if own.contains(&info.id) {
+            continue;
+        }
+        let mut holders: Vec<&String> = info.believers.iter().collect();
+        if !info.author.is_empty() && info.author != user {
+            holders.push(&info.author);
+        }
+        let score: f64 = holders
+            .iter()
+            .filter(|h| ***h != *user)
+            .filter_map(|h| peer_sim.get(h.as_str()))
+            .sum();
+        if score > 0.0 {
+            *scores.entry(info.id).or_insert(0.0) += score;
+        }
+    }
+    let mut scored: Vec<Scored<StatementId>> = scores
+        .into_iter()
+        .map(|(item, score)| Scored { item, score })
+        .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.item.cmp(&b.item)));
+    scored.truncate(k);
+    scored
+}
+
+/// Context-aware ranking: reorder result rows so that rows mentioning
+/// concepts from the user's activity profile come first. Stable: ties keep
+/// the original order.
+pub fn rank_rows(rows: &RowSet, profile: &HashMap<String, usize>) -> RowSet {
+    let mut indexed: Vec<(usize, f64)> = rows
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let score: f64 = row
+                .iter()
+                .map(|v| {
+                    let key = v.lexical_form();
+                    *profile.get(&key).unwrap_or(&0) as f64
+                })
+                .sum();
+            (i, score)
+        })
+        .collect();
+    indexed.sort_by(|(ia, sa), (ib, sb)| sb.total_cmp(sa).then_with(|| ia.cmp(ib)));
+    RowSet {
+        schema: rows.schema.clone(),
+        rows: indexed.into_iter().map(|(i, _)| rows.rows[i].clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosse_rdf::store::Triple;
+    use crosse_rdf::term::Term;
+    use crosse_relational::{Column, DataType, Database, Schema, Value};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn platform() -> CrossePlatform {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+             INSERT INTO elem_contained VALUES ('Hg','a'), ('Pb','a'), ('As','b');",
+        )
+        .unwrap();
+        let p = CrossePlatform::new(db, KnowledgeBase::new());
+        for u in ["alice", "bob", "carol"] {
+            p.register_user(u).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: HashSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: HashSet<i32> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty: HashSet<i32> = HashSet::new();
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let mut a = HashMap::new();
+        a.insert("x".to_string(), 2usize);
+        let mut b = HashMap::new();
+        b.insert("x".to_string(), 3usize);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-9);
+        b.clear();
+        b.insert("y".to_string(), 1);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&HashMap::new(), &a), 0.0);
+    }
+
+    #[test]
+    fn kb_similarity_through_shared_beliefs() {
+        let p = platform();
+        let kb = p.knowledge_base();
+        let s1 = kb.assert_statement("alice", &t("Hg", "isA", "Hazard")).unwrap();
+        let s2 = kb.assert_statement("alice", &t("Pb", "isA", "Hazard")).unwrap();
+        kb.accept_statement("bob", s1).unwrap();
+        kb.accept_statement("bob", s2).unwrap();
+        kb.assert_statement("carol", &t("Cu", "isA", "Metal")).unwrap();
+        assert!((kb_similarity(kb, "alice", "bob") - 1.0).abs() < 1e-9);
+        assert_eq!(kb_similarity(kb, "alice", "carol"), 0.0);
+    }
+
+    #[test]
+    fn peers_ranked_by_similarity() {
+        let p = platform();
+        let kb = p.knowledge_base();
+        let s1 = kb.assert_statement("alice", &t("Hg", "isA", "Hazard")).unwrap();
+        let s2 = kb.assert_statement("alice", &t("Pb", "isA", "Hazard")).unwrap();
+        kb.accept_statement("bob", s1).unwrap();
+        kb.accept_statement("bob", s2).unwrap();
+        kb.assert_statement("carol", &t("Hg", "isA", "Hazard")).unwrap(); // shares s1
+        let peers = recommend_peers(&p, "alice", 5);
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].item, "bob");
+        assert_eq!(peers[1].item, "carol");
+        assert!(peers[0].score > peers[1].score);
+    }
+
+    #[test]
+    fn statement_recommendation_from_similar_peer() {
+        let p = platform();
+        let kb = p.knowledge_base();
+        // alice and bob share a belief; bob holds an extra statement that
+        // alice should be recommended.
+        let shared = kb.assert_statement("bob", &t("Hg", "isA", "Hazard")).unwrap();
+        kb.accept_statement("alice", shared).unwrap();
+        let extra = kb.assert_statement("bob", &t("Hg", "occursWith", "As")).unwrap();
+        // carol holds an unrelated statement, dissimilar to alice.
+        kb.assert_statement("carol", &t("Zn", "isA", "Metal")).unwrap();
+
+        let recs = recommend_statements(&p, "alice", 5);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].item, extra);
+        // carol's statement scores 0 (no similarity) and is filtered out.
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn activity_profiles_contribute() {
+        let p = platform();
+        p.query("alice", "SELECT elem_name FROM elem_contained").unwrap();
+        p.query("bob", "SELECT elem_name FROM elem_contained").unwrap();
+        p.query("carol", "SELECT landfill_name FROM elem_contained").unwrap();
+        let ab = peer_similarity(&p, "alice", "bob");
+        let ac = peer_similarity(&p, "alice", "carol");
+        assert!(ab > ac, "shared query vocabulary beats partial overlap: {ab} vs {ac}");
+    }
+
+    #[test]
+    fn rank_rows_prefers_profile_concepts() {
+        let rows = RowSet {
+            schema: Schema::new(vec![Column::new("elem", DataType::Text)]),
+            rows: vec![
+                vec![Value::from("Cu")],
+                vec![Value::from("Hg")],
+                vec![Value::from("Pb")],
+            ],
+        };
+        let mut profile = HashMap::new();
+        profile.insert("Hg".to_string(), 3usize);
+        profile.insert("Pb".to_string(), 1usize);
+        let ranked = rank_rows(&rows, &profile);
+        assert_eq!(ranked.rows[0][0], Value::from("Hg"));
+        assert_eq!(ranked.rows[1][0], Value::from("Pb"));
+        assert_eq!(ranked.rows[2][0], Value::from("Cu"));
+    }
+
+    #[test]
+    fn rank_rows_is_stable_on_ties() {
+        let rows = RowSet {
+            schema: Schema::new(vec![Column::new("elem", DataType::Text)]),
+            rows: vec![vec![Value::from("A")], vec![Value::from("B")]],
+        };
+        let ranked = rank_rows(&rows, &HashMap::new());
+        assert_eq!(ranked.rows[0][0], Value::from("A"));
+        assert_eq!(ranked.rows[1][0], Value::from("B"));
+    }
+
+    #[test]
+    fn self_not_recommended() {
+        let p = platform();
+        let kb = p.knowledge_base();
+        kb.assert_statement("alice", &t("Hg", "isA", "Hazard")).unwrap();
+        let peers = recommend_peers(&p, "alice", 5);
+        assert!(peers.iter().all(|s| s.item != "alice"));
+    }
+}

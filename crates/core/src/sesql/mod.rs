@@ -1,0 +1,5 @@
+//! The SESQL language front-end: scanner, grammar, AST (paper Sec. IV).
+
+pub mod ast;
+pub mod parser;
+pub mod scanner;

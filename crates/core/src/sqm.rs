@@ -1,0 +1,1751 @@
+//! The Semantic Query Module (SQM): SESQL execution (paper Fig. 6).
+//!
+//! Execution follows the paper's architecture: the Semantic Query Parser
+//! splits the query; the SQM derives SPARQL queries from the enrichment
+//! syntax tree; SQL and SPARQL legs run independently; the JoinManager
+//! combines partial results using the resource mapping; the temporary
+//! support database materialises intermediates; a final SQL query assembles
+//! the enriched result. Every stage is timed in [`PipelineReport`] so the
+//! E2 experiment can regenerate the Fig. 6 pipeline breakdown.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crosse_federation::join_manager::{combine, term_to_value, CombineKind, JoinSpec};
+use crosse_federation::mapping::{MapStrategy, ResourceMapping};
+use crosse_federation::tempdb::TempDb;
+use crosse_rdf::provenance::KnowledgeBase;
+use crosse_rdf::sparql::eval::Solutions;
+use crosse_rdf::stored::StoredQueries;
+use crosse_rdf::term::Term;
+use crosse_relational::sql::ast::{BinaryOp, Expr, Select, TableRef};
+use crosse_relational::{Column, DataType, Database, RowSet, Schema, Value};
+
+use crate::error::{Error, Result};
+use crate::sesql::ast::{Enrichment, SesqlQuery};
+use crate::sesql::parser::parse_sesql;
+
+/// How multi-valued enrichments materialise (a subject may have several
+/// objects for the chosen property; the paper leaves this open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiValuePolicy {
+    /// One output row per (row, object) pair — natural join semantics.
+    #[default]
+    RowPerMatch,
+    /// Keep only the first object per subject.
+    FirstMatch,
+    /// Concatenate all objects into one `"; "`-separated value.
+    Concatenate,
+}
+
+/// Direction in which `REPLACEVARIABLE` walks the property edges when
+/// expanding a variable (paper Ex. 4.6 uses `oreAssemblage`, a co-
+/// occurrence relation that is naturally symmetric; directional properties
+/// like `inCountry` want `Forward`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpandDirection {
+    /// `x` expands to the objects of `<x, p, ?o>`.
+    Forward,
+    /// `x` expands to the subjects of `<?s, p, x>`.
+    Inverse,
+    /// Both directions.
+    #[default]
+    Symmetric,
+}
+
+/// User-tunable enrichment behaviour ("which may or may not contain the
+/// initial value according to the user preferences", paper Sec. III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnrichOptions {
+    pub multi: MultiValuePolicy,
+    /// For the WHERE enrichments: whether the original value/condition is
+    /// kept alongside the ontology-derived expansion.
+    pub include_self: bool,
+    /// Edge direction for `REPLACEVARIABLE` expansion.
+    pub expand: ExpandDirection,
+    /// Reuse SPARQL-leg results across queries while the knowledge base is
+    /// unchanged (version-checked, so a single annotation invalidates).
+    pub use_cache: bool,
+}
+
+impl Default for EnrichOptions {
+    fn default() -> Self {
+        EnrichOptions {
+            multi: MultiValuePolicy::RowPerMatch,
+            include_self: true,
+            expand: ExpandDirection::Symmetric,
+            use_cache: true,
+        }
+    }
+}
+
+/// One SPARQL leg executed during enrichment.
+#[derive(Debug, Clone)]
+pub struct SparqlRun {
+    /// What the query was generated for (e.g. `SCHEMAEXTENSION(elem_name,
+    /// dangerLevel)`).
+    pub purpose: String,
+    /// The generated SPARQL text.
+    pub sparql: String,
+    pub solutions: usize,
+    pub duration: Duration,
+    /// Served from the SPARQL-leg cache (knowledge base unchanged since
+    /// the cached evaluation).
+    pub cached: bool,
+}
+
+/// Stage-by-stage timing of one SESQL execution (Fig. 6 pipeline).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Semantic Query Parser (split + clean + parse).
+    pub parse: Duration,
+    /// The SQL leg on the relational databank.
+    pub sql_exec: Duration,
+    /// All SPARQL legs on the knowledge base.
+    pub sparql_exec: Duration,
+    /// JoinManager combination work.
+    pub join: Duration,
+    /// Materialisation + final query on the temporary support database.
+    pub final_sql: Duration,
+    pub sparql_runs: Vec<SparqlRun>,
+    /// Rows returned by the SQL leg before enrichment.
+    pub base_rows: usize,
+    /// Rows in the final enriched result.
+    pub result_rows: usize,
+}
+
+impl PipelineReport {
+    /// Total pipeline wall time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.sql_exec + self.sparql_exec + self.join + self.final_sql
+    }
+}
+
+/// A SESQL result: the enriched rows plus the pipeline report.
+#[derive(Debug, Clone)]
+pub struct EnrichedResult {
+    pub rows: RowSet,
+    pub report: PipelineReport,
+}
+
+/// Internal record of a schema-level enrichment applied to the base rows.
+struct AppliedColumn {
+    /// Position of the enriched attr in the base schema (for replacements).
+    attr_index: usize,
+    /// Index of the appended enrichment column in the working row set.
+    added_index: usize,
+    /// Final output name of the enrichment column.
+    output_name: String,
+    /// Replacement ops remove the original attr from the output.
+    replaces_attr: bool,
+}
+
+/// Version-checked cache of SPARQL-leg solutions, keyed by the user's
+/// context graphs and the generated SPARQL text. Entries are valid only
+/// while the triple store's mutation version is unchanged, so any
+/// annotation, import or retraction invalidates the whole view at zero
+/// bookkeeping cost.
+#[derive(Debug, Default)]
+struct SparqlLegCache {
+    entries: RwLock<HashMap<(String, String), (u64, Solutions)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SparqlLegCache {
+    fn key(graphs: &[&str], sparql: &str) -> (String, String) {
+        (graphs.join("\u{1f}"), sparql.to_string())
+    }
+
+    fn get(&self, graphs: &[&str], sparql: &str, version: u64) -> Option<Solutions> {
+        let key = Self::key(graphs, sparql);
+        let entries = self.entries.read();
+        match entries.get(&key) {
+            Some((v, sols)) if *v == version => {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                Some(sols.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, graphs: &[&str], sparql: &str, version: u64, sols: &Solutions) {
+        self.entries
+            .write()
+            .insert(Self::key(graphs, sparql), (version, sols.clone()));
+    }
+}
+
+/// Cumulative SPARQL-leg cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// The SESQL engine: relational databank + knowledge base + registries.
+#[derive(Clone)]
+pub struct SesqlEngine {
+    db: Database,
+    kb: KnowledgeBase,
+    stored: StoredQueries,
+    mapping: ResourceMapping,
+    tempdb: TempDb,
+    options: EnrichOptions,
+    cache: Arc<SparqlLegCache>,
+}
+
+impl SesqlEngine {
+    pub fn new(db: Database, kb: KnowledgeBase) -> Self {
+        SesqlEngine {
+            db,
+            kb,
+            stored: StoredQueries::new(),
+            mapping: ResourceMapping::new(),
+            tempdb: TempDb::new(),
+            options: EnrichOptions::default(),
+            cache: Arc::default(),
+        }
+    }
+
+    /// SPARQL-leg cache hit/miss counters (only queries executed with
+    /// `use_cache` enabled touch them).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits.load(AtomicOrdering::Relaxed),
+            misses: self.cache.misses.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Drop all cached SPARQL-leg results.
+    pub fn clear_cache(&self) {
+        self.cache.entries.write().clear();
+    }
+
+    /// Evaluate one SPARQL leg with version-checked caching and record it
+    /// in the pipeline report.
+    fn run_sparql_leg(
+        &self,
+        graphs: &[&str],
+        sparql: &str,
+        parsed: Option<&crosse_rdf::sparql::ast::Query>,
+        purpose: String,
+        report: &mut PipelineReport,
+    ) -> Result<Solutions> {
+        let version = self.kb.store().version();
+        let t = Instant::now();
+        let (sols, cached) = if self.options.use_cache {
+            match self.cache.get(graphs, sparql, version) {
+                Some(s) => (s, true),
+                None => {
+                    let s = match parsed {
+                        Some(q) => {
+                            crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?
+                        }
+                        None => {
+                            crosse_rdf::sparql::eval::query(self.kb.store(), graphs, sparql)?
+                        }
+                    };
+                    self.cache.put(graphs, sparql, version, &s);
+                    (s, false)
+                }
+            }
+        } else {
+            let s = match parsed {
+                Some(q) => crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?,
+                None => crosse_rdf::sparql::eval::query(self.kb.store(), graphs, sparql)?,
+            };
+            (s, false)
+        };
+        let duration = t.elapsed();
+        report.sparql_exec += duration;
+        report.sparql_runs.push(SparqlRun {
+            purpose,
+            sparql: sparql.to_string(),
+            solutions: sols.len(),
+            duration,
+            cached,
+        });
+        Ok(sols)
+    }
+
+    pub fn with_options(mut self, options: EnrichOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn with_mapping(mut self, mapping: ResourceMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    pub fn stored_queries(&self) -> &StoredQueries {
+        &self.stored
+    }
+
+    pub fn options(&self) -> EnrichOptions {
+        self.options
+    }
+
+    /// Explain a SESQL query without executing the enrichment: the
+    /// scanner's cleaned SQL, the bound relational plan, the tagged
+    /// conditions, and — per enrichment — the SPARQL text the SQM would
+    /// issue in `user`'s context. SESQL's counterpart to `EXPLAIN SELECT`.
+    pub fn explain(&self, user: &str, sesql: &str) -> Result<String> {
+        use std::fmt::Write;
+        if !self.kb.is_registered(user) {
+            return Err(Error::platform(format!("user `{user}` is not registered")));
+        }
+        let query = parse_sesql(sesql)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "SESQL plan (user `{user}`)");
+        let _ = writeln!(out, "clean SQL: {}", query.clean_sql.trim());
+        for (id, cond) in &query.conditions {
+            let _ = writeln!(out, "tagged condition {id}: {cond}");
+        }
+        // The cleaned SQL may reference ontology constants that only become
+        // valid after the WHERE-clause enrichments rewrite them (e.g.
+        // Example 4.5's `elem_name = HazardousWaste`); planning is
+        // best-effort here.
+        match crosse_relational::plan::plan_select(self.db.catalog(), &query.select) {
+            Ok(plan) => {
+                let _ = writeln!(out, "relational plan:");
+                for line in plan.explain().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "relational plan: deferred until WHERE enrichment ({e})"
+                );
+            }
+        }
+        let graphs = self.kb.context_graphs(user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let _ = writeln!(out, "context graphs: {}", graphs.join(", "));
+        for e in &query.enrichments {
+            let _ = writeln!(out, "enrichment: {e}");
+            let property = match e {
+                Enrichment::SchemaExtension { property, .. }
+                | Enrichment::SchemaReplacement { property, .. }
+                | Enrichment::BoolSchemaExtension { property, .. }
+                | Enrichment::BoolSchemaReplacement { property, .. }
+                | Enrichment::ReplaceConstant { property, .. }
+                | Enrichment::ReplaceVariable { property, .. } => property,
+            };
+            if let Some(stored) = self.stored.get(property) {
+                let _ = writeln!(
+                    out,
+                    "  SPARQL leg (stored query `{}`): {}",
+                    stored.name,
+                    stored.sparql.replace('\n', " ")
+                );
+            } else {
+                let predicates = self.resolve_predicates(&refs, property);
+                let sparql = sparql_pairs_query(&predicates, property);
+                let _ = writeln!(out, "  SPARQL leg: {}", sparql.replace('\n', " "));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse and execute a SESQL query in `user`'s knowledge context.
+    pub fn execute(&self, user: &str, sesql: &str) -> Result<EnrichedResult> {
+        let t0 = Instant::now();
+        let query = parse_sesql(sesql)?;
+        let parse = t0.elapsed();
+        let mut result = self.execute_parsed(user, &query)?;
+        result.report.parse = parse;
+        Ok(result)
+    }
+
+    /// Execute an already-parsed SESQL query.
+    pub fn execute_parsed(&self, user: &str, query: &SesqlQuery) -> Result<EnrichedResult> {
+        if !self.kb.is_registered(user) {
+            return Err(Error::platform(format!("user `{user}` is not registered")));
+        }
+        let mut report = PipelineReport::default();
+
+        // -------- Phase A: WHERE-clause enrichments (AST rewrites) --------
+        let mut select = query.select.clone();
+        let mut variable_ops: Vec<&Enrichment> = Vec::new();
+        for e in &query.enrichments {
+            match e {
+                Enrichment::ReplaceConstant { cond, constant, property } => {
+                    let values =
+                        self.replacement_values(user, constant, property, e, &mut report)?;
+                    let cond_expr = &query.conditions[cond];
+                    let rewritten =
+                        rewrite_constant(cond_expr.clone(), constant, &values)?;
+                    replace_condition(&mut select, cond_expr, rewritten)?;
+                }
+                Enrichment::ReplaceVariable { .. } => variable_ops.push(e),
+                _ => {}
+            }
+        }
+        if variable_ops.len() > 1 {
+            return Err(Error::sqm(
+                "at most one REPLACEVARIABLE clause per query is supported",
+            ));
+        }
+
+        // -------- Phase B: the SQL leg ------------------------------------
+        let t = Instant::now();
+        let mut rows = match variable_ops.first() {
+            None => self.db.run_select(&select)?,
+            Some(Enrichment::ReplaceVariable { cond, attr, property }) => self
+                .execute_with_variable_expansion(
+                    user,
+                    &select,
+                    &query.conditions[cond.as_str()],
+                    attr,
+                    property,
+                    &mut report,
+                )?,
+            Some(_) => unreachable!("filtered above"),
+        };
+        report.sql_exec = t.elapsed();
+        report.base_rows = rows.len();
+
+        // -------- Phase C: schema enrichments (SPARQL + JoinManager) ------
+        let mut applied: Vec<AppliedColumn> = Vec::new();
+        for e in &query.enrichments {
+            match e {
+                Enrichment::SchemaExtension { attr, property }
+                | Enrichment::SchemaReplacement { attr, property } => {
+                    let replaces = matches!(e, Enrichment::SchemaReplacement { .. });
+                    let attr_index = resolve_attr(&rows, attr)?;
+                    let sols =
+                        self.property_pairs(user, property, e.to_string(), &mut report)?;
+                    let sols = apply_multi_policy(sols, self.options.multi);
+                    let added_index = rows.schema.len();
+                    let tmp_col = format!("__enr{added_index}");
+                    let spec = JoinSpec {
+                        column: rows.schema.columns[attr_index].display_name(),
+                        variable: "s".into(),
+                        kind: CombineKind::LeftOuter,
+                        take: vec![("o".into(), tmp_col)],
+                        strategy: self.attr_strategy(&rows.schema, attr_index),
+                    };
+                    let t = Instant::now();
+                    rows = combine(&rows, &sols, &spec)?;
+                    report.join += t.elapsed();
+                    applied.push(AppliedColumn {
+                        attr_index,
+                        added_index,
+                        output_name: local_label(property),
+                        replaces_attr: replaces,
+                    });
+                }
+                Enrichment::BoolSchemaExtension { attr, property, concept }
+                | Enrichment::BoolSchemaReplacement { attr, property, concept } => {
+                    let replaces =
+                        matches!(e, Enrichment::BoolSchemaReplacement { .. });
+                    let attr_index = resolve_attr(&rows, attr)?;
+                    let sols =
+                        self.property_pairs(user, property, e.to_string(), &mut report)?;
+                    let t = Instant::now();
+                    let subjects = concept_subjects(&sols, concept)?;
+                    let strategy = self.attr_strategy(&rows.schema, attr_index);
+                    let added_index = rows.schema.len();
+                    rows = append_bool_column(
+                        rows,
+                        attr_index,
+                        &subjects,
+                        &strategy,
+                        &format!("__enr{added_index}"),
+                    );
+                    report.join += t.elapsed();
+                    applied.push(AppliedColumn {
+                        attr_index,
+                        added_index,
+                        output_name: local_label(concept),
+                        replaces_attr: replaces,
+                    });
+                }
+                Enrichment::ReplaceConstant { .. } | Enrichment::ReplaceVariable { .. } => {}
+            }
+        }
+
+        // -------- Phase D: temporary support DB + final SQL ---------------
+        let t = Instant::now();
+        let final_rows = if applied.is_empty() {
+            rows
+        } else {
+            self.finalize(rows, &applied)?
+        };
+        report.final_sql = t.elapsed();
+        report.result_rows = final_rows.len();
+
+        Ok(EnrichedResult { rows: final_rows, report })
+    }
+
+    /// Materialise the working rows into the temporary support database and
+    /// issue the final SQL query that renames/reorders enrichment columns
+    /// (Fig. 6's last stage).
+    fn finalize(&self, rows: RowSet, applied: &[AppliedColumn]) -> Result<RowSet> {
+        // Synthetic unique column names for the temp table.
+        let tmp_schema = Schema::new(
+            rows.schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Column::new(format!("c{i}"), c.data_type))
+                .collect(),
+        );
+        let tmp_rows = RowSet { schema: tmp_schema, rows: rows.rows.clone() };
+
+        // Output plan: every base column in order, with replacements
+        // substituting the enrichment column at the attr's position and
+        // extensions appended at the end (in clause order).
+        let base_len = rows
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !applied.iter().any(|a| a.added_index == *i))
+            .count();
+        let mut items: Vec<(usize, String)> = Vec::new(); // (tmp col idx, out name)
+        for i in 0..base_len {
+            if let Some(a) = applied.iter().find(|a| a.replaces_attr && a.attr_index == i) {
+                items.push((a.added_index, a.output_name.clone()));
+            } else {
+                items.push((i, rows.schema.columns[i].display_name()));
+            }
+        }
+        for a in applied.iter().filter(|a| !a.replaces_attr) {
+            items.push((a.added_index, a.output_name.clone()));
+        }
+        // De-duplicate output names (SQL result sets may repeat names, but
+        // the enriched result is easier to consume with unique ones).
+        let mut seen: Vec<String> = Vec::new();
+        for (_, name) in &mut items {
+            let base = name.clone();
+            let mut n = 1;
+            while seen.iter().any(|s| s.eq_ignore_ascii_case(name)) {
+                n += 1;
+                *name = format!("{base}_{n}");
+            }
+            seen.push(name.clone());
+        }
+
+        let projections: Vec<String> = items
+            .iter()
+            .map(|(i, name)| format!("c{i} AS \"{name}\""))
+            .collect();
+        self.tempdb
+            .with_table(&tmp_rows, |t| {
+                format!("SELECT {} FROM {t}", projections.join(", "))
+            })
+            .map_err(Into::into)
+    }
+
+    /// Strategy for matching an output column against RDF terms, from the
+    /// resource mapping (qualifier stands in for the table name).
+    fn attr_strategy(&self, schema: &Schema, attr_index: usize) -> MapStrategy {
+        let col = &schema.columns[attr_index];
+        self.mapping
+            .strategy(col.qualifier.as_deref().unwrap_or(""), &col.name)
+    }
+
+    /// Generate + run the SPARQL leg returning (subject, object) pairs for
+    /// a property name in the user's context.
+    fn property_pairs(
+        &self,
+        user: &str,
+        property: &str,
+        purpose: String,
+        report: &mut PipelineReport,
+    ) -> Result<Solutions> {
+        let graphs = self.kb.context_graphs(user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let predicates = self.resolve_predicates(&refs, property);
+        let sparql = sparql_pairs_query(&predicates, property);
+        self.run_sparql_leg(&refs, &sparql, None, purpose, report)
+    }
+
+    /// Resolve a property argument to concrete predicate IRIs: an argument
+    /// containing `://` is used verbatim; otherwise every predicate in the
+    /// user's context whose local name equals the argument matches.
+    fn resolve_predicates(&self, graphs: &[&str], property: &str) -> Vec<Term> {
+        if property.contains("://") {
+            return vec![Term::iri(property)];
+        }
+        let matching: Vec<Term> = self
+            .kb
+            .store()
+            .distinct_predicates(graphs)
+            .into_iter()
+            .filter(|p| p.matches_lexical(property))
+            .collect();
+        if matching.is_empty() {
+            // Keep the literal name: the generated query still runs (and
+            // returns no solutions), which is the honest outcome for an
+            // unknown property.
+            vec![Term::iri(property)]
+        } else {
+            matching
+        }
+    }
+
+    /// Values replacing an ontology constant (paper Sec. IV-A.5): a stored
+    /// SPARQL query's output if `property` names one, else the objects of
+    /// `<constant> <property> ?o`.
+    fn replacement_values(
+        &self,
+        user: &str,
+        constant: &str,
+        property: &str,
+        e: &Enrichment,
+        report: &mut PipelineReport,
+    ) -> Result<Vec<Value>> {
+        if let Some(stored) = self.stored.get(property) {
+            let graphs = self.kb.context_graphs(user);
+            let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+            let sols = self.run_sparql_leg(
+                &refs,
+                &stored.sparql,
+                Some(&stored.query),
+                e.to_string(),
+                report,
+            )?;
+            let terms = sols.column(&stored.output_variable)?;
+            return Ok(terms.iter().map(term_to_value).collect());
+        }
+        // Property-based: objects of (constant, property, ?o).
+        let sols = self.property_pairs(user, property, e.to_string(), report)?;
+        let s_idx = sols.var_index("s").expect("pairs query binds ?s");
+        let o_idx = sols.var_index("o").expect("pairs query binds ?o");
+        let mut out = Vec::new();
+        for row in &sols.rows {
+            if let (Some(s), Some(o)) = (&row[s_idx], &row[o_idx]) {
+                if s.matches_lexical(constant) {
+                    let v = term_to_value(o);
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// REPLACEVARIABLE execution strategy: the ontology pairs for `prop`
+    /// are materialised as a temporary relational table; a rewritten query
+    /// joins through it so the tagged condition also matches through
+    /// related values; when `include_self` is set the original query's rows
+    /// are united in (deduplicated).
+    fn execute_with_variable_expansion(
+        &self,
+        user: &str,
+        select: &Select,
+        cond_expr: &Expr,
+        attr: &str,
+        property: &str,
+        report: &mut PipelineReport,
+    ) -> Result<RowSet> {
+        let sols = self.property_pairs(
+            user,
+            property,
+            format!("REPLACEVARIABLE(_, {attr}, {property})"),
+            report,
+        )?;
+        let s_idx = sols.var_index("s").expect("pairs query binds ?s");
+        let o_idx = sols.var_index("o").expect("pairs query binds ?o");
+
+        // KB pairs table (subject, object) in lexical/local form. The row
+        // orientation encodes the expansion direction: a row (a, b) means
+        // "a value equal to `a` may also match as `b`".
+        let mut pair_rows: Vec<Vec<Value>> = Vec::new();
+        for r in &sols.rows {
+            if let (Some(s), Some(o)) = (&r[s_idx], &r[o_idx]) {
+                let (sv, ov) = (term_to_value(s), term_to_value(o));
+                match self.options.expand {
+                    ExpandDirection::Forward => pair_rows.push(vec![sv, ov]),
+                    ExpandDirection::Inverse => pair_rows.push(vec![ov, sv]),
+                    ExpandDirection::Symmetric => {
+                        pair_rows.push(vec![sv.clone(), ov.clone()]);
+                        pair_rows.push(vec![ov, sv]);
+                    }
+                }
+            }
+        }
+        pair_rows.sort_by(|a, b| {
+            a[0].total_cmp(&b[0]).then_with(|| a[1].total_cmp(&b[1]))
+        });
+        pair_rows.dedup_by(|a, b| a[0] == b[0] && a[1] == b[1]);
+        let pairs = RowSet {
+            schema: Schema::new(vec![
+                Column::new("subj", DataType::Text),
+                Column::new("obj", DataType::Text),
+            ]),
+            rows: pair_rows,
+        };
+        let alias = "__exp";
+        // Unique per execution: concurrent REPLACEVARIABLE queries on the
+        // same engine must not collide on the pairs table.
+        static PAIRS_SEQ: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(0);
+        let tmp_name = format!(
+            "__kb_pairs_{}",
+            PAIRS_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        self.db.materialise(&tmp_name, &pairs)?;
+
+        let run = (|| -> Result<RowSet> {
+            // Q2: join through the pairs table.
+            let (qualifier, name) = split_attr(attr);
+            let attr_col = Expr::Column { qualifier: qualifier.clone(), name: name.clone() };
+            let expanded_cond = {
+                let target = attr_col.clone();
+                let replacement = Expr::qcol(alias, "obj");
+                let rewritten = cond_expr.clone().rewrite(&mut |node| {
+                    if node == target {
+                        replacement.clone()
+                    } else {
+                        node
+                    }
+                });
+                if rewritten == *cond_expr {
+                    return Err(Error::sqm(format!(
+                        "REPLACEVARIABLE: attribute `{attr}` does not occur in the \
+                         tagged condition `{cond_expr}`"
+                    )));
+                }
+                Expr::and(
+                    Expr::eq(Expr::qcol(alias, "subj"), attr_col),
+                    rewritten,
+                )
+            };
+            let mut q2 = select.clone();
+            q2.from.push(TableRef::Table {
+                name: tmp_name.clone(),
+                alias: Some(alias.to_string()),
+            });
+            replace_condition(&mut q2, cond_expr, expanded_cond)?;
+
+            // The expansion can hit several KB pairs per row; the paper's
+            // replacement semantics are set-oriented, so deduplicate. With
+            // include_self the original query is united in through a native
+            // compound SELECT (`Q1 UNION Q2`), which also deduplicates.
+            let rows = if self.options.include_self {
+                let mut compound = select.clone();
+                compound.union.push((false, q2));
+                self.db.run_select(&compound)?
+            } else {
+                q2.distinct = true;
+                self.db.run_select(&q2)?
+            };
+            Ok(rows)
+        })();
+        let _ = self.db.catalog().drop_table(&tmp_name);
+        run
+    }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Attr arguments may be qualified (`Elecond2.elem_name`).
+fn split_attr(attr: &str) -> (Option<String>, String) {
+    match attr.split_once('.') {
+        Some((q, n)) => (Some(q.to_string()), n.to_string()),
+        None => (None, attr.to_string()),
+    }
+}
+
+/// Index of the enriched attribute in the base result schema.
+fn resolve_attr(rows: &RowSet, attr: &str) -> Result<usize> {
+    rows.column_index(attr).ok_or_else(|| {
+        Error::sqm(format!(
+            "enriched attribute `{attr}` is not an output column of the SQL query \
+             (available: {})",
+            rows.schema
+                .columns
+                .iter()
+                .map(|c| c.display_name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
+}
+
+/// Human-facing column label from a property/concept argument: the local
+/// name for IRIs, the text itself otherwise.
+fn local_label(arg: &str) -> String {
+    Term::iri(arg).local_name().to_string()
+}
+
+/// Generate the pairs SPARQL text for a set of candidate predicates.
+fn sparql_pairs_query(predicates: &[Term], property: &str) -> String {
+    let branch = |p: &Term| -> String {
+        let iri = match p {
+            Term::Iri(i) => i.clone(),
+            other => other.lexical_form().to_string(),
+        };
+        format!("?s <{iri}> ?o")
+    };
+    match predicates {
+        [] => format!("SELECT ?s ?o WHERE {{ ?s <{property}> ?o }}"),
+        [single] => format!("SELECT ?s ?o WHERE {{ {} }}", branch(single)),
+        many => {
+            let branches: Vec<String> =
+                many.iter().map(|p| format!("{{ {} }}", branch(p))).collect();
+            format!("SELECT ?s ?o WHERE {{ {} }}", branches.join(" UNION "))
+        }
+    }
+}
+
+/// Apply the multi-value policy to (s, o) solutions.
+fn apply_multi_policy(sols: Solutions, policy: MultiValuePolicy) -> Solutions {
+    if policy == MultiValuePolicy::RowPerMatch {
+        return sols;
+    }
+    let s_idx = sols.var_index("s").expect("pairs query binds ?s");
+    let o_idx = sols.var_index("o").expect("pairs query binds ?o");
+    let mut order: Vec<Term> = Vec::new();
+    let mut objects: std::collections::HashMap<Term, Vec<Term>> =
+        std::collections::HashMap::new();
+    for row in &sols.rows {
+        if let (Some(s), Some(o)) = (&row[s_idx], &row[o_idx]) {
+            let entry = objects.entry(s.clone()).or_insert_with(|| {
+                order.push(s.clone());
+                Vec::new()
+            });
+            entry.push(o.clone());
+        }
+    }
+    let rows = order
+        .into_iter()
+        .map(|s| {
+            let os = &objects[&s];
+            let o = match policy {
+                MultiValuePolicy::FirstMatch => os[0].clone(),
+                MultiValuePolicy::Concatenate => {
+                    if os.len() == 1 {
+                        os[0].clone()
+                    } else {
+                        Term::lit(
+                            os.iter()
+                                .map(|t| t.lexical_form().to_string())
+                                .collect::<Vec<_>>()
+                                .join("; "),
+                        )
+                    }
+                }
+                MultiValuePolicy::RowPerMatch => unreachable!(),
+            };
+            let mut row = vec![None; sols.variables.len()];
+            row[s_idx] = Some(s);
+            row[o_idx] = Some(o);
+            row
+        })
+        .collect();
+    Solutions { variables: sols.variables, rows }
+}
+
+/// Subjects related to `concept` in (s, o) solutions.
+fn concept_subjects(sols: &Solutions, concept: &str) -> Result<Vec<Term>> {
+    let s_idx = sols
+        .var_index("s")
+        .ok_or_else(|| Error::sqm("pairs query must bind ?s"))?;
+    let o_idx = sols
+        .var_index("o")
+        .ok_or_else(|| Error::sqm("pairs query must bind ?o"))?;
+    let mut out = Vec::new();
+    for row in &sols.rows {
+        if let (Some(s), Some(o)) = (&row[s_idx], &row[o_idx]) {
+            if o.matches_lexical(concept) && !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Append a boolean column: true iff the row's attr value denotes one of
+/// `subjects` (paper Sec. IV-A.3: "all the other values will be associated
+/// to the value false").
+fn append_bool_column(
+    rows: RowSet,
+    attr_index: usize,
+    subjects: &[Term],
+    strategy: &MapStrategy,
+    name: &str,
+) -> RowSet {
+    let mut schema = rows.schema;
+    schema.columns.push(Column::new(name.to_string(), DataType::Bool));
+    let rows_out = rows
+        .rows
+        .into_iter()
+        .map(|mut r| {
+            let hit = !r[attr_index].is_null()
+                && subjects.iter().any(|s| strategy.matches(&r[attr_index], s));
+            r.push(Value::Bool(hit));
+            r
+        })
+        .collect();
+    RowSet { schema, rows: rows_out }
+}
+
+/// Rewrite an ontology constant inside a tagged condition into the
+/// replacement value set. The constant may appear as a bare identifier
+/// (paper Ex. 4.5's `HazardousWaste`) or as a string literal; it must sit
+/// on one side of a comparison.
+fn rewrite_constant(cond: Expr, constant: &str, values: &[Value]) -> Result<Expr> {
+    fn is_marker(e: &Expr, constant: &str) -> bool {
+        match e {
+            Expr::Column { qualifier: None, name } => name == constant,
+            Expr::Literal(Value::Str(s)) => s == constant,
+            _ => false,
+        }
+    }
+
+    let list: Vec<Expr> = values.iter().map(|v| Expr::Literal(v.clone())).collect();
+    let mut replaced = false;
+    let rewritten = cond.clone().rewrite(&mut |node| {
+        if let Expr::Binary { left, op, right } = &node {
+            let (other, marker_side) = if is_marker(right, constant) {
+                (left.as_ref().clone(), true)
+            } else if is_marker(left, constant) {
+                (right.as_ref().clone(), false)
+            } else {
+                return node;
+            };
+            replaced = true;
+            return match op {
+                BinaryOp::Eq => Expr::InList {
+                    expr: Box::new(other),
+                    list: list.clone(),
+                    negated: false,
+                },
+                BinaryOp::NotEq => Expr::InList {
+                    expr: Box::new(other),
+                    list: list.clone(),
+                    negated: true,
+                },
+                op => {
+                    // attr < Const → ∃ v: attr < v (existential over the
+                    // replacement set).
+                    let op = *op;
+                    list.iter()
+                        .map(|v| {
+                            if marker_side {
+                                Expr::binary(other.clone(), op, v.clone())
+                            } else {
+                                Expr::binary(v.clone(), op, other.clone())
+                            }
+                        })
+                        .reduce(Expr::or)
+                        .unwrap_or(Expr::lit(false))
+                }
+            };
+        }
+        node
+    });
+    if !replaced {
+        return Err(Error::sqm(format!(
+            "REPLACECONSTANT: constant `{constant}` does not occur in a comparison \
+             inside the tagged condition `{cond}`"
+        )));
+    }
+    Ok(rewritten)
+}
+
+/// Replace the subtree equal to `target` inside the WHERE clause.
+fn replace_condition(select: &mut Select, target: &Expr, replacement: Expr) -> Result<()> {
+    let Some(filter) = select.filter.take() else {
+        return Err(Error::sqm(
+            "query has no WHERE clause, nothing to enrich",
+        ));
+    };
+    let mut hit = false;
+    let new_filter = filter.rewrite(&mut |node| {
+        if !hit && node == *target {
+            hit = true;
+            replacement.clone()
+        } else {
+            node
+        }
+    });
+    if !hit {
+        select.filter = Some(new_filter);
+        return Err(Error::sqm(format!(
+            "tagged condition `{target}` not found in the WHERE clause"
+        )));
+    }
+    select.filter = Some(new_filter);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosse_rdf::store::Triple;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+    fn lit(s: &str) -> Term {
+        Term::lit(s)
+    }
+
+    /// The running example data: the SmartGround fragment of Fig. 3 plus
+    /// the director's personal ontology from the paper's examples.
+    fn engine() -> SesqlEngine {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE landfill (name TEXT, city TEXT);
+             INSERT INTO landfill VALUES
+               ('a', 'Torino'), ('b', 'Lyon'), ('c', 'Collegno');
+             CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT, amount FLOAT);
+             INSERT INTO elem_contained VALUES
+               ('Hg', 'a', 12.5), ('Pb', 'a', 30.0), ('Cu', 'a', 100.0),
+               ('As', 'b', 5.2), ('Hg', 'c', 3.5), ('Sn', 'c', 7.0);",
+        )
+        .unwrap();
+
+        let kb = KnowledgeBase::new();
+        kb.register_user("director");
+        for (s, p, o) in [
+            ("Hg", "dangerLevel", "5"),
+            ("Pb", "dangerLevel", "4"),
+            ("As", "dangerLevel", "5"),
+            ("Cu", "dangerLevel", "1"),
+        ] {
+            kb.assert_statement("director", &Triple::new(iri(s), iri(p), lit(o)))
+                .unwrap();
+        }
+        for (s, o) in [("Hg", "HazardousWaste"), ("Pb", "HazardousWaste"), ("As", "HazardousWaste")] {
+            kb.assert_statement("director", &Triple::new(iri(s), iri("isA"), iri(o)))
+                .unwrap();
+        }
+        for (s, o) in [("Torino", "Italy"), ("Collegno", "Italy"), ("Lyon", "France")] {
+            kb.assert_statement("director", &Triple::new(iri(s), iri("inCountry"), iri(o)))
+                .unwrap();
+        }
+        // ore assemblage: Hg occurs with As and Sb; Sn with Cu.
+        for (s, o) in [("Hg", "As"), ("Hg", "Sb"), ("Sn", "Cu")] {
+            kb.assert_statement("director", &Triple::new(iri(s), iri("oreAssemblage"), iri(o)))
+                .unwrap();
+        }
+        SesqlEngine::new(db, kb)
+    }
+
+    fn col<'r>(rows: &'r RowSet, name: &str) -> Vec<&'r Value> {
+        let i = rows.column_index(name).unwrap_or_else(|| {
+            panic!(
+                "no column `{name}` in {:?}",
+                rows.schema.columns.iter().map(|c| c.display_name()).collect::<Vec<_>>()
+            )
+        });
+        rows.rows.iter().map(|r| &r[i]).collect()
+    }
+
+    #[test]
+    fn plain_sql_passthrough() {
+        let e = engine();
+        let r = e
+            .execute("director", "SELECT name FROM landfill ORDER BY name")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.report.sparql_runs.is_empty());
+    }
+
+    #[test]
+    fn unregistered_user_rejected() {
+        let e = engine();
+        assert!(e.execute("stranger", "SELECT name FROM landfill").is_err());
+    }
+
+    #[test]
+    fn example_41_schema_extension() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name, landfill_name FROM elem_contained \
+                 WHERE landfill_name = 'a' \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.schema.columns[2].name, "dangerLevel");
+        assert_eq!(r.rows.len(), 3);
+        let by_elem: std::collections::HashMap<String, &Value> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| (row[0].lexical_form(), &row[2]))
+            .collect();
+        assert_eq!(by_elem["Hg"], &Value::Int(5));
+        assert_eq!(by_elem["Pb"], &Value::Int(4));
+        assert_eq!(by_elem["Cu"], &Value::Int(1));
+        assert_eq!(r.report.sparql_runs.len(), 1);
+        assert!(r.report.sparql_runs[0].sparql.contains("?s"));
+    }
+
+    #[test]
+    fn schema_extension_unmatched_rows_get_null() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'c' \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        // Hg has a level, Sn does not.
+        let by_elem: std::collections::HashMap<String, &Value> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| (row[0].lexical_form(), &row[1]))
+            .collect();
+        assert_eq!(by_elem["Hg"], &Value::Int(5));
+        assert!(by_elem["Sn"].is_null());
+    }
+
+    #[test]
+    fn example_42_schema_replacement() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT name, city FROM landfill \
+                 ENRICH SCHEMAREPLACEMENT(city, inCountry)",
+            )
+            .unwrap();
+        // city column replaced by country, in position 1.
+        assert_eq!(r.rows.schema.columns.len(), 2);
+        assert_eq!(r.rows.schema.columns[1].name, "inCountry");
+        let countries: Vec<String> = col(&r.rows, "inCountry")
+            .iter()
+            .map(|v| v.lexical_form())
+            .collect();
+        assert!(countries.contains(&"Italy".to_string()));
+        assert!(countries.contains(&"France".to_string()));
+        assert!(!countries.contains(&"Torino".to_string()));
+    }
+
+    #[test]
+    fn example_43_bool_schema_extension() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+                 ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.schema.columns[1].name, "HazardousWaste");
+        let by_elem: std::collections::HashMap<String, &Value> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| (row[0].lexical_form(), &row[1]))
+            .collect();
+        assert_eq!(by_elem["Hg"], &Value::Bool(true));
+        assert_eq!(by_elem["Pb"], &Value::Bool(true));
+        assert_eq!(by_elem["Cu"], &Value::Bool(false));
+    }
+
+    #[test]
+    fn example_44_bool_schema_replacement() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT name, city FROM landfill \
+                 ENRICH BOOLSCHEMAREPLACEMENT(city, inCountry, Italy)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.schema.columns.len(), 2);
+        assert_eq!(r.rows.schema.columns[1].name, "Italy");
+        let by_name: std::collections::HashMap<String, &Value> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| (row[0].lexical_form(), &row[1]))
+            .collect();
+        assert_eq!(by_name["a"], &Value::Bool(true)); // Torino
+        assert_eq!(by_name["b"], &Value::Bool(false)); // Lyon
+        assert_eq!(by_name["c"], &Value::Bool(true)); // Collegno
+    }
+
+    #[test]
+    fn example_45_replace_constant_with_property() {
+        let e = engine();
+        // Without a stored query, `isA` relates elements to HazardousWaste;
+        // REPLACECONSTANT with the *inverse* reading needs objects of
+        // (HazardousWaste, prop, ?o) — so use a dedicated property.
+        e.knowledge_base()
+            .assert_statement(
+                "director",
+                &Triple::new(iri("DangerList"), iri("includes"), iri("Hg")),
+            )
+            .unwrap();
+        e.knowledge_base()
+            .assert_statement(
+                "director",
+                &Triple::new(iri("DangerList"), iri("includes"), iri("As")),
+            )
+            .unwrap();
+        let r = e
+            .execute(
+                "director",
+                "SELECT landfill_name FROM elem_contained \
+                 WHERE ${elem_name = DangerList:cond1} \
+                 ENRICH REPLACECONSTANT(cond1, DangerList, includes)",
+            )
+            .unwrap();
+        let mut names: Vec<String> = col(&r.rows, "landfill_name")
+            .iter()
+            .map(|v| v.lexical_form())
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names, vec!["a", "b", "c"]); // Hg in a,c; As in b
+    }
+
+    #[test]
+    fn example_45_replace_constant_with_stored_query() {
+        let e = engine();
+        e.stored_queries()
+            .register(
+                "dangerQuery",
+                "SELECT ?e WHERE { ?e <dangerLevel> ?d . FILTER(?d >= 4) }",
+            )
+            .unwrap();
+        let r = e
+            .execute(
+                "director",
+                "SELECT landfill_name, elem_name FROM elem_contained \
+                 WHERE ${elem_name = HazardousWaste:cond1} \
+                 ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)",
+            )
+            .unwrap();
+        // dangerLevel >= 4: Hg, Pb, As → rows: (a,Hg),(a,Pb),(b,As),(c,Hg)
+        assert_eq!(r.rows.len(), 4);
+        let elems: std::collections::HashSet<String> = col(&r.rows, "elem_name")
+            .iter()
+            .map(|v| v.lexical_form())
+            .collect();
+        assert!(!elems.contains("Cu"));
+        assert!(!elems.contains("Sn"));
+    }
+
+    #[test]
+    fn replace_constant_empty_set_yields_no_rows() {
+        let e = engine();
+        e.stored_queries()
+            .register("noneQuery", "SELECT ?e WHERE { ?e <dangerLevel> ?d . FILTER(?d > 99) }")
+            .unwrap();
+        let r = e
+            .execute(
+                "director",
+                "SELECT landfill_name FROM elem_contained \
+                 WHERE ${elem_name = X:cond1} \
+                 ENRICH REPLACECONSTANT(cond1, X, noneQuery)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 0);
+    }
+
+    #[test]
+    fn replace_constant_not_equal() {
+        let e = engine();
+        e.stored_queries()
+            .register(
+                "dangerQuery",
+                "SELECT ?e WHERE { ?e <dangerLevel> ?d . FILTER(?d >= 4) }",
+            )
+            .unwrap();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained \
+                 WHERE ${elem_name <> Hazard:c} AND landfill_name = 'a' \
+                 ENRICH REPLACECONSTANT(c, Hazard, dangerQuery)",
+            )
+            .unwrap();
+        // NOT IN {Hg, Pb, As} restricted to landfill a → Cu only.
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows.rows[0][0], Value::from("Cu"));
+    }
+
+    #[test]
+    fn example_46_replace_variable() {
+        let e = engine();
+        // Landfills with "common" elements modulo the ore-assemblage
+        // knowledge: Hg(a,c) occurs with As(b) → pairs across a/b, c/b via
+        // expansion; plus literal common element Hg between a and c.
+        let r = e
+            .execute(
+                "director",
+                "SELECT e1.landfill_name AS l1, e2.landfill_name AS l2, e1.elem_name \
+                 FROM elem_contained AS e1, elem_contained AS e2 \
+                 WHERE e1.landfill_name <> e2.landfill_name AND \
+                       ${ e1.elem_name = e2.elem_name :cond1} \
+                 ENRICH REPLACEVARIABLE(cond1, e2.elem_name, oreAssemblage)",
+            )
+            .unwrap();
+        let pairs: std::collections::HashSet<(String, String, String)> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].lexical_form(),
+                    row[1].lexical_form(),
+                    row[2].lexical_form(),
+                )
+            })
+            .collect();
+        // include_self: literal sharing Hg between a and c.
+        assert!(pairs.contains(&("a".into(), "c".into(), "Hg".into())));
+        // expansion: e1 has Hg, e2 has As, Hg oreAssemblage As → (a,b,Hg), (c,b,Hg)
+        assert!(pairs.contains(&("a".into(), "b".into(), "Hg".into())));
+        assert!(pairs.contains(&("c".into(), "b".into(), "Hg".into())));
+        // expansion: e1 has Sn (c), e2 has Cu (a), Sn oreAssemblage Cu → (c,a,Sn)
+        assert!(pairs.contains(&("c".into(), "a".into(), "Sn".into())));
+    }
+
+    #[test]
+    fn replace_variable_without_include_self() {
+        let e = engine().with_options(EnrichOptions {
+            include_self: false,
+            ..EnrichOptions::default()
+        });
+        let r = e
+            .execute(
+                "director",
+                "SELECT e1.landfill_name AS l1, e2.landfill_name AS l2, e1.elem_name \
+                 FROM elem_contained AS e1, elem_contained AS e2 \
+                 WHERE e1.landfill_name <> e2.landfill_name AND \
+                       ${ e1.elem_name = e2.elem_name :cond1} \
+                 ENRICH REPLACEVARIABLE(cond1, e2.elem_name, oreAssemblage)",
+            )
+            .unwrap();
+        let tuples: std::collections::HashSet<(String, String, String)> = r
+            .rows
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].lexical_form(),
+                    row[1].lexical_form(),
+                    row[2].lexical_form(),
+                )
+            })
+            .collect();
+        // (a, c, Hg) is supported only by the literal Hg = Hg match, which
+        // include_self = false excludes.
+        assert!(!tuples.contains(&("a".into(), "c".into(), "Hg".into())));
+        // Expansion-supported tuples remain.
+        assert!(tuples.contains(&("a".into(), "b".into(), "Hg".into())));
+        assert!(tuples.contains(&("c".into(), "a".into(), "Sn".into())));
+    }
+
+    #[test]
+    fn combined_extension_and_bool() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel) \
+                        BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.schema.columns.len(), 3);
+        assert_eq!(r.rows.schema.columns[1].name, "dangerLevel");
+        assert_eq!(r.rows.schema.columns[2].name, "HazardousWaste");
+    }
+
+    #[test]
+    fn multi_value_policies() {
+        let e = engine();
+        e.knowledge_base()
+            .assert_statement(
+                "director",
+                &Triple::new(iri("Hg"), iri("alias"), lit("Mercury")),
+            )
+            .unwrap();
+        e.knowledge_base()
+            .assert_statement(
+                "director",
+                &Triple::new(iri("Hg"), iri("alias"), lit("Quicksilver")),
+            )
+            .unwrap();
+        let sesql = "SELECT elem_name FROM elem_contained WHERE elem_name = 'Hg' \
+                     ENRICH SCHEMAEXTENSION(elem_name, alias)";
+
+        // RowPerMatch: 2 base rows × 2 aliases = 4
+        let r = e.execute("director", sesql).unwrap();
+        assert_eq!(r.rows.len(), 4);
+
+        // FirstMatch: 2 rows
+        let e1 = e.clone().with_options(EnrichOptions {
+            multi: MultiValuePolicy::FirstMatch,
+            ..EnrichOptions::default()
+        });
+        assert_eq!(e1.execute("director", sesql).unwrap().rows.len(), 2);
+
+        // Concatenate: 2 rows with joined value
+        let e2 = e.clone().with_options(EnrichOptions {
+            multi: MultiValuePolicy::Concatenate,
+            ..EnrichOptions::default()
+        });
+        let r = e2.execute("director", sesql).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let v = r.rows.rows[0][1].lexical_form();
+        assert!(v.contains("Mercury") && v.contains("Quicksilver"), "{v}");
+    }
+
+    #[test]
+    fn enriching_missing_column_errors() {
+        let e = engine();
+        let err = e
+            .execute(
+                "director",
+                "SELECT landfill_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("elem_name"), "{err}");
+    }
+
+    #[test]
+    fn unknown_property_yields_nulls_not_errors() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+                 ENRICH SCHEMAEXTENSION(elem_name, noSuchProperty)",
+            )
+            .unwrap();
+        assert!(r.rows.rows.iter().all(|row| row[1].is_null()));
+    }
+
+    #[test]
+    fn report_records_stages() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert!(r.report.parse > Duration::ZERO);
+        assert_eq!(r.report.base_rows, 6);
+        assert!(r.report.result_rows >= 6);
+        assert_eq!(r.report.sparql_runs.len(), 1);
+        assert!(r.report.total() >= r.report.parse);
+    }
+
+    #[test]
+    fn user_contexts_differ() {
+        let e = engine();
+        let kb = e.knowledge_base();
+        kb.register_user("planner");
+        kb.assert_statement(
+            "planner",
+            &Triple::new(iri("Cu"), iri("dangerLevel"), lit("9")),
+        )
+        .unwrap();
+        let sesql = "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+                     ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+        let director = e.execute("director", sesql).unwrap();
+        let planner = e.execute("planner", sesql).unwrap();
+        let d: std::collections::HashMap<String, String> = director
+            .rows
+            .rows
+            .iter()
+            .map(|r| (r[0].lexical_form(), r[1].lexical_form()))
+            .collect();
+        let p: std::collections::HashMap<String, String> = planner
+            .rows
+            .rows
+            .iter()
+            .map(|r| (r[0].lexical_form(), r[1].lexical_form()))
+            .collect();
+        assert_eq!(d["Cu"], "1");
+        assert_eq!(p["Cu"], "9");
+        assert_eq!(p["Hg"], "", "planner has no Hg knowledge → NULL");
+    }
+
+    #[test]
+    fn name_collision_in_output_is_disambiguated() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name, landfill_name AS dangerLevel FROM elem_contained \
+                 WHERE landfill_name = 'a' \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        let names: Vec<String> =
+            r.rows.schema.columns.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"dangerLevel".to_string()));
+        assert!(names.contains(&"dangerLevel_2".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn two_replace_variables_rejected() {
+        let e = engine();
+        let err = e
+            .execute(
+                "director",
+                "SELECT e1.elem_name FROM elem_contained e1 \
+                 WHERE ${e1.elem_name = 'Hg':c1} AND ${e1.elem_name = 'Pb':c2} \
+                 ENRICH REPLACEVARIABLE(c1, e1.elem_name, oreAssemblage) \
+                        REPLACEVARIABLE(c2, e1.elem_name, oreAssemblage)",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("at most one"), "{err}");
+    }
+
+    #[test]
+    fn enrichment_on_aggregate_output() {
+        // Enriching a GROUP BY key column of an aggregated result works:
+        // the attr is resolved against the *output* schema.
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name, COUNT(*) AS n FROM elem_contained \
+                 GROUP BY elem_name \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.schema.columns.len(), 3);
+        let hg = r
+            .rows
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::from("Hg"))
+            .expect("Hg grouped");
+        assert_eq!(hg[1], Value::Int(2), "Hg in landfills a and c");
+        assert_eq!(hg[2], Value::Int(5), "enriched with danger level");
+    }
+
+    #[test]
+    fn enrichment_with_order_and_limit() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+                 ORDER BY elem_name LIMIT 2 \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        // LIMIT applies to the SQL leg (2 rows) before enrichment.
+        assert_eq!(r.report.base_rows, 2);
+        assert_eq!(r.rows.rows[0][0], Value::from("Cu"));
+    }
+
+    #[test]
+    fn replace_constant_on_condition_without_marker_is_error() {
+        let e = engine();
+        // The tagged condition does not mention the named constant.
+        let err = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained \
+                 WHERE ${elem_name = 'Hg':c1} \
+                 ENRICH REPLACECONSTANT(c1, SomethingElse, isA)",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("SomethingElse"), "{err}");
+    }
+
+    #[test]
+    fn bool_extension_on_empty_result_is_empty() {
+        let e = engine();
+        let r = e
+            .execute(
+                "director",
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = 'nope' \
+                 ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 0);
+        assert_eq!(r.rows.schema.columns.len(), 2, "schema still extended");
+    }
+
+    #[test]
+    fn tempdb_left_clean_after_queries() {
+        let e = engine();
+        e.execute(
+            "director",
+            "SELECT elem_name FROM elem_contained \
+             ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+        )
+        .unwrap();
+        assert_eq!(e.tempdb.live_tables(), 0);
+    }
+
+    // ---- SPARQL-leg cache ----------------------------------------------------
+
+    const CACHED_QUERY: &str = "SELECT elem_name FROM elem_contained \
+                                ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+
+    #[test]
+    fn explain_renders_full_pipeline() {
+        let e = engine();
+        let text = e
+            .explain(
+                "director",
+                "SELECT landfill_name FROM elem_contained \
+                 WHERE ${elem_name = HazardousWaste:cond1} \
+                 ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerLevel)",
+            )
+            .unwrap();
+        assert!(text.contains("clean SQL:"), "{text}");
+        assert!(text.contains("tagged condition cond1"), "{text}");
+        // Example 4.5's ontology constant defers planning to enrichment.
+        assert!(text.contains("deferred until WHERE enrichment"), "{text}");
+        assert!(text.contains("REPLACECONSTANT"), "{text}");
+        assert!(text.contains("SPARQL leg:"), "{text}");
+        assert!(e.explain("nobody", "SELECT 1").is_err());
+
+        // A schema enrichment plans the SQL part normally.
+        let text = e
+            .explain(
+                "director",
+                "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert!(text.contains("SeqScan: elem_contained"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_stored_query_leg() {
+        let e = engine();
+        e.stored_queries()
+            .register("dq", "SELECT ?e WHERE { ?e <dangerLevel> ?d . FILTER(?d >= 4) }")
+            .unwrap();
+        let text = e
+            .explain(
+                "director",
+                "SELECT elem_name FROM elem_contained \
+                 WHERE ${elem_name = X:c} ENRICH REPLACECONSTANT(c, X, dq)",
+            )
+            .unwrap();
+        assert!(text.contains("stored query `dq`"), "{text}");
+    }
+
+    #[test]
+    fn repeated_query_hits_sparql_cache() {
+        let e = engine();
+        let r1 = e.execute("director", CACHED_QUERY).unwrap();
+        assert!(!r1.report.sparql_runs[0].cached);
+        let r2 = e.execute("director", CACHED_QUERY).unwrap();
+        assert!(r2.report.sparql_runs[0].cached);
+        assert_eq!(r1.rows.rows, r2.rows.rows);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn kb_mutation_invalidates_cache() {
+        let e = engine();
+        let r1 = e.execute("director", CACHED_QUERY).unwrap();
+        let nulls_before = r1
+            .rows
+            .column_values("dangerLevel")
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_null())
+            .count();
+        e.knowledge_base()
+            .assert_statement(
+                "director",
+                &Triple::new(iri("Sn"), iri("dangerLevel"), lit("2")),
+            )
+            .unwrap();
+        let r2 = e.execute("director", CACHED_QUERY).unwrap();
+        assert!(!r2.report.sparql_runs[0].cached, "stale entry must not serve");
+        let nulls_after = r2
+            .rows
+            .column_values("dangerLevel")
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_null())
+            .count();
+        assert!(nulls_after < nulls_before, "Sn's new danger level is visible");
+    }
+
+    #[test]
+    fn cache_is_per_user_context() {
+        let e = engine();
+        e.knowledge_base().register_user("other");
+        e.execute("director", CACHED_QUERY).unwrap();
+        let r = e.execute("other", CACHED_QUERY).unwrap();
+        // `other` has an empty context — different graphs, no false hit.
+        assert!(!r.report.sparql_runs[0].cached);
+        assert!(r.rows.column_values("dangerLevel").unwrap().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let e = engine().with_options(EnrichOptions {
+            use_cache: false,
+            ..EnrichOptions::default()
+        });
+        e.execute("director", CACHED_QUERY).unwrap();
+        let r = e.execute("director", CACHED_QUERY).unwrap();
+        assert!(!r.report.sparql_runs[0].cached);
+        assert_eq!(e.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clear_cache_forces_reevaluation() {
+        let e = engine();
+        e.execute("director", CACHED_QUERY).unwrap();
+        e.clear_cache();
+        let r = e.execute("director", CACHED_QUERY).unwrap();
+        assert!(!r.report.sparql_runs[0].cached);
+    }
+
+    #[test]
+    fn stored_query_leg_is_cached_too() {
+        let e = engine();
+        e.stored_queries()
+            .register(
+                "dangerQuery",
+                "SELECT ?e WHERE { ?e <dangerLevel> ?d . FILTER(?d >= 4) }",
+            )
+            .unwrap();
+        let q = "SELECT landfill_name FROM elem_contained \
+                 WHERE ${elem_name = HazardousWaste:cond1} \
+                 ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)";
+        let r1 = e.execute("director", q).unwrap();
+        assert!(!r1.report.sparql_runs[0].cached);
+        let r2 = e.execute("director", q).unwrap();
+        assert!(r2.report.sparql_runs[0].cached);
+        assert_eq!(r1.rows.rows, r2.rows.rows);
+    }
+}

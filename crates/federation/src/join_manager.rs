@@ -1,0 +1,320 @@
+//! The JoinManager: combines relational rows with SPARQL solutions.
+//!
+//! Fig. 6 of the paper: the SQL query and the SPARQL query are "indepen-
+//! dently issued on the relational database and on the ontological
+//! knowledge base"; the JoinManager then joins the two partial results,
+//! using the resource mapping to decide when a relational value and an RDF
+//! term denote the same thing.
+
+use std::collections::HashMap;
+
+use crosse_rdf::sparql::eval::Solutions;
+use crosse_rdf::term::Term;
+use crosse_relational::{Column, DataType, Error, Result, RowSet, Schema, Value};
+
+use crate::mapping::MapStrategy;
+
+/// Join behaviour for unmatched relational rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep all relational rows; pad missing variables with NULL.
+    LeftOuter,
+}
+
+/// What to join and which solution variables to import.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Output column of the relational result to match on.
+    pub column: String,
+    /// Solution variable whose bindings are matched against `column`.
+    pub variable: String,
+    pub kind: CombineKind,
+    /// `(variable, new_column_name)` pairs appended to the output schema.
+    pub take: Vec<(String, String)>,
+    /// How `column` values denote RDF terms.
+    pub strategy: MapStrategy,
+}
+
+/// Convert an RDF term to a relational value. Literals that parse as
+/// numbers become numeric; everything else arrives as text (IRIs by local
+/// name, so enriched columns read like the paper's examples: `Italy`, not
+/// `<http://...#Italy>`).
+pub fn term_to_value(term: &Term) -> Value {
+    match term {
+        Term::Literal { value, .. } => {
+            if let Ok(i) = value.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = value.parse::<f64>() {
+                Value::Float(f)
+            } else if value == "true" {
+                Value::Bool(true)
+            } else if value == "false" {
+                Value::Bool(false)
+            } else {
+                Value::Str(value.clone())
+            }
+        }
+        Term::Iri(_) => Value::Str(term.local_name().to_string()),
+        Term::Blank(b) => Value::Str(format!("_:{b}")),
+    }
+}
+
+/// Join `rows` with `sols` according to `spec`.
+pub fn combine(rows: &RowSet, sols: &Solutions, spec: &JoinSpec) -> Result<RowSet> {
+    let col_idx = rows
+        .column_index(&spec.column)
+        .ok_or_else(|| Error::plan(format!("no output column `{}` to enrich", spec.column)))?;
+    let var_idx = sols
+        .var_index(&spec.variable)
+        .ok_or_else(|| Error::plan(format!("no solution variable `?{}`", spec.variable)))?;
+    let take_idx: Vec<usize> = spec
+        .take
+        .iter()
+        .map(|(v, _)| {
+            sols.var_index(v)
+                .ok_or_else(|| Error::plan(format!("no solution variable `?{v}`")))
+        })
+        .collect::<Result<_>>()?;
+
+    // Index solutions by every lexical key their match-term answers to.
+    let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, row) in sols.rows.iter().enumerate() {
+        if let Some(term) = &row[var_idx] {
+            index.entry(term.lexical_form()).or_default().push(i);
+            if term.is_iri() {
+                let local = term.local_name();
+                if local != term.lexical_form() {
+                    index.entry(local).or_default().push(i);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    for row in &rows.rows {
+        let value = &row[col_idx];
+        let key = value.lexical_form();
+        let mut matched = false;
+        if !value.is_null() {
+            if let Some(cands) = index.get(key.as_str()) {
+                for &si in cands {
+                    let term = sols.rows[si][var_idx].as_ref().expect("indexed ⇒ bound");
+                    if !spec.strategy.matches(value, term) {
+                        continue;
+                    }
+                    matched = true;
+                    let mut new_row = row.clone();
+                    for &ti in &take_idx {
+                        new_row.push(match &sols.rows[si][ti] {
+                            Some(t) => term_to_value(t),
+                            None => Value::Null,
+                        });
+                    }
+                    out.push(new_row);
+                }
+            }
+        }
+        if !matched && spec.kind == CombineKind::LeftOuter {
+            let mut new_row = row.clone();
+            new_row.extend(std::iter::repeat_n(Value::Null, take_idx.len()));
+            out.push(new_row);
+        }
+    }
+
+    // Type the appended columns from the values actually produced, so the
+    // enriched result can be materialised into the temporary support
+    // database without coercion failures.
+    let mut schema = Schema::new(rows.schema.columns.clone());
+    let base = rows.schema.len();
+    for (k, (_, name)) in spec.take.iter().enumerate() {
+        let dt = unify_column_type(&mut out, base + k);
+        schema.columns.push(Column::new(name.clone(), dt));
+    }
+    Ok(RowSet { schema, rows: out })
+}
+
+/// Pick a single type for column `idx`, widening Int→Float when mixed and
+/// falling back to Text (converting values in place) when heterogeneous.
+fn unify_column_type(rows: &mut [Vec<Value>], idx: usize) -> DataType {
+    let mut ty: Option<DataType> = None;
+    for row in rows.iter() {
+        let Some(dt) = row[idx].data_type() else { continue };
+        ty = Some(match ty {
+            None => dt,
+            Some(t) if t == dt => t,
+            Some(DataType::Int) if dt == DataType::Float => DataType::Float,
+            Some(DataType::Float) if dt == DataType::Int => DataType::Float,
+            Some(_) => DataType::Text,
+        });
+    }
+    let ty = ty.unwrap_or(DataType::Text);
+    for row in rows.iter_mut() {
+        let v = std::mem::replace(&mut row[idx], Value::Null);
+        row[idx] = match (v, ty) {
+            (Value::Null, _) => Value::Null,
+            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+            (v, DataType::Text) if v.data_type() != Some(DataType::Text) => {
+                Value::Str(v.lexical_form())
+            }
+            (v, _) => v,
+        };
+    }
+    ty
+}
+
+/// The set of relational values (lexical forms) for which a binding of
+/// `variable` exists — used by the boolean enrichments, which only need
+/// membership, not the joined rows.
+pub fn matching_keys(sols: &Solutions, variable: &str) -> Result<Vec<Term>> {
+    let var_idx = sols
+        .var_index(variable)
+        .ok_or_else(|| Error::plan(format!("no solution variable `?{variable}`")))?;
+    let mut out: Vec<Term> = Vec::new();
+    for row in &sols.rows {
+        if let Some(t) = &row[var_idx] {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosse_relational::Column;
+
+    fn rowset() -> RowSet {
+        RowSet {
+            schema: Schema::new(vec![
+                Column::new("elem_name", DataType::Text),
+                Column::new("landfill_name", DataType::Text),
+            ]),
+            rows: vec![
+                vec![Value::from("Hg"), Value::from("a")],
+                vec![Value::from("Pb"), Value::from("a")],
+                vec![Value::from("Cu"), Value::from("a")],
+                vec![Value::Null, Value::from("a")],
+            ],
+        }
+    }
+
+    fn solutions() -> Solutions {
+        Solutions {
+            variables: vec!["s".into(), "o".into()],
+            rows: vec![
+                vec![Some(Term::iri("Hg")), Some(Term::lit("5"))],
+                vec![Some(Term::iri("Pb")), Some(Term::lit("4"))],
+                vec![Some(Term::iri("As")), Some(Term::lit("5"))],
+            ],
+        }
+    }
+
+    fn spec(kind: CombineKind) -> JoinSpec {
+        JoinSpec {
+            column: "elem_name".into(),
+            variable: "s".into(),
+            kind,
+            take: vec![("o".into(), "dangerLevel".into())],
+            strategy: MapStrategy::LocalName,
+        }
+    }
+
+    #[test]
+    fn left_outer_keeps_unmatched_with_null() {
+        let out = combine(&rowset(), &solutions(), &spec(CombineKind::LeftOuter)).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.schema.len(), 3);
+        assert_eq!(out.rows[0][2], Value::Int(5)); // Hg → "5" numeric
+        assert_eq!(out.rows[1][2], Value::Int(4));
+        assert!(out.rows[2][2].is_null()); // Cu unmatched
+        assert!(out.rows[3][2].is_null()); // NULL never matches
+    }
+
+    #[test]
+    fn inner_drops_unmatched() {
+        let out = combine(&rowset(), &solutions(), &spec(CombineKind::Inner)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn multi_valued_enrichment_multiplies_rows() {
+        let mut sols = solutions();
+        sols.rows.push(vec![Some(Term::iri("Hg")), Some(Term::lit("extreme"))]);
+        let out = combine(&rowset(), &sols, &spec(CombineKind::LeftOuter)).unwrap();
+        // Hg matches twice → 2 rows; Pb 1; Cu + NULL padded → 5 total.
+        assert_eq!(out.len(), 5);
+        let hg: Vec<_> = out
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::from("Hg"))
+            .collect();
+        assert_eq!(hg.len(), 2);
+    }
+
+    #[test]
+    fn namespaced_iris_match_by_local_name() {
+        let sols = Solutions {
+            variables: vec!["s".into(), "o".into()],
+            rows: vec![vec![
+                Some(Term::iri("http://smg.eu/elem#Hg")),
+                Some(Term::iri("http://smg.eu/class#HeavyMetal")),
+            ]],
+        };
+        let out = combine(&rowset(), &sols, &spec(CombineKind::Inner)).unwrap();
+        assert_eq!(out.len(), 1);
+        // imported IRI arrives as local name
+        assert_eq!(out.rows[0][2], Value::from("HeavyMetal"));
+    }
+
+    #[test]
+    fn literal_strategy_rejects_iris() {
+        let mut s = spec(CombineKind::Inner);
+        s.strategy = MapStrategy::Literal;
+        let out = combine(&rowset(), &solutions(), &s).unwrap();
+        assert_eq!(out.len(), 0, "solutions bind IRIs, literal strategy rejects them");
+    }
+
+    #[test]
+    fn unknown_column_or_variable_errors() {
+        let mut s = spec(CombineKind::Inner);
+        s.column = "nope".into();
+        assert!(combine(&rowset(), &solutions(), &s).is_err());
+        let mut s = spec(CombineKind::Inner);
+        s.variable = "nope".into();
+        assert!(combine(&rowset(), &solutions(), &s).is_err());
+        let mut s = spec(CombineKind::Inner);
+        s.take = vec![("nope".into(), "x".into())];
+        assert!(combine(&rowset(), &solutions(), &s).is_err());
+    }
+
+    #[test]
+    fn term_to_value_conversions() {
+        assert_eq!(term_to_value(&Term::lit("5")), Value::Int(5));
+        assert_eq!(term_to_value(&Term::lit("2.5")), Value::Float(2.5));
+        assert_eq!(term_to_value(&Term::lit("true")), Value::Bool(true));
+        assert_eq!(term_to_value(&Term::lit("Torino")), Value::from("Torino"));
+        assert_eq!(term_to_value(&Term::iri("http://x#Italy")), Value::from("Italy"));
+        assert_eq!(term_to_value(&Term::blank("b1")), Value::from("_:b1"));
+    }
+
+    #[test]
+    fn matching_keys_dedupes() {
+        let mut sols = solutions();
+        sols.rows.push(vec![Some(Term::iri("Hg")), Some(Term::lit("9"))]);
+        let keys = matching_keys(&sols, "s").unwrap();
+        assert_eq!(keys.len(), 3);
+        assert!(matching_keys(&sols, "zz").is_err());
+    }
+
+    #[test]
+    fn empty_solutions_left_outer_pads_everything() {
+        let sols = Solutions { variables: vec!["s".into(), "o".into()], rows: vec![] };
+        let out = combine(&rowset(), &sols, &spec(CombineKind::LeftOuter)).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.rows.iter().all(|r| r[2].is_null()));
+    }
+}

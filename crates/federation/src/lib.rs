@@ -1,0 +1,27 @@
+//! # crosse-federation
+//!
+//! The integration layer of CroSSE (*Contextually-Enriched Querying of
+//! Integrated Data Sources*, ICDE 2018, Fig. 1 and Fig. 6):
+//!
+//! * [`source`] — data sources behind a uniform trait; remote sources carry
+//!   a configurable latency/transfer model simulating `postgres_fdw` links
+//!   to national and EU databanks.
+//! * [`fdw::FederatedDatabase`] — the mediator: one SQL surface over all
+//!   registered sources, with cached or live foreign-table access.
+//! * [`mapping::ResourceMapping`] — the declarative relational↔RDF resource
+//!   correspondence (the paper's "XML file", here a small text format).
+//! * [`join_manager`] — combines relational rows with SPARQL solutions.
+//! * [`tempdb::TempDb`] — the temporary support database that holds
+//!   JoinManager output for the final SQL pass.
+
+pub mod fdw;
+pub mod join_manager;
+pub mod mapping;
+pub mod source;
+pub mod tempdb;
+
+pub use fdw::FederatedDatabase;
+pub use join_manager::{combine, matching_keys, term_to_value, CombineKind, JoinSpec};
+pub use mapping::{MapStrategy, ResourceMapping};
+pub use source::{DataSource, LatencyModel, LocalSource, RemoteSource, SourceStats};
+pub use tempdb::TempDb;

@@ -1,0 +1,139 @@
+//! The temporary support database (paper Fig. 6).
+//!
+//! "A temporary support database stores the results in temporary tables,
+//! on which a final SQL query (obtained by leveraging the enrichment syntax
+//! tree) is issued to generate the final result of the SESQL query."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crosse_relational::{Database, Result, RowSet};
+
+/// A database dedicated to short-lived materialised intermediates.
+#[derive(Debug, Clone, Default)]
+pub struct TempDb {
+    db: Database,
+    counter: Arc<AtomicU64>,
+}
+
+impl TempDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying database — the final SESQL query runs here.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Materialise a row set under a fresh generated name; returns the name.
+    pub fn store(&self, rows: &RowSet) -> Result<String> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let name = format!("tmp_{n}");
+        self.db.materialise(&name, rows)?;
+        Ok(name)
+    }
+
+    /// Drop one temporary table.
+    pub fn drop(&self, name: &str) -> Result<()> {
+        self.db.catalog().drop_table(name)
+    }
+
+    /// Drop every temporary table.
+    pub fn clear(&self) {
+        for name in self.db.catalog().table_names() {
+            let _ = self.db.catalog().drop_table(&name);
+        }
+    }
+
+    /// Number of live temporary tables.
+    pub fn live_tables(&self) -> usize {
+        self.db.catalog().table_names().len()
+    }
+
+    /// Store, run one query against the temporary table, then drop it.
+    ///
+    /// `sql_for` receives the generated table name and must return the
+    /// final query text.
+    pub fn with_table<F>(&self, rows: &RowSet, sql_for: F) -> Result<RowSet>
+    where
+        F: FnOnce(&str) -> String,
+    {
+        let name = self.store(rows)?;
+        let result = self.db.query(&sql_for(&name));
+        // Always drop, even on query error.
+        let _ = self.drop(&name);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosse_relational::{Column, DataType, Schema, Value};
+
+    fn rows() -> RowSet {
+        RowSet {
+            schema: Schema::new(vec![
+                Column::new("elem", DataType::Text),
+                Column::new("danger", DataType::Int),
+            ]),
+            rows: vec![
+                vec![Value::from("Hg"), Value::Int(5)],
+                vec![Value::from("Cu"), Value::Int(1)],
+            ],
+        }
+    }
+
+    #[test]
+    fn store_generates_unique_names() {
+        let tmp = TempDb::new();
+        let a = tmp.store(&rows()).unwrap();
+        let b = tmp.store(&rows()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(tmp.live_tables(), 2);
+    }
+
+    #[test]
+    fn with_table_runs_final_query_and_cleans_up() {
+        let tmp = TempDb::new();
+        let out = tmp
+            .with_table(&rows(), |t| format!("SELECT elem FROM {t} WHERE danger >= 4"))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::from("Hg"));
+        assert_eq!(tmp.live_tables(), 0, "temporary table dropped");
+    }
+
+    #[test]
+    fn with_table_cleans_up_on_error() {
+        let tmp = TempDb::new();
+        let res = tmp.with_table(&rows(), |t| format!("SELECT nope FROM {t}"));
+        assert!(res.is_err());
+        assert_eq!(tmp.live_tables(), 0);
+    }
+
+    #[test]
+    fn clear_drops_all() {
+        let tmp = TempDb::new();
+        tmp.store(&rows()).unwrap();
+        tmp.store(&rows()).unwrap();
+        tmp.clear();
+        assert_eq!(tmp.live_tables(), 0);
+    }
+
+    #[test]
+    fn drop_unknown_errors() {
+        let tmp = TempDb::new();
+        assert!(tmp.drop("tmp_99").is_err());
+    }
+
+    #[test]
+    fn clones_share_counter() {
+        let tmp = TempDb::new();
+        let tmp2 = tmp.clone();
+        let a = tmp.store(&rows()).unwrap();
+        let b = tmp2.store(&rows()).unwrap();
+        assert_ne!(a, b);
+    }
+}

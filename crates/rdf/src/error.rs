@@ -1,0 +1,54 @@
+//! Error types for the RDF / SPARQL engine.
+
+use std::fmt;
+
+/// Errors produced by the semantic-platform substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SPARQL or Turtle lexical/syntax error.
+    Parse { message: String, position: usize },
+    /// Query evaluation error.
+    Eval(String),
+    /// Store-level error (unknown graph, unknown stored query, ...).
+    Store(String),
+}
+
+impl Error {
+    pub fn parse(message: impl Into<String>, position: usize) -> Self {
+        Error::Parse { message: message.into(), position }
+    }
+    pub fn eval(message: impl Into<String>) -> Self {
+        Error::Eval(message.into())
+    }
+    pub fn store(message: impl Into<String>) -> Self {
+        Error::Store(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::parse("bad", 3).to_string().contains("byte 3"));
+        assert!(Error::eval("x").to_string().contains("evaluation"));
+        assert!(Error::store("x").to_string().contains("store"));
+    }
+}

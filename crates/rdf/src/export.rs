@@ -1,0 +1,179 @@
+//! Graph serialisation: N-Triples and Graphviz DOT.
+//!
+//! The paper's semantic platform offers "a graph-based visualization tool
+//! which supports knowledge insertion in a more user friendly way"
+//! (Sec. III-A). [`to_dot`] renders a user's knowledge the way that tool
+//! displays it — concepts as nodes, properties as labelled edges —
+//! and [`to_ntriples`] provides a lossless interchange dump that
+//! [`crate::turtle::parse_turtle`] reads back.
+
+use std::collections::BTreeSet;
+
+use crate::store::Triple;
+use crate::term::Term;
+
+fn escape_literal(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render one term in N-Triples syntax.
+pub fn term_to_ntriples(term: &Term) -> String {
+    match term {
+        Term::Iri(i) => format!("<{i}>"),
+        Term::Literal { value, datatype: None } => {
+            format!("\"{}\"", escape_literal(value))
+        }
+        Term::Literal { value, datatype: Some(dt) } => {
+            format!("\"{}\"^^<{dt}>", escape_literal(value))
+        }
+        Term::Blank(b) => format!("_:{b}"),
+    }
+}
+
+/// Serialise triples as N-Triples (one statement per line, sorted for
+/// determinism).
+pub fn to_ntriples(triples: &[Triple]) -> String {
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for t in triples {
+        lines.insert(format!(
+            "{} {} {} .",
+            term_to_ntriples(&t.subject),
+            term_to_ntriples(&t.predicate),
+            term_to_ntriples(&t.object)
+        ));
+    }
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn node_label(term: &Term) -> String {
+    match term {
+        Term::Iri(_) => term.local_name().to_string(),
+        Term::Literal { value, .. } => format!("\"{value}\""),
+        Term::Blank(b) => format!("_:{b}"),
+    }
+}
+
+/// Render triples as a Graphviz DOT digraph. Literal objects become box
+/// nodes, IRIs ellipses; predicates label the edges by local name.
+pub fn to_dot(graph_name: &str, triples: &[Triple]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", dot_escape(graph_name)));
+    out.push_str("  rankdir=LR;\n");
+    // Stable node ids: index in first-appearance order.
+    let mut nodes: Vec<(Term, bool)> = Vec::new(); // (term, is_literal)
+    let id_of = |term: &Term, nodes: &mut Vec<(Term, bool)>| -> usize {
+        if let Some(i) = nodes.iter().position(|(t, _)| t == term) {
+            i
+        } else {
+            nodes.push((term.clone(), term.is_literal()));
+            nodes.len() - 1
+        }
+    };
+    let mut edges = Vec::new();
+    for t in triples {
+        let s = id_of(&t.subject, &mut nodes);
+        let o = id_of(&t.object, &mut nodes);
+        edges.push((s, o, t.predicate.local_name().to_string()));
+    }
+    for (i, (term, is_lit)) in nodes.iter().enumerate() {
+        let shape = if *is_lit { "box" } else { "ellipse" };
+        out.push_str(&format!(
+            "  n{i} [label=\"{}\", shape={shape}];\n",
+            dot_escape(&node_label(term))
+        ));
+    }
+    for (s, o, label) in edges {
+        out.push_str(&format!("  n{s} -> n{o} [label=\"{}\"];\n", dot_escape(&label)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turtle::parse_turtle;
+
+    fn sample() -> Vec<Triple> {
+        vec![
+            Triple::new(Term::iri("Hg"), Term::iri("dangerLevel"), Term::lit("5")),
+            Triple::new(
+                Term::iri("Hg"),
+                Term::iri("isA"),
+                Term::iri("http://smg.eu/onto#HazardousWaste"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn ntriples_round_trips_through_turtle_parser() {
+        let nt = to_ntriples(&sample());
+        let parsed = parse_turtle(&nt).unwrap();
+        let mut original = sample();
+        original.sort();
+        let mut reparsed = parsed;
+        reparsed.sort();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn ntriples_is_sorted_and_deterministic() {
+        let a = to_ntriples(&sample());
+        let mut reversed = sample();
+        reversed.reverse();
+        let b = to_ntriples(&reversed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ntriples_escapes_quotes_and_newlines() {
+        let t = vec![Triple::new(
+            Term::iri("n"),
+            Term::iri("note"),
+            Term::lit("say \"hi\"\nthere"),
+        )];
+        let nt = to_ntriples(&t);
+        assert!(nt.contains("\\\"hi\\\""), "{nt}");
+        assert!(nt.contains("\\n"), "{nt}");
+        assert_eq!(parse_turtle(&nt).unwrap()[0].object.lexical_form(), "say \"hi\"\nthere");
+    }
+
+    #[test]
+    fn typed_literals_serialise() {
+        let t = vec![Triple::new(
+            Term::iri("Hg"),
+            Term::iri("mass"),
+            Term::typed_lit("200.59", "http://www.w3.org/2001/XMLSchema#decimal"),
+        )];
+        let nt = to_ntriples(&t);
+        assert!(nt.contains("^^<http://www.w3.org/2001/XMLSchema#decimal>"), "{nt}");
+    }
+
+    #[test]
+    fn dot_renders_nodes_and_edges() {
+        let dot = to_dot("director", &sample());
+        assert!(dot.starts_with("digraph \"director\""));
+        assert!(dot.contains("label=\"Hg\""));
+        assert!(dot.contains("shape=box"), "literal node is a box");
+        assert!(dot.contains("label=\"HazardousWaste\""), "IRI shown by local name");
+        assert!(dot.contains("-> "));
+        assert!(dot.contains("label=\"dangerLevel\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_shares_nodes_across_triples() {
+        let dot = to_dot("g", &sample());
+        // Hg appears once even though it is subject of two triples.
+        assert_eq!(dot.matches("label=\"Hg\"").count(), 1);
+    }
+}

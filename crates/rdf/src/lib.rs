@@ -1,0 +1,57 @@
+//! # crosse-rdf
+//!
+//! The "semantic platform" substrate of CroSSE (*Contextually-Enriched
+//! Querying of Integrated Data Sources*, ICDE 2018): an indexed RDF triple
+//! store with named graphs, a SPARQL subset, RDFS inference, and the
+//! provenance machinery of the paper's Fig. 4 (reified statements,
+//! `userStatement` / `userBelief` edges, references).
+//!
+//! The paper builds this layer on Apache Jena; here it is implemented from
+//! scratch:
+//!
+//! * [`store::TripleStore`] — SPO/POS/OSP-indexed named graphs over an
+//!   interning dictionary.
+//! * [`sparql`] — parser + evaluator for SELECT/ASK/CONSTRUCT with BGPs,
+//!   FILTER, OPTIONAL, UNION, MINUS, VALUES, DISTINCT, ORDER BY,
+//!   LIMIT/OFFSET, aggregates (`COUNT`/`SUM`/`MIN`/`MAX`/`AVG`/`SAMPLE`
+//!   with GROUP BY + HAVING), and property paths (`p+`, `p*`, sequences
+//!   `p1/p2`, alternatives `p1|p2`, inverse `^p`).
+//! * [`reasoner`] — RDFS forward chaining (subclass/subproperty closure,
+//!   type inheritance, domain/range typing).
+//! * [`provenance::KnowledgeBase`] — per-user personal graphs, public
+//!   statement browsing, belief import.
+//! * [`stored::StoredQueries`] — the named SPARQL queries that SESQL's
+//!   `REPLACECONSTANT` / `REPLACEVARIABLE` enrichments may reference
+//!   (paper Example 4.5).
+//!
+//! ```
+//! use crosse_rdf::provenance::KnowledgeBase;
+//! use crosse_rdf::store::Triple;
+//! use crosse_rdf::term::Term;
+//!
+//! let kb = KnowledgeBase::new();
+//! kb.register_user("director");
+//! kb.assert_statement(
+//!     "director",
+//!     &Triple::new(Term::iri("Hg"), Term::iri("dangerLevel"), Term::lit("5")),
+//! ).unwrap();
+//! let sols = kb.query_as("director", "SELECT ?o WHERE { <Hg> <dangerLevel> ?o }").unwrap();
+//! assert_eq!(sols.len(), 1);
+//! ```
+
+pub mod error;
+pub mod export;
+pub mod provenance;
+pub mod reasoner;
+pub mod schema;
+pub mod sparql;
+pub mod store;
+pub mod stored;
+pub mod term;
+pub mod turtle;
+
+pub use error::{Error, Result};
+pub use provenance::{KnowledgeBase, StatementId};
+pub use sparql::eval::{QueryOutcome, Solutions};
+pub use store::{Triple, TriplePattern, TripleStore};
+pub use term::{Dictionary, Term, TermId};

@@ -1,0 +1,392 @@
+//! RDFS forward-chaining reasoner.
+//!
+//! CroSSE's ontological knowledge "may represent identity or hierarchy
+//! information" (paper Sec. I-A). The reasoner materialises the standard
+//! RDFS entailments that matter for such hierarchies:
+//!
+//! * `rdfs:subClassOf` transitivity (rdfs11)
+//! * type inheritance through subclassing (rdfs9)
+//! * `rdfs:subPropertyOf` transitivity (rdfs5)
+//! * property inheritance: `<s p o>` and `p rdfs:subPropertyOf q` entail
+//!   `<s q o>` (rdfs7)
+//! * `rdfs:domain` / `rdfs:range` typing (rdfs2, rdfs3)
+//!
+//! Inferred triples are written into a separate graph so user assertions
+//! stay distinguishable from entailments (the SESQL layer queries the
+//! union).
+
+use std::collections::HashSet;
+
+use crate::schema;
+use crate::store::{Triple, TriplePattern, TripleStore};
+use crate::term::Term;
+
+/// Compute the RDFS closure of the union of `source_graphs` and write any
+/// *new* triples into `target_graph`. Returns the number of inferred
+/// triples added.
+///
+/// Semi-naive evaluation: each round derives only from the previous
+/// round's *delta*, joining through predicate-keyed indexes, so cost is
+/// proportional to derived facts rather than to |closure|² per round.
+pub fn materialize_rdfs(
+    store: &TripleStore,
+    source_graphs: &[&str],
+    target_graph: &str,
+) -> usize {
+    use std::collections::HashMap;
+
+    let sub_class = schema::rdfs_subclass_of();
+    let sub_prop = schema::rdfs_subproperty_of();
+    let rdf_type = schema::rdf_type();
+    let domain = schema::rdfs_domain();
+    let range = schema::rdfs_range();
+
+    let mut all: HashSet<Triple> = HashSet::new();
+    for g in source_graphs {
+        for t in store.graph_triples(g) {
+            all.insert(t);
+        }
+    }
+    let original = all.clone();
+
+    // Schema indexes, rebuilt whenever a round derives new schema triples
+    // (rare: only subClassOf/subPropertyOf transitivity feeds them).
+    //   superclasses: C  -> its direct superclasses
+    //   superprops:   p  -> its direct superproperties
+    //   dom/rng:      p  -> asserted classes
+    let build_schema = |all: &HashSet<Triple>| {
+        let mut superclasses: HashMap<Term, Vec<Term>> = HashMap::new();
+        let mut superprops: HashMap<Term, Vec<Term>> = HashMap::new();
+        let mut dom: HashMap<Term, Vec<Term>> = HashMap::new();
+        let mut rng: HashMap<Term, Vec<Term>> = HashMap::new();
+        for t in all {
+            if t.predicate == sub_class {
+                superclasses.entry(t.subject.clone()).or_default().push(t.object.clone());
+            } else if t.predicate == sub_prop {
+                superprops.entry(t.subject.clone()).or_default().push(t.object.clone());
+            } else if t.predicate == domain {
+                dom.entry(t.subject.clone()).or_default().push(t.object.clone());
+            } else if t.predicate == range {
+                rng.entry(t.subject.clone()).or_default().push(t.object.clone());
+            }
+        }
+        (superclasses, superprops, dom, rng)
+    };
+
+    let (mut superclasses, mut superprops, mut dom, mut rng) = build_schema(&all);
+    let mut delta: Vec<Triple> = all.iter().cloned().collect();
+
+    while !delta.is_empty() {
+        let mut fresh: Vec<Triple> = Vec::new();
+        let derive = |t: Triple, fresh: &mut Vec<Triple>| {
+            if !all.contains(&t) && !fresh.contains(&t) {
+                fresh.push(t);
+            }
+        };
+
+        for t in &delta {
+            // rdfs11: (A ⊑ B), (B ⊑ C) ⊢ (A ⊑ C) — extend through the
+            // *current* superclass index.
+            if t.predicate == sub_class {
+                if let Some(ups) = superclasses.get(&t.object) {
+                    for c in ups {
+                        if *c != t.subject {
+                            derive(
+                                Triple::new(t.subject.clone(), sub_class.clone(), c.clone()),
+                                &mut fresh,
+                            );
+                        }
+                    }
+                }
+            }
+            // rdfs5: subPropertyOf transitivity.
+            if t.predicate == sub_prop {
+                if let Some(ups) = superprops.get(&t.object) {
+                    for p in ups {
+                        if *p != t.subject {
+                            derive(
+                                Triple::new(t.subject.clone(), sub_prop.clone(), p.clone()),
+                                &mut fresh,
+                            );
+                        }
+                    }
+                }
+            }
+            // rdfs9: (x type C), (C ⊑ D) ⊢ (x type D).
+            if t.predicate == rdf_type {
+                if let Some(ups) = superclasses.get(&t.object) {
+                    for c in ups {
+                        derive(
+                            Triple::new(t.subject.clone(), rdf_type.clone(), c.clone()),
+                            &mut fresh,
+                        );
+                    }
+                }
+            }
+            // rdfs7: (s p o), (p ⊑ q) ⊢ (s q o).
+            if let Some(ups) = superprops.get(&t.predicate) {
+                for q in ups {
+                    derive(
+                        Triple::new(t.subject.clone(), q.clone(), t.object.clone()),
+                        &mut fresh,
+                    );
+                }
+            }
+            // rdfs2 / rdfs3: domain & range typing.
+            if let Some(classes) = dom.get(&t.predicate) {
+                if !t.subject.is_literal() {
+                    for c in classes {
+                        derive(
+                            Triple::new(t.subject.clone(), rdf_type.clone(), c.clone()),
+                            &mut fresh,
+                        );
+                    }
+                }
+            }
+            if let Some(classes) = rng.get(&t.predicate) {
+                if !t.object.is_literal() {
+                    for c in classes {
+                        derive(
+                            Triple::new(t.object.clone(), rdf_type.clone(), c.clone()),
+                            &mut fresh,
+                        );
+                    }
+                }
+            }
+        }
+
+        let schema_grew = fresh.iter().any(|t| {
+            t.predicate == sub_class
+                || t.predicate == sub_prop
+                || t.predicate == domain
+                || t.predicate == range
+        });
+        for t in &fresh {
+            all.insert(t.clone());
+        }
+        if schema_grew {
+            // New schema edges can unlock derivations from *old* facts
+            // (e.g. a longer subclass chain): rebuild indexes and re-seed
+            // the delta with the full set once.
+            let rebuilt = build_schema(&all);
+            superclasses = rebuilt.0;
+            superprops = rebuilt.1;
+            dom = rebuilt.2;
+            rng = rebuilt.3;
+            delta = all.iter().cloned().collect();
+        } else {
+            delta = fresh;
+        }
+    }
+
+    let inferred: Vec<Triple> = all.difference(&original).cloned().collect();
+    store.insert_all(target_graph, inferred.iter())
+}
+
+/// All superclasses of `class` (transitive), not including itself, looked
+/// up in the (already materialised or raw) graphs.
+pub fn superclasses(store: &TripleStore, graphs: &[&str], class: &Term) -> Vec<Term> {
+    let mut out = Vec::new();
+    let mut frontier = vec![class.clone()];
+    let sub_class = schema::rdfs_subclass_of();
+    while let Some(c) = frontier.pop() {
+        let found = store.match_pattern(
+            graphs,
+            &TriplePattern {
+                subject: Some(c),
+                predicate: Some(sub_class.clone()),
+                object: None,
+            },
+        );
+        for t in found {
+            if !out.contains(&t.object) && t.object != *class {
+                out.push(t.object.clone());
+                frontier.push(t.object);
+            }
+        }
+    }
+    out
+}
+
+/// All instances of `class`, including through subclasses (query-time
+/// alternative to materialisation).
+pub fn instances_of(store: &TripleStore, graphs: &[&str], class: &Term) -> Vec<Term> {
+    let rdf_type = schema::rdf_type();
+    let sub_class = schema::rdfs_subclass_of();
+    // classes = {class} ∪ subclasses*
+    let mut classes = vec![class.clone()];
+    let mut frontier = vec![class.clone()];
+    while let Some(c) = frontier.pop() {
+        let subs = store.match_pattern(
+            graphs,
+            &TriplePattern {
+                subject: None,
+                predicate: Some(sub_class.clone()),
+                object: Some(c),
+            },
+        );
+        for t in subs {
+            if !classes.contains(&t.subject) {
+                classes.push(t.subject.clone());
+                frontier.push(t.subject);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for c in classes {
+        let found = store.match_pattern(
+            graphs,
+            &TriplePattern {
+                subject: None,
+                predicate: Some(rdf_type.clone()),
+                object: Some(c),
+            },
+        );
+        for t in found {
+            if !out.contains(&t.subject) {
+                out.push(t.subject);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    fn setup() -> TripleStore {
+        let store = TripleStore::new();
+        let g = "kb";
+        let sc = schema::rdfs_subclass_of();
+        let ty = schema::rdf_type();
+        store.insert(g, &Triple::new(iri("Metal"), sc.clone(), iri("Element")));
+        store.insert(g, &Triple::new(iri("HeavyMetal"), sc.clone(), iri("Metal")));
+        store.insert(g, &Triple::new(iri("Hg"), ty.clone(), iri("HeavyMetal")));
+        store
+    }
+
+    #[test]
+    fn subclass_transitivity() {
+        let store = setup();
+        let n = materialize_rdfs(&store, &["kb"], "inf");
+        assert!(n >= 1);
+        assert!(store.contains(
+            "inf",
+            &Triple::new(iri("HeavyMetal"), schema::rdfs_subclass_of(), iri("Element"))
+        ));
+    }
+
+    #[test]
+    fn type_inheritance() {
+        let store = setup();
+        materialize_rdfs(&store, &["kb"], "inf");
+        let ty = schema::rdf_type();
+        assert!(store.contains("inf", &Triple::new(iri("Hg"), ty.clone(), iri("Metal"))));
+        assert!(store.contains("inf", &Triple::new(iri("Hg"), ty, iri("Element"))));
+    }
+
+    #[test]
+    fn subproperty_inheritance() {
+        let store = TripleStore::new();
+        let sp = schema::rdfs_subproperty_of();
+        store.insert("kb", &Triple::new(iri("oreAssemblage"), sp, iri("relatedTo")));
+        store.insert(
+            "kb",
+            &Triple::new(iri("Hg"), iri("oreAssemblage"), iri("As")),
+        );
+        materialize_rdfs(&store, &["kb"], "inf");
+        assert!(store.contains("inf", &Triple::new(iri("Hg"), iri("relatedTo"), iri("As"))));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let store = TripleStore::new();
+        store.insert(
+            "kb",
+            &Triple::new(iri("analysedBy"), schema::rdfs_domain(), iri("Landfill")),
+        );
+        store.insert(
+            "kb",
+            &Triple::new(iri("analysedBy"), schema::rdfs_range(), iri("Lab")),
+        );
+        store.insert("kb", &Triple::new(iri("BasseDiStura"), iri("analysedBy"), iri("ArpaLab")));
+        materialize_rdfs(&store, &["kb"], "inf");
+        let ty = schema::rdf_type();
+        assert!(store.contains(
+            "inf",
+            &Triple::new(iri("BasseDiStura"), ty.clone(), iri("Landfill"))
+        ));
+        assert!(store.contains("inf", &Triple::new(iri("ArpaLab"), ty, iri("Lab"))));
+    }
+
+    #[test]
+    fn idempotent_second_run() {
+        let store = setup();
+        let n1 = materialize_rdfs(&store, &["kb", "inf"], "inf");
+        assert!(n1 > 0);
+        let n2 = materialize_rdfs(&store, &["kb", "inf"], "inf");
+        assert_eq!(n2, 0, "closure reached, nothing new");
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let store = TripleStore::new();
+        let sc = schema::rdfs_subclass_of();
+        store.insert("kb", &Triple::new(iri("A"), sc.clone(), iri("B")));
+        store.insert("kb", &Triple::new(iri("B"), sc.clone(), iri("A")));
+        // Must not loop forever.
+        materialize_rdfs(&store, &["kb"], "inf");
+    }
+
+    #[test]
+    fn chain_closure_has_exact_size() {
+        // A subclass chain C0 ⊑ C1 ⊑ … ⊑ C(n-1) with k instances of C0:
+        // closure adds n(n-1)/2 − (n−1) subclass pairs and k·(n−1) types.
+        let n = 12usize;
+        let k = 7usize;
+        let store = TripleStore::new();
+        let sc = schema::rdfs_subclass_of();
+        let ty = schema::rdf_type();
+        for i in 0..n - 1 {
+            store.insert(
+                "kb",
+                &Triple::new(iri(&format!("C{i}")), sc.clone(), iri(&format!("C{}", i + 1))),
+            );
+        }
+        for j in 0..k {
+            store.insert("kb", &Triple::new(iri(&format!("x{j}")), ty.clone(), iri("C0")));
+        }
+        let added = materialize_rdfs(&store, &["kb"], "inf");
+        let expected_subclass = n * (n - 1) / 2 - (n - 1);
+        let expected_types = k * (n - 1);
+        assert_eq!(added, expected_subclass + expected_types);
+        // Spot check the farthest derivation.
+        assert!(store.contains(
+            "inf",
+            &Triple::new(iri("x0"), ty, iri(&format!("C{}", n - 1)))
+        ));
+    }
+
+    #[test]
+    fn superclasses_query() {
+        let store = setup();
+        let sup = superclasses(&store, &["kb"], &iri("HeavyMetal"));
+        assert_eq!(sup.len(), 2);
+        assert!(sup.contains(&iri("Metal")));
+        assert!(sup.contains(&iri("Element")));
+    }
+
+    #[test]
+    fn instances_of_walks_subclasses() {
+        let store = setup();
+        let inst = instances_of(&store, &["kb"], &iri("Element"));
+        assert_eq!(inst, vec![iri("Hg")]);
+        let inst = instances_of(&store, &["kb"], &iri("HeavyMetal"));
+        assert_eq!(inst, vec![iri("Hg")]);
+    }
+}

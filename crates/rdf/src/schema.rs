@@ -1,0 +1,164 @@
+//! The CroSSE RDF vocabulary (paper Fig. 4).
+//!
+//! The figure defines an `smg:` namespace with classes `smg:User`,
+//! `smg:Resource`, `smg:Property`, `smg:Statement`, `smg:Reference` and the
+//! provenance properties that attach reified statements to the users who
+//! asserted (`userStatement`) or adopted (`userBelief`) them, plus
+//! bibliographic references (`stmReference` with `refTitle` / `refAuthor` /
+//! `refLink` / `fileReference`).
+
+use crate::term::Term;
+
+/// The `smg:` namespace IRI.
+pub const SMG_NS: &str = "http://smartground.eu/crosse#";
+/// RDF namespace.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// RDFS namespace.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// XSD namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+fn smg(local: &str) -> Term {
+    Term::iri(format!("{SMG_NS}{local}"))
+}
+
+fn rdf(local: &str) -> Term {
+    Term::iri(format!("{RDF_NS}{local}"))
+}
+
+fn rdfs(local: &str) -> Term {
+    Term::iri(format!("{RDFS_NS}{local}"))
+}
+
+// ---- classes ----------------------------------------------------------
+
+/// `smg:User` — a registered platform user.
+pub fn user_class() -> Term {
+    smg("User")
+}
+/// `smg:Resource` — a concept that can appear as subject/object.
+pub fn resource_class() -> Term {
+    smg("Resource")
+}
+/// `smg:Property` — a user-declared property.
+pub fn property_class() -> Term {
+    smg("Property")
+}
+/// `smg:Statement` — a reified user statement.
+pub fn statement_class() -> Term {
+    smg("Statement")
+}
+/// `smg:Reference` — a bibliographic/file reference for a statement.
+pub fn reference_class() -> Term {
+    smg("Reference")
+}
+
+// ---- provenance properties ---------------------------------------------
+
+/// `smg:userStatement` — user asserted this statement.
+pub fn user_statement() -> Term {
+    smg("userStatement")
+}
+/// `smg:userBelief` — user adopted ("accepted as own") this statement.
+pub fn user_belief() -> Term {
+    smg("userBelief")
+}
+/// `smg:userResource` — user introduced this resource.
+pub fn user_resource() -> Term {
+    smg("userResource")
+}
+/// `smg:userProperty` — user introduced this property.
+pub fn user_property() -> Term {
+    smg("userProperty")
+}
+
+// ---- reification properties (rdf:subject / predicate / object) ----------
+
+pub fn rdf_type() -> Term {
+    rdf("type")
+}
+pub fn rdf_subject() -> Term {
+    rdf("subject")
+}
+pub fn rdf_predicate() -> Term {
+    rdf("predicate")
+}
+pub fn rdf_object() -> Term {
+    rdf("object")
+}
+
+// ---- RDFS vocabulary -----------------------------------------------------
+
+pub fn rdfs_subclass_of() -> Term {
+    rdfs("subClassOf")
+}
+pub fn rdfs_subproperty_of() -> Term {
+    rdfs("subPropertyOf")
+}
+pub fn rdfs_domain() -> Term {
+    rdfs("domain")
+}
+pub fn rdfs_range() -> Term {
+    rdfs("range")
+}
+pub fn rdfs_label() -> Term {
+    rdfs("label")
+}
+
+// ---- reference properties -------------------------------------------------
+
+pub fn stm_reference() -> Term {
+    smg("stmReference")
+}
+pub fn ref_title() -> Term {
+    smg("refTitle")
+}
+pub fn ref_author() -> Term {
+    smg("refAuthor")
+}
+pub fn ref_link() -> Term {
+    smg("refLink")
+}
+pub fn file_reference() -> Term {
+    smg("fileReference")
+}
+
+/// IRI of a user node from a user name.
+pub fn user_iri(username: &str) -> Term {
+    smg(&format!("user/{username}"))
+}
+
+/// IRI of a reified statement node.
+pub fn statement_iri(id: u64) -> Term {
+    smg(&format!("stmt/{id}"))
+}
+
+/// IRI of a reference node.
+pub fn reference_iri(id: u64) -> Term {
+    smg(&format!("ref/{id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_namespaced() {
+        assert_eq!(user_class(), Term::iri("http://smartground.eu/crosse#User"));
+        assert!(matches!(rdf_type(), Term::Iri(i) if i.ends_with("#type")));
+        assert!(matches!(rdfs_subclass_of(), Term::Iri(i) if i.ends_with("subClassOf")));
+    }
+
+    #[test]
+    fn node_iris_are_distinct() {
+        assert_ne!(user_iri("alice"), user_iri("bob"));
+        assert_ne!(statement_iri(1), statement_iri(2));
+        assert_ne!(statement_iri(1), reference_iri(1));
+    }
+
+    #[test]
+    fn local_names_round_trip() {
+        assert_eq!(user_class().local_name(), "User");
+        assert_eq!(user_belief().local_name(), "userBelief");
+    }
+}

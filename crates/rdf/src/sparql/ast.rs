@@ -1,0 +1,378 @@
+//! SPARQL abstract syntax / algebra.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// Any parsed SPARQL query: SELECT, ASK or CONSTRUCT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedQuery {
+    Select(Query),
+    /// `ASK WHERE { ... }` — does at least one solution exist?
+    Ask(GraphPattern),
+    /// `CONSTRUCT { template } WHERE { ... }` — instantiate the template
+    /// once per solution.
+    Construct { template: Vec<PatternTriple>, pattern: GraphPattern },
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    /// Projected plain variable names (without `?`); empty means `SELECT *`
+    /// unless `projections` carries aggregates.
+    pub variables: Vec<String>,
+    /// Full projection list in written order (plain variables interleaved
+    /// with aggregate expressions). Empty together with `variables` means
+    /// `SELECT *`.
+    pub projections: Vec<Projection>,
+    pub pattern: GraphPattern,
+    /// `GROUP BY` variables; with aggregates but no GROUP BY the whole
+    /// solution set is one group.
+    pub group_by: Vec<String>,
+    /// `HAVING(expr)` over group keys and aggregate aliases.
+    pub having: Option<SparqlExpr>,
+    pub order_by: Vec<OrderCond>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// Whether this query aggregates (has aggregate projections or a
+    /// GROUP BY clause).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.projections.iter().any(|p| matches!(p, Projection::Agg(_)))
+    }
+}
+
+/// One projected output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// Plain variable.
+    Var(String),
+    /// `(FUNC(?v) AS ?alias)`.
+    Agg(AggProj),
+}
+
+/// An aggregate projection: `(COUNT(DISTINCT ?x) AS ?n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggProj {
+    pub func: AggFunc,
+    /// Aggregated variable; `None` is `COUNT(*)`.
+    pub var: Option<String>,
+    pub distinct: bool,
+    pub alias: String,
+}
+
+/// SPARQL 1.1 aggregate functions (the numeric ones treat non-numeric
+/// bindings as evaluation errors, matching the spec's type errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// An arbitrary element of the group (first-seen here, deterministic).
+    Sample,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            "SAMPLE" => AggFunc::Sample,
+            _ => return None,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCond {
+    pub variable: String,
+    pub ascending: bool,
+}
+
+/// Graph patterns (a pragmatic subset of the SPARQL algebra).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPattern {
+    /// Basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<PatternTriple>),
+    /// Inner join of two patterns (adjacent group patterns).
+    Join(Box<GraphPattern>, Box<GraphPattern>),
+    /// `left OPTIONAL { right }`.
+    Optional(Box<GraphPattern>, Box<GraphPattern>),
+    /// `{ left } UNION { right }`.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// `pattern FILTER(expr)`.
+    Filter(Box<GraphPattern>, SparqlExpr),
+    /// `left MINUS { right }`: solutions of `left` that are incompatible
+    /// with every solution of `right` (solutions sharing no bound variable
+    /// with any right-solution are kept, per the SPARQL 1.1 definition).
+    Minus(Box<GraphPattern>, Box<GraphPattern>),
+    /// Inline data: `VALUES ?v { ... }` / `VALUES (?a ?b) { (..) (..) }`.
+    /// `None` entries are `UNDEF`.
+    Values {
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<Term>>>,
+    },
+}
+
+impl GraphPattern {
+    /// Collect every variable mentioned anywhere in the pattern, in first-
+    /// appearance order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        let mut push = |v: &str| {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(triples) => {
+                for t in triples {
+                    for part in [&t.subject, &t.predicate, &t.object] {
+                        if let PatternTerm::Var(v) = part {
+                            push(v);
+                        }
+                    }
+                }
+            }
+            GraphPattern::Join(a, b)
+            | GraphPattern::Optional(a, b)
+            | GraphPattern::Union(a, b)
+            | GraphPattern::Minus(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            GraphPattern::Filter(p, e) => {
+                p.collect_vars(out);
+                e.collect_vars(out);
+            }
+            GraphPattern::Values { vars, .. } => {
+                for v in vars {
+                    push(v);
+                }
+            }
+        }
+    }
+}
+
+/// A triple pattern position: variable or constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternTerm {
+    Var(String),
+    Const(Term),
+}
+
+impl PatternTerm {
+    pub fn var(name: impl Into<String>) -> Self {
+        PatternTerm::Var(name.into())
+    }
+}
+
+/// Path modifier on a predicate: plain edge, transitive (`+`), or
+/// reflexive-transitive (`*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathMod {
+    #[default]
+    One,
+    /// `p+` — one or more edges.
+    OneOrMore,
+    /// `p*` — zero or more edges (zero-length only over nodes touching a
+    /// `p` edge).
+    ZeroOrMore,
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternTriple {
+    pub subject: PatternTerm,
+    pub predicate: PatternTerm,
+    pub object: PatternTerm,
+    /// Path modifier; only meaningful when the predicate is a constant.
+    pub path: PathMod,
+    /// A structured property path (`p1/p2`, `p1|p2`, `^p`, nested
+    /// closures). When set, `predicate`/`path` are ignored for matching
+    /// (the predicate holds a rendering of the path for display purposes).
+    pub complex: Option<PropertyPath>,
+}
+
+/// SPARQL 1.1 property-path algebra over constant predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyPath {
+    /// A plain predicate IRI.
+    Pred(Term),
+    /// `^path` — inverted edges.
+    Inverse(Box<PropertyPath>),
+    /// `p1/p2/...` — edge composition.
+    Sequence(Vec<PropertyPath>),
+    /// `p1|p2|...` — union of edge sets.
+    Alternative(Vec<PropertyPath>),
+    /// `path+` / `path*`.
+    Closure(Box<PropertyPath>, PathMod),
+}
+
+impl fmt::Display for PropertyPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyPath::Pred(t) => write!(f, "{t}"),
+            PropertyPath::Inverse(p) => write!(f, "^{p}"),
+            PropertyPath::Sequence(ps) => {
+                let items: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", items.join("/"))
+            }
+            PropertyPath::Alternative(ps) => {
+                let items: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", items.join("|"))
+            }
+            PropertyPath::Closure(p, PathMod::OneOrMore) => write!(f, "{p}+"),
+            PropertyPath::Closure(p, PathMod::ZeroOrMore) => write!(f, "{p}*"),
+            PropertyPath::Closure(p, PathMod::One) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl PatternTriple {
+    pub fn new(subject: PatternTerm, predicate: PatternTerm, object: PatternTerm) -> Self {
+        PatternTriple { subject, predicate, object, path: PathMod::One, complex: None }
+    }
+
+    pub fn with_path(mut self, path: PathMod) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Attach a structured property path; the plain predicate slot keeps a
+    /// placeholder constant for display.
+    pub fn with_complex_path(mut self, path: PropertyPath) -> Self {
+        self.predicate = PatternTerm::Const(Term::iri(path.to_string()));
+        self.complex = Some(path);
+        self
+    }
+
+    /// Number of constant positions (used for join-order heuristics).
+    pub fn constant_count(&self) -> usize {
+        [&self.subject, &self.predicate, &self.object]
+            .iter()
+            .filter(|t| matches!(t, PatternTerm::Const(_)))
+            .count()
+    }
+}
+
+/// FILTER expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqlExpr {
+    Var(String),
+    Const(Term),
+    Cmp(Box<SparqlExpr>, CmpOp, Box<SparqlExpr>),
+    And(Box<SparqlExpr>, Box<SparqlExpr>),
+    Or(Box<SparqlExpr>, Box<SparqlExpr>),
+    Not(Box<SparqlExpr>),
+    /// `BOUND(?v)`
+    Bound(String),
+    /// `REGEX(expr, "pattern")` — substring/anchor subset, no full regex.
+    Regex(Box<SparqlExpr>, String),
+    /// `STR(expr)` — lexical form as a plain literal.
+    Str(Box<SparqlExpr>),
+}
+
+impl SparqlExpr {
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        let mut push = |v: &str| {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        };
+        match self {
+            SparqlExpr::Var(v) | SparqlExpr::Bound(v) => push(v),
+            SparqlExpr::Const(_) => {}
+            SparqlExpr::Cmp(a, _, b) | SparqlExpr::And(a, b) | SparqlExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SparqlExpr::Not(e) | SparqlExpr::Regex(e, _) | SparqlExpr::Str(e) => {
+                e.collect_vars(out)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_collection_dedupes_in_order() {
+        let bgp = GraphPattern::Bgp(vec![
+            PatternTriple::new(
+                PatternTerm::var("s"),
+                PatternTerm::Const(Term::iri("p")),
+                PatternTerm::var("o"),
+            ),
+            PatternTriple::new(
+                PatternTerm::var("o"),
+                PatternTerm::Const(Term::iri("q")),
+                PatternTerm::var("z"),
+            ),
+        ]);
+        assert_eq!(bgp.variables(), vec!["s", "o", "z"]);
+    }
+
+    #[test]
+    fn filter_vars_are_collected() {
+        let p = GraphPattern::Filter(
+            Box::new(GraphPattern::Bgp(vec![])),
+            SparqlExpr::Cmp(
+                Box::new(SparqlExpr::Var("d".into())),
+                CmpOp::GtEq,
+                Box::new(SparqlExpr::Const(Term::lit("3"))),
+            ),
+        );
+        assert_eq!(p.variables(), vec!["d"]);
+    }
+
+    #[test]
+    fn constant_count() {
+        let t = PatternTriple::new(
+            PatternTerm::var("s"),
+            PatternTerm::Const(Term::iri("p")),
+            PatternTerm::Const(Term::lit("o")),
+        );
+        assert_eq!(t.constant_count(), 2);
+    }
+}

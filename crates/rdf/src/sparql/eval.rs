@@ -1,0 +1,1754 @@
+//! SPARQL evaluation over the triple store.
+//!
+//! Evaluation is index-nested-loop over BGPs with a greedy join order
+//! (most-constant / most-bound pattern first), hash-free but index-backed —
+//! adequate for the per-user knowledge bases CroSSE manages, which are
+//! small relative to the relational databank.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::store::{IdPattern, TripleStore};
+use crate::term::{Term, TermId};
+
+use super::ast::*;
+
+/// A set of solutions: variable names plus one row of optional bindings per
+/// solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    pub variables: Vec<String>,
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a variable.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v == name)
+    }
+
+    /// All bound values of one variable (unbound entries skipped).
+    pub fn column(&self, name: &str) -> Result<Vec<Term>> {
+        let i = self
+            .var_index(name)
+            .ok_or_else(|| Error::eval(format!("no variable `?{name}` in solutions")))?;
+        Ok(self.rows.iter().filter_map(|r| r[i].clone()).collect())
+    }
+}
+
+/// Evaluate a parsed query against the union of `graphs`.
+pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<Solutions> {
+    // Build the variable table: projected vars first (if explicit), then
+    // any others appearing in the pattern.
+    let pattern_vars = query.pattern.variables();
+    let mut vars: Vec<String> = Vec::new();
+    for v in query.variables.iter().chain(pattern_vars.iter()) {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    if !query.is_aggregate() {
+        // (Aggregate queries resolve ORDER BY against the output columns,
+        // which may be aggregate aliases.)
+        for o in &query.order_by {
+            if !vars.contains(&o.variable) {
+                return Err(Error::eval(format!(
+                    "ORDER BY variable `?{}` does not occur in the pattern",
+                    o.variable
+                )));
+            }
+        }
+    }
+    for v in &query.variables {
+        if !pattern_vars.contains(v) {
+            // Legal in SPARQL (always unbound); we keep it and bind nothing.
+        }
+    }
+
+    let var_index: HashMap<&str, usize> =
+        vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+    let ctx = EvalCtx { store, graphs, vars: &vars, var_index: &var_index };
+    let mut rows = ctx.eval_pattern(&query.pattern, vec![vec![None; vars.len()]])?;
+
+    if query.is_aggregate() {
+        return aggregate_solutions(store, query, rows, &var_index);
+    }
+
+    // ORDER BY
+    if !query.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .map(|o| (var_index[o.variable.as_str()], o.ascending))
+            .collect();
+        rows.sort_by(|a, b| {
+            for &(i, asc) in &keys {
+                let ord = cmp_binding(store, a[i], b[i]);
+                let ord = if asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // Projection
+    let (out_vars, proj): (Vec<String>, Vec<usize>) = if query.variables.is_empty() {
+        (vars.clone(), (0..vars.len()).collect())
+    } else {
+        (
+            query.variables.clone(),
+            query
+                .variables
+                .iter()
+                .map(|v| var_index[v.as_str()])
+                .collect(),
+        )
+    };
+    let mut projected: Vec<Vec<Option<TermId>>> = rows
+        .into_iter()
+        .map(|r| proj.iter().map(|&i| r[i]).collect())
+        .collect();
+
+    // DISTINCT
+    if query.distinct {
+        let mut seen = std::collections::HashSet::new();
+        projected.retain(|r| seen.insert(r.clone()));
+    }
+
+    // LIMIT / OFFSET
+    let start = query.offset.unwrap_or(0).min(projected.len());
+    let end = match query.limit {
+        Some(l) => (start + l).min(projected.len()),
+        None => projected.len(),
+    };
+    let window = &projected[start..end];
+
+    let dict = store.dictionary();
+    Ok(Solutions {
+        variables: out_vars,
+        rows: window
+            .iter()
+            .map(|r| r.iter().map(|id| id.map(|i| dict.term_of(i))).collect())
+            .collect(),
+    })
+}
+
+/// Group the pattern solutions and compute aggregate projections
+/// (SPARQL 1.1 `GROUP BY` / `HAVING` / aggregate functions).
+fn aggregate_solutions(
+    store: &TripleStore,
+    query: &Query,
+    rows: Vec<Vec<Option<TermId>>>,
+    var_index: &HashMap<&str, usize>,
+) -> Result<Solutions> {
+    let dict = store.dictionary();
+
+    // Validate projections: plain variables must be grouped.
+    for p in &query.projections {
+        if let Projection::Var(v) = p {
+            if !query.group_by.contains(v) {
+                return Err(Error::eval(format!(
+                    "variable `?{v}` must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+    }
+    let group_is: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|v| {
+            var_index.get(v.as_str()).copied().ok_or_else(|| {
+                Error::eval(format!("GROUP BY variable `?{v}` not in pattern"))
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // Group rows, preserving first-seen order.
+    let mut order: Vec<Vec<Option<TermId>>> = Vec::new();
+    let mut groups: HashMap<Vec<Option<TermId>>, Vec<usize>> = HashMap::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let key: Vec<Option<TermId>> = group_is.iter().map(|&i| row[i]).collect();
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(ri);
+    }
+    // A global aggregate (no GROUP BY) over an empty input is one group.
+    if order.is_empty() && query.group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    // Output column names in written order.
+    let out_names: Vec<String> = query
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Var(v) => v.clone(),
+            Projection::Agg(a) => a.alias.clone(),
+        })
+        .collect();
+
+    let mut out_rows: Vec<Vec<Option<Term>>> = Vec::new();
+    for key in &order {
+        let members = &groups[key];
+        // Per-group bindings for HAVING: group vars + aggregate aliases.
+        let mut named: HashMap<&str, Option<Term>> = HashMap::new();
+        for (v, id) in query.group_by.iter().zip(key) {
+            named.insert(v.as_str(), id.map(|i| dict.term_of(i)));
+        }
+        let mut agg_values: HashMap<&str, Option<Term>> = HashMap::new();
+        for p in &query.projections {
+            if let Projection::Agg(a) = p {
+                let value = compute_aggregate(store, a, members, &rows, var_index)?;
+                agg_values.insert(a.alias.as_str(), value);
+            }
+        }
+        for (k, v) in &agg_values {
+            named.insert(k, v.clone());
+        }
+        if let Some(h) = &query.having {
+            if eval_expr_over_terms(h, &named)? != Some(true) {
+                continue;
+            }
+        }
+        out_rows.push(
+            query
+                .projections
+                .iter()
+                .map(|p| match p {
+                    Projection::Var(v) => named.get(v.as_str()).cloned().flatten(),
+                    Projection::Agg(a) => {
+                        agg_values.get(a.alias.as_str()).cloned().flatten()
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    // DISTINCT over output rows.
+    if query.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| {
+            let k: Vec<String> = r
+                .iter()
+                .map(|t| t.as_ref().map(|t| format!("{t:?}")).unwrap_or_default())
+                .collect();
+            seen.insert(k)
+        });
+    }
+
+    // ORDER BY against output columns.
+    if !query.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .map(|o| {
+                out_names
+                    .iter()
+                    .position(|n| *n == o.variable)
+                    .map(|i| (i, o.ascending))
+                    .ok_or_else(|| {
+                        Error::eval(format!(
+                            "ORDER BY variable `?{}` is not projected",
+                            o.variable
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        out_rows.sort_by(|a, b| {
+            for &(i, asc) in &keys {
+                let ord = cmp_term_opt(&a[i], &b[i]);
+                let ord = if asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    let start = query.offset.unwrap_or(0).min(out_rows.len());
+    let end = match query.limit {
+        Some(l) => (start + l).min(out_rows.len()),
+        None => out_rows.len(),
+    };
+    Ok(Solutions {
+        variables: out_names,
+        rows: out_rows[start..end].to_vec(),
+    })
+}
+
+/// Compute one aggregate over the group member rows.
+fn compute_aggregate(
+    store: &TripleStore,
+    agg: &AggProj,
+    members: &[usize],
+    rows: &[Vec<Option<TermId>>],
+    var_index: &HashMap<&str, usize>,
+) -> Result<Option<Term>> {
+    let dict = store.dictionary();
+    // COUNT(*) counts solutions, everything else aggregates bound values.
+    let values: Vec<Term> = match &agg.var {
+        None => Vec::new(),
+        Some(v) => {
+            let vi = *var_index.get(v.as_str()).ok_or_else(|| {
+                Error::eval(format!("aggregate variable `?{v}` not in pattern"))
+            })?;
+            let mut vals: Vec<Term> = members
+                .iter()
+                .filter_map(|&ri| rows[ri][vi].map(|id| dict.term_of(id)))
+                .collect();
+            if agg.distinct {
+                let mut seen = std::collections::HashSet::new();
+                vals.retain(|t| seen.insert(t.clone()));
+            }
+            vals
+        }
+    };
+    let numeric = |vals: &[Term]| -> Result<Vec<f64>> {
+        vals.iter()
+            .map(|t| {
+                t.as_f64().ok_or_else(|| {
+                    Error::eval(format!(
+                        "non-numeric value `{}` in numeric aggregate",
+                        t.lexical_form()
+                    ))
+                })
+            })
+            .collect()
+    };
+    Ok(match agg.func {
+        AggFunc::Count => {
+            let n = match &agg.var {
+                None => members.len(),
+                Some(_) => values.len(),
+            };
+            Some(num_term(n as f64))
+        }
+        AggFunc::Sum => Some(num_term(numeric(&values)?.iter().sum())),
+        AggFunc::Avg => {
+            let ns = numeric(&values)?;
+            if ns.is_empty() {
+                Some(num_term(0.0))
+            } else {
+                Some(num_term(ns.iter().sum::<f64>() / ns.len() as f64))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Term> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = cmp_term_values(&b, &v);
+                        let keep_new = if agg.func == AggFunc::Min {
+                            ord == Ordering::Greater
+                        } else {
+                            ord == Ordering::Less
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best
+        }
+        AggFunc::Sample => values.into_iter().next(),
+    })
+}
+
+/// Render a numeric aggregate result as a plain literal, using integer
+/// formatting for whole numbers.
+fn num_term(x: f64) -> Term {
+    if x.fract() == 0.0 && x.abs() < 9e15 {
+        Term::lit(format!("{}", x as i64))
+    } else {
+        Term::lit(format!("{x}"))
+    }
+}
+
+/// Numeric-when-possible, lexical-otherwise comparison of two terms.
+fn cmp_term_values(a: &Term, b: &Term) -> Ordering {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.total_cmp(&y),
+        _ => a.lexical_form().cmp(b.lexical_form()),
+    }
+}
+
+fn cmp_term_opt(a: &Option<Term>, b: &Option<Term>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => cmp_term_values(x, y),
+    }
+}
+
+/// Evaluate a FILTER-style expression over named (already materialised)
+/// term bindings — used for HAVING, where values may be computed aggregates
+/// that never entered the dictionary.
+fn eval_expr_over_terms(
+    e: &SparqlExpr,
+    named: &HashMap<&str, Option<Term>>,
+) -> Result<Option<bool>> {
+    fn term_of<'t>(
+        e: &'t SparqlExpr,
+        named: &'t HashMap<&str, Option<Term>>,
+    ) -> Result<Option<Term>> {
+        match e {
+            SparqlExpr::Var(v) => named
+                .get(v.as_str())
+                .cloned()
+                .ok_or_else(|| Error::eval(format!("unknown variable `?{v}` in HAVING"))),
+            SparqlExpr::Const(t) => Ok(Some(t.clone())),
+            SparqlExpr::Str(inner) => {
+                Ok(term_of(inner, named)?.map(|t| Term::lit(t.lexical_form().to_string())))
+            }
+            other => Err(Error::eval(format!(
+                "expected a term expression in HAVING, got {other:?}"
+            ))),
+        }
+    }
+    match e {
+        SparqlExpr::And(a, b) => Ok(
+            match (eval_expr_over_terms(a, named)?, eval_expr_over_terms(b, named)?) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+        ),
+        SparqlExpr::Or(a, b) => Ok(
+            match (eval_expr_over_terms(a, named)?, eval_expr_over_terms(b, named)?) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+        ),
+        SparqlExpr::Not(inner) => Ok(eval_expr_over_terms(inner, named)?.map(|b| !b)),
+        SparqlExpr::Bound(v) => Ok(Some(
+            named
+                .get(v.as_str())
+                .ok_or_else(|| Error::eval(format!("unknown variable `?{v}` in HAVING")))?
+                .is_some(),
+        )),
+        SparqlExpr::Regex(inner, pattern) => {
+            let Some(t) = term_of(inner, named)? else {
+                return Ok(None);
+            };
+            Ok(Some(simple_regex_match(t.lexical_form(), pattern)))
+        }
+        SparqlExpr::Cmp(a, op, b) => {
+            let (Some(ta), Some(tb)) = (term_of(a, named)?, term_of(b, named)?) else {
+                return Ok(None);
+            };
+            Ok(Some(compare_terms(&ta, *op, &tb)))
+        }
+        SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
+            Err(Error::eval("HAVING expression is not boolean"))
+        }
+    }
+}
+
+/// Convenience: parse and evaluate in one step.
+pub fn query(store: &TripleStore, graphs: &[&str], sparql: &str) -> Result<Solutions> {
+    let q = super::parser::parse_query(sparql)?;
+    evaluate(store, graphs, &q)
+}
+
+/// Evaluate an `ASK` pattern: does at least one solution exist?
+pub fn ask(store: &TripleStore, graphs: &[&str], pattern: &GraphPattern) -> Result<bool> {
+    let q = Query {
+        distinct: false,
+        variables: Vec::new(),
+        projections: Vec::new(),
+        pattern: pattern.clone(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: Some(1),
+        offset: None,
+    };
+    Ok(!evaluate(store, graphs, &q)?.is_empty())
+}
+
+/// Evaluate a `CONSTRUCT`: instantiate `template` once per solution of
+/// `pattern`. Triples with unbound variables or literal subjects/predicates
+/// are skipped; duplicates are removed.
+pub fn construct(
+    store: &TripleStore,
+    graphs: &[&str],
+    template: &[PatternTriple],
+    pattern: &GraphPattern,
+) -> Result<Vec<crate::store::Triple>> {
+    let q = Query {
+        distinct: false,
+        variables: Vec::new(),
+        projections: Vec::new(),
+        pattern: pattern.clone(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    };
+    let sols = evaluate(store, graphs, &q)?;
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for row in &sols.rows {
+        'tmpl: for t in template {
+            let mut resolved = Vec::with_capacity(3);
+            for part in [&t.subject, &t.predicate, &t.object] {
+                let term = match part {
+                    PatternTerm::Const(c) => c.clone(),
+                    PatternTerm::Var(v) => {
+                        let Some(i) = sols.var_index(v) else { continue 'tmpl };
+                        match &row[i] {
+                            Some(term) => term.clone(),
+                            None => continue 'tmpl,
+                        }
+                    }
+                };
+                resolved.push(term);
+            }
+            // RDF validity: literals cannot be subjects or predicates.
+            if resolved[0].is_literal() || resolved[1].is_literal() {
+                continue;
+            }
+            let triple = crate::store::Triple::new(
+                resolved[0].clone(),
+                resolved[1].clone(),
+                resolved[2].clone(),
+            );
+            if seen.insert(triple.clone()) {
+                out.push(triple);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse and evaluate any query form; SELECT solutions, ASK booleans and
+/// CONSTRUCT graphs are returned through one result enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    Solutions(Solutions),
+    Boolean(bool),
+    Graph(Vec<crate::store::Triple>),
+}
+
+/// Evaluate any SPARQL query form.
+pub fn query_any(
+    store: &TripleStore,
+    graphs: &[&str],
+    sparql: &str,
+) -> Result<QueryOutcome> {
+    match super::parser::parse_any(sparql)? {
+        ParsedQuery::Select(q) => Ok(QueryOutcome::Solutions(evaluate(store, graphs, &q)?)),
+        ParsedQuery::Ask(p) => Ok(QueryOutcome::Boolean(ask(store, graphs, &p)?)),
+        ParsedQuery::Construct { template, pattern } => Ok(QueryOutcome::Graph(
+            construct(store, graphs, &template, &pattern)?,
+        )),
+    }
+}
+
+fn cmp_binding(store: &TripleStore, a: Option<TermId>, b: Option<TermId>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(a), Some(b)) => {
+            let ta = store.dictionary().term_of(a);
+            let tb = store.dictionary().term_of(b);
+            match (ta.as_f64(), tb.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => ta.lexical_form().cmp(tb.lexical_form()),
+            }
+        }
+    }
+}
+
+/// A (partial) solution row over the full variable table.
+type Bindings = Vec<Option<TermId>>;
+
+struct EvalCtx<'a> {
+    store: &'a TripleStore,
+    graphs: &'a [&'a str],
+    vars: &'a [String],
+    var_index: &'a HashMap<&'a str, usize>,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn eval_pattern(
+        &self,
+        pattern: &GraphPattern,
+        input: Vec<Bindings>,
+    ) -> Result<Vec<Bindings>> {
+        match pattern {
+            GraphPattern::Bgp(triples) => self.eval_bgp(triples, input),
+            GraphPattern::Join(a, b) => {
+                let left = self.eval_pattern(a, input)?;
+                self.eval_pattern(b, left)
+            }
+            GraphPattern::Optional(a, b) => {
+                let left = self.eval_pattern(a, input)?;
+                let mut out = Vec::new();
+                for row in left {
+                    let extended = self.eval_pattern(b, vec![row.clone()])?;
+                    if extended.is_empty() {
+                        out.push(row);
+                    } else {
+                        out.extend(extended);
+                    }
+                }
+                Ok(out)
+            }
+            GraphPattern::Union(a, b) => {
+                let mut left = self.eval_pattern(a, input.clone())?;
+                let right = self.eval_pattern(b, input)?;
+                left.extend(right);
+                Ok(left)
+            }
+            GraphPattern::Filter(p, e) => {
+                let rows = self.eval_pattern(p, input)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    if self.eval_filter(e, &row)? == Some(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            GraphPattern::Minus(a, b) => {
+                let left = self.eval_pattern(a, input)?;
+                // The right side is evaluated independently (fresh scope),
+                // per the SPARQL 1.1 MINUS definition.
+                let right =
+                    self.eval_pattern(b, vec![vec![None; self.vars.len()]])?;
+                Ok(left
+                    .into_iter()
+                    .filter(|l| {
+                        !right.iter().any(|r| {
+                            let mut shares = false;
+                            for (lv, rv) in l.iter().zip(r.iter()) {
+                                match (lv, rv) {
+                                    (Some(x), Some(y)) if x == y => shares = true,
+                                    (Some(_), Some(_)) => return false, // incompatible
+                                    _ => {}
+                                }
+                            }
+                            shares // compatible and sharing ≥1 binding → remove
+                        })
+                    })
+                    .collect())
+            }
+            GraphPattern::Values { vars, rows } => {
+                let dict = self.store.dictionary();
+                let var_is: Vec<usize> = vars
+                    .iter()
+                    .map(|v| {
+                        self.var_index.get(v.as_str()).copied().ok_or_else(|| {
+                            Error::eval(format!("unknown VALUES variable `?{v}`"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut out = Vec::new();
+                for row in &input {
+                    'data: for data in rows {
+                        let mut new_row = row.clone();
+                        for (&vi, cell) in var_is.iter().zip(data) {
+                            let Some(term) = cell else { continue }; // UNDEF
+                            // Interning is safe here: it adds the term to
+                            // the dictionary without asserting any triple.
+                            let id = dict.intern(term);
+                            match new_row[vi] {
+                                None => new_row[vi] = Some(id),
+                                Some(existing) if existing == id => {}
+                                Some(_) => continue 'data,
+                            }
+                        }
+                        out.push(new_row);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn eval_bgp(
+        &self,
+        triples: &[PatternTriple],
+        mut solutions: Vec<Bindings>,
+    ) -> Result<Vec<Bindings>> {
+        if triples.is_empty() {
+            return Ok(solutions);
+        }
+        // Greedy ordering: repeatedly pick the unprocessed pattern with the
+        // most positions that are constants or already-bound variables.
+        let mut remaining: Vec<&PatternTriple> = triples.iter().collect();
+        let mut bound_vars: Vec<bool> = vec![false; self.vars.len()];
+        // Variables bound by the input solutions count as bound.
+        if let Some(first) = solutions.first() {
+            for (i, b) in first.iter().enumerate() {
+                if b.is_some() {
+                    bound_vars[i] = true;
+                }
+            }
+        }
+
+        while !remaining.is_empty() {
+            let (best_pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let score = [&t.subject, &t.predicate, &t.object]
+                        .iter()
+                        .map(|pt| match pt {
+                            PatternTerm::Const(_) => 2usize,
+                            PatternTerm::Var(v) => {
+                                if bound_vars[self.var_index[v.as_str()]] {
+                                    2
+                                } else {
+                                    0
+                                }
+                            }
+                        })
+                        .sum::<usize>();
+                    (i, score)
+                })
+                .max_by_key(|&(_, s)| s)
+                .expect("non-empty");
+            let t = remaining.remove(best_pos);
+
+            let mut next = Vec::new();
+            for row in &solutions {
+                self.extend_with_pattern(t, row, &mut next)?;
+            }
+            solutions = next;
+            for pt in [&t.subject, &t.predicate, &t.object] {
+                if let PatternTerm::Var(v) = pt {
+                    bound_vars[self.var_index[v.as_str()]] = true;
+                }
+            }
+            if solutions.is_empty() {
+                return Ok(solutions);
+            }
+        }
+        Ok(solutions)
+    }
+
+    fn extend_with_pattern(
+        &self,
+        t: &PatternTriple,
+        row: &Bindings,
+        out: &mut Vec<Bindings>,
+    ) -> Result<()> {
+        if let Some(path) = &t.complex {
+            return self.extend_with_complex(path, t, row, out);
+        }
+        if t.path != PathMod::One {
+            return self.extend_with_path(t, row, out);
+        }
+        let dict = self.store.dictionary();
+        // Resolve each position: constant id, bound var id, or free var.
+        let mut free: [Option<usize>; 3] = [None, None, None];
+        let mut pat: IdPattern = (None, None, None);
+        for (pos, pt) in [&t.subject, &t.predicate, &t.object].iter().enumerate() {
+            let slot = match pt {
+                PatternTerm::Const(term) => match dict.id_of(term) {
+                    Some(id) => Some(id),
+                    None => return Ok(()), // constant never seen → no match
+                },
+                PatternTerm::Var(v) => {
+                    let vi = self.var_index[v.as_str()];
+                    match row[vi] {
+                        Some(id) => Some(id),
+                        None => {
+                            free[pos] = Some(vi);
+                            None
+                        }
+                    }
+                }
+            };
+            match pos {
+                0 => pat.0 = slot,
+                1 => pat.1 = slot,
+                _ => pat.2 = slot,
+            }
+        }
+        // Same variable twice in one pattern (e.g. ?x <p> ?x): the second
+        // occurrence must equal the first.
+        let mut matches = Vec::new();
+        self.store.match_id_pattern(self.graphs, pat, &mut matches);
+        'm: for (s, p, o) in matches {
+            let mut new_row = row.clone();
+            for (pos, id) in [(0usize, s), (1, p), (2, o)] {
+                if let Some(vi) = free[pos] {
+                    match new_row[vi] {
+                        None => new_row[vi] = Some(id),
+                        Some(existing) if existing == id => {}
+                        Some(_) => continue 'm,
+                    }
+                }
+            }
+            out.push(new_row);
+        }
+        Ok(())
+    }
+
+    /// Evaluate a transitive path pattern (`p+` / `p*`) by BFS over the
+    /// predicate's edges in the selected graphs.
+    fn extend_with_path(
+        &self,
+        t: &PatternTriple,
+        row: &Bindings,
+        out: &mut Vec<Bindings>,
+    ) -> Result<()> {
+        let dict = self.store.dictionary();
+        let PatternTerm::Const(pred) = &t.predicate else {
+            return Err(Error::eval("path modifiers require a constant predicate"));
+        };
+        let Some(p) = dict.id_of(pred) else {
+            return Ok(()); // predicate never seen → no edges
+        };
+
+        // Materialise the p-edge list once per call (bounded by the user
+        // KB size, which the paper's workloads keep small).
+        let mut edges: Vec<(TermId, TermId, TermId)> = Vec::new();
+        self.store
+            .match_id_pattern(self.graphs, (None, Some(p), None), &mut edges);
+        let mut forward: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut nodes: Vec<TermId> = Vec::new();
+        for &(s, _, o) in &edges {
+            forward.entry(s).or_default().push(o);
+            if !nodes.contains(&s) {
+                nodes.push(s);
+            }
+            if !nodes.contains(&o) {
+                nodes.push(o);
+            }
+        }
+        let include_zero = t.path == PathMod::ZeroOrMore;
+
+        let reachable = |start: TermId| -> Vec<TermId> {
+            let mut seen: Vec<TermId> = Vec::new();
+            let mut frontier = vec![start];
+            while let Some(n) = frontier.pop() {
+                for &next in forward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !seen.contains(&next) {
+                        seen.push(next);
+                        frontier.push(next);
+                    }
+                }
+            }
+            if include_zero && !seen.contains(&start) {
+                seen.push(start);
+            }
+            seen
+        };
+
+        // Resolve the endpoints against the current row.
+        let resolve = |pt: &PatternTerm| -> std::result::Result<Option<TermId>, ()> {
+            match pt {
+                PatternTerm::Const(term) => match dict.id_of(term) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err(()), // constant never interned → no match
+                },
+                PatternTerm::Var(v) => Ok(row[self.var_index[v.as_str()]]),
+            }
+        };
+        let (Ok(s_res), Ok(o_res)) = (resolve(&t.subject), resolve(&t.object)) else {
+            return Ok(());
+        };
+
+        let emit = |s: TermId, o: TermId, out: &mut Vec<Bindings>| {
+            let mut new_row = row.clone();
+            if let PatternTerm::Var(v) = &t.subject {
+                new_row[self.var_index[v.as_str()]] = Some(s);
+            }
+            if let PatternTerm::Var(v) = &t.object {
+                let vi = self.var_index[v.as_str()];
+                match new_row[vi] {
+                    None => new_row[vi] = Some(o),
+                    Some(existing) if existing == o => {}
+                    Some(_) => return,
+                }
+            }
+            out.push(new_row);
+        };
+
+        match (s_res, o_res) {
+            (Some(s), Some(o)) => {
+                if reachable(s).contains(&o) {
+                    emit(s, o, out);
+                }
+            }
+            (Some(s), None) => {
+                for o in reachable(s) {
+                    emit(s, o, out);
+                }
+            }
+            (None, Some(o)) => {
+                // Backward reachability: nodes from which `o` is reachable.
+                for &s in &nodes {
+                    if reachable(s).contains(&o) {
+                        emit(s, o, out);
+                    }
+                }
+            }
+            (None, None) => {
+                for &s in &nodes {
+                    for o in reachable(s) {
+                        emit(s, o, out);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialise the (subject, object) pair set of a structured property
+    /// path. Pair sets stay small because they are evaluated against
+    /// per-user knowledge bases, not the relational databank.
+    fn path_pairs(&self, path: &PropertyPath) -> Vec<(TermId, TermId)> {
+        use std::collections::HashSet;
+        match path {
+            PropertyPath::Pred(term) => {
+                let Some(p) = self.store.dictionary().id_of(term) else {
+                    return Vec::new();
+                };
+                let mut matches = Vec::new();
+                self.store
+                    .match_id_pattern(self.graphs, (None, Some(p), None), &mut matches);
+                matches.into_iter().map(|(s, _, o)| (s, o)).collect()
+            }
+            PropertyPath::Inverse(p) => {
+                self.path_pairs(p).into_iter().map(|(s, o)| (o, s)).collect()
+            }
+            PropertyPath::Alternative(ps) => {
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for p in ps {
+                    for pair in self.path_pairs(p) {
+                        if seen.insert(pair) {
+                            out.push(pair);
+                        }
+                    }
+                }
+                out
+            }
+            PropertyPath::Sequence(ps) => {
+                let mut acc: Option<Vec<(TermId, TermId)>> = None;
+                for p in ps {
+                    let next = self.path_pairs(p);
+                    acc = Some(match acc {
+                        None => next,
+                        Some(cur) => {
+                            let mut by_subject: HashMap<TermId, Vec<TermId>> =
+                                HashMap::new();
+                            for (s, o) in next {
+                                by_subject.entry(s).or_default().push(o);
+                            }
+                            let mut seen = HashSet::new();
+                            let mut out = Vec::new();
+                            for (a, b) in cur {
+                                for &c in
+                                    by_subject.get(&b).map(Vec::as_slice).unwrap_or(&[])
+                                {
+                                    if seen.insert((a, c)) {
+                                        out.push((a, c));
+                                    }
+                                }
+                            }
+                            out
+                        }
+                    });
+                    if acc.as_ref().is_some_and(Vec::is_empty) {
+                        break;
+                    }
+                }
+                acc.unwrap_or_default()
+            }
+            PropertyPath::Closure(p, mode) => {
+                let base = self.path_pairs(p);
+                let mut forward: HashMap<TermId, Vec<TermId>> = HashMap::new();
+                let mut nodes: HashSet<TermId> = HashSet::new();
+                for &(s, o) in &base {
+                    forward.entry(s).or_default().push(o);
+                    nodes.insert(s);
+                    nodes.insert(o);
+                }
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for &start in &nodes {
+                    // BFS from each node.
+                    let mut frontier = vec![start];
+                    let mut reached: HashSet<TermId> = HashSet::new();
+                    while let Some(n) = frontier.pop() {
+                        for &next in forward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                            if reached.insert(next) {
+                                frontier.push(next);
+                            }
+                        }
+                    }
+                    if *mode == PathMod::ZeroOrMore {
+                        reached.insert(start);
+                    }
+                    for o in reached {
+                        if seen.insert((start, o)) {
+                            out.push((start, o));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Bind the endpoints of a structured property path against the pair
+    /// set, analogous to [`Self::extend_with_path`] for simple closures.
+    fn extend_with_complex(
+        &self,
+        path: &PropertyPath,
+        t: &PatternTriple,
+        row: &Bindings,
+        out: &mut Vec<Bindings>,
+    ) -> Result<()> {
+        let dict = self.store.dictionary();
+        let resolve = |pt: &PatternTerm| -> std::result::Result<Option<TermId>, ()> {
+            match pt {
+                PatternTerm::Const(term) => match dict.id_of(term) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err(()),
+                },
+                PatternTerm::Var(v) => Ok(row[self.var_index[v.as_str()]]),
+            }
+        };
+        let (Ok(s_res), Ok(o_res)) = (resolve(&t.subject), resolve(&t.object)) else {
+            return Ok(()); // constant endpoint never interned → no match
+        };
+        for (s, o) in self.path_pairs(path) {
+            if s_res.is_some_and(|x| x != s) || o_res.is_some_and(|x| x != o) {
+                continue;
+            }
+            let mut new_row = row.clone();
+            let mut ok = true;
+            for (pt, id) in [(&t.subject, s), (&t.object, o)] {
+                if let PatternTerm::Var(v) = pt {
+                    let vi = self.var_index[v.as_str()];
+                    match new_row[vi] {
+                        None => new_row[vi] = Some(id),
+                        Some(existing) if existing == id => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(new_row);
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_filter(&self, e: &SparqlExpr, row: &Bindings) -> Result<Option<bool>> {
+        // Three-valued: unbound variables make a comparison undefined
+        // (treated as an evaluation error in SPARQL → filter drops the row,
+        // here modelled as None).
+        match e {
+            SparqlExpr::And(a, b) => Ok(match (self.eval_filter(a, row)?, self.eval_filter(b, row)?) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }),
+            SparqlExpr::Or(a, b) => Ok(match (self.eval_filter(a, row)?, self.eval_filter(b, row)?) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            }),
+            SparqlExpr::Not(inner) => Ok(self.eval_filter(inner, row)?.map(|b| !b)),
+            SparqlExpr::Bound(v) => {
+                let vi = *self
+                    .var_index
+                    .get(v.as_str())
+                    .ok_or_else(|| Error::eval(format!("unknown variable `?{v}`")))?;
+                Ok(Some(row[vi].is_some()))
+            }
+            SparqlExpr::Regex(inner, pattern) => {
+                let Some(term) = self.eval_term(inner, row)? else {
+                    return Ok(None);
+                };
+                Ok(Some(simple_regex_match(term.lexical_form(), pattern)))
+            }
+            SparqlExpr::Cmp(a, op, b) => {
+                let (Some(ta), Some(tb)) =
+                    (self.eval_term(a, row)?, self.eval_term(b, row)?)
+                else {
+                    return Ok(None);
+                };
+                Ok(Some(compare_terms(&ta, *op, &tb)))
+            }
+            SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
+                Err(Error::eval("expression is not boolean"))
+            }
+        }
+    }
+
+    fn eval_term(&self, e: &SparqlExpr, row: &Bindings) -> Result<Option<Term>> {
+        match e {
+            SparqlExpr::Var(v) => {
+                let vi = *self
+                    .var_index
+                    .get(v.as_str())
+                    .ok_or_else(|| Error::eval(format!("unknown variable `?{v}`")))?;
+                Ok(row[vi].map(|id| self.store.dictionary().term_of(id)))
+            }
+            SparqlExpr::Const(t) => Ok(Some(t.clone())),
+            SparqlExpr::Str(inner) => Ok(self
+                .eval_term(inner, row)?
+                .map(|t| Term::lit(t.lexical_form().to_string()))),
+            other => Err(Error::eval(format!("expected a term expression, got {other:?}"))),
+        }
+    }
+}
+
+/// Term comparison: numeric when both sides parse as numbers, term equality
+/// for `=`/`!=`, lexical otherwise.
+fn compare_terms(a: &Term, op: CmpOp, b: &Term) -> bool {
+    if matches!(op, CmpOp::Eq | CmpOp::NotEq) {
+        let eq = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b || (a.is_iri() ^ b.is_iri() && a.lexical_form() == b.lexical_form()),
+        };
+        return if op == CmpOp::Eq { eq } else { !eq };
+    }
+    let ord = match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.lexical_form().cmp(b.lexical_form()),
+    };
+    match op {
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::LtEq => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::GtEq => ord != Ordering::Less,
+        CmpOp::Eq | CmpOp::NotEq => unreachable!(),
+    }
+}
+
+/// A deliberately small REGEX subset: `^` anchors the start, `$` the end,
+/// everything else matches literally (substring search). Covers the
+/// highlight / snippet use cases of the paper without a regex dependency.
+fn simple_regex_match(s: &str, pattern: &str) -> bool {
+    let (anchored_start, p) = match pattern.strip_prefix('^') {
+        Some(rest) => (true, rest),
+        None => (false, pattern),
+    };
+    let (anchored_end, p) = match p.strip_suffix('$') {
+        Some(rest) => (true, rest),
+        None => (false, p),
+    };
+    match (anchored_start, anchored_end) {
+        (true, true) => s == p,
+        (true, false) => s.starts_with(p),
+        (false, true) => s.ends_with(p),
+        (false, false) => s.contains(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Triple;
+
+    fn t(s: &str, p: &str, o: Term) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), o)
+    }
+
+    fn store() -> TripleStore {
+        let store = TripleStore::new();
+        let g = "kb";
+        store.insert(g, &t("Hg", "dangerLevel", Term::lit("5")));
+        store.insert(g, &t("Pb", "dangerLevel", Term::lit("4")));
+        store.insert(g, &t("As", "dangerLevel", Term::lit("5")));
+        store.insert(g, &t("Cu", "dangerLevel", Term::lit("1")));
+        store.insert(g, &t("Hg", "isA", Term::iri("HazardousWaste")));
+        store.insert(g, &t("Pb", "isA", Term::iri("HazardousWaste")));
+        store.insert(g, &t("Hg", "name", Term::lit("Mercury")));
+        store.insert(g, &t("Pb", "name", Term::lit("Lead")));
+        store.insert(g, &t("Hg", "occursWith", Term::iri("As")));
+        store
+    }
+
+    fn run(sparql: &str) -> Solutions {
+        query(&store(), &["kb"], sparql).unwrap()
+    }
+
+    #[test]
+    fn single_pattern() {
+        let s = run("SELECT ?s ?o WHERE { ?s <dangerLevel> ?o }");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.variables, vec!["s", "o"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let s = run(
+            "SELECT ?s ?n WHERE { ?s <isA> <HazardousWaste> . ?s <name> ?n } ORDER BY ?n",
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows[0][1], Some(Term::lit("Lead")));
+        assert_eq!(s.rows[1][1], Some(Term::lit("Mercury")));
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let s = run("SELECT ?s WHERE { ?s <dangerLevel> ?d . FILTER(?d >= 4) } ORDER BY ?s");
+        assert_eq!(s.len(), 3);
+        let names: Vec<String> = s
+            .rows
+            .iter()
+            .map(|r| r[0].clone().unwrap().lexical_form().to_string())
+            .collect();
+        assert_eq!(names, vec!["As", "Hg", "Pb"]);
+    }
+
+    #[test]
+    fn filter_inequality_on_iri() {
+        let s = run("SELECT ?s WHERE { ?s <isA> <HazardousWaste> . FILTER(?s != <Hg>) }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Pb")));
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let s = run(
+            "SELECT ?s ?w WHERE { ?s <isA> <HazardousWaste> . OPTIONAL { ?s <occursWith> ?w } } ORDER BY ?s",
+        );
+        assert_eq!(s.len(), 2);
+        // Hg has occursWith, Pb does not.
+        let hg = s.rows.iter().find(|r| r[0] == Some(Term::iri("Hg"))).unwrap();
+        assert_eq!(hg[1], Some(Term::iri("As")));
+        let pb = s.rows.iter().find(|r| r[0] == Some(Term::iri("Pb"))).unwrap();
+        assert_eq!(pb[1], None);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let s = run(
+            "SELECT ?x WHERE { { ?x <dangerLevel> \"5\" } UNION { ?x <name> \"Lead\" } }",
+        );
+        assert_eq!(s.len(), 3); // Hg, As (level 5) + Pb (name Lead)
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let s = run("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+        assert_eq!(s.len(), 4); // dangerLevel, isA, name, occursWith
+        let s = run("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3");
+        assert_eq!(s.len(), 3);
+        let s = run("SELECT ?s WHERE { ?s <dangerLevel> ?d } ORDER BY ?s LIMIT 2 OFFSET 3");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn select_star_exposes_all_vars() {
+        let s = run("SELECT * WHERE { ?s <name> ?n }");
+        assert_eq!(s.variables, vec!["s", "n"]);
+    }
+
+    #[test]
+    fn same_variable_twice_in_pattern() {
+        let store = store();
+        store.insert("kb", &t("Se", "occursWith", Term::iri("Se")));
+        let s = query(&store, &["kb"], "SELECT ?x WHERE { ?x <occursWith> ?x }").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Se")));
+    }
+
+    #[test]
+    fn bound_filter_with_optional() {
+        let s = run(
+            "SELECT ?s WHERE { ?s <isA> <HazardousWaste> . \
+             OPTIONAL { ?s <occursWith> ?w } FILTER(!BOUND(?w)) }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Pb")));
+    }
+
+    #[test]
+    fn regex_subset() {
+        let s = run(
+            "SELECT ?s WHERE { ?s <name> ?n . FILTER(REGEX(?n, \"^Merc\")) }",
+        );
+        assert_eq!(s.len(), 1);
+        assert!(simple_regex_match("mercury", "cur"));
+        assert!(simple_regex_match("mercury", "^merc"));
+        assert!(simple_regex_match("mercury", "ury$"));
+        assert!(simple_regex_match("mercury", "^mercury$"));
+        assert!(!simple_regex_match("mercury", "^urc"));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_solutions() {
+        let s = query(&store(), &["empty"], "SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn order_by_numeric_desc() {
+        let s = run("SELECT ?s ?d WHERE { ?s <dangerLevel> ?d } ORDER BY DESC(?d) ?s");
+        assert_eq!(s.rows[0][1], Some(Term::lit("5")));
+        assert_eq!(s.rows[3][1], Some(Term::lit("1")));
+    }
+
+    #[test]
+    fn column_helper() {
+        let s = run("SELECT ?s WHERE { ?s <isA> <HazardousWaste> }");
+        let c = s.column("s").unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(s.column("nope").is_err());
+    }
+
+    fn hierarchy_store() -> TripleStore {
+        let store = TripleStore::new();
+        for (a, b) in [("HgS", "HeavyMetalOre"), ("HeavyMetalOre", "MetalOre"), ("MetalOre", "Ore")] {
+            store.insert("kb", &t(a, "subClassOf", Term::iri(b)));
+        }
+        store.insert("kb", &t("PbS", "subClassOf", Term::iri("HeavyMetalOre")));
+        store
+    }
+
+    #[test]
+    fn transitive_path_forward() {
+        let s = query(
+            &hierarchy_store(),
+            &["kb"],
+            "SELECT ?c WHERE { <HgS> <subClassOf>+ ?c } ORDER BY ?c",
+        )
+        .unwrap();
+        let names: Vec<String> = s
+            .rows
+            .iter()
+            .map(|r| r[0].clone().unwrap().lexical_form().to_string())
+            .collect();
+        assert_eq!(names, vec!["HeavyMetalOre", "MetalOre", "Ore"]);
+    }
+
+    #[test]
+    fn transitive_path_backward() {
+        let s = query(
+            &hierarchy_store(),
+            &["kb"],
+            "SELECT ?c WHERE { ?c <subClassOf>+ <MetalOre> } ORDER BY ?c",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 3); // HgS, PbS, HeavyMetalOre
+    }
+
+    #[test]
+    fn zero_or_more_includes_self() {
+        let s = query(
+            &hierarchy_store(),
+            &["kb"],
+            "SELECT ?c WHERE { <HgS> <subClassOf>* ?c }",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 4, "self + three ancestors");
+    }
+
+    #[test]
+    fn path_both_endpoints_bound() {
+        let s = query(
+            &hierarchy_store(),
+            &["kb"],
+            "SELECT * WHERE { <HgS> <subClassOf>+ <Ore> }",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1, "reachability check succeeds");
+        let s = query(
+            &hierarchy_store(),
+            &["kb"],
+            "SELECT * WHERE { <Ore> <subClassOf>+ <HgS> }",
+        )
+        .unwrap();
+        assert!(s.is_empty(), "no backward edge");
+    }
+
+    #[test]
+    fn path_with_cycle_terminates() {
+        let store = TripleStore::new();
+        store.insert("kb", &t("A", "next", Term::iri("B")));
+        store.insert("kb", &t("B", "next", Term::iri("A")));
+        let s = query(&store, &["kb"], "SELECT ?x WHERE { <A> <next>+ ?x }").unwrap();
+        assert_eq!(s.len(), 2); // B and A (via the cycle)
+    }
+
+    #[test]
+    fn path_joins_with_other_patterns() {
+        let store = hierarchy_store();
+        store.insert("kb", &t("HgS", "foundIn", Term::lit("LF1")));
+        let s = query(
+            &store,
+            &["kb"],
+            "SELECT ?o WHERE { ?o <subClassOf>+ <Ore> . ?o <foundIn> ?l }",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("HgS")));
+    }
+
+    #[test]
+    fn path_on_variable_predicate_rejected() {
+        assert!(crate::sparql::parser::parse_query(
+            "SELECT ?x WHERE { <A> ?p+ ?x }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ask_form() {
+        let store = store();
+        match query_any(&store, &["kb"], "ASK { <Hg> <isA> <HazardousWaste> }").unwrap() {
+            QueryOutcome::Boolean(b) => assert!(b),
+            other => panic!("unexpected {other:?}"),
+        }
+        match query_any(&store, &["kb"], "ASK WHERE { <Cu> <isA> <HazardousWaste> }").unwrap()
+        {
+            QueryOutcome::Boolean(b) => assert!(!b),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ask_with_filter() {
+        let store = store();
+        match query_any(
+            &store,
+            &["kb"],
+            "ASK { ?s <dangerLevel> ?d . FILTER(?d > 4) }",
+        )
+        .unwrap()
+        {
+            QueryOutcome::Boolean(b) => assert!(b),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construct_instantiates_template() {
+        let store = store();
+        let out = query_any(
+            &store,
+            &["kb"],
+            "CONSTRUCT { ?s <classifiedAs> <Dangerous> } \
+             WHERE { ?s <dangerLevel> ?d . FILTER(?d >= 4) }",
+        )
+        .unwrap();
+        match out {
+            QueryOutcome::Graph(ts) => {
+                assert_eq!(ts.len(), 3); // Hg, Pb, As
+                assert!(ts
+                    .iter()
+                    .all(|t| t.predicate == Term::iri("classifiedAs")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construct_skips_invalid_and_dedupes() {
+        let store = store();
+        // Literal subject (?n is a literal) → skipped entirely; constant
+        // template emitted once per solution but deduplicated to one.
+        let out = query_any(
+            &store,
+            &["kb"],
+            "CONSTRUCT { ?n <x> <y> . <a> <b> <c> } WHERE { ?s <name> ?n }",
+        )
+        .unwrap();
+        match out {
+            QueryOutcome::Graph(ts) => {
+                assert_eq!(ts, vec![t("a", "b", Term::iri("c"))]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construct_feeds_back_into_store() {
+        // CONSTRUCT output loads into a graph — the "context-aware
+        // knowledge extension" loop of Sec. I-B(c).
+        let store = store();
+        let QueryOutcome::Graph(ts) = query_any(
+            &store,
+            &["kb"],
+            "CONSTRUCT { ?s <suspect> \"true\" } WHERE { ?s <dangerLevel> \"5\" }",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        store.insert_all("derived", ts.iter());
+        let s = query(&store, &["derived"], "SELECT ?s WHERE { ?s <suspect> ?v }").unwrap();
+        assert_eq!(s.len(), 2); // Hg, As
+    }
+
+    #[test]
+    fn parse_query_rejects_non_select() {
+        assert!(crate::sparql::parser::parse_query("ASK { ?s ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn cross_graph_union_evaluation() {
+        let store = store();
+        store.insert("kb2", &t("Zn", "dangerLevel", Term::lit("2")));
+        let s = query(&store, &["kb", "kb2"], "SELECT ?s WHERE { ?s <dangerLevel> ?d }")
+            .unwrap();
+        assert_eq!(s.len(), 5);
+    }
+
+    // ---- aggregates ---------------------------------------------------------
+
+    #[test]
+    fn count_star_global() {
+        let s = run("SELECT (COUNT(*) AS ?n) WHERE { ?s <dangerLevel> ?d }");
+        assert_eq!(s.variables, vec!["n"]);
+        assert_eq!(s.rows[0][0], Some(Term::lit("4")));
+    }
+
+    #[test]
+    fn count_star_on_empty_pattern_is_zero() {
+        let s = run("SELECT (COUNT(*) AS ?n) WHERE { ?s <nope> ?d }");
+        assert_eq!(s.rows[0][0], Some(Term::lit("0")));
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let s = run(
+            "SELECT ?d (COUNT(?s) AS ?n) WHERE { ?s <dangerLevel> ?d } \
+             GROUP BY ?d ORDER BY DESC(?n) ?d",
+        );
+        assert_eq!(s.variables, vec!["d", "n"]);
+        // level 5 → 2 subjects; levels 4 and 1 → 1 each.
+        assert_eq!(s.rows[0][0], Some(Term::lit("5")));
+        assert_eq!(s.rows[0][1], Some(Term::lit("2")));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sum_avg_min_max_sample() {
+        let s = run(
+            "SELECT (SUM(?d) AS ?sum) (AVG(?d) AS ?avg) (MIN(?d) AS ?lo) \
+             (MAX(?d) AS ?hi) (SAMPLE(?d) AS ?any) \
+             WHERE { ?s <dangerLevel> ?d }",
+        );
+        assert_eq!(s.rows[0][0], Some(Term::lit("15"))); // 5+4+5+1
+        assert_eq!(s.rows[0][1], Some(Term::lit("3.75")));
+        assert_eq!(s.rows[0][2], Some(Term::lit("1")));
+        assert_eq!(s.rows[0][3], Some(Term::lit("5")));
+        assert!(s.rows[0][4].is_some());
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = run("SELECT (COUNT(DISTINCT ?d) AS ?n) WHERE { ?s <dangerLevel> ?d }");
+        assert_eq!(s.rows[0][0], Some(Term::lit("3"))); // 5, 4, 1
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let s = run(
+            "SELECT ?d (COUNT(?s) AS ?n) WHERE { ?s <dangerLevel> ?d } \
+             GROUP BY ?d HAVING(?n > 1)",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::lit("5")));
+    }
+
+    #[test]
+    fn ungrouped_projection_rejected() {
+        let store = store();
+        let err = query(
+            &store,
+            &["kb"],
+            "SELECT ?s (COUNT(?d) AS ?n) WHERE { ?s <dangerLevel> ?d }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn sum_of_non_numeric_errors() {
+        let err = query(
+            &store(),
+            &["kb"],
+            "SELECT (SUM(?n) AS ?x) WHERE { ?s <name> ?n }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("non-numeric"), "{err}");
+    }
+
+    #[test]
+    fn min_max_lexical_for_strings() {
+        let s = run(
+            "SELECT (MIN(?n) AS ?lo) (MAX(?n) AS ?hi) WHERE { ?s <name> ?n }",
+        );
+        assert_eq!(s.rows[0][0], Some(Term::lit("Lead")));
+        assert_eq!(s.rows[0][1], Some(Term::lit("Mercury")));
+    }
+
+    // ---- MINUS / VALUES -----------------------------------------------------
+
+    #[test]
+    fn minus_removes_compatible_solutions() {
+        let s = run(
+            "SELECT ?s WHERE { ?s <dangerLevel> ?d . \
+             MINUS { ?s <isA> <HazardousWaste> } } ORDER BY ?s",
+        );
+        // Hg and Pb are hazardous → removed; As and Cu remain.
+        let names: Vec<String> = s
+            .rows
+            .iter()
+            .map(|r| r[0].clone().unwrap().lexical_form().to_string())
+            .collect();
+        assert_eq!(names, vec!["As", "Cu"]);
+    }
+
+    #[test]
+    fn minus_with_disjoint_domain_keeps_everything() {
+        // The right side binds only ?x, sharing no variable with the left:
+        // nothing is removed (SPARQL 1.1 semantics).
+        let s = run(
+            "SELECT ?s WHERE { ?s <dangerLevel> ?d . MINUS { ?x <isA> <HazardousWaste> } }",
+        );
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn values_single_var_restricts() {
+        let s = run(
+            "SELECT ?s ?d WHERE { VALUES ?s { <Hg> <Cu> } ?s <dangerLevel> ?d } ORDER BY ?s",
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Cu")));
+    }
+
+    #[test]
+    fn values_multi_var_with_undef() {
+        let s = run(
+            "SELECT ?s ?d WHERE { ?s <dangerLevel> ?d . \
+             VALUES (?s ?d) { (<Hg> \"5\") (<Pb> UNDEF) } } ORDER BY ?s",
+        );
+        // (Hg, 5) matches exactly; (Pb, UNDEF) leaves ?d free → Pb/4.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows[1][0], Some(Term::iri("Pb")));
+        assert_eq!(s.rows[1][1], Some(Term::lit("4")));
+    }
+
+    #[test]
+    fn values_with_unseen_term_matches_nothing_downstream() {
+        let s = run(
+            "SELECT ?s ?d WHERE { VALUES ?s { <Unobtainium> } ?s <dangerLevel> ?d }",
+        );
+        assert!(s.is_empty());
+    }
+
+    // ---- structured property paths -------------------------------------------
+
+    #[test]
+    fn sequence_path_composes_edges() {
+        let store = store();
+        // Hg occursWith As; As dangerLevel 5 → Hg (occursWith/dangerLevel) 5.
+        let s = query(
+            &store,
+            &["kb"],
+            "SELECT ?x ?d WHERE { ?x <occursWith>/<dangerLevel> ?d }",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Hg")));
+        assert_eq!(s.rows[0][1], Some(Term::lit("5")));
+    }
+
+    #[test]
+    fn alternative_path_unions_edges() {
+        let s = run("SELECT ?x ?v WHERE { ?x <name>|<dangerLevel> ?v }");
+        assert_eq!(s.len(), 6); // 2 names + 4 danger levels
+    }
+
+    #[test]
+    fn inverse_path_flips_direction() {
+        let s = run("SELECT ?x WHERE { <As> ^<occursWith> ?x }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0][0], Some(Term::iri("Hg")));
+    }
+
+    #[test]
+    fn nested_path_closure_over_alternative() {
+        let store = TripleStore::new();
+        store.insert("kb", &t("A", "p", Term::iri("B")));
+        store.insert("kb", &t("B", "q", Term::iri("C")));
+        store.insert("kb", &t("C", "p", Term::iri("D")));
+        let s = query(
+            &store,
+            &["kb"],
+            "SELECT ?x WHERE { <A> (<p>|<q>)+ ?x } ORDER BY ?x",
+        )
+        .unwrap();
+        let names: Vec<String> = s
+            .rows
+            .iter()
+            .map(|r| r[0].clone().unwrap().lexical_form().to_string())
+            .collect();
+        assert_eq!(names, vec!["B", "C", "D"]);
+    }
+
+    #[test]
+    fn inverse_sequence_roundtrip() {
+        let store = hierarchy_store();
+        // subClassOf followed by its inverse returns to (any sibling of) the
+        // start — HgS and PbS both sit under HeavyMetalOre.
+        let s = query(
+            &store,
+            &["kb"],
+            "SELECT ?x WHERE { <HgS> <subClassOf>/^<subClassOf> ?x } ORDER BY ?x",
+        )
+        .unwrap();
+        let names: Vec<String> = s
+            .rows
+            .iter()
+            .map(|r| r[0].clone().unwrap().lexical_form().to_string())
+            .collect();
+        assert_eq!(names, vec!["HgS", "PbS"]);
+    }
+
+    #[test]
+    fn path_in_construct_pattern() {
+        let store = hierarchy_store();
+        let QueryOutcome::Graph(ts) = query_any(
+            &store,
+            &["kb"],
+            "CONSTRUCT { ?x <ancestor> ?y } WHERE { ?x <subClassOf>+ ?y }",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(ts.len(), 3 + 2 + 1 + 3); // HgS→3, HeavyMetalOre→2, MetalOre→1, PbS→3
+    }
+}

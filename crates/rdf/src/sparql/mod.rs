@@ -1,0 +1,5 @@
+//! SPARQL subset: parser and evaluator.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;

@@ -1,0 +1,537 @@
+//! The triple store: named graphs with SPO/POS/OSP indexes.
+//!
+//! The store holds one graph per name (CroSSE gives each user a personal
+//! graph plus a shared/common graph) over a single shared term dictionary.
+//! Each graph keeps the classic three orderings so any triple-pattern shape
+//! resolves through a range scan:
+//!
+//! * `(s ? ?)`, `(s p ?)`, `(s p o)` → SPO
+//! * `(? p ?)`, `(? p o)`           → POS
+//! * `(? ? o)`, `(s ? o)`           → OSP
+//! * `(? ? ?)`                      → SPO full scan
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::term::{Dictionary, Term, TermId};
+
+/// A concrete triple of terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An interned triple.
+pub(crate) type IdTriple = (TermId, TermId, TermId);
+
+/// Pattern over interned ids; `None` is a wildcard.
+pub(crate) type IdPattern = (Option<TermId>, Option<TermId>, Option<TermId>);
+
+#[derive(Debug, Default)]
+struct GraphData {
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl GraphData {
+    fn insert(&mut self, (s, p, o): IdTriple) -> bool {
+        let fresh = self.spo.insert((s, p, o));
+        if fresh {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        fresh
+    }
+
+    fn remove(&mut self, (s, p, o): IdTriple) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    fn contains(&self, t: IdTriple) -> bool {
+        self.spo.contains(&t)
+    }
+
+    /// Match a pattern; pushes results (in SPO component order) into `out`.
+    fn matching(&self, (s, p, o): IdPattern, out: &mut Vec<IdTriple>) {
+        fn range<F: Fn((TermId, TermId, TermId)) -> IdTriple>(
+            set: &BTreeSet<(TermId, TermId, TermId)>,
+            first: TermId,
+            second: Option<TermId>,
+            reorder: F,
+            out: &mut Vec<IdTriple>,
+        ) {
+            let lo;
+            let hi;
+            match second {
+                None => {
+                    lo = (first, TermId(0), TermId(0));
+                    hi = (TermId(first.0.wrapping_add(1)), TermId(0), TermId(0));
+                }
+                Some(snd) => {
+                    lo = (first, snd, TermId(0));
+                    hi = (first, TermId(snd.0.wrapping_add(1)), TermId(0));
+                }
+            }
+            for &t in set.range((Bound::Included(lo), Bound::Excluded(hi))) {
+                out.push(reorder(t));
+            }
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains((s, p, o)) {
+                    out.push((s, p, o));
+                }
+            }
+            (Some(s), p, None) => range(&self.spo, s, p, |t| t, out),
+            (Some(s), None, Some(o)) => {
+                range(&self.osp, o, Some(s), |(o, s, p)| (s, p, o), out)
+            }
+            (None, Some(p), o) => range(&self.pos, p, o, |(p, o, s)| (s, p, o), out),
+            (None, None, Some(o)) => range(&self.osp, o, None, |(o, s, p)| (s, p, o), out),
+            (None, None, None) => out.extend(self.spo.iter().copied()),
+        }
+    }
+
+}
+
+/// A pattern of concrete terms with wildcards.
+#[derive(Debug, Clone, Default)]
+pub struct TriplePattern {
+    pub subject: Option<Term>,
+    pub predicate: Option<Term>,
+    pub object: Option<Term>,
+}
+
+/// The multi-graph triple store. Cheap to clone (shared interior).
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    dict: Dictionary,
+    graphs: Arc<RwLock<std::collections::BTreeMap<String, GraphData>>>,
+    /// Mutation counter: bumped by every state-changing operation, so
+    /// query-result caches (e.g. the SESQL engine's SPARQL-leg cache) can
+    /// validate entries without diffing graphs.
+    version: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl TripleStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Current mutation version. Any change to any graph increases it.
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Create a graph if absent (inserting into a missing graph also
+    /// creates it; this is for explicitly registering empty graphs).
+    pub fn ensure_graph(&self, name: &str) {
+        self.graphs.write().entry(name.to_string()).or_default();
+    }
+
+    pub fn graph_names(&self) -> Vec<String> {
+        self.graphs.read().keys().cloned().collect()
+    }
+
+    pub fn has_graph(&self, name: &str) -> bool {
+        self.graphs.read().contains_key(name)
+    }
+
+    pub fn drop_graph(&self, name: &str) -> Result<()> {
+        self.bump_version();
+        self.graphs
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::store(format!("graph `{name}` does not exist")))
+    }
+
+    /// Insert a triple into a graph; returns false if it was already there.
+    pub fn insert(&self, graph: &str, triple: &Triple) -> bool {
+        let t = (
+            self.dict.intern(&triple.subject),
+            self.dict.intern(&triple.predicate),
+            self.dict.intern(&triple.object),
+        );
+        self.bump_version();
+        self.graphs.write().entry(graph.to_string()).or_default().insert(t)
+    }
+
+    /// Insert many triples; returns how many were new.
+    pub fn insert_all<'t>(
+        &self,
+        graph: &str,
+        triples: impl IntoIterator<Item = &'t Triple>,
+    ) -> usize {
+        self.bump_version();
+        let mut graphs = self.graphs.write();
+        let g = graphs.entry(graph.to_string()).or_default();
+        let mut fresh = 0;
+        for triple in triples {
+            let t = (
+                self.dict.intern(&triple.subject),
+                self.dict.intern(&triple.predicate),
+                self.dict.intern(&triple.object),
+            );
+            if g.insert(t) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Remove a triple; returns true if present.
+    pub fn remove(&self, graph: &str, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        self.bump_version();
+        match self.graphs.write().get_mut(graph) {
+            Some(g) => g.remove((s, p, o)),
+            None => false,
+        }
+    }
+
+    pub fn contains(&self, graph: &str, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        self.graphs
+            .read()
+            .get(graph)
+            .map(|g| g.contains((s, p, o)))
+            .unwrap_or(false)
+    }
+
+    /// Triple count of one graph.
+    pub fn graph_len(&self, graph: &str) -> usize {
+        self.graphs.read().get(graph).map(|g| g.len()).unwrap_or(0)
+    }
+
+    /// Total triples across all graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().values().map(|g| g.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn to_id_pattern(&self, pattern: &TriplePattern) -> Option<IdPattern> {
+        let conv = |t: &Option<Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                // A constant term that was never interned matches nothing.
+                Some(term) => self.dict.id_of(term).map(Some),
+            }
+        };
+        Some((
+            conv(&pattern.subject)?,
+            conv(&pattern.predicate)?,
+            conv(&pattern.object)?,
+        ))
+    }
+
+    /// Match a pattern against the union of `graphs` (deduplicated).
+    pub fn match_pattern(&self, graphs: &[&str], pattern: &TriplePattern) -> Vec<Triple> {
+        let mut ids = Vec::new();
+        self.match_pattern_ids(graphs, pattern, &mut ids);
+        ids.into_iter()
+            .map(|(s, p, o)| {
+                Triple::new(self.dict.term_of(s), self.dict.term_of(p), self.dict.term_of(o))
+            })
+            .collect()
+    }
+
+    pub(crate) fn match_pattern_ids(
+        &self,
+        graphs: &[&str],
+        pattern: &TriplePattern,
+        out: &mut Vec<IdTriple>,
+    ) {
+        let Some(pat) = self.to_id_pattern(pattern) else {
+            return;
+        };
+        self.match_id_pattern(graphs, pat, out);
+    }
+
+    pub(crate) fn match_id_pattern(
+        &self,
+        graphs: &[&str],
+        pat: IdPattern,
+        out: &mut Vec<IdTriple>,
+    ) {
+        let store = self.graphs.read();
+        let before = out.len();
+        for name in graphs {
+            if let Some(g) = store.get(*name) {
+                g.matching(pat, out);
+            }
+        }
+        if graphs.len() > 1 {
+            // Deduplicate across graphs (a triple may be asserted by
+            // several users).
+            let tail = &mut out[before..];
+            tail.sort_unstable();
+            let mut seen = None;
+            let mut deduped = Vec::with_capacity(tail.len());
+            for &t in tail.iter() {
+                if seen != Some(t) {
+                    deduped.push(t);
+                    seen = Some(t);
+                }
+            }
+            out.truncate(before);
+            out.extend(deduped);
+        }
+    }
+
+    /// Dump a whole graph as concrete triples (sorted by id order).
+    pub fn graph_triples(&self, graph: &str) -> Vec<Triple> {
+        self.match_pattern(&[graph], &TriplePattern::default())
+    }
+
+    /// Distinct predicate terms across `graphs` (walks the POS index, so
+    /// cost is proportional to the number of distinct (p, o) prefixes, not
+    /// to the full triple count for typical ontologies).
+    pub fn distinct_predicates(&self, graphs: &[&str]) -> Vec<Term> {
+        let store = self.graphs.read();
+        let mut ids: Vec<TermId> = Vec::new();
+        for name in graphs {
+            if let Some(g) = store.get(*name) {
+                for &(p, _, _) in &g.pos {
+                    if ids.last() != Some(&p) && !ids.contains(&p) {
+                        ids.push(p);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|id| self.dict.term_of(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::lit(o))
+    }
+
+    fn store_with_data() -> TripleStore {
+        let store = TripleStore::new();
+        store.insert("u1", &t("Hg", "dangerLevel", "5"));
+        store.insert("u1", &t("Pb", "dangerLevel", "4"));
+        store.insert("u1", &t("Hg", "isA", "element"));
+        store.insert("u2", &t("Hg", "dangerLevel", "5"));
+        store.insert("u2", &t("As", "dangerLevel", "5"));
+        store
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let store = TripleStore::new();
+        assert!(store.insert("g", &t("a", "b", "c")));
+        assert!(!store.insert("g", &t("a", "b", "c")));
+        assert_eq!(store.graph_len("g"), 1);
+    }
+
+    #[test]
+    fn all_pattern_shapes() {
+        let store = store_with_data();
+        let g = ["u1"];
+        let m = |s: Option<&str>, p: Option<&str>, o: Option<&str>| {
+            store
+                .match_pattern(
+                    &g,
+                    &TriplePattern {
+                        subject: s.map(Term::iri),
+                        predicate: p.map(Term::iri),
+                        object: o.map(Term::lit),
+                    },
+                )
+                .len()
+        };
+        assert_eq!(m(None, None, None), 3);
+        assert_eq!(m(Some("Hg"), None, None), 2);
+        assert_eq!(m(Some("Hg"), Some("dangerLevel"), None), 1);
+        assert_eq!(m(Some("Hg"), Some("dangerLevel"), Some("5")), 1);
+        assert_eq!(m(None, Some("dangerLevel"), None), 2);
+        assert_eq!(m(None, Some("dangerLevel"), Some("5")), 1);
+        assert_eq!(m(None, None, Some("5")), 1);
+        assert_eq!(m(Some("Hg"), None, Some("5")), 1);
+        assert_eq!(m(Some("Hg"), Some("isA"), Some("nope")), 0);
+    }
+
+    #[test]
+    fn union_across_graphs_dedupes() {
+        let store = store_with_data();
+        let found = store.match_pattern(
+            &["u1", "u2"],
+            &TriplePattern {
+                subject: None,
+                predicate: Some(Term::iri("dangerLevel")),
+                object: None,
+            },
+        );
+        // Hg/5 appears in both graphs but must be reported once.
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn unknown_constant_matches_nothing() {
+        let store = store_with_data();
+        let found = store.match_pattern(
+            &["u1"],
+            &TriplePattern {
+                subject: Some(Term::iri("NeverSeen")),
+                predicate: None,
+                object: None,
+            },
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn missing_graph_is_empty() {
+        let store = store_with_data();
+        assert_eq!(store.graph_len("nope"), 0);
+        assert!(store.match_pattern(&["nope"], &TriplePattern::default()).is_empty());
+    }
+
+    #[test]
+    fn remove_works() {
+        let store = store_with_data();
+        assert!(store.remove("u1", &t("Hg", "isA", "element")));
+        assert!(!store.remove("u1", &t("Hg", "isA", "element")));
+        assert_eq!(store.graph_len("u1"), 2);
+        // Other indexes updated too: object lookup no longer finds it.
+        let found = store.match_pattern(
+            &["u1"],
+            &TriplePattern {
+                subject: None,
+                predicate: None,
+                object: Some(Term::lit("element")),
+            },
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn drop_graph() {
+        let store = store_with_data();
+        store.drop_graph("u2").unwrap();
+        assert!(!store.has_graph("u2"));
+        assert!(store.drop_graph("u2").is_err());
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_counts() {
+        let store = store_with_data();
+        assert!(store.contains("u1", &t("Hg", "dangerLevel", "5")));
+        assert!(!store.contains("u2", &t("Pb", "dangerLevel", "4")));
+        assert_eq!(store.len(), 5);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn literal_vs_iri_objects_are_distinct() {
+        let store = TripleStore::new();
+        store.insert(
+            "g",
+            &Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("x")),
+        );
+        let found = store.match_pattern(
+            &["g"],
+            &TriplePattern {
+                subject: None,
+                predicate: None,
+                object: Some(Term::lit("x")),
+            },
+        );
+        assert!(found.is_empty(), "literal \"x\" must not match IRI <x>");
+    }
+
+    #[test]
+    fn graph_triples_dump() {
+        let store = store_with_data();
+        let all = store.graph_triples("u1");
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|tr| tr.predicate.is_iri()));
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let store = TripleStore::new();
+        let v0 = store.version();
+        let t = Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        store.insert("g", &t);
+        let v1 = store.version();
+        assert!(v1 > v0);
+        let t2 = Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("c"));
+        store.insert_all("g", std::iter::once(&t2));
+        let v2 = store.version();
+        assert!(v2 > v1);
+        store.remove("g", &t);
+        let v3 = store.version();
+        assert!(v3 > v2);
+        store.drop_graph("g").unwrap();
+        assert!(store.version() > v3);
+    }
+
+    #[test]
+    fn clones_share_the_version_counter() {
+        let store = TripleStore::new();
+        let clone = store.clone();
+        let v0 = clone.version();
+        store.insert("g", &Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")));
+        assert!(clone.version() > v0, "caches on clones must observe mutations");
+    }
+}

@@ -1,0 +1,338 @@
+//! A Turtle-lite loader.
+//!
+//! Supports the Turtle features needed to write ontologies by hand in tests
+//! and examples: `@prefix` declarations, IRIs in angle brackets, prefixed
+//! names, the `a` keyword, string / numeric literals, predicate lists with
+//! `;`, object lists with `,`, and `#` comments. No blank-node syntax, no
+//! collections.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::store::Triple;
+use crate::term::Term;
+
+/// Parse a Turtle-lite document into triples.
+pub fn parse_turtle(src: &str) -> Result<Vec<Triple>> {
+    let mut prefixes: HashMap<String, String> = HashMap::new();
+    prefixes.insert("rdf".into(), crate::schema::RDF_NS.into());
+    prefixes.insert("rdfs".into(), crate::schema::RDFS_NS.into());
+    prefixes.insert("xsd".into(), crate::schema::XSD_NS.into());
+    prefixes.insert("smg".into(), crate::schema::SMG_NS.into());
+
+    let mut out = Vec::new();
+    let toks = tokenize(src)?;
+    let mut i = 0;
+
+    while i < toks.len() {
+        // @prefix name: <iri> .
+        if toks[i] == TurtleTok::AtPrefix {
+            let TurtleTok::PrefixedName(p, local) = &toks[i + 1] else {
+                return Err(Error::parse("expected `name:` after @prefix", 0));
+            };
+            if !local.is_empty() {
+                return Err(Error::parse("prefix declaration must end with `:`", 0));
+            }
+            let TurtleTok::Iri(iri) = &toks[i + 2] else {
+                return Err(Error::parse("expected IRI in @prefix", 0));
+            };
+            if toks.get(i + 3) != Some(&TurtleTok::Dot) {
+                return Err(Error::parse("expected `.` after @prefix", 0));
+            }
+            prefixes.insert(p.clone(), iri.clone());
+            i += 4;
+            continue;
+        }
+
+        // subject predicate object (',' object)* (';' predicate object...)* '.'
+        let subject = term_at(&toks, &mut i, &prefixes)?;
+        loop {
+            let predicate = term_at(&toks, &mut i, &prefixes)?;
+            loop {
+                let object = term_at(&toks, &mut i, &prefixes)?;
+                out.push(Triple::new(subject.clone(), predicate.clone(), object));
+                if toks.get(i) == Some(&TurtleTok::Comma) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            if toks.get(i) == Some(&TurtleTok::Semicolon) {
+                i += 1;
+                if toks.get(i) == Some(&TurtleTok::Dot) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if toks.get(i) != Some(&TurtleTok::Dot) {
+            return Err(Error::parse("expected `.` at end of statement", 0));
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TurtleTok {
+    AtPrefix,
+    Iri(String),
+    PrefixedName(String, String),
+    Literal(String),
+    Num(String),
+    A,
+    Dot,
+    Comma,
+    Semicolon,
+    DtMarker,
+}
+
+fn tokenize(src: &str) -> Result<Vec<TurtleTok>> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'.' => {
+                out.push(TurtleTok::Dot);
+                i += 1;
+            }
+            b',' => {
+                out.push(TurtleTok::Comma);
+                i += 1;
+            }
+            b';' => {
+                out.push(TurtleTok::Semicolon);
+                i += 1;
+            }
+            b'^' => {
+                if b.get(i + 1) == Some(&b'^') {
+                    out.push(TurtleTok::DtMarker);
+                    i += 2;
+                } else {
+                    return Err(Error::parse("unexpected `^`", i));
+                }
+            }
+            b'@' => {
+                if src[i..].starts_with("@prefix") {
+                    out.push(TurtleTok::AtPrefix);
+                    i += "@prefix".len();
+                } else {
+                    return Err(Error::parse("unknown @directive", i));
+                }
+            }
+            b'<' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'>' {
+                    j += 1;
+                }
+                if j == b.len() {
+                    return Err(Error::parse("unterminated IRI", i));
+                }
+                out.push(TurtleTok::Iri(src[start..j].to_string()));
+                i = j + 1;
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match b.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                _ => return Err(Error::parse("bad escape", i)),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            let ch = src[i..].chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                        None => return Err(Error::parse("unterminated literal", i)),
+                    }
+                }
+                out.push(TurtleTok::Literal(s));
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    if b[i] == b'.'
+                        && !b.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(TurtleTok::Num(src[start..i].to_string()));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c == b':' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if b.get(i) == Some(&b':') {
+                    i += 1;
+                    let ls = i;
+                    while i < b.len()
+                        && (b[i].is_ascii_alphanumeric()
+                            || b[i] == b'_'
+                            || b[i] == b'-'
+                            || b[i] == b'/')
+                    {
+                        i += 1;
+                    }
+                    out.push(TurtleTok::PrefixedName(
+                        word.to_string(),
+                        src[ls..i].to_string(),
+                    ));
+                } else if word == "a" {
+                    out.push(TurtleTok::A);
+                } else {
+                    return Err(Error::parse(
+                        format!("bare word `{word}` is not valid Turtle"),
+                        start,
+                    ));
+                }
+            }
+            other => {
+                return Err(Error::parse(
+                    format!("unexpected character `{}`", other as char),
+                    i,
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn term_at(
+    toks: &[TurtleTok],
+    i: &mut usize,
+    prefixes: &HashMap<String, String>,
+) -> Result<Term> {
+    let t = toks
+        .get(*i)
+        .ok_or_else(|| Error::parse("unexpected end of input", 0))?
+        .clone();
+    *i += 1;
+    match t {
+        TurtleTok::Iri(iri) => Ok(Term::iri(iri)),
+        TurtleTok::A => Ok(crate::schema::rdf_type()),
+        TurtleTok::Num(n) => Ok(Term::lit(n)),
+        TurtleTok::Literal(s) => {
+            if toks.get(*i) == Some(&TurtleTok::DtMarker) {
+                *i += 1;
+                let dt = term_at(toks, i, prefixes)?;
+                let Term::Iri(dt) = dt else {
+                    return Err(Error::parse("datatype must be an IRI", 0));
+                };
+                Ok(Term::typed_lit(s, dt))
+            } else {
+                Ok(Term::lit(s))
+            }
+        }
+        TurtleTok::PrefixedName(p, local) => {
+            let base = prefixes
+                .get(&p)
+                .ok_or_else(|| Error::parse(format!("unknown prefix `{p}:`"), 0))?;
+            Ok(Term::iri(format!("{base}{local}")))
+        }
+        other => Err(Error::parse(format!("expected a term, found {other:?}"), 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_triples() {
+        let ts = parse_turtle(
+            "<Hg> <dangerLevel> \"5\" .\n<Hg> <isA> <HazardousWaste> .",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].object, Term::lit("5"));
+        assert_eq!(ts[1].object, Term::iri("HazardousWaste"));
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let ts = parse_turtle(
+            "@prefix ex: <http://ex.org/> .\nex:Hg a ex:HeavyMetal .",
+        )
+        .unwrap();
+        assert_eq!(ts[0].subject, Term::iri("http://ex.org/Hg"));
+        assert_eq!(ts[0].predicate, crate::schema::rdf_type());
+    }
+
+    #[test]
+    fn builtin_prefixes_available() {
+        let ts = parse_turtle("<A> rdfs:subClassOf <B> .").unwrap();
+        assert_eq!(ts[0].predicate, crate::schema::rdfs_subclass_of());
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let ts = parse_turtle(
+            "<Hg> <dangerLevel> \"5\" ; <occursWith> <As> , <Sb> .",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(ts.iter().all(|t| t.subject == Term::iri("Hg")));
+    }
+
+    #[test]
+    fn numeric_and_typed_literals() {
+        let ts = parse_turtle(
+            "<Hg> <level> 5 . <Hg> <mass> \"200.59\"^^xsd:decimal .",
+        )
+        .unwrap();
+        assert_eq!(ts[0].object, Term::lit("5"));
+        assert!(matches!(
+            &ts[1].object,
+            Term::Literal { datatype: Some(dt), .. } if dt.ends_with("decimal")
+        ));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let ts = parse_turtle("# header\n<a> <b> <c> . # trailing\n").unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_turtle("<a> <b> .").is_err()); // missing object
+        assert!(parse_turtle("<a> <b> <c>").is_err()); // missing dot
+        assert!(parse_turtle("nope:x <b> <c> .").is_err()); // unknown prefix
+        assert!(parse_turtle("<unterminated").is_err());
+        assert!(parse_turtle("bare <b> <c> .").is_err());
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let ts = parse_turtle("<a> <b> \"say \\\"hi\\\"\\n\" .").unwrap();
+        assert_eq!(ts[0].object, Term::lit("say \"hi\"\n"));
+    }
+}

@@ -1,0 +1,291 @@
+//! CSV import/export.
+//!
+//! The SmartGround platform ingests data from "national agencies, public
+//! bodies data bases, European statistics" — flat-file deliveries in
+//! practice. This module provides an RFC-4180-style reader/writer (quoted
+//! fields, embedded commas/newlines, `""` escapes) with typed import into
+//! catalog tables.
+
+use crate::error::{Error, Result};
+use crate::storage::Table;
+use crate::value::{DataType, Value};
+use crate::RowSet;
+
+/// Parse CSV text into records of string fields.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(Error::parse("quote inside unquoted field", 0));
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(Error::parse("unterminated quoted field", 0));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Convert one CSV field to a typed value. Empty fields become NULL.
+fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        DataType::Text => Ok(Value::Str(field.to_string())),
+        DataType::Int => field
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error::constraint(format!("`{field}` is not an integer"))),
+        DataType::Float => field
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::constraint(format!("`{field}` is not a number"))),
+        DataType::Bool => match field.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" | "yes" => Ok(Value::Bool(true)),
+            "false" | "f" | "0" | "no" => Ok(Value::Bool(false)),
+            other => Err(Error::constraint(format!("`{other}` is not a boolean"))),
+        },
+    }
+}
+
+/// Import CSV text into an existing table. With `has_header` the first
+/// record must name a subset/permutation of the table's columns; without
+/// it, fields map positionally. Returns the number of rows inserted
+/// (atomically: any bad row aborts the whole import).
+pub fn import_csv(table: &Table, text: &str, has_header: bool) -> Result<usize> {
+    let mut records = parse_csv(text)?;
+    if records.is_empty() {
+        return Ok(0);
+    }
+    let schema = &table.schema;
+    let positions: Vec<usize> = if has_header {
+        let header = records.remove(0);
+        header
+            .iter()
+            .map(|name| schema.resolve(None, name.trim()))
+            .collect::<Result<_>>()?
+    } else {
+        (0..schema.len()).collect()
+    };
+
+    let mut rows = Vec::with_capacity(records.len());
+    for (lineno, record) in records.iter().enumerate() {
+        if record.len() != positions.len() {
+            return Err(Error::constraint(format!(
+                "record {} has {} fields, expected {}",
+                lineno + 1,
+                record.len(),
+                positions.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.len()];
+        for (field, &pos) in record.iter().zip(&positions) {
+            row[pos] = field_to_value(field, schema.columns[pos].data_type)?;
+        }
+        rows.push(row);
+    }
+    table.insert_many(rows)
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Export a result set as CSV text (with a header line).
+pub fn export_csv(rows: &RowSet) -> String {
+    let mut out = String::new();
+    // Bare column names (not alias-qualified forms) so an exported file
+    // re-imports against a table with the same column names.
+    let header: Vec<String> = rows
+        .schema
+        .columns
+        .iter()
+        .map(|c| escape_field(&c.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in &rows.rows {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape_field(s),
+                other => other.lexical_form(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE landfill (name TEXT, city TEXT, tons FLOAT, open BOOLEAN)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn parse_simple() {
+        let r = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn parse_quotes_commas_newlines() {
+        let r = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n").unwrap();
+        assert_eq!(r[0], vec!["a,b", "say \"hi\"", "two\nlines"]);
+    }
+
+    #[test]
+    fn parse_crlf_and_missing_trailing_newline() {
+        let r = parse_csv("a,b\r\nc,d").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_csv("\"unterminated").is_err());
+        assert!(parse_csv("ab\"cd\n").is_err());
+    }
+
+    #[test]
+    fn import_positional() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        let n = import_csv(&t, "Basse di Stura,Torino,1200.5,true\nBarricalla,Collegno,,false\n", false)
+            .unwrap();
+        assert_eq!(n, 2);
+        let rs = d.query("SELECT tons FROM landfill WHERE name = 'Barricalla'").unwrap();
+        assert!(rs.rows[0][0].is_null(), "empty field becomes NULL");
+    }
+
+    #[test]
+    fn import_with_header_reorders() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        import_csv(&t, "tons,name\n77.5,X\n", true).unwrap();
+        let rs = d.query("SELECT name, tons, city FROM landfill").unwrap();
+        assert_eq!(rs.rows[0][0], Value::from("X"));
+        assert_eq!(rs.rows[0][1], Value::Float(77.5));
+        assert!(rs.rows[0][2].is_null());
+    }
+
+    #[test]
+    fn import_bad_type_is_atomic() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        let err = import_csv(&t, "A,Torino,12.5,true\nB,Torino,notanumber,true\n", false)
+            .unwrap_err();
+        assert!(err.to_string().contains("notanumber"), "{err}");
+        assert_eq!(t.row_count(), 0, "nothing inserted on failure");
+    }
+
+    #[test]
+    fn import_header_with_unknown_column_fails() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        assert!(import_csv(&t, "nope\nx\n", true).is_err());
+    }
+
+    #[test]
+    fn import_arity_mismatch_reports_line() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        let err = import_csv(&t, "a,b,1.0,true\nshort\n", false).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+    }
+
+    #[test]
+    fn bool_spellings() {
+        for (text, want) in [("1", true), ("no", false), ("T", true), ("False", false)] {
+            assert_eq!(field_to_value(text, DataType::Bool).unwrap(), Value::Bool(want));
+        }
+        assert!(field_to_value("maybe", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        import_csv(&t, "\"A, inc\",Torino,1.5,true\nB,,2.0,false\n", false).unwrap();
+        let rs = d.query("SELECT * FROM landfill ORDER BY name").unwrap();
+        let csv = export_csv(&rs);
+        assert!(csv.starts_with("name,city,tons,open\n"), "{csv}");
+        assert!(csv.contains("\"A, inc\""), "{csv}");
+
+        // Re-import the exported text into a fresh table.
+        let d2 = db();
+        let t2 = d2.catalog().get_table("landfill").unwrap();
+        import_csv(&t2, &csv, true).unwrap();
+        let rs2 = d2.query("SELECT * FROM landfill ORDER BY name").unwrap();
+        assert_eq!(rs.rows, rs2.rows);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_csv("").unwrap().is_empty());
+        let d = db();
+        let t = d.catalog().get_table("landfill").unwrap();
+        assert_eq!(import_csv(&t, "", false).unwrap(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+///
+/// Every layer (lexer, parser, planner, executor, catalog) reports through
+/// this single enum so callers can match on the failure class without
+/// depending on internal module structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error: unexpected character, unterminated string, ...
+    Lex { message: String, position: usize },
+    /// Syntax error produced by the SQL parser.
+    Parse { message: String, position: usize },
+    /// Semantic / binding error (unknown table, ambiguous column, ...).
+    Plan(String),
+    /// Catalog error (duplicate table, missing table, schema mismatch).
+    Catalog(String),
+    /// Runtime evaluation error (type mismatch, division by zero, ...).
+    Eval(String),
+    /// Constraint violation (arity mismatch on INSERT, type mismatch).
+    Constraint(String),
+}
+
+impl Error {
+    pub fn lex(message: impl Into<String>, position: usize) -> Self {
+        Error::Lex { message: message.into(), position }
+    }
+    pub fn parse(message: impl Into<String>, position: usize) -> Self {
+        Error::Parse { message: message.into(), position }
+    }
+    pub fn plan(message: impl Into<String>) -> Self {
+        Error::Plan(message.into())
+    }
+    pub fn catalog(message: impl Into<String>) -> Self {
+        Error::Catalog(message.into())
+    }
+    pub fn eval(message: impl Into<String>) -> Self {
+        Error::Eval(message.into())
+    }
+    pub fn constraint(message: impl Into<String>) -> Self {
+        Error::Constraint(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { message, position } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            Error::Parse { message, position } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+            Error::Plan(m) => write!(f, "planning error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::parse("expected FROM", 17);
+        assert_eq!(e.to_string(), "syntax error at byte 17: expected FROM");
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::catalog("dup").to_string().contains("catalog"));
+        assert!(Error::eval("bad").to_string().contains("evaluation"));
+        assert!(Error::plan("x").to_string().contains("planning"));
+        assert!(Error::constraint("x").to_string().contains("constraint"));
+        assert!(Error::lex("x", 0).to_string().contains("lexical"));
+    }
+}

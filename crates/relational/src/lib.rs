@@ -1,0 +1,44 @@
+//! # crosse-relational
+//!
+//! An in-memory relational engine with a SQL subset, standing in for the
+//! PostgreSQL "main platform" of the CroSSE architecture (*Contextually-
+//! Enriched Querying of Integrated Data Sources*, ICDE 2018, Fig. 1).
+//!
+//! The engine provides everything SESQL needs from its relational
+//! substrate:
+//!
+//! * a catalog of heap tables with optional secondary indexes
+//!   ([`storage::Catalog`], [`storage::Index`]),
+//! * DDL/DML plus `SELECT` with joins (hash + nested-loop), aggregates,
+//!   `DISTINCT`, `ORDER BY`, `LIMIT`, `CASE`, uncorrelated subqueries
+//!   (`IN (SELECT …)`, `EXISTS`, scalar), and index-scan planning for
+//!   sargable predicates ([`db::Database`]),
+//! * a reusable SQL parser ([`sql::parser`]) whose AST the SESQL layer
+//!   rewrites when applying WHERE-clause enrichments, and
+//! * result materialisation back into tables ([`db::Database::materialise`]),
+//!   which implements the paper's "temporary support database" (Fig. 6).
+//!
+//! ```
+//! use crosse_relational::db::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE landfill (name TEXT, city TEXT)").unwrap();
+//! db.execute("INSERT INTO landfill VALUES ('Basse di Stura', 'Torino')").unwrap();
+//! let rows = db.query("SELECT name FROM landfill WHERE city = 'Torino'").unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod csv;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod value;
+
+pub use db::{Database, ExecOutcome, RowSet};
+pub use error::{Error, Result};
+pub use schema::{Column, Schema};
+pub use value::{DataType, Row, Value};

@@ -1,0 +1,226 @@
+//! Table and result-set schemas.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// A column definition: an optional table qualifier, a name, and a type.
+///
+/// Result-set columns carry the qualifier of the table (or alias) they came
+/// from so that `Elecond1.elem_name` and `Elecond2.elem_name` (paper
+/// Example 4.6) remain distinguishable after a self-join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub qualifier: Option<String>,
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column { qualifier: None, name: name.into(), data_type, nullable: true }
+    }
+
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Fully qualified display name (`alias.column` or `column`).
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this column matches a reference `[qualifier.]name`.
+    /// An unqualified reference matches any qualifier; both name parts are
+    /// compared case-insensitively, following SQL identifier rules.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .map(|own| own.eq_ignore_ascii_case(q))
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.display_name(), self.data_type)
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Resolve a column reference to its index.
+    ///
+    /// Errors on no match and on ambiguous unqualified references, matching
+    /// standard SQL binding rules.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut hits = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(qualifier, name));
+        let first = hits.next();
+        let second = hits.next();
+        match (first, second) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(Error::plan(format!(
+                "ambiguous column reference `{}`",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                }
+            ))),
+            (None, _) => Err(Error::plan(format!(
+                "unknown column `{}`",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                }
+            ))),
+        }
+    }
+
+    /// Find the index of a column by output name (used by ORDER BY aliases
+    /// and the SESQL enrichment layer, which addresses result columns).
+    pub fn index_of_output(&self, name: &str) -> Option<usize> {
+        // Prefer exact unqualified-name match, then fall back to a match on
+        // the qualified display form.
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .or_else(|| {
+                self.columns
+                    .iter()
+                    .position(|c| c.display_name().eq_ignore_ascii_case(name))
+            })
+    }
+
+    /// Re-qualify every column (applied when a table gets an alias).
+    pub fn with_qualifier(mut self, qualifier: &str) -> Self {
+        for c in &mut self.columns {
+            c.qualifier = Some(qualifier.to_string());
+        }
+        self
+    }
+
+    /// Concatenate two schemas (used by joins / cross products).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::qualified("landfill", "name", DataType::Text),
+            Column::qualified("landfill", "city", DataType::Text),
+            Column::qualified("element", "name", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = sample();
+        assert_eq!(s.resolve(Some("landfill"), "city").unwrap(), 1);
+        assert_eq!(s.resolve(Some("element"), "name").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.resolve(Some("LANDFILL"), "CITY").unwrap(), 1);
+    }
+
+    #[test]
+    fn unqualified_ambiguity_is_error() {
+        let s = sample();
+        let err = s.resolve(None, "name").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let s = sample();
+        assert!(s.resolve(None, "nope").is_err());
+        assert!(s.resolve(Some("landfill"), "elem").is_err());
+    }
+
+    #[test]
+    fn requalify_changes_all() {
+        let s = sample().with_qualifier("l");
+        assert!(s.columns.iter().all(|c| c.qualifier.as_deref() == Some("l")));
+        assert_eq!(s.resolve(Some("l"), "city").unwrap(), 1);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let j = s.join(&sample().with_qualifier("x"));
+        assert_eq!(j.len(), 6);
+        assert_eq!(j.resolve(Some("x"), "city").unwrap(), 4);
+    }
+
+    #[test]
+    fn output_name_lookup() {
+        let s = sample();
+        // unqualified name match wins even when ambiguous (first position)
+        assert_eq!(s.index_of_output("city"), Some(1));
+        assert_eq!(s.index_of_output("landfill.name"), Some(0));
+        assert_eq!(s.index_of_output("zzz"), None);
+    }
+}

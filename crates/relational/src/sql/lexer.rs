@@ -1,0 +1,354 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{Error, Result};
+
+use super::token::{Token, TokenKind};
+
+/// Tokenize a SQL string.
+///
+/// Supports `--` line comments and `/* ... */` block comments, single-quoted
+/// string literals with `''` escaping, double-quoted identifiers, and the
+/// operator set of [`TokenKind`]. Always ends the stream with a single
+/// [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer { input: input.as_bytes(), src: input, pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let offset = self.pos;
+            let Some(&b) = self.input.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, offset });
+                return Ok(out);
+            };
+            let kind = match b {
+                b',' => self.single(TokenKind::Comma),
+                b'.' => {
+                    // A dot followed by a digit could be a float like `.5`;
+                    // SQL usage here is dominated by qualified names, so a
+                    // leading-dot float is only lexed when not preceded by
+                    // an identifier — the parser never needs `.5` anyway,
+                    // so we keep the simple rule: always punctuation.
+                    self.single(TokenKind::Dot)
+                }
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'*' => self.single(TokenKind::Star),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b';' => self.single(TokenKind::Semicolon),
+                b'=' => self.single(TokenKind::Eq),
+                b'<' => {
+                    self.pos += 1;
+                    match self.input.get(self.pos) {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.input.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.input.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::NotEq
+                    } else {
+                        return Err(Error::lex("unexpected `!`", offset));
+                    }
+                }
+                b'|' => {
+                    self.pos += 1;
+                    if self.input.get(self.pos) == Some(&b'|') {
+                        self.pos += 1;
+                        TokenKind::Concat
+                    } else {
+                        return Err(Error::lex("unexpected `|` (did you mean `||`?)", offset));
+                    }
+                }
+                b'\'' => self.string_literal()?,
+                b'"' => self.quoted_ident()?,
+                b'0'..=b'9' => self.number()?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                other => {
+                    return Err(Error::lex(
+                        format!("unexpected character `{}`", other as char),
+                        offset,
+                    ))
+                }
+            };
+            out.push(Token { kind, offset });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.input.get(self.pos) {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.input.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(&b) = self.input.get(self.pos) {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.input.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.input.get(self.pos), self.input.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(Error::lex("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.input.get(self.pos) {
+                Some(b'\'') => {
+                    if self.input.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::String(s));
+                    }
+                }
+                Some(_) => {
+                    // advance one full UTF-8 character
+                    let ch = self.src[self.pos..].chars().next().expect("in bounds");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(Error::lex("unterminated string literal", start)),
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.input.get(self.pos) {
+                Some(b'"') => {
+                    if self.input.get(self.pos + 1) == Some(&b'"') {
+                        s.push('"');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        if s.is_empty() {
+                            return Err(Error::lex("empty quoted identifier", start));
+                        }
+                        return Ok(TokenKind::Ident { value: s, quoted: true });
+                    }
+                }
+                Some(_) => {
+                    let ch = self.src[self.pos..].chars().next().expect("in bounds");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(Error::lex("unterminated quoted identifier", start)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.input.get(self.pos), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.input.get(self.pos) == Some(&b'.')
+            && matches!(self.input.get(self.pos + 1), Some(b) if b.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.input.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.input.get(self.pos), Some(b'e' | b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.input.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if matches!(self.input.get(look), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                self.pos = look;
+                while matches!(self.input.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| Error::lex(format!("bad float literal: {e}"), start))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| Error::lex(format!("bad integer literal: {e}"), start))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.input.get(self.pos), Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        TokenKind::Ident { value: self.src[start..self.pos].to_string(), quoted: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let ks = kinds("SELECT a FROM t;");
+        assert!(ks[0].is_kw("select"));
+        assert!(ks[1].is_kw("a"));
+        assert!(ks[2].is_kw("from"));
+        assert_eq!(ks[4], TokenKind::Semicolon);
+        assert_eq!(ks[5], TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != = < > || + - * / %")
+                .into_iter()
+                .take(13)
+                .collect::<Vec<_>>(),
+            vec![
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Concat,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escape() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::String("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn dot_is_punctuation_in_qualified_names() {
+        let ks = kinds("t.col");
+        assert!(ks[0].is_kw("t"));
+        assert_eq!(ks[1], TokenKind::Dot);
+        assert!(ks[2].is_kw("col"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- hi\n 1 /* there */ , 2");
+        assert!(ks[0].is_kw("select"));
+        assert_eq!(ks[1], TokenKind::Int(1));
+        assert_eq!(ks[2], TokenKind::Comma);
+        assert_eq!(ks[3], TokenKind::Int(2));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        match &kinds("\"MiXeD\"")[0] {
+            TokenKind::Ident { value, quoted: true } => assert_eq!(value, "MiXeD"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        assert_eq!(kinds("'Torinò'")[0], TokenKind::String("Torinò".into()));
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        match err {
+            Error::Lex { position, .. } => assert_eq!(position, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! SQL front-end: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;

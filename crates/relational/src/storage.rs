@@ -1,0 +1,727 @@
+//! Row storage: tables and the catalog.
+//!
+//! Storage is deliberately simple — an in-memory heap of rows per table
+//! guarded by a `parking_lot::RwLock` — because the engine's role in the
+//! CroSSE reproduction is to stand in for the PostgreSQL "main platform":
+//! SESQL needs correct scans, inserts and temporary tables, not WAL or MVCC.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::schema::{Column, Schema};
+use crate::value::{Row, Value};
+
+/// A [`Value`] wrapper with the *total* ordering (`Value::total_cmp`), so it
+/// can key a `BTreeMap`. NULLs never reach an index (they are skipped at
+/// build/insert time), so the NULL position in the total order is moot.
+#[derive(Debug, Clone, PartialEq)]
+struct IndexKey(Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A secondary index over one column of a [`Table`].
+///
+/// The index maps column values to row positions in the heap. It is
+/// maintained incrementally on `INSERT` (appends never move rows) and marked
+/// *dirty* by `DELETE`/`UPDATE`/`TRUNCATE` (which may move or change rows);
+/// a dirty index is rebuilt lazily on the next lookup. This matches the
+/// engine's role as an analytical databank stand-in: bulk loads and reads
+/// dominate, in-place churn is rare.
+#[derive(Debug)]
+pub struct Index {
+    pub name: String,
+    /// Column position in the owning table's schema.
+    pub column: usize,
+    entries: RwLock<BTreeMap<IndexKey, Vec<usize>>>,
+    dirty: AtomicBool,
+}
+
+impl Index {
+    fn build(name: String, column: usize, rows: &[Row]) -> Self {
+        let idx = Index {
+            name,
+            column,
+            entries: RwLock::new(BTreeMap::new()),
+            dirty: AtomicBool::new(false),
+        };
+        idx.rebuild(rows);
+        idx
+    }
+
+    fn rebuild(&self, rows: &[Row]) {
+        let mut entries = self.entries.write();
+        Self::rebuild_into(&mut entries, self.column, rows);
+    }
+
+    fn rebuild_into(
+        entries: &mut BTreeMap<IndexKey, Vec<usize>>,
+        column: usize,
+        rows: &[Row],
+    ) {
+        entries.clear();
+        for (i, row) in rows.iter().enumerate() {
+            let v = &row[column];
+            if !v.is_null() {
+                entries.entry(IndexKey(v.clone())).or_default().push(i);
+            }
+        }
+    }
+
+    /// Record one appended row (position `pos`) if the index is clean.
+    fn note_append(&self, pos: usize, row: &Row) {
+        if self.dirty.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        let v = &row[self.column];
+        if !v.is_null() {
+            self.entries
+                .write()
+                .entry(IndexKey(v.clone()))
+                .or_default()
+                .push(pos);
+        }
+    }
+
+    fn mark_dirty(&self) {
+        self.dirty.store(true, AtomicOrdering::Release);
+    }
+}
+
+/// A heap-organised table.
+#[derive(Debug)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    rows: RwLock<Vec<Row>>,
+    indexes: RwLock<Vec<Arc<Index>>>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: RwLock::new(Vec::new()),
+            indexes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Validate a row against the schema (arity + per-column coercion) and
+    /// append it.
+    pub fn insert(&self, row: Row) -> Result<()> {
+        let coerced = self.check_row(row)?;
+        let mut rows = self.rows.write();
+        let pos = rows.len();
+        for idx in self.indexes.read().iter() {
+            idx.note_append(pos, &coerced);
+        }
+        rows.push(coerced);
+        Ok(())
+    }
+
+    /// Insert many rows; fails atomically (no partial insert) on the first
+    /// invalid row.
+    pub fn insert_many(&self, rows: Vec<Row>) -> Result<usize> {
+        let mut checked = Vec::with_capacity(rows.len());
+        for row in rows {
+            checked.push(self.check_row(row)?);
+        }
+        let n = checked.len();
+        let mut stored = self.rows.write();
+        let indexes = self.indexes.read();
+        for (offset, row) in checked.iter().enumerate() {
+            for idx in indexes.iter() {
+                idx.note_append(stored.len() + offset, row);
+            }
+        }
+        stored.extend(checked);
+        Ok(n)
+    }
+
+    fn check_row(&self, row: Row) -> Result<Row> {
+        if row.len() != self.schema.len() {
+            return Err(Error::constraint(format!(
+                "table `{}` expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(&self.schema.columns)
+            .map(|(v, c)| v.coerce(c.data_type))
+            .collect()
+    }
+
+    /// Snapshot of all rows (copy-out scan).
+    pub fn scan(&self) -> Vec<Row> {
+        self.rows.read().clone()
+    }
+
+    /// Visit rows without copying the whole table.
+    pub fn for_each(&self, mut f: impl FnMut(&Row)) {
+        for row in self.rows.read().iter() {
+            f(row);
+        }
+    }
+
+    /// Delete rows matching `pred`; returns the number removed.
+    pub fn delete_where(&self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let mut rows = self.rows.write();
+        let before = rows.len();
+        rows.retain(|r| !pred(r));
+        let removed = before - rows.len();
+        if removed > 0 {
+            self.mark_indexes_dirty();
+        }
+        removed
+    }
+
+    /// Update rows in place: `f` receives each row mutably and returns true
+    /// if it modified the row. Updated rows are re-validated.
+    pub fn update_where(
+        &self,
+        mut f: impl FnMut(&mut Row) -> Result<bool>,
+    ) -> Result<usize> {
+        let mut rows = self.rows.write();
+        let mut updated = 0;
+        for row in rows.iter_mut() {
+            if f(row)? {
+                updated += 1;
+            }
+        }
+        if updated > 0 {
+            self.mark_indexes_dirty();
+        }
+        Ok(updated)
+    }
+
+    /// Remove all rows, keeping the schema.
+    pub fn truncate(&self) {
+        self.rows.write().clear();
+        self.mark_indexes_dirty();
+    }
+
+    fn mark_indexes_dirty(&self) {
+        for idx in self.indexes.read().iter() {
+            idx.mark_dirty();
+        }
+    }
+
+    // ---- secondary indexes ------------------------------------------------
+
+    /// Create a named index over `column_name`. Errors if the column is
+    /// unknown or an index of that name already exists on this table.
+    pub fn create_index(&self, index_name: &str, column_name: &str) -> Result<()> {
+        let column = self.schema.resolve(None, column_name)?;
+        let rows = self.rows.read();
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
+            return Err(Error::catalog(format!(
+                "index `{index_name}` already exists on table `{}`",
+                self.name
+            )));
+        }
+        indexes.push(Arc::new(Index::build(index_name.to_string(), column, &rows)));
+        Ok(())
+    }
+
+    /// Drop an index by name; returns whether one was removed.
+    pub fn drop_index(&self, index_name: &str) -> bool {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| !i.name.eq_ignore_ascii_case(index_name));
+        before != indexes.len()
+    }
+
+    /// `(index name, indexed column name)` pairs, in creation order.
+    pub fn index_names(&self) -> Vec<(String, String)> {
+        self.indexes
+            .read()
+            .iter()
+            .map(|i| (i.name.clone(), self.schema.columns[i.column].name.clone()))
+            .collect()
+    }
+
+    /// Whether some index covers the given column position.
+    pub fn has_index_on(&self, column: usize) -> bool {
+        self.indexes.read().iter().any(|i| i.column == column)
+    }
+
+    fn index_for(&self, column: usize) -> Option<Arc<Index>> {
+        self.indexes.read().iter().find(|i| i.column == column).cloned()
+    }
+
+    /// Point lookup through an index on `column`: rows whose column value
+    /// equals any of `keys` (NULL keys never match). Returns `None` if no
+    /// index covers the column — callers fall back to a scan.
+    pub fn index_lookup_eq(&self, column: usize, keys: &[Value]) -> Option<Vec<Row>> {
+        let idx = self.index_for(column)?;
+        let rows = self.rows.read();
+        self.ensure_clean(&idx, &rows);
+        let entries = idx.entries.read();
+        let mut positions: Vec<usize> = Vec::new();
+        for key in keys {
+            if key.is_null() {
+                continue;
+            }
+            if let Some(ps) = entries.get(&IndexKey(key.clone())) {
+                positions.extend_from_slice(ps);
+            }
+        }
+        // Dedupe positions in case the key list itself contains duplicates,
+        // and restore heap order for deterministic output.
+        positions.sort_unstable();
+        positions.dedup();
+        Some(positions.into_iter().map(|p| rows[p].clone()).collect())
+    }
+
+    /// Range lookup through an index on `column` (NULL values are never in
+    /// the index, so they never match a range — SQL comparison semantics).
+    /// Returns `None` if no index covers the column.
+    pub fn index_lookup_range(
+        &self,
+        column: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Option<Vec<Row>> {
+        let idx = self.index_for(column)?;
+        let rows = self.rows.read();
+        self.ensure_clean(&idx, &rows);
+        let entries = idx.entries.read();
+        let map_bound = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(IndexKey(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(IndexKey(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut positions: Vec<usize> = Vec::new();
+        for (_, ps) in entries.range((map_bound(low), map_bound(high))) {
+            positions.extend_from_slice(ps);
+        }
+        positions.sort_unstable();
+        Some(positions.into_iter().map(|p| rows[p].clone()).collect())
+    }
+
+    /// Rebuild a dirty index. Safe against concurrent mutation because the
+    /// caller holds the rows read lock (mutators hold the rows write lock
+    /// while setting the dirty flag). The flag is cleared only while holding
+    /// the entries write lock, so a second concurrent reader either blocks
+    /// on that lock or observes a clean flag *after* the rebuilt entries are
+    /// published.
+    fn ensure_clean(&self, idx: &Index, rows: &[Row]) {
+        if idx.dirty.load(AtomicOrdering::Acquire) {
+            let mut entries = idx.entries.write();
+            if idx.dirty.load(AtomicOrdering::Acquire) {
+                Index::rebuild_into(&mut entries, idx.column, rows);
+                idx.dirty.store(false, AtomicOrdering::Release);
+            }
+        }
+    }
+}
+
+/// The table catalog. Cheap to clone (shared interior).
+///
+/// Table names are case-insensitive, as in the SQL layer.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<BTreeMap<String, Arc<Table>>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&self, name: &str, columns: Vec<Column>) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        let key = Self::key(name);
+        if tables.contains_key(&key) {
+            return Err(Error::catalog(format!("table `{name}` already exists")));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for c in &columns {
+            if seen.iter().any(|s| s.eq_ignore_ascii_case(&c.name)) {
+                return Err(Error::catalog(format!(
+                    "duplicate column `{}` in table `{name}`",
+                    c.name
+                )));
+            }
+            seen.push(&c.name);
+        }
+        let table = Arc::new(Table::new(name, Schema::new(columns)));
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Create, replacing any existing table of the same name.
+    pub fn create_or_replace_table(
+        &self,
+        name: &str,
+        columns: Vec<Column>,
+    ) -> Result<Arc<Table>> {
+        self.tables.write().remove(&Self::key(name));
+        self.create_table(name, columns)
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&Self::key(name))
+            .map(|_| ())
+            .ok_or_else(|| Error::catalog(format!("table `{name}` does not exist")))
+    }
+
+    pub fn get_table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| Error::catalog(format!("table `{name}` does not exist")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::key(name))
+    }
+
+    /// Sorted list of table names (lower-cased keys).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Create a named index on `table_name(column_name)`. Index names are
+    /// unique across the whole catalog so `DROP INDEX name` is unambiguous.
+    pub fn create_index(
+        &self,
+        index_name: &str,
+        table_name: &str,
+        column_name: &str,
+    ) -> Result<()> {
+        if self.has_index(index_name) {
+            return Err(Error::catalog(format!(
+                "index `{index_name}` already exists"
+            )));
+        }
+        self.get_table(table_name)?.create_index(index_name, column_name)
+    }
+
+    /// Drop an index by name, wherever it lives.
+    pub fn drop_index(&self, index_name: &str) -> Result<()> {
+        for table in self.tables.read().values() {
+            if table.drop_index(index_name) {
+                return Ok(());
+            }
+        }
+        Err(Error::catalog(format!("index `{index_name}` does not exist")))
+    }
+
+    /// Whether any table carries an index with this name.
+    pub fn has_index(&self, index_name: &str) -> bool {
+        self.tables
+            .read()
+            .values()
+            .any(|t| t.index_names().iter().any(|(n, _)| n.eq_ignore_ascii_case(index_name)))
+    }
+
+    /// Register an externally constructed table (used by the federation
+    /// layer to expose foreign tables).
+    pub fn register(&self, table: Arc<Table>) -> Result<()> {
+        let mut tables = self.tables.write();
+        let key = Self::key(&table.name);
+        if tables.contains_key(&key) {
+            return Err(Error::catalog(format!(
+                "table `{}` already exists",
+                table.name
+            )));
+        }
+        tables.insert(key, table);
+        Ok(())
+    }
+}
+
+/// Convenience to build a [`Row`] from anything convertible to [`Value`].
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+/// A NULL literal usable inside [`row!`].
+pub const NULL: Value = Value::Null;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn landfill_cols() -> Vec<Column> {
+        vec![
+            Column::new("name", DataType::Text),
+            Column::new("city", DataType::Text),
+            Column::new("tons", DataType::Float),
+        ]
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let cat = Catalog::new();
+        let t = cat.create_table("landfill", landfill_cols()).unwrap();
+        t.insert(row!["Basse di Stura", "Torino", 1200.5]).unwrap();
+        t.insert(vec![Value::from("Barricalla"), Value::from("Collegno"), Value::Null])
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        let rows = t.scan();
+        assert_eq!(rows[0][1], Value::from("Torino"));
+        assert!(rows[1][2].is_null());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let cat = Catalog::new();
+        let t = cat.create_table("landfill", landfill_cols()).unwrap();
+        assert!(t.insert(row!["only-one"]).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_rejected_and_int_widens() {
+        let cat = Catalog::new();
+        let t = cat.create_table("landfill", landfill_cols()).unwrap();
+        assert!(t.insert(row![1, "Torino", 1.0]).is_err());
+        // Int into Float column widens.
+        t.insert(row!["a", "b", 7]).unwrap();
+        assert!(matches!(t.scan()[0][2], Value::Float(f) if f == 7.0));
+    }
+
+    #[test]
+    fn insert_many_is_atomic() {
+        let cat = Catalog::new();
+        let t = cat.create_table("landfill", landfill_cols()).unwrap();
+        let res = t.insert_many(vec![row!["a", "b", 1.0], row!["bad"]]);
+        assert!(res.is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_table_rejected_case_insensitively() {
+        let cat = Catalog::new();
+        cat.create_table("Landfill", landfill_cols()).unwrap();
+        assert!(cat.create_table("LANDFILL", landfill_cols()).is_err());
+        assert!(cat.has_table("landfill"));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let cat = Catalog::new();
+        let cols = vec![
+            Column::new("x", DataType::Int),
+            Column::new("X", DataType::Text),
+        ];
+        assert!(cat.create_table("t", cols).is_err());
+    }
+
+    #[test]
+    fn drop_and_missing() {
+        let cat = Catalog::new();
+        cat.create_table("t", landfill_cols()).unwrap();
+        cat.drop_table("T").unwrap();
+        assert!(cat.get_table("t").is_err());
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn delete_where_counts() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", landfill_cols()).unwrap();
+        t.insert_many(vec![row!["a", "x", 1.0], row!["b", "x", 2.0], row!["c", "y", 3.0]])
+            .unwrap();
+        let n = t.delete_where(|r| r[1] == Value::from("x"));
+        assert_eq!(n, 2);
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn create_or_replace_truncates() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", landfill_cols()).unwrap();
+        t.insert(row!["a", "b", 1.0]).unwrap();
+        let t2 = cat.create_or_replace_table("t", landfill_cols()).unwrap();
+        assert_eq!(t2.row_count(), 0);
+    }
+
+    #[test]
+    fn shared_catalog_clone_sees_updates() {
+        let cat = Catalog::new();
+        let cat2 = cat.clone();
+        cat.create_table("t", landfill_cols()).unwrap();
+        assert!(cat2.has_table("t"));
+    }
+
+    // ---- secondary indexes ------------------------------------------------
+
+    fn indexed_table() -> (Catalog, Arc<Table>) {
+        let cat = Catalog::new();
+        let t = cat.create_table("landfill", landfill_cols()).unwrap();
+        t.insert_many(vec![
+            row!["a", "Torino", 10.0],
+            row!["b", "Milano", 20.0],
+            row!["c", "Torino", 30.0],
+            vec![Value::from("d"), Value::Null, Value::from(40.0)],
+        ])
+        .unwrap();
+        cat.create_index("idx_city", "landfill", "city").unwrap();
+        (cat, t)
+    }
+
+    #[test]
+    fn index_eq_lookup_finds_matches_in_heap_order() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::from("a"));
+        assert_eq!(rows[1][0], Value::from("c"));
+    }
+
+    #[test]
+    fn index_eq_null_key_matches_nothing() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let rows = t.index_lookup_eq(col, &[Value::Null]).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn index_eq_duplicate_keys_do_not_duplicate_rows() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let key = Value::from("Torino");
+        let rows = t.index_lookup_eq(col, &[key.clone(), key]).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn index_range_lookup() {
+        let (cat, t) = indexed_table();
+        cat.create_index("idx_tons", "landfill", "tons").unwrap();
+        let col = t.schema.resolve(None, "tons").unwrap();
+        let lo = Value::from(15.0);
+        let hi = Value::from(35.0);
+        let rows = t
+            .index_lookup_range(col, Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        assert_eq!(rows.len(), 2); // 20.0 and 30.0
+    }
+
+    #[test]
+    fn unindexed_column_returns_none() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "name").unwrap();
+        assert!(t.index_lookup_eq(col, &[Value::from("a")]).is_none());
+    }
+
+    #[test]
+    fn index_sees_appends_incrementally() {
+        let (_cat, t) = indexed_table();
+        t.insert(row!["e", "Torino", 50.0]).unwrap();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn index_rebuilds_after_delete_and_update() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        t.delete_where(|r| r[0] == Value::from("a"));
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::from("c"));
+
+        t.update_where(|r| {
+            if r[0] == Value::from("b") {
+                r[1] = Value::from("Torino");
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        })
+        .unwrap();
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn truncate_dirties_index() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        t.truncate();
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn nulls_never_enter_index() {
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let rows = t
+            .index_lookup_range(col, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        // Row "d" has a NULL city and must not appear in a full range scan.
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected_catalog_wide() {
+        let (cat, _t) = indexed_table();
+        cat.create_table("other", landfill_cols()).unwrap();
+        let err = cat.create_index("IDX_CITY", "other", "city").unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+    }
+
+    #[test]
+    fn drop_index_by_name() {
+        let (cat, t) = indexed_table();
+        cat.drop_index("idx_city").unwrap();
+        assert!(!cat.has_index("idx_city"));
+        let col = t.schema.resolve(None, "city").unwrap();
+        assert!(t.index_lookup_eq(col, &[Value::from("Torino")]).is_none());
+        assert!(cat.drop_index("idx_city").is_err());
+    }
+
+    #[test]
+    fn index_on_unknown_column_errors() {
+        let cat = Catalog::new();
+        cat.create_table("t", landfill_cols()).unwrap();
+        assert!(cat.create_index("i", "t", "nope").is_err());
+        assert!(cat.create_index("i", "missing", "city").is_err());
+    }
+}

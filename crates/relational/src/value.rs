@@ -1,0 +1,301 @@
+//! Runtime values and data types.
+//!
+//! The engine uses a small dynamic value model close to what SESQL needs:
+//! NULL, booleans, 64-bit integers, 64-bit floats and UTF-8 strings.
+//! Comparison follows SQL three-valued logic at the expression layer; at the
+//! [`Value`] layer, comparisons against NULL return `None`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+}
+
+impl DataType {
+    /// Parse a type name as written in `CREATE TABLE` (case-insensitive).
+    ///
+    /// Common SQL aliases map onto the four storage types so that schemas
+    /// written for PostgreSQL (the paper's main platform) load unchanged.
+    pub fn parse(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => Ok(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Ok(DataType::Text),
+            other => Err(Error::parse(format!("unknown data type `{other}`"), 0)),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "INTEGER",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// The value's data type, or `None` for NULL (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Text),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Coerce into `target` if losslessly possible (Int→Float, anything→Text
+    /// is *not* implicit; only numeric widening is).
+    pub fn coerce(self, target: DataType) -> Result<Value> {
+        match (self, target) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
+            (v, t) if v.data_type() == Some(t) => Ok(v),
+            (v, t) => Err(Error::constraint(format!(
+                "cannot store {} value `{v}` into {t} column",
+                v.data_type().map(|d| d.to_string()).unwrap_or_else(|| "NULL".into())
+            ))),
+        }
+    }
+
+    /// SQL comparison. Returns `None` when either side is NULL (UNKNOWN),
+    /// or when the values are of incomparable types.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for ORDER BY and index structures: NULLs sort
+    /// first, then booleans, numbers, strings. Unlike [`Value::sql_cmp`]
+    /// this never fails, so sorting mixed columns is deterministic.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => unreachable!("rank() guarantees same class"),
+        }
+    }
+
+    /// SQL equality (NULL-propagating): `None` if either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Equality for grouping / DISTINCT / hash joins: NULL equals NULL.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A hashable key for grouping (uses the bit pattern for floats).
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            // Integers and integral floats hash identically so that
+            // `1 = 1.0` groups together, matching sql_cmp semantics.
+            Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
+            Value::Float(f) => GroupKey::Num(f.to_bits()),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+
+    /// Render as a bare string (no quotes) — used for SESQL↔RDF bridging,
+    /// where relational values are compared with RDF term lexical forms.
+    pub fn lexical_form(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// Hashable grouping key derived from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A tuple of values; the engine's unit of data flow.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_aliases_parse() {
+        assert_eq!(DataType::parse("varchar").unwrap(), DataType::Text);
+        assert_eq!(DataType::parse("BIGINT").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("double").unwrap(), DataType::Float);
+        assert_eq!(DataType::parse("boolean").unwrap(), DataType::Bool);
+        assert!(DataType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_types_are_unknown() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_ranks_classes() {
+        let mut vs = [Value::Str("a".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5)];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert!(vs[0].is_null());
+        assert!(matches!(vs[1], Value::Bool(true)));
+        assert!(matches!(vs[2], Value::Float(_)));
+        assert!(matches!(vs[3], Value::Int(3)));
+        assert!(matches!(vs[4], Value::Str(_)));
+    }
+
+    #[test]
+    fn group_key_unifies_int_and_float() {
+        assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Float(1.25).group_key());
+    }
+
+    #[test]
+    fn coercion_widens_int_to_float() {
+        assert!(matches!(
+            Value::Int(3).coerce(DataType::Float).unwrap(),
+            Value::Float(f) if f == 3.0
+        ));
+        assert!(Value::Str("x".into()).coerce(DataType::Int).is_err());
+        assert!(Value::Null.coerce(DataType::Int).unwrap().is_null());
+    }
+
+    #[test]
+    fn lexical_form_round_trips_strings() {
+        assert_eq!(Value::Str("Mercury".into()).lexical_form(), "Mercury");
+        assert_eq!(Value::Int(42).lexical_form(), "42");
+        assert_eq!(Value::Float(2.0).lexical_form(), "2.0");
+        assert_eq!(Value::Bool(true).lexical_form(), "true");
+    }
+}

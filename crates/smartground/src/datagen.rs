@@ -1,0 +1,259 @@
+//! Seeded synthetic data generator for the SmartGround databank.
+//!
+//! The real SmartGround data (EU H2020 project databank) is not public, so
+//! experiments run on a deterministic synthetic population of the Fig. 3
+//! schema. All randomness flows from a single seed: the same
+//! [`SmartGroundConfig`] always produces byte-identical tables, so
+//! experiment runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crosse_relational::{Database, Result, Value};
+
+use crate::schema::{create_schema, CITIES, ELEMENTS, KINDS};
+
+/// Size knobs for the generated databank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartGroundConfig {
+    /// Number of landfill rows.
+    pub landfills: usize,
+    /// Average number of distinct elements recorded per landfill.
+    pub elements_per_landfill: usize,
+    /// Number of laboratories.
+    pub labs: usize,
+    /// Analyses per landfill (each picks a random contained element).
+    pub analyses_per_landfill: usize,
+    /// RNG seed; same seed ⇒ same databank.
+    pub seed: u64,
+}
+
+impl Default for SmartGroundConfig {
+    fn default() -> Self {
+        SmartGroundConfig {
+            landfills: 100,
+            elements_per_landfill: 6,
+            labs: 8,
+            analyses_per_landfill: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl SmartGroundConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SmartGroundConfig {
+            landfills: 10,
+            elements_per_landfill: 3,
+            labs: 2,
+            analyses_per_landfill: 2,
+            seed: 7,
+        }
+    }
+
+    /// Scale the landfill count, keeping densities fixed.
+    pub fn with_landfills(mut self, n: usize) -> Self {
+        self.landfills = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Name of the `i`-th generated landfill.
+pub fn landfill_name(i: usize) -> String {
+    format!("LF{i:05}")
+}
+
+/// Name of the `i`-th generated laboratory.
+pub fn lab_name(i: usize) -> String {
+    format!("Lab{i:03}")
+}
+
+/// Create the schema and populate it. Returns the total row count.
+pub fn populate(db: &Database, config: &SmartGroundConfig) -> Result<usize> {
+    create_schema(db)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut total = 0;
+
+    // element: the fixed inventory.
+    {
+        let t = db.catalog().get_table("element")?;
+        let rows: Vec<Vec<Value>> = ELEMENTS
+            .iter()
+            .map(|(sym, name, z)| {
+                vec![Value::from(*sym), Value::from(*name), Value::Int(*z)]
+            })
+            .collect();
+        total += t.insert_many(rows)?;
+    }
+
+    // laboratory
+    {
+        let t = db.catalog().get_table("laboratory")?;
+        let rows: Vec<Vec<Value>> = (0..config.labs)
+            .map(|i| {
+                let (city, _, _) = CITIES[rng.gen_range(0..CITIES.len())];
+                vec![
+                    Value::from(lab_name(i)),
+                    Value::from(city),
+                    Value::from(format!("Director{i:03}")),
+                ]
+            })
+            .collect();
+        total += t.insert_many(rows)?;
+    }
+
+    // landfill + elem_contained + analysis
+    let landfill = db.catalog().get_table("landfill")?;
+    let contained = db.catalog().get_table("elem_contained")?;
+    let analysis = db.catalog().get_table("analysis")?;
+    let mut landfill_rows = Vec::with_capacity(config.landfills);
+    let mut contained_rows = Vec::new();
+    let mut analysis_rows = Vec::new();
+    let mut analysis_id: i64 = 0;
+
+    for i in 0..config.landfills {
+        let name = landfill_name(i);
+        let (city, region, _) = CITIES[rng.gen_range(0..CITIES.len())];
+        let kind = KINDS[rng.gen_range(0..KINDS.len())];
+        let opened = rng.gen_range(1950..2015);
+        let tons = (rng.gen_range(1_000.0..5_000_000.0f64) * 10.0).round() / 10.0;
+        landfill_rows.push(vec![
+            Value::from(name.clone()),
+            Value::from(city),
+            Value::from(region),
+            Value::from(kind),
+            Value::Int(opened),
+            Value::Float(tons),
+        ]);
+
+        // Distinct element sample for this landfill: between 1 and
+        // 2×average, clamped to the inventory size.
+        let k = rng
+            .gen_range(1..=config.elements_per_landfill.max(1) * 2)
+            .min(ELEMENTS.len());
+        let mut picks: Vec<usize> = (0..ELEMENTS.len()).collect();
+        for j in 0..k {
+            let swap = rng.gen_range(j..picks.len());
+            picks.swap(j, swap);
+        }
+        let picked = &picks[..k];
+        for &e in picked {
+            let amount = (rng.gen_range(0.1..5_000.0f64) * 100.0).round() / 100.0;
+            contained_rows.push(vec![
+                Value::from(ELEMENTS[e].0),
+                Value::from(name.clone()),
+                Value::Float(amount),
+            ]);
+        }
+
+        for _ in 0..config.analyses_per_landfill {
+            let &e = &picked[rng.gen_range(0..picked.len())];
+            let lab = rng.gen_range(0..config.labs.max(1));
+            analysis_rows.push(vec![
+                Value::Int(analysis_id),
+                Value::from(name.clone()),
+                Value::from(lab_name(lab)),
+                Value::from(ELEMENTS[e].0),
+                Value::Float((rng.gen_range(0.01..900.0f64) * 100.0).round() / 100.0),
+                Value::Int(rng.gen_range(2000..2018)),
+                Value::from(format!("Analyst{:03}", rng.gen_range(0..3 * config.labs.max(1)))),
+            ]);
+            analysis_id += 1;
+        }
+    }
+
+    total += landfill.insert_many(landfill_rows)?;
+    total += contained.insert_many(contained_rows)?;
+    total += analysis.insert_many(analysis_rows)?;
+    Ok(total)
+}
+
+/// Convenience: a freshly populated databank.
+pub fn generate(config: &SmartGroundConfig) -> Result<Database> {
+    let db = Database::new();
+    populate(&db, config)?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_fills_all_tables() {
+        let db = generate(&SmartGroundConfig::tiny()).unwrap();
+        let count = |t: &str| {
+            db.query(&format!("SELECT COUNT(*) FROM {t}"))
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(count("landfill"), Value::Int(10));
+        assert_eq!(count("element"), Value::Int(ELEMENTS.len() as i64));
+        assert_eq!(count("laboratory"), Value::Int(2));
+        assert_eq!(count("analysis"), Value::Int(20));
+        let Value::Int(n) = count("elem_contained") else { panic!() };
+        assert!(n >= 10, "each landfill has at least one element");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SmartGroundConfig::tiny()).unwrap();
+        let b = generate(&SmartGroundConfig::tiny()).unwrap();
+        let qa = a
+            .query("SELECT elem_name, landfill_name, amount FROM elem_contained")
+            .unwrap();
+        let qb = b
+            .query("SELECT elem_name, landfill_name, amount FROM elem_contained")
+            .unwrap();
+        assert_eq!(qa.rows, qb.rows);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SmartGroundConfig::tiny()).unwrap();
+        let b = generate(&SmartGroundConfig::tiny().with_seed(8)).unwrap();
+        let qa = a.query("SELECT city FROM landfill").unwrap();
+        let qb = b.query("SELECT city FROM landfill").unwrap();
+        assert_ne!(qa.rows, qb.rows);
+    }
+
+    #[test]
+    fn contained_elements_are_unique_per_landfill() {
+        let db = generate(&SmartGroundConfig::default()).unwrap();
+        let rs = db
+            .query(
+                "SELECT elem_name, landfill_name, COUNT(*) AS n \
+                 FROM elem_contained GROUP BY elem_name, landfill_name \
+                 HAVING COUNT(*) > 1",
+            )
+            .unwrap();
+        assert!(rs.is_empty(), "duplicate (element, landfill) pairs");
+    }
+
+    #[test]
+    fn analyses_reference_contained_elements() {
+        let db = generate(&SmartGroundConfig::tiny()).unwrap();
+        let rs = db
+            .query(
+                "SELECT a.id FROM analysis a LEFT JOIN elem_contained e \
+                 ON a.landfill_name = e.landfill_name AND a.elem_name = e.elem_name \
+                 WHERE e.elem_name IS NULL",
+            )
+            .unwrap();
+        assert!(rs.is_empty(), "analysis of an element not in the landfill");
+    }
+
+    #[test]
+    fn scaling_config() {
+        let db = generate(&SmartGroundConfig::tiny().with_landfills(25)).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM landfill").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(25));
+    }
+}

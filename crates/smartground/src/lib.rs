@@ -1,0 +1,15 @@
+//! # crosse-smartground
+//!
+//! The SmartGround use-case substrate for the CroSSE reproduction: the
+//! Fig. 3 relational schema, deterministic synthetic data generators (the
+//! real EU H2020 databank is not public), persona ontologies, and the
+//! SESQL workloads built from the paper's Examples 4.1–4.6.
+
+pub mod datagen;
+pub mod ontogen;
+pub mod schema;
+pub mod workload;
+
+pub use datagen::{generate, landfill_name, populate, SmartGroundConfig};
+pub use ontogen::{danger_level, director_ontology, random_kb};
+pub use workload::{paper_examples, standard_engine, WorkloadQuery, DANGER_QUERY_SPARQL};

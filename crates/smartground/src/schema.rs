@@ -1,0 +1,170 @@
+//! The SmartGround relational schema (paper Fig. 3).
+//!
+//! The figure sketches a databank of mine/urban landfills, the chemical
+//! elements they contain, and the analyses that produced those numbers.
+//! The concrete columns below follow the figure's fragment (landfill,
+//! element, elem_contained) plus the entities the paper's examples rely on
+//! (laboratories and analyses signed by lab staff — Example 3.1).
+
+use crosse_relational::{Database, Result};
+
+/// Table names, in creation order.
+pub const TABLES: &[&str] =
+    &["landfill", "element", "elem_contained", "laboratory", "analysis"];
+
+/// Create all SmartGround tables in `db` (errors if any already exist).
+pub fn create_schema(db: &Database) -> Result<()> {
+    db.execute_script(
+        "CREATE TABLE landfill (
+            name TEXT,
+            city TEXT,
+            region TEXT,
+            kind TEXT,          -- 'mining' | 'municipal' | 'industrial'
+            opened INT,
+            tons FLOAT
+         );
+         CREATE TABLE element (
+            symbol TEXT,
+            full_name TEXT,
+            atomic_number INT
+         );
+         CREATE TABLE elem_contained (
+            elem_name TEXT,
+            landfill_name TEXT,
+            amount FLOAT        -- tonnes of recoverable material
+         );
+         CREATE TABLE laboratory (
+            name TEXT,
+            city TEXT,
+            director TEXT
+         );
+         CREATE TABLE analysis (
+            id INT,
+            landfill_name TEXT,
+            lab_name TEXT,
+            elem_name TEXT,
+            concentration FLOAT, -- mg/kg
+            year INT,
+            signed_by TEXT
+         );",
+    )?;
+    Ok(())
+}
+
+/// The element inventory used by the generators: (symbol, name, Z).
+/// Focused on metals and metalloids relevant to secondary raw materials.
+pub const ELEMENTS: &[(&str, &str, i64)] = &[
+    ("Al", "Aluminium", 13),
+    ("Si", "Silicon", 14),
+    ("Ti", "Titanium", 22),
+    ("V", "Vanadium", 23),
+    ("Cr", "Chromium", 24),
+    ("Mn", "Manganese", 25),
+    ("Fe", "Iron", 26),
+    ("Co", "Cobalt", 27),
+    ("Ni", "Nickel", 28),
+    ("Cu", "Copper", 29),
+    ("Zn", "Zinc", 30),
+    ("Ga", "Gallium", 31),
+    ("Ge", "Germanium", 32),
+    ("As", "Arsenic", 33),
+    ("Se", "Selenium", 34),
+    ("Zr", "Zirconium", 40),
+    ("Nb", "Niobium", 41),
+    ("Mo", "Molybdenum", 42),
+    ("Pd", "Palladium", 46),
+    ("Ag", "Silver", 47),
+    ("Cd", "Cadmium", 48),
+    ("In", "Indium", 49),
+    ("Sn", "Tin", 50),
+    ("Sb", "Antimony", 51),
+    ("Te", "Tellurium", 52),
+    ("Ba", "Barium", 56),
+    ("La", "Lanthanum", 57),
+    ("Ce", "Cerium", 58),
+    ("Nd", "Neodymium", 60),
+    ("W", "Tungsten", 74),
+    ("Pt", "Platinum", 78),
+    ("Au", "Gold", 79),
+    ("Hg", "Mercury", 80),
+    ("Tl", "Thallium", 81),
+    ("Pb", "Lead", 82),
+    ("Bi", "Bismuth", 83),
+    ("Th", "Thorium", 90),
+    ("U", "Uranium", 92),
+];
+
+/// Cities the generator places landfills and labs in: (city, region,
+/// country local-name). A mix of Italian and other EU locations, matching
+/// the project's multi-country databank.
+pub const CITIES: &[(&str, &str, &str)] = &[
+    ("Torino", "Piemonte", "Italy"),
+    ("Collegno", "Piemonte", "Italy"),
+    ("Milano", "Lombardia", "Italy"),
+    ("Genova", "Liguria", "Italy"),
+    ("Roma", "Lazio", "Italy"),
+    ("Napoli", "Campania", "Italy"),
+    ("Cagliari", "Sardegna", "Italy"),
+    ("Lyon", "AuvergneRhoneAlpes", "France"),
+    ("Marseille", "Provence", "France"),
+    ("Barcelona", "Catalunya", "Spain"),
+    ("Bilbao", "Euskadi", "Spain"),
+    ("Essen", "NRW", "Germany"),
+    ("Leipzig", "Sachsen", "Germany"),
+    ("Katowice", "Slask", "Poland"),
+    ("Ljubljana", "Osrednjeslovenska", "Slovenia"),
+    ("Athens", "Attica", "Greece"),
+];
+
+/// Landfill kinds (paper: industrial, mining and municipal landfills).
+pub const KINDS: &[&str] = &["mining", "municipal", "industrial"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_creates_all_tables() {
+        let db = Database::new();
+        create_schema(&db).unwrap();
+        for t in TABLES {
+            assert!(db.catalog().has_table(t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn schema_is_queryable_empty() {
+        let db = Database::new();
+        create_schema(&db).unwrap();
+        let rs = db
+            .query(
+                "SELECT l.name FROM landfill l JOIN elem_contained e \
+                 ON l.name = e.landfill_name",
+            )
+            .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn double_create_fails() {
+        let db = Database::new();
+        create_schema(&db).unwrap();
+        assert!(create_schema(&db).is_err());
+    }
+
+    #[test]
+    fn element_inventory_is_consistent() {
+        assert!(ELEMENTS.len() >= 30);
+        let mut symbols: Vec<&str> = ELEMENTS.iter().map(|(s, _, _)| *s).collect();
+        symbols.sort();
+        symbols.dedup();
+        assert_eq!(symbols.len(), ELEMENTS.len(), "duplicate symbols");
+        assert!(ELEMENTS.iter().all(|(_, _, z)| *z > 0 && *z < 119));
+    }
+
+    #[test]
+    fn cities_have_countries() {
+        assert!(CITIES.len() >= 10);
+        assert!(CITIES.iter().all(|(_, _, c)| !c.is_empty()));
+    }
+}

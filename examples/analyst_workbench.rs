@@ -1,0 +1,127 @@
+//! Analyst workbench: the "v2" engine features working together —
+//! secondary indexes, subqueries and CASE in plain SQL, SPARQL 1.1
+//! aggregates / property paths on the knowledge base, federation with
+//! filter pushdown, and the SPARQL-leg cache under repeated exploration.
+//!
+//! ```sh
+//! cargo run --example analyst_workbench
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crosse::federation::{FederatedDatabase, LatencyModel, RemoteSource};
+use crosse::rdf::sparql::eval::query as sparql_query;
+use crosse::smartground::{standard_engine, SmartGroundConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size databank with the director's ontology pre-loaded.
+    let engine = standard_engine(
+        &SmartGroundConfig::default().with_landfills(100).with_seed(7),
+        "director",
+    )?;
+    let db = engine.database();
+
+    // ---- 1. Secondary indexes ------------------------------------------------
+    db.execute("CREATE INDEX idx_elem ON elem_contained (elem_name)")?;
+    db.execute("CREATE INDEX idx_lf ON elem_contained (landfill_name)")?;
+    let plan = db.query(
+        "EXPLAIN SELECT landfill_name FROM elem_contained WHERE elem_name = 'Hg'",
+    )?;
+    println!("== Indexed plan for the mercury lookup ==");
+    for row in &plan.rows {
+        println!("  {}", row[0].lexical_form());
+    }
+
+    // ---- 2. Subqueries + CASE -------------------------------------------------
+    // Landfills holding any element that is above the average contained
+    // amount, bucketed by size.
+    let rs = db.query(
+        "SELECT name, CASE WHEN tons > 500000 THEN 'large' \
+                           WHEN tons > 100000 THEN 'medium' \
+                           ELSE 'small' END AS size \
+         FROM landfill \
+         WHERE name IN (SELECT landfill_name FROM elem_contained \
+                        WHERE amount > (SELECT AVG(amount) FROM elem_contained)) \
+         ORDER BY name LIMIT 8",
+    )?;
+    println!("\n== Landfills with above-average element deposits ==\n{rs}");
+
+    // ---- 3. SPARQL 1.1 on the knowledge base ----------------------------------
+    let kb = engine.knowledge_base();
+    let graphs = kb.context_graphs("director");
+    let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+    let sols = sparql_query(
+        kb.store(),
+        &refs,
+        "SELECT ?d (COUNT(?e) AS ?n) WHERE { ?e <dangerLevel> ?d } \
+         GROUP BY ?d HAVING(?n >= 1) ORDER BY DESC(?d)",
+    )?;
+    println!("== Elements per danger level (SPARQL GROUP BY) ==");
+    for row in &sols.rows {
+        let d = row[0].as_ref().map(|t| t.lexical_form().to_string()).unwrap_or_default();
+        let n = row[1].as_ref().map(|t| t.lexical_form().to_string()).unwrap_or_default();
+        println!("  level {d}: {n} element(s)");
+    }
+
+    // Property path: elements transitively co-occurring with mercury.
+    let sols = sparql_query(
+        kb.store(),
+        &refs,
+        "SELECT ?x WHERE { <Hg> (<oreAssemblage>|^<oreAssemblage>)+ ?x } ORDER BY ?x",
+    )?;
+    let cluster: Vec<String> = sols
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_ref().map(|t| t.lexical_form().to_string()))
+        .collect();
+    println!("\n== Mercury's (symmetric, transitive) ore-assemblage cluster ==");
+    println!("  {}", cluster.join(", "));
+
+    // ---- 4. Exploration with the SPARQL-leg cache ------------------------------
+    let sesql = "SELECT elem_name, landfill_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+    let first = engine.execute("director", sesql)?;
+    let second = engine.execute("director", sesql)?;
+    println!("\n== SPARQL-leg cache across repeated exploration ==");
+    println!(
+        "  first run : sparql leg {:?} (cached: {})",
+        first.report.sparql_exec, first.report.sparql_runs[0].cached
+    );
+    println!(
+        "  second run: sparql leg {:?} (cached: {})",
+        second.report.sparql_exec, second.report.sparql_runs[0].cached
+    );
+    let stats = engine.cache_stats();
+    println!("  cache stats: {} hit(s), {} miss(es)", stats.hits, stats.misses);
+
+    // ---- 5. Federation with filter pushdown ------------------------------------
+    let remote_db = engine.database().clone();
+    let fed = FederatedDatabase::new();
+    fed.register_source(Arc::new(RemoteSource::new(
+        "eu",
+        remote_db,
+        LatencyModel {
+            per_request: Duration::from_micros(300),
+            per_row: Duration::from_micros(3),
+            realtime: true,
+        },
+    )))?;
+    let sql = "SELECT elem_name, amount FROM eu__elem_contained \
+               WHERE landfill_name = 'LF00001'";
+    let full = fed.query(sql, true)?;
+    let pushed = fed.query_pushdown(sql)?;
+    println!("\n== Federation: full fetch vs filter pushdown ==");
+    println!("  result rows          : {}", full.len());
+    println!(
+        "  pushdown shipped     : {}",
+        pushed.pushed[0].remote_sql
+    );
+    println!(
+        "  rows over the network: {} (vs whole table when not pushed)",
+        pushed.pushed[0].rows_fetched
+    );
+    assert_eq!(full.rows, pushed.result.rows, "pushdown must not change results");
+
+    Ok(())
+}

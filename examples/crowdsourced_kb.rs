@@ -1,0 +1,98 @@
+//! Crowdsourced semantic enrichment (paper Sec. III): two users with
+//! different interpretations of "pollution", belief import, and how the
+//! same SESQL query answers differently in each context.
+//!
+//! ```sh
+//! cargo run --example crowdsourced_kb
+//! ```
+
+use crosse::core::platform::CrossePlatform;
+use crosse::core::recommend;
+use crosse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT, amount FLOAT);
+         INSERT INTO elem_contained VALUES
+           ('Hg','a',12.5), ('Pb','a',30.0), ('Cu','a',100.0),
+           ('Zn','b',55.0), ('As','b',5.2);",
+    )?;
+    let platform = CrossePlatform::new(db, KnowledgeBase::new());
+    platform.register_user("researcher")?;
+    platform.register_user("city_planner")?;
+
+    // The researcher annotates from a toxicology standpoint. The subject
+    // must exist in the databank → integrated annotation scenario.
+    for elem in ["Hg", "Pb", "As"] {
+        platform.integrated_annotation(
+            "researcher",
+            "elem_contained",
+            "elem_name",
+            elem,
+            "isA",
+            Term::iri("HazardousWaste"),
+        )?;
+    }
+    // The city planner's urban-planning context: anything above visual-
+    // impact thresholds is a concern, including plain copper and zinc.
+    for elem in ["Cu", "Zn"] {
+        platform.integrated_annotation(
+            "city_planner",
+            "elem_contained",
+            "elem_name",
+            elem,
+            "isA",
+            Term::iri("HazardousWaste"),
+        )?;
+    }
+    // Independent annotation: free knowledge not anchored in the databank.
+    platform.independent_annotation(
+        "researcher",
+        Term::iri("HazardousWaste"),
+        Term::iri("regulatedBy"),
+        Term::lit("EU Directive 2008/98/EC"),
+    )?;
+
+    // The same SESQL query, two contexts, two answers (Sec. I-B(a)).
+    let sesql = "SELECT elem_name FROM elem_contained \
+                 ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)";
+    for user in ["researcher", "city_planner"] {
+        println!("=== `{user}` asks: which elements are hazardous? ===");
+        let result = platform.query(user, sesql)?;
+        println!("{}", result.rows);
+    }
+
+    // Crowdsourcing: the planner browses the researcher's public
+    // statements and adopts the mercury one.
+    println!("=== statements visible to city_planner ===");
+    let visible = platform.browse_peer_statements("city_planner");
+    for s in &visible {
+        println!(
+            "  [{}] by {}: {} (believers: {:?})",
+            s.id.0, s.author, s.triple, s.believers
+        );
+    }
+    let mercury = visible
+        .iter()
+        .find(|s| s.triple.subject == Term::iri("Hg"))
+        .expect("researcher asserted Hg");
+    platform.import_statement("city_planner", mercury.id)?;
+    println!("\ncity_planner imported statement [{}]; querying again:", mercury.id.0);
+    let result = platform.query("city_planner", sesql)?;
+    println!("{}", result.rows);
+
+    // Peer services (Sec. I-B): who is similar, what else to adopt?
+    let peers = recommend::recommend_peers(&platform, "city_planner", 3);
+    println!("peer recommendations for city_planner:");
+    for p in &peers {
+        println!("  {} (score {:.3})", p.item, p.score);
+    }
+    let stmts = recommend::recommend_statements(&platform, "city_planner", 3);
+    println!("statement recommendations for city_planner:");
+    for s in &stmts {
+        let triple = platform.knowledge_base().statement_triple(s.item)?;
+        println!("  [{}] {} (score {:.3})", s.item.0, triple, s.score);
+    }
+    Ok(())
+}

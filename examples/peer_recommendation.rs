@@ -1,0 +1,94 @@
+//! Peer networking and context-aware ranking at community scale
+//! (paper Sec. I-B): a population of users with overlapping knowledge,
+//! peer discovery, statement recommendation, and result re-ranking.
+//!
+//! ```sh
+//! cargo run --example peer_recommendation
+//! ```
+
+use crosse::core::platform::CrossePlatform;
+use crosse::core::recommend;
+use crosse::prelude::*;
+use crosse::smartground::{generate, SmartGroundConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = generate(&SmartGroundConfig { landfills: 30, ..SmartGroundConfig::default() })?;
+    let platform = CrossePlatform::new(db, KnowledgeBase::new());
+
+    // A small research community. Toxicologists share danger knowledge;
+    // geologists share assemblage knowledge; `newcomer` knows little.
+    let toxicologists = ["tox_anna", "tox_bruno", "tox_carla"];
+    let geologists = ["geo_dario", "geo_elena"];
+    for u in toxicologists.iter().chain(&geologists).chain(&["newcomer"]) {
+        platform.register_user(u)?;
+    }
+
+    let kb = platform.knowledge_base();
+    // Anna seeds the danger ontology; the other toxicologists adopt most
+    // of it (crowdsourced scenario).
+    let mut danger_ids = Vec::new();
+    for t in crosse::smartground::ontogen::danger_triples() {
+        danger_ids.push(kb.assert_statement("tox_anna", &t)?);
+    }
+    for (i, id) in danger_ids.iter().enumerate() {
+        if i % 3 != 0 {
+            kb.accept_statement("tox_bruno", *id)?;
+        }
+        if i % 2 == 0 {
+            kb.accept_statement("tox_carla", *id)?;
+        }
+    }
+    // Geologists build the assemblage ontology together.
+    for (i, t) in crosse::smartground::ontogen::assemblage_triples().iter().enumerate() {
+        let author = geologists[i % geologists.len()];
+        let id = kb.assert_statement(author, t)?;
+        let other = geologists[(i + 1) % geologists.len()];
+        kb.accept_statement(other, id)?;
+    }
+    // The newcomer has adopted a couple of danger statements only.
+    kb.accept_statement("newcomer", danger_ids[0])?;
+    kb.accept_statement("newcomer", danger_ids[1])?;
+
+    // Some query activity shapes the profiles too.
+    for _ in 0..3 {
+        platform.query(
+            "tox_anna",
+            "SELECT elem_name FROM elem_contained WHERE elem_name = 'Hg'",
+        )?;
+        platform.query(
+            "newcomer",
+            "SELECT elem_name FROM elem_contained WHERE elem_name = 'Hg'",
+        )?;
+    }
+    platform.query("geo_dario", "SELECT name, city FROM landfill")?;
+
+    println!("=== peer discovery ===");
+    for user in ["newcomer", "tox_bruno", "geo_elena"] {
+        let peers = recommend::recommend_peers(&platform, user, 3);
+        println!("{user}:");
+        for p in &peers {
+            println!("    {:<10} score {:.3}", p.item, p.score);
+        }
+    }
+
+    println!("\n=== statement recommendations for newcomer ===");
+    let recs = recommend::recommend_statements(&platform, "newcomer", 5);
+    for r in &recs {
+        let t = kb.statement_triple(r.item)?;
+        println!("  score {:.3}  {}", r.score, t);
+    }
+
+    // Context-aware ranking (Sec. I-B(c)): the newcomer's profile is all
+    // about mercury, so mercury rows float to the top of a generic query.
+    println!("\n=== context-aware ranking ===");
+    let result = platform.query(
+        "newcomer",
+        "SELECT elem_name, landfill_name FROM elem_contained LIMIT 15",
+    )?;
+    let profile = platform.user_profile("newcomer");
+    let ranked = recommend::rank_rows(&result.rows, &profile);
+    let mut preview = ranked.clone();
+    preview.rows.truncate(5);
+    println!("top rows for the mercury-focused newcomer:\n{preview}");
+    Ok(())
+}

@@ -1,0 +1,336 @@
+//! Interactive CroSSE shell: a SESQL REPL over a generated SmartGround
+//! databank with per-user knowledge bases.
+//!
+//! ```text
+//! cargo run --bin crosse-cli                # default databank (50 landfills)
+//! cargo run --bin crosse-cli -- --landfills 200 --seed 7
+//! echo "SELECT name, city FROM landfill LIMIT 3;" | cargo run --bin crosse-cli
+//! ```
+//!
+//! SQL/SESQL statements end with `;` and may span lines; everything else is
+//! a dot-command (`.help` lists them).
+
+use std::io::{self, BufRead, Write};
+
+use crosse::core::platform::CrossePlatform;
+use crosse::core::sqm::EnrichedResult;
+use crosse::rdf::sparql::eval::{query_any, QueryOutcome};
+use crosse::rdf::term::Term;
+use crosse::smartground::{standard_engine, SmartGroundConfig};
+
+struct Shell {
+    platform: CrossePlatform,
+    user: String,
+    show_report: bool,
+}
+
+fn main() {
+    let mut landfills = 50usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--landfills" => {
+                landfills = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--landfills needs a number"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("crosse-cli [--landfills N] [--seed N]");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let config = SmartGroundConfig::default()
+        .with_landfills(landfills)
+        .with_seed(seed);
+    let engine = standard_engine(&config, "director").unwrap_or_else(|e| {
+        die(&format!("failed to build the databank: {e}"));
+    });
+    let platform = CrossePlatform::from_engine(engine);
+    let mut shell = Shell {
+        platform,
+        user: "director".to_string(),
+        show_report: false,
+    };
+
+    let interactive = is_tty();
+    if interactive {
+        println!(
+            "CroSSE shell — SmartGround databank with {landfills} landfills (seed {seed})."
+        );
+        println!("SESQL statements end with `;`. Type `.help` for commands.");
+    }
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            if buffer.is_empty() {
+                print!("crosse:{}> ", shell.user);
+            } else {
+                print!("   ...> ");
+            }
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin: {e}")),
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell.dot_command(trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+            buffer.clear();
+            if !stmt.is_empty() {
+                shell.run_statement(&stmt);
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("crosse-cli: {msg}");
+    std::process::exit(1)
+}
+
+fn is_tty() -> bool {
+    use std::io::IsTerminal;
+    io::stdin().is_terminal()
+}
+
+impl Shell {
+    /// Run a SQL/SESQL statement (already stripped of its terminator).
+    fn run_statement(&mut self, stmt: &str) {
+        match self.platform.query(&self.user, stmt) {
+            Ok(EnrichedResult { rows, report }) => {
+                print!("{}", rows.to_ascii_table());
+                if self.show_report {
+                    println!(
+                        "-- parse {:?} | sql {:?} | sparql {:?} | join {:?} | final {:?} | total {:?}",
+                        report.parse,
+                        report.sql_exec,
+                        report.sparql_exec,
+                        report.join,
+                        report.final_sql,
+                        report.total()
+                    );
+                    for run in &report.sparql_runs {
+                        println!(
+                            "--   leg [{}{}] {} solution(s): {}",
+                            run.purpose,
+                            if run.cached { ", cached" } else { "" },
+                            run.solutions,
+                            run.sparql.replace('\n', " ")
+                        );
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// Handle a dot-command; returns false to exit the shell.
+    fn dot_command(&mut self, cmd: &str) -> bool {
+        let (head, rest) = match cmd.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (cmd, ""),
+        };
+        match head {
+            ".quit" | ".exit" => return false,
+            ".help" => self.help(),
+            ".user" => {
+                if rest.is_empty() {
+                    println!("current user: {}", self.user);
+                } else {
+                    let kb = self.platform.knowledge_base();
+                    if !kb.is_registered(rest) {
+                        match self.platform.register_user(rest) {
+                            Ok(()) => println!("registered new user `{rest}`"),
+                            Err(e) => {
+                                println!("error: {e}");
+                                return true;
+                            }
+                        }
+                    }
+                    self.user = rest.to_string();
+                }
+            }
+            ".users" => {
+                for u in self.platform.users() {
+                    println!("{u}");
+                }
+            }
+            ".tables" => {
+                for t in self.platform.database().catalog().table_names() {
+                    println!("{t}");
+                }
+            }
+            ".schema" => match self.platform.database().catalog().get_table(rest) {
+                Ok(t) => {
+                    for c in &t.schema.columns {
+                        println!("{} {}", c.name, c.data_type);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ".sparql" => {
+                let kb = self.platform.knowledge_base();
+                let graphs = kb.context_graphs(&self.user);
+                let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+                match query_any(kb.store(), &refs, rest) {
+                    Ok(QueryOutcome::Solutions(sols)) => {
+                        println!("?{}", sols.variables.join(" ?"));
+                        for row in &sols.rows {
+                            let cells: Vec<String> = row
+                                .iter()
+                                .map(|t| match t {
+                                    Some(term) => term.to_string(),
+                                    None => "UNDEF".to_string(),
+                                })
+                                .collect();
+                            println!("{}", cells.join(" | "));
+                        }
+                        println!("({} solution(s))", sols.len());
+                    }
+                    Ok(QueryOutcome::Boolean(b)) => println!("{b}"),
+                    Ok(QueryOutcome::Graph(ts)) => {
+                        for t in &ts {
+                            println!("{} {} {} .", t.subject, t.predicate, t.object);
+                        }
+                        println!("({} triple(s))", ts.len());
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ".assert" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 {
+                    println!("usage: .assert <subject> <property> <object>");
+                    return true;
+                }
+                let object = if parts[2].chars().next().is_some_and(|c| c.is_ascii_digit())
+                    || parts[2].starts_with('"')
+                {
+                    Term::lit(parts[2].trim_matches('"'))
+                } else {
+                    Term::iri(parts[2])
+                };
+                match self.platform.independent_annotation(
+                    &self.user,
+                    Term::iri(parts[0]),
+                    Term::iri(parts[1]),
+                    object,
+                ) {
+                    Ok(id) => println!("asserted statement #{}", id.0),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ".kb" => {
+                let kb = self.platform.knowledge_base();
+                for id in kb.statements_by(&self.user) {
+                    match kb.statement_triple(id) {
+                        Ok(t) => println!("#{}: {} {} {}", id.0, t.subject, t.predicate, t.object),
+                        Err(e) => println!("#{}: <error: {e}>", id.0),
+                    }
+                }
+            }
+            ".browse" => {
+                for info in self.platform.browse_peer_statements(&self.user) {
+                    println!(
+                        "#{}: {} {} {} (by {})",
+                        info.id.0,
+                        info.triple.subject,
+                        info.triple.predicate,
+                        info.triple.object,
+                        info.author
+                    );
+                }
+            }
+            ".import" => match rest.parse::<u64>() {
+                Ok(raw) => {
+                    match self.platform.import_statement(
+                        &self.user,
+                        crosse::rdf::provenance::StatementId(raw),
+                    ) {
+                        Ok(()) => println!("imported statement #{raw}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Err(_) => println!("usage: .import <statement-id>"),
+            },
+            ".stored" => match rest.split_once(char::is_whitespace) {
+                Some((name, sparql)) => {
+                    match self.platform.engine().stored_queries().register(name, sparql.trim())
+                    {
+                        Ok(()) => println!("registered stored query `{name}`"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                None => println!("usage: .stored <name> <sparql>"),
+            },
+            ".explain" => {
+                let stmt = rest.trim_end_matches(';');
+                match self.platform.engine().explain(&self.user, stmt) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ".report" => match rest {
+                "on" => {
+                    self.show_report = true;
+                    println!("pipeline report on");
+                }
+                "off" => {
+                    self.show_report = false;
+                    println!("pipeline report off");
+                }
+                _ => println!("usage: .report on|off"),
+            },
+            other => println!("unknown command `{other}` (try .help)"),
+        }
+        true
+    }
+
+    fn help(&self) {
+        println!(
+            "\
+SQL/SESQL statements end with `;` and may span lines.
+Dot-commands:
+  .help                      this text
+  .user [NAME]               show or switch the active user (registers new users)
+  .users                     list registered users
+  .tables                    list databank tables
+  .schema TABLE              show a table's columns
+  .sparql QUERY              run SPARQL against the active user's context
+  .assert S P O              add an RDF statement to the active user's KB
+  .kb                        list the active user's statements
+  .browse                    browse peers' public statements
+  .import ID                 accept a peer statement as your own
+  .stored NAME QUERY         register a stored SPARQL query (for REPLACECONSTANT)
+  .explain SESQL             show the pipeline plan without executing
+  .report on|off             print per-stage pipeline timings after each query
+  .quit                      exit"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Smoke test for the `crosse-cli` binary: drive it with a scripted
+//! session over a pipe and check the printed results.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crosse-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "cli exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn sql_and_sesql_statements_print_tables() {
+    let out = run_script(
+        "SELECT name FROM landfill ORDER BY name LIMIT 2;\n\
+         SELECT elem_name FROM elem_contained LIMIT 1 \
+         ENRICH SCHEMAEXTENSION(elem_name, dangerLevel);\n",
+    );
+    assert!(out.contains("LF00000"), "{out}");
+    assert!(out.contains("dangerLevel"), "{out}");
+}
+
+#[test]
+fn multi_line_statement_and_error_reporting() {
+    let out = run_script(
+        "SELECT name\nFROM landfill\nLIMIT 1;\n\
+         SELECT nope FROM landfill;\n",
+    );
+    assert!(out.contains("(1 rows)") || out.contains("| name"), "{out}");
+    assert!(out.contains("error:"), "{out}");
+}
+
+#[test]
+fn dot_commands_work_scripted() {
+    let out = run_script(
+        ".tables\n\
+         .schema landfill\n\
+         .user alice\n\
+         .assert Hg isA Dangerous\n\
+         .kb\n\
+         .sparql ASK { <Hg> <isA> <Dangerous> }\n\
+         .explain SELECT name FROM landfill ENRICH SCHEMAEXTENSION(name, p)\n\
+         .quit\n",
+    );
+    assert!(out.contains("elem_contained"), "{out}");
+    assert!(out.contains("tons"), "{out}");
+    assert!(out.contains("asserted statement"), "{out}");
+    assert!(out.contains("<Hg> <isA> <Dangerous>"), "{out}");
+    assert!(out.contains("true"), "{out}");
+    assert!(out.contains("SESQL plan"), "{out}");
+}
+
+#[test]
+fn users_are_isolated() {
+    // alice's annotation must not leak into the director's context.
+    let out = run_script(
+        ".user alice\n\
+         .assert Zz dangerLevel 9\n\
+         .user director\n\
+         .sparql ASK { <Zz> <dangerLevel> ?d }\n",
+    );
+    assert!(out.contains("false"), "{out}");
+}

@@ -1,0 +1,353 @@
+//! Concurrency: the platform is shared mutable state behind locks; these
+//! tests exercise parallel readers/writers across every layer.
+
+use std::sync::Arc;
+use std::thread;
+
+use crosse::core::platform::CrossePlatform;
+use crosse::prelude::*;
+use crosse::rdf::TripleStore;
+
+#[test]
+fn parallel_triple_store_writers_land_all_triples() {
+    let store = TripleStore::new();
+    let mut handles = Vec::new();
+    for w in 0..8 {
+        let store = store.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..200 {
+                store.insert(
+                    &format!("g{w}"),
+                    &Triple::new(
+                        Term::iri(format!("s{w}_{i}")),
+                        Term::iri("p"),
+                        Term::lit(i.to_string()),
+                    ),
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(store.len(), 8 * 200);
+    // Dictionary stayed consistent: every term resolves.
+    for w in 0..8 {
+        assert_eq!(store.graph_len(&format!("g{w}")), 200);
+    }
+}
+
+#[test]
+fn readers_run_during_writes() {
+    let store = TripleStore::new();
+    store.insert("kb", &Triple::new(Term::iri("a"), Term::iri("p"), Term::lit("0")));
+    let writer = {
+        let store = store.clone();
+        thread::spawn(move || {
+            for i in 0..500 {
+                store.insert(
+                    "kb",
+                    &Triple::new(Term::iri(format!("s{i}")), Term::iri("p"), Term::lit("x")),
+                );
+            }
+        })
+    };
+    let reader = {
+        let store = store.clone();
+        thread::spawn(move || {
+            let mut last = 0;
+            for _ in 0..200 {
+                let sols = crosse::rdf::sparql::eval::query(
+                    &store,
+                    &["kb"],
+                    "SELECT ?s WHERE { ?s <p> ?o }",
+                )
+                .unwrap();
+                assert!(sols.len() >= last, "monotone growth under inserts");
+                last = sols.len();
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+}
+
+#[test]
+fn parallel_sql_writers_on_distinct_tables() {
+    let db = Database::new();
+    let mut handles = Vec::new();
+    for w in 0..6 {
+        let db = db.clone();
+        handles.push(thread::spawn(move || {
+            db.execute(&format!("CREATE TABLE t{w} (x INT)")).unwrap();
+            for i in 0..100 {
+                db.execute(&format!("INSERT INTO t{w} VALUES ({i})")).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for w in 0..6 {
+        let rs = db.query(&format!("SELECT COUNT(*) FROM t{w}")).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(100));
+    }
+}
+
+#[test]
+fn parallel_inserts_into_one_table_lose_nothing() {
+    let db = Database::new();
+    db.execute("CREATE TABLE shared (who INT, n INT)").unwrap();
+    let mut handles = Vec::new();
+    for w in 0..4i64 {
+        let db = db.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..250 {
+                db.execute(&format!("INSERT INTO shared VALUES ({w}, {i})")).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let rs = db.query("SELECT COUNT(*) FROM shared").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(1000));
+}
+
+#[test]
+fn concurrent_annotation_and_import() {
+    let db = Database::new();
+    db.execute("CREATE TABLE elem_contained (elem_name TEXT)").unwrap();
+    db.execute("INSERT INTO elem_contained VALUES ('Hg'), ('Pb')").unwrap();
+    let platform = Arc::new(CrossePlatform::new(db, KnowledgeBase::new()));
+    for u in 0..4 {
+        platform.register_user(&format!("user{u}")).unwrap();
+    }
+    let mut handles = Vec::new();
+    for u in 0..4 {
+        let platform = Arc::clone(&platform);
+        handles.push(thread::spawn(move || {
+            let me = format!("user{u}");
+            for i in 0..50 {
+                platform
+                    .independent_annotation(
+                        &me,
+                        Term::iri(format!("c{u}_{i}")),
+                        Term::iri("p"),
+                        Term::lit("v"),
+                    )
+                    .unwrap();
+                // Occasionally adopt whatever peers have published.
+                if i % 10 == 0 {
+                    for info in platform.browse_peer_statements(&me).into_iter().take(3)
+                    {
+                        platform.import_statement(&me, info.id).unwrap();
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let kb = platform.knowledge_base();
+    // All 200 distinct statements exist and every user holds at least
+    // their own 50.
+    assert_eq!(kb.public_statements().len(), 200);
+    for u in 0..4 {
+        assert!(kb.personal_size(&format!("user{u}")) >= 50);
+    }
+}
+
+#[test]
+fn concurrent_sesql_execution_with_kb_updates() {
+    let engine = Arc::new(
+        crosse::smartground::standard_engine(
+            &SmartGroundConfig::tiny(),
+            "director",
+        )
+        .unwrap(),
+    );
+    let writer = {
+        let engine = Arc::clone(&engine);
+        thread::spawn(move || {
+            let kb = engine.knowledge_base();
+            for i in 0..100 {
+                kb.assert_statement(
+                    "director",
+                    &Triple::new(
+                        Term::iri(format!("Extra{i}")),
+                        Term::iri("dangerLevel"),
+                        Term::lit("2"),
+                    ),
+                )
+                .unwrap();
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let engine = Arc::clone(&engine);
+        readers.push(thread::spawn(move || {
+            for _ in 0..20 {
+                let r = engine
+                    .execute(
+                        "director",
+                        "SELECT elem_name FROM elem_contained \
+                         ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+                    )
+                    .unwrap();
+                assert!(r.rows.len() >= r.report.base_rows);
+            }
+        }));
+    }
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_replace_variable_queries_do_not_collide() {
+    // REPLACEVARIABLE materialises a temporary KB-pairs table in the main
+    // database; parallel executions must use distinct names.
+    let engine = Arc::new(
+        crosse::smartground::standard_engine(&SmartGroundConfig::tiny(), "director")
+            .unwrap(),
+    );
+    let sesql = "SELECT e1.landfill_name AS l1, e2.landfill_name AS l2 \
+                 FROM elem_contained AS e1, elem_contained AS e2 \
+                 WHERE e1.landfill_name <> e2.landfill_name AND \
+                       ${ e1.elem_name = e2.elem_name :cond1} \
+                 ENRICH REPLACEVARIABLE(cond1, e2.elem_name, oreAssemblage)";
+    let expected = engine.execute("director", sesql).unwrap().rows.len();
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let engine = Arc::clone(&engine);
+        handles.push(thread::spawn(move || {
+            for _ in 0..5 {
+                let r = engine.execute("director", sesql).unwrap();
+                assert_eq!(r.rows.len(), expected);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // No leaked pairs tables.
+    let leftovers: Vec<String> = engine
+        .database()
+        .catalog()
+        .table_names()
+        .into_iter()
+        .filter(|t| t.starts_with("__kb_pairs"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked: {leftovers:?}");
+}
+
+#[test]
+fn indexed_queries_stay_consistent_under_concurrent_dml() {
+    // Writers churn the table (insert + delete, which dirties the index
+    // and forces lazy rebuilds) while readers run indexed point queries.
+    // Every observed result must be internally consistent: all returned
+    // rows actually carry the queried key.
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
+    db.execute("CREATE INDEX ik ON t (k)").unwrap();
+    for i in 0..200 {
+        db.execute(&format!("INSERT INTO t VALUES ('k{}', {i})", i % 10))
+            .unwrap();
+    }
+    let db = Arc::new(db);
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for i in 0..150 {
+                db.execute(&format!("INSERT INTO t VALUES ('k{}', {})", i % 10, 1000 + w))
+                    .unwrap();
+                if i % 7 == 0 {
+                    db.execute(&format!("DELETE FROM t WHERE v = {}", i * 3 % 200))
+                        .unwrap();
+                }
+            }
+        }));
+    }
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for i in 0..200 {
+                let key = format!("k{}", i % 10);
+                let rs = db
+                    .query(&format!("SELECT k, v FROM t WHERE k = '{key}'"))
+                    .unwrap();
+                for row in &rs.rows {
+                    assert_eq!(row[0].lexical_form(), key);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // After the dust settles the index agrees with a sequential scan.
+    let with_index = db.query("SELECT COUNT(*) FROM t WHERE k = 'k3'").unwrap();
+    db.execute("DROP INDEX ik").unwrap();
+    let without = db.query("SELECT COUNT(*) FROM t WHERE k = 'k3'").unwrap();
+    assert_eq!(with_index.rows, without.rows);
+}
+
+#[test]
+fn sparql_leg_cache_safe_under_concurrent_annotation() {
+    // Readers enrich repeatedly (hitting and repopulating the cache) while
+    // a writer annotates; every result must reflect *some* consistent KB
+    // state — in particular, cached results must never contain an element
+    // the KB has never described.
+    let platform = CrossePlatform::from_engine(
+        crosse::smartground::standard_engine(
+            &crosse::smartground::SmartGroundConfig::tiny(),
+            "director",
+        )
+        .unwrap(),
+    );
+    let platform = Arc::new(platform);
+    let sesql = "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+    let writer = {
+        let p = Arc::clone(&platform);
+        thread::spawn(move || {
+            for i in 0..100 {
+                p.independent_annotation(
+                    "director",
+                    Term::iri(format!("Syn{i}")),
+                    Term::iri("dangerLevel"),
+                    Term::lit("9"),
+                )
+                .unwrap();
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let p = Arc::clone(&platform);
+        readers.push(thread::spawn(move || {
+            let mut hits = 0u32;
+            for _ in 0..100 {
+                let r = p.query("director", sesql).unwrap();
+                if r.report.sparql_runs[0].cached {
+                    hits += 1;
+                }
+                // Synthetic subjects never occur in the relational table,
+                // so the enrichment may add values only for real elements.
+                for row in &r.rows.rows {
+                    assert!(!row[0].lexical_form().starts_with("Syn"));
+                }
+            }
+            hits
+        }));
+    }
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}

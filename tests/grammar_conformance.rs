@@ -1,0 +1,139 @@
+//! Fig. 5 grammar conformance: a corpus of valid and invalid SESQL texts
+//! mirroring every production of the paper's BNF (experiment E1's
+//! correctness side).
+
+use crosse::core::parse_sesql;
+
+/// Every production of Fig. 5 exercised at least once.
+const VALID: &[&str] = &[
+    // s → ENRICH body, body → exp (single clause of each kind)
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION(a, p)",
+    "SELECT a FROM t ENRICH SCHEMAREPLACEMENT(a, p)",
+    "SELECT a FROM t ENRICH BOOLSCHEMAEXTENSION(a, p, C)",
+    "SELECT a FROM t ENRICH BOOLSCHEMAREPLACEMENT(a, p, C)",
+    "SELECT a FROM t WHERE ${a = X:c1} ENRICH REPLACECONSTANT(c1, X, p)",
+    "SELECT a FROM t WHERE ${a = a:c1} ENRICH REPLACEVARIABLE(c1, a, p)",
+    // body → exp body (repetition)
+    "SELECT a, b FROM t ENRICH SCHEMAEXTENSION(a, p) SCHEMAEXTENSION(b, q)",
+    "SELECT a, b FROM t ENRICH SCHEMAEXTENSION(a, p) SCHEMAREPLACEMENT(b, q) \
+     BOOLSCHEMAEXTENSION(a, r, C)",
+    // wexp alongside exp
+    "SELECT a FROM t WHERE ${a = X:c1} \
+     ENRICH SCHEMAEXTENSION(a, p) REPLACECONSTANT(c1, X, q)",
+    // keyword case-insensitivity and optional spacing (the paper itself
+    // writes both SCHEMAEXTENSION and SCHEMA EXTENSION)
+    "select a from t enrich schemaextension(a, p)",
+    "SELECT a FROM t ENRICH SCHEMA EXTENSION(a, p)",
+    "SELECT a FROM t ENRICH Bool Schema Extension(a, p, C)",
+    // map/property/concept as quoted strings (STRING terminals)
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION('a', 'my prop')",
+    // qualified attributes
+    "SELECT t.a FROM t ENRICH SCHEMAEXTENSION(t.a, p)",
+    // full paper examples, verbatim shapes
+    "SELECT elem_name, landfill_name FROM elem_contained WHERE landfill_name = 'a' \
+     ENRICH SCHEMAEXTENSION( elem_name, dangerLevel)",
+    "SELECT name, city FROM landfill ENRICH SCHEMAREPLACEMENT(city, inCountry)",
+    "SELECT elem_name FROM elem_contained WHERE landfill_name = 'a' \
+     ENRICH BOOLSCHEMAEXTENSION( elem_name, isA, HazardousWaste)",
+    "SELECT name, city FROM landfill ENRICH BOOLSCHEMAREPLACEMENT(city, inCountry, Italy)",
+    "SELECT landfill_name FROM elem_contained WHERE ${elem_name = HazardousWaste:cond1} \
+     ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)",
+    "SELECT Elecond1.landfill_name AS l_name1, Elecond2.landfill_name AS l_name2, \
+     Elecond1.elem_name \
+     FROM elem_contained AS Elecond1, elem_contained AS Elecond2 \
+     WHERE ${ Elecond1.elem_name <> Elecond2.elem_name :cond1} AND \
+     Elecond1.elem_name = Elecond2.elem_name \
+     ENRICH REPLACEVARIABLE(cond1, Elecond2.elem_name, oreAssemblage)",
+    // plain SQL is valid SESQL (no ENRICH)
+    "SELECT a FROM t",
+    // SESQL composes with the extended SQL surface: subqueries, CASE and
+    // IN-lists in the SQL part must survive the ENRICH split untouched.
+    "SELECT a FROM t WHERE a IN (SELECT b FROM u) ENRICH SCHEMAEXTENSION(a, p)",
+    "SELECT a FROM t WHERE EXISTS (SELECT b FROM u) ENRICH SCHEMAREPLACEMENT(a, p)",
+    "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END AS c FROM t \
+     ENRICH SCHEMAEXTENSION(c, p)",
+    "SELECT a FROM t WHERE ${a = X:c1} AND a > (SELECT AVG(b) FROM u) \
+     ENRICH REPLACECONSTANT(c1, X, p)",
+];
+
+const INVALID: &[&str] = &[
+    // ENRICH with no clause
+    "SELECT a FROM t ENRICH",
+    // unknown clause keyword
+    "SELECT a FROM t ENRICH EXTEND(a, p)",
+    // wrong arity per production
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION(a)",
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION(a, p, c)",
+    "SELECT a FROM t ENRICH SCHEMAREPLACEMENT(a)",
+    "SELECT a FROM t ENRICH BOOLSCHEMAEXTENSION(a, p)",
+    "SELECT a FROM t ENRICH BOOLSCHEMAREPLACEMENT(a, p, c, d)",
+    "SELECT a FROM t WHERE ${a = X:c1} ENRICH REPLACECONSTANT(c1, X)",
+    "SELECT a FROM t WHERE ${a = a:c1} ENRICH REPLACEVARIABLE(c1)",
+    // missing parens / unterminated argument list
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION a, p",
+    "SELECT a FROM t ENRICH SCHEMAEXTENSION(a, p",
+    // condition id referenced but never tagged
+    "SELECT a FROM t ENRICH REPLACECONSTANT(c1, X, p)",
+    // malformed tagging
+    "SELECT a FROM t WHERE ${a = X} ENRICH REPLACECONSTANT(c1, X, p)",
+    "SELECT a FROM t WHERE ${a = X:c1 ENRICH REPLACECONSTANT(c1, X, p)",
+    "SELECT a FROM t WHERE ${:c1} ENRICH REPLACECONSTANT(c1, X, p)",
+    // duplicate condition ids
+    "SELECT a FROM t WHERE ${a = 1:c} AND ${b = 2:c} ENRICH REPLACECONSTANT(c, X, p)",
+    // SQL part must be a SELECT
+    "INSERT INTO t VALUES (1) ENRICH SCHEMAEXTENSION(a, p)",
+    "DELETE FROM t ENRICH SCHEMAEXTENSION(a, p)",
+    // broken SQL part
+    "SELECT FROM t ENRICH SCHEMAEXTENSION(a, p)",
+    "ENRICH SCHEMAEXTENSION(a, p)",
+];
+
+#[test]
+fn valid_corpus_parses() {
+    for (i, text) in VALID.iter().enumerate() {
+        parse_sesql(text).unwrap_or_else(|e| panic!("VALID[{i}] rejected: {e}\n  {text}"));
+    }
+}
+
+#[test]
+fn invalid_corpus_is_rejected() {
+    for (i, text) in INVALID.iter().enumerate() {
+        assert!(
+            parse_sesql(text).is_err(),
+            "INVALID[{i}] unexpectedly accepted:\n  {text}"
+        );
+    }
+}
+
+#[test]
+fn parsed_clause_kinds_match_keywords() {
+    use crosse::core::Enrichment;
+    let q = parse_sesql(
+        "SELECT a, b FROM t WHERE ${a = X:c1} ENRICH \
+         SCHEMAEXTENSION(a, p) BOOLSCHEMAREPLACEMENT(b, q, C) \
+         REPLACECONSTANT(c1, X, r)",
+    )
+    .unwrap();
+    let kinds: Vec<&str> = q.enrichments.iter().map(Enrichment::keyword).collect();
+    assert_eq!(
+        kinds,
+        vec!["SCHEMAEXTENSION", "BOOLSCHEMAREPLACEMENT", "REPLACECONSTANT"]
+    );
+}
+
+#[test]
+fn display_round_trips_through_parser() {
+    // Queries with `${...:id}` markers render without the markers (the
+    // Display form is the cleaned query), so only marker-free queries are
+    // expected to reparse identically.
+    for text in VALID {
+        let q = parse_sesql(text).unwrap();
+        if !q.conditions.is_empty() {
+            continue;
+        }
+        let rendered = q.to_string();
+        let q2 = parse_sesql(&rendered)
+            .unwrap_or_else(|e| panic!("render of `{text}` failed to reparse: {e}\n  {rendered}"));
+        assert_eq!(q.enrichments, q2.enrichments, "{rendered}");
+    }
+}

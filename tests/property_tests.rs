@@ -1,0 +1,504 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use crosse::core::sesql::scanner::extract_tags;
+use crosse::prelude::*;
+use crosse::rdf::{TriplePattern, TripleStore};
+use crosse::relational::value::Value as RValue;
+
+// ---- relational value ordering ---------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = RValue> {
+    prop_oneof![
+        Just(RValue::Null),
+        any::<bool>().prop_map(RValue::Bool),
+        any::<i64>().prop_map(RValue::Int),
+        // Finite floats only: total_cmp handles NaN, but SQL never
+        // produces one from our literals.
+        (-1e12f64..1e12).prop_map(RValue::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(RValue::Str),
+    ]
+}
+
+proptest! {
+    /// total_cmp is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn value_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Less && b.total_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.total_cmp(&c), Ordering::Less);
+        }
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    /// sql_cmp agrees with total_cmp whenever it is defined.
+    #[test]
+    fn sql_cmp_consistent_with_total(a in arb_value(), b in arb_value()) {
+        if let Some(ord) = a.sql_cmp(&b) {
+            prop_assert_eq!(ord, a.total_cmp(&b));
+        }
+    }
+}
+
+// ---- relational engine ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rows inserted are rows scanned; ORDER BY really sorts; LIMIT bounds.
+    #[test]
+    fn insert_scan_sort_limit(
+        amounts in prop::collection::vec(-1e6f64..1e6, 1..40),
+        limit in 1usize..10,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x FLOAT)").unwrap();
+        let t = db.catalog().get_table("t").unwrap();
+        t.insert_many(amounts.iter().map(|&a| vec![RValue::Float(a)]).collect())
+            .unwrap();
+
+        let rs = db.query("SELECT x FROM t ORDER BY x").unwrap();
+        prop_assert_eq!(rs.len(), amounts.len());
+        for w in rs.rows.windows(2) {
+            prop_assert!(w[0][0].total_cmp(&w[1][0]) != std::cmp::Ordering::Greater);
+        }
+
+        let rs = db.query(&format!("SELECT x FROM t LIMIT {limit}")).unwrap();
+        prop_assert_eq!(rs.len(), limit.min(amounts.len()));
+    }
+
+    /// DISTINCT returns the exact set of distinct values.
+    #[test]
+    fn distinct_matches_set(xs in prop::collection::vec(0i64..20, 0..60)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        let t = db.catalog().get_table("t").unwrap();
+        t.insert_many(xs.iter().map(|&x| vec![RValue::Int(x)]).collect()).unwrap();
+        let rs = db.query("SELECT DISTINCT x FROM t").unwrap();
+        let expected: std::collections::HashSet<i64> = xs.iter().copied().collect();
+        prop_assert_eq!(rs.len(), expected.len());
+    }
+
+    /// COUNT/SUM/MIN/MAX agree with a direct computation.
+    #[test]
+    fn aggregates_agree(xs in prop::collection::vec(-1000i64..1000, 1..50)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        let t = db.catalog().get_table("t").unwrap();
+        t.insert_many(xs.iter().map(|&x| vec![RValue::Int(x)]).collect()).unwrap();
+        let rs = db
+            .query("SELECT COUNT(*), SUM(x), MIN(x), MAX(x) FROM t")
+            .unwrap();
+        prop_assert_eq!(&rs.rows[0][0], &RValue::Int(xs.len() as i64));
+        prop_assert_eq!(&rs.rows[0][1], &RValue::Int(xs.iter().sum()));
+        prop_assert_eq!(&rs.rows[0][2], &RValue::Int(*xs.iter().min().unwrap()));
+        prop_assert_eq!(&rs.rows[0][3], &RValue::Int(*xs.iter().max().unwrap()));
+    }
+
+    /// Hash join equals nested-loop join (cross + filter) on random data.
+    #[test]
+    fn hash_join_equals_cross_filter(
+        left in prop::collection::vec(0i64..8, 0..25),
+        right in prop::collection::vec(0i64..8, 0..25),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE l (k INT)").unwrap();
+        db.execute("CREATE TABLE r (k INT)").unwrap();
+        db.catalog().get_table("l").unwrap()
+            .insert_many(left.iter().map(|&x| vec![RValue::Int(x)]).collect()).unwrap();
+        db.catalog().get_table("r").unwrap()
+            .insert_many(right.iter().map(|&x| vec![RValue::Int(x)]).collect()).unwrap();
+        // planner picks HashJoin for ON l.k = r.k
+        let a = db.query("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k").unwrap();
+        // cross + filter goes through the nested-loop path
+        let b = db.query("SELECT COUNT(*) FROM l, r WHERE l.k = r.k").unwrap();
+        prop_assert_eq!(&a.rows[0][0], &b.rows[0][0]);
+    }
+}
+
+// ---- SESQL scanner ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cleaning is exactly marker-stripping: re-inserting `( text )` for
+    /// each tag reproduces the cleaned output, and the recovered tags carry
+    /// the original condition text.
+    #[test]
+    fn scanner_clean_preserves_condition_text(
+        cond in "[a-z]{1,6} = [0-9]{1,4}",
+        id in "[a-z][a-z0-9]{0,5}",
+        prefix in "[a-z ]{0,10}",
+        suffix in "[a-z ]{0,10}",
+    ) {
+        let input = format!("{prefix}${{{cond}:{id}}}{suffix}");
+        let (clean, tags) = extract_tags(&input).unwrap();
+        prop_assert_eq!(tags.len(), 1);
+        prop_assert_eq!(&tags[0].id, &id);
+        prop_assert_eq!(&tags[0].text, &cond);
+        prop_assert_eq!(clean, format!("{prefix}({cond}){suffix}"));
+    }
+
+    /// Text without markers passes through extract_tags untouched, and
+    /// split_enrich never loses characters of the SQL part.
+    #[test]
+    fn scanner_is_identity_without_markers(text in "[a-zA-Z0-9 =<>,.']{0,60}") {
+        // Skip inputs with unbalanced quotes (a lexical error by design).
+        if text.matches('\'').count() % 2 == 1 {
+            return Ok(());
+        }
+        if let Ok((clean, tags)) = extract_tags(&text) {
+            prop_assert!(tags.is_empty());
+            prop_assert_eq!(clean, text);
+        }
+    }
+}
+
+// ---- triple store -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every indexed pattern lookup agrees with filtering a full scan.
+    #[test]
+    fn pattern_match_agrees_with_scan(
+        triples in prop::collection::vec((0u8..6, 0u8..4, 0u8..6), 0..60),
+        qs in 0u8..6, qp in 0u8..4, qo in 0u8..6,
+        mask in 0u8..8,
+    ) {
+        let store = TripleStore::new();
+        for (s, p, o) in &triples {
+            store.insert("g", &Triple::new(
+                Term::iri(format!("s{s}")),
+                Term::iri(format!("p{p}")),
+                Term::iri(format!("o{o}")),
+            ));
+        }
+        let pattern = TriplePattern {
+            subject: (mask & 1 != 0).then(|| Term::iri(format!("s{qs}"))),
+            predicate: (mask & 2 != 0).then(|| Term::iri(format!("p{qp}"))),
+            object: (mask & 4 != 0).then(|| Term::iri(format!("o{qo}"))),
+        };
+        let got: std::collections::HashSet<_> =
+            store.match_pattern(&["g"], &pattern).into_iter().collect();
+        let want: std::collections::HashSet<_> = store
+            .graph_triples("g")
+            .into_iter()
+            .filter(|t| {
+                pattern.subject.as_ref().map(|x| *x == t.subject).unwrap_or(true)
+                    && pattern.predicate.as_ref().map(|x| *x == t.predicate).unwrap_or(true)
+                    && pattern.object.as_ref().map(|x| *x == t.object).unwrap_or(true)
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Insert + remove is a no-op on membership.
+    #[test]
+    fn insert_remove_roundtrip(s in 0u8..5, p in 0u8..5, o in 0u8..5) {
+        let store = TripleStore::new();
+        let t = Triple::new(
+            Term::iri(format!("s{s}")),
+            Term::iri(format!("p{p}")),
+            Term::lit(format!("o{o}")),
+        );
+        prop_assert!(store.insert("g", &t));
+        prop_assert!(store.contains("g", &t));
+        prop_assert!(store.remove("g", &t));
+        prop_assert!(!store.contains("g", &t));
+        prop_assert_eq!(store.graph_len("g"), 0);
+    }
+}
+
+// ---- SESQL enrichment invariants ---------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SCHEMAEXTENSION with RowPerMatch yields Σ max(1, matches(v)) rows,
+    /// and never loses a base row.
+    #[test]
+    fn schema_extension_cardinality(
+        elems in prop::collection::vec(0u8..6, 1..20),
+        kb_levels in prop::collection::vec((0u8..6, 1u8..6), 0..10),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (elem TEXT)").unwrap();
+        let tab = db.catalog().get_table("t").unwrap();
+        tab.insert_many(
+            elems.iter().map(|e| vec![RValue::Str(format!("E{e}"))]).collect()
+        ).unwrap();
+
+        let kb = KnowledgeBase::new();
+        kb.register_user("u");
+        let mut seen = std::collections::HashSet::new();
+        for (e, l) in &kb_levels {
+            if seen.insert((*e, *l)) {
+                kb.assert_statement("u", &Triple::new(
+                    Term::iri(format!("E{e}")),
+                    Term::iri("level"),
+                    Term::lit(l.to_string()),
+                )).unwrap();
+            }
+        }
+        let per_elem = |e: u8| -> usize {
+            seen.iter().filter(|(s, _)| *s == e).count()
+        };
+        let expected: usize = elems.iter().map(|&e| per_elem(e).max(1)).sum();
+
+        let engine = SesqlEngine::new(db, kb);
+        let r = engine
+            .execute("u", "SELECT elem FROM t ENRICH SCHEMAEXTENSION(elem, level)")
+            .unwrap();
+        prop_assert_eq!(r.rows.len(), expected);
+    }
+
+    /// BOOL extensions preserve cardinality exactly and only add booleans.
+    #[test]
+    fn bool_extension_preserves_cardinality(
+        elems in prop::collection::vec(0u8..6, 0..20),
+        hazards in prop::collection::vec(0u8..6, 0..6),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (elem TEXT)").unwrap();
+        db.catalog().get_table("t").unwrap().insert_many(
+            elems.iter().map(|e| vec![RValue::Str(format!("E{e}"))]).collect()
+        ).unwrap();
+        let kb = KnowledgeBase::new();
+        kb.register_user("u");
+        for h in &hazards {
+            kb.assert_statement("u", &Triple::new(
+                Term::iri(format!("E{h}")),
+                Term::iri("isA"),
+                Term::iri("Hazard"),
+            )).unwrap();
+        }
+        let engine = SesqlEngine::new(db, kb);
+        let r = engine
+            .execute("u", "SELECT elem FROM t ENRICH BOOLSCHEMAEXTENSION(elem, isA, Hazard)")
+            .unwrap();
+        prop_assert_eq!(r.rows.len(), elems.len());
+        let hazard_set: std::collections::HashSet<u8> = hazards.iter().copied().collect();
+        for row in &r.rows.rows {
+            let e: u8 = row[0].lexical_form()[1..].parse().unwrap();
+            prop_assert_eq!(&row[1], &RValue::Bool(hazard_set.contains(&e)));
+        }
+    }
+}
+
+// ---- secondary indexes -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An indexed query plan returns exactly what the sequential plan
+    /// returns, for point, IN-list and range predicates — including after
+    /// deletes and updates (which force a lazy index rebuild).
+    #[test]
+    fn index_scan_equals_seq_scan(
+        rows in prop::collection::vec((0u8..20, -50i64..50), 0..60),
+        point in 0u8..20,
+        lo in -50i64..50,
+        span in 0i64..40,
+        delete_key in 0u8..20,
+    ) {
+        let make = |indexed: bool| {
+            let db = Database::new();
+            db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
+            db.catalog().get_table("t").unwrap().insert_many(
+                rows.iter()
+                    .map(|(k, v)| vec![RValue::Str(format!("k{k}")), RValue::Int(*v)])
+                    .collect(),
+            ).unwrap();
+            if indexed {
+                db.execute("CREATE INDEX ik ON t (k)").unwrap();
+                db.execute("CREATE INDEX iv ON t (v)").unwrap();
+            }
+            db
+        };
+        let seq = make(false);
+        let idx = make(true);
+        let hi = lo + span;
+        let queries = [
+            format!("SELECT k, v FROM t WHERE k = 'k{point}' ORDER BY v, k"),
+            format!("SELECT k, v FROM t WHERE k IN ('k{point}', 'k0') ORDER BY v, k"),
+            format!("SELECT k, v FROM t WHERE v BETWEEN {lo} AND {hi} ORDER BY v, k"),
+            format!("SELECT k, v FROM t WHERE v > {lo} ORDER BY v, k"),
+        ];
+        for q in &queries {
+            prop_assert_eq!(
+                seq.query(q).unwrap().rows,
+                idx.query(q).unwrap().rows,
+                "{}", q
+            );
+        }
+        // Churn, then re-check (exercises the dirty-rebuild path).
+        for db in [&seq, &idx] {
+            db.execute(&format!("DELETE FROM t WHERE k = 'k{delete_key}'")).unwrap();
+            db.execute(&format!("UPDATE t SET v = v + 1 WHERE v < {lo}")).unwrap();
+        }
+        for q in &queries {
+            prop_assert_eq!(
+                seq.query(q).unwrap().rows,
+                idx.query(q).unwrap().rows,
+                "after churn: {}", q
+            );
+        }
+    }
+
+    /// `x IN (SELECT ...)` matches the manually computed semi-join, and
+    /// `NOT IN` its complement (no NULLs involved here).
+    #[test]
+    fn in_subquery_equals_semi_join(
+        left in prop::collection::vec(0u8..15, 0..30),
+        right in prop::collection::vec(0u8..15, 0..30),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE l (x INT)").unwrap();
+        db.execute("CREATE TABLE r (y INT)").unwrap();
+        db.catalog().get_table("l").unwrap().insert_many(
+            left.iter().map(|v| vec![RValue::Int(*v as i64)]).collect()).unwrap();
+        db.catalog().get_table("r").unwrap().insert_many(
+            right.iter().map(|v| vec![RValue::Int(*v as i64)]).collect()).unwrap();
+        let rset: std::collections::HashSet<u8> = right.iter().copied().collect();
+
+        let in_rows = db.query("SELECT x FROM l WHERE x IN (SELECT y FROM r)").unwrap();
+        let expected = left.iter().filter(|v| rset.contains(v)).count();
+        prop_assert_eq!(in_rows.len(), expected);
+
+        let notin = db.query("SELECT x FROM l WHERE x NOT IN (SELECT y FROM r)").unwrap();
+        if right.is_empty() {
+            prop_assert_eq!(notin.len(), left.len());
+        } else {
+            prop_assert_eq!(notin.len(), left.len() - expected);
+        }
+    }
+
+    /// A searched CASE with an ELSE branch never yields NULL, and agrees
+    /// with the equivalent Rust-side classification.
+    #[test]
+    fn case_classification_total(vals in prop::collection::vec(-100i64..100, 0..40)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INT)").unwrap();
+        db.catalog().get_table("t").unwrap().insert_many(
+            vals.iter().map(|v| vec![RValue::Int(*v)]).collect()).unwrap();
+        let rs = db.query(
+            "SELECT v, CASE WHEN v < 0 THEN 'neg' WHEN v = 0 THEN 'zero' \
+             ELSE 'pos' END FROM t").unwrap();
+        for row in &rs.rows {
+            let RValue::Int(v) = row[0] else { panic!() };
+            let want = if v < 0 { "neg" } else if v == 0 { "zero" } else { "pos" };
+            prop_assert_eq!(&row[1], &RValue::Str(want.to_string()));
+        }
+    }
+}
+
+// ---- SPARQL aggregates, MINUS, paths ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GROUP BY + COUNT matches a manual per-key count, and the global
+    /// COUNT(*) matches the row total.
+    #[test]
+    fn sparql_count_matches_manual(edges in prop::collection::vec((0u8..8, 0u8..8), 0..40)) {
+        let store = TripleStore::new();
+        for (s, o) in &edges {
+            store.insert("g", &Triple::new(
+                Term::iri(format!("S{s}")),
+                Term::iri("p"),
+                Term::iri(format!("O{o}")),
+            ));
+        }
+        let distinct: std::collections::HashSet<(u8, u8)> = edges.iter().copied().collect();
+        let sols = crosse::rdf::sparql::eval::query(
+            &store, &["g"], "SELECT (COUNT(*) AS ?n) WHERE { ?s <p> ?o }").unwrap();
+        let total = sols.rows[0][0].clone().unwrap();
+        prop_assert_eq!(total.lexical_form(), distinct.len().to_string());
+
+        let by_s = crosse::rdf::sparql::eval::query(
+            &store, &["g"],
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <p> ?o } GROUP BY ?s").unwrap();
+        let mut manual: std::collections::HashMap<u8, usize> = Default::default();
+        for (s, _) in &distinct {
+            *manual.entry(*s).or_default() += 1;
+        }
+        prop_assert_eq!(by_s.len(), manual.len());
+        for row in &by_s.rows {
+            let s: u8 = row[0].clone().unwrap().lexical_form()[1..].parse().unwrap();
+            let n: usize = row[1].clone().unwrap().lexical_form().parse().unwrap();
+            prop_assert_eq!(n, manual[&s]);
+        }
+    }
+
+    /// `A MINUS A` is empty and `A MINUS (disjoint)` is `A`.
+    #[test]
+    fn sparql_minus_identities(edges in prop::collection::vec((0u8..8, 0u8..8), 1..30)) {
+        let store = TripleStore::new();
+        for (s, o) in &edges {
+            store.insert("g", &Triple::new(
+                Term::iri(format!("S{s}")),
+                Term::iri("p"),
+                Term::iri(format!("O{o}")),
+            ));
+        }
+        let all = crosse::rdf::sparql::eval::query(
+            &store, &["g"], "SELECT ?s ?o WHERE { ?s <p> ?o }").unwrap();
+        let self_minus = crosse::rdf::sparql::eval::query(
+            &store, &["g"],
+            "SELECT ?s ?o WHERE { ?s <p> ?o . MINUS { ?s <p> ?o } }").unwrap();
+        prop_assert!(self_minus.is_empty());
+        let disjoint = crosse::rdf::sparql::eval::query(
+            &store, &["g"],
+            "SELECT ?s ?o WHERE { ?s <p> ?o . MINUS { ?x <q> ?y } }").unwrap();
+        prop_assert_eq!(disjoint.len(), all.len());
+    }
+
+    /// The sequence path p/q equals the manual relational composition of
+    /// the p and q edge sets, and ^p is the transpose of p.
+    #[test]
+    fn sparql_path_algebra(
+        p_edges in prop::collection::vec((0u8..6, 0u8..6), 0..20),
+        q_edges in prop::collection::vec((0u8..6, 0u8..6), 0..20),
+    ) {
+        let store = TripleStore::new();
+        let node = |n: u8| Term::iri(format!("N{n}"));
+        for (s, o) in &p_edges {
+            store.insert("g", &Triple::new(node(*s), Term::iri("p"), node(*o)));
+        }
+        for (s, o) in &q_edges {
+            store.insert("g", &Triple::new(node(*s), Term::iri("q"), node(*o)));
+        }
+        let pset: std::collections::HashSet<(u8, u8)> = p_edges.iter().copied().collect();
+        let qset: std::collections::HashSet<(u8, u8)> = q_edges.iter().copied().collect();
+        let mut composed: std::collections::HashSet<(u8, u8)> = Default::default();
+        for (a, b) in &pset {
+            for (b2, c) in &qset {
+                if b == b2 {
+                    composed.insert((*a, *c));
+                }
+            }
+        }
+        let seq = crosse::rdf::sparql::eval::query(
+            &store, &["g"], "SELECT ?a ?c WHERE { ?a <p>/<q> ?c }").unwrap();
+        let got: std::collections::HashSet<(u8, u8)> = seq.rows.iter().map(|r| {
+            let a = r[0].clone().unwrap().lexical_form()[1..].parse().unwrap();
+            let c = r[1].clone().unwrap().lexical_form()[1..].parse().unwrap();
+            (a, c)
+        }).collect();
+        prop_assert_eq!(got, composed);
+
+        let inv = crosse::rdf::sparql::eval::query(
+            &store, &["g"], "SELECT ?o ?s WHERE { ?o ^<p> ?s }").unwrap();
+        let inv_set: std::collections::HashSet<(u8, u8)> = inv.rows.iter().map(|r| {
+            let o = r[0].clone().unwrap().lexical_form()[1..].parse().unwrap();
+            let s = r[1].clone().unwrap().lexical_form()[1..].parse().unwrap();
+            (s, o)
+        }).collect();
+        prop_assert_eq!(inv_set, pset);
+    }
+}
