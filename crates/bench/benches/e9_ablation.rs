@@ -114,6 +114,144 @@ fn hierarchy_store(classes: usize, instances: usize) -> TripleStore {
     store
 }
 
+/// A store of `entities` subjects, each carrying all of `props` literal
+/// attributes plus a `link` edge to another entity — the BGP-join ablation
+/// workload. The star query over it makes every pattern after the first a
+/// bound-subject probe, which is exactly the per-row hot loop of
+/// `eval_bgp`.
+fn bgp_store(entities: usize, props: usize) -> TripleStore {
+    let store = TripleStore::new();
+    for e in 0..entities {
+        for p in 0..props {
+            store.insert(
+                "kb",
+                &Triple::new(
+                    Term::iri(format!("ent{e}")),
+                    Term::iri(format!("attr{p}")),
+                    Term::lit(format!("v{}", (e * 31 + p * 7) % 50)),
+                ),
+            );
+        }
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("ent{e}")),
+                Term::iri("link"),
+                Term::iri(format!("ent{}", (e * 7 + 1) % entities)),
+            ),
+        );
+    }
+    store
+}
+
+/// The 64-pattern star query: one seed pattern plus 63 bound-subject
+/// probes per surviving row.
+fn star_query(patterns: usize) -> String {
+    let mut q = String::from("SELECT ?s WHERE { ");
+    for p in 0..patterns {
+        q.push_str(&format!("?s <attr{p}> ?o{p} . "));
+    }
+    q.push('}');
+    q
+}
+
+fn bench_bgp_join(c: &mut Criterion) {
+    use crosse_rdf::sparql::eval::query as sparql_query;
+    let mut group = c.benchmark_group("e9_bgp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    let store = bgp_store(500, 64);
+    let star64 = star_query(64);
+    assert_eq!(
+        sparql_query(&store, &["kb"], &star64).unwrap().len(),
+        500,
+        "every entity satisfies the 64-pattern star"
+    );
+    group.bench_function("star64", |b| {
+        b.iter(|| black_box(sparql_query(&store, &["kb"], &star64).unwrap()))
+    });
+
+    let star8 = star_query(8);
+    group.bench_function("star8", |b| {
+        b.iter(|| black_box(sparql_query(&store, &["kb"], &star8).unwrap()))
+    });
+
+    // Chain over link edges: object-subject joins with unbound-object
+    // probes, then one attribute lookup per endpoint.
+    let chain = "SELECT ?a ?d WHERE { ?a <link> ?b . ?b <link> ?c . \
+                 ?c <link> ?d . ?d <attr0> ?v }";
+    group.bench_function("chain4", |b| {
+        b.iter(|| black_box(sparql_query(&store, &["kb"], chain).unwrap()))
+    });
+    group.finish();
+}
+
+/// RDFS materialisation over `random_kb` plus a schema layer: a
+/// subproperty chain feeding rdfs7 and domain/range typing feeding
+/// rdfs2/3, so derived facts scale with the instance count.
+fn rdfs_workload(n: usize) -> TripleStore {
+    let store = TripleStore::new();
+    let triples = random_kb(n, n / 20 + 1, 16, 42);
+    store.insert_all("kb", triples.iter());
+    for i in 0..8 {
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("prop{i}")),
+                rdfschema::rdfs_subproperty_of(),
+                Term::iri(format!("prop{}", i + 8)),
+            ),
+        );
+    }
+    for i in 0..4 {
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("prop{i}")),
+                rdfschema::rdfs_domain(),
+                Term::iri(format!("Class{i}")),
+            ),
+        );
+        store.insert(
+            "kb",
+            &Triple::new(
+                Term::iri(format!("Class{i}")),
+                rdfschema::rdfs_subclass_of(),
+                Term::iri(format!("Class{}", i + 4)),
+            ),
+        );
+    }
+    store
+}
+
+fn bench_rdfs_materialise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_rdfs_materialise");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    {
+        // Workload sanity: the closure derives facts, and re-running over
+        // source + inferences reaches a fixpoint.
+        let fresh = rdfs_workload(1_000);
+        let added = materialize_rdfs(&fresh, &["kb"], "inf");
+        assert!(added > 0, "rdfs workload must derive new facts, got {added}");
+        assert_eq!(
+            materialize_rdfs(&fresh, &["kb", "inf"], "inf"),
+            0,
+            "closure must be a fixpoint"
+        );
+    }
+    for n in [1_000usize, 5_000, 20_000] {
+        let store = rdfs_workload(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &store, |b, s| {
+            b.iter(|| black_box(materialize_rdfs(s, &["kb"], "inf")))
+        });
+    }
+    group.finish();
+}
+
 fn bench_inference_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_inference");
     group.sample_size(10);
@@ -191,6 +329,8 @@ criterion_group!(
     bench_join_strategy,
     bench_multi_policy,
     bench_provenance_overhead,
+    bench_bgp_join,
+    bench_rdfs_materialise,
     bench_inference_strategy,
     bench_sparql_leg_cache
 );

@@ -91,13 +91,14 @@ fn e2() {
     }
 }
 
-fn e3() {
+fn e3(json_path: Option<&str>) {
     header("E3", "Per-operator enrichment cost vs plain-SQL baseline (Ex. 4.1–4.6)");
     let engine = engine_at_scale(100);
     println!(
         "{:<26} {:>12} {:>12} {:>9} {:>7}",
         "operator", "sesql", "baseline", "overhead", "rows"
     );
+    let mut records: Vec<(String, Duration, Duration, usize)> = Vec::new();
     for q in paper_examples(&landfill_name(0)) {
         let ts = median_time(5, || engine.execute("director", &q.sesql).unwrap());
         let tb = median_time(5, || engine.database().query(&q.baseline_sql).unwrap());
@@ -110,6 +111,28 @@ fn e3() {
             ts.as_secs_f64() / tb.as_secs_f64().max(1e-9),
             rows,
         );
+        records.push((q.name.to_string(), ts, tb, rows));
+    }
+    if let Some(path) = json_path {
+        // Hand-rolled JSON: the workspace has no serde, and the schema is
+        // flat. Names come from the fixed workload corpus (no escaping
+        // needed beyond the basics).
+        let mut out = String::from("{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n");
+        for (i, (name, ts, tb, rows)) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"sesql_median_s\": {:.9}, \"baseline_median_s\": {:.9}, \"rows\": {}}}{}\n",
+                name.replace('"', "\\\""),
+                ts.as_secs_f64(),
+                tb.as_secs_f64(),
+                rows,
+                if i + 1 < records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => println!("\nE3 baseline written to {path}"),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
     }
 }
 
@@ -546,7 +569,22 @@ fn e10() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--json <path>`: also write the E3 table as a JSON baseline.
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            let mut tail = args.split_off(i);
+            tail.remove(0); // "--json"
+            if tail.is_empty() {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            }
+            let path = tail.remove(0);
+            args.extend(tail);
+            path
+        });
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     let t0 = Instant::now();
     if want("e1") {
@@ -556,7 +594,7 @@ fn main() {
         e2();
     }
     if want("e3") {
-        e3();
+        e3(json_path.as_deref());
     }
     if want("e4") {
         e4();

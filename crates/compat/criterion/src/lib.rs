@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace crate
+//! shadows crates.io `criterion` with the subset of its API the CroSSE
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement model: after a wall-clock warm-up, it runs `sample_size`
+//! samples, each a batch of iterations sized so a sample lasts roughly
+//! `measurement_time / sample_size`, and reports the min / median / max
+//! per-iteration time. Like real criterion, running the bench binary
+//! without `--bench` (as `cargo test` does) executes every benchmark body
+//! once in "test mode" and skips measurement entirely.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, test_mode: true }
+    }
+}
+
+impl Criterion {
+    /// Parse the CLI arguments cargo passes to bench binaries:
+    /// `--bench` selects measurement mode, `--test` forces test mode, any
+    /// bare argument is a substring filter on benchmark ids.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut saw_bench = false;
+        let mut saw_test = false;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => saw_bench = true,
+                "--test" => saw_test = true,
+                // Options (with value) the real criterion accepts; ignore.
+                "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self.test_mode = saw_test || !saw_bench;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string()).run_one(None, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().map(|f| id.contains(f)).unwrap_or(true)
+    }
+}
+
+/// Criterion-style composite benchmark id.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: a plain name or a composite id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self.to_string()), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self), parameter: None }
+    }
+}
+
+/// Throughput annotation — accepted and ignored (the stub reports time only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().render();
+        self.run_one(Some(&id), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.render();
+        self.run_one(Some(&id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: Option<&str>, mut f: F) {
+        let full_id = match id {
+            Some(id) => format!("{}/{}", self.name, id),
+            None => self.name.clone(),
+        };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(report) => println!("{full_id:<55} {report}"),
+            None => println!("{full_id:<55} (no iter call)"),
+        }
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    report: Option<String>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.report = Some("ok (test mode)".to_string());
+            return;
+        }
+
+        // Warm-up: run until the warm-up clock expires, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters.max(1) as f64;
+
+        // Each sample runs a batch sized to fill its share of the
+        // measurement budget (at least one iteration).
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)).round() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let lo = samples[0];
+        let med = samples[samples.len() / 2];
+        let hi = samples[samples.len() - 1];
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(med),
+            fmt_time(hi)
+        );
+        self.report = Some(s);
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Re-export point kept for API compatibility (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").render(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).render(), "3");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0;
+        group.bench_function("one", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("keep".into()), test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0;
+        group.bench_function("keep_this", |b| b.iter(|| count += 1));
+        group.bench_function("drop_this", |b| b.iter(|| count += 10));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Config, RNG, and error types backing the `proptest!` macro.
+
+use std::fmt;
+
+/// Per-suite configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite quick while
+        // still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic SplitMix64 generator, seeded from the test name and the
+/// case index so every run of the suite replays the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 4);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+}

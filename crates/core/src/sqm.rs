@@ -200,6 +200,11 @@ pub struct SesqlEngine {
     tempdb: TempDb,
     options: EnrichOptions,
     cache: Arc<SparqlLegCache>,
+    /// Compiled SPARQL ASTs keyed by query text: generated legs parse once
+    /// per engine lifetime, then evaluate the compiled form (the result
+    /// cache above is version-checked; this one never needs invalidation —
+    /// the same text always parses to the same AST).
+    parsed: Arc<RwLock<HashMap<String, Arc<crosse_rdf::sparql::ast::Query>>>>,
 }
 
 impl SesqlEngine {
@@ -212,7 +217,26 @@ impl SesqlEngine {
             tempdb: TempDb::new(),
             options: EnrichOptions::default(),
             cache: Arc::default(),
+            parsed: Arc::default(),
         }
+    }
+
+    /// Parse a SPARQL SELECT once per distinct text, returning the shared
+    /// compiled AST. Bounded: generated leg texts vary with the live
+    /// predicate set, so the cache is flushed wholesale past a size cap
+    /// rather than accumulating stale ASTs forever.
+    fn parse_cached(&self, sparql: &str) -> Result<Arc<crosse_rdf::sparql::ast::Query>> {
+        const MAX_PARSED: usize = 256;
+        if let Some(q) = self.parsed.read().get(sparql) {
+            return Ok(q.clone());
+        }
+        let q = Arc::new(crosse_rdf::sparql::parser::parse_query(sparql)?);
+        let mut parsed = self.parsed.write();
+        if parsed.len() >= MAX_PARSED {
+            parsed.clear();
+        }
+        parsed.insert(sparql.to_string(), q.clone());
+        Ok(q)
     }
 
     /// SPARQL-leg cache hit/miss counters (only queries executed with
@@ -241,28 +265,30 @@ impl SesqlEngine {
     ) -> Result<Solutions> {
         let version = self.kb.store().version();
         let t = Instant::now();
+        // The compiled AST is cached per query text, so repeated legs skip
+        // the parser even when the solution cache is off or invalidated.
+        let evaluate = |parsed: Option<&crosse_rdf::sparql::ast::Query>| -> Result<Solutions> {
+            match parsed {
+                Some(q) => {
+                    Ok(crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?)
+                }
+                None => {
+                    let q = self.parse_cached(sparql)?;
+                    Ok(crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, &q)?)
+                }
+            }
+        };
         let (sols, cached) = if self.options.use_cache {
             match self.cache.get(graphs, sparql, version) {
                 Some(s) => (s, true),
                 None => {
-                    let s = match parsed {
-                        Some(q) => {
-                            crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?
-                        }
-                        None => {
-                            crosse_rdf::sparql::eval::query(self.kb.store(), graphs, sparql)?
-                        }
-                    };
+                    let s = evaluate(parsed)?;
                     self.cache.put(graphs, sparql, version, &s);
                     (s, false)
                 }
             }
         } else {
-            let s = match parsed {
-                Some(q) => crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?,
-                None => crosse_rdf::sparql::eval::query(self.kb.store(), graphs, sparql)?,
-            };
-            (s, false)
+            (evaluate(parsed)?, false)
         };
         let duration = t.elapsed();
         report.sparql_exec += duration;

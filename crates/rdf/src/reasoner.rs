@@ -14,246 +14,243 @@
 //! Inferred triples are written into a separate graph so user assertions
 //! stay distinguishable from entailments (the SESQL layer queries the
 //! union).
+//!
+//! The closure is computed **id-natively and semi-naively**: the five
+//! schema terms are interned once up front, all source triples are pulled
+//! as interned `(s, p, o)` id triples, and a worklist drives derivation —
+//! each fact is popped exactly once, indexed into incrementally-maintained
+//! join indexes (super/sub class & property maps, per-class instance
+//! lists, per-predicate extensions), and joined only against what is
+//! already indexed. Every rule is written in both join orders, so no round
+//! ever re-derives from the full fact set and no `Term` is cloned on the
+//! hot path.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::schema;
-use crate::store::{Triple, TriplePattern, TripleStore};
-use crate::term::Term;
+use crate::store::{IdTriple, TripleStore};
+use crate::term::{Term, TermId};
 
 /// Compute the RDFS closure of the union of `source_graphs` and write any
 /// *new* triples into `target_graph`. Returns the number of inferred
 /// triples added.
-///
-/// Semi-naive evaluation: each round derives only from the previous
-/// round's *delta*, joining through predicate-keyed indexes, so cost is
-/// proportional to derived facts rather than to |closure|² per round.
 pub fn materialize_rdfs(
     store: &TripleStore,
     source_graphs: &[&str],
     target_graph: &str,
 ) -> usize {
-    use std::collections::HashMap;
+    let dict = store.dictionary();
+    // Intern the schema vocabulary exactly once. (Interning is safe: it
+    // adds terms to the dictionary without asserting triples.)
+    let sub_class = dict.intern(&schema::rdfs_subclass_of());
+    let sub_prop = dict.intern(&schema::rdfs_subproperty_of());
+    let rdf_type = dict.intern(&schema::rdf_type());
+    let domain = dict.intern(&schema::rdfs_domain());
+    let range = dict.intern(&schema::rdfs_range());
 
-    let sub_class = schema::rdfs_subclass_of();
-    let sub_prop = schema::rdfs_subproperty_of();
-    let rdf_type = schema::rdf_type();
-    let domain = schema::rdfs_domain();
-    let range = schema::rdfs_range();
+    // Source facts as interned triples (deduplicated across graphs).
+    let mut source: Vec<IdTriple> = Vec::new();
+    store.match_id_pattern(source_graphs, (None, None, None), &mut source);
 
-    let mut all: HashSet<Triple> = HashSet::new();
-    for g in source_graphs {
-        for t in store.graph_triples(g) {
-            all.insert(t);
-        }
-    }
+    // Derivation only recombines ids that already exist, so a literal-flag
+    // snapshot taken now covers every id the loop will ever see.
+    let literal = dict.literal_flags();
+    let is_literal =
+        |id: TermId| literal.get(id.0 as usize).copied().unwrap_or(false);
+
+    let mut all: HashSet<IdTriple> = source.iter().copied().collect();
     let original = all.clone();
+    let mut queue: VecDeque<IdTriple> = source.into_iter().collect();
 
-    // Schema indexes, rebuilt whenever a round derives new schema triples
-    // (rare: only subClassOf/subPropertyOf transitivity feeds them).
-    //   superclasses: C  -> its direct superclasses
-    //   superprops:   p  -> its direct superproperties
-    //   dom/rng:      p  -> asserted classes
-    let build_schema = |all: &HashSet<Triple>| {
-        let mut superclasses: HashMap<Term, Vec<Term>> = HashMap::new();
-        let mut superprops: HashMap<Term, Vec<Term>> = HashMap::new();
-        let mut dom: HashMap<Term, Vec<Term>> = HashMap::new();
-        let mut rng: HashMap<Term, Vec<Term>> = HashMap::new();
-        for t in all {
-            if t.predicate == sub_class {
-                superclasses.entry(t.subject.clone()).or_default().push(t.object.clone());
-            } else if t.predicate == sub_prop {
-                superprops.entry(t.subject.clone()).or_default().push(t.object.clone());
-            } else if t.predicate == domain {
-                dom.entry(t.subject.clone()).or_default().push(t.object.clone());
-            } else if t.predicate == range {
-                rng.entry(t.subject.clone()).or_default().push(t.object.clone());
-            }
+    // Incremental join indexes over the processed prefix of `all`.
+    let mut supers_c: HashMap<TermId, Vec<TermId>> = HashMap::new(); // class → superclasses
+    let mut subs_c: HashMap<TermId, Vec<TermId>> = HashMap::new(); // class → subclasses
+    let mut supers_p: HashMap<TermId, Vec<TermId>> = HashMap::new(); // prop → superprops
+    let mut subs_p: HashMap<TermId, Vec<TermId>> = HashMap::new(); // prop → subprops
+    let mut dom: HashMap<TermId, Vec<TermId>> = HashMap::new(); // prop → domain classes
+    let mut rng: HashMap<TermId, Vec<TermId>> = HashMap::new(); // prop → range classes
+    let mut instances: HashMap<TermId, Vec<TermId>> = HashMap::new(); // class → members
+    let mut ext: HashMap<TermId, Vec<(TermId, TermId)>> = HashMap::new(); // prop → (s, o)
+
+    while let Some((s, p, o)) = queue.pop_front() {
+        // Index the fact first, so rules below can join it with itself.
+        ext.entry(p).or_default().push((s, o));
+        if p == sub_class {
+            supers_c.entry(s).or_default().push(o);
+            subs_c.entry(o).or_default().push(s);
+        } else if p == sub_prop {
+            supers_p.entry(s).or_default().push(o);
+            subs_p.entry(o).or_default().push(s);
+        } else if p == rdf_type {
+            instances.entry(o).or_default().push(s);
+        } else if p == domain {
+            dom.entry(s).or_default().push(o);
+        } else if p == range {
+            rng.entry(s).or_default().push(o);
         }
-        (superclasses, superprops, dom, rng)
-    };
 
-    let (mut superclasses, mut superprops, mut dom, mut rng) = build_schema(&all);
-    let mut delta: Vec<Triple> = all.iter().cloned().collect();
-
-    while !delta.is_empty() {
-        let mut fresh: Vec<Triple> = Vec::new();
-        let derive = |t: Triple, fresh: &mut Vec<Triple>| {
-            if !all.contains(&t) && !fresh.contains(&t) {
-                fresh.push(t);
+        let mut derive = |t: IdTriple| {
+            if all.insert(t) {
+                queue.push_back(t);
             }
         };
 
-        for t in &delta {
-            // rdfs11: (A ⊑ B), (B ⊑ C) ⊢ (A ⊑ C) — extend through the
-            // *current* superclass index.
-            if t.predicate == sub_class {
-                if let Some(ups) = superclasses.get(&t.object) {
-                    for c in ups {
-                        if *c != t.subject {
-                            derive(
-                                Triple::new(t.subject.clone(), sub_class.clone(), c.clone()),
-                                &mut fresh,
-                            );
-                        }
-                    }
+        if p == sub_class {
+            // rdfs11, (s ⊑ o) joined both ways with the indexed edges;
+            // self-loops (A ⊑ A) are never derived.
+            for &c in supers_c.get(&o).map(Vec::as_slice).unwrap_or(&[]) {
+                if c != s {
+                    derive((s, sub_class, c));
                 }
             }
-            // rdfs5: subPropertyOf transitivity.
-            if t.predicate == sub_prop {
-                if let Some(ups) = superprops.get(&t.object) {
-                    for p in ups {
-                        if *p != t.subject {
-                            derive(
-                                Triple::new(t.subject.clone(), sub_prop.clone(), p.clone()),
-                                &mut fresh,
-                            );
-                        }
-                    }
+            for &x in subs_c.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                if x != o {
+                    derive((x, sub_class, o));
                 }
             }
-            // rdfs9: (x type C), (C ⊑ D) ⊢ (x type D).
-            if t.predicate == rdf_type {
-                if let Some(ups) = superclasses.get(&t.object) {
-                    for c in ups {
-                        derive(
-                            Triple::new(t.subject.clone(), rdf_type.clone(), c.clone()),
-                            &mut fresh,
-                        );
-                    }
+            // rdfs9, schema side: members of the subclass gain the type.
+            for &x in instances.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                derive((x, rdf_type, o));
+            }
+        } else if p == sub_prop {
+            // rdfs5, both join orders.
+            for &q in supers_p.get(&o).map(Vec::as_slice).unwrap_or(&[]) {
+                if q != s {
+                    derive((s, sub_prop, q));
                 }
             }
-            // rdfs7: (s p o), (p ⊑ q) ⊢ (s q o).
-            if let Some(ups) = superprops.get(&t.predicate) {
-                for q in ups {
-                    derive(
-                        Triple::new(t.subject.clone(), q.clone(), t.object.clone()),
-                        &mut fresh,
-                    );
+            for &x in subs_p.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                if x != o {
+                    derive((x, sub_prop, o));
                 }
             }
-            // rdfs2 / rdfs3: domain & range typing.
-            if let Some(classes) = dom.get(&t.predicate) {
-                if !t.subject.is_literal() {
-                    for c in classes {
-                        derive(
-                            Triple::new(t.subject.clone(), rdf_type.clone(), c.clone()),
-                            &mut fresh,
-                        );
-                    }
+            // rdfs7, schema side: the subproperty's extension lifts.
+            for &(s2, o2) in ext.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                derive((s2, o, o2));
+            }
+        } else if p == rdf_type {
+            // rdfs9, data side.
+            for &d in supers_c.get(&o).map(Vec::as_slice).unwrap_or(&[]) {
+                derive((s, rdf_type, d));
+            }
+        } else if p == domain {
+            // rdfs2, schema side: retype existing subjects of the property.
+            for &(s2, _) in ext.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                if !is_literal(s2) {
+                    derive((s2, rdf_type, o));
                 }
             }
-            if let Some(classes) = rng.get(&t.predicate) {
-                if !t.object.is_literal() {
-                    for c in classes {
-                        derive(
-                            Triple::new(t.object.clone(), rdf_type.clone(), c.clone()),
-                            &mut fresh,
-                        );
-                    }
+        } else if p == range {
+            // rdfs3, schema side.
+            for &(_, o2) in ext.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                if !is_literal(o2) {
+                    derive((o2, rdf_type, o));
                 }
             }
         }
 
-        let schema_grew = fresh.iter().any(|t| {
-            t.predicate == sub_class
-                || t.predicate == sub_prop
-                || t.predicate == domain
-                || t.predicate == range
-        });
-        for t in &fresh {
-            all.insert(t.clone());
+        // Data-side rules that apply to *every* fact.
+        // rdfs7: (s p o), (p ⊑ q) ⊢ (s q o).
+        for &q in supers_p.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
+            derive((s, q, o));
         }
-        if schema_grew {
-            // New schema edges can unlock derivations from *old* facts
-            // (e.g. a longer subclass chain): rebuild indexes and re-seed
-            // the delta with the full set once.
-            let rebuilt = build_schema(&all);
-            superclasses = rebuilt.0;
-            superprops = rebuilt.1;
-            dom = rebuilt.2;
-            rng = rebuilt.3;
-            delta = all.iter().cloned().collect();
-        } else {
-            delta = fresh;
+        // rdfs2 / rdfs3: domain & range typing.
+        if !is_literal(s) {
+            for &c in dom.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
+                derive((s, rdf_type, c));
+            }
+        }
+        if !is_literal(o) {
+            for &c in rng.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
+                derive((o, rdf_type, c));
+            }
         }
     }
 
-    let inferred: Vec<Triple> = all.difference(&original).cloned().collect();
-    store.insert_all(target_graph, inferred.iter())
+    store.insert_ids(
+        target_graph,
+        all.into_iter().filter(|t| !original.contains(t)),
+    )
 }
 
 /// All superclasses of `class` (transitive), not including itself, looked
-/// up in the (already materialised or raw) graphs.
+/// up in the (already materialised or raw) graphs. Id-native: the walk
+/// only materialises terms for its final answer.
 pub fn superclasses(store: &TripleStore, graphs: &[&str], class: &Term) -> Vec<Term> {
-    let mut out = Vec::new();
-    let mut frontier = vec![class.clone()];
-    let sub_class = schema::rdfs_subclass_of();
+    let dict = store.dictionary();
+    let (Some(start), Some(sub_class)) =
+        (dict.id_of(class), dict.id_of(&schema::rdfs_subclass_of()))
+    else {
+        return Vec::new();
+    };
+    let mut out: Vec<TermId> = Vec::new();
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut frontier = vec![start];
+    let mut matches = Vec::new();
     while let Some(c) = frontier.pop() {
-        let found = store.match_pattern(
-            graphs,
-            &TriplePattern {
-                subject: Some(c),
-                predicate: Some(sub_class.clone()),
-                object: None,
-            },
-        );
-        for t in found {
-            if !out.contains(&t.object) && t.object != *class {
-                out.push(t.object.clone());
-                frontier.push(t.object);
+        matches.clear();
+        store.match_id_pattern(graphs, (Some(c), Some(sub_class), None), &mut matches);
+        for &(_, _, sup) in &matches {
+            if sup != start && seen.insert(sup) {
+                out.push(sup);
+                frontier.push(sup);
             }
         }
     }
-    out
+    let reader = dict.reader();
+    out.into_iter().map(|id| reader.term(id).clone()).collect()
 }
 
 /// All instances of `class`, including through subclasses (query-time
-/// alternative to materialisation).
+/// alternative to materialisation). Id-native walk, terms materialised
+/// once at the end.
 pub fn instances_of(store: &TripleStore, graphs: &[&str], class: &Term) -> Vec<Term> {
-    let rdf_type = schema::rdf_type();
-    let sub_class = schema::rdfs_subclass_of();
+    let dict = store.dictionary();
+    let Some(start) = dict.id_of(class) else {
+        return Vec::new();
+    };
+    let rdf_type = dict.id_of(&schema::rdf_type());
+    let sub_class = dict.id_of(&schema::rdfs_subclass_of());
+
     // classes = {class} ∪ subclasses*
-    let mut classes = vec![class.clone()];
-    let mut frontier = vec![class.clone()];
-    while let Some(c) = frontier.pop() {
-        let subs = store.match_pattern(
-            graphs,
-            &TriplePattern {
-                subject: None,
-                predicate: Some(sub_class.clone()),
-                object: Some(c),
-            },
-        );
-        for t in subs {
-            if !classes.contains(&t.subject) {
-                classes.push(t.subject.clone());
-                frontier.push(t.subject);
+    let mut classes = vec![start];
+    let mut seen: HashSet<TermId> = std::iter::once(start).collect();
+    let mut matches = Vec::new();
+    if let Some(sub_class) = sub_class {
+        let mut frontier = vec![start];
+        while let Some(c) = frontier.pop() {
+            matches.clear();
+            store.match_id_pattern(graphs, (None, Some(sub_class), Some(c)), &mut matches);
+            for &(sub, _, _) in &matches {
+                if seen.insert(sub) {
+                    classes.push(sub);
+                    frontier.push(sub);
+                }
             }
         }
     }
-    let mut out = Vec::new();
+    let Some(rdf_type) = rdf_type else {
+        return Vec::new();
+    };
+    let mut out: Vec<TermId> = Vec::new();
+    let mut out_seen: HashSet<TermId> = HashSet::new();
     for c in classes {
-        let found = store.match_pattern(
-            graphs,
-            &TriplePattern {
-                subject: None,
-                predicate: Some(rdf_type.clone()),
-                object: Some(c),
-            },
-        );
-        for t in found {
-            if !out.contains(&t.subject) {
-                out.push(t.subject);
+        matches.clear();
+        store.match_id_pattern(graphs, (None, Some(rdf_type), Some(c)), &mut matches);
+        for &(inst, _, _) in &matches {
+            if out_seen.insert(inst) {
+                out.push(inst);
             }
         }
     }
-    out
+    let reader = dict.reader();
+    out.into_iter().map(|id| reader.term(id).clone()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::Triple;
 
     fn iri(s: &str) -> Term {
         Term::iri(s)

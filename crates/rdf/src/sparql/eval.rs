@@ -1,16 +1,32 @@
 //! SPARQL evaluation over the triple store.
 //!
-//! Evaluation is index-nested-loop over BGPs with a greedy join order
-//! (most-constant / most-bound pattern first), hash-free but index-backed —
-//! adequate for the per-user knowledge bases CroSSE manages, which are
-//! small relative to the relational databank.
+//! Evaluation is a two-phase, ID-native pipeline:
+//!
+//! 1. **Compile**: every `PatternTriple` of a BGP is translated into a
+//!    [`CompiledTriple`] whose constants are resolved through the
+//!    [`Dictionary`](crate::term::Dictionary) exactly once (a constant the
+//!    dictionary has never seen short-circuits the whole BGP to the empty
+//!    result) and whose variables are pre-resolved to row-slot indices.
+//!    FILTER expressions compile the same way ([`CExpr`]), so the per-row
+//!    loops never hash a variable name or intern a term.
+//! 2. **Stream**: patterns join index-nested-loop style in greedy order
+//!    (most-bound first; ties broken by estimated cardinality from the
+//!    store's index counts). Probes reuse one scratch buffer per pattern,
+//!    input rows are sorted on the bound probe prefix so consecutive range
+//!    scans hit warm B-tree nodes, and identical consecutive probes are
+//!    answered from the previous scan without touching the store.
+//!
+//! Property-path patterns materialise their edge set once per pattern (not
+//! once per row) and memoise reachability across rows.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use crate::error::{Error, Result};
-use crate::store::{IdPattern, TripleStore};
-use crate::term::{Term, TermId};
+use crate::store::{IdPattern, IdTriple, TripleStore};
+use crate::term::{DictReader, Term, TermId};
 
 use super::ast::*;
 
@@ -77,23 +93,48 @@ pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<S
     let var_index: HashMap<&str, usize> =
         vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
-    let ctx = EvalCtx { store, graphs, vars: &vars, var_index: &var_index };
+    let ctx = EvalCtx {
+        store,
+        graphs,
+        vars: &vars,
+        var_index: &var_index,
+        nums: RefCell::new(HashMap::new()),
+    };
     let mut rows = ctx.eval_pattern(&query.pattern, vec![vec![None; vars.len()]])?;
 
     if query.is_aggregate() {
         return aggregate_solutions(store, query, rows, &var_index);
     }
 
-    // ORDER BY
+    // ORDER BY: decode each sort key once per row (numeric value + lexical
+    // form), then compare the cached keys — no dictionary access inside the
+    // comparator.
     if !query.order_by.is_empty() {
         let keys: Vec<(usize, bool)> = query
             .order_by
             .iter()
             .map(|o| (var_index[o.variable.as_str()], o.ascending))
             .collect();
-        rows.sort_by(|a, b| {
-            for &(i, asc) in &keys {
-                let ord = cmp_binding(store, a[i], b[i]);
+        let mut decorated: Vec<(Vec<SortKey>, Bindings)> = {
+            let reader = store.dictionary().reader();
+            rows.into_iter()
+                .map(|r| {
+                    let ks = keys
+                        .iter()
+                        .map(|&(i, _)| {
+                            r[i].map(|id| {
+                                let t = reader.term(id);
+                                (t.as_f64(), t.lexical_form().to_string())
+                            })
+                        })
+                        .collect();
+                    (ks, r)
+                })
+                .collect()
+        };
+        decorated.sort_by(|a, b| {
+            for (j, &(_, asc)) in keys.iter().enumerate() {
+                let ord = cmp_sort_key(&a.0[j], &b.0[j]);
                 let ord = if asc { ord } else { ord.reverse() };
                 if ord != Ordering::Equal {
                     return ord;
@@ -101,6 +142,7 @@ pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<S
             }
             Ordering::Equal
         });
+        rows = decorated.into_iter().map(|(_, r)| r).collect();
     }
 
     // Projection
@@ -135,14 +177,31 @@ pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<S
     };
     let window = &projected[start..end];
 
-    let dict = store.dictionary();
+    // Materialise terms through one dictionary read lock.
+    let reader = store.dictionary().reader();
     Ok(Solutions {
         variables: out_vars,
         rows: window
             .iter()
-            .map(|r| r.iter().map(|id| id.map(|i| dict.term_of(i))).collect())
+            .map(|r| r.iter().map(|id| id.map(|i| reader.term(i).clone())).collect())
             .collect(),
     })
+}
+
+/// Cached ORDER BY key for one binding: `None` for unbound, else the
+/// numeric interpretation (if any) plus the lexical form.
+type SortKey = Option<(Option<f64>, String)>;
+
+fn cmp_sort_key(a: &SortKey, b: &SortKey) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some((na, la)), Some((nb, lb))) => match (na, nb) {
+            (Some(x), Some(y)) => x.total_cmp(y),
+            _ => la.cmp(lb),
+        },
+    }
 }
 
 /// Group the pattern solutions and compute aggregate projections
@@ -508,33 +567,48 @@ pub fn construct(
         offset: None,
     };
     let sols = evaluate(store, graphs, &q)?;
+
+    // Compile the template once: variable positions resolved against the
+    // solution columns, constants kept by reference.
+    enum TSlot<'t> {
+        Const(&'t Term),
+        Var(Option<usize>),
+    }
+    let compiled: Vec<[TSlot; 3]> = template
+        .iter()
+        .map(|t| {
+            [&t.subject, &t.predicate, &t.object].map(|part| match part {
+                PatternTerm::Const(c) => TSlot::Const(c),
+                PatternTerm::Var(v) => TSlot::Var(sols.var_index(v)),
+            })
+        })
+        .collect();
+
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for row in &sols.rows {
-        'tmpl: for t in template {
-            let mut resolved = Vec::with_capacity(3);
-            for part in [&t.subject, &t.predicate, &t.object] {
-                let term = match part {
-                    PatternTerm::Const(c) => c.clone(),
-                    PatternTerm::Var(v) => {
-                        let Some(i) = sols.var_index(v) else { continue 'tmpl };
-                        match &row[i] {
-                            Some(term) => term.clone(),
-                            None => continue 'tmpl,
-                        }
-                    }
+        'tmpl: for slots in &compiled {
+            let mut resolved: [Option<&Term>; 3] = [None, None, None];
+            for (pos, slot) in slots.iter().enumerate() {
+                resolved[pos] = match slot {
+                    TSlot::Const(c) => Some(c),
+                    TSlot::Var(None) => continue 'tmpl,
+                    TSlot::Var(Some(i)) => match &row[*i] {
+                        Some(term) => Some(term),
+                        None => continue 'tmpl,
+                    },
                 };
-                resolved.push(term);
             }
+            let (s, p, o) = (
+                resolved[0].expect("filled"),
+                resolved[1].expect("filled"),
+                resolved[2].expect("filled"),
+            );
             // RDF validity: literals cannot be subjects or predicates.
-            if resolved[0].is_literal() || resolved[1].is_literal() {
+            if s.is_literal() || p.is_literal() {
                 continue;
             }
-            let triple = crate::store::Triple::new(
-                resolved[0].clone(),
-                resolved[1].clone(),
-                resolved[2].clone(),
-            );
+            let triple = crate::store::Triple::new(s.clone(), p.clone(), o.clone());
             if seen.insert(triple.clone()) {
                 out.push(triple);
             }
@@ -567,30 +641,75 @@ pub fn query_any(
     }
 }
 
-fn cmp_binding(store: &TripleStore, a: Option<TermId>, b: Option<TermId>) -> Ordering {
-    match (a, b) {
-        (None, None) => Ordering::Equal,
-        (None, Some(_)) => Ordering::Less,
-        (Some(_), None) => Ordering::Greater,
-        (Some(a), Some(b)) => {
-            let ta = store.dictionary().term_of(a);
-            let tb = store.dictionary().term_of(b);
-            match (ta.as_f64(), tb.as_f64()) {
-                (Some(x), Some(y)) => x.total_cmp(&y),
-                _ => ta.lexical_form().cmp(tb.lexical_form()),
-            }
-        }
+/// A (partial) solution row over the full variable table.
+type Bindings = Vec<Option<TermId>>;
+
+/// One position of a compiled triple pattern: a constant already resolved
+/// to its dictionary id, or a variable resolved to its row slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(TermId),
+    Var(usize),
+}
+
+/// A simple (non-path) pattern with every name resolved exactly once.
+#[derive(Debug, Clone, Copy)]
+struct CompiledTriple {
+    slots: [Slot; 3],
+}
+
+impl CompiledTriple {
+    /// The probe pattern for one input row: constants stay fixed, bound
+    /// variables contribute their binding, free variables stay wildcards.
+    #[inline]
+    fn probe(&self, row: &Bindings) -> IdPattern {
+        let v = |slot: Slot| match slot {
+            Slot::Const(id) => Some(id),
+            Slot::Var(vi) => row[vi],
+        };
+        (v(self.slots[0]), v(self.slots[1]), v(self.slots[2]))
+    }
+
+    fn has_var(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Var(_)))
     }
 }
 
-/// A (partial) solution row over the full variable table.
-type Bindings = Vec<Option<TermId>>;
+/// A compiled FILTER expression: variable names and constant terms are
+/// resolved once, so per-row evaluation is id-native.
+enum CExpr {
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    Bound(usize),
+    Regex(CTerm, String),
+    Cmp(CTerm, CmpOp, CTerm),
+}
+
+/// A compiled term expression inside a FILTER.
+enum CTerm {
+    Var(usize),
+    /// A constant with its dictionary id (if interned) precomputed.
+    Const { id: Option<TermId>, term: Term },
+    Str(Box<CTerm>),
+}
+
+/// A resolved term value during FILTER evaluation: an interned id (no
+/// materialisation), a borrowed constant, or an owned synthesised term
+/// (only `STR(...)` produces these).
+enum RTerm<'a> {
+    Id(TermId),
+    Term(&'a Term),
+    Owned(Term),
+}
 
 struct EvalCtx<'a> {
     store: &'a TripleStore,
     graphs: &'a [&'a str],
     vars: &'a [String],
     var_index: &'a HashMap<&'a str, usize>,
+    /// Numeric interpretations memoised per term id (FILTER hot path).
+    nums: RefCell<HashMap<TermId, Option<f64>>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -626,9 +745,16 @@ impl<'a> EvalCtx<'a> {
             }
             GraphPattern::Filter(p, e) => {
                 let rows = self.eval_pattern(p, input)?;
+                if rows.is_empty() {
+                    return Ok(rows);
+                }
+                let compiled = self.compile_expr(e)?;
                 let mut out = Vec::new();
+                // One dictionary read guard serves the whole batch; filter
+                // evaluation never interns, so holding it is safe.
+                let reader = self.store.dictionary().reader();
                 for row in rows {
-                    if self.eval_filter(e, &row)? == Some(true) {
+                    if self.eval_cexpr(&compiled, &row, &reader) == Some(true) {
                         out.push(row);
                     }
                 }
@@ -667,15 +793,23 @@ impl<'a> EvalCtx<'a> {
                         })
                     })
                     .collect::<Result<_>>()?;
+                // Intern each VALUES cell once, not once per input row.
+                // (Interning is safe here: it adds the term to the
+                // dictionary without asserting any triple.)
+                let data_ids: Vec<Vec<Option<TermId>>> = rows
+                    .iter()
+                    .map(|data| {
+                        data.iter()
+                            .map(|cell| cell.as_ref().map(|t| dict.intern(t)))
+                            .collect()
+                    })
+                    .collect();
                 let mut out = Vec::new();
                 for row in &input {
-                    'data: for data in rows {
+                    'data: for data in &data_ids {
                         let mut new_row = row.clone();
                         for (&vi, cell) in var_is.iter().zip(data) {
-                            let Some(term) = cell else { continue }; // UNDEF
-                            // Interning is safe here: it adds the term to
-                            // the dictionary without asserting any triple.
-                            let id = dict.intern(term);
+                            let Some(id) = *cell else { continue }; // UNDEF
                             match new_row[vi] {
                                 None => new_row[vi] = Some(id),
                                 Some(existing) if existing == id => {}
@@ -690,6 +824,7 @@ impl<'a> EvalCtx<'a> {
         }
     }
 
+    /// What a BGP pattern compiles to.
     fn eval_bgp(
         &self,
         triples: &[PatternTriple],
@@ -698,9 +833,47 @@ impl<'a> EvalCtx<'a> {
         if triples.is_empty() {
             return Ok(solutions);
         }
+
+        enum Kind<'t> {
+            Simple(CompiledTriple),
+            Path(&'t PatternTriple),
+            Complex(&'t PropertyPath, &'t PatternTriple),
+        }
+
+        // Compile phase: resolve every constant through the dictionary
+        // exactly once, pre-resolve the variable slots used for ordering,
+        // and estimate each pattern's cardinality from the store's indexes.
+        struct Compiled<'t> {
+            estimate: usize,
+            /// `None` = constant position, `Some(vi)` = variable slot.
+            score_slots: [Option<usize>; 3],
+            kind: Kind<'t>,
+        }
+        let mut remaining: Vec<Compiled> = Vec::with_capacity(triples.len());
+        for t in triples {
+            let kind = if let Some(path) = &t.complex {
+                Kind::Complex(path, t)
+            } else if t.path != PathMod::One {
+                Kind::Path(t)
+            } else {
+                match self.compile_triple(t) {
+                    Some(ct) => Kind::Simple(ct),
+                    // A constant the dictionary has never seen: the whole
+                    // conjunction is empty.
+                    None => return Ok(Vec::new()),
+                }
+            };
+            let score_slots = [&t.subject, &t.predicate, &t.object].map(|pt| match pt {
+                PatternTerm::Const(_) => None,
+                PatternTerm::Var(v) => Some(self.var_index[v.as_str()]),
+            });
+            let estimate = self.estimate_pattern(t, matches!(kind, Kind::Simple(_)));
+            remaining.push(Compiled { estimate, score_slots, kind });
+        }
+
         // Greedy ordering: repeatedly pick the unprocessed pattern with the
-        // most positions that are constants or already-bound variables.
-        let mut remaining: Vec<&PatternTriple> = triples.iter().collect();
+        // most positions that are constants or already-bound variables;
+        // ties go to the smaller estimated cardinality.
         let mut bound_vars: Vec<bool> = vec![false; self.vars.len()];
         // Variables bound by the input solutions count as bound.
         if let Some(first) = solutions.first() {
@@ -711,39 +884,44 @@ impl<'a> EvalCtx<'a> {
             }
         }
 
+        // Boundness score: 2 per constant or bound-variable position.
+        let score = |c: &Compiled, bound: &[bool]| -> usize {
+            c.score_slots
+                .iter()
+                .map(|slot| match slot {
+                    None => 2usize,
+                    Some(vi) => {
+                        if bound[*vi] {
+                            2
+                        } else {
+                            0
+                        }
+                    }
+                })
+                .sum()
+        };
+
         while !remaining.is_empty() {
-            let (best_pos, _) = remaining
+            let best_pos = remaining
                 .iter()
                 .enumerate()
-                .map(|(i, t)| {
-                    let score = [&t.subject, &t.predicate, &t.object]
-                        .iter()
-                        .map(|pt| match pt {
-                            PatternTerm::Const(_) => 2usize,
-                            PatternTerm::Var(v) => {
-                                if bound_vars[self.var_index[v.as_str()]] {
-                                    2
-                                } else {
-                                    0
-                                }
-                            }
-                        })
-                        .sum::<usize>();
-                    (i, score)
+                .max_by(|(_, a), (_, b)| {
+                    score(a, &bound_vars)
+                        .cmp(&score(b, &bound_vars))
+                        // Smaller estimated cardinality wins ties.
+                        .then_with(|| b.estimate.cmp(&a.estimate))
                 })
-                .max_by_key(|&(_, s)| s)
+                .map(|(i, _)| i)
                 .expect("non-empty");
-            let t = remaining.remove(best_pos);
+            let chosen = remaining.remove(best_pos);
 
-            let mut next = Vec::new();
-            for row in &solutions {
-                self.extend_with_pattern(t, row, &mut next)?;
-            }
-            solutions = next;
-            for pt in [&t.subject, &t.predicate, &t.object] {
-                if let PatternTerm::Var(v) = pt {
-                    bound_vars[self.var_index[v.as_str()]] = true;
-                }
+            solutions = match chosen.kind {
+                Kind::Simple(ct) => self.extend_batch_simple(&ct, solutions),
+                Kind::Path(t) => self.extend_batch_path(t, solutions)?,
+                Kind::Complex(path, t) => self.extend_batch_complex(path, t, solutions)?,
+            };
+            for slot in chosen.score_slots.into_iter().flatten() {
+                bound_vars[slot] = true;
             }
             if solutions.is_empty() {
                 return Ok(solutions);
@@ -752,181 +930,311 @@ impl<'a> EvalCtx<'a> {
         Ok(solutions)
     }
 
-    fn extend_with_pattern(
-        &self,
-        t: &PatternTriple,
-        row: &Bindings,
-        out: &mut Vec<Bindings>,
-    ) -> Result<()> {
-        if let Some(path) = &t.complex {
-            return self.extend_with_complex(path, t, row, out);
-        }
-        if t.path != PathMod::One {
-            return self.extend_with_path(t, row, out);
-        }
+    /// Estimated result cardinality of one pattern against the store: the
+    /// index count for its constant positions (variables wildcard, since
+    /// their per-row values are unknown at planning time). The walk is
+    /// capped — the estimate only breaks ties, so relative size up to the
+    /// cap is all the resolution ordering needs.
+    fn estimate_pattern(&self, t: &PatternTriple, simple: bool) -> usize {
+        const EST_CAP: usize = 256;
         let dict = self.store.dictionary();
-        // Resolve each position: constant id, bound var id, or free var.
-        let mut free: [Option<usize>; 3] = [None, None, None];
-        let mut pat: IdPattern = (None, None, None);
-        for (pos, pt) in [&t.subject, &t.predicate, &t.object].iter().enumerate() {
-            let slot = match pt {
-                PatternTerm::Const(term) => match dict.id_of(term) {
-                    Some(id) => Some(id),
-                    None => return Ok(()), // constant never seen → no match
+        if simple {
+            let conv = |pt: &PatternTerm| match pt {
+                PatternTerm::Const(term) => dict.id_of(term),
+                PatternTerm::Var(_) => None,
+            };
+            let pat = (conv(&t.subject), conv(&t.predicate), conv(&t.object));
+            self.store.count_id_pattern(self.graphs, pat, EST_CAP)
+        } else {
+            // Path patterns scan their predicate's extension.
+            match &t.predicate {
+                PatternTerm::Const(p) => match dict.id_of(p) {
+                    Some(id) => self.store.count_id_pattern(
+                        self.graphs,
+                        (None, Some(id), None),
+                        EST_CAP,
+                    ),
+                    None => 0,
                 },
-                PatternTerm::Var(v) => {
-                    let vi = self.var_index[v.as_str()];
-                    match row[vi] {
-                        Some(id) => Some(id),
-                        None => {
-                            free[pos] = Some(vi);
-                            None
+                PatternTerm::Var(_) => {
+                    self.store.count_id_pattern(self.graphs, (None, None, None), EST_CAP)
+                }
+            }
+        }
+    }
+
+    fn compile_triple(&self, t: &PatternTriple) -> Option<CompiledTriple> {
+        let dict = self.store.dictionary();
+        let mut slots = [Slot::Var(0); 3];
+        for (pos, pt) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+            slots[pos] = match pt {
+                PatternTerm::Const(term) => Slot::Const(dict.id_of(term)?),
+                PatternTerm::Var(v) => Slot::Var(self.var_index[v.as_str()]),
+            };
+        }
+        Some(CompiledTriple { slots })
+    }
+
+    /// Join every input row with one compiled pattern. The per-row loop is
+    /// id-native: no dictionary lookups, no per-row probe allocation (one
+    /// scratch buffer serves every probe), and rows are pre-sorted on their
+    /// probe key so consecutive range scans are index-adjacent — identical
+    /// consecutive probes reuse the previous scan outright.
+    fn extend_batch_simple(
+        &self,
+        ct: &CompiledTriple,
+        mut rows: Vec<Bindings>,
+    ) -> Vec<Bindings> {
+        if rows.len() > 16 && ct.has_var() {
+            rows.sort_by_cached_key(|row| ct.probe(row));
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        let mut scratch: Vec<IdTriple> = Vec::new();
+        let mut last: Option<IdPattern> = None;
+        self.store.with_prober(self.graphs, |prober| {
+            // Bind the free positions of `row` to one match; false if a
+            // repeated variable (e.g. ?x <p> ?x) disagrees.
+            let bind = |row: &mut Bindings, (s, p, o): IdTriple| -> bool {
+                for (pos, id) in [(0usize, s), (1, p), (2, o)] {
+                    if let Slot::Var(vi) = ct.slots[pos] {
+                        match row[vi] {
+                            None => row[vi] = Some(id),
+                            Some(existing) if existing == id => {}
+                            Some(_) => return false,
                         }
                     }
                 }
+                true
             };
-            match pos {
-                0 => pat.0 = slot,
-                1 => pat.1 = slot,
-                _ => pat.2 = slot,
-            }
-        }
-        // Same variable twice in one pattern (e.g. ?x <p> ?x): the second
-        // occurrence must equal the first.
-        let mut matches = Vec::new();
-        self.store.match_id_pattern(self.graphs, pat, &mut matches);
-        'm: for (s, p, o) in matches {
-            let mut new_row = row.clone();
-            for (pos, id) in [(0usize, s), (1, p), (2, o)] {
-                if let Some(vi) = free[pos] {
-                    match new_row[vi] {
-                        None => new_row[vi] = Some(id),
-                        Some(existing) if existing == id => {}
-                        Some(_) => continue 'm,
+            for mut row in rows {
+                let pat = ct.probe(&row);
+                if last != Some(pat) {
+                    scratch.clear();
+                    prober.probe(pat, &mut scratch);
+                    last = Some(pat);
+                }
+                // All matches but the last extend a clone of the input
+                // row; the last consumes the row itself, so the common
+                // 1-match-per-row join allocates nothing.
+                if let [head @ .., tail] = scratch.as_slice() {
+                    for &m in head {
+                        let mut new_row = row.clone();
+                        if bind(&mut new_row, m) {
+                            out.push(new_row);
+                        }
+                    }
+                    if bind(&mut row, *tail) {
+                        out.push(row);
                     }
                 }
             }
-            out.push(new_row);
-        }
-        Ok(())
+        });
+        out
     }
 
-    /// Evaluate a transitive path pattern (`p+` / `p*`) by BFS over the
-    /// predicate's edges in the selected graphs.
-    fn extend_with_path(
+    /// Resolve a path endpoint once per pattern (same slot model as
+    /// [`CompiledTriple`]). `None` means a constant the dictionary has
+    /// never seen (pattern matches nothing).
+    fn compile_end(&self, pt: &PatternTerm) -> Option<Slot> {
+        match pt {
+            PatternTerm::Const(term) => {
+                self.store.dictionary().id_of(term).map(Slot::Const)
+            }
+            PatternTerm::Var(v) => Some(Slot::Var(self.var_index[v.as_str()])),
+        }
+    }
+
+    /// Evaluate a transitive path pattern (`p+` / `p*`) against every input
+    /// row. The predicate's edge list and adjacency maps are materialised
+    /// once per *pattern* (they were previously rebuilt per row), and
+    /// reachability sets are memoised across rows.
+    fn extend_batch_path(
         &self,
         t: &PatternTriple,
-        row: &Bindings,
-        out: &mut Vec<Bindings>,
-    ) -> Result<()> {
+        rows: Vec<Bindings>,
+    ) -> Result<Vec<Bindings>> {
         let dict = self.store.dictionary();
         let PatternTerm::Const(pred) = &t.predicate else {
             return Err(Error::eval("path modifiers require a constant predicate"));
         };
         let Some(p) = dict.id_of(pred) else {
-            return Ok(()); // predicate never seen → no edges
+            return Ok(Vec::new()); // predicate never seen → no edges
+        };
+        let (Some(s_end), Some(o_end)) =
+            (self.compile_end(&t.subject), self.compile_end(&t.object))
+        else {
+            return Ok(Vec::new()); // constant endpoint never interned
         };
 
-        // Materialise the p-edge list once per call (bounded by the user
-        // KB size, which the paper's workloads keep small).
-        let mut edges: Vec<(TermId, TermId, TermId)> = Vec::new();
+        let mut edges: Vec<IdTriple> = Vec::new();
         self.store
             .match_id_pattern(self.graphs, (None, Some(p), None), &mut edges);
         let mut forward: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut backward: HashMap<TermId, Vec<TermId>> = HashMap::new();
         let mut nodes: Vec<TermId> = Vec::new();
+        let mut node_set: HashSet<TermId> = HashSet::new();
         for &(s, _, o) in &edges {
             forward.entry(s).or_default().push(o);
-            if !nodes.contains(&s) {
+            backward.entry(o).or_default().push(s);
+            if node_set.insert(s) {
                 nodes.push(s);
             }
-            if !nodes.contains(&o) {
+            if node_set.insert(o) {
                 nodes.push(o);
             }
         }
         let include_zero = t.path == PathMod::ZeroOrMore;
 
-        let reachable = |start: TermId| -> Vec<TermId> {
-            let mut seen: Vec<TermId> = Vec::new();
-            let mut frontier = vec![start];
-            while let Some(n) = frontier.pop() {
-                for &next in forward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
-                    if !seen.contains(&next) {
-                        seen.push(next);
-                        frontier.push(next);
+        let mut reach_memo: HashMap<TermId, Rc<ReachSet>> = HashMap::new();
+        let mut back_memo: HashMap<TermId, Rc<HashSet<TermId>>> = HashMap::new();
+
+        let mut out = Vec::new();
+        for row in &rows {
+            let end_val = |end: Slot| match end {
+                Slot::Const(id) => Some(id),
+                Slot::Var(vi) => row[vi],
+            };
+            let (s_res, o_res) = (end_val(s_end), end_val(o_end));
+
+            let emit = |s: TermId, o: TermId, out: &mut Vec<Bindings>| {
+                let mut new_row = row.clone();
+                if let Slot::Var(vi) = s_end {
+                    new_row[vi] = Some(s);
+                }
+                if let Slot::Var(vi) = o_end {
+                    match new_row[vi] {
+                        None => new_row[vi] = Some(o),
+                        Some(existing) if existing == o => {}
+                        Some(_) => return,
                     }
                 }
-            }
-            if include_zero && !seen.contains(&start) {
-                seen.push(start);
-            }
-            seen
-        };
+                out.push(new_row);
+            };
 
-        // Resolve the endpoints against the current row.
-        let resolve = |pt: &PatternTerm| -> std::result::Result<Option<TermId>, ()> {
-            match pt {
-                PatternTerm::Const(term) => match dict.id_of(term) {
-                    Some(id) => Ok(Some(id)),
-                    None => Err(()), // constant never interned → no match
-                },
-                PatternTerm::Var(v) => Ok(row[self.var_index[v.as_str()]]),
-            }
-        };
-        let (Ok(s_res), Ok(o_res)) = (resolve(&t.subject), resolve(&t.object)) else {
-            return Ok(());
-        };
-
-        let emit = |s: TermId, o: TermId, out: &mut Vec<Bindings>| {
-            let mut new_row = row.clone();
-            if let PatternTerm::Var(v) = &t.subject {
-                new_row[self.var_index[v.as_str()]] = Some(s);
-            }
-            if let PatternTerm::Var(v) = &t.object {
-                let vi = self.var_index[v.as_str()];
-                match new_row[vi] {
-                    None => new_row[vi] = Some(o),
-                    Some(existing) if existing == o => {}
-                    Some(_) => return,
-                }
-            }
-            out.push(new_row);
-        };
-
-        match (s_res, o_res) {
-            (Some(s), Some(o)) => {
-                if reachable(s).contains(&o) {
-                    emit(s, o, out);
-                }
-            }
-            (Some(s), None) => {
-                for o in reachable(s) {
-                    emit(s, o, out);
-                }
-            }
-            (None, Some(o)) => {
-                // Backward reachability: nodes from which `o` is reachable.
-                for &s in &nodes {
-                    if reachable(s).contains(&o) {
-                        emit(s, o, out);
+            match (s_res, o_res) {
+                (Some(s), Some(o)) => {
+                    let r = reachable(&forward, include_zero, &mut reach_memo, s);
+                    if r.set.contains(&o) {
+                        emit(s, o, &mut out);
                     }
                 }
-            }
-            (None, None) => {
-                for &s in &nodes {
-                    for o in reachable(s) {
-                        emit(s, o, out);
+                (Some(s), None) => {
+                    let r = reachable(&forward, include_zero, &mut reach_memo, s);
+                    for &o in &r.order {
+                        emit(s, o, &mut out);
+                    }
+                }
+                (None, Some(o)) => {
+                    // Backward reachability: nodes from which `o` is
+                    // reachable, in node-first-seen order.
+                    let sources = back_reachable(
+                        &backward,
+                        &node_set,
+                        include_zero,
+                        &mut back_memo,
+                        o,
+                    );
+                    for &s in &nodes {
+                        if sources.contains(&s) {
+                            emit(s, o, &mut out);
+                        }
+                    }
+                }
+                (None, None) => {
+                    for &s in &nodes {
+                        let r = reachable(&forward, include_zero, &mut reach_memo, s);
+                        for &o in &r.order {
+                            emit(s, o, &mut out);
+                        }
                     }
                 }
             }
         }
-        Ok(())
+        Ok(out)
+    }
+
+    /// Bind the endpoints of a structured property path against its pair
+    /// set. The pair set and its endpoint indexes are built once per
+    /// pattern (previously the pair set was recomputed per row).
+    fn extend_batch_complex(
+        &self,
+        path: &PropertyPath,
+        t: &PatternTriple,
+        rows: Vec<Bindings>,
+    ) -> Result<Vec<Bindings>> {
+        let (Some(s_end), Some(o_end)) =
+            (self.compile_end(&t.subject), self.compile_end(&t.object))
+        else {
+            return Ok(Vec::new()); // constant endpoint never interned
+        };
+        let pairs = self.path_pairs(path);
+        let mut by_s: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut by_o: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut pair_set: HashSet<(TermId, TermId)> = HashSet::with_capacity(pairs.len());
+        for &(s, o) in &pairs {
+            by_s.entry(s).or_default().push(o);
+            by_o.entry(o).or_default().push(s);
+            pair_set.insert((s, o));
+        }
+
+        let mut out = Vec::new();
+        for row in &rows {
+            let end_val = |end: Slot| match end {
+                Slot::Const(id) => Some(id),
+                Slot::Var(vi) => row[vi],
+            };
+            let (s_res, o_res) = (end_val(s_end), end_val(o_end));
+
+            let emit = |s: TermId, o: TermId, out: &mut Vec<Bindings>| {
+                let mut new_row = row.clone();
+                let mut ok = true;
+                for (end, id) in [(s_end, s), (o_end, o)] {
+                    if let Slot::Var(vi) = end {
+                        match new_row[vi] {
+                            None => new_row[vi] = Some(id),
+                            Some(existing) if existing == id => {}
+                            Some(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    out.push(new_row);
+                }
+            };
+
+            match (s_res, o_res) {
+                (Some(s), Some(o)) => {
+                    if pair_set.contains(&(s, o)) {
+                        emit(s, o, &mut out);
+                    }
+                }
+                (Some(s), None) => {
+                    for &o in by_s.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                        emit(s, o, &mut out);
+                    }
+                }
+                (None, Some(o)) => {
+                    for &s in by_o.get(&o).map(Vec::as_slice).unwrap_or(&[]) {
+                        emit(s, o, &mut out);
+                    }
+                }
+                (None, None) => {
+                    for &(s, o) in &pairs {
+                        emit(s, o, &mut out);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Materialise the (subject, object) pair set of a structured property
     /// path. Pair sets stay small because they are evaluated against
     /// per-user knowledge bases, not the relational databank.
     fn path_pairs(&self, path: &PropertyPath) -> Vec<(TermId, TermId)> {
-        use std::collections::HashSet;
         match path {
             PropertyPath::Pred(term) => {
                 let Some(p) = self.store.dictionary().id_of(term) else {
@@ -1020,113 +1328,241 @@ impl<'a> EvalCtx<'a> {
         }
     }
 
-    /// Bind the endpoints of a structured property path against the pair
-    /// set, analogous to [`Self::extend_with_path`] for simple closures.
-    fn extend_with_complex(
-        &self,
-        path: &PropertyPath,
-        t: &PatternTriple,
-        row: &Bindings,
-        out: &mut Vec<Bindings>,
-    ) -> Result<()> {
-        let dict = self.store.dictionary();
-        let resolve = |pt: &PatternTerm| -> std::result::Result<Option<TermId>, ()> {
-            match pt {
-                PatternTerm::Const(term) => match dict.id_of(term) {
-                    Some(id) => Ok(Some(id)),
-                    None => Err(()),
-                },
-                PatternTerm::Var(v) => Ok(row[self.var_index[v.as_str()]]),
+    // ---- compiled FILTER evaluation ------------------------------------
+
+    fn compile_expr(&self, e: &SparqlExpr) -> Result<CExpr> {
+        Ok(match e {
+            SparqlExpr::And(a, b) => {
+                CExpr::And(Box::new(self.compile_expr(a)?), Box::new(self.compile_expr(b)?))
             }
-        };
-        let (Ok(s_res), Ok(o_res)) = (resolve(&t.subject), resolve(&t.object)) else {
-            return Ok(()); // constant endpoint never interned → no match
-        };
-        for (s, o) in self.path_pairs(path) {
-            if s_res.is_some_and(|x| x != s) || o_res.is_some_and(|x| x != o) {
-                continue;
+            SparqlExpr::Or(a, b) => {
+                CExpr::Or(Box::new(self.compile_expr(a)?), Box::new(self.compile_expr(b)?))
             }
-            let mut new_row = row.clone();
-            let mut ok = true;
-            for (pt, id) in [(&t.subject, s), (&t.object, o)] {
-                if let PatternTerm::Var(v) = pt {
-                    let vi = self.var_index[v.as_str()];
-                    match new_row[vi] {
-                        None => new_row[vi] = Some(id),
-                        Some(existing) if existing == id => {}
-                        Some(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
+            SparqlExpr::Not(inner) => CExpr::Not(Box::new(self.compile_expr(inner)?)),
+            SparqlExpr::Bound(v) => CExpr::Bound(self.resolve_var(v)?),
+            SparqlExpr::Regex(inner, pattern) => {
+                CExpr::Regex(self.compile_cterm(inner)?, pattern.clone())
             }
-            if ok {
-                out.push(new_row);
+            SparqlExpr::Cmp(a, op, b) => {
+                CExpr::Cmp(self.compile_cterm(a)?, *op, self.compile_cterm(b)?)
             }
-        }
-        Ok(())
+            SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
+                return Err(Error::eval("expression is not boolean"))
+            }
+        })
     }
 
-    fn eval_filter(&self, e: &SparqlExpr, row: &Bindings) -> Result<Option<bool>> {
+    fn compile_cterm(&self, e: &SparqlExpr) -> Result<CTerm> {
+        Ok(match e {
+            SparqlExpr::Var(v) => CTerm::Var(self.resolve_var(v)?),
+            SparqlExpr::Const(t) => CTerm::Const {
+                id: self.store.dictionary().id_of(t),
+                term: t.clone(),
+            },
+            SparqlExpr::Str(inner) => CTerm::Str(Box::new(self.compile_cterm(inner)?)),
+            other => {
+                return Err(Error::eval(format!(
+                    "expected a term expression, got {other:?}"
+                )))
+            }
+        })
+    }
+
+    fn resolve_var(&self, v: &str) -> Result<usize> {
+        self.var_index
+            .get(v)
+            .copied()
+            .ok_or_else(|| Error::eval(format!("unknown variable `?{v}`")))
+    }
+
+    fn eval_cexpr(&self, e: &CExpr, row: &Bindings, reader: &DictReader) -> Option<bool> {
         // Three-valued: unbound variables make a comparison undefined
         // (treated as an evaluation error in SPARQL → filter drops the row,
         // here modelled as None).
         match e {
-            SparqlExpr::And(a, b) => Ok(match (self.eval_filter(a, row)?, self.eval_filter(b, row)?) {
+            CExpr::And(a, b) => match
+                (self.eval_cexpr(a, row, reader), self.eval_cexpr(b, row, reader))
+            {
                 (Some(false), _) | (_, Some(false)) => Some(false),
                 (Some(true), Some(true)) => Some(true),
                 _ => None,
-            }),
-            SparqlExpr::Or(a, b) => Ok(match (self.eval_filter(a, row)?, self.eval_filter(b, row)?) {
+            },
+            CExpr::Or(a, b) => match
+                (self.eval_cexpr(a, row, reader), self.eval_cexpr(b, row, reader))
+            {
                 (Some(true), _) | (_, Some(true)) => Some(true),
                 (Some(false), Some(false)) => Some(false),
                 _ => None,
-            }),
-            SparqlExpr::Not(inner) => Ok(self.eval_filter(inner, row)?.map(|b| !b)),
-            SparqlExpr::Bound(v) => {
-                let vi = *self
-                    .var_index
-                    .get(v.as_str())
-                    .ok_or_else(|| Error::eval(format!("unknown variable `?{v}`")))?;
-                Ok(Some(row[vi].is_some()))
+            },
+            CExpr::Not(inner) => self.eval_cexpr(inner, row, reader).map(|b| !b),
+            CExpr::Bound(vi) => Some(row[*vi].is_some()),
+            CExpr::Regex(ct, pattern) => {
+                let value = self.resolve_cterm(ct, row, reader)?;
+                Some(match value {
+                    RTerm::Id(id) => {
+                        simple_regex_match(reader.term(id).lexical_form(), pattern)
+                    }
+                    RTerm::Term(t) => simple_regex_match(t.lexical_form(), pattern),
+                    RTerm::Owned(t) => simple_regex_match(t.lexical_form(), pattern),
+                })
             }
-            SparqlExpr::Regex(inner, pattern) => {
-                let Some(term) = self.eval_term(inner, row)? else {
-                    return Ok(None);
-                };
-                Ok(Some(simple_regex_match(term.lexical_form(), pattern)))
-            }
-            SparqlExpr::Cmp(a, op, b) => {
-                let (Some(ta), Some(tb)) =
-                    (self.eval_term(a, row)?, self.eval_term(b, row)?)
-                else {
-                    return Ok(None);
-                };
-                Ok(Some(compare_terms(&ta, *op, &tb)))
-            }
-            SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
-                Err(Error::eval("expression is not boolean"))
+            CExpr::Cmp(a, op, b) => {
+                let va = self.resolve_cterm(a, row, reader)?;
+                let vb = self.resolve_cterm(b, row, reader)?;
+                Some(self.compare_rterms(&va, *op, &vb, reader))
             }
         }
     }
 
-    fn eval_term(&self, e: &SparqlExpr, row: &Bindings) -> Result<Option<Term>> {
-        match e {
-            SparqlExpr::Var(v) => {
-                let vi = *self
-                    .var_index
-                    .get(v.as_str())
-                    .ok_or_else(|| Error::eval(format!("unknown variable `?{v}`")))?;
-                Ok(row[vi].map(|id| self.store.dictionary().term_of(id)))
+    fn resolve_cterm<'t>(
+        &self,
+        ct: &'t CTerm,
+        row: &Bindings,
+        reader: &DictReader,
+    ) -> Option<RTerm<'t>> {
+        match ct {
+            CTerm::Var(vi) => row[*vi].map(RTerm::Id),
+            CTerm::Const { id: Some(id), .. } => Some(RTerm::Id(*id)),
+            CTerm::Const { id: None, term } => Some(RTerm::Term(term)),
+            CTerm::Str(inner) => {
+                let value = self.resolve_cterm(inner, row, reader)?;
+                let lex = match value {
+                    RTerm::Id(id) => reader.term(id).lexical_form().to_string(),
+                    RTerm::Term(t) => t.lexical_form().to_string(),
+                    RTerm::Owned(t) => t.lexical_form().to_string(),
+                };
+                Some(RTerm::Owned(Term::lit(lex)))
             }
-            SparqlExpr::Const(t) => Ok(Some(t.clone())),
-            SparqlExpr::Str(inner) => Ok(self
-                .eval_term(inner, row)?
-                .map(|t| Term::lit(t.lexical_form().to_string()))),
-            other => Err(Error::eval(format!("expected a term expression, got {other:?}"))),
         }
     }
+
+    /// Memoised numeric interpretation of an interned term.
+    fn num(&self, id: TermId, reader: &DictReader) -> Option<f64> {
+        if let Some(&v) = self.nums.borrow().get(&id) {
+            return v;
+        }
+        let v = reader.term(id).as_f64();
+        self.nums.borrow_mut().insert(id, v);
+        v
+    }
+
+    fn num_of(&self, r: &RTerm, reader: &DictReader) -> Option<f64> {
+        match r {
+            RTerm::Id(id) => self.num(*id, reader),
+            RTerm::Term(t) => t.as_f64(),
+            RTerm::Owned(t) => t.as_f64(),
+        }
+    }
+
+    /// Compare two resolved terms with the semantics of [`compare_terms`]:
+    /// numeric when both sides parse as numbers, id/term equality for
+    /// `=`/`!=`, lexical otherwise. Ids are compared before any term is
+    /// materialised; the dictionary is only read (never cloned from) when
+    /// the id fast paths cannot decide.
+    fn compare_rterms(&self, a: &RTerm, op: CmpOp, b: &RTerm, reader: &DictReader) -> bool {
+        if let (Some(x), Some(y)) = (self.num_of(a, reader), self.num_of(b, reader)) {
+            return match op {
+                CmpOp::Eq => x == y,
+                CmpOp::NotEq => x != y,
+                op => {
+                    let ord = x.partial_cmp(&y).unwrap_or(Ordering::Equal);
+                    match op {
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::LtEq => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::GtEq => ord != Ordering::Less,
+                        CmpOp::Eq | CmpOp::NotEq => unreachable!(),
+                    }
+                }
+            };
+        }
+        // Identical ids ⇒ identical terms, no materialisation needed.
+        if let (RTerm::Id(x), RTerm::Id(y)) = (a, b) {
+            if x == y && matches!(op, CmpOp::Eq | CmpOp::NotEq) {
+                return op == CmpOp::Eq;
+            }
+        }
+        // Fall back to the term-level comparison, borrowing interned terms
+        // from the dictionary without cloning.
+        let ta: &Term = match a {
+            RTerm::Id(id) => reader.term(*id),
+            RTerm::Term(t) => t,
+            RTerm::Owned(t) => t,
+        };
+        let tb: &Term = match b {
+            RTerm::Id(id) => reader.term(*id),
+            RTerm::Term(t) => t,
+            RTerm::Owned(t) => t,
+        };
+        compare_terms(ta, op, tb)
+    }
+}
+
+/// A memoised forward-reachability result: insertion order (for stable
+/// emission order) plus a set (for O(1) membership).
+struct ReachSet {
+    order: Vec<TermId>,
+    set: HashSet<TermId>,
+}
+
+/// Nodes reachable from `start` over `forward` edges (≥1 step; `start`
+/// itself included when `include_zero`). Memoised per start node.
+fn reachable(
+    forward: &HashMap<TermId, Vec<TermId>>,
+    include_zero: bool,
+    memo: &mut HashMap<TermId, Rc<ReachSet>>,
+    start: TermId,
+) -> Rc<ReachSet> {
+    if let Some(r) = memo.get(&start) {
+        return r.clone();
+    }
+    let mut set: HashSet<TermId> = HashSet::new();
+    let mut order: Vec<TermId> = Vec::new();
+    let mut frontier = vec![start];
+    while let Some(n) = frontier.pop() {
+        for &next in forward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+            if set.insert(next) {
+                order.push(next);
+                frontier.push(next);
+            }
+        }
+    }
+    if include_zero && set.insert(start) {
+        order.push(start);
+    }
+    let rc = Rc::new(ReachSet { order, set });
+    memo.insert(start, rc.clone());
+    rc
+}
+
+/// Nodes from which `target` is reachable (≥1 step; `target` itself
+/// included when `include_zero` and it occurs in the edge set). Memoised
+/// per target node.
+fn back_reachable(
+    backward: &HashMap<TermId, Vec<TermId>>,
+    node_set: &HashSet<TermId>,
+    include_zero: bool,
+    memo: &mut HashMap<TermId, Rc<HashSet<TermId>>>,
+    target: TermId,
+) -> Rc<HashSet<TermId>> {
+    if let Some(r) = memo.get(&target) {
+        return r.clone();
+    }
+    let mut set: HashSet<TermId> = HashSet::new();
+    let mut frontier = vec![target];
+    while let Some(n) = frontier.pop() {
+        for &prev in backward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+            if set.insert(prev) {
+                frontier.push(prev);
+            }
+        }
+    }
+    if include_zero && node_set.contains(&target) {
+        set.insert(target);
+    }
+    let rc = Rc::new(set);
+    memo.insert(target, rc.clone());
+    rc
 }
 
 /// Term comparison: numeric when both sides parse as numbers, term equality
@@ -1171,7 +1607,6 @@ fn simple_regex_match(s: &str, pattern: &str) -> bool {
         (false, false) => s.contains(p),
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

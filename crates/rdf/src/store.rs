@@ -120,6 +120,76 @@ impl GraphData {
         }
     }
 
+    /// Number of triples matching a pattern (same index selection as
+    /// [`Self::matching`]), without materialising them, walking at most
+    /// `cap` entries — the evaluator's cardinality estimator only needs
+    /// relative sizes, so anything ≥ `cap` reports as `cap`.
+    fn count(&self, (s, p, o): IdPattern, cap: usize) -> usize {
+        fn count_range(
+            set: &BTreeSet<(TermId, TermId, TermId)>,
+            first: TermId,
+            second: Option<TermId>,
+            cap: usize,
+        ) -> usize {
+            let (lo, hi) = match second {
+                None => (
+                    (first, TermId(0), TermId(0)),
+                    (TermId(first.0.wrapping_add(1)), TermId(0), TermId(0)),
+                ),
+                Some(snd) => (
+                    (first, snd, TermId(0)),
+                    (first, TermId(snd.0.wrapping_add(1)), TermId(0)),
+                ),
+            };
+            set.range((Bound::Included(lo), Bound::Excluded(hi)))
+                .take(cap)
+                .count()
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains((s, p, o))),
+            (Some(s), p, None) => count_range(&self.spo, s, p, cap),
+            (Some(s), None, Some(o)) => count_range(&self.osp, o, Some(s), cap),
+            (None, Some(p), o) => count_range(&self.pos, p, o, cap),
+            (None, None, Some(o)) => count_range(&self.osp, o, None, cap),
+            (None, None, None) => self.len().min(cap),
+        }
+    }
+}
+
+/// A probe handle over pre-resolved graphs (see [`TripleStore::with_prober`]).
+pub(crate) struct Prober<'a> {
+    graphs: Vec<&'a GraphData>,
+}
+
+impl Prober<'_> {
+    /// Match a pattern into `out` (appending), deduplicating across graphs
+    /// in place when more than one graph is probed.
+    pub(crate) fn probe(&self, pat: IdPattern, out: &mut Vec<IdTriple>) {
+        let before = out.len();
+        for g in &self.graphs {
+            g.matching(pat, out);
+        }
+        if self.graphs.len() > 1 {
+            dedup_tail(out, before);
+        }
+    }
+}
+
+/// Sort and deduplicate `out[before..]` in place (no side allocation) —
+/// the cross-graph union step shared by every multi-graph probe.
+fn dedup_tail(out: &mut Vec<IdTriple>, before: usize) {
+    if out.len() <= before + 1 {
+        return;
+    }
+    out[before..].sort_unstable();
+    let mut w = before + 1;
+    for r in (before + 1)..out.len() {
+        if out[r] != out[w - 1] {
+            out[w] = out[r];
+            w += 1;
+        }
+    }
+    out.truncate(w);
 }
 
 /// A pattern of concrete terms with wildcards.
@@ -315,19 +385,55 @@ impl TripleStore {
         if graphs.len() > 1 {
             // Deduplicate across graphs (a triple may be asserted by
             // several users).
-            let tail = &mut out[before..];
-            tail.sort_unstable();
-            let mut seen = None;
-            let mut deduped = Vec::with_capacity(tail.len());
-            for &t in tail.iter() {
-                if seen != Some(t) {
-                    deduped.push(t);
-                    seen = Some(t);
-                }
-            }
-            out.truncate(before);
-            out.extend(deduped);
+            dedup_tail(out, before);
         }
+    }
+
+    /// Run `f` with a [`Prober`] that has resolved `graphs` once: batch
+    /// probe loops pay the store lock and the graph-name lookups a single
+    /// time instead of once per probe. The store's graph map is read-locked
+    /// for the duration of `f` — do not mutate the store inside.
+    pub(crate) fn with_prober<R>(
+        &self,
+        graphs: &[&str],
+        f: impl FnOnce(&Prober<'_>) -> R,
+    ) -> R {
+        let guard = self.graphs.read();
+        let resolved: Vec<&GraphData> =
+            graphs.iter().filter_map(|name| guard.get(*name)).collect();
+        f(&Prober { graphs: resolved })
+    }
+
+    /// Number of triples matching an id pattern across `graphs`, walking
+    /// at most `cap` index entries per graph. Triples shared between
+    /// graphs are counted once per graph — the evaluator uses this as a
+    /// relative cardinality estimate, not an exact union size.
+    pub(crate) fn count_id_pattern(
+        &self,
+        graphs: &[&str],
+        pat: IdPattern,
+        cap: usize,
+    ) -> usize {
+        let store = self.graphs.read();
+        graphs
+            .iter()
+            .filter_map(|name| store.get(*name))
+            .map(|g| g.count(pat, cap))
+            .sum()
+    }
+
+    /// Insert already-interned triples (ids must come from this store's
+    /// dictionary); returns how many were new. The reasoner writes its
+    /// closure through this, skipping re-interning entirely.
+    pub(crate) fn insert_ids(
+        &self,
+        graph: &str,
+        triples: impl IntoIterator<Item = IdTriple>,
+    ) -> usize {
+        self.bump_version();
+        let mut graphs = self.graphs.write();
+        let g = graphs.entry(graph.to_string()).or_default();
+        triples.into_iter().filter(|&t| g.insert(t)).count()
     }
 
     /// Dump a whole graph as concrete triples (sorted by id order).

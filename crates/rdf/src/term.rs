@@ -158,6 +158,38 @@ impl Dictionary {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A read guard over the dictionary for batch resolution: one lock
+    /// acquisition serves any number of `term(id)` borrows, and nothing is
+    /// cloned until the caller decides to. Do not intern while holding a
+    /// reader (the write would deadlock against the read guard).
+    pub fn reader(&self) -> DictReader<'_> {
+        DictReader { guard: self.inner.read() }
+    }
+
+    /// Literal-kind flag per id (index = id). Covers every term interned
+    /// at call time; used by the reasoner to test literalness without
+    /// locking per triple.
+    pub fn literal_flags(&self) -> Vec<bool> {
+        self.inner.read().terms.iter().map(Term::is_literal).collect()
+    }
+}
+
+/// Borrowed view of the dictionary (see [`Dictionary::reader`]).
+pub struct DictReader<'a> {
+    guard: parking_lot::RwLockReadGuard<'a, DictInner>,
+}
+
+impl DictReader<'_> {
+    /// Resolve an id to its term without cloning.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.guard.terms[id.0 as usize]
+    }
+
+    /// Look up an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.guard.ids.get(term).copied()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+//! Workspace automation tasks (`cargo xtask <task>` / `cargo bench-smoke`).
+//!
+//! * `bench-smoke` — run every Criterion bench in `--test` mode (each
+//!   benchmark body executes once, no measurement), then `cargo clippy`
+//!   with `-D warnings` on the `crosse-rdf` crate. The cheap CI gate for
+//!   "the benches still run and the query engine is lint-clean".
+//! * `bench-baseline` — regenerate `BENCH_e3.json` from the experiments
+//!   binary (release build) so future PRs have a perf trajectory to
+//!   compare against.
+
+use std::process::Command;
+
+fn run(desc: &str, cmd: &mut Command) {
+    println!("xtask: {desc}: {cmd:?}");
+    let status = cmd.status().unwrap_or_else(|e| {
+        eprintln!("xtask: failed to spawn {cmd:?}: {e}");
+        std::process::exit(1);
+    });
+    if !status.success() {
+        eprintln!("xtask: `{desc}` failed ({status})");
+        std::process::exit(status.code().unwrap_or(1));
+    }
+}
+
+fn cargo() -> Command {
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
+}
+
+fn bench_smoke() {
+    run(
+        "bench smoke (all benches, --test mode)",
+        cargo().args(["bench", "-p", "crosse-bench", "--benches", "--", "--test"]),
+    );
+    run(
+        "clippy gate on crosse-rdf",
+        cargo().args([
+            "clippy",
+            "-p",
+            "crosse-rdf",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ]),
+    );
+    println!("xtask: bench-smoke OK");
+}
+
+fn bench_baseline() {
+    run(
+        "regenerate BENCH_e3.json",
+        cargo().args([
+            "run",
+            "--release",
+            "-p",
+            "crosse-bench",
+            "--bin",
+            "experiments",
+            "--",
+            "e3",
+            "--json",
+            "BENCH_e3.json",
+        ]),
+    );
+    println!("xtask: baseline written to BENCH_e3.json");
+}
+
+fn main() {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "bench-smoke" => bench_smoke(),
+        "bench-baseline" => bench_baseline(),
+        other => {
+            eprintln!(
+                "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
+                 tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on crosse-rdf\n\
+                 bench-baseline  regenerate BENCH_e3.json via the experiments binary"
+            );
+            std::process::exit(2);
+        }
+    }
+}
