@@ -3,7 +3,8 @@
 //! * hash join vs nested-loop join (the equi-join lowering);
 //! * multi-value enrichment policies (RowPerMatch / FirstMatch / Concatenate);
 //! * reified provenance inserts vs raw triple inserts;
-//! * RDFS materialisation vs query-time subclass walking.
+//! * RDFS materialisation vs query-time subclass walking;
+//! * prepared (prepare-once, bind per execution) vs re-parsed query text.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -16,6 +17,80 @@ use crosse_rdf::schema as rdfschema;
 use crosse_rdf::store::{Triple, TripleStore};
 use crosse_rdf::term::Term;
 use crosse_smartground::random_kb;
+
+/// Prepared-vs-reparse ablation: the same parameterised SESQL shape
+/// executed many times — once through the prepare/bind lifecycle (parse
+/// amortised away), once by formatting and re-parsing the text per
+/// request (the pre-cursor API's cost model). SQL-only and enriched
+/// variants.
+fn bench_prepared_vs_reparse(c: &mut Criterion) {
+    use crosse_relational::Params;
+    let mut group = c.benchmark_group("e9_prepared");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let engine = engine_at_scale(300);
+
+    let shape = "SELECT elem_name, landfill_name FROM elem_contained \
+                 WHERE landfill_name = $lf \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+    let prepared = engine.prepare(shape).unwrap();
+    let lf = crosse_smartground::landfill_name(0);
+    // Both paths agree before we time them.
+    assert_eq!(
+        prepared
+            .execute("director", &Params::new().set("lf", lf.as_str()))
+            .unwrap()
+            .rows
+            .rows,
+        engine
+            .execute(
+                "director",
+                &shape.replace("$lf", &format!("'{lf}'")),
+            )
+            .unwrap()
+            .rows
+            .rows,
+    );
+    group.bench_function("sesql_prepared", |b| {
+        b.iter(|| {
+            black_box(
+                prepared
+                    .execute("director", &Params::new().set("lf", lf.as_str()))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("sesql_reparse", |b| {
+        b.iter(|| {
+            let text = shape.replace("$lf", &format!("'{lf}'"));
+            black_box(engine.execute("director", &text).unwrap())
+        })
+    });
+
+    let db = engine.database();
+    let sql_prepared = db
+        .prepare("SELECT COUNT(*) FROM elem_contained WHERE landfill_name = $lf")
+        .unwrap();
+    group.bench_function("sql_prepared", |b| {
+        b.iter(|| {
+            black_box(
+                sql_prepared
+                    .query(&Params::new().set("lf", lf.as_str()))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("sql_reparse", |b| {
+        b.iter(|| {
+            let text = format!(
+                "SELECT COUNT(*) FROM elem_contained WHERE landfill_name = '{lf}'"
+            );
+            black_box(db.query(&text).unwrap())
+        })
+    });
+    group.finish();
+}
 
 fn bench_join_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_join");
@@ -326,6 +401,7 @@ fn bench_sparql_leg_cache(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_prepared_vs_reparse,
     bench_join_strategy,
     bench_multi_policy,
     bench_provenance_overhead,

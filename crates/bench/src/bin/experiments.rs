@@ -113,6 +113,40 @@ fn e3(json_path: Option<&str>) {
         );
         records.push((q.name.to_string(), ts, tb, rows));
     }
+    // Prepared-vs-reparse: the same parameterised enrichment shape
+    // executed through the prepare/bind lifecycle ("sesql" column) vs by
+    // formatting + re-parsing the text per request ("baseline" column).
+    {
+        use crosse_relational::Params;
+        let shape = "SELECT elem_name, landfill_name FROM elem_contained \
+                     WHERE landfill_name = $lf \
+                     ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+        let prepared = engine.prepare(shape).unwrap();
+        let lf = landfill_name(0);
+        let tp = median_time(5, || {
+            prepared
+                .execute("director", &Params::new().set("lf", lf.as_str()))
+                .unwrap()
+        });
+        let tr = median_time(5, || {
+            let text = shape.replace("$lf", &format!("'{lf}'"));
+            engine.execute("director", &text).unwrap()
+        });
+        let rows = prepared
+            .execute("director", &Params::new().set("lf", lf.as_str()))
+            .unwrap()
+            .rows
+            .len();
+        println!(
+            "{:<26} {:>12} {:>12} {:>8.2}x {:>7}   (prepared vs re-parsed text)",
+            "prepared-vs-reparse",
+            fmt(tp),
+            fmt(tr),
+            tp.as_secs_f64() / tr.as_secs_f64().max(1e-9),
+            rows,
+        );
+        records.push(("prepared-vs-reparse".to_string(), tp, tr, rows));
+    }
     if let Some(path) = json_path {
         // Hand-rolled JSON: the workspace has no serde, and the schema is
         // flat. Names come from the fixed workload corpus (no escaping

@@ -20,9 +20,14 @@ pub mod explore;
 pub mod platform;
 pub mod recommend;
 pub mod sesql;
+pub mod session;
 pub mod sqm;
 
 pub use error::{Error, Result};
 pub use sesql::ast::{Enrichment, SesqlQuery};
 pub use sesql::parser::parse_sesql;
-pub use sqm::{EnrichOptions, EnrichedResult, MultiValuePolicy, PipelineReport, SesqlEngine};
+pub use session::{EnrichedRows, Rows, Session, SparqlRows};
+pub use sqm::{
+    EnrichOptions, EnrichedResult, MultiValuePolicy, PipelineReport, PreparedSesql,
+    SesqlEngine,
+};

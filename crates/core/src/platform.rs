@@ -164,15 +164,31 @@ impl CrossePlatform {
     pub fn query(&self, user: &str, sesql: &str) -> Result<EnrichedResult> {
         let result = self.engine.execute(user, sesql)?;
         let concepts = extract_concepts(sesql).unwrap_or_default();
+        self.log_entry(user, sesql.to_string(), concepts);
+        Ok(result)
+    }
+
+    /// Execute a prepared SESQL query as `user` with bound parameters,
+    /// recording the (normalized, still-parameterised) text in the query
+    /// log — repeated executions of one handle profile like repeated
+    /// queries of one shape, which is exactly the activity-context signal
+    /// the recommender wants.
+    pub fn query_prepared(
+        &self,
+        user: &str,
+        prepared: &crate::sqm::PreparedSesql,
+        params: &crosse_relational::Params,
+    ) -> Result<EnrichedResult> {
+        let result = prepared.execute(user, params)?;
+        let concepts = concepts_of_query(prepared.query());
+        self.log_entry(user, prepared.text().to_string(), concepts);
+        Ok(result)
+    }
+
+    fn log_entry(&self, user: &str, sesql: String, concepts: Vec<String>) {
         let mut log = self.log.write();
         let seq = log.len() as u64;
-        log.push(LogEntry {
-            user: user.to_string(),
-            sesql: sesql.to_string(),
-            concepts,
-            seq,
-        });
-        Ok(result)
+        log.push(LogEntry { user: user.to_string(), sesql, concepts, seq });
     }
 
     /// The full query log (all users; the paper's annotations are public
@@ -197,7 +213,11 @@ impl CrossePlatform {
 /// Extract the concept vocabulary of a SESQL query: table names, column
 /// names, string constants, and enrichment arguments.
 pub fn extract_concepts(sesql: &str) -> Result<Vec<String>> {
-    let q = parse_sesql(sesql)?;
+    Ok(concepts_of_query(&parse_sesql(sesql)?))
+}
+
+/// Concept vocabulary of an already-parsed SESQL query.
+pub fn concepts_of_query(q: &crate::sesql::ast::SesqlQuery) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     let mut push = |s: &str| {
         let s = s.trim();
@@ -257,7 +277,7 @@ pub fn extract_concepts(sesql: &str) -> Result<Vec<String>> {
             }
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]

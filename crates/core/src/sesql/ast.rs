@@ -8,6 +8,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crosse_relational::sql::ast::{Expr, Select};
+use crosse_relational::sql::parser::ParamSlot;
 
 /// One enrichment clause.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +105,10 @@ pub struct SesqlQuery {
     pub conditions: HashMap<String, Expr>,
     /// Enrichment clauses in source order.
     pub enrichments: Vec<Enrichment>,
+    /// Parameter placeholder slots (`$name` / `?`) of the SQL part, in
+    /// slot-index order. Condition expressions share these slots (their
+    /// text is embedded in the cleaned SQL).
+    pub params: Vec<ParamSlot>,
 }
 
 impl SesqlQuery {
@@ -111,6 +116,12 @@ impl SesqlQuery {
     /// SESQL).
     pub fn is_enriched(&self) -> bool {
         !self.enrichments.is_empty()
+    }
+
+    /// Whether the query has parameter placeholders (and therefore needs
+    /// binding before execution).
+    pub fn has_params(&self) -> bool {
+        !self.params.is_empty()
     }
 }
 

@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 
-use crosse_relational::sql::ast::Statement;
-use crosse_relational::sql::parser::{parse_expr, parse_statement};
+use crosse_relational::sql::ast::{Expr, Statement};
+use crosse_relational::sql::parser::{parse_expr_with_params, parse_statement_with_params};
 
 use crate::error::{Error, Result};
 
@@ -12,23 +12,51 @@ use super::ast::{Enrichment, SesqlQuery};
 use super::scanner::{extract_tags, split_enrich};
 
 /// Parse a full SESQL query text.
+///
+/// Parameter placeholders (`$name`, positional `?`) are allowed anywhere
+/// in the SQL part; inside `${...:id}` tagged conditions only named
+/// placeholders are accepted (a positional slot's index would be
+/// ambiguous between the cleaned query and the standalone condition).
 pub fn parse_sesql(text: &str) -> Result<SesqlQuery> {
     let (sql_part, spec) = split_enrich(text)?;
     let (clean_sql, tags) = extract_tags(&sql_part)?;
 
-    let stmt = parse_statement(&clean_sql)?;
+    let (stmt, params) = parse_statement_with_params(&clean_sql)?;
     let Statement::Select(select) = stmt else {
         return Err(Error::sesql("SESQL queries must start with SELECT", 0));
     };
 
     let mut conditions = HashMap::new();
     for tag in &tags {
-        let expr = parse_expr(&tag.text).map_err(|e| {
+        let (expr, tag_params) = parse_expr_with_params(&tag.text).map_err(|e| {
             Error::sesql(
                 format!("tagged condition `{}` is not a valid expression: {e}", tag.id),
                 tag.offset,
             )
         })?;
+        if tag_params.iter().any(|s| s.name.is_none()) {
+            return Err(Error::sesql(
+                format!(
+                    "positional `?` parameters are not allowed inside the tagged \
+                     condition `{}`; use a named `$param`",
+                    tag.id
+                ),
+                tag.offset,
+            ));
+        }
+        // The condition text is embedded in the cleaned SQL, so every
+        // named placeholder already has a global slot: remap the locally
+        // assigned indices onto it.
+        let expr = expr.rewrite(&mut |node| match node {
+            Expr::Param { name: Some(n), .. } => {
+                let index = params
+                    .iter()
+                    .position(|s| s.name.as_deref() == Some(n.as_str()))
+                    .expect("condition text is part of the cleaned SQL");
+                Expr::Param { index, name: Some(n) }
+            }
+            other => other,
+        });
         conditions.insert(tag.id.clone(), expr);
     }
 
@@ -52,7 +80,7 @@ pub fn parse_sesql(text: &str) -> Result<SesqlQuery> {
         }
     }
 
-    Ok(SesqlQuery { select: *select, clean_sql, conditions, enrichments })
+    Ok(SesqlQuery { select: *select, clean_sql, conditions, enrichments, params })
 }
 
 /// Parse the enrichment specification (everything after `ENRICH`).

@@ -1,0 +1,442 @@
+//! Sessions and the unified streaming cursor API.
+//!
+//! The platform serves three query languages — SESQL, plain SQL and
+//! SPARQL — that historically returned three incompatible result shapes
+//! (`EnrichedResult`, `RowSet`, `Solutions`). A [`Session`] ties a user's
+//! knowledge context to the engine and exposes one lifecycle for all
+//! three:
+//!
+//! ```text
+//! Session::new(engine, user)
+//!   └─ prepare(text)        → Prepared handle (compiled, typed params)
+//!        └─ execute(params) → Rows cursor (lazy)
+//!             └─ collect()  → the legacy materialised shape
+//! ```
+//!
+//! The [`Rows`] trait is the common cursor: uniform `columns()` /
+//! `next_row()` over relational execution (fully streaming — `LIMIT`
+//! stops the scan), SPARQL solutions (term→value rendered lazily per
+//! row), and SESQL enrichment (un-enriched queries stream end-to-end;
+//! enriched ones stream out of the pipeline). `collect_rows()` and the
+//! per-language collect adapters keep every pre-cursor call site working
+//! mechanically.
+
+use crosse_federation::join_manager::term_to_value;
+use crosse_rdf::sparql::eval::Solutions;
+use crosse_rdf::sparql::{Prepared as PreparedSparql, SolutionCursor, SparqlParams};
+use crosse_relational::{Column, DataType, Params, Prepared as PreparedSql, RowSet, Schema, Value};
+
+use crate::error::{Error, Result};
+use crate::sqm::{EnrichedResult, PipelineReport, PreparedSesql, SesqlEngine};
+
+/// The uniform streaming cursor over all three query languages.
+///
+/// Implementations yield rows of [`Value`]s lazily; `collect_rows`
+/// drains the remainder into a [`RowSet`].
+pub trait Rows {
+    /// Output column names, in row order.
+    fn columns(&self) -> Vec<String>;
+
+    /// Pull the next row; `None` when exhausted.
+    fn next_row(&mut self) -> Option<Result<Vec<Value>>>;
+
+    /// Output schema; the default types every column as TEXT (language
+    /// backends with real type information override this).
+    fn schema(&self) -> Schema {
+        Schema::new(
+            self.columns()
+                .into_iter()
+                .map(|c| Column::new(c, DataType::Text))
+                .collect(),
+        )
+    }
+
+    /// Drain the remaining rows into a materialised row set.
+    fn collect_rows(&mut self) -> Result<RowSet> {
+        let schema = self.schema();
+        let mut rows = Vec::new();
+        while let Some(r) = self.next_row() {
+            rows.push(r?);
+        }
+        Ok(RowSet { schema, rows })
+    }
+}
+
+/// The relational cursor is already the right shape; adapt errors.
+impl Rows for crosse_relational::Rows {
+    fn columns(&self) -> Vec<String> {
+        self.schema().columns.iter().map(|c| c.display_name()).collect()
+    }
+
+    fn next_row(&mut self) -> Option<Result<Vec<Value>>> {
+        crosse_relational::Rows::next_row(self).map(|r| r.map_err(Error::from))
+    }
+
+    fn schema(&self) -> Schema {
+        crosse_relational::Rows::schema(self).clone()
+    }
+}
+
+/// SPARQL solutions as a cursor: variables become columns, terms render
+/// to values lazily per pulled row (unbound → NULL).
+#[derive(Debug)]
+pub struct SparqlRows {
+    cursor: SolutionCursor,
+}
+
+impl SparqlRows {
+    pub fn new(sols: Solutions) -> Self {
+        SparqlRows { cursor: SolutionCursor::new(sols) }
+    }
+}
+
+impl Rows for SparqlRows {
+    fn columns(&self) -> Vec<String> {
+        self.cursor.variables().to_vec()
+    }
+
+    fn next_row(&mut self) -> Option<Result<Vec<Value>>> {
+        self.cursor.next().map(|row| {
+            Ok(row
+                .iter()
+                .map(|t| t.as_ref().map(term_to_value).unwrap_or(Value::Null))
+                .collect())
+        })
+    }
+}
+
+enum EnrichedInner {
+    /// Un-enriched query streaming straight off the relational executor.
+    Streaming(crosse_relational::Rows),
+    /// Enrichment pipeline output, streamed from the materialised result.
+    Materialized {
+        schema: Schema,
+        rows: std::vec::IntoIter<Vec<Value>>,
+        report: PipelineReport,
+    },
+}
+
+/// SESQL execution as a cursor, with the pipeline report retained for the
+/// [`EnrichedResult`] collect adapter.
+pub struct EnrichedRows {
+    inner: EnrichedInner,
+}
+
+impl EnrichedRows {
+    pub(crate) fn streaming(rows: crosse_relational::Rows) -> Self {
+        EnrichedRows { inner: EnrichedInner::Streaming(rows) }
+    }
+
+    pub fn from_result(result: EnrichedResult) -> Self {
+        EnrichedRows {
+            inner: EnrichedInner::Materialized {
+                schema: result.rows.schema,
+                rows: result.rows.rows.into_iter(),
+                report: result.report,
+            },
+        }
+    }
+
+    /// The Fig. 6 pipeline report (`None` while streaming un-enriched
+    /// queries, which never enter the pipeline).
+    pub fn report(&self) -> Option<&PipelineReport> {
+        match &self.inner {
+            EnrichedInner::Streaming(_) => None,
+            EnrichedInner::Materialized { report, .. } => Some(report),
+        }
+    }
+
+    /// Base-table rows fetched so far on the streaming path (proof of the
+    /// `LIMIT` short-circuit); `None` once materialised.
+    pub fn rows_scanned(&self) -> Option<u64> {
+        match &self.inner {
+            EnrichedInner::Streaming(rows) => Some(rows.rows_scanned()),
+            EnrichedInner::Materialized { .. } => None,
+        }
+    }
+
+    /// Drain into the legacy [`EnrichedResult`] shape.
+    pub fn collect(mut self) -> Result<EnrichedResult> {
+        let schema = Rows::schema(&self);
+        let mut out = Vec::new();
+        while let Some(r) = self.next_row() {
+            out.push(r?);
+        }
+        let report = match self.inner {
+            EnrichedInner::Streaming(_) => PipelineReport {
+                result_rows: out.len(),
+                base_rows: out.len(),
+                ..PipelineReport::default()
+            },
+            EnrichedInner::Materialized { report, .. } => report,
+        };
+        Ok(EnrichedResult { rows: RowSet { schema, rows: out }, report })
+    }
+}
+
+impl Rows for EnrichedRows {
+    fn columns(&self) -> Vec<String> {
+        match &self.inner {
+            EnrichedInner::Streaming(rows) => Rows::columns(rows),
+            EnrichedInner::Materialized { schema, .. } => {
+                schema.columns.iter().map(|c| c.display_name()).collect()
+            }
+        }
+    }
+
+    fn next_row(&mut self) -> Option<Result<Vec<Value>>> {
+        match &mut self.inner {
+            EnrichedInner::Streaming(rows) => Rows::next_row(rows),
+            EnrichedInner::Materialized { rows, .. } => rows.next().map(Ok),
+        }
+    }
+
+    fn schema(&self) -> Schema {
+        match &self.inner {
+            EnrichedInner::Streaming(rows) => Rows::schema(rows),
+            EnrichedInner::Materialized { schema, .. } => schema.clone(),
+        }
+    }
+}
+
+/// A user session: the engine plus the user's knowledge context, with the
+/// prepare → execute → cursor lifecycle for all three languages.
+#[derive(Clone)]
+pub struct Session {
+    engine: SesqlEngine,
+    user: String,
+}
+
+impl Session {
+    /// Open a session for a registered user.
+    pub fn new(engine: &SesqlEngine, user: &str) -> Result<Session> {
+        if !engine.knowledge_base().is_registered(user) {
+            return Err(Error::platform(format!("user `{user}` is not registered")));
+        }
+        Ok(Session { engine: engine.clone(), user: user.to_string() })
+    }
+
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    pub fn engine(&self) -> &SesqlEngine {
+        &self.engine
+    }
+
+    // ---- SESQL ----------------------------------------------------------
+
+    /// Prepare a SESQL query (LRU-cached compilation).
+    pub fn prepare(&self, sesql: &str) -> Result<PreparedSesql> {
+        self.engine.prepare(sesql)
+    }
+
+    /// Execute a prepared SESQL query, materialising the enriched result.
+    pub fn execute(
+        &self,
+        prepared: &PreparedSesql,
+        params: &Params,
+    ) -> Result<EnrichedResult> {
+        prepared.execute(&self.user, params)
+    }
+
+    /// Execute a prepared SESQL query as a streaming cursor.
+    pub fn execute_cursor(
+        &self,
+        prepared: &PreparedSesql,
+        params: &Params,
+    ) -> Result<EnrichedRows> {
+        prepared.execute_cursor(&self.user, params)
+    }
+
+    // ---- plain SQL (databank, no enrichment context) ---------------------
+
+    /// Prepare a plain SQL SELECT against the databank (plan-cached).
+    pub fn prepare_sql(&self, sql: &str) -> Result<PreparedSql> {
+        Ok(self.engine.database().prepare(sql)?)
+    }
+
+    /// Execute a prepared SQL statement as a streaming cursor.
+    pub fn execute_sql(
+        &self,
+        prepared: &PreparedSql,
+        params: &Params,
+    ) -> Result<crosse_relational::Rows> {
+        Ok(prepared.execute(params)?)
+    }
+
+    // ---- SPARQL (the user's knowledge context) ---------------------------
+
+    /// Prepare a SPARQL SELECT (parse only; evaluation binds the user's
+    /// context graphs at execute time).
+    pub fn prepare_sparql(&self, sparql: &str) -> Result<PreparedSparql> {
+        Ok(crosse_rdf::sparql::prepare(sparql)?)
+    }
+
+    /// Execute a prepared SPARQL query in this session's context graphs,
+    /// returning the uniform cursor.
+    pub fn execute_sparql(
+        &self,
+        prepared: &PreparedSparql,
+        params: &SparqlParams,
+    ) -> Result<SparqlRows> {
+        let kb = self.engine.knowledge_base();
+        let graphs = kb.context_graphs(&self.user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let sols = prepared.execute(kb.store(), &refs, params)?;
+        Ok(SparqlRows::new(sols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosse_rdf::provenance::KnowledgeBase;
+    use crosse_rdf::store::Triple;
+    use crosse_rdf::term::Term;
+    use crosse_relational::Database;
+
+    fn engine() -> SesqlEngine {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT, amount FLOAT);
+             INSERT INTO elem_contained VALUES
+               ('Hg', 'a', 12.5), ('Pb', 'a', 30.0), ('Cu', 'b', 100.0);",
+        )
+        .unwrap();
+        let kb = KnowledgeBase::new();
+        kb.register_user("director");
+        for (s, o) in [("Hg", "5"), ("Pb", "4")] {
+            kb.assert_statement(
+                "director",
+                &Triple::new(Term::iri(s), Term::iri("dangerLevel"), Term::lit(o)),
+            )
+            .unwrap();
+        }
+        SesqlEngine::new(db, kb)
+    }
+
+    #[test]
+    fn session_requires_registered_user() {
+        let e = engine();
+        assert!(Session::new(&e, "director").is_ok());
+        assert!(Session::new(&e, "nobody").is_err());
+    }
+
+    #[test]
+    fn sesql_prepare_execute_with_params() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let p = s
+            .prepare(
+                "SELECT elem_name FROM elem_contained WHERE landfill_name = $lf \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert_eq!(p.param_slots().len(), 1);
+        let r = s.execute(&p, &Params::new().set("lf", "a")).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows.schema.columns[1].name, "dangerLevel");
+        // Execute-many: same handle, new binding, no re-parse.
+        let r = s.execute(&p, &Params::new().set("lf", "b")).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.rows.rows[0][1].is_null(), "Cu has no danger level");
+    }
+
+    #[test]
+    fn prepared_cache_hits_across_sessions() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let q = "SELECT elem_name FROM elem_contained WHERE landfill_name = $lf";
+        let _p1 = s.prepare(q).unwrap();
+        let _p2 = s.prepare("SELECT elem_name  FROM elem_contained WHERE landfill_name = $lf").unwrap();
+        let stats = e.prepared_cache_stats();
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn unified_cursor_over_all_three_languages() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+
+        // SESQL (un-enriched → streaming).
+        let p = s.prepare("SELECT elem_name FROM elem_contained ORDER BY elem_name").unwrap();
+        let mut cur = s.execute_cursor(&p, &Params::new()).unwrap();
+        assert_eq!(Rows::columns(&cur), vec!["elem_name"]);
+        let first = cur.next_row().unwrap().unwrap();
+        assert_eq!(first[0], Value::from("Cu"));
+
+        // SQL.
+        let p = s.prepare_sql("SELECT COUNT(*) AS n FROM elem_contained").unwrap();
+        let mut cur = s.execute_sql(&p, &Params::new()).unwrap();
+        assert_eq!(Rows::columns(&cur), vec!["n"]);
+        assert_eq!(Rows::next_row(&mut cur).unwrap().unwrap()[0], Value::Int(3));
+
+        // SPARQL.
+        let p = s.prepare_sparql("SELECT ?o WHERE { $e <dangerLevel> ?o }").unwrap();
+        let mut cur = s
+            .execute_sparql(&p, &SparqlParams::new().set("e", Term::iri("Hg")))
+            .unwrap();
+        assert_eq!(Rows::columns(&cur), vec!["o"]);
+        let row = cur.next_row().unwrap().unwrap();
+        assert_eq!(row[0], Value::Int(5));
+    }
+
+    #[test]
+    fn cursor_collect_matches_legacy_execute() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let text = "SELECT elem_name FROM elem_contained \
+                    ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+        let p = s.prepare(text).unwrap();
+        let via_cursor = s.execute_cursor(&p, &Params::new()).unwrap().collect().unwrap();
+        let legacy = e.execute("director", text).unwrap();
+        assert_eq!(via_cursor.rows.rows, legacy.rows.rows);
+        assert!(via_cursor.report.result_rows == legacy.report.result_rows);
+    }
+
+    #[test]
+    fn streaming_limit_stops_scan_early() {
+        let e = engine();
+        let t = e.database().catalog().get_table("elem_contained").unwrap();
+        let mut rows = Vec::new();
+        for i in 0..50_000 {
+            rows.push(vec![
+                Value::from(format!("E{i}")),
+                Value::from("x"),
+                Value::from(1.0),
+            ]);
+        }
+        t.insert_many(rows).unwrap();
+        let s = Session::new(&e, "director").unwrap();
+        let p = s.prepare("SELECT elem_name FROM elem_contained LIMIT 5").unwrap();
+        let mut cur = s.execute_cursor(&p, &Params::new()).unwrap();
+        let mut n = 0;
+        while let Some(r) = cur.next_row() {
+            r.unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        let scanned = cur.rows_scanned().expect("streaming path");
+        assert!(
+            scanned < 5_000,
+            "LIMIT 5 over 50k rows scanned {scanned} rows — no short-circuit"
+        );
+    }
+
+    #[test]
+    fn enriched_cursor_reports_pipeline() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let p = s
+            .prepare(
+                "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        let cur = s.execute_cursor(&p, &Params::new()).unwrap();
+        assert!(cur.report().is_some());
+        assert_eq!(cur.report().unwrap().sparql_runs.len(), 1);
+    }
+}

@@ -8,13 +8,13 @@
 //! the enriched result. Every stage is timed in [`PipelineReport`] so the
 //! E2 experiment can regenerate the Fig. 6 pipeline breakdown.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
+use crosse_cache::Lru;
 use crosse_federation::join_manager::{combine, term_to_value, CombineKind, JoinSpec};
 use crosse_federation::mapping::{MapStrategy, ResourceMapping};
 use crosse_federation::tempdb::TempDb;
@@ -144,16 +144,33 @@ struct AppliedColumn {
     replaces_attr: bool,
 }
 
-/// Version-checked cache of SPARQL-leg solutions, keyed by the user's
-/// context graphs and the generated SPARQL text. Entries are valid only
-/// while the triple store's mutation version is unchanged, so any
-/// annotation, import or retraction invalidates the whole view at zero
-/// bookkeeping cost.
-#[derive(Debug, Default)]
+/// Default capacity of the engine's bounded caches (SPARQL-leg solutions,
+/// parsed SPARQL ASTs, prepared SESQL queries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Version-checked, LRU-bounded cache of SPARQL-leg solutions, keyed by
+/// the user's context graphs and the generated SPARQL text. Entries are
+/// valid only while the triple store's mutation version is unchanged, so
+/// any annotation, import or retraction invalidates the whole view at
+/// zero bookkeeping cost; the LRU bound keeps adversarial traffic (many
+/// distinct generated legs) from growing memory without limit.
+#[derive(Debug)]
 struct SparqlLegCache {
-    entries: RwLock<HashMap<(String, String), (u64, Solutions)>>,
+    entries: Mutex<Lru<(String, String), (u64, Solutions)>>,
+    // Hit/miss counters live outside the LRU: a version-stale entry is a
+    // *miss* for the caller even though the LRU lookup succeeded.
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for SparqlLegCache {
+    fn default() -> Self {
+        SparqlLegCache {
+            entries: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl SparqlLegCache {
@@ -163,8 +180,7 @@ impl SparqlLegCache {
 
     fn get(&self, graphs: &[&str], sparql: &str, version: u64) -> Option<Solutions> {
         let key = Self::key(graphs, sparql);
-        let entries = self.entries.read();
-        match entries.get(&key) {
+        match self.entries.lock().get(&key) {
             Some((v, sols)) if *v == version => {
                 self.hits.fetch_add(1, AtomicOrdering::Relaxed);
                 Some(sols.clone())
@@ -178,16 +194,30 @@ impl SparqlLegCache {
 
     fn put(&self, graphs: &[&str], sparql: &str, version: u64, sols: &Solutions) {
         self.entries
-            .write()
-            .insert(Self::key(graphs, sparql), (version, sols.clone()));
+            .lock()
+            .put(Self::key(graphs, sparql), (version, sols.clone()));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            evictions: self.entries.lock().stats().evictions,
+        }
     }
 }
 
-/// Cumulative SPARQL-leg cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
+/// Cumulative cache statistics (hits, misses, LRU evictions) — shared
+/// shape across the engine's caches.
+pub use crosse_cache::CacheStats;
+
+/// A compiled SESQL query as stored in the engine's prepared cache,
+/// tagged with the catalog version its slot types were inferred against.
+#[derive(Debug, Clone)]
+struct CachedSesql {
+    query: Arc<SesqlQuery>,
+    slots: Arc<Vec<crosse_relational::SlotInfo>>,
+    version: u64,
 }
 
 /// The SESQL engine: relational databank + knowledge base + registries.
@@ -200,11 +230,14 @@ pub struct SesqlEngine {
     tempdb: TempDb,
     options: EnrichOptions,
     cache: Arc<SparqlLegCache>,
-    /// Compiled SPARQL ASTs keyed by query text: generated legs parse once
-    /// per engine lifetime, then evaluate the compiled form (the result
-    /// cache above is version-checked; this one never needs invalidation —
-    /// the same text always parses to the same AST).
-    parsed: Arc<RwLock<HashMap<String, Arc<crosse_rdf::sparql::ast::Query>>>>,
+    /// Compiled SPARQL ASTs keyed by query text (bounded LRU): generated
+    /// legs parse once, then evaluate the compiled form (the result cache
+    /// above is version-checked; this one never needs invalidation — the
+    /// same text always parses to the same AST).
+    parsed: Arc<Mutex<Lru<String, Arc<crosse_rdf::sparql::ast::Query>>>>,
+    /// Prepared SESQL queries keyed by normalized text (bounded LRU):
+    /// repeated `prepare` traffic skips the scanner + both parsers.
+    prepared: Arc<Mutex<Lru<String, CachedSesql>>>,
 }
 
 impl SesqlEngine {
@@ -217,40 +250,50 @@ impl SesqlEngine {
             tempdb: TempDb::new(),
             options: EnrichOptions::default(),
             cache: Arc::default(),
-            parsed: Arc::default(),
+            parsed: Arc::new(Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY))),
+            prepared: Arc::new(Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY))),
         }
     }
 
     /// Parse a SPARQL SELECT once per distinct text, returning the shared
-    /// compiled AST. Bounded: generated leg texts vary with the live
-    /// predicate set, so the cache is flushed wholesale past a size cap
-    /// rather than accumulating stale ASTs forever.
+    /// compiled AST (bounded LRU — generated leg texts vary with the live
+    /// predicate set, so old entries age out instead of accumulating).
     fn parse_cached(&self, sparql: &str) -> Result<Arc<crosse_rdf::sparql::ast::Query>> {
-        const MAX_PARSED: usize = 256;
-        if let Some(q) = self.parsed.read().get(sparql) {
+        if let Some(q) = self.parsed.lock().get(sparql) {
             return Ok(q.clone());
         }
         let q = Arc::new(crosse_rdf::sparql::parser::parse_query(sparql)?);
-        let mut parsed = self.parsed.write();
-        if parsed.len() >= MAX_PARSED {
-            parsed.clear();
-        }
-        parsed.insert(sparql.to_string(), q.clone());
+        self.parsed.lock().put(sparql.to_string(), q.clone());
         Ok(q)
     }
 
-    /// SPARQL-leg cache hit/miss counters (only queries executed with
-    /// `use_cache` enabled touch them).
+    /// SPARQL-leg solution cache statistics (only queries executed with
+    /// `use_cache` enabled touch the hit/miss counters).
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.cache.hits.load(AtomicOrdering::Relaxed),
-            misses: self.cache.misses.load(AtomicOrdering::Relaxed),
-        }
+        self.cache.stats()
+    }
+
+    /// Parsed-SPARQL AST cache statistics.
+    pub fn ast_cache_stats(&self) -> CacheStats {
+        self.parsed.lock().stats()
+    }
+
+    /// Prepared-SESQL cache statistics.
+    pub fn prepared_cache_stats(&self) -> CacheStats {
+        self.prepared.lock().stats()
+    }
+
+    /// Resize every engine-level cache (solutions, parsed ASTs, prepared
+    /// queries). Capacity 0 disables them.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.entries.lock().set_capacity(capacity);
+        self.parsed.lock().set_capacity(capacity);
+        self.prepared.lock().set_capacity(capacity);
     }
 
     /// Drop all cached SPARQL-leg results.
     pub fn clear_cache(&self) {
-        self.cache.entries.write().clear();
+        self.cache.entries.lock().clear();
     }
 
     /// Evaluate one SPARQL leg with version-checked caching and record it
@@ -401,6 +444,48 @@ impl SesqlEngine {
         Ok(result)
     }
 
+    /// Compile a SESQL query into a [`PreparedSesql`] handle: scan, parse
+    /// both grammars, collect typed parameter slots. Compilations are
+    /// cached in a bounded LRU keyed by normalized text, so repeated
+    /// `prepare` calls with equivalent text skip parsing entirely (check
+    /// [`SesqlEngine::prepared_cache_stats`]).
+    pub fn prepare(&self, sesql: &str) -> Result<PreparedSesql> {
+        let key = normalize_sesql(sesql);
+        let version = self.db.catalog().version();
+        let stale = match self.prepared.lock().get(&key).cloned() {
+            Some(cached) if cached.version == version => {
+                return Ok(PreparedSesql {
+                    engine: self.clone(),
+                    query: cached.query,
+                    slots: cached.slots,
+                    text: key,
+                });
+            }
+            // DDL since compilation: reuse the parse (text → AST is
+            // pure), re-infer the slot types below.
+            Some(cached) => Some(cached.query),
+            None => None,
+        };
+        let query = match stale {
+            Some(q) => q,
+            None => Arc::new(parse_sesql(sesql)?),
+        };
+        let slots = Arc::new(crosse_relational::prepared::infer_slot_types(
+            self.db.catalog(),
+            &query.select,
+            &query.params,
+        ));
+        self.prepared.lock().put(
+            key.clone(),
+            CachedSesql {
+                query: Arc::clone(&query),
+                slots: Arc::clone(&slots),
+                version,
+            },
+        );
+        Ok(PreparedSesql { engine: self.clone(), query, slots, text: key })
+    }
+
     /// Execute an already-parsed SESQL query.
     pub fn execute_parsed(&self, user: &str, query: &SesqlQuery) -> Result<EnrichedResult> {
         if !self.kb.is_registered(user) {
@@ -520,6 +605,34 @@ impl SesqlEngine {
         report.result_rows = final_rows.len();
 
         Ok(EnrichedResult { rows: final_rows, report })
+    }
+
+    /// Execute an already-parsed (and fully bound) SESQL query, returning
+    /// the streaming cursor shape. Un-enriched queries stream straight
+    /// from the relational executor — a `LIMIT` stops the base-table scan
+    /// early — while enriched queries run the Fig. 6 pipeline and stream
+    /// the final rows out of it.
+    pub fn execute_parsed_cursor(
+        &self,
+        user: &str,
+        query: &SesqlQuery,
+    ) -> Result<crate::session::EnrichedRows> {
+        if query.has_params() {
+            return Err(Error::sqm(
+                "query has unbound parameters — bind them before execution",
+            ));
+        }
+        if !query.is_enriched() {
+            if !self.kb.is_registered(user) {
+                return Err(Error::platform(format!("user `{user}` is not registered")));
+            }
+            let plan =
+                crosse_relational::plan::plan_select(self.db.catalog(), &query.select)?;
+            let rows = crosse_relational::Rows::from_plan(plan)?;
+            return Ok(crate::session::EnrichedRows::streaming(rows));
+        }
+        let result = self.execute_parsed(user, query)?;
+        Ok(crate::session::EnrichedRows::from_result(result))
     }
 
     /// Materialise the working rows into the temporary support database and
@@ -783,6 +896,126 @@ impl SesqlEngine {
         let _ = self.db.catalog().drop_table(&tmp_name);
         run
     }
+}
+
+/// A compiled SESQL query with typed parameter slots, bound to its engine.
+///
+/// The prepare/execute split of the relational layer, lifted to SESQL:
+/// [`PreparedSesql::execute`] binds values, runs the full enrichment
+/// pipeline and returns the classic [`EnrichedResult`];
+/// [`PreparedSesql::execute_cursor`] returns the streaming shape (see
+/// [`crate::session::Rows`]) — for un-enriched queries that path streams
+/// straight off the relational executor, so `LIMIT` stops the scan early.
+#[derive(Clone)]
+pub struct PreparedSesql {
+    engine: SesqlEngine,
+    query: Arc<SesqlQuery>,
+    slots: Arc<Vec<crosse_relational::SlotInfo>>,
+    text: String,
+}
+
+impl PreparedSesql {
+    /// The parameter slots, in binding order.
+    pub fn param_slots(&self) -> &[crosse_relational::SlotInfo] {
+        &self.slots
+    }
+
+    /// Normalized query text (the prepared-cache key).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed (still parameterised) query.
+    pub fn query(&self) -> &SesqlQuery {
+        &self.query
+    }
+
+    /// Bind `params` into a parameter-free [`SesqlQuery`].
+    pub fn bind(&self, params: &crosse_relational::Params) -> Result<SesqlQuery> {
+        use crosse_relational::prepared::{resolve_params, substitute_expr, substitute_select};
+        if self.slots.is_empty() {
+            return Ok((*self.query).clone());
+        }
+        let values = resolve_params(&self.slots, params)?;
+        let mut bound = (*self.query).clone();
+        bound.select = substitute_select(bound.select, &values);
+        bound.conditions = bound
+            .conditions
+            .into_iter()
+            .map(|(id, e)| (id, substitute_expr(e, &values)))
+            .collect();
+        bound.params = Vec::new();
+        Ok(bound)
+    }
+
+    /// Bind and execute in `user`'s context, materialising the enriched
+    /// result (no re-parse; the pipeline report's `parse` stage is zero).
+    pub fn execute(
+        &self,
+        user: &str,
+        params: &crosse_relational::Params,
+    ) -> Result<EnrichedResult> {
+        let bound = self.bind(params)?;
+        self.engine.execute_parsed(user, &bound)
+    }
+
+    /// Bind and execute, returning the streaming cursor shape.
+    pub fn execute_cursor(
+        &self,
+        user: &str,
+        params: &crosse_relational::Params,
+    ) -> Result<crate::session::EnrichedRows> {
+        let bound = self.bind(params)?;
+        self.engine.execute_parsed_cursor(user, &bound)
+    }
+}
+
+/// Quote-aware whitespace normalization of SESQL text (the prepared-cache
+/// key): runs of whitespace outside `'...'` / `"..."` collapse to one
+/// space. Keyword case is left alone — SESQL's enrichment grammar is
+/// case-insensitive but its arguments are not, and a cache miss on case
+/// only costs a re-parse.
+pub fn normalize_sesql(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let mut pending_space = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            pending_space = !out.is_empty();
+            i += 1;
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if c == b'\'' || c == b'"' {
+            // Copy the quoted region verbatim (doubled-quote escapes).
+            let quote = c;
+            out.push(c as char);
+            i += 1;
+            while i < bytes.len() {
+                let b = bytes[i];
+                out.push(b as char);
+                i += 1;
+                if b == quote {
+                    if bytes.get(i) == Some(&quote) {
+                        out.push(quote as char);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        let ch = text[i..].chars().next().expect("in bounds");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
 }
 
 // ---- helpers ---------------------------------------------------------------

@@ -41,6 +41,53 @@ pub struct PushedFilter {
     pub rows_fetched: usize,
 }
 
+/// A prepared federated query: the mediator's compiled statement plus the
+/// foreign tables it references. `live` executions re-pull exactly those
+/// tables before running the cached plan — prepared remote queries,
+/// without re-analysing the SQL text per request.
+#[derive(Clone)]
+pub struct FederatedPrepared {
+    inner: crosse_relational::Prepared,
+    foreign: Vec<String>,
+    fed: FederatedDatabase,
+}
+
+impl FederatedPrepared {
+    /// Typed parameter slots, in binding order.
+    pub fn param_slots(&self) -> &[crosse_relational::SlotInfo] {
+        self.inner.param_slots()
+    }
+
+    /// Foreign tables this statement touches (refreshed in live mode).
+    pub fn foreign_tables(&self) -> &[String] {
+        &self.foreign
+    }
+
+    /// Bind parameters and execute, returning a streaming cursor. With
+    /// `live`, the referenced foreign tables are re-fetched first.
+    pub fn execute(
+        &self,
+        params: &crosse_relational::Params,
+        live: bool,
+    ) -> Result<crosse_relational::Rows> {
+        if live {
+            for name in &self.foreign {
+                self.fed.refresh_table(name)?;
+            }
+        }
+        self.inner.execute(params)
+    }
+
+    /// Execute and materialise (the collect adapter).
+    pub fn query(
+        &self,
+        params: &crosse_relational::Params,
+        live: bool,
+    ) -> Result<RowSet> {
+        self.execute(params, live)?.collect_rows()
+    }
+}
+
 /// A mediator database federating several sources behind one SQL surface.
 #[derive(Clone)]
 pub struct FederatedDatabase {
@@ -179,6 +226,16 @@ impl FederatedDatabase {
             }
         }
         self.local.query(sql)
+    }
+
+    /// Prepare a federated SELECT: compile it once through the mediator's
+    /// plan cache and record which foreign tables it touches, so repeated
+    /// executions skip both re-parsing and the FROM-clause analysis.
+    /// Parameter placeholders (`$name` / `?`) bind per execution.
+    pub fn prepare(&self, sql: &str) -> Result<FederatedPrepared> {
+        let foreign = self.referenced_foreign_tables(sql)?;
+        let inner = self.local.prepare(sql)?;
+        Ok(FederatedPrepared { inner, foreign, fed: self.clone() })
     }
 
     /// Which foreign tables a query touches (by FROM-clause analysis).
@@ -482,6 +539,34 @@ mod tests {
         )))
         .unwrap();
         fed
+    }
+
+    #[test]
+    fn prepared_federated_query_binds_and_refreshes() {
+        use crosse_relational::Params;
+        let national = national_db();
+        let fed = FederatedDatabase::new();
+        fed.register_source(Arc::new(LocalSource::new("it", national.clone())))
+            .unwrap();
+        let p = fed
+            .prepare("SELECT name FROM it__landfill WHERE city = $city")
+            .unwrap();
+        assert_eq!(p.foreign_tables(), ["it__landfill"]);
+        assert_eq!(p.param_slots().len(), 1);
+        let rs = p.query(&Params::new().set("city", "Torino"), false).unwrap();
+        assert_eq!(rs.len(), 1);
+        // Source-side change is invisible on cached copies...
+        national
+            .execute("INSERT INTO landfill VALUES ('Nuovo','Torino')")
+            .unwrap();
+        let rs = p.query(&Params::new().set("city", "Torino"), false).unwrap();
+        assert_eq!(rs.len(), 1);
+        // ...and visible through a live prepared execution.
+        let rs = p.query(&Params::new().set("city", "Torino"), true).unwrap();
+        assert_eq!(rs.len(), 2);
+        // Execute-many with a different binding, same handle.
+        let rs = p.query(&Params::new().set("city", "Collegno"), false).unwrap();
+        assert_eq!(rs.len(), 1);
     }
 
     #[test]

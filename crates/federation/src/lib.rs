@@ -20,7 +20,7 @@ pub mod mapping;
 pub mod source;
 pub mod tempdb;
 
-pub use fdw::FederatedDatabase;
+pub use fdw::{FederatedDatabase, FederatedPrepared};
 pub use join_manager::{combine, matching_keys, term_to_value, CombineKind, JoinSpec};
 pub use mapping::{MapStrategy, ResourceMapping};
 pub use source::{DataSource, LatencyModel, LocalSource, RemoteSource, SourceStats};

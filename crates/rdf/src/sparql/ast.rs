@@ -44,6 +44,17 @@ impl Query {
         !self.group_by.is_empty()
             || self.projections.iter().any(|p| matches!(p, Projection::Agg(_)))
     }
+
+    /// Parameter names mentioned anywhere in the query, in first-
+    /// appearance order (synthesized `#<n>` names are positional slots).
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.pattern.collect_params(&mut out);
+        if let Some(h) = &self.having {
+            h.collect_params(&mut out);
+        }
+        out
+    }
 }
 
 /// One projected output column.
@@ -166,13 +177,52 @@ impl GraphPattern {
             }
         }
     }
+
+    /// Collect parameter names in first-appearance order.
+    pub(crate) fn collect_params(&self, out: &mut Vec<String>) {
+        let mut push = |p: &str| {
+            if !out.iter().any(|x| x == p) {
+                out.push(p.to_string());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(triples) => {
+                for t in triples {
+                    for part in [&t.subject, &t.predicate, &t.object] {
+                        if let PatternTerm::Param(p) = part {
+                            push(p);
+                        }
+                    }
+                }
+            }
+            GraphPattern::Join(a, b)
+            | GraphPattern::Optional(a, b)
+            | GraphPattern::Union(a, b)
+            | GraphPattern::Minus(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            GraphPattern::Filter(p, e) => {
+                p.collect_params(out);
+                e.collect_params(out);
+            }
+            GraphPattern::Values { .. } => {}
+        }
+    }
 }
 
-/// A triple pattern position: variable or constant term.
+/// A triple pattern position: variable, constant term, or an unbound
+/// parameter placeholder.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PatternTerm {
     Var(String),
     Const(Term),
+    /// `$name` (named) or bare `?` (positional, synthesized `#<n>` name) —
+    /// a prepared-query parameter awaiting a constant term at execute
+    /// time. Note the deliberate divergence from the SPARQL spec (where
+    /// `$x` and `?x` are the same variable): this engine reserves the `$`
+    /// sigil for parameters, uniformly with the SQL and SESQL grammars.
+    Param(String),
 }
 
 impl PatternTerm {
@@ -275,6 +325,8 @@ impl PatternTriple {
 pub enum SparqlExpr {
     Var(String),
     Const(Term),
+    /// A prepared-query parameter (see [`PatternTerm::Param`]).
+    Param(String),
     Cmp(Box<SparqlExpr>, CmpOp, Box<SparqlExpr>),
     And(Box<SparqlExpr>, Box<SparqlExpr>),
     Or(Box<SparqlExpr>, Box<SparqlExpr>),
@@ -296,13 +348,31 @@ impl SparqlExpr {
         };
         match self {
             SparqlExpr::Var(v) | SparqlExpr::Bound(v) => push(v),
-            SparqlExpr::Const(_) => {}
+            SparqlExpr::Const(_) | SparqlExpr::Param(_) => {}
             SparqlExpr::Cmp(a, _, b) | SparqlExpr::And(a, b) | SparqlExpr::Or(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
             SparqlExpr::Not(e) | SparqlExpr::Regex(e, _) | SparqlExpr::Str(e) => {
                 e.collect_vars(out)
+            }
+        }
+    }
+
+    pub(crate) fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            SparqlExpr::Param(p) => {
+                if !out.iter().any(|x| x == p) {
+                    out.push(p.clone());
+                }
+            }
+            SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Bound(_) => {}
+            SparqlExpr::Cmp(a, _, b) | SparqlExpr::And(a, b) | SparqlExpr::Or(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            SparqlExpr::Not(e) | SparqlExpr::Regex(e, _) | SparqlExpr::Str(e) => {
+                e.collect_params(out)
             }
         }
     }

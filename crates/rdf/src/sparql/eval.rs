@@ -63,6 +63,10 @@ impl Solutions {
 
 /// Evaluate a parsed query against the union of `graphs`.
 pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<Solutions> {
+    let params = query.params();
+    if !params.is_empty() {
+        return Err(unbound_param_error(&params));
+    }
     // Build the variable table: projected vars first (if explicit), then
     // any others appearing in the pattern.
     let pattern_vars = query.pattern.variables();
@@ -479,6 +483,9 @@ fn eval_expr_over_terms(
             SparqlExpr::Str(inner) => {
                 Ok(term_of(inner, named)?.map(|t| Term::lit(t.lexical_form().to_string())))
             }
+            SparqlExpr::Param(p) => Err(Error::eval(format!(
+                "unbound parameter `${p}` in HAVING"
+            ))),
             other => Err(Error::eval(format!(
                 "expected a term expression in HAVING, got {other:?}"
             ))),
@@ -521,7 +528,26 @@ fn eval_expr_over_terms(
         SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
             Err(Error::eval("HAVING expression is not boolean"))
         }
+        SparqlExpr::Param(p) => {
+            Err(Error::eval(format!("unbound parameter `${p}` in HAVING")))
+        }
     }
+}
+
+/// The error reported when a query with unbound parameters reaches the
+/// evaluator directly.
+fn unbound_param_error(params: &[String]) -> Error {
+    let shown: Vec<String> = params
+        .iter()
+        .map(|p| match p.strip_prefix('#') {
+            Some(n) => format!("?#{n}"),
+            None => format!("${p}"),
+        })
+        .collect();
+    Error::eval(format!(
+        "query has unbound parameter(s) {} — prepare it and execute with bindings",
+        shown.join(", ")
+    ))
 }
 
 /// Convenience: parse and evaluate in one step.
@@ -580,6 +606,8 @@ pub fn construct(
             [&t.subject, &t.predicate, &t.object].map(|part| match part {
                 PatternTerm::Const(c) => TSlot::Const(c),
                 PatternTerm::Var(v) => TSlot::Var(sols.var_index(v)),
+                // Unbound parameters never instantiate a template triple.
+                PatternTerm::Param(_) => TSlot::Var(None),
             })
         })
         .collect();
@@ -864,7 +892,7 @@ impl<'a> EvalCtx<'a> {
                 }
             };
             let score_slots = [&t.subject, &t.predicate, &t.object].map(|pt| match pt {
-                PatternTerm::Const(_) => None,
+                PatternTerm::Const(_) | PatternTerm::Param(_) => None,
                 PatternTerm::Var(v) => Some(self.var_index[v.as_str()]),
             });
             let estimate = self.estimate_pattern(t, matches!(kind, Kind::Simple(_)));
@@ -941,7 +969,7 @@ impl<'a> EvalCtx<'a> {
         if simple {
             let conv = |pt: &PatternTerm| match pt {
                 PatternTerm::Const(term) => dict.id_of(term),
-                PatternTerm::Var(_) => None,
+                PatternTerm::Var(_) | PatternTerm::Param(_) => None,
             };
             let pat = (conv(&t.subject), conv(&t.predicate), conv(&t.object));
             self.store.count_id_pattern(self.graphs, pat, EST_CAP)
@@ -956,7 +984,7 @@ impl<'a> EvalCtx<'a> {
                     ),
                     None => 0,
                 },
-                PatternTerm::Var(_) => {
+                PatternTerm::Var(_) | PatternTerm::Param(_) => {
                     self.store.count_id_pattern(self.graphs, (None, None, None), EST_CAP)
                 }
             }
@@ -970,6 +998,9 @@ impl<'a> EvalCtx<'a> {
             slots[pos] = match pt {
                 PatternTerm::Const(term) => Slot::Const(dict.id_of(term)?),
                 PatternTerm::Var(v) => Slot::Var(self.var_index[v.as_str()]),
+                // Guarded against in `evaluate`; an unbound parameter can
+                // never match (behaves like an unknown constant).
+                PatternTerm::Param(_) => return None,
             };
         }
         Some(CompiledTriple { slots })
@@ -1041,6 +1072,7 @@ impl<'a> EvalCtx<'a> {
                 self.store.dictionary().id_of(term).map(Slot::Const)
             }
             PatternTerm::Var(v) => Some(Slot::Var(self.var_index[v.as_str()])),
+            PatternTerm::Param(_) => None,
         }
     }
 
@@ -1348,6 +1380,9 @@ impl<'a> EvalCtx<'a> {
             }
             SparqlExpr::Var(_) | SparqlExpr::Const(_) | SparqlExpr::Str(_) => {
                 return Err(Error::eval("expression is not boolean"))
+            }
+            SparqlExpr::Param(p) => {
+                return Err(Error::eval(format!("unbound parameter `${p}`")))
             }
         })
     }

@@ -1,5 +1,8 @@
-//! SPARQL subset: parser and evaluator.
+//! SPARQL subset: parser, evaluator, and prepared queries.
 
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod prepared;
+
+pub use prepared::{prepare, Prepared, PreparedCache, SolutionCursor, SparqlParams};

@@ -31,6 +31,11 @@ enum Tok {
     Word(String),
     /// `?name` variable.
     Var(String),
+    /// `$name` parameter, or bare `?` (positional, synthesized `#<n>`
+    /// name). This engine reserves `$` for prepared-query parameters —
+    /// a deliberate divergence from the SPARQL spec's `$x ≡ ?x` — so the
+    /// placeholder grammar is uniform with SQL and SESQL.
+    Param(String),
     /// `<iri>`
     Iri(String),
     /// String literal.
@@ -73,6 +78,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
     let b = src.as_bytes();
     let mut i = 0;
     let mut out = Vec::new();
+    let mut positional = 0usize;
     while i < b.len() {
         let c = b[i];
         let start = i;
@@ -208,9 +214,18 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                     i += 1;
                 }
                 if s == i {
-                    return Err(Error::parse("empty variable name", start));
+                    if c == b'?' {
+                        // Bare `?`: a positional parameter slot.
+                        out.push((Tok::Param(format!("#{positional}")), start));
+                        positional += 1;
+                    } else {
+                        return Err(Error::parse("empty parameter name after `$`", start));
+                    }
+                } else if c == b'$' {
+                    out.push((Tok::Param(src[s..i].to_string()), start));
+                } else {
+                    out.push((Tok::Var(src[s..i].to_string()), start));
                 }
-                out.push((Tok::Var(src[s..i].to_string()), start));
             }
             b'"' => {
                 i += 1;
@@ -915,7 +930,7 @@ impl Parser {
         }
         match self.pattern_term()? {
             PatternTerm::Const(t) => Ok(Some(t)),
-            PatternTerm::Var(_) => {
+            PatternTerm::Var(_) | PatternTerm::Param(_) => {
                 Err(Error::parse("VALUES data must be constant", self.offset()))
             }
         }
@@ -924,6 +939,7 @@ impl Parser {
     fn pattern_term(&mut self) -> Result<PatternTerm> {
         match self.advance() {
             Tok::Var(v) => Ok(PatternTerm::Var(v)),
+            Tok::Param(p) => Ok(PatternTerm::Param(p)),
             Tok::Iri(i) => Ok(PatternTerm::Const(Term::iri(i))),
             Tok::Str(s) => {
                 // optional datatype
@@ -1042,6 +1058,7 @@ impl Parser {
         }
         match self.advance() {
             Tok::Var(v) => Ok(SparqlExpr::Var(v)),
+            Tok::Param(p) => Ok(SparqlExpr::Param(p)),
             Tok::Iri(i) => Ok(SparqlExpr::Const(Term::iri(i))),
             Tok::Str(s) => Ok(SparqlExpr::Const(Term::lit(s))),
             Tok::Num(n) => Ok(SparqlExpr::Const(Term::lit(n))),

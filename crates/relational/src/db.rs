@@ -1,14 +1,21 @@
-//! The `Database` facade: parse → plan → execute.
+//! The `Database` facade: parse → plan → execute, plus the prepared-
+//! statement entry point (parse once → bind → stream).
 
 use std::fmt;
+use std::sync::Arc;
+
+use crosse_cache::{CacheStats, Lru};
+use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
 use crate::exec::execute_plan;
 use crate::exec::expr::bind;
-use crate::plan::plan_select;
+use crate::exec::Rows;
+use crate::plan::{plan_select, Plan};
+use crate::prepared::{infer_slot_types, normalize_sql, Prepared, SlotInfo};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, Select, Statement};
-use crate::sql::parser::{parse_script, parse_statement};
+use crate::sql::parser::{parse_script, parse_statement, parse_statement_with_params};
 use crate::storage::Catalog;
 use crate::value::{Row, Value};
 
@@ -123,13 +130,36 @@ impl ExecOutcome {
     }
 }
 
+/// Default capacity of the prepared-statement (plan) cache.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A compiled statement as stored in the plan cache, tagged with the
+/// catalog version its slots (and plan) were derived against.
+#[derive(Debug, Clone)]
+struct CachedStmt {
+    select: Arc<Select>,
+    slots: Arc<Vec<SlotInfo>>,
+    plan: Option<(Arc<Plan>, u64)>,
+    version: u64,
+}
+
 /// An in-memory SQL database: a catalog plus an execution engine.
 ///
-/// Cloning is cheap and shares the underlying catalog, mirroring a pool of
-/// connections to one server.
-#[derive(Debug, Clone, Default)]
+/// Cloning is cheap and shares the underlying catalog (and the plan
+/// cache), mirroring a pool of connections to one server.
+#[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
+    plans: Arc<Mutex<Lru<String, CachedStmt>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            catalog: Catalog::default(),
+            plans: Arc::new(Mutex::new(Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
+        }
+    }
 }
 
 impl Database {
@@ -139,6 +169,87 @@ impl Database {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Compile a SELECT into a [`Prepared`] handle: parse, collect typed
+    /// parameter slots and (for parameterless statements) plan. Compiled
+    /// statements are cached in a bounded LRU keyed by normalized text,
+    /// so repeated `prepare` calls with equivalent text skip the whole
+    /// front-end.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let key = normalize_sql(sql)?;
+        let version = self.catalog.version();
+        // Bind the lookup before matching: an `if let` scrutinee would
+        // keep the cache lock alive across `finish_prepare`'s re-lock.
+        let cached = { self.plans.lock().get(&key).cloned() };
+        if let Some(cached) = cached {
+            if cached.version == version {
+                return Ok(Prepared::new(
+                    self.clone(),
+                    key,
+                    cached.select,
+                    cached.slots,
+                    cached.plan,
+                ));
+            }
+            // DDL since compilation: the parse is still valid (text → AST
+            // is pure), but slot types and the plan template must be
+            // re-derived against the live catalog.
+            return self.finish_prepare(key, cached.select, version);
+        }
+        let (stmt, _) = parse_statement_with_params(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::plan(
+                "only SELECT statements can be prepared (DDL/DML execute directly)",
+            ));
+        };
+        self.finish_prepare(key, Arc::new(*select), version)
+    }
+
+    /// Infer slots + plan for `select` against the live catalog and
+    /// (re-)publish the cache entry.
+    fn finish_prepare(
+        &self,
+        key: String,
+        select: Arc<Select>,
+        version: u64,
+    ) -> Result<Prepared> {
+        let raw_slots = crate::sql::parser::collect_params(&select);
+        let slots = Arc::new(infer_slot_types(&self.catalog, &select, &raw_slots));
+        let plan = if slots.is_empty() {
+            Some((Arc::new(plan_select(&self.catalog, &select)?), version))
+        } else {
+            None
+        };
+        let cached = CachedStmt {
+            select: Arc::clone(&select),
+            slots: Arc::clone(&slots),
+            plan: plan.clone(),
+            version,
+        };
+        self.plans.lock().put(key.clone(), cached);
+        Ok(Prepared::new(self.clone(), key, select, slots, plan))
+    }
+
+    /// Hit/miss/eviction statistics of the prepared-statement cache.
+    pub fn prepare_cache_stats(&self) -> CacheStats {
+        self.plans.lock().stats()
+    }
+
+    /// Resize the prepared-statement cache (0 disables caching).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plans.lock().set_capacity(capacity);
+    }
+
+    /// Parse, plan and stream a SELECT through a cursor in one call (the
+    /// ad-hoc path; prepared statements amortise the front-end).
+    pub fn query_cursor(&self, sql: &str) -> Result<Rows> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::plan("query_cursor expects a SELECT statement"));
+        };
+        let plan = plan_select(&self.catalog, &select)?;
+        Rows::from_plan(plan)
     }
 
     /// Parse and execute a single statement.

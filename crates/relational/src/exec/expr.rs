@@ -100,6 +100,14 @@ pub fn bind(expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
             let idx = schema.resolve(qualifier.as_deref(), name)?;
             Ok(BoundExpr::Column(idx))
         }
+        Expr::Param { name, .. } => Err(Error::plan(format!(
+            "unbound parameter `{}` — prepare the statement and execute it \
+             with bound values",
+            match name {
+                Some(n) => format!("${n}"),
+                None => "?".to_string(),
+            }
+        ))),
         Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
             op: *op,
             expr: Box::new(bind(expr, schema)?),

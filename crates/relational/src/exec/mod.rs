@@ -1,288 +1,29 @@
-//! Plan execution (materialising, operator-at-a-time).
+//! Plan execution.
+//!
+//! The engine is pull-based: [`stream::stream_plan`] lowers a plan into a
+//! lazy row iterator (see [`stream`] for the operator semantics), and the
+//! materialising [`execute_plan`] entry point is a thin collect over it —
+//! one executor, two consumption styles.
 
 pub mod aggregate;
 pub mod expr;
+pub mod stream;
 
-use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 use crate::error::Result;
 use crate::plan::Plan;
-use crate::sql::ast::JoinKind;
-use crate::value::{GroupKey, Row, Value};
+use crate::value::Row;
 
-use aggregate::Accumulator;
+pub use stream::Rows;
 
 /// Execute a plan to a fully materialised set of rows.
+///
+/// Clones the plan and drains the streaming executor; callers that want
+/// lazy consumption (and LIMIT short-circuiting) use [`Rows::from_plan`]
+/// instead.
 pub fn execute_plan(plan: &Plan) -> Result<Vec<Row>> {
-    match plan {
-        Plan::Values { rows, .. } => Ok(rows.clone()),
-        Plan::Scan { table, .. } => Ok(table.scan()),
-        Plan::IndexScan { table, column, lookup, .. } => {
-            use crate::plan::IndexLookup;
-            let via_index = match lookup {
-                IndexLookup::Eq(keys) => table.index_lookup_eq(*column, keys),
-                IndexLookup::Range { low, high } => {
-                    table.index_lookup_range(*column, as_ref_bound(low), as_ref_bound(high))
-                }
-            };
-            match via_index {
-                Some(rows) => Ok(rows),
-                // The index was dropped between planning and execution:
-                // degrade to a filtered scan with identical semantics.
-                None => Ok(table
-                    .scan()
-                    .into_iter()
-                    .filter(|r| lookup.matches(&r[*column]))
-                    .collect()),
-            }
-        }
-        Plan::Filter { input, predicate } => {
-            let rows = execute_plan(input)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if predicate.eval_predicate(&row)? {
-                    out.push(row);
-                }
-            }
-            Ok(out)
-        }
-        Plan::Project { input, exprs, .. } => {
-            let rows = execute_plan(input)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    projected.push(e.eval(&row)?);
-                }
-                out.push(projected);
-            }
-            Ok(out)
-        }
-        Plan::NestedLoopJoin { left, right, kind, predicate, .. } => {
-            nested_loop_join(left, right, *kind, predicate.as_ref())
-        }
-        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, .. } => {
-            hash_join(left, right, *kind, left_keys, right_keys, residual.as_ref())
-        }
-        Plan::Aggregate { input, group, aggs, .. } => {
-            let rows = execute_plan(input)?;
-            // Group rows preserving first-seen order for determinism.
-            let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-            let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-            for row in &rows {
-                let mut key_vals = Vec::with_capacity(group.len());
-                for g in group {
-                    key_vals.push(g.eval(row)?);
-                }
-                let key: Vec<GroupKey> = key_vals.iter().map(|v| v.group_key()).collect();
-                let gi = match index.get(&key) {
-                    Some(&gi) => gi,
-                    None => {
-                        let accs = aggs
-                            .iter()
-                            .map(|a| Accumulator::new(a.func, a.distinct))
-                            .collect();
-                        groups.push((key_vals, accs));
-                        index.insert(key, groups.len() - 1);
-                        groups.len() - 1
-                    }
-                };
-                for (a, acc) in aggs.iter().zip(groups[gi].1.iter_mut()) {
-                    let v = match &a.arg {
-                        Some(e) => e.eval(row)?,
-                        None => Value::Bool(true), // COUNT(*)
-                    };
-                    acc.update(&v)?;
-                }
-            }
-            // Global aggregate over empty input still yields one row.
-            if groups.is_empty() && group.is_empty() {
-                let accs: Vec<Accumulator> = aggs
-                    .iter()
-                    .map(|a| Accumulator::new(a.func, a.distinct))
-                    .collect();
-                groups.push((Vec::new(), accs));
-            }
-            Ok(groups
-                .into_iter()
-                .map(|(mut keys, accs)| {
-                    keys.extend(accs.iter().map(|a| a.finish()));
-                    keys
-                })
-                .collect())
-        }
-        Plan::Sort { input, keys } => {
-            let rows = execute_plan(input)?;
-            // Precompute sort keys per row.
-            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut kv = Vec::with_capacity(keys.len());
-                for k in keys {
-                    kv.push(k.expr.eval(&row)?);
-                }
-                keyed.push((kv, row));
-            }
-            keyed.sort_by(|(ka, _), (kb, _)| {
-                for (i, key) in keys.iter().enumerate() {
-                    let ord = ka[i].total_cmp(&kb[i]);
-                    let ord = if key.ascending { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(keyed.into_iter().map(|(_, r)| r).collect())
-        }
-        Plan::Distinct { input } => {
-            let rows = execute_plan(input)?;
-            let mut seen = std::collections::HashSet::new();
-            let mut out = Vec::new();
-            for row in rows {
-                let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
-                if seen.insert(key) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
-        }
-        Plan::Limit { input, limit, offset } => {
-            let rows = execute_plan(input)?;
-            let start = (*offset as usize).min(rows.len());
-            let end = match limit {
-                Some(l) => (start + *l as usize).min(rows.len()),
-                None => rows.len(),
-            };
-            Ok(rows[start..end].to_vec())
-        }
-        Plan::Union { inputs, all, schema } => {
-            let width = schema.len();
-            let mut out = Vec::new();
-            let mut seen = std::collections::HashSet::new();
-            for input in inputs {
-                for row in execute_plan(input)? {
-                    if row.len() != width {
-                        return Err(crate::error::Error::eval(
-                            "UNION member produced a row of different width",
-                        ));
-                    }
-                    if *all {
-                        out.push(row);
-                    } else {
-                        let key: Vec<GroupKey> =
-                            row.iter().map(|v| v.group_key()).collect();
-                        if seen.insert(key) {
-                            out.push(row);
-                        }
-                    }
-                }
-            }
-            Ok(out)
-        }
-    }
-}
-
-fn as_ref_bound(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
-    match b {
-        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
-        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
-        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
-    }
-}
-
-fn nested_loop_join(
-    left: &Plan,
-    right: &Plan,
-    kind: JoinKind,
-    predicate: Option<&expr::BoundExpr>,
-) -> Result<Vec<Row>> {
-    let left_rows = execute_plan(left)?;
-    let right_rows = execute_plan(right)?;
-    let right_width = right.schema().len();
-    let mut out = Vec::new();
-    for l in &left_rows {
-        let mut matched = false;
-        for r in &right_rows {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            let keep = match predicate {
-                Some(p) => p.eval_predicate(&combined)?,
-                None => true,
-            };
-            if keep {
-                matched = true;
-                out.push(combined);
-            }
-        }
-        if kind == JoinKind::Left && !matched {
-            let mut combined = l.clone();
-            combined.extend(std::iter::repeat_n(Value::Null, right_width));
-            out.push(combined);
-        }
-    }
-    Ok(out)
-}
-
-fn hash_join(
-    left: &Plan,
-    right: &Plan,
-    kind: JoinKind,
-    left_keys: &[expr::BoundExpr],
-    right_keys: &[expr::BoundExpr],
-    residual: Option<&expr::BoundExpr>,
-) -> Result<Vec<Row>> {
-    let left_rows = execute_plan(left)?;
-    let right_rows = execute_plan(right)?;
-    let right_width = right.schema().len();
-
-    // Build side: right input. NULL keys never participate (SQL equi-join).
-    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    'rows: for (i, r) in right_rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(right_keys.len());
-        for k in right_keys {
-            let v = k.eval(r)?;
-            if v.is_null() {
-                continue 'rows;
-            }
-            key.push(v.group_key());
-        }
-        table.entry(key).or_default().push(i);
-    }
-
-    let mut out = Vec::new();
-    'probe: for l in &left_rows {
-        let mut key = Vec::with_capacity(left_keys.len());
-        let mut null_key = false;
-        for k in left_keys {
-            let v = k.eval(l)?;
-            if v.is_null() {
-                null_key = true;
-                break;
-            }
-            key.push(v.group_key());
-        }
-        let mut matched = false;
-        if !null_key {
-            if let Some(matches) = table.get(&key) {
-                for &ri in matches {
-                    let mut combined = l.clone();
-                    combined.extend(right_rows[ri].iter().cloned());
-                    if let Some(p) = residual {
-                        if !p.eval_predicate(&combined)? {
-                            continue;
-                        }
-                    }
-                    matched = true;
-                    out.push(combined);
-                }
-            }
-        }
-        if kind == JoinKind::Left && !matched {
-            let mut combined = l.clone();
-            combined.extend(std::iter::repeat_n(Value::Null, right_width));
-            out.push(combined);
-            continue 'probe;
-        }
-    }
-    Ok(out)
+    let scanned = Arc::new(AtomicU64::new(0));
+    stream::stream_plan(plan.clone(), scanned)?.collect()
 }

@@ -33,6 +33,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod plan;
+pub mod prepared;
 pub mod schema;
 pub mod sql;
 pub mod storage;
@@ -40,5 +41,7 @@ pub mod value;
 
 pub use db::{Database, ExecOutcome, RowSet};
 pub use error::{Error, Result};
+pub use exec::Rows;
+pub use prepared::{Params, Prepared, SlotInfo};
 pub use schema::{Column, Schema};
 pub use value::{DataType, Row, Value};

@@ -19,7 +19,10 @@ use crate::storage::{Catalog, Table};
 use crate::value::{DataType, Value};
 
 /// A bound, executable logical plan.
-#[derive(Debug)]
+///
+/// `Clone` exists so a cached prepared statement can hand a fresh copy of
+/// its plan template to the consuming streaming executor on every execute.
+#[derive(Debug, Clone)]
 pub enum Plan {
     /// Literal rows (used for `SELECT` without `FROM`).
     Values { schema: Schema, rows: Vec<Vec<Value>> },
@@ -131,7 +134,7 @@ impl IndexLookup {
 }
 
 /// One aggregate computation inside an [`Plan::Aggregate`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AggSpec {
     pub func: AggFn,
     pub distinct: bool,
@@ -140,7 +143,7 @@ pub struct AggSpec {
 }
 
 /// One ORDER BY key.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SortKey {
     pub expr: BoundExpr,
     pub ascending: bool,
@@ -286,6 +289,8 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
         Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::Like { .. } => {
             DataType::Bool
         }
+        // An unbound parameter's type is unknown until execute time.
+        Expr::Param { .. } => DataType::Text,
         Expr::InSubquery { .. } | Expr::Exists { .. } => DataType::Bool,
         // Scalar subqueries are materialised to literals before type
         // inference runs; this arm only covers unresolved contexts.
@@ -1015,7 +1020,7 @@ impl AggRewriter {
             Expr::Column { .. } => Err(Error::plan(format!(
                 "column `{e}` must appear in GROUP BY or inside an aggregate"
             ))),
-            Expr::Literal(_) => Ok(e),
+            Expr::Literal(_) | Expr::Param { .. } => Ok(e),
             Expr::Unary { op, expr } => Ok(Expr::Unary {
                 op,
                 expr: Box::new(self.rewrite(*expr)?),

@@ -157,6 +157,15 @@ pub enum Expr {
         qualifier: Option<String>,
         name: String,
     },
+    /// A parameter placeholder (`$name` or positional `?`) awaiting a
+    /// value at execute time. `index` is the parameter slot assigned at
+    /// parse time; repeated `$name` occurrences share one slot. A query
+    /// containing unbound parameters can be prepared but not executed
+    /// directly.
+    Param {
+        index: usize,
+        name: Option<String>,
+    },
     Unary {
         op: UnaryOp,
         expr: Box<Expr>,
@@ -254,7 +263,7 @@ impl Expr {
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Literal(_) | Expr::Column { .. } => {}
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param { .. } => {}
             Expr::Unary { expr, .. } => expr.visit(f),
             Expr::Binary { left, right, .. } => {
                 left.visit(f);
@@ -305,7 +314,7 @@ impl Expr {
     /// REPLACEVARIABLE) are implemented as such rewrites.
     pub fn rewrite(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         let rebuilt = match self {
-            Expr::Literal(_) | Expr::Column { .. } => self,
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param { .. } => self,
             Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(expr.rewrite(f)) },
             Expr::Binary { left, op, right } => Expr::Binary {
                 left: Box::new(left.rewrite(f)),
@@ -460,6 +469,8 @@ impl fmt::Display for Expr {
                 }
                 fmt_ident(f, name)
             }
+            Expr::Param { name: Some(n), .. } => write!(f, "${n}"),
+            Expr::Param { name: None, .. } => f.write_str("?"),
             Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
             Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),

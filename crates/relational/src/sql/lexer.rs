@@ -90,6 +90,23 @@ impl<'a> Lexer<'a> {
                         return Err(Error::lex("unexpected `|` (did you mean `||`?)", offset));
                     }
                 }
+                b'?' => self.single(TokenKind::PositionalParam),
+                b'$' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while matches!(self.input.get(self.pos),
+                        Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    if start == self.pos {
+                        return Err(Error::lex(
+                            "`$` must be followed by a parameter name",
+                            offset,
+                        ));
+                    }
+                    TokenKind::NamedParam(self.src[start..self.pos].to_string())
+                }
                 b'\'' => self.string_literal()?,
                 b'"' => self.quoted_ident()?,
                 b'0'..=b'9' => self.number()?,

@@ -42,14 +42,141 @@ pub fn parse_expr(sql: &str) -> Result<Expr> {
     Ok(e)
 }
 
+/// One parameter slot of a prepared statement, in slot-index order.
+///
+/// Named placeholders (`$name`) occurring several times share one slot;
+/// every positional `?` gets a fresh anonymous slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSlot {
+    pub name: Option<String>,
+}
+
+/// Parse a single statement together with its parameter slot table
+/// (the prepare-side entry point; [`parse_statement`] remains the plain
+/// text-in path).
+pub fn parse_statement_with_params(sql: &str) -> Result<(Statement, Vec<ParamSlot>)> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok((stmt, p.params))
+}
+
+/// Parse a standalone expression keeping its parameter slots.
+pub fn parse_expr_with_params(sql: &str) -> Result<(Expr, Vec<ParamSlot>)> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok((e, p.params))
+}
+
+/// Reconstruct the parameter slot table of a parsed SELECT from its
+/// `Expr::Param` nodes (every clause, union members, subquery bodies).
+/// Inverse of the parser's slot assignment — used when a cached AST needs
+/// its slots re-derived.
+pub fn collect_params(select: &Select) -> Vec<ParamSlot> {
+    fn note(slots: &mut Vec<ParamSlot>, index: usize, name: &Option<String>) {
+        if slots.len() <= index {
+            slots.resize(index + 1, ParamSlot { name: None });
+        }
+        if name.is_some() {
+            slots[index].name = name.clone();
+        }
+    }
+    fn walk_expr(e: &Expr, slots: &mut Vec<ParamSlot>) {
+        e.visit(&mut |node| {
+            if let Expr::Param { index, name } = node {
+                note(slots, *index, name);
+            }
+        });
+        // `visit` treats subquery bodies as separate scopes; descend.
+        match e {
+            Expr::InSubquery { query, .. }
+            | Expr::Exists { query, .. }
+            | Expr::ScalarSubquery(query) => walk_select(query, slots),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk_expr(expr, slots),
+            Expr::Binary { left, right, .. } => {
+                walk_expr(left, slots);
+                walk_expr(right, slots);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk_expr(expr, slots);
+                list.iter().for_each(|e| walk_expr(e, slots));
+            }
+            Expr::Between { expr, low, high, .. } => {
+                walk_expr(expr, slots);
+                walk_expr(low, slots);
+                walk_expr(high, slots);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                walk_expr(expr, slots);
+                walk_expr(pattern, slots);
+            }
+            Expr::Function { args, .. } => args.iter().for_each(|e| walk_expr(e, slots)),
+            Expr::Case { operand, branches, else_expr } => {
+                operand.iter().for_each(|e| walk_expr(e, slots));
+                for (w, t) in branches {
+                    walk_expr(w, slots);
+                    walk_expr(t, slots);
+                }
+                else_expr.iter().for_each(|e| walk_expr(e, slots));
+            }
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param { .. } => {}
+        }
+    }
+    fn walk_table_ref(tr: &super::ast::TableRef, slots: &mut Vec<ParamSlot>) {
+        if let super::ast::TableRef::Join { left, right, on, .. } = tr {
+            walk_table_ref(left, slots);
+            walk_table_ref(right, slots);
+            on.iter().for_each(|e| walk_expr(e, slots));
+        }
+    }
+    fn walk_select(select: &Select, slots: &mut Vec<ParamSlot>) {
+        for p in &select.projections {
+            if let super::ast::SelectItem::Expr { expr, .. } = p {
+                walk_expr(expr, slots);
+            }
+        }
+        select.from.iter().for_each(|tr| walk_table_ref(tr, slots));
+        select.filter.iter().for_each(|e| walk_expr(e, slots));
+        select.group_by.iter().for_each(|e| walk_expr(e, slots));
+        select.having.iter().for_each(|e| walk_expr(e, slots));
+        select.order_by.iter().for_each(|o| walk_expr(&o.expr, slots));
+        for (_, member) in &select.union {
+            walk_select(member, slots);
+        }
+    }
+    let mut slots = Vec::new();
+    walk_select(select, &mut slots);
+    slots
+}
+
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Parameter slots discovered so far, in slot-index order.
+    params: Vec<ParamSlot>,
 }
 
 impl Parser {
     pub(crate) fn new(sql: &str) -> Result<Self> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0, params: Vec::new() })
+    }
+
+    /// Slot index for a placeholder: named parameters reuse their slot,
+    /// positional ones always allocate.
+    fn param_slot(&mut self, name: Option<String>) -> usize {
+        if let Some(n) = &name {
+            if let Some(i) = self
+                .params
+                .iter()
+                .position(|s| s.name.as_deref() == Some(n.as_str()))
+            {
+                return i;
+            }
+        }
+        self.params.push(ParamSlot { name });
+        self.params.len() - 1
     }
 
     fn peek(&self) -> &TokenKind {
@@ -633,6 +760,16 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr> {
         match self.peek().clone() {
+            TokenKind::NamedParam(n) => {
+                self.advance();
+                let index = self.param_slot(Some(n.clone()));
+                Ok(Expr::Param { index, name: Some(n) })
+            }
+            TokenKind::PositionalParam => {
+                self.advance();
+                let index = self.param_slot(None);
+                Ok(Expr::Param { index, name: None })
+            }
             TokenKind::Int(i) => {
                 self.advance();
                 Ok(Expr::Literal(Value::Int(i)))

@@ -47,6 +47,10 @@ pub enum TokenKind {
     /// `||` string concatenation
     Concat,
     Semicolon,
+    /// `$name` — a named parameter placeholder.
+    NamedParam(String),
+    /// `?` — a positional parameter placeholder.
+    PositionalParam,
     /// End of input sentinel.
     Eof,
 }
@@ -84,6 +88,8 @@ impl fmt::Display for TokenKind {
             TokenKind::GtEq => f.write_str(">="),
             TokenKind::Concat => f.write_str("||"),
             TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::NamedParam(n) => write!(f, "${n}"),
+            TokenKind::PositionalParam => f.write_str("?"),
             TokenKind::Eof => f.write_str("<eof>"),
         }
     }

@@ -181,6 +181,17 @@ impl Table {
         self.rows.read().clone()
     }
 
+    /// Copy out up to `max` rows starting at heap position `start` (the
+    /// streaming executor's incremental scan). Each call takes the read
+    /// lock independently, so a scan interleaved with writes observes a
+    /// prefix-consistent, not point-in-time, view.
+    pub fn scan_batch(&self, start: usize, max: usize) -> Vec<Row> {
+        let rows = self.rows.read();
+        let lo = start.min(rows.len());
+        let hi = (start + max).min(rows.len());
+        rows[lo..hi].to_vec()
+    }
+
     /// Visit rows without copying the whole table.
     pub fn for_each(&self, mut f: impl FnMut(&Row)) {
         for row in self.rows.read().iter() {
@@ -348,6 +359,10 @@ impl Table {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: Arc<RwLock<BTreeMap<String, Arc<Table>>>>,
+    /// Bumped on every DDL change (table or index create/drop/replace).
+    /// Cached query plans are valid only for the version they were
+    /// planned against.
+    version: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Catalog {
@@ -357,6 +372,15 @@ impl Catalog {
 
     fn key(name: &str) -> String {
         name.to_ascii_lowercase()
+    }
+
+    /// Current DDL version (monotone; see field docs).
+    pub fn version(&self) -> u64 {
+        self.version.load(AtomicOrdering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, AtomicOrdering::AcqRel);
     }
 
     /// Create a table; errors if the name is taken.
@@ -378,6 +402,8 @@ impl Catalog {
         }
         let table = Arc::new(Table::new(name, Schema::new(columns)));
         tables.insert(key, Arc::clone(&table));
+        drop(tables);
+        self.bump_version();
         Ok(table)
     }
 
@@ -395,7 +421,7 @@ impl Catalog {
         self.tables
             .write()
             .remove(&Self::key(name))
-            .map(|_| ())
+            .map(|_| self.bump_version())
             .ok_or_else(|| Error::catalog(format!("table `{name}` does not exist")))
     }
 
@@ -429,13 +455,16 @@ impl Catalog {
                 "index `{index_name}` already exists"
             )));
         }
-        self.get_table(table_name)?.create_index(index_name, column_name)
+        self.get_table(table_name)?.create_index(index_name, column_name)?;
+        self.bump_version();
+        Ok(())
     }
 
     /// Drop an index by name, wherever it lives.
     pub fn drop_index(&self, index_name: &str) -> Result<()> {
         for table in self.tables.read().values() {
             if table.drop_index(index_name) {
+                self.bump_version();
                 return Ok(());
             }
         }
@@ -462,6 +491,8 @@ impl Catalog {
             )));
         }
         tables.insert(key, table);
+        drop(tables);
+        self.bump_version();
         Ok(())
     }
 }

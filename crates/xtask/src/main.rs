@@ -2,8 +2,8 @@
 //!
 //! * `bench-smoke` — run every Criterion bench in `--test` mode (each
 //!   benchmark body executes once, no measurement), then `cargo clippy`
-//!   with `-D warnings` on the `crosse-rdf` crate. The cheap CI gate for
-//!   "the benches still run and the query engine is lint-clean".
+//!   with `-D warnings` across the whole workspace. The cheap CI gate for
+//!   "the benches still run and the workspace is lint-clean".
 //! * `bench-baseline` — regenerate `BENCH_e3.json` from the experiments
 //!   binary (release build) so future PRs have a perf trajectory to
 //!   compare against.
@@ -32,11 +32,10 @@ fn bench_smoke() {
         cargo().args(["bench", "-p", "crosse-bench", "--benches", "--", "--test"]),
     );
     run(
-        "clippy gate on crosse-rdf",
+        "clippy gate on the whole workspace",
         cargo().args([
             "clippy",
-            "-p",
-            "crosse-rdf",
+            "--workspace",
             "--all-targets",
             "--",
             "-D",
@@ -73,7 +72,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
-                 tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on crosse-rdf\n\
+                 tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on the workspace\n\
                  bench-baseline  regenerate BENCH_e3.json via the experiments binary"
             );
             std::process::exit(2);

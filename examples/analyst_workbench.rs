@@ -10,8 +10,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crosse::core::session::Session;
 use crosse::federation::{FederatedDatabase, LatencyModel, RemoteSource};
-use crosse::rdf::sparql::eval::query as sparql_query;
+use crosse::rdf::sparql::SparqlParams;
+use crosse::rdf::term::Term;
+use crosse::relational::Params;
 use crosse::smartground::{standard_engine, SmartGroundConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,30 +36,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", row[0].lexical_form());
     }
 
-    // ---- 2. Subqueries + CASE -------------------------------------------------
-    // Landfills holding any element that is above the average contained
-    // amount, bucketed by size.
-    let rs = db.query(
+    // ---- 2. Subqueries + CASE, prepared once ----------------------------------
+    // Landfills holding any element above a caller-chosen amount floor,
+    // bucketed by size: the floor is a `$param`, so re-running the
+    // analysis with a different threshold skips parse + plan.
+    let session = Session::new(&engine, "director")?;
+    let deposits = session.prepare_sql(
         "SELECT name, CASE WHEN tons > 500000 THEN 'large' \
                            WHEN tons > 100000 THEN 'medium' \
                            ELSE 'small' END AS size \
          FROM landfill \
          WHERE name IN (SELECT landfill_name FROM elem_contained \
                         WHERE amount > (SELECT AVG(amount) FROM elem_contained)) \
+           AND tons > $floor \
          ORDER BY name LIMIT 8",
     )?;
+    let rs = deposits.query(&Params::new().set("floor", 0))?;
     println!("\n== Landfills with above-average element deposits ==\n{rs}");
+    let big = deposits.query(&Params::new().set("floor", 100_000))?;
+    println!("  (re-executed with $floor = 100k: {} row(s), no re-parse)", big.len());
 
     // ---- 3. SPARQL 1.1 on the knowledge base ----------------------------------
     let kb = engine.knowledge_base();
     let graphs = kb.context_graphs("director");
     let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
-    let sols = sparql_query(
-        kb.store(),
-        &refs,
+    let sols = crosse::rdf::sparql::prepare(
         "SELECT ?d (COUNT(?e) AS ?n) WHERE { ?e <dangerLevel> ?d } \
          GROUP BY ?d HAVING(?n >= 1) ORDER BY DESC(?d)",
-    )?;
+    )?
+    .execute(kb.store(), &refs, &SparqlParams::new())?;
     println!("== Elements per danger level (SPARQL GROUP BY) ==");
     for row in &sols.rows {
         let d = row[0].as_ref().map(|t| t.lexical_form().to_string()).unwrap_or_default();
@@ -64,26 +72,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  level {d}: {n} element(s)");
     }
 
-    // Property path: elements transitively co-occurring with mercury.
-    let sols = sparql_query(
-        kb.store(),
-        &refs,
-        "SELECT ?x WHERE { <Hg> (<oreAssemblage>|^<oreAssemblage>)+ ?x } ORDER BY ?x",
+    // Property path with a parameterised seed element: one prepared
+    // query answers "what co-occurs with X?" for any X.
+    let cluster_of = session.prepare_sparql(
+        "SELECT ?x WHERE { $seed (<oreAssemblage>|^<oreAssemblage>)+ ?x } ORDER BY ?x",
     )?;
-    let cluster: Vec<String> = sols
-        .rows
-        .iter()
-        .filter_map(|r| r[0].as_ref().map(|t| t.lexical_form().to_string()))
-        .collect();
-    println!("\n== Mercury's (symmetric, transitive) ore-assemblage cluster ==");
-    println!("  {}", cluster.join(", "));
+    for seed in ["Hg", "Pb"] {
+        let sols = cluster_of.execute(
+            kb.store(),
+            &refs,
+            &SparqlParams::new().set("seed", Term::iri(seed)),
+        )?;
+        let cluster: Vec<String> = sols
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_ref().map(|t| t.lexical_form().to_string()))
+            .collect();
+        println!("\n== {seed}'s (symmetric, transitive) ore-assemblage cluster ==");
+        println!("  {}", cluster.join(", "));
+    }
 
-    // ---- 4. Exploration with the SPARQL-leg cache ------------------------------
-    let sesql = "SELECT elem_name, landfill_name FROM elem_contained \
-                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
-    let first = engine.execute("director", sesql)?;
-    let second = engine.execute("director", sesql)?;
-    println!("\n== SPARQL-leg cache across repeated exploration ==");
+    // ---- 4. Exploration with the caches ---------------------------------------
+    let explore = session.prepare(
+        "SELECT elem_name, landfill_name FROM elem_contained \
+         WHERE landfill_name = $lf \
+         ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+    )?;
+    let first = session.execute(&explore, &Params::new().set("lf", "LF00000"))?;
+    let second = session.execute(&explore, &Params::new().set("lf", "LF00001"))?;
+    println!("\n== Caches across repeated exploration (one prepared handle) ==");
     println!(
         "  first run : sparql leg {:?} (cached: {})",
         first.report.sparql_exec, first.report.sparql_runs[0].cached
@@ -93,7 +110,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         second.report.sparql_exec, second.report.sparql_runs[0].cached
     );
     let stats = engine.cache_stats();
-    println!("  cache stats: {} hit(s), {} miss(es)", stats.hits, stats.misses);
+    println!(
+        "  solution cache: {} hit(s), {} miss(es), {} eviction(s)",
+        stats.hits, stats.misses, stats.evictions
+    );
+    let pstats = engine.prepared_cache_stats();
+    println!(
+        "  prepared cache: {} hit(s), {} miss(es)",
+        pstats.hits, pstats.misses
+    );
 
     // ---- 5. Federation with filter pushdown ------------------------------------
     let remote_db = engine.database().clone();
@@ -107,9 +132,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             realtime: true,
         },
     )))?;
+    // A prepared federated query: the plan is compiled once, the landfill
+    // binds per request, and live executions refresh the foreign table.
+    let by_landfill = fed.prepare(
+        "SELECT elem_name, amount FROM eu__elem_contained WHERE landfill_name = $lf",
+    )?;
+    let full = by_landfill.query(&Params::new().set("lf", "LF00001"), true)?;
     let sql = "SELECT elem_name, amount FROM eu__elem_contained \
                WHERE landfill_name = 'LF00001'";
-    let full = fed.query(sql, true)?;
     let pushed = fed.query_pushdown(sql)?;
     println!("\n== Federation: full fetch vs filter pushdown ==");
     println!("  result rows          : {}", full.len());

@@ -62,11 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = SesqlEngine::new(db, kb);
 
-    // ---- the same SESQL query, two personal contexts -------------------------
-    let sesql = "SELECT title, venue FROM paper \
-                 ENRICH SCHEMAREPLACEMENT(venue, fieldOf)";
+    // ---- the same *prepared* SESQL query, two personal contexts --------------
+    // Compile once; each user's session executes the shared handle in
+    // their own knowledge context.
+    let by_field = engine.prepare(
+        "SELECT title, venue FROM paper \
+         ENRICH SCHEMAREPLACEMENT(venue, fieldOf)",
+    )?;
     for user in ["theorist", "practitioner"] {
-        let r = engine.execute(user, sesql)?;
+        let session = Session::new(&engine, user)?;
+        let r = session.execute(&by_field, &Params::new())?;
         println!("== {user}'s view (venue replaced by their own field taxonomy) ==");
         println!("{}", r.rows);
     }
@@ -76,12 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "coreVenues",
         "SELECT ?v WHERE { ?v <fieldOf> <DataIntegration> }",
     )?;
-    let r = engine.execute(
-        "theorist",
+    // The year floor is a parameter: the same prepared handle answers
+    // the question for any cut-off without re-parsing.
+    let core_since = engine.prepare(
         "SELECT title, year FROM paper \
-         WHERE ${venue = Core:c1} AND year >= 1995 \
+         WHERE ${venue = Core:c1} AND year >= $since \
          ENRICH REPLACECONSTANT(c1, Core, coreVenues)",
     )?;
+    let r = core_since.execute("theorist", &Params::new().set("since", 1995))?;
     println!("== theorist: post-1995 papers in their core venues ==");
     println!("{}", r.rows);
 

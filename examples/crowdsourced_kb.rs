@@ -54,12 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Term::lit("EU Directive 2008/98/EC"),
     )?;
 
-    // The same SESQL query, two contexts, two answers (Sec. I-B(a)).
-    let sesql = "SELECT elem_name FROM elem_contained \
-                 ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)";
+    // The same *prepared* SESQL query, two contexts, two answers
+    // (Sec. I-B(a)) — compiled once, executed per user through the
+    // platform so the query log still builds activity context.
+    let hazardous = platform.engine().prepare(
+        "SELECT elem_name FROM elem_contained \
+         ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)",
+    )?;
     for user in ["researcher", "city_planner"] {
         println!("=== `{user}` asks: which elements are hazardous? ===");
-        let result = platform.query(user, sesql)?;
+        let result = platform.query_prepared(user, &hazardous, &Params::new())?;
         println!("{}", result.rows);
     }
 
@@ -79,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("researcher asserted Hg");
     platform.import_statement("city_planner", mercury.id)?;
     println!("\ncity_planner imported statement [{}]; querying again:", mercury.id.0);
-    let result = platform.query("city_planner", sesql)?;
+    let result = platform.query_prepared("city_planner", &hazardous, &Params::new())?;
     println!("{}", result.rows);
 
     // Peer services (Sec. I-B): who is similar, what else to adopt?

@@ -55,8 +55,12 @@ Gerbido,Torino,450.0,municipal";
     )?;
     println!("\nmining ∪ mercury sites:\n{rs}");
 
-    // 4. Result preview (Sec. I-B(c) summaries).
-    let all = db.query("SELECT * FROM landfill")?;
+    // 4. Result preview (Sec. I-B(c) summaries), via the prepared-cursor
+    //    path: the cursor streams and `collect_rows` materialises only
+    //    what the preview needs.
+    let all = db.prepare("SELECT * FROM landfill")?
+        .execute(&Params::new())?
+        .collect_rows()?;
     println!("preview of the landfill table:\n{}", explore::preview_text(&all));
 
     // 5. Concept highlighting in free text.

@@ -41,15 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("foreign tables: {:?}\n", fed.foreign_tables());
 
-    // A federated query joining both sources (cached copies).
-    let rs = fed.query(
+    // A prepared federated query joining both sources: country and year
+    // bind per execution, the plan and FROM-analysis are done once.
+    let totals = fed.prepare(
         "SELECT l.name, l.city, w.kilotons \
          FROM it__landfill l, eu__waste_stats w \
-         WHERE w.country = 'Italy' AND w.year = 2017 \
+         WHERE w.country = $country AND w.year = $year \
          ORDER BY l.name",
-        false,
     )?;
+    let rs = totals.query(&Params::new().set("country", "Italy").set("year", 2017), false)?;
     println!("landfills with the 2017 national total:\n{rs}");
+    let rs16 = totals.query(&Params::new().set("country", "Italy").set("year", 2016), false)?;
+    println!("(same handle, 2016 binding: {} row(s))\n", rs16.len());
 
     // Live mode re-pulls referenced foreign tables through the link.
     let t0 = std::time::Instant::now();
@@ -76,11 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     let engine = SesqlEngine::new(fed.local().clone(), kb);
-    let result = engine.execute(
-        "analyst",
+    let session = Session::new(&engine, "analyst")?;
+    let enrich = session.prepare(
         "SELECT name, city FROM it__landfill \
          ENRICH SCHEMAREPLACEMENT(city, inCountry)",
     )?;
+    let result = session.execute(&enrich, &Params::new())?;
     println!("\nSESQL over the federation (Example 4.2 shape):\n{}", result.rows);
     Ok(())
 }

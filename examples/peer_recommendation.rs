@@ -49,16 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kb.accept_statement("newcomer", danger_ids[0])?;
     kb.accept_statement("newcomer", danger_ids[1])?;
 
-    // Some query activity shapes the profiles too.
+    // Some query activity shapes the profiles too — the repeated probe is
+    // prepared once and executed per user/round (prepare-once,
+    // execute-many; the log still accrues activity context).
+    let mercury_probe = platform.engine().prepare(
+        "SELECT elem_name FROM elem_contained WHERE elem_name = $e",
+    )?;
+    let hg = Params::new().set("e", "Hg");
     for _ in 0..3 {
-        platform.query(
-            "tox_anna",
-            "SELECT elem_name FROM elem_contained WHERE elem_name = 'Hg'",
-        )?;
-        platform.query(
-            "newcomer",
-            "SELECT elem_name FROM elem_contained WHERE elem_name = 'Hg'",
-        )?;
+        platform.query_prepared("tox_anna", &mercury_probe, &hg)?;
+        platform.query_prepared("newcomer", &mercury_probe, &hg)?;
     }
     platform.query("geo_dario", "SELECT name, city FROM landfill")?;
 

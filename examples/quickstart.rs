@@ -1,5 +1,5 @@
-//! Quickstart: build a databank, add personal knowledge, run the paper's
-//! Example 4.1 as a SESQL query.
+//! Quickstart: build a databank, add personal knowledge, then run the
+//! paper's Example 4.1 through the prepare-once / execute-many lifecycle.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -30,20 +30,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
 
-    // 3. SESQL: query the databank in the context of that knowledge
-    //    (paper Example 4.1).
+    // 3. SESQL through a session: prepare the parameterised query once,
+    //    execute it for as many bindings as needed — repeated traffic
+    //    never re-parses (paper Example 4.1, per landfill).
     let engine = SesqlEngine::new(db, kb);
-    let result = engine.execute(
-        "director",
+    let session = Session::new(&engine, "director")?;
+    let by_landfill = session.prepare(
         "SELECT elem_name, landfill_name \
          FROM elem_contained \
-         WHERE landfill_name = 'a' \
+         WHERE landfill_name = $lf \
          ENRICH \
          SCHEMAEXTENSION( elem_name, dangerLevel)",
     )?;
 
-    println!("Enriched result (Example 4.1):");
+    let result = session.execute(&by_landfill, &Params::new().set("lf", "a"))?;
+    println!("Enriched result (Example 4.1, landfill a):");
     println!("{}", result.rows);
+
+    // Execute-many: same compiled handle, different binding.
+    let other = session.execute(&by_landfill, &Params::new().set("lf", "b"))?;
+    println!("Same prepared query for landfill b ({} row(s)).", other.rows.len());
 
     println!("Pipeline (Fig. 6 stages):");
     let r = &result.report;

@@ -54,14 +54,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A decision-maker question from the paper's introduction: "Is there an
     // advantage of acquiring a given material from a specific landfill?"
+    // The element and amount floor are parameters, so the same prepared
+    // handle serves any material the decision maker asks about.
     println!("=== copper-rich landfills, hazard-annotated ===");
-    let result = engine.execute(
-        "director",
+    let session = Session::new(&engine, "director")?;
+    let acquire = session.prepare(
         "SELECT landfill_name, elem_name, amount FROM elem_contained \
-         WHERE elem_name = 'Cu' AND amount > 1000 \
+         WHERE elem_name = $elem AND amount > $floor \
          ENRICH SCHEMAEXTENSION(elem_name, dangerLevel) \
                 BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)",
     )?;
+    let result = session.execute(&acquire, &Params::new().set("elem", "Cu").set("floor", 1000))?;
     println!("{}", result.rows);
+    let zinc = session.execute(&acquire, &Params::new().set("elem", "Zn").set("floor", 1000))?;
+    println!("(same handle for zinc: {} row(s))", zinc.rows.len());
     Ok(())
 }

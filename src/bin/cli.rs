@@ -10,23 +10,39 @@
 //! SQL/SESQL statements end with `;` and may span lines; everything else is
 //! a dot-command (`.help` lists them).
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 use crosse::core::platform::CrossePlatform;
-use crosse::core::sqm::EnrichedResult;
+use crosse::core::sqm::{EnrichedResult, PreparedSesql};
 use crosse::rdf::sparql::eval::{query_any, QueryOutcome};
 use crosse::rdf::term::Term;
+use crosse::relational::{Params, Value};
 use crosse::smartground::{standard_engine, SmartGroundConfig};
 
 struct Shell {
     platform: CrossePlatform,
     user: String,
     show_report: bool,
+    /// `--timing`: report prepare vs execute wall time separately.
+    timing: bool,
+    /// Named prepared statements (`\prepare` / `\exec`).
+    prepared: HashMap<String, PreparedSesql>,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    if d >= Duration::from_millis(10) {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    }
 }
 
 fn main() {
     let mut landfills = 50usize;
     let mut seed = 42u64;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,8 +58,9 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--timing" => timing = true,
             "--help" | "-h" => {
-                println!("crosse-cli [--landfills N] [--seed N]");
+                println!("crosse-cli [--landfills N] [--seed N] [--timing]");
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
@@ -61,6 +78,8 @@ fn main() {
         platform,
         user: "director".to_string(),
         show_report: false,
+        timing,
+        prepared: HashMap::new(),
     };
 
     let interactive = is_tty();
@@ -95,6 +114,10 @@ fn main() {
             }
             continue;
         }
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            shell.meta_command(trimmed.trim_end_matches(';'));
+            continue;
+        }
         if trimmed.is_empty() && buffer.is_empty() {
             continue;
         }
@@ -121,32 +144,185 @@ fn is_tty() -> bool {
 
 impl Shell {
     /// Run a SQL/SESQL statement (already stripped of its terminator).
+    /// With `--timing`, the statement goes through the prepare → execute
+    /// lifecycle so the two phases are reported separately (and repeated
+    /// statements hit the prepared cache).
     fn run_statement(&mut self, stmt: &str) {
+        if self.timing {
+            let t0 = Instant::now();
+            let prepared = match self.platform.engine().prepare(stmt) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("error: {e}");
+                    return;
+                }
+            };
+            let t_prepare = t0.elapsed();
+            let t1 = Instant::now();
+            match self.platform.query_prepared(&self.user, &prepared, &Params::new()) {
+                Ok(EnrichedResult { rows, report }) => {
+                    let t_execute = t1.elapsed();
+                    print!("{}", rows.to_ascii_table());
+                    let stats = self.platform.engine().prepared_cache_stats();
+                    println!(
+                        "-- prepare {} (cache: {} hits / {} misses) | execute {}",
+                        fmt_duration(t_prepare),
+                        stats.hits,
+                        stats.misses,
+                        fmt_duration(t_execute),
+                    );
+                    if self.show_report {
+                        self.print_report(&report);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            return;
+        }
         match self.platform.query(&self.user, stmt) {
             Ok(EnrichedResult { rows, report }) => {
                 print!("{}", rows.to_ascii_table());
                 if self.show_report {
-                    println!(
-                        "-- parse {:?} | sql {:?} | sparql {:?} | join {:?} | final {:?} | total {:?}",
-                        report.parse,
-                        report.sql_exec,
-                        report.sparql_exec,
-                        report.join,
-                        report.final_sql,
-                        report.total()
-                    );
-                    for run in &report.sparql_runs {
-                        println!(
-                            "--   leg [{}{}] {} solution(s): {}",
-                            run.purpose,
-                            if run.cached { ", cached" } else { "" },
-                            run.solutions,
-                            run.sparql.replace('\n', " ")
-                        );
-                    }
+                    self.print_report(&report);
                 }
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn print_report(&self, report: &crosse::core::sqm::PipelineReport) {
+        println!(
+            "-- parse {:?} | sql {:?} | sparql {:?} | join {:?} | final {:?} | total {:?}",
+            report.parse,
+            report.sql_exec,
+            report.sparql_exec,
+            report.join,
+            report.final_sql,
+            report.total()
+        );
+        for run in &report.sparql_runs {
+            println!(
+                "--   leg [{}{}] {} solution(s): {}",
+                run.purpose,
+                if run.cached { ", cached" } else { "" },
+                run.solutions,
+                run.sparql.replace('\n', " ")
+            );
+        }
+    }
+
+    /// Parse a `\exec` argument value: quoted string, integer, float,
+    /// boolean, NULL, or bare string.
+    fn parse_value(text: &str) -> Value {
+        let t = text.trim();
+        if let Some(stripped) = t.strip_prefix('\'') {
+            // Strip exactly one closing quote, then undo `''` escapes —
+            // `'abc'''` binds `abc'`.
+            let inner = stripped.strip_suffix('\'').unwrap_or(stripped);
+            return Value::Str(inner.replace("''", "'"));
+        }
+        if t.eq_ignore_ascii_case("null") {
+            return Value::Null;
+        }
+        if t.eq_ignore_ascii_case("true") {
+            return Value::Bool(true);
+        }
+        if t.eq_ignore_ascii_case("false") {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(t.to_string())
+    }
+
+    /// Handle a backslash meta-command (`\prepare`, `\exec`, `\prepared`).
+    fn meta_command(&mut self, cmd: &str) {
+        let (head, rest) = match cmd.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (cmd, ""),
+        };
+        match head {
+            "\\prepare" => {
+                let Some((name, query)) = rest.split_once(char::is_whitespace) else {
+                    println!("usage: \\prepare <name> <query>");
+                    return;
+                };
+                let t0 = Instant::now();
+                match self.platform.engine().prepare(query.trim()) {
+                    Ok(p) => {
+                        let elapsed = t0.elapsed();
+                        let slots: Vec<String> =
+                            p.param_slots().iter().map(|s| s.display()).collect();
+                        println!(
+                            "prepared `{name}` in {} ({} parameter(s){}{})",
+                            fmt_duration(elapsed),
+                            slots.len(),
+                            if slots.is_empty() { "" } else { ": " },
+                            slots.join(", "),
+                        );
+                        self.prepared.insert(name.to_string(), p);
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\exec" => {
+                let mut parts = rest.split_whitespace();
+                let Some(name) = parts.next() else {
+                    println!("usage: \\exec <name> [$k=v ...] [v ...]");
+                    return;
+                };
+                let Some(prepared) = self.prepared.get(name).cloned() else {
+                    println!("no prepared statement `{name}` (see \\prepare)");
+                    return;
+                };
+                let mut params = Params::new();
+                for arg in parts {
+                    if let Some(named) = arg.strip_prefix('$') {
+                        let Some((k, v)) = named.split_once('=') else {
+                            println!("bad binding `{arg}` (expected $name=value)");
+                            return;
+                        };
+                        params = params.set(k, Self::parse_value(v));
+                    } else {
+                        params = params.push(Self::parse_value(arg));
+                    }
+                }
+                let t0 = Instant::now();
+                match self.platform.query_prepared(&self.user, &prepared, &params) {
+                    Ok(EnrichedResult { rows, report }) => {
+                        let t_execute = t0.elapsed();
+                        print!("{}", rows.to_ascii_table());
+                        if self.timing {
+                            println!(
+                                "-- prepare (cached handle) | execute {}",
+                                fmt_duration(t_execute)
+                            );
+                        }
+                        if self.show_report {
+                            self.print_report(&report);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\prepared" => {
+                if self.prepared.is_empty() {
+                    println!("(no prepared statements)");
+                }
+                let mut names: Vec<&String> = self.prepared.keys().collect();
+                names.sort();
+                for n in names {
+                    let p = &self.prepared[n];
+                    let slots: Vec<String> =
+                        p.param_slots().iter().map(|s| s.display()).collect();
+                    println!("{n}({}) — {}", slots.join(", "), p.text());
+                }
+            }
+            other => println!("unknown meta-command `{other}` (try .help)"),
         }
     }
 
@@ -316,6 +492,10 @@ impl Shell {
         println!(
             "\
 SQL/SESQL statements end with `;` and may span lines.
+Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
+  \\prepare NAME QUERY       compile a SESQL query once under a name
+  \\exec NAME [$k=v | v]...  execute it with named/positional bindings
+  \\prepared                 list prepared statements
 Dot-commands:
   .help                      this text
   .user [NAME]               show or switch the active user (registers new users)

@@ -44,12 +44,14 @@ pub use crosse_smartground as smartground;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crosse_core::platform::CrossePlatform;
-    pub use crosse_core::sqm::{EnrichOptions, MultiValuePolicy, SesqlEngine};
+    pub use crosse_core::session::{Rows, Session};
+    pub use crosse_core::sqm::{EnrichOptions, MultiValuePolicy, PreparedSesql, SesqlEngine};
     pub use crosse_core::{parse_sesql, Enrichment, SesqlQuery};
     pub use crosse_federation::{FederatedDatabase, LatencyModel, LocalSource, RemoteSource};
     pub use crosse_rdf::provenance::KnowledgeBase;
+    pub use crosse_rdf::sparql::SparqlParams;
     pub use crosse_rdf::store::Triple;
     pub use crosse_rdf::term::Term;
-    pub use crosse_relational::{Database, RowSet, Value};
+    pub use crosse_relational::{Database, Params, RowSet, Value};
     pub use crosse_smartground::{SmartGroundConfig, standard_engine};
 }

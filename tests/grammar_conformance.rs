@@ -137,3 +137,107 @@ fn display_round_trips_through_parser() {
         assert_eq!(q.enrichments, q2.enrichments, "{rendered}");
     }
 }
+
+// ---- parameter placeholders (`$name` / `?`) across the three grammars ------
+
+/// SESQL texts with placeholders that must parse, with the expected number
+/// of parameter slots.
+#[test]
+fn sesql_parameter_grammar() {
+    for (text, slots) in [
+        // named in WHERE
+        ("SELECT a FROM t WHERE a = $x", 1),
+        // repeated named = one slot
+        ("SELECT a FROM t WHERE a = $x OR b = $x", 1),
+        // positional each get a slot
+        ("SELECT a FROM t WHERE a = ? AND b = ?", 2),
+        // mixed
+        ("SELECT a FROM t WHERE a = $x AND b = ?", 2),
+        // in projection / LIMIT-adjacent clauses
+        ("SELECT a, $tag FROM t", 1),
+        // inside IN-lists and BETWEEN
+        ("SELECT a FROM t WHERE a IN ($x, $y, ?)", 3),
+        ("SELECT a FROM t WHERE a BETWEEN $lo AND $hi", 2),
+        // inside subqueries
+        ("SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE c = $x)", 1),
+        // with enrichment clauses
+        (
+            "SELECT a FROM t WHERE b = $x ENRICH SCHEMAEXTENSION(a, p)",
+            1,
+        ),
+        // named params inside tagged conditions share the global slots
+        (
+            "SELECT a FROM t WHERE ${a = $x:c1} ENRICH REPLACEVARIABLE(c1, a, p)",
+            1,
+        ),
+    ] {
+        let q = parse_sesql(text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        assert_eq!(q.params.len(), slots, "{text}");
+    }
+}
+
+#[test]
+fn sesql_parameter_grammar_rejects() {
+    // `$` without a name.
+    assert!(parse_sesql("SELECT a FROM t WHERE a = $ 1").is_err());
+    // positional placeholders inside tagged conditions are ambiguous.
+    let err = parse_sesql(
+        "SELECT a FROM t WHERE ${a = ?:c1} ENRICH REPLACEVARIABLE(c1, a, p)",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("positional"), "{err}");
+}
+
+#[test]
+fn sql_parameter_grammar() {
+    use crosse::relational::sql::parser::parse_statement_with_params;
+    for (text, slots) in [
+        ("SELECT a FROM t WHERE a = $x", 1),
+        ("SELECT a FROM t WHERE a = ? OR b = ?", 2),
+        ("SELECT a FROM t WHERE a LIKE $pat", 1),
+        ("SELECT a FROM t GROUP BY a HAVING COUNT(*) > $n", 1),
+        ("SELECT a FROM t ORDER BY a LIMIT 5", 0),
+        ("SELECT a FROM t JOIN u ON t.a = u.b WHERE u.c = ?", 1),
+        ("SELECT a FROM t WHERE x = $x UNION SELECT b FROM u WHERE y = $y", 2),
+    ] {
+        let (_, params) = parse_statement_with_params(text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        assert_eq!(params.len(), slots, "{text}");
+    }
+    // Display renders placeholders back as written.
+    let (stmt, _) =
+        parse_statement_with_params("SELECT a FROM t WHERE a = $x AND b = ?").unwrap();
+    let rendered = stmt.to_string();
+    assert!(rendered.contains("$x"), "{rendered}");
+    assert!(rendered.contains('?'), "{rendered}");
+}
+
+#[test]
+fn sparql_parameter_grammar() {
+    use crosse::rdf::sparql::prepare;
+    for (text, slots) in [
+        // $name in each triple position
+        ("SELECT ?o WHERE { $s <p> ?o }", 1),
+        ("SELECT ?s WHERE { ?s $p ?o }", 1),
+        ("SELECT ?s WHERE { ?s <p> $o }", 1),
+        // repeated named = one slot
+        ("SELECT ?s WHERE { ?s <p> $x . ?s <q> $x }", 1),
+        // positional
+        ("SELECT ?s WHERE { ?s ? ? }", 2),
+        // in FILTER
+        ("SELECT ?s WHERE { ?s <p> ?v . FILTER(?v >= $min && ?v < $max) }", 2),
+        // across UNION / OPTIONAL branches
+        (
+            "SELECT ?s WHERE { { ?s <p> $x } UNION { ?s <q> $x } }",
+            1,
+        ),
+        // `?name` stays a plain variable
+        ("SELECT ?s WHERE { ?s <p> ?name }", 0),
+    ] {
+        let p = prepare(text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        assert_eq!(p.params().len(), slots, "{text}");
+    }
+    // `$` without a name is rejected.
+    assert!(prepare("SELECT ?s WHERE { ?s <p> $ }").is_err());
+}

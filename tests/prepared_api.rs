@@ -1,0 +1,257 @@
+//! End-to-end coverage of the prepare → bind → cursor lifecycle across
+//! SESQL, SQL and SPARQL (the PR's acceptance criteria):
+//!
+//! * prepare + execute round-trips with bound parameters in all three
+//!   languages;
+//! * executing a cached `Prepared` skips parsing (cache-hit stats);
+//! * `LIMIT k` over a large table provably stops scanning early.
+
+use crosse::prelude::*;
+use crosse::relational::DataType;
+
+fn engine() -> SesqlEngine {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE landfill (name TEXT, city TEXT, tons FLOAT);
+         INSERT INTO landfill VALUES
+           ('Basse di Stura', 'Torino', 1200.0),
+           ('Barricalla', 'Collegno', 800.5),
+           ('Gerbido', 'Torino', 450.0);
+         CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT, amount FLOAT);
+         INSERT INTO elem_contained VALUES
+           ('Hg', 'Basse di Stura', 12.5), ('Pb', 'Basse di Stura', 30.0),
+           ('Cu', 'Gerbido', 100.0), ('Hg', 'Gerbido', 3.5);",
+    )
+    .unwrap();
+    let kb = KnowledgeBase::new();
+    kb.register_user("director");
+    for (s, o) in [("Hg", "5"), ("Pb", "4"), ("Cu", "1")] {
+        kb.assert_statement(
+            "director",
+            &Triple::new(Term::iri(s), Term::iri("dangerLevel"), Term::lit(o)),
+        )
+        .unwrap();
+    }
+    SesqlEngine::new(db, kb)
+}
+
+// ---- round-trips in all three languages ------------------------------------
+
+#[test]
+fn sesql_prepare_execute_round_trip() {
+    let e = engine();
+    let session = Session::new(&e, "director").unwrap();
+    let p = session
+        .prepare(
+            "SELECT elem_name FROM elem_contained WHERE landfill_name = $lf \
+             ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+        )
+        .unwrap();
+    let r1 = session.execute(&p, &Params::new().set("lf", "Gerbido")).unwrap();
+    assert_eq!(r1.rows.len(), 2);
+    let r2 = session
+        .execute(&p, &Params::new().set("lf", "Basse di Stura"))
+        .unwrap();
+    assert_eq!(r2.rows.len(), 2);
+    assert_ne!(r1.rows.rows, r2.rows.rows, "bindings change results");
+}
+
+#[test]
+fn sql_prepare_execute_round_trip() {
+    let e = engine();
+    let session = Session::new(&e, "director").unwrap();
+    let p = session
+        .prepare_sql("SELECT name FROM landfill WHERE city = $c AND tons > ? ORDER BY name")
+        .unwrap();
+    let rs = session
+        .execute_sql(&p, &Params::new().set("c", "Torino").push(500))
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::from("Basse di Stura"));
+}
+
+#[test]
+fn sparql_prepare_execute_round_trip() {
+    let e = engine();
+    let session = Session::new(&e, "director").unwrap();
+    let p = session
+        .prepare_sparql("SELECT ?o WHERE { $elem <dangerLevel> ?o }")
+        .unwrap();
+    let mut cur = session
+        .execute_sparql(&p, &SparqlParams::new().set("elem", Term::iri("Pb")))
+        .unwrap();
+    let row = cur.next_row().unwrap().unwrap();
+    assert_eq!(row[0], Value::Int(4));
+    assert!(cur.next_row().is_none());
+}
+
+// ---- cached Prepared skips parsing -----------------------------------------
+
+#[test]
+fn cached_prepare_skips_parsing() {
+    let e = engine();
+    let q = "SELECT elem_name FROM elem_contained WHERE landfill_name = $lf";
+    let before = e.prepared_cache_stats();
+    let _p1 = e.prepare(q).unwrap();
+    // Different whitespace, same normalized text → cache hit, no parse.
+    let _p2 = e.prepare("SELECT elem_name  FROM elem_contained\n WHERE landfill_name = $lf").unwrap();
+    let _p3 = e.prepare(q).unwrap();
+    let stats = e.prepared_cache_stats();
+    assert_eq!(stats.misses - before.misses, 1, "{stats:?}");
+    assert_eq!(stats.hits - before.hits, 2, "{stats:?}");
+
+    // Same at the relational layer.
+    let db = e.database();
+    let before = db.prepare_cache_stats();
+    db.prepare("SELECT name FROM landfill WHERE city = $c").unwrap();
+    db.prepare("select name from landfill where city = $c").unwrap();
+    let stats = db.prepare_cache_stats();
+    assert_eq!(stats.misses - before.misses, 1, "{stats:?}");
+    assert_eq!(stats.hits - before.hits, 1, "{stats:?}");
+}
+
+#[test]
+fn caches_are_bounded_and_count_evictions() {
+    let e = engine();
+    e.set_cache_capacity(4);
+    for i in 0..16 {
+        e.prepare(&format!("SELECT elem_name FROM elem_contained LIMIT {i}"))
+            .unwrap();
+    }
+    let stats = e.prepared_cache_stats();
+    assert!(stats.evictions >= 12, "{stats:?}");
+}
+
+// ---- LIMIT short-circuits the scan -----------------------------------------
+
+#[test]
+fn limit_stops_scanning_early_sql_cursor() {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (id INT, tag TEXT)").unwrap();
+    let t = db.catalog().get_table("big").unwrap();
+    let rows: Vec<Vec<Value>> = (0..100_000)
+        .map(|i| vec![Value::Int(i), Value::from("x")])
+        .collect();
+    t.insert_many(rows).unwrap();
+
+    let p = db.prepare("SELECT id FROM big WHERE tag = $t LIMIT 7").unwrap();
+    let mut cur = p.execute(&Params::new().set("t", "x")).unwrap();
+    let mut n = 0;
+    while let Some(r) = crosse::relational::Rows::next_row(&mut cur) {
+        r.unwrap();
+        n += 1;
+    }
+    assert_eq!(n, 7);
+    let scanned = cur.rows_scanned();
+    assert!(
+        scanned < 10_000,
+        "LIMIT 7 over 100k rows fetched {scanned} — no short-circuit"
+    );
+
+    // The filter → limit pipeline also stops once satisfied.
+    let p = db.prepare("SELECT id FROM big WHERE id >= $lo LIMIT 3").unwrap();
+    let rs = p.query(&Params::new().set("lo", 10)).unwrap();
+    assert_eq!(rs.len(), 3);
+}
+
+#[test]
+fn full_scan_still_sees_everything() {
+    // The batched scan must not lose rows when fully drained.
+    let db = Database::new();
+    db.execute("CREATE TABLE big (id INT)").unwrap();
+    let t = db.catalog().get_table("big").unwrap();
+    t.insert_many((0..10_000).map(|i| vec![Value::Int(i)]).collect())
+        .unwrap();
+    let p = db.prepare("SELECT COUNT(*) FROM big").unwrap();
+    let rs = p.query(&Params::new()).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(10_000));
+}
+
+// ---- type mismatches --------------------------------------------------------
+
+#[test]
+fn type_mismatch_errors_across_layers() {
+    let e = engine();
+    // SQL: FLOAT slot rejects text.
+    let p = e.database().prepare("SELECT name FROM landfill WHERE tons > $t").unwrap();
+    assert_eq!(p.param_slots()[0].expected, Some(DataType::Float));
+    let err = p.query(&Params::new().set("t", "heavy")).unwrap_err();
+    assert!(err.to_string().contains("expects FLOAT"), "{err}");
+
+    // SESQL inherits the same typed slots.
+    let session = Session::new(&e, "director").unwrap();
+    let p = session
+        .prepare("SELECT elem_name FROM elem_contained WHERE amount > $min")
+        .unwrap();
+    assert_eq!(p.param_slots()[0].expected, Some(DataType::Float));
+    let err = session
+        .execute(&p, &Params::new().set("min", "lots"))
+        .unwrap_err();
+    assert!(err.to_string().contains("expects FLOAT"), "{err}");
+}
+
+#[test]
+fn missing_and_excess_bindings_error() {
+    let e = engine();
+    let session = Session::new(&e, "director").unwrap();
+    let p = session
+        .prepare("SELECT elem_name FROM elem_contained WHERE landfill_name = $lf")
+        .unwrap();
+    assert!(session.execute(&p, &Params::new()).is_err());
+    let p = session
+        .prepare("SELECT elem_name FROM elem_contained WHERE landfill_name = ?")
+        .unwrap();
+    let err = session
+        .execute(&p, &Params::new().push("a").push("b"))
+        .unwrap_err();
+    assert!(err.to_string().contains("positional"), "{err}");
+}
+
+// ---- collect adapters keep the legacy shapes --------------------------------
+
+#[test]
+fn collect_adapters_match_legacy_apis() {
+    let e = engine();
+    let session = Session::new(&e, "director").unwrap();
+
+    let text = "SELECT elem_name FROM elem_contained WHERE landfill_name = 'Gerbido' \
+                ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)";
+    let p = session.prepare(text).unwrap();
+    let via_cursor = session
+        .execute_cursor(&p, &Params::new())
+        .unwrap()
+        .collect()
+        .unwrap();
+    let legacy = e.execute("director", text).unwrap();
+    assert_eq!(via_cursor.rows.rows, legacy.rows.rows);
+    assert_eq!(
+        via_cursor.rows.schema.columns.last().unwrap().name,
+        "dangerLevel"
+    );
+}
+
+#[test]
+fn platform_logs_prepared_queries() {
+    let e = engine();
+    let platform = CrossePlatform::from_engine(e);
+    let p = platform
+        .engine()
+        .prepare(
+            "SELECT elem_name FROM elem_contained WHERE landfill_name = $lf \
+             ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+        )
+        .unwrap();
+    platform
+        .query_prepared("director", &p, &Params::new().set("lf", "Gerbido"))
+        .unwrap();
+    platform
+        .query_prepared("director", &p, &Params::new().set("lf", "Basse di Stura"))
+        .unwrap();
+    let log = platform.query_log();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].concepts.iter().any(|c| c == "dangerLevel"));
+    let profile = platform.user_profile("director");
+    assert_eq!(profile["dangerLevel"], 2, "prepared reuse builds the profile");
+}

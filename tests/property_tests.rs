@@ -691,3 +691,125 @@ proptest! {
         prop_assert_eq!(sols.len(), reference.len(), "{}", sparql);
     }
 }
+
+// ---- prepared statements ----------------------------------------------------
+
+/// Render a value as a SQL literal (the textual-substitution side of the
+/// prepare+bind ≡ substitution property).
+fn sql_literal(v: &RValue) -> String {
+    match v {
+        RValue::Null => "NULL".to_string(),
+        RValue::Bool(b) => b.to_string().to_uppercase(),
+        RValue::Int(i) => i.to_string(),
+        RValue::Float(f) => format!("{f:?}"),
+        RValue::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// prepare + bind is observationally identical to substituting the
+    /// literal into the query text and re-parsing, over randomized data,
+    /// operators and bindings — in both the SQL and SESQL entry points.
+    #[test]
+    fn prepare_bind_equals_textual_substitution(
+        rows in prop::collection::vec((0i64..50, "[a-z]{1,6}"), 1..40),
+        needle in 0i64..50,
+        tag in "[a-z]{1,6}",
+        op_idx in 0usize..5,
+        limit in 0u64..10,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x INT, tag TEXT)").unwrap();
+        let table = db.catalog().get_table("t").unwrap();
+        table
+            .insert_many(
+                rows.iter()
+                    .map(|(x, s)| vec![RValue::Int(*x), RValue::Str(s.clone())])
+                    .collect(),
+            )
+            .unwrap();
+
+        let op = ["=", "<>", "<", ">=", ">"][op_idx];
+        // 0 stands for "no LIMIT clause".
+        let limit_clause = if limit == 0 {
+            String::new()
+        } else {
+            format!(" LIMIT {limit}")
+        };
+        let shape = format!(
+            "SELECT x, tag FROM t WHERE x {op} $n OR tag = ? ORDER BY x, tag{limit_clause}"
+        );
+        let prepared = db.prepare(&shape).unwrap();
+        let bound = prepared
+            .query(
+                &crosse::relational::Params::new()
+                    .set("n", needle)
+                    .push(tag.clone()),
+            )
+            .unwrap();
+
+        let textual = shape
+            .replace("$n", &sql_literal(&RValue::Int(needle)))
+            .replace('?', &sql_literal(&RValue::Str(tag.clone())));
+        let direct = db.query(&textual).unwrap();
+        prop_assert_eq!(&bound.rows, &direct.rows, "shape: {}", shape);
+
+        // Same property through the SESQL engine's prepare path.
+        let kb = crosse::rdf::provenance::KnowledgeBase::new();
+        kb.register_user("u");
+        let engine = crosse::core::SesqlEngine::new(db, kb);
+        let sesql_shape = format!(
+            "SELECT x, tag FROM t WHERE x {op} $n ORDER BY x, tag{limit_clause}"
+        );
+        let p = engine.prepare(&sesql_shape).unwrap();
+        let via_prepared = p
+            .execute("u", &crosse::relational::Params::new().set("n", needle))
+            .unwrap();
+        let via_text = engine
+            .execute(
+                "u",
+                &sesql_shape.replace("$n", &sql_literal(&RValue::Int(needle))),
+            )
+            .unwrap();
+        prop_assert_eq!(&via_prepared.rows.rows, &via_text.rows.rows);
+    }
+
+    /// Binding through a prepared SPARQL query equals writing the constant
+    /// in the query text.
+    #[test]
+    fn sparql_prepare_bind_equals_substitution(
+        subjects in prop::collection::vec("[a-z]{1,5}", 1..20),
+        pick in 0usize..20,
+    ) {
+        let store = TripleStore::new();
+        for (i, s) in subjects.iter().enumerate() {
+            store.insert(
+                "kb",
+                &crosse::rdf::store::Triple::new(
+                    crosse::rdf::term::Term::iri(s.clone()),
+                    crosse::rdf::term::Term::iri("level"),
+                    crosse::rdf::term::Term::lit(format!("{i}")),
+                ),
+            );
+        }
+        let target = &subjects[pick % subjects.len()];
+        let p = crosse::rdf::sparql::prepare("SELECT ?o WHERE { $s <level> ?o }").unwrap();
+        let bound = p
+            .execute(
+                &store,
+                &["kb"],
+                &crosse::rdf::sparql::SparqlParams::new()
+                    .set("s", crosse::rdf::term::Term::iri(target.clone())),
+            )
+            .unwrap();
+        let textual = crosse::rdf::sparql::eval::query(
+            &store,
+            &["kb"],
+            &format!("SELECT ?o WHERE {{ <{target}> <level> ?o }}"),
+        )
+        .unwrap();
+        prop_assert_eq!(bound.rows, textual.rows);
+    }
+}
