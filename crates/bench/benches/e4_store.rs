@@ -16,7 +16,7 @@ fn bench_insert(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(800));
     for n in [1_000usize, 10_000] {
-        let triples = random_kb(n, n / 20 + 1, 16, 7);
+        let triples = random_kb(n, n / 20 + 1, 16, 7).expect("fixture kb");
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &triples, |b, ts| {
             b.iter(|| {

@@ -145,7 +145,7 @@ fn bench_provenance_overhead(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(800));
-    let triples = random_kb(500, 100, 10, 5);
+    let triples = random_kb(500, 100, 10, 5).expect("fixture kb");
     group.bench_function("raw_store_insert", |b| {
         b.iter(|| {
             let store = TripleStore::new();
@@ -268,7 +268,7 @@ fn bench_bgp_join(c: &mut Criterion) {
 /// rdfs2/3, so derived facts scale with the instance count.
 fn rdfs_workload(n: usize) -> TripleStore {
     let store = TripleStore::new();
-    let triples = random_kb(n, n / 20 + 1, 16, 42);
+    let triples = random_kb(n, n / 20 + 1, 16, 42).expect("fixture kb");
     store.insert_all("kb", triples.iter());
     for i in 0..8 {
         store.insert(

@@ -91,7 +91,7 @@ fn e2() {
     }
 }
 
-fn e3(json_path: Option<&str>) {
+fn e3() -> Vec<(String, Duration, Duration, usize)> {
     header("E3", "Per-operator enrichment cost vs plain-SQL baseline (Ex. 4.1–4.6)");
     let engine = engine_at_scale(100);
     println!(
@@ -147,34 +147,14 @@ fn e3(json_path: Option<&str>) {
         );
         records.push(("prepared-vs-reparse".to_string(), tp, tr, rows));
     }
-    if let Some(path) = json_path {
-        // Hand-rolled JSON: the workspace has no serde, and the schema is
-        // flat. Names come from the fixed workload corpus (no escaping
-        // needed beyond the basics).
-        let mut out = String::from("{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n");
-        for (i, (name, ts, tb, rows)) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"sesql_median_s\": {:.9}, \"baseline_median_s\": {:.9}, \"rows\": {}}}{}\n",
-                name.replace('"', "\\\""),
-                ts.as_secs_f64(),
-                tb.as_secs_f64(),
-                rows,
-                if i + 1 < records.len() { "," } else { "" },
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        match std::fs::write(path, out) {
-            Ok(()) => println!("\nE3 baseline written to {path}"),
-            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
-        }
-    }
+    records
 }
 
 fn e4() {
     header("E4", "Triple store scaling (paper Fig. 4 substrate)");
     println!("{:<28} {:>10} {:>14}", "workload", "size", "median time");
     for n in [1_000usize, 10_000, 100_000] {
-        let triples = random_kb(n, n / 20 + 1, 16, 7);
+        let triples = random_kb(n, n / 20 + 1, 16, 7).expect("fixture kb");
         let t = median_time(3, || {
             let store = TripleStore::new();
             store.insert_all("kb", triples.iter())
@@ -406,7 +386,7 @@ fn e9() {
     }
 
     // Provenance overhead.
-    let triples = random_kb(500, 100, 10, 5);
+    let triples = random_kb(500, 100, 10, 5).expect("fixture kb");
     let t_raw = median_time(5, || {
         let store = TripleStore::new();
         store.insert_all("u", triples.iter())
@@ -602,6 +582,169 @@ fn e10() {
     );
 }
 
+/// One e11 measurement: the scan-heavy workload at a fixed worker-thread
+/// budget.
+struct E11Run {
+    worker_threads: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    queries: usize,
+}
+
+/// E11: query throughput under concurrent clients, worker threads 1 vs 4.
+///
+/// N client threads replay a scan-heavy SQL mix over the smartground
+/// databank (filter+project, grouped aggregate, hash join — the morsel-
+/// parallel shapes) while the engine's worker budget is switched between
+/// 1 and 4. Reports QPS and p50/p95/p99 latency per budget. The recorded
+/// `host_cores` matters: on a single-core host the 4-thread run measures
+/// scheduling overhead, not parallel speedup.
+fn e11() -> (usize, usize, Vec<E11Run>) {
+    header(
+        "E11",
+        "Concurrent-client throughput, 1 vs 4 worker threads (snapshot scans + morsels)",
+    );
+    const CLIENT_THREADS: usize = 4;
+    const ITERS_PER_CLIENT: usize = 12;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let engine = engine_at_scale(3_000);
+    let db = engine.database().clone();
+    let mix = [
+        "SELECT elem_name, amount FROM elem_contained WHERE amount > 2500.0",
+        "SELECT landfill_name, COUNT(*), SUM(amount) FROM elem_contained \
+         WHERE amount > 100.0 GROUP BY landfill_name",
+        "SELECT e.elem_name, l.city FROM elem_contained e \
+         JOIN landfill l ON e.landfill_name = l.name WHERE e.amount > 3000.0",
+    ];
+    let total_rows = db.query("SELECT COUNT(*) FROM elem_contained").unwrap().rows[0][0]
+        .lexical_form();
+    println!(
+        "workload: {} elem_contained rows, {CLIENT_THREADS} client thread(s), \
+         {host_cores} host core(s)",
+        total_rows
+    );
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "worker threads", "qps", "p50", "p95", "p99", "queries"
+    );
+    let mut runs = Vec::new();
+    for worker_threads in [1usize, 4] {
+        engine.set_exec_threads(worker_threads);
+        // Warm up once per budget (plan cache, allocator).
+        for q in &mix {
+            db.query(q).unwrap();
+        }
+        let t0 = Instant::now();
+        let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENT_THREADS)
+                .map(|_| {
+                    let db = db.clone();
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(ITERS_PER_CLIENT * mix.len());
+                        for _ in 0..ITERS_PER_CLIENT {
+                            for q in &mix {
+                                let t = Instant::now();
+                                std::hint::black_box(db.query(q).unwrap());
+                                lat.push(t.elapsed());
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed();
+        latencies.sort();
+        let pct = |p: f64| -> f64 {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx].as_secs_f64() * 1e3
+        };
+        let run = E11Run {
+            worker_threads,
+            qps: latencies.len() as f64 / wall.as_secs_f64(),
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            queries: latencies.len(),
+        };
+        println!(
+            "{:>14} {:>10.1} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9}",
+            run.worker_threads, run.qps, run.p50_ms, run.p95_ms, run.p99_ms, run.queries
+        );
+        runs.push(run);
+    }
+    engine.set_exec_threads(1);
+    if let [one, four] = runs.as_slice() {
+        println!("qps speedup 4 vs 1 worker thread: {:.2}x", four.qps / one.qps);
+    }
+    (CLIENT_THREADS, host_cores, runs)
+}
+
+/// Write the JSON baseline: the e3 table plus (when run) the e11
+/// concurrency record. Hand-rolled JSON — the workspace has no serde and
+/// the schema is flat.
+fn write_baseline_json(
+    path: &str,
+    e3_records: &[(String, Duration, Duration, usize)],
+    e11_data: Option<&(usize, usize, Vec<E11Run>)>,
+) {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n",
+    );
+    for (i, (name, ts, tb, rows)) in e3_records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sesql_median_s\": {:.9}, \"baseline_median_s\": {:.9}, \"rows\": {}}}{}\n",
+            name.replace('"', "\\\""),
+            ts.as_secs_f64(),
+            tb.as_secs_f64(),
+            rows,
+            if i + 1 < e3_records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    if let Some((clients, cores, runs)) = e11_data {
+        out.push_str(",\n  \"e11_throughput\": {\n");
+        out.push_str(
+            "    \"workload\": \"smartground scan-heavy (filter/aggregate/join over elem_contained)\",\n",
+        );
+        out.push_str(&format!("    \"client_threads\": {clients},\n"));
+        out.push_str(&format!("    \"host_cores\": {cores},\n"));
+        out.push_str("    \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"worker_threads\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"queries\": {}}}{}\n",
+                r.worker_threads,
+                r.qps,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.queries,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]");
+        if let [one, four] = runs.as_slice() {
+            out.push_str(&format!(
+                ",\n    \"qps_speedup_4v1\": {:.3}\n",
+                four.qps / one.qps
+            ));
+        } else {
+            out.push('\n');
+        }
+        out.push_str("  }\n");
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nbaseline written to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--json <path>`: also write the E3 table as a JSON baseline.
@@ -627,8 +770,10 @@ fn main() {
     if want("e2") {
         e2();
     }
+    let mut e3_records: Vec<(String, Duration, Duration, usize)> = Vec::new();
+    let mut e11_data: Option<(usize, usize, Vec<E11Run>)> = None;
     if want("e3") {
-        e3(json_path.as_deref());
+        e3_records = e3();
     }
     if want("e4") {
         e4();
@@ -653,6 +798,18 @@ fn main() {
     }
     if want("e10") {
         e10();
+    }
+    if want("e11") {
+        e11_data = Some(e11());
+    }
+    if let Some(path) = json_path.as_deref() {
+        if e3_records.is_empty() {
+            // Never clobber the checked-in baseline with an empty results
+            // array: --json requires the e3 experiment in the selection.
+            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 --json {path}`)");
+        } else {
+            write_baseline_json(path, &e3_records, e11_data.as_ref());
+        }
     }
     println!("\nall requested experiments done in {:?}", t0.elapsed());
 }

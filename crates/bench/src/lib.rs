@@ -64,7 +64,7 @@ pub fn engine_with_kb(landfills: usize, extra_kb: usize) -> SesqlEngine {
         // Load directly into the user's graph: benchmark setup does not
         // need per-statement reification overhead.
         let graph = crosse_rdf::provenance::user_graph("director");
-        let triples = random_kb(extra_kb, extra_kb / 10 + 1, 20, 99);
+        let triples = random_kb(extra_kb, extra_kb / 10 + 1, 20, 99).expect("fixture kb");
         engine.knowledge_base().store().insert_all(&graph, triples.iter());
     }
     engine
@@ -73,7 +73,7 @@ pub fn engine_with_kb(landfills: usize, extra_kb: usize) -> SesqlEngine {
 /// A triple store pre-loaded with `n` triples in one graph (E4).
 pub fn store_with_triples(n: usize) -> TripleStore {
     let store = TripleStore::new();
-    let triples = random_kb(n, n / 20 + 1, 16, 7);
+    let triples = random_kb(n, n / 20 + 1, 16, 7).expect("fixture kb");
     store.insert_all("kb", triples.iter());
     store
 }
@@ -82,7 +82,7 @@ pub fn store_with_triples(n: usize) -> TripleStore {
 /// over `users` graphs (E4 isolation: same data, varying graph count).
 pub fn store_with_users(users: usize, total: usize) -> TripleStore {
     let store = TripleStore::new();
-    let triples = random_kb(total, total / 10 + 1, 8, 7);
+    let triples = random_kb(total, total / 10 + 1, 8, 7).expect("fixture kb");
     for (i, t) in triples.iter().enumerate() {
         store.insert(&format!("user{}", i % users.max(1)), t);
     }
@@ -125,7 +125,7 @@ pub fn community(users: usize, statements: usize) -> CrossePlatform {
         platform.register_user(&format!("user{u}")).expect("register");
     }
     let kb = platform.knowledge_base();
-    for t in random_kb(statements, statements / 5 + 1, 10, 3) {
+    for t in random_kb(statements, statements / 5 + 1, 10, 3).expect("fixture kb") {
         kb.assert_statement("user0", &t).expect("assert");
     }
     platform
@@ -137,7 +137,7 @@ pub fn overlapping_community(users: usize, per_user: usize) -> CrossePlatform {
     let db = generate(&SmartGroundConfig::tiny()).expect("fixture generation");
     let platform = CrossePlatform::new(db, KnowledgeBase::new());
     let kb = platform.knowledge_base();
-    let pool = random_kb(per_user * 4, per_user, 6, 11);
+    let pool = random_kb(per_user * 4, per_user, 6, 11).expect("fixture kb");
     for u in 0..users {
         let name = format!("user{u}");
         platform.register_user(&name).expect("register");

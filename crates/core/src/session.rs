@@ -22,7 +22,7 @@
 //! mechanically.
 
 use crosse_federation::join_manager::term_to_value;
-use crosse_rdf::sparql::eval::Solutions;
+use crosse_rdf::sparql::eval::{EvalOptions, Solutions};
 use crosse_rdf::sparql::{Prepared as PreparedSparql, SolutionCursor, SparqlParams};
 use crosse_relational::{Column, DataType, Params, Prepared as PreparedSql, RowSet, Schema, Value};
 
@@ -224,6 +224,19 @@ impl Session {
         &self.engine
     }
 
+    /// Set the worker-thread budget for intra-query parallelism (morsel
+    /// scans, hash-join probes, SPARQL probe batches). The budget lives on
+    /// the shared engine — it is a server-wide setting surfaced here (and
+    /// as the CLI's `--threads` flag) for convenience. 1 = sequential.
+    pub fn set_threads(&self, threads: usize) {
+        self.engine.set_exec_threads(threads);
+    }
+
+    /// Current worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.engine.exec_threads()
+    }
+
     // ---- SESQL ----------------------------------------------------------
 
     /// Prepare a SESQL query (LRU-cached compilation).
@@ -274,7 +287,8 @@ impl Session {
     }
 
     /// Execute a prepared SPARQL query in this session's context graphs,
-    /// returning the uniform cursor.
+    /// returning the uniform cursor. Evaluation uses the session's
+    /// worker-thread budget for partition-parallel probing.
     pub fn execute_sparql(
         &self,
         prepared: &PreparedSparql,
@@ -283,7 +297,8 @@ impl Session {
         let kb = self.engine.knowledge_base();
         let graphs = kb.context_graphs(&self.user);
         let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
-        let sols = prepared.execute(kb.store(), &refs, params)?;
+        let opts = EvalOptions { threads: self.engine.exec_threads() };
+        let sols = prepared.execute_with(kb.store(), &refs, params, &opts)?;
         Ok(SparqlRows::new(sols))
     }
 }

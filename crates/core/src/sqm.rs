@@ -255,6 +255,21 @@ impl SesqlEngine {
         }
     }
 
+    /// Set the engine-wide worker-thread budget for intra-query
+    /// parallelism: relational scans/filters/projections and hash-join
+    /// probes partition pinned table snapshots, and SPARQL probe batches
+    /// partition across the same pool. 1 (the default) is sequential; 0 is
+    /// clamped to 1. The budget lives on the shared [`Database`], so every
+    /// engine clone — and direct `Database` users — see one setting.
+    pub fn set_exec_threads(&self, threads: usize) {
+        self.db.set_exec_threads(threads);
+    }
+
+    /// Current worker-thread budget (see [`SesqlEngine::set_exec_threads`]).
+    pub fn exec_threads(&self) -> usize {
+        self.db.exec_threads()
+    }
+
     /// Parse a SPARQL SELECT once per distinct text, returning the shared
     /// compiled AST (bounded LRU — generated leg texts vary with the live
     /// predicate set, so old entries age out instead of accumulating).
@@ -310,14 +325,24 @@ impl SesqlEngine {
         let t = Instant::now();
         // The compiled AST is cached per query text, so repeated legs skip
         // the parser even when the solution cache is off or invalidated.
+        let opts =
+            crosse_rdf::sparql::eval::EvalOptions { threads: self.exec_threads() };
         let evaluate = |parsed: Option<&crosse_rdf::sparql::ast::Query>| -> Result<Solutions> {
             match parsed {
-                Some(q) => {
-                    Ok(crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, q)?)
-                }
+                Some(q) => Ok(crosse_rdf::sparql::eval::evaluate_with(
+                    self.kb.store(),
+                    graphs,
+                    q,
+                    &opts,
+                )?),
                 None => {
                     let q = self.parse_cached(sparql)?;
-                    Ok(crosse_rdf::sparql::eval::evaluate(self.kb.store(), graphs, &q)?)
+                    Ok(crosse_rdf::sparql::eval::evaluate_with(
+                        self.kb.store(),
+                        graphs,
+                        &q,
+                        &opts,
+                    )?)
                 }
             }
         };
@@ -459,6 +484,8 @@ impl SesqlEngine {
                     query: cached.query,
                     slots: cached.slots,
                     text: key,
+                    version,
+                    revalidated: Arc::new(Mutex::new(None)),
                 });
             }
             // DDL since compilation: reuse the parse (text → AST is
@@ -483,7 +510,14 @@ impl SesqlEngine {
                 version,
             },
         );
-        Ok(PreparedSesql { engine: self.clone(), query, slots, text: key })
+        Ok(PreparedSesql {
+            engine: self.clone(),
+            query,
+            slots,
+            text: key,
+            version,
+            revalidated: Arc::new(Mutex::new(None)),
+        })
     }
 
     /// Execute an already-parsed SESQL query.
@@ -912,12 +946,44 @@ pub struct PreparedSesql {
     query: Arc<SesqlQuery>,
     slots: Arc<Vec<crosse_relational::SlotInfo>>,
     text: String,
+    /// Catalog version the slot types were inferred against; executions
+    /// after DDL re-infer against the live catalog (memoised below), so a
+    /// live handle held across `DROP TABLE` + re-`CREATE` binds with
+    /// fresh expectations — mirroring the relational `Prepared`.
+    version: u64,
+    revalidated: Arc<Mutex<RevalidatedSesqlSlots>>,
 }
 
+/// The latest `(catalog version, re-inferred slots)` pair of a
+/// [`PreparedSesql`] handle (empty until the first post-DDL execution).
+type RevalidatedSesqlSlots = Option<(u64, Arc<Vec<crosse_relational::SlotInfo>>)>;
+
 impl PreparedSesql {
-    /// The parameter slots, in binding order.
+    /// The parameter slots as inferred at prepare time, in binding order.
     pub fn param_slots(&self) -> &[crosse_relational::SlotInfo] {
         &self.slots
+    }
+
+    /// Slot types valid for the *current* catalog: the prepare-time
+    /// inference while no DDL has happened, else a memoised re-inference.
+    fn current_slots(&self) -> Arc<Vec<crosse_relational::SlotInfo>> {
+        let version = self.engine.db.catalog().version();
+        if version == self.version {
+            return Arc::clone(&self.slots);
+        }
+        let mut memo = self.revalidated.lock();
+        match memo.as_ref() {
+            Some((v, cached)) if *v == version => Arc::clone(cached),
+            _ => {
+                let fresh = Arc::new(crosse_relational::prepared::infer_slot_types(
+                    self.engine.db.catalog(),
+                    &self.query.select,
+                    &self.query.params,
+                ));
+                *memo = Some((version, Arc::clone(&fresh)));
+                fresh
+            }
+        }
     }
 
     /// Normalized query text (the prepared-cache key).
@@ -936,7 +1002,7 @@ impl PreparedSesql {
         if self.slots.is_empty() {
             return Ok((*self.query).clone());
         }
-        let values = resolve_params(&self.slots, params)?;
+        let values = resolve_params(&self.current_slots(), params)?;
         let mut bound = (*self.query).clone();
         bound.select = substitute_select(bound.select, &values);
         bound.conditions = bound

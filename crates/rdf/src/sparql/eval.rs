@@ -25,7 +25,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use crate::error::{Error, Result};
-use crate::store::{IdPattern, IdTriple, TripleStore};
+use crate::store::{IdPattern, IdTriple, Prober, TripleStore};
 use crate::term::{DictReader, Term, TermId};
 
 use super::ast::*;
@@ -61,8 +61,36 @@ impl Solutions {
     }
 }
 
-/// Evaluate a parsed query against the union of `graphs`.
+/// Evaluation knobs; [`Default`] is fully sequential.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Worker threads for partition-parallel probe batches (the BGP join
+    /// loop). Probe inputs are split into contiguous chunks, each worker
+    /// probes the shared store snapshot with its own scratch buffer, and
+    /// chunk outputs concatenate in order — bit-identical to sequential
+    /// evaluation. 1 (the default) disables the worker pool.
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { threads: 1 }
+    }
+}
+
+/// Evaluate a parsed query against the union of `graphs` (sequential).
 pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<Solutions> {
+    evaluate_with(store, graphs, query, &EvalOptions::default())
+}
+
+/// Evaluate a parsed query against the union of `graphs` with explicit
+/// [`EvalOptions`] (e.g. a worker-thread budget).
+pub fn evaluate_with(
+    store: &TripleStore,
+    graphs: &[&str],
+    query: &Query,
+    options: &EvalOptions,
+) -> Result<Solutions> {
     let params = query.params();
     if !params.is_empty() {
         return Err(unbound_param_error(&params));
@@ -103,6 +131,7 @@ pub fn evaluate(store: &TripleStore, graphs: &[&str], query: &Query) -> Result<S
         vars: &vars,
         var_index: &var_index,
         nums: RefCell::new(HashMap::new()),
+        threads: options.threads.max(1),
     };
     let mut rows = ctx.eval_pattern(&query.pattern, vec![vec![None; vars.len()]])?;
 
@@ -731,6 +760,60 @@ enum RTerm<'a> {
     Owned(Term),
 }
 
+/// Minimum probe-batch size before [`EvalOptions::threads`] actually
+/// spawns workers — smaller batches finish faster than a thread spawn.
+const PARALLEL_PROBE_MIN: usize = 1024;
+
+/// The probe loop of [`EvalCtx::extend_batch_simple`] over one chunk of
+/// input rows (a free function so worker threads can run it against the
+/// shared prober without borrowing the evaluation context).
+fn probe_rows(
+    ct: &CompiledTriple,
+    prober: &Prober<'_>,
+    rows: Vec<Bindings>,
+) -> Vec<Bindings> {
+    let mut out = Vec::with_capacity(rows.len());
+    let mut scratch: Vec<IdTriple> = Vec::new();
+    let mut last: Option<IdPattern> = None;
+    // Bind the free positions of `row` to one match; false if a
+    // repeated variable (e.g. ?x <p> ?x) disagrees.
+    let bind = |row: &mut Bindings, (s, p, o): IdTriple| -> bool {
+        for (pos, id) in [(0usize, s), (1, p), (2, o)] {
+            if let Slot::Var(vi) = ct.slots[pos] {
+                match row[vi] {
+                    None => row[vi] = Some(id),
+                    Some(existing) if existing == id => {}
+                    Some(_) => return false,
+                }
+            }
+        }
+        true
+    };
+    for mut row in rows {
+        let pat = ct.probe(&row);
+        if last != Some(pat) {
+            scratch.clear();
+            prober.probe(pat, &mut scratch);
+            last = Some(pat);
+        }
+        // All matches but the last extend a clone of the input
+        // row; the last consumes the row itself, so the common
+        // 1-match-per-row join allocates nothing.
+        if let [head @ .., tail] = scratch.as_slice() {
+            for &m in head {
+                let mut new_row = row.clone();
+                if bind(&mut new_row, m) {
+                    out.push(new_row);
+                }
+            }
+            if bind(&mut row, *tail) {
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
 struct EvalCtx<'a> {
     store: &'a TripleStore,
     graphs: &'a [&'a str],
@@ -738,6 +821,8 @@ struct EvalCtx<'a> {
     var_index: &'a HashMap<&'a str, usize>,
     /// Numeric interpretations memoised per term id (FILTER hot path).
     nums: RefCell<HashMap<TermId, Option<f64>>>,
+    /// Worker threads for partition-parallel probe batches (1 = off).
+    threads: usize,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -1011,6 +1096,13 @@ impl<'a> EvalCtx<'a> {
     /// scratch buffer serves every probe), and rows are pre-sorted on their
     /// probe key so consecutive range scans are index-adjacent — identical
     /// consecutive probes reuse the previous scan outright.
+    ///
+    /// With a parallel thread budget (see [`EvalOptions::threads`]) and a
+    /// large enough batch, the sorted rows are split into contiguous
+    /// chunks and probed partition-parallel: the store's graph map is
+    /// resolved once into a shared [`Prober`], each worker owns its chunk
+    /// and scratch buffer, and chunk outputs concatenate in order — the
+    /// result is bit-identical to the sequential loop.
     fn extend_batch_simple(
         &self,
         ct: &CompiledTriple,
@@ -1019,48 +1111,19 @@ impl<'a> EvalCtx<'a> {
         if rows.len() > 16 && ct.has_var() {
             rows.sort_by_cached_key(|row| ct.probe(row));
         }
-        let mut out = Vec::with_capacity(rows.len());
-        let mut scratch: Vec<IdTriple> = Vec::new();
-        let mut last: Option<IdPattern> = None;
         self.store.with_prober(self.graphs, |prober| {
-            // Bind the free positions of `row` to one match; false if a
-            // repeated variable (e.g. ?x <p> ?x) disagrees.
-            let bind = |row: &mut Bindings, (s, p, o): IdTriple| -> bool {
-                for (pos, id) in [(0usize, s), (1, p), (2, o)] {
-                    if let Slot::Var(vi) = ct.slots[pos] {
-                        match row[vi] {
-                            None => row[vi] = Some(id),
-                            Some(existing) if existing == id => {}
-                            Some(_) => return false,
-                        }
-                    }
-                }
-                true
-            };
-            for mut row in rows {
-                let pat = ct.probe(&row);
-                if last != Some(pat) {
-                    scratch.clear();
-                    prober.probe(pat, &mut scratch);
-                    last = Some(pat);
-                }
-                // All matches but the last extend a clone of the input
-                // row; the last consumes the row itself, so the common
-                // 1-match-per-row join allocates nothing.
-                if let [head @ .., tail] = scratch.as_slice() {
-                    for &m in head {
-                        let mut new_row = row.clone();
-                        if bind(&mut new_row, m) {
-                            out.push(new_row);
-                        }
-                    }
-                    if bind(&mut row, *tail) {
-                        out.push(row);
-                    }
-                }
+            if self.threads > 1 && rows.len() >= PARALLEL_PROBE_MIN {
+                let pool = crosse_exec::WorkerPool::new(self.threads);
+                pool.map_owned_chunks(rows, self.threads, |_, chunk| {
+                    probe_rows(ct, prober, chunk)
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                probe_rows(ct, prober, rows)
             }
-        });
-        out
+        })
     }
 
     /// Resolve a path endpoint once per pattern (same slot model as

@@ -31,7 +31,9 @@ use crate::store::TripleStore;
 use crate::term::Term;
 
 use super::ast::{GraphPattern, PatternTerm, PatternTriple, Query, SparqlExpr};
-use super::eval::{evaluate, Solutions};
+use super::eval::{evaluate_with, EvalOptions, Solutions};
+#[cfg(test)]
+use super::eval::evaluate;
 use super::parser::parse_query;
 
 /// Term bindings for the parameter slots of a prepared query.
@@ -142,8 +144,20 @@ impl Prepared {
         graphs: &[&str],
         params: &SparqlParams,
     ) -> Result<Solutions> {
+        self.execute_with(store, graphs, params, &EvalOptions::default())
+    }
+
+    /// Bind and evaluate with explicit [`EvalOptions`] (e.g. a worker
+    /// thread budget for partition-parallel probing).
+    pub fn execute_with(
+        &self,
+        store: &TripleStore,
+        graphs: &[&str],
+        params: &SparqlParams,
+        options: &EvalOptions,
+    ) -> Result<Solutions> {
         let bound = self.bind(params)?;
-        evaluate(store, graphs, &bound)
+        evaluate_with(store, graphs, &bound, options)
     }
 
     /// Bind and evaluate, returning a cursor over the solutions.

@@ -8,7 +8,6 @@ use crosse_cache::{CacheStats, Lru};
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
-use crate::exec::execute_plan;
 use crate::exec::expr::bind;
 use crate::exec::Rows;
 use crate::plan::{plan_select, Plan};
@@ -151,6 +150,9 @@ struct CachedStmt {
 pub struct Database {
     catalog: Catalog,
     plans: Arc<Mutex<Lru<String, CachedStmt>>>,
+    /// Worker threads for morsel-parallel query execution (shared across
+    /// clones — one engine, one setting). 1 = sequential.
+    exec_threads: Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl Default for Database {
@@ -158,6 +160,7 @@ impl Default for Database {
         Database {
             catalog: Catalog::default(),
             plans: Arc::new(Mutex::new(Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
+            exec_threads: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
         }
     }
 }
@@ -169,6 +172,20 @@ impl Database {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Set the worker-thread budget for morsel-parallel query execution
+    /// (scan/filter/project pipelines and hash-join probe sides partition
+    /// pinned snapshots across this many threads). 1 disables parallelism;
+    /// 0 is clamped to 1. Applies to every clone of this database.
+    pub fn set_exec_threads(&self, threads: usize) {
+        self.exec_threads
+            .store(threads.max(1), std::sync::atomic::Ordering::Release);
+    }
+
+    /// Current worker-thread budget for query execution.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Compile a SELECT into a [`Prepared`] handle: parse, collect typed
@@ -190,6 +207,7 @@ impl Database {
                     cached.select,
                     cached.slots,
                     cached.plan,
+                    cached.version,
                 ));
             }
             // DDL since compilation: the parse is still valid (text → AST
@@ -228,7 +246,7 @@ impl Database {
             version,
         };
         self.plans.lock().put(key.clone(), cached);
-        Ok(Prepared::new(self.clone(), key, select, slots, plan))
+        Ok(Prepared::new(self.clone(), key, select, slots, plan, version))
     }
 
     /// Hit/miss/eviction statistics of the prepared-statement cache.
@@ -249,7 +267,7 @@ impl Database {
             return Err(Error::plan("query_cursor expects a SELECT statement"));
         };
         let plan = plan_select(&self.catalog, &select)?;
-        Rows::from_plan(plan)
+        Rows::from_plan_parallel(plan, self.exec_threads())
     }
 
     /// Parse and execute a single statement.
@@ -463,7 +481,7 @@ impl Database {
     /// Plan and run a SELECT.
     pub fn run_select(&self, select: &Select) -> Result<RowSet> {
         let plan = plan_select(&self.catalog, select)?;
-        let rows = execute_plan(&plan)?;
+        let rows = crate::exec::execute_plan_parallel(&plan, self.exec_threads())?;
         Ok(RowSet { schema: plan.schema().clone(), rows })
     }
 

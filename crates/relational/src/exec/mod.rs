@@ -9,21 +9,23 @@ pub mod aggregate;
 pub mod expr;
 pub mod stream;
 
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
-
 use crate::error::Result;
 use crate::plan::Plan;
 use crate::value::Row;
 
-pub use stream::Rows;
+pub use stream::{ExecCtx, Rows};
 
-/// Execute a plan to a fully materialised set of rows.
+/// Execute a plan to a fully materialised set of rows (sequential).
 ///
 /// Clones the plan and drains the streaming executor; callers that want
 /// lazy consumption (and LIMIT short-circuiting) use [`Rows::from_plan`]
 /// instead.
 pub fn execute_plan(plan: &Plan) -> Result<Vec<Row>> {
-    let scanned = Arc::new(AtomicU64::new(0));
-    stream::stream_plan(plan.clone(), scanned)?.collect()
+    execute_plan_parallel(plan, 1)
+}
+
+/// Execute a plan to a fully materialised set of rows with up to
+/// `threads` workers for morsel-parallel operators.
+pub fn execute_plan_parallel(plan: &Plan, threads: usize) -> Result<Vec<Row>> {
+    stream::stream_plan(plan.clone(), ExecCtx::new(threads))?.collect()
 }

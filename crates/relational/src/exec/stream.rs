@@ -1,4 +1,4 @@
-//! Streaming (pull-based) plan execution.
+//! Streaming (pull-based) plan execution with morsel-driven parallelism.
 //!
 //! [`stream_plan`] lowers a [`Plan`] into an iterator of rows. Pipelined
 //! operators — scans, filters, projections, probe sides of joins, LIMIT,
@@ -8,6 +8,21 @@
 //! result. Blocking operators (SORT, GROUP BY, the build side of a hash
 //! join) still drain their input, exactly as a production Volcano engine
 //! would.
+//!
+//! Base-table access pins a [`TableSnapshot`] once per cursor: the scan
+//! streams from an immutable copy-on-write heap, so a cursor opened
+//! before a concurrent `DELETE`/`INSERT`/`TRUNCATE` sees exactly the rows
+//! of its snapshot — no skipped rows, no double reads, and no lock held
+//! between batches.
+//!
+//! When the executor runs with a parallel [`WorkerPool`] (see
+//! `Database::set_exec_threads`), scan→filter→project pipelines and the
+//! probe side of hash joins are executed as **morsels**: one wave of
+//! `threads × SCAN_BATCH` snapshot rows is partitioned across the pool
+//! and merged back in snapshot order, so parallel execution is
+//! deterministic and `LIMIT k` still stops the scan after at most one
+//! wave. The pinned snapshot is what makes this safe — workers share
+//! borrowed slices without any locking.
 //!
 //! The executor *consumes* its plan (operators own their state), which is
 //! why [`Plan`] is `Clone`: a cached prepared statement clones its plan
@@ -22,21 +37,45 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
+use crosse_exec::WorkerPool;
+
 use crate::db::RowSet;
 use crate::error::{Error, Result};
 use crate::plan::{AggSpec, IndexLookup, Plan, SortKey};
 use crate::schema::Schema;
 use crate::sql::ast::JoinKind;
-use crate::storage::Table;
+use crate::storage::{Table, TableSnapshot};
 use crate::value::{GroupKey, Row, Value};
 
 use super::aggregate::Accumulator;
 use super::expr::BoundExpr;
 
-/// Rows copied out of a base table per lock acquisition.
+/// Rows copied out of a pinned snapshot per cursor step; also the morsel
+/// size for parallel pipelines.
 pub const SCAN_BATCH: usize = 1024;
 
+/// Minimum snapshot size before a parallel pipeline spawns workers —
+/// below this the per-wave thread spawn costs more than the scan.
+pub const PARALLEL_MIN_ROWS: usize = 4096;
+
 type BoxRowIter = Box<dyn Iterator<Item = Result<Row>> + Send>;
+
+/// Shared execution state threaded through plan lowering: the scanned-rows
+/// counter and the worker pool for morsel-parallel operators.
+#[derive(Clone)]
+pub struct ExecCtx {
+    scanned: Arc<AtomicU64>,
+    pool: Arc<WorkerPool>,
+}
+
+impl ExecCtx {
+    pub fn new(threads: usize) -> Self {
+        ExecCtx {
+            scanned: Arc::new(AtomicU64::new(0)),
+            pool: Arc::new(WorkerPool::new(threads)),
+        }
+    }
+}
 
 /// A streaming result cursor: the output schema plus a lazy row iterator.
 ///
@@ -50,12 +89,19 @@ pub struct Rows {
 }
 
 impl Rows {
-    /// Lower a plan into a cursor. The plan is consumed; clone a cached
-    /// template first.
+    /// Lower a plan into a sequential cursor. The plan is consumed; clone
+    /// a cached template first.
     pub fn from_plan(plan: Plan) -> Result<Rows> {
-        let scanned = Arc::new(AtomicU64::new(0));
+        Self::from_plan_parallel(plan, 1)
+    }
+
+    /// Lower a plan into a cursor executing with up to `threads` workers
+    /// for morsel-parallel operators (1 = fully sequential).
+    pub fn from_plan_parallel(plan: Plan, threads: usize) -> Result<Rows> {
+        let ctx = ExecCtx::new(threads);
         let schema = plan.schema().clone();
-        let iter = stream_plan(plan, Arc::clone(&scanned))?;
+        let scanned = Arc::clone(&ctx.scanned);
+        let iter = stream_plan(plan, ctx)?;
         Ok(Rows { schema, iter, scanned })
     }
 
@@ -75,8 +121,9 @@ impl Rows {
     }
 
     /// Base-table rows fetched so far. A `LIMIT k` pipeline over a large
-    /// table stops within one scan batch of `k`, and this counter proves
-    /// it.
+    /// table stops within one scan wave of `k`, and this counter proves
+    /// it (it is an atomic, so it stays accurate when morsels run on
+    /// worker threads).
     pub fn rows_scanned(&self) -> u64 {
         self.scanned.load(AtomicOrdering::Relaxed)
     }
@@ -111,22 +158,18 @@ impl std::fmt::Debug for Rows {
     }
 }
 
-/// Incremental base-table scan: copies `SCAN_BATCH` rows per lock
-/// acquisition. Unlike [`Table::scan`] this is not a point-in-time
-/// snapshot — rows inserted or removed between batches may or may not be
-/// observed, which matches the engine's read-committed-style guarantees
-/// for analytical scans.
+/// Incremental base-table scan over a snapshot pinned at cursor open: a
+/// point-in-time view, streamed in [`SCAN_BATCH`] steps without holding
+/// any lock.
 struct TableCursor {
-    table: Arc<Table>,
+    snap: TableSnapshot,
     pos: usize,
-    buf: std::vec::IntoIter<Row>,
-    done: bool,
     scanned: Arc<AtomicU64>,
 }
 
 impl TableCursor {
-    fn new(table: Arc<Table>, scanned: Arc<AtomicU64>) -> Self {
-        TableCursor { table, pos: 0, buf: Vec::new().into_iter(), done: false, scanned }
+    fn new(table: &Table, scanned: Arc<AtomicU64>) -> Self {
+        TableCursor { snap: table.snapshot(), pos: 0, scanned }
     }
 }
 
@@ -134,33 +177,284 @@ impl Iterator for TableCursor {
     type Item = Result<Row>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(row) = self.buf.next() {
-                return Some(Ok(row));
+        if self.pos >= self.snap.len() {
+            return None;
+        }
+        if self.pos.is_multiple_of(SCAN_BATCH) {
+            // Charge a whole batch as it starts (the pre-snapshot executor
+            // copied out per batch; the counter's granularity is kept).
+            let n = (self.snap.len() - self.pos).min(SCAN_BATCH);
+            self.scanned.fetch_add(n as u64, AtomicOrdering::Relaxed);
+        }
+        let row = self.snap.rows()[self.pos].clone();
+        self.pos += 1;
+        Some(Ok(row))
+    }
+}
+
+// ---- morsel-parallel pipelines ---------------------------------------------
+
+/// The per-morsel work of a parallelised pipeline fragment. Workers apply
+/// it to disjoint slices of one pinned snapshot; the results are merged
+/// back in snapshot order.
+enum MorselWork {
+    /// `Scan → [Filter] → [Project]` collapsed into one pass.
+    FilterProject {
+        predicate: Option<BoundExpr>,
+        exprs: Option<Vec<BoundExpr>>,
+    },
+    /// The probe side of a hash join (optionally pre-filtered): each
+    /// snapshot row probes the shared build table.
+    HashProbe {
+        prefilter: Option<BoundExpr>,
+        table: HashMap<Vec<GroupKey>, Vec<usize>>,
+        right_rows: Vec<Row>,
+        left_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        kind: JoinKind,
+        right_width: usize,
+    },
+}
+
+impl MorselWork {
+    fn apply(&self, morsel: &[Row]) -> Result<Vec<Row>> {
+        match self {
+            MorselWork::FilterProject { predicate, exprs } => {
+                let mut out = Vec::new();
+                for row in morsel {
+                    if let Some(p) = predicate {
+                        if !p.eval_predicate(row)? {
+                            continue;
+                        }
+                    }
+                    match exprs {
+                        Some(es) => {
+                            let mut projected = Vec::with_capacity(es.len());
+                            for e in es {
+                                projected.push(e.eval(row)?);
+                            }
+                            out.push(projected);
+                        }
+                        None => out.push(row.clone()),
+                    }
+                }
+                Ok(out)
             }
-            if self.done {
-                return None;
+            MorselWork::HashProbe {
+                prefilter,
+                table,
+                right_rows,
+                left_keys,
+                residual,
+                kind,
+                right_width,
+            } => {
+                let mut out = Vec::new();
+                for l in morsel {
+                    if let Some(p) = prefilter {
+                        if !p.eval_predicate(l)? {
+                            continue;
+                        }
+                    }
+                    let before = out.len();
+                    let mut key = Vec::with_capacity(left_keys.len());
+                    let mut null_key = false;
+                    for k in left_keys {
+                        let v = k.eval(l)?;
+                        if v.is_null() {
+                            null_key = true;
+                            break;
+                        }
+                        key.push(v.group_key());
+                    }
+                    if !null_key {
+                        if let Some(matches) = table.get(&key) {
+                            for &ri in matches {
+                                let mut combined = l.to_vec();
+                                combined.extend(right_rows[ri].iter().cloned());
+                                if let Some(p) = residual {
+                                    if !p.eval_predicate(&combined)? {
+                                        continue;
+                                    }
+                                }
+                                out.push(combined);
+                            }
+                        }
+                    }
+                    if out.len() == before && *kind == JoinKind::Left {
+                        let mut combined = l.to_vec();
+                        combined.extend(std::iter::repeat_n(Value::Null, *right_width));
+                        out.push(combined);
+                    }
+                }
+                Ok(out)
             }
-            let batch = self.table.scan_batch(self.pos, SCAN_BATCH);
-            self.pos += batch.len();
-            self.scanned.fetch_add(batch.len() as u64, AtomicOrdering::Relaxed);
-            if batch.len() < SCAN_BATCH {
-                self.done = true;
-            }
-            if batch.is_empty() {
-                return None;
-            }
-            self.buf = batch.into_iter();
         }
     }
 }
 
+/// Wave-based morsel scan: pulls `threads × SCAN_BATCH` snapshot rows per
+/// wave, partitions them across the pool, and yields the merged results in
+/// snapshot order. Lazy between waves, so `LIMIT k` consumers stop the
+/// scan after the wave that satisfied them. Rows produced before a failing
+/// morsel are still yielded (sequential-order error semantics); the error
+/// then ends the stream.
+struct MorselScan {
+    snap: TableSnapshot,
+    pos: usize,
+    pool: Arc<WorkerPool>,
+    work: Arc<MorselWork>,
+    scanned: Arc<AtomicU64>,
+    buf: std::vec::IntoIter<Row>,
+    pending_err: Option<Error>,
+    done: bool,
+}
+
+impl MorselScan {
+    fn new(
+        snap: TableSnapshot,
+        pool: Arc<WorkerPool>,
+        work: MorselWork,
+        scanned: Arc<AtomicU64>,
+    ) -> Self {
+        MorselScan {
+            snap,
+            pos: 0,
+            pool,
+            work: Arc::new(work),
+            scanned,
+            buf: Vec::new().into_iter(),
+            pending_err: None,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for MorselScan {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Some(Ok(row));
+            }
+            if let Some(e) = self.pending_err.take() {
+                self.done = true;
+                return Some(Err(e));
+            }
+            if self.done || self.pos >= self.snap.len() {
+                return None;
+            }
+            let wave = self.pool.threads() * SCAN_BATCH;
+            let hi = (self.pos + wave).min(self.snap.len());
+            let slice = &self.snap.rows()[self.pos..hi];
+            self.scanned.fetch_add(slice.len() as u64, AtomicOrdering::Relaxed);
+            self.pos = hi;
+            let work = Arc::clone(&self.work);
+            let results: Vec<Result<Vec<Row>>> =
+                self.pool.map_chunks(slice, SCAN_BATCH, |_, morsel| work.apply(morsel));
+            let mut out: Vec<Row> = Vec::new();
+            for r in results {
+                match r {
+                    Ok(mut rows) => out.append(&mut rows),
+                    Err(e) => {
+                        // Keep rows of in-order earlier morsels, then fail.
+                        self.pending_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.buf = out.into_iter();
+        }
+    }
+}
+
+/// Try to lower `plan` as a morsel-parallel pipeline fragment. Returns the
+/// plan unchanged when it is not a recognised fragment (or the pool is
+/// sequential, or the table is too small to be worth partitioning).
+// The "error" is the unconsumed plan handed back to the sequential path —
+// its size is irrelevant (one move, never propagated).
+#[allow(clippy::result_large_err)]
+fn try_parallel(plan: Plan, ctx: &ExecCtx) -> std::result::Result<BoxRowIter, Plan> {
+    if !ctx.pool.is_parallel() {
+        return Err(plan);
+    }
+    // Decompose Scan / Filter(Scan) into (table, scan schema, prefilter);
+    // the schema is kept so an undersized fragment reassembles exactly.
+    type ScanParts = (Arc<Table>, Schema, Option<BoundExpr>);
+    let scan_parts = |p: Plan| -> std::result::Result<ScanParts, Plan> {
+        match p {
+            Plan::Scan { table, schema } => Ok((table, schema, None)),
+            Plan::Filter { input, predicate } => match *input {
+                Plan::Scan { table, schema } => Ok((table, schema, Some(predicate))),
+                other => Err(Plan::Filter { input: Box::new(other), predicate }),
+            },
+            other => Err(other),
+        }
+    };
+    // Reassemble a decomposed fragment for the sequential path.
+    let reassemble = |table: Arc<Table>, schema: Schema, prefilter: Option<BoundExpr>| {
+        let scan = Plan::Scan { table, schema };
+        match prefilter {
+            Some(predicate) => Plan::Filter { input: Box::new(scan), predicate },
+            None => scan,
+        }
+    };
+    match plan {
+        Plan::Project { input, exprs, schema } => match scan_parts(*input) {
+            Ok((table, scan_schema, prefilter)) => {
+                let snap = table.snapshot();
+                if snap.len() < PARALLEL_MIN_ROWS {
+                    return Err(Plan::Project {
+                        input: Box::new(reassemble(table, scan_schema, prefilter)),
+                        exprs,
+                        schema,
+                    });
+                }
+                Ok(Box::new(MorselScan::new(
+                    snap,
+                    Arc::clone(&ctx.pool),
+                    MorselWork::FilterProject { predicate: prefilter, exprs: Some(exprs) },
+                    Arc::clone(&ctx.scanned),
+                )))
+            }
+            Err(other) => Err(Plan::Project { input: Box::new(other), exprs, schema }),
+        },
+        other => match scan_parts(other) {
+            // A bare Scan (no filter) gains nothing from workers — every
+            // "morsel" would be a plain copy — so only filtered scans run
+            // parallel here.
+            Ok((table, scan_schema, Some(predicate))) => {
+                let snap = table.snapshot();
+                if snap.len() < PARALLEL_MIN_ROWS {
+                    return Err(reassemble(table, scan_schema, Some(predicate)));
+                }
+                Ok(Box::new(MorselScan::new(
+                    snap,
+                    Arc::clone(&ctx.pool),
+                    MorselWork::FilterProject { predicate: Some(predicate), exprs: None },
+                    Arc::clone(&ctx.scanned),
+                )))
+            }
+            Ok((table, scan_schema, None)) => Err(reassemble(table, scan_schema, None)),
+            Err(other) => Err(other),
+        },
+    }
+}
+
 /// Lower a plan into a lazy row iterator, charging base-table fetches to
-/// `scanned`.
-pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
+/// the context's scanned counter and running recognised pipeline fragments
+/// on the context's worker pool.
+pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
+    let plan = match try_parallel(plan, &ctx) {
+        Ok(iter) => return Ok(iter),
+        Err(plan) => plan,
+    };
     match plan {
         Plan::Values { rows, .. } => Ok(Box::new(rows.into_iter().map(Ok))),
-        Plan::Scan { table, .. } => Ok(Box::new(TableCursor::new(table, scanned))),
+        Plan::Scan { table, .. } => {
+            Ok(Box::new(TableCursor::new(&table, Arc::clone(&ctx.scanned))))
+        }
         Plan::IndexScan { table, column, lookup, .. } => {
             let via_index = match &lookup {
                 IndexLookup::Eq(keys) => table.index_lookup_eq(column, keys),
@@ -172,13 +466,13 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
                 Some(rows) => {
                     // The index already narrowed the fetch; charge only
                     // what it returned.
-                    scanned.fetch_add(rows.len() as u64, AtomicOrdering::Relaxed);
+                    ctx.scanned.fetch_add(rows.len() as u64, AtomicOrdering::Relaxed);
                     Ok(Box::new(rows.into_iter().map(Ok)))
                 }
                 // Index dropped between planning and execution: degrade to
                 // a filtered streaming scan with identical semantics.
                 None => {
-                    let cursor = TableCursor::new(table, scanned);
+                    let cursor = TableCursor::new(&table, Arc::clone(&ctx.scanned));
                     Ok(Box::new(cursor.filter(move |r| match r {
                         Ok(row) => lookup.matches(&row[column]),
                         Err(_) => true,
@@ -187,7 +481,7 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
             }
         }
         Plan::Filter { input, predicate } => {
-            let mut child = stream_plan(*input, scanned)?;
+            let mut child = stream_plan(*input, ctx)?;
             Ok(Box::new(std::iter::from_fn(move || loop {
                 match child.next()? {
                     Err(e) => return Some(Err(e)),
@@ -200,7 +494,7 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
             })))
         }
         Plan::Project { input, exprs, .. } => {
-            let child = stream_plan(*input, scanned)?;
+            let child = stream_plan(*input, ctx)?;
             Ok(Box::new(child.map(move |r| {
                 let row = r?;
                 let mut projected = Vec::with_capacity(exprs.len());
@@ -213,8 +507,8 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
         Plan::NestedLoopJoin { left, right, kind, predicate, .. } => {
             let right_width = right.schema().len();
             let right_rows: Vec<Row> =
-                stream_plan(*right, Arc::clone(&scanned))?.collect::<Result<_>>()?;
-            let left_iter = stream_plan(*left, scanned)?;
+                stream_plan(*right, ctx.clone())?.collect::<Result<_>>()?;
+            let left_iter = stream_plan(*left, ctx)?;
             Ok(Box::new(JoinStream::new(
                 left_iter,
                 kind,
@@ -238,7 +532,7 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
         Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, .. } => {
             let right_width = right.schema().len();
             let right_rows: Vec<Row> =
-                stream_plan(*right, Arc::clone(&scanned))?.collect::<Result<_>>()?;
+                stream_plan(*right, ctx.clone())?.collect::<Result<_>>()?;
             // Build side: NULL keys never participate (SQL equi-join).
             let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
             'rows: for (i, r) in right_rows.iter().enumerate() {
@@ -252,7 +546,41 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
                 }
                 table.entry(key).or_default().push(i);
             }
-            let left_iter = stream_plan(*left, scanned)?;
+            // Partition-parallel probe: when the probe side is a (filtered)
+            // scan of a big enough table, workers probe the shared build
+            // table over disjoint snapshot morsels, in snapshot order.
+            if ctx.pool.is_parallel() && matches!(kind, JoinKind::Inner | JoinKind::Left) {
+                let probe_scan = match *left {
+                    Plan::Scan { ref table, .. } => Some((Arc::clone(table), None)),
+                    Plan::Filter { ref input, ref predicate } => match **input {
+                        Plan::Scan { ref table, .. } => {
+                            Some((Arc::clone(table), Some(predicate.clone())))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some((probe_table, prefilter)) = probe_scan {
+                    let snap = probe_table.snapshot();
+                    if snap.len() >= PARALLEL_MIN_ROWS {
+                        return Ok(Box::new(MorselScan::new(
+                            snap,
+                            Arc::clone(&ctx.pool),
+                            MorselWork::HashProbe {
+                                prefilter,
+                                table,
+                                right_rows,
+                                left_keys,
+                                residual,
+                                kind,
+                                right_width,
+                            },
+                            Arc::clone(&ctx.scanned),
+                        )));
+                    }
+                }
+            }
+            let left_iter = stream_plan(*left, ctx)?;
             Ok(Box::new(JoinStream::new(
                 left_iter,
                 kind,
@@ -283,17 +611,17 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
             )))
         }
         Plan::Aggregate { input, group, aggs, .. } => {
-            let child = stream_plan(*input, scanned)?;
+            let child = stream_plan(*input, ctx)?;
             let out = aggregate_rows(child, &group, &aggs)?;
             Ok(Box::new(out.into_iter().map(Ok)))
         }
         Plan::Sort { input, keys } => {
-            let child = stream_plan(*input, scanned)?;
+            let child = stream_plan(*input, ctx)?;
             let out = sort_rows(child, &keys)?;
             Ok(Box::new(out.into_iter().map(Ok)))
         }
         Plan::Distinct { input } => {
-            let mut child = stream_plan(*input, scanned)?;
+            let mut child = stream_plan(*input, ctx)?;
             let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
             Ok(Box::new(std::iter::from_fn(move || loop {
                 match child.next()? {
@@ -308,7 +636,7 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
             })))
         }
         Plan::Limit { input, limit, offset } => {
-            let mut child = stream_plan(*input, scanned)?;
+            let mut child = stream_plan(*input, ctx)?;
             let mut to_skip = offset as usize;
             let mut remaining = limit.map(|l| l as usize);
             Ok(Box::new(std::iter::from_fn(move || {
@@ -346,7 +674,7 @@ pub fn stream_plan(plan: Plan, scanned: Arc<AtomicU64>) -> Result<BoxRowIter> {
                     Some(it) => it,
                     None => {
                         let next_plan = pending.pop_front()?;
-                        match stream_plan(next_plan, Arc::clone(&scanned)) {
+                        match stream_plan(next_plan, ctx.clone()) {
                             Ok(it) => current.insert(it),
                             Err(e) => return Some(Err(e)),
                         }

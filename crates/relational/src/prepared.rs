@@ -22,6 +22,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::db::{Database, RowSet};
 use crate::error::{Error, Result};
 use crate::exec::Rows;
@@ -404,7 +406,19 @@ pub struct Prepared {
     plan: Option<(Arc<Plan>, u64)>,
     /// Normalized statement text (the plan-cache key).
     text: String,
+    /// Catalog version the slot types were inferred against. Executions
+    /// after DDL re-infer slots against the live catalog, so a handle held
+    /// across `DROP TABLE` + re-`CREATE` binds with fresh expectations.
+    version: u64,
+    /// Memo of the latest post-DDL re-inference `(catalog version, slots)`,
+    /// shared across clones: one DDL event costs one re-inference, not one
+    /// per subsequent execution for the life of the handle.
+    revalidated: Arc<Mutex<RevalidatedSlots>>,
 }
+
+/// The latest `(catalog version, re-inferred slots)` pair of a
+/// [`Prepared`] handle (empty until the first post-DDL execution).
+type RevalidatedSlots = Option<(u64, Arc<Vec<SlotInfo>>)>;
 
 impl Prepared {
     pub(crate) fn new(
@@ -413,8 +427,17 @@ impl Prepared {
         select: Arc<Select>,
         slots: Arc<Vec<SlotInfo>>,
         plan: Option<(Arc<Plan>, u64)>,
+        version: u64,
     ) -> Self {
-        Prepared { db, select, slots, plan, text }
+        Prepared {
+            db,
+            select,
+            slots,
+            plan,
+            text,
+            version,
+            revalidated: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The parameter slots, in binding order.
@@ -432,9 +455,32 @@ impl Prepared {
         &self.select
     }
 
-    /// Bind `params` into a parameter-free SELECT.
+    /// Slot types valid for the *current* catalog: the prepare-time
+    /// inference while no DDL has happened, else a re-inference memoised
+    /// per catalog version (one DDL event costs one AST walk, not one per
+    /// execution).
+    fn current_slots(&self) -> Arc<Vec<SlotInfo>> {
+        let version = self.db.catalog().version();
+        if version == self.version {
+            return Arc::clone(&self.slots);
+        }
+        let mut memo = self.revalidated.lock();
+        match memo.as_ref() {
+            Some((v, cached)) if *v == version => Arc::clone(cached),
+            _ => {
+                let raw = crate::sql::parser::collect_params(&self.select);
+                let fresh =
+                    Arc::new(infer_slot_types(self.db.catalog(), &self.select, &raw));
+                *memo = Some((version, Arc::clone(&fresh)));
+                fresh
+            }
+        }
+    }
+
+    /// Bind `params` into a parameter-free SELECT. Binds against the
+    /// live catalog's slot types (same re-validation as [`Prepared::execute`]).
     pub fn bind(&self, params: &Params) -> Result<Select> {
-        let values = resolve_params(&self.slots, params)?;
+        let values = resolve_params(&self.current_slots(), params)?;
         Ok(substitute_select((*self.select).clone(), &values))
     }
 
@@ -443,22 +489,28 @@ impl Prepared {
     /// Parameterless statements reuse the cached plan template (no parse,
     /// no plan); parameterised ones substitute literals and re-plan, so
     /// value-dependent access paths (index eq/range scans) are chosen per
-    /// binding.
+    /// binding. Execution inherits the database's worker-thread budget
+    /// (see `Database::set_exec_threads`).
     pub fn execute(&self, params: &Params) -> Result<Rows> {
+        let threads = self.db.exec_threads();
         if self.slots.is_empty() {
             if let Some((plan, version)) = &self.plan {
                 if *version == self.db.catalog().version() {
-                    return Rows::from_plan((**plan).clone());
+                    return Rows::from_plan_parallel((**plan).clone(), threads);
                 }
             }
             // DDL since planning (or no template): re-plan against the
             // live catalog.
             let plan = plan_select(self.db.catalog(), &self.select)?;
-            return Rows::from_plan(plan);
+            return Rows::from_plan_parallel(plan, threads);
         }
+        // DDL since preparation: the parse stays valid, but slot types must
+        // be re-derived so bindings coerce against the live column types
+        // (never the stale inference, which could reject or mis-coerce).
+        // `bind` routes through the same per-version memoised re-inference.
         let bound = self.bind(params)?;
         let plan = plan_select(self.db.catalog(), &bound)?;
-        Rows::from_plan(plan)
+        Rows::from_plan_parallel(plan, threads)
     }
 
     /// Execute and materialise (the `collect()` adapter over

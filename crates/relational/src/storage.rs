@@ -1,14 +1,25 @@
 //! Row storage: tables and the catalog.
 //!
-//! Storage is deliberately simple — an in-memory heap of rows per table
-//! guarded by a `parking_lot::RwLock` — because the engine's role in the
-//! CroSSE reproduction is to stand in for the PostgreSQL "main platform":
-//! SESQL needs correct scans, inserts and temporary tables, not WAL or MVCC.
+//! Storage is an in-memory heap of rows per table held as a **generational
+//! copy-on-write snapshot**: the heap is an `Arc<Vec<Row>>` behind a
+//! `parking_lot::RwLock`. Readers pin the current `Arc` once (a
+//! [`TableSnapshot`]) and then stream from it without ever re-taking the
+//! lock — a cursor sees exactly the rows that existed when it opened, no
+//! matter what concurrent `INSERT`/`DELETE`/`TRUNCATE` traffic does in the
+//! meantime. Writers mutate through [`Arc::make_mut`]: while no snapshot
+//! is pinned that is an in-place update (the common case), and while one
+//! is pinned the writer clones the heap and readers keep their frozen
+//! version. This is what makes lock-free morsel-parallel scans safe: a
+//! worker pool can partition a pinned snapshot freely because nothing can
+//! mutate it. The engine still stands in for the PostgreSQL "main
+//! platform" of the CroSSE paper — no WAL, no multi-statement
+//! transactions — but single-statement reads are now true point-in-time
+//! snapshots rather than prefix-consistent lock-step scans.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -105,12 +116,48 @@ impl Index {
     }
 }
 
+/// A pinned, immutable view of a table's heap at one point in time.
+///
+/// Cheap to clone (it is an `Arc` plus a generation counter). Writers
+/// never mutate the pinned vector — they copy-on-write — so holding a
+/// snapshot across arbitrary concurrent DML is safe and lock-free, and a
+/// worker pool may partition `rows()` across threads freely.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    rows: Arc<Vec<Row>>,
+    generation: u64,
+}
+
+impl TableSnapshot {
+    /// All rows frozen in this snapshot.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table's write generation when this snapshot was pinned; two
+    /// snapshots with equal generations hold identical rows.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 /// A heap-organised table.
 #[derive(Debug)]
 pub struct Table {
     pub name: String,
     pub schema: Schema,
-    rows: RwLock<Vec<Row>>,
+    rows: RwLock<Arc<Vec<Row>>>,
+    /// Bumped on every heap mutation (insert/delete/update/truncate),
+    /// under the rows write lock.
+    generation: AtomicU64,
     indexes: RwLock<Vec<Arc<Index>>>,
 }
 
@@ -119,7 +166,8 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(Vec::new()),
+            rows: RwLock::new(Arc::new(Vec::new())),
+            generation: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
         }
     }
@@ -129,16 +177,29 @@ impl Table {
         self.rows.read().len()
     }
 
+    /// Pin the current heap as an immutable [`TableSnapshot`]. The caller
+    /// holds no lock afterwards; concurrent writers copy-on-write around
+    /// the pinned rows.
+    pub fn snapshot(&self) -> TableSnapshot {
+        let rows = self.rows.read();
+        TableSnapshot {
+            rows: Arc::clone(&*rows),
+            generation: self.generation.load(AtomicOrdering::Acquire),
+        }
+    }
+
     /// Validate a row against the schema (arity + per-column coercion) and
     /// append it.
     pub fn insert(&self, row: Row) -> Result<()> {
         let coerced = self.check_row(row)?;
         let mut rows = self.rows.write();
+        let rows = Arc::make_mut(&mut *rows);
         let pos = rows.len();
         for idx in self.indexes.read().iter() {
             idx.note_append(pos, &coerced);
         }
         rows.push(coerced);
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         Ok(())
     }
 
@@ -151,6 +212,7 @@ impl Table {
         }
         let n = checked.len();
         let mut stored = self.rows.write();
+        let stored = Arc::make_mut(&mut *stored);
         let indexes = self.indexes.read();
         for (offset, row) in checked.iter().enumerate() {
             for idx in indexes.iter() {
@@ -158,6 +220,7 @@ impl Table {
             }
         }
         stored.extend(checked);
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         Ok(n)
     }
 
@@ -176,23 +239,14 @@ impl Table {
             .collect()
     }
 
-    /// Snapshot of all rows (copy-out scan).
+    /// Copy of all rows (materialised scan). Streaming readers should pin
+    /// [`Table::snapshot`] instead and borrow from it.
     pub fn scan(&self) -> Vec<Row> {
-        self.rows.read().clone()
+        self.rows.read().as_ref().clone()
     }
 
-    /// Copy out up to `max` rows starting at heap position `start` (the
-    /// streaming executor's incremental scan). Each call takes the read
-    /// lock independently, so a scan interleaved with writes observes a
-    /// prefix-consistent, not point-in-time, view.
-    pub fn scan_batch(&self, start: usize, max: usize) -> Vec<Row> {
-        let rows = self.rows.read();
-        let lo = start.min(rows.len());
-        let hi = (start + max).min(rows.len());
-        rows[lo..hi].to_vec()
-    }
-
-    /// Visit rows without copying the whole table.
+    /// Visit rows without copying the whole table. Holds the read lock for
+    /// the duration; use [`Table::snapshot`] for long walks.
     pub fn for_each(&self, mut f: impl FnMut(&Row)) {
         for row in self.rows.read().iter() {
             f(row);
@@ -202,37 +256,61 @@ impl Table {
     /// Delete rows matching `pred`; returns the number removed.
     pub fn delete_where(&self, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let mut rows = self.rows.write();
+        let rows = Arc::make_mut(&mut *rows);
         let before = rows.len();
         rows.retain(|r| !pred(r));
         let removed = before - rows.len();
         if removed > 0 {
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
             self.mark_indexes_dirty();
         }
         removed
     }
 
     /// Update rows in place: `f` receives each row mutably and returns true
-    /// if it modified the row. Updated rows are re-validated.
+    /// if it modified the row. Updated rows are re-validated. If `f` errors
+    /// mid-iteration, rows it already rewrote stay rewritten (per-statement
+    /// atomicity is the executor's job) — the generation bump and the
+    /// index-dirty mark still happen, so no index serves the stale keys.
     pub fn update_where(
         &self,
         mut f: impl FnMut(&mut Row) -> Result<bool>,
     ) -> Result<usize> {
         let mut rows = self.rows.write();
+        let rows = Arc::make_mut(&mut *rows);
         let mut updated = 0;
+        let mut failed: Option<Error> = None;
         for row in rows.iter_mut() {
-            if f(row)? {
-                updated += 1;
+            match f(row) {
+                Ok(true) => updated += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
             }
         }
-        if updated > 0 {
+        // A failed closure may have mutated its row in place before
+        // erroring, so an error conservatively invalidates too — better a
+        // spurious index rebuild than a lookup serving stale keys.
+        if updated > 0 || failed.is_some() {
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
             self.mark_indexes_dirty();
         }
-        Ok(updated)
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(updated),
+        }
     }
 
-    /// Remove all rows, keeping the schema.
+    /// Remove all rows, keeping the schema. Pinned snapshots keep the old
+    /// rows; the table publishes a fresh empty heap.
     pub fn truncate(&self) {
-        self.rows.write().clear();
+        let mut rows = self.rows.write();
+        // Don't clear through make_mut: dropping the reference entirely is
+        // cheaper when a reader has the old heap pinned.
+        *rows = Arc::new(Vec::new());
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         self.mark_indexes_dirty();
     }
 
@@ -289,10 +367,18 @@ impl Table {
     /// Point lookup through an index on `column`: rows whose column value
     /// equals any of `keys` (NULL keys never match). Returns `None` if no
     /// index covers the column — callers fall back to a scan.
+    ///
+    /// The lookup pins the live heap as a snapshot while resolving entry
+    /// positions under the read lock, then materialises matching rows from
+    /// the pinned snapshot off-lock — the same pin-once discipline as the
+    /// scan path, so index results are point-in-time consistent.
     pub fn index_lookup_eq(&self, column: usize, keys: &[Value]) -> Option<Vec<Row>> {
         let idx = self.index_for(column)?;
         let rows = self.rows.read();
         self.ensure_clean(&idx, &rows);
+        // Entry positions are resolved while the rows read lock is held, so
+        // they are guaranteed consistent with the heap we pin; row
+        // materialisation then happens off-lock from the snapshot.
         let entries = idx.entries.read();
         let mut positions: Vec<usize> = Vec::new();
         for key in keys {
@@ -303,11 +389,14 @@ impl Table {
                 positions.extend_from_slice(ps);
             }
         }
+        drop(entries);
+        let snap = Arc::clone(&*rows);
+        drop(rows);
         // Dedupe positions in case the key list itself contains duplicates,
         // and restore heap order for deterministic output.
         positions.sort_unstable();
         positions.dedup();
-        Some(positions.into_iter().map(|p| rows[p].clone()).collect())
+        Some(positions.into_iter().filter_map(|p| snap.get(p).cloned()).collect())
     }
 
     /// Range lookup through an index on `column` (NULL values are never in
@@ -332,8 +421,11 @@ impl Table {
         for (_, ps) in entries.range((map_bound(low), map_bound(high))) {
             positions.extend_from_slice(ps);
         }
+        drop(entries);
+        let snap = Arc::clone(&*rows);
+        drop(rows);
         positions.sort_unstable();
-        Some(positions.into_iter().map(|p| rows[p].clone()).collect())
+        Some(positions.into_iter().filter_map(|p| snap.get(p).cloned()).collect())
     }
 
     /// Rebuild a dirty index. Safe against concurrent mutation because the
@@ -614,6 +706,68 @@ mod tests {
         let cat2 = cat.clone();
         cat.create_table("t", landfill_cols()).unwrap();
         assert!(cat2.has_table("t"));
+    }
+
+    // ---- snapshots ---------------------------------------------------------
+
+    #[test]
+    fn snapshot_pins_rows_across_every_mutation_kind() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", landfill_cols()).unwrap();
+        t.insert_many(vec![row!["a", "x", 1.0], row!["b", "y", 2.0]]).unwrap();
+        let s1 = t.snapshot();
+        assert_eq!(s1.len(), 2);
+
+        t.insert(row!["c", "z", 3.0]).unwrap();
+        let s2 = t.snapshot();
+        assert!(s2.generation() > s1.generation(), "writes bump the generation");
+        assert_eq!(s1.len(), 2, "pinned snapshot frozen across INSERT");
+        assert_eq!(s2.len(), 3);
+
+        t.update_where(|r| {
+            r[2] = Value::from(9.0);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(s2.rows()[0][2], Value::Float(1.0), "frozen across UPDATE");
+
+        t.delete_where(|r| r[0] == Value::from("a"));
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(s1.len(), 2, "frozen across DELETE + TRUNCATE");
+        assert_eq!(s2.len(), 3);
+
+        // Equal generations ⇒ identical rows (no write in between).
+        let s3 = t.snapshot();
+        let s4 = t.snapshot();
+        assert_eq!(s3.generation(), s4.generation());
+        assert_eq!(s3.rows(), s4.rows());
+        assert!(s3.is_empty());
+    }
+
+    #[test]
+    fn update_error_midway_still_dirties_indexes() {
+        // An UPDATE whose closure errors after mutating earlier rows must
+        // leave the index marked dirty, so no lookup serves stale keys.
+        let (_cat, t) = indexed_table();
+        let col = t.schema.resolve(None, "city").unwrap();
+        let err = t.update_where(|r| {
+            if r[0] == Value::from("a") {
+                r[1] = Value::from("Moved");
+                Ok(true)
+            } else if r[0] == Value::from("b") {
+                Err(Error::eval("boom"))
+            } else {
+                Ok(false)
+            }
+        });
+        assert!(err.is_err());
+        // Row "a" moved out of Torino; the index must reflect that.
+        let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::from("c"));
+        let rows = t.index_lookup_eq(col, &[Value::from("Moved")]).unwrap();
+        assert_eq!(rows.len(), 1);
     }
 
     // ---- secondary indexes ------------------------------------------------

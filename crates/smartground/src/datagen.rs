@@ -41,6 +41,30 @@ impl Default for SmartGroundConfig {
 }
 
 impl SmartGroundConfig {
+    /// Validate the knobs before generation: a malformed configuration
+    /// must surface as a typed [`Error`](crosse_relational::Error) from
+    /// [`populate`], never abort the process. Checked invariants:
+    ///
+    /// * `elements_per_landfill >= 1` when any landfill is generated —
+    ///   every landfill row needs at least one contained element;
+    /// * `labs >= 1` when `analyses_per_landfill > 0` — analyses reference
+    ///   a laboratory by name.
+    pub fn validate(&self) -> Result<()> {
+        if self.landfills > 0 && self.elements_per_landfill == 0 {
+            return Err(crosse_relational::Error::constraint(
+                "SmartGround config: elements_per_landfill must be >= 1 \
+                 (every landfill records at least one contained element)",
+            ));
+        }
+        if self.analyses_per_landfill > 0 && self.labs == 0 {
+            return Err(crosse_relational::Error::constraint(
+                "SmartGround config: analyses_per_landfill > 0 requires labs >= 1 \
+                 (each analysis references a laboratory)",
+            ));
+        }
+        Ok(())
+    }
+
     /// A tiny configuration for unit tests.
     pub fn tiny() -> Self {
         SmartGroundConfig {
@@ -75,7 +99,10 @@ pub fn lab_name(i: usize) -> String {
 }
 
 /// Create the schema and populate it. Returns the total row count.
+/// A malformed config yields a typed error (see
+/// [`SmartGroundConfig::validate`]), never a panic.
 pub fn populate(db: &Database, config: &SmartGroundConfig) -> Result<usize> {
+    config.validate()?;
     create_schema(db)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut total = 0;
@@ -198,7 +225,9 @@ mod tests {
         assert_eq!(count("element"), Value::Int(ELEMENTS.len() as i64));
         assert_eq!(count("laboratory"), Value::Int(2));
         assert_eq!(count("analysis"), Value::Int(20));
-        let Value::Int(n) = count("elem_contained") else { panic!() };
+        let Value::Int(n) = count("elem_contained") else {
+            panic!("COUNT(*) over elem_contained must produce an Int")
+        };
         assert!(n >= 10, "each landfill has at least one element");
     }
 

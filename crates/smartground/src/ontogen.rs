@@ -144,14 +144,37 @@ pub fn director_ontology(kb: &KnowledgeBase, user: &str) -> crosse_rdf::Result<u
 /// A synthetic knowledge base of `n` triples over `subjects` subjects and
 /// `properties` properties — the E4 scaling workload. Deterministic in the
 /// seed; triples may repeat subjects but are pairwise distinct.
-pub fn random_kb(n: usize, subjects: usize, properties: usize, seed: u64) -> Vec<Triple> {
+///
+/// An impossible request — `n` larger than the number of distinct triples
+/// the vocabulary can express — is a typed error. (It used to spin the
+/// rejection-sampling loop forever, which in a server process is as fatal
+/// as an abort.)
+pub fn random_kb(
+    n: usize,
+    subjects: usize,
+    properties: usize,
+    seed: u64,
+) -> crosse_rdf::Result<Vec<Triple>> {
+    let subjects = subjects.max(1);
+    let properties = properties.max(1);
+    let space = subjects
+        .saturating_mul(properties)
+        .saturating_mul(subjects.saturating_mul(4));
+    if n > space {
+        return Err(crosse_rdf::Error::store(format!(
+            "random_kb: cannot generate {n} distinct triples from a vocabulary of \
+             {subjects} subject(s) × {properties} propert(y/ies) × {} object(s) \
+             ({space} possible triples)",
+            subjects * 4
+        )));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let mut seen = std::collections::HashSet::with_capacity(n);
     while out.len() < n {
-        let s = rng.gen_range(0..subjects.max(1));
-        let p = rng.gen_range(0..properties.max(1));
-        let o = rng.gen_range(0..subjects.max(1) * 4);
+        let s = rng.gen_range(0..subjects);
+        let p = rng.gen_range(0..properties);
+        let o = rng.gen_range(0..subjects * 4);
         if seen.insert((s, p, o)) {
             out.push(Triple::new(
                 iri(&format!("node{s}")),
@@ -160,7 +183,7 @@ pub fn random_kb(n: usize, subjects: usize, properties: usize, seed: u64) -> Vec
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -213,24 +236,26 @@ mod tests {
         let symbols: std::collections::HashSet<&str> =
             ELEMENTS.iter().map(|(s, _, _)| *s).collect();
         for t in assemblage_triples() {
-            let Term::Iri(s) = &t.subject else { panic!() };
+            let Term::Iri(s) = &t.subject else {
+                panic!("assemblage subject must be an IRI, got {:?}", t.subject)
+            };
             assert!(symbols.contains(s.as_str()), "{s} not in inventory");
         }
     }
 
     #[test]
     fn random_kb_is_deterministic_and_exact_size() {
-        let a = random_kb(500, 50, 10, 1);
-        let b = random_kb(500, 50, 10, 1);
+        let a = random_kb(500, 50, 10, 1).unwrap();
+        let b = random_kb(500, 50, 10, 1).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 500);
-        let c = random_kb(500, 50, 10, 2);
+        let c = random_kb(500, 50, 10, 2).unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn random_kb_triples_are_distinct() {
-        let ts = random_kb(1000, 20, 5, 3);
+        let ts = random_kb(1000, 20, 5, 3).unwrap();
         let set: std::collections::HashSet<_> = ts.iter().collect();
         assert_eq!(set.len(), ts.len());
     }

@@ -1,12 +1,18 @@
 //! Workspace automation tasks (`cargo xtask <task>` / `cargo bench-smoke`).
 //!
 //! * `bench-smoke` — run every Criterion bench in `--test` mode (each
-//!   benchmark body executes once, no measurement), then `cargo clippy`
-//!   with `-D warnings` across the whole workspace. The cheap CI gate for
-//!   "the benches still run and the workspace is lint-clean".
+//!   benchmark body executes once, no measurement), then the clippy gate.
+//!   The cheap CI gate for "the benches still run and the workspace is
+//!   lint-clean".
 //! * `bench-baseline` — regenerate `BENCH_e3.json` from the experiments
 //!   binary (release build) so future PRs have a perf trajectory to
-//!   compare against.
+//!   compare against. Includes the e11 concurrency record (QPS + latency
+//!   percentiles at 1 vs 4 worker threads).
+//! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`.
+//! * `stress` — run the concurrency test suite (release) with elevated
+//!   iteration counts (`CROSSE_STRESS_ITERS=10`) under worker-thread
+//!   budgets {1, 4, 8} (`CROSSE_EXEC_THREADS`): the snapshot-isolation
+//!   and morsel-parallelism invariants must hold at every budget.
 
 use std::process::Command;
 
@@ -26,11 +32,7 @@ fn cargo() -> Command {
     Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
 }
 
-fn bench_smoke() {
-    run(
-        "bench smoke (all benches, --test mode)",
-        cargo().args(["bench", "-p", "crosse-bench", "--benches", "--", "--test"]),
-    );
+fn clippy() {
     run(
         "clippy gate on the whole workspace",
         cargo().args([
@@ -42,12 +44,21 @@ fn bench_smoke() {
             "warnings",
         ]),
     );
+    println!("xtask: clippy OK");
+}
+
+fn bench_smoke() {
+    run(
+        "bench smoke (all benches, --test mode)",
+        cargo().args(["bench", "-p", "crosse-bench", "--benches", "--", "--test"]),
+    );
+    clippy();
     println!("xtask: bench-smoke OK");
 }
 
 fn bench_baseline() {
     run(
-        "regenerate BENCH_e3.json",
+        "regenerate BENCH_e3.json (e3 + e11 concurrency record)",
         cargo().args([
             "run",
             "--release",
@@ -57,6 +68,7 @@ fn bench_baseline() {
             "experiments",
             "--",
             "e3",
+            "e11",
             "--json",
             "BENCH_e3.json",
         ]),
@@ -64,16 +76,35 @@ fn bench_baseline() {
     println!("xtask: baseline written to BENCH_e3.json");
 }
 
+fn stress() {
+    // Elevated iterations; one pass per worker-thread budget. Release
+    // build: the point is to shake out races, not to wait on debug code.
+    for threads in ["1", "4", "8"] {
+        run(
+            &format!("concurrency suite, {threads} worker thread(s), 10x iterations"),
+            cargo()
+                .args(["test", "--release", "--test", "concurrency", "--", "--nocapture"])
+                .env("CROSSE_STRESS_ITERS", "10")
+                .env("CROSSE_EXEC_THREADS", threads),
+        );
+    }
+    println!("xtask: stress OK (worker threads 1/4/8)");
+}
+
 fn main() {
     let task = std::env::args().nth(1).unwrap_or_default();
     match task.as_str() {
         "bench-smoke" => bench_smoke(),
         "bench-baseline" => bench_baseline(),
+        "clippy" => clippy(),
+        "stress" => stress(),
         other => {
             eprintln!(
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
                  tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on the workspace\n\
-                 bench-baseline  regenerate BENCH_e3.json via the experiments binary"
+                 bench-baseline  regenerate BENCH_e3.json via the experiments binary (e3 + e11)\n\
+                 clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
+                 stress          concurrency tests (release), 10x iterations, worker threads 1/4/8"
             );
             std::process::exit(2);
         }

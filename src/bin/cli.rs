@@ -43,6 +43,7 @@ fn main() {
     let mut landfills = 50usize;
     let mut seed = 42u64;
     let mut timing = false;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,8 +60,25 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--timing" => timing = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--threads needs a number >= 1"));
+            }
             "--help" | "-h" => {
-                println!("crosse-cli [--landfills N] [--seed N] [--timing]");
+                println!(
+                    "crosse-cli [--landfills N] [--seed N] [--timing] [--threads N]\n\
+                     \n\
+                     --landfills N  databank scale: number of generated landfills (default 50)\n\
+                     --seed N       databank RNG seed (default 42)\n\
+                     --timing       report prepare vs execute wall time per statement\n\
+                     --threads N    worker threads for intra-query parallelism (default 1).\n\
+                     \x20              Scans, filters, projections and hash-join probes\n\
+                     \x20              partition table snapshots across N threads; SPARQL\n\
+                     \x20              probe batches use the same budget."
+                );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
@@ -73,6 +91,7 @@ fn main() {
     let engine = standard_engine(&config, "director").unwrap_or_else(|e| {
         die(&format!("failed to build the databank: {e}"));
     });
+    engine.set_exec_threads(threads);
     let platform = CrossePlatform::from_engine(engine);
     let mut shell = Shell {
         platform,
@@ -211,6 +230,39 @@ impl Shell {
         }
     }
 
+    /// Split a `\exec` argument string into whitespace-separated tokens,
+    /// honouring single-quoted spans: a quoted span may contain spaces,
+    /// `=`, `$` and doubled `''` quote escapes, and may appear anywhere in
+    /// a token (`$city='Basse di Stura'` is one token). Quotes are kept
+    /// verbatim — [`Shell::parse_value`] unwraps them — so quoted numerics
+    /// still bind as strings. Errors on an unterminated quote.
+    fn split_exec_args(rest: &str) -> std::result::Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut in_quote = false;
+        for c in rest.chars() {
+            match c {
+                '\'' => {
+                    in_quote = !in_quote;
+                    cur.push(c);
+                }
+                c if c.is_whitespace() && !in_quote => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if in_quote {
+            return Err(format!("unterminated quoted string in `{rest}`"));
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        Ok(out)
+    }
+
     /// Parse a `\exec` argument value: quoted string, integer, float,
     /// boolean, NULL, or bare string.
     fn parse_value(text: &str) -> Value {
@@ -270,12 +322,19 @@ impl Shell {
                 }
             }
             "\\exec" => {
-                let mut parts = rest.split_whitespace();
+                let tokens = match Self::split_exec_args(rest) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        println!("error: {e}");
+                        return;
+                    }
+                };
+                let mut parts = tokens.into_iter();
                 let Some(name) = parts.next() else {
-                    println!("usage: \\exec <name> [$k=v ...] [v ...]");
+                    println!("usage: \\exec <name> [$k=v ...] [v ...]   (quote values with spaces: $k='a b')");
                     return;
                 };
-                let Some(prepared) = self.prepared.get(name).cloned() else {
+                let Some(prepared) = self.prepared.get(&name).cloned() else {
                     println!("no prepared statement `{name}` (see \\prepare)");
                     return;
                 };
@@ -288,7 +347,7 @@ impl Shell {
                         };
                         params = params.set(k, Self::parse_value(v));
                     } else {
-                        params = params.push(Self::parse_value(arg));
+                        params = params.push(Self::parse_value(&arg));
                     }
                 }
                 let t0 = Instant::now();
@@ -495,6 +554,8 @@ SQL/SESQL statements end with `;` and may span lines.
 Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
   \\prepare NAME QUERY       compile a SESQL query once under a name
   \\exec NAME [$k=v | v]...  execute it with named/positional bindings
+                            (single-quote values with spaces/=/$: $k='a b',
+                             '' escapes a quote inside a quoted value)
   \\prepared                 list prepared statements
 Dot-commands:
   .help                      this text

@@ -75,3 +75,98 @@ fn users_are_isolated() {
     );
     assert!(out.contains("false"), "{out}");
 }
+
+#[test]
+fn exec_binds_quoted_values_with_spaces() {
+    // `\exec` arguments honour single quotes: a value containing spaces
+    // binds as ONE parameter. The query compares the bound parameter to a
+    // multi-word literal, so the count is 10 iff the value arrived intact
+    // (the pre-fix tokenizer split it at whitespace and errored).
+    let out = run_script(
+        "\\prepare q SELECT COUNT(*) AS n FROM landfill WHERE $c = 'Basse di Stura';\n\
+         \\exec q $c='Basse di Stura'\n\
+         \\exec q $c='other'\n",
+    );
+    assert!(out.contains("prepared `q`"), "{out}");
+    assert!(out.contains("| 10 |"), "space-containing value mangled:\n{out}");
+    assert!(out.contains("| 0 "), "non-matching value should count 0:\n{out}");
+    assert!(!out.contains("error:"), "{out}");
+}
+
+#[test]
+fn exec_binds_values_containing_equals_and_dollar() {
+    let out = run_script(
+        "\\prepare eq SELECT COUNT(*) AS n FROM landfill WHERE $c = 'a=b c';\n\
+         \\exec eq $c='a=b c'\n\
+         \\prepare dl SELECT COUNT(*) AS n FROM landfill WHERE ? = '$lit x';\n\
+         \\exec dl '$lit x'\n",
+    );
+    let hits = out.matches("| 10 |").count();
+    assert_eq!(hits, 2, "= / $ values mangled:\n{out}");
+    assert!(!out.contains("error:"), "{out}");
+}
+
+#[test]
+fn exec_quoted_positional_and_escaped_quote() {
+    // `''` escapes a quote inside a quoted value, for positional and named
+    // bindings alike.
+    let out = run_script(
+        "\\prepare who SELECT COUNT(*) AS n FROM landfill WHERE ? = 'O''Brien jr';\n\
+         \\exec who 'O''Brien jr'\n\
+         \\exec who plain\n",
+    );
+    assert!(out.contains("| 10 |"), "escaped quote failed:\n{out}");
+    assert!(out.contains("| 0 "), "bare positional failed:\n{out}");
+    assert!(!out.contains("error:"), "{out}");
+}
+
+#[test]
+fn exec_unterminated_quote_reports_error() {
+    let out = run_script(
+        "\\prepare q SELECT name FROM landfill WHERE name = $n;\n\
+         \\exec q $n='unclosed\n",
+    );
+    assert!(out.contains("unterminated quoted string"), "{out}");
+}
+
+#[test]
+fn quoted_numeric_binds_as_text_not_int() {
+    // Quotes force string binding: '123' equals the string literal, a bare
+    // 999 binds as Int and trips the typed comparison error instead.
+    let out = run_script(
+        "\\prepare q SELECT COUNT(*) AS n FROM landfill WHERE $c = '123';\n\
+         \\exec q $c='123'\n\
+         \\exec q $c=999\n",
+    );
+    assert!(out.contains("| 10 |"), "quoted numeric must stay a string:\n{out}");
+    assert!(out.contains("cannot compare 999"), "{out}");
+}
+
+#[test]
+fn threads_flag_accepted_and_reported_in_help() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1", "--threads", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crosse-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"SELECT COUNT(*) FROM elem_contained;\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(1 rows)"), "{stdout}");
+
+    let help = std::process::Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .arg("--help")
+        .output()
+        .expect("run --help");
+    let help_text = String::from_utf8(help.stdout).unwrap();
+    assert!(help_text.contains("--threads"), "{help_text}");
+    assert!(help_text.contains("worker threads"), "{help_text}");
+}

@@ -1,5 +1,9 @@
 //! Concurrency: the platform is shared mutable state behind locks; these
 //! tests exercise parallel readers/writers across every layer.
+//!
+//! `cargo xtask stress` re-runs this suite with elevated iteration counts
+//! (`CROSSE_STRESS_ITERS` multiplier) and worker-thread budgets
+//! (`CROSSE_EXEC_THREADS` ∈ {1, 4, 8}).
 
 use std::sync::Arc;
 use std::thread;
@@ -7,6 +11,25 @@ use std::thread;
 use crosse::core::platform::CrossePlatform;
 use crosse::prelude::*;
 use crosse::rdf::TripleStore;
+
+/// Iteration count scaled by the `CROSSE_STRESS_ITERS` multiplier (1 when
+/// unset — the default quick run).
+fn stress_iters(base: usize) -> usize {
+    std::env::var("CROSSE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(base, |m| base * m.max(1))
+}
+
+/// Worker-thread budget for the morsel-parallel tests: the
+/// `CROSSE_EXEC_THREADS` override, or `default`.
+fn stress_threads(default: usize) -> usize {
+    std::env::var("CROSSE_EXEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+        .max(1)
+}
 
 #[test]
 fn parallel_triple_store_writers_land_all_triples() {
@@ -344,6 +367,341 @@ fn sparql_leg_cache_safe_under_concurrent_annotation() {
                 }
             }
             hits
+        }));
+    }
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+// ---- snapshot isolation of streaming cursors --------------------------------
+//
+// Regression tests for the PR-2 batch-boundary anomaly: a cursor's scan
+// loop re-took the table lock per batch, so DML landing between batches
+// could make one query skip rows (DELETE/TRUNCATE compacting the heap) or
+// observe phantoms (INSERT appending behind the scan position). A cursor
+// now pins a copy-on-write snapshot at open and must see exactly the rows
+// of that snapshot.
+
+use crosse::relational::exec::stream::SCAN_BATCH;
+
+fn int_table(db: &Database, n: usize) {
+    db.execute("CREATE TABLE snap_t (x INT)").unwrap();
+    let t = db.catalog().get_table("snap_t").unwrap();
+    t.insert_many((0..n as i64).map(|i| vec![Value::Int(i)]).collect())
+        .unwrap();
+}
+
+/// Drain a cursor, returning (row count, sum of column 0).
+fn drain_ints(cur: &mut crosse::relational::Rows) -> (usize, i64) {
+    let (mut n, mut sum) = (0usize, 0i64);
+    while let Some(r) = cur.next_row() {
+        match r.unwrap()[0] {
+            Value::Int(x) => {
+                n += 1;
+                sum += x;
+            }
+            ref other => panic!("expected Int, got {other:?}"),
+        }
+    }
+    (n, sum)
+}
+
+#[test]
+fn cursor_opened_before_truncate_sees_its_full_snapshot() {
+    let db = Database::new();
+    let n = 3 * SCAN_BATCH + 37;
+    int_table(&db, n);
+    let mut cur = db.query_cursor("SELECT x FROM snap_t").unwrap();
+    // Pull one row (the cursor is mid-scan), then truncate the table.
+    assert!(cur.next_row().is_some());
+    db.execute("DELETE FROM snap_t").unwrap();
+    assert_eq!(db.query("SELECT COUNT(*) FROM snap_t").unwrap().rows[0][0], Value::Int(0));
+    // The cursor must still produce every remaining snapshot row — the
+    // pre-snapshot executor returned nothing past the first batch.
+    let (rest, _) = drain_ints(&mut cur);
+    assert_eq!(rest, n - 1, "cursor lost rows to a concurrent TRUNCATE");
+}
+
+#[test]
+fn cursor_opened_before_delete_neither_skips_nor_double_reads() {
+    let db = Database::new();
+    let n = 3 * SCAN_BATCH;
+    int_table(&db, n);
+    let mut cur = db.query_cursor("SELECT x FROM snap_t").unwrap();
+    assert!(cur.next_row().is_some()); // x = 0
+    // Deleting the first half compacts the heap under a positional scan:
+    // the old executor skipped the rows that shifted below the scan point.
+    db.execute(&format!("DELETE FROM snap_t WHERE x < {}", n / 2)).unwrap();
+    let (rest, sum) = drain_ints(&mut cur);
+    assert_eq!(rest, n - 1, "snapshot must be unaffected by the DELETE");
+    let expected: i64 = (1..n as i64).sum();
+    assert_eq!(sum, expected, "every snapshot row exactly once");
+}
+
+#[test]
+fn cursor_opened_before_insert_sees_no_phantoms() {
+    let db = Database::new();
+    let n = 2 * SCAN_BATCH + 11;
+    int_table(&db, n);
+    let mut cur = db.query_cursor("SELECT x FROM snap_t").unwrap();
+    assert!(cur.next_row().is_some());
+    // Appends land behind the scan position: the old executor returned
+    // them as phantom rows of a query that started before they existed.
+    let t = db.catalog().get_table("snap_t").unwrap();
+    t.insert_many((0..2 * SCAN_BATCH as i64).map(|i| vec![Value::Int(1_000_000 + i)]).collect())
+        .unwrap();
+    let (rest, sum) = drain_ints(&mut cur);
+    assert_eq!(rest, n - 1, "phantom rows leaked into an open cursor");
+    assert_eq!(sum, (1..n as i64).sum::<i64>());
+}
+
+#[test]
+fn cursor_snapshot_isolated_under_writer_churn() {
+    // End-to-end variant: a writer thread churns the table while cursors
+    // stream; every cursor must return exactly the generation it pinned.
+    let db = Database::new();
+    let n = 3 * SCAN_BATCH;
+    int_table(&db, n);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let db = db.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                db.execute(&format!("INSERT INTO snap_t VALUES ({})", 2_000_000 + i))
+                    .unwrap();
+                if i % 3 == 0 {
+                    db.execute(&format!("DELETE FROM snap_t WHERE x = {}", 2_000_000 + i))
+                        .unwrap();
+                }
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..stress_iters(20) {
+        let mut cur = db.query_cursor("SELECT x FROM snap_t").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        while let Some(r) = cur.next_row() {
+            let Value::Int(x) = r.unwrap()[0] else { panic!("expected Int") };
+            assert!(seen.insert(x), "row {x} double-read within one cursor");
+            count += 1;
+        }
+        // The snapshot held at least the original rows (the writer only
+        // adds/removes its own sentinel values above 2_000_000).
+        assert!(count >= n, "cursor saw {count} rows, snapshot had >= {n}");
+        assert!((0..n as i64).all(|i| seen.contains(&i)), "original row skipped");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+// ---- morsel-driven parallel execution ---------------------------------------
+
+#[test]
+fn parallel_execution_matches_sequential() {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (k INT, grp TEXT, v FLOAT)").unwrap();
+    let t = db.catalog().get_table("big").unwrap();
+    let rows: Vec<Vec<Value>> = (0..20_000i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::from(format!("g{}", i % 7)),
+                Value::Float((i % 100) as f64 / 3.0),
+            ]
+        })
+        .collect();
+    t.insert_many(rows).unwrap();
+    db.execute("CREATE TABLE dim (grp TEXT, label TEXT)").unwrap();
+    for g in 0..5 {
+        db.execute(&format!("INSERT INTO dim VALUES ('g{g}', 'label{g}')")).unwrap();
+    }
+    let queries = [
+        // scan → filter → project pipeline
+        "SELECT k, v FROM big WHERE v > 20.0 AND k < 15000 ORDER BY k",
+        // aggregation over a parallel filter
+        "SELECT grp, COUNT(*), SUM(v) FROM big WHERE k >= 100 GROUP BY grp ORDER BY grp",
+        // hash join: parallel probe side (big) against the dim build side
+        "SELECT d.label, COUNT(*) FROM big b JOIN dim d ON b.grp = d.grp \
+         WHERE b.v < 30.0 GROUP BY d.label ORDER BY d.label",
+        // LEFT join padding must survive partition-parallel probing
+        "SELECT COUNT(*) FROM big b LEFT JOIN dim d ON b.grp = d.grp WHERE d.label IS NULL",
+    ];
+    for q in queries {
+        db.set_exec_threads(1);
+        let sequential = db.query(q).unwrap();
+        db.set_exec_threads(stress_threads(4));
+        let parallel = db.query(q).unwrap();
+        assert_eq!(sequential.rows, parallel.rows, "parallel != sequential for `{q}`");
+    }
+}
+
+#[test]
+fn parallel_limit_still_short_circuits_scan() {
+    let db = Database::new();
+    int_table(&db, 50_000);
+    db.set_exec_threads(stress_threads(4));
+    let threads = db.exec_threads();
+    let p = db.prepare("SELECT x FROM snap_t WHERE x >= 0 LIMIT 5").unwrap();
+    let mut cur = p.execute(&Params::new()).unwrap();
+    let mut n = 0;
+    while let Some(r) = cur.next_row() {
+        r.unwrap();
+        n += 1;
+    }
+    assert_eq!(n, 5);
+    // One wave is `threads × SCAN_BATCH` rows; LIMIT must stop within a
+    // couple of waves, far below the 50k-row table.
+    let cap = (2 * threads as u64 + 1) * SCAN_BATCH as u64;
+    assert!(
+        cur.rows_scanned() <= cap,
+        "LIMIT 5 scanned {} rows with {} threads (cap {})",
+        cur.rows_scanned(),
+        threads,
+        cap
+    );
+}
+
+#[test]
+fn parallel_scans_stay_consistent_under_concurrent_dml() {
+    // Writers churn a big table while readers run morsel-parallel filtered
+    // scans; every result must be internally consistent (pinned snapshot):
+    // all returned rows satisfy the predicate and no row appears twice.
+    let db = Database::new();
+    db.execute("CREATE TABLE churn (k INT, tag TEXT)").unwrap();
+    let t = db.catalog().get_table("churn").unwrap();
+    t.insert_many(
+        (0..12_000i64)
+            .map(|i| vec![Value::Int(i), Value::from(if i % 2 == 0 { "even" } else { "odd" })])
+            .collect(),
+    )
+    .unwrap();
+    db.set_exec_threads(stress_threads(4));
+    let db = Arc::new(db);
+    let mut handles = Vec::new();
+    for w in 0..2i64 {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for i in 0..stress_iters(60) as i64 {
+                db.execute(&format!(
+                    "INSERT INTO churn VALUES ({}, 'extra')",
+                    100_000 + w * 1_000_000 + i
+                ))
+                .unwrap();
+                if i % 5 == 0 {
+                    db.execute(&format!(
+                        "DELETE FROM churn WHERE k = {}",
+                        100_000 + w * 1_000_000 + i - 3
+                    ))
+                    .unwrap();
+                }
+            }
+        }));
+    }
+    for _ in 0..3 {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for _ in 0..stress_iters(30) {
+                let rs = db
+                    .query("SELECT k, tag FROM churn WHERE tag = 'even'")
+                    .unwrap();
+                let mut seen = std::collections::HashSet::new();
+                for row in &rs.rows {
+                    assert_eq!(row[1], Value::from("even"));
+                    let Value::Int(k) = row[0] else { panic!("expected Int") };
+                    assert!(seen.insert(k), "row {k} returned twice in one scan");
+                }
+                assert_eq!(rs.rows.len(), 6_000, "all 6000 even rows, exactly");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn parallel_sparql_probe_matches_sequential() {
+    use crosse::rdf::sparql::eval::{evaluate_with, EvalOptions};
+    use crosse::rdf::sparql::parser::parse_query;
+
+    let store = TripleStore::new();
+    // A two-hop star wide enough to push probe batches past the parallel
+    // threshold (> 1024 intermediate rows).
+    for i in 0..60 {
+        for j in 0..40 {
+            store.insert(
+                "kb",
+                &Triple::new(
+                    Term::iri(format!("hub{i}")),
+                    Term::iri("linksTo"),
+                    Term::iri(format!("leaf{i}_{j}")),
+                ),
+            );
+            store.insert(
+                "kb",
+                &Triple::new(
+                    Term::iri(format!("leaf{i}_{j}")),
+                    Term::iri("weight"),
+                    Term::lit(((i * j) % 17).to_string()),
+                ),
+            );
+        }
+    }
+    let q = parse_query(
+        "SELECT ?hub ?leaf ?w WHERE { ?hub <linksTo> ?leaf . ?leaf <weight> ?w }",
+    )
+    .unwrap();
+    let sequential = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads: 1 }).unwrap();
+    let threads = stress_threads(4);
+    let parallel = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads }).unwrap();
+    assert_eq!(sequential.len(), 60 * 40);
+    assert_eq!(sequential.rows, parallel.rows, "parallel probe must be bit-identical");
+}
+
+#[test]
+fn parallel_session_queries_under_kb_writer() {
+    // The full stack with a worker pool: SESQL enrichment + SPARQL legs on
+    // a multi-threaded engine while the KB takes writes.
+    let engine = crosse::smartground::standard_engine(&SmartGroundConfig::tiny(), "director")
+        .unwrap();
+    engine.set_exec_threads(stress_threads(4));
+    let engine = Arc::new(engine);
+    let writer = {
+        let engine = Arc::clone(&engine);
+        thread::spawn(move || {
+            let kb = engine.knowledge_base();
+            for i in 0..stress_iters(50) {
+                kb.assert_statement(
+                    "director",
+                    &Triple::new(
+                        Term::iri(format!("ParExtra{i}")),
+                        Term::iri("dangerLevel"),
+                        Term::lit("3"),
+                    ),
+                )
+                .unwrap();
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let engine = Arc::clone(&engine);
+        readers.push(thread::spawn(move || {
+            for _ in 0..stress_iters(15) {
+                let r = engine
+                    .execute(
+                        "director",
+                        "SELECT elem_name FROM elem_contained \
+                         ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+                    )
+                    .unwrap();
+                assert!(r.rows.len() >= r.report.base_rows);
+            }
         }));
     }
     writer.join().unwrap();

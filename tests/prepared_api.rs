@@ -255,3 +255,102 @@ fn platform_logs_prepared_queries() {
     let profile = platform.user_profile("director");
     assert_eq!(profile["dangerLevel"], 2, "prepared reuse builds the profile");
 }
+
+// ---- DDL-version invalidation across a live Prepared handle -----------------
+
+#[test]
+fn live_prepared_handle_revalidates_after_drop_and_recreate() {
+    // Hold one Prepared across DROP TABLE + re-CREATE with a *different*
+    // column type: every later execution must bind against fresh slot
+    // types (or fail with a clean typed error) — never serve stale-plan
+    // results or reject bindings with the stale inference.
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE scores (v FLOAT);
+         INSERT INTO scores VALUES (1.5), (2.5);",
+    )
+    .unwrap();
+    let p = db.prepare("SELECT v FROM scores WHERE v > $p ORDER BY v").unwrap();
+    assert_eq!(p.param_slots()[0].expected, Some(DataType::Float));
+    assert_eq!(p.query(&Params::new().set("p", 2)).unwrap().len(), 1);
+    // A text binding is rejected against the FLOAT inference.
+    assert!(p.query(&Params::new().set("p", "a")).is_err());
+
+    // Re-type the column while the handle stays live.
+    db.execute_script(
+        "DROP TABLE scores;
+         CREATE TABLE scores (v TEXT);
+         INSERT INTO scores VALUES ('a'), ('b'), ('c');",
+    )
+    .unwrap();
+    // The stale FLOAT slot would reject 'a'; re-validation must accept it
+    // and evaluate against the new TEXT column.
+    let rs = p.query(&Params::new().set("p", "a")).unwrap();
+    assert_eq!(rs.len(), 2, "{rs:?}"); // 'b', 'c' > 'a'
+    assert_eq!(rs.rows[0][0], Value::from("b"));
+    // And a numeric binding now coerces to TEXT comparison (clean typed
+    // behaviour, not a stale-plan result).
+    let rs = p.query(&Params::new().set("p", "z")).unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn live_parameterless_prepared_replans_after_recreate() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE snap (v INT);
+         INSERT INTO snap VALUES (1), (2), (3);",
+    )
+    .unwrap();
+    let p = db.prepare("SELECT v FROM snap ORDER BY v").unwrap();
+    assert_eq!(p.query(&Params::new()).unwrap().len(), 3);
+    db.execute_script(
+        "DROP TABLE snap;
+         CREATE TABLE snap (v TEXT);
+         INSERT INTO snap VALUES ('x');",
+    )
+    .unwrap();
+    // The cached plan template is version-tagged: execution re-plans and
+    // returns the new table's rows, never the dropped heap.
+    let rs = p.query(&Params::new()).unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::from("x"));
+}
+
+#[test]
+fn live_prepared_handle_errors_cleanly_when_table_vanishes() {
+    let db = Database::new();
+    db.execute("CREATE TABLE gone (v INT)").unwrap();
+    let p = db.prepare("SELECT v FROM gone WHERE v = $p").unwrap();
+    db.execute("DROP TABLE gone").unwrap();
+    let err = p.query(&Params::new().set("p", 1)).unwrap_err();
+    assert!(err.to_string().contains("does not exist"), "{err}");
+}
+
+#[test]
+fn live_sesql_prepared_handle_revalidates_after_ddl() {
+    // Same DDL-survival contract at the SESQL layer: a live PreparedSesql
+    // must re-infer slot types against the live catalog.
+    let e = engine();
+    let db = e.database().clone();
+    db.execute_script(
+        "CREATE TABLE readings (site TEXT, v FLOAT);
+         INSERT INTO readings VALUES ('s1', 1.5), ('s2', 2.5);",
+    )
+    .unwrap();
+    let p = e.prepare("SELECT site FROM readings WHERE v > $p ORDER BY site").unwrap();
+    assert_eq!(p.param_slots()[0].expected, Some(DataType::Float));
+    assert!(p.execute("director", &Params::new().set("p", "a")).is_err());
+
+    db.execute_script(
+        "DROP TABLE readings;
+         CREATE TABLE readings (site TEXT, v TEXT);
+         INSERT INTO readings VALUES ('s1', 'a'), ('s2', 'b');",
+    )
+    .unwrap();
+    // Stale FLOAT inference would reject the text binding; the live
+    // handle must bind it against the re-created TEXT column.
+    let r = p.execute("director", &Params::new().set("p", "a")).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows.rows[0][0], Value::from("s2"));
+}

@@ -628,7 +628,7 @@ proptest! {
             })
             .collect();
 
-        let triples = crosse::smartground::random_kb(n, 5, 3, seed);
+        let triples = crosse::smartground::random_kb(n, 5, 3, seed).unwrap();
         let store = TripleStore::new();
         store.insert_all("g", triples.iter());
 
@@ -677,7 +677,7 @@ proptest! {
             GenTerm::from_code(kp, ip),
             GenTerm::from_code(ko, io),
         );
-        let triples = crosse::smartground::random_kb(n, 5, 3, seed);
+        let triples = crosse::smartground::random_kb(n, 5, 3, seed).unwrap();
         let store = TripleStore::new();
         store.insert_all("g", triples.iter());
         let sparql = format!(
