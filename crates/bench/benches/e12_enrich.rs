@@ -1,0 +1,62 @@
+//! E12: the REPLACEVARIABLE enrichment path (paper Ex. 4.6) across result
+//! scales — the cross-model boundary this codebase exists to optimise.
+//!
+//! The SESQL query self-joins `elem_contained` through the ontology's
+//! `oreAssemblage` pairs; output grows roughly quadratically with the
+//! databank scale, so the three scales below cover ~1k / ~16k / ~64k
+//! result rows. The `pairs_cold` variant clears the SPARQL-leg + pairs
+//! caches every iteration, isolating the cost of rebuilding the pairs
+//! table from the knowledge base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crosse_bench::engine_at_scale;
+use crosse_smartground::paper_examples;
+
+/// Databank scales chosen so ex4.6 returns ~1k, ~16k and ~64k rows.
+const SCALES: &[(usize, &str)] = &[(25, "1k"), (100, "16k"), (200, "64k")];
+
+fn replace_variable_query() -> (String, String) {
+    let q = paper_examples("LF00000")
+        .into_iter()
+        .find(|q| q.name == "ex4.6-replace-variable")
+        .expect("ex4.6 in the paper workload");
+    (q.sesql, q.baseline_sql)
+}
+
+fn bench_enrich(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_enrich");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    let (sesql, baseline) = replace_variable_query();
+    for &(scale, label) in SCALES {
+        let engine = engine_at_scale(scale);
+        group.bench_with_input(
+            BenchmarkId::new("replace_variable", label),
+            &sesql,
+            |b, sesql| b.iter(|| black_box(engine.execute("director", sesql).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_self_join", label),
+            &baseline,
+            |b, sql| b.iter(|| black_box(engine.database().query(sql).unwrap())),
+        );
+    }
+
+    // Cold pairs cache: every execution re-runs the SPARQL leg and
+    // rebuilds the oriented pairs table from scratch.
+    let engine = engine_at_scale(100);
+    group.bench_function(BenchmarkId::new("replace_variable_pairs_cold", "16k"), |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            black_box(engine.execute("director", &sesql).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enrich);
+criterion_main!(benches);

@@ -45,7 +45,7 @@ fn bench_ranking(c: &mut Criterion) {
                 crosse_relational::DataType::Text,
             )]),
             rows: (0..rows)
-                .map(|i| vec![crosse_relational::Value::Str(format!("E{}", i % 40))])
+                .map(|i| vec![crosse_relational::Value::from(format!("E{}", i % 40))])
                 .collect(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rs, |b, rs| {

@@ -582,6 +582,59 @@ fn e10() {
     );
 }
 
+/// One e12 measurement: ex4.6 at one databank scale.
+struct E12Run {
+    scale: usize,
+    rows: usize,
+    sesql_s: f64,
+    baseline_s: f64,
+    cold_cache_s: f64,
+}
+
+/// E12: the REPLACEVARIABLE enrichment path across result scales (~1k /
+/// ~16k / ~64k output rows) — warm pairs cache, plain-SQL self-join
+/// baseline, and a cold-cache column isolating the SPARQL-leg + pairs-
+/// table rebuild cost.
+fn e12() -> Vec<E12Run> {
+    header("E12", "REPLACEVARIABLE enrichment scaling (Ex. 4.6 across scales)");
+    let q = paper_examples(&landfill_name(0))
+        .into_iter()
+        .find(|q| q.name == "ex4.6-replace-variable")
+        .expect("ex4.6 in the paper workload");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "scale", "rows", "sesql", "cold-cache", "baseline", "overhead"
+    );
+    let mut runs = Vec::new();
+    for scale in [25usize, 100, 200] {
+        let engine = engine_at_scale(scale);
+        let rows = engine.execute("director", &q.sesql).unwrap().rows.len();
+        let ts = median_time(5, || engine.execute("director", &q.sesql).unwrap());
+        let tc = median_time(3, || {
+            engine.clear_cache();
+            engine.execute("director", &q.sesql).unwrap()
+        });
+        let tb = median_time(5, || engine.database().query(&q.baseline_sql).unwrap());
+        println!(
+            "{:<8} {:>8} {:>12} {:>12} {:>12} {:>8.1}x",
+            scale,
+            rows,
+            fmt(ts),
+            fmt(tc),
+            fmt(tb),
+            ts.as_secs_f64() / tb.as_secs_f64().max(1e-9),
+        );
+        runs.push(E12Run {
+            scale,
+            rows,
+            sesql_s: ts.as_secs_f64(),
+            baseline_s: tb.as_secs_f64(),
+            cold_cache_s: tc.as_secs_f64(),
+        });
+    }
+    runs
+}
+
 /// One e11 measurement: the scan-heavy workload at a fixed worker-thread
 /// budget.
 struct E11Run {
@@ -690,6 +743,7 @@ fn write_baseline_json(
     path: &str,
     e3_records: &[(String, Duration, Duration, usize)],
     e11_data: Option<&(usize, usize, Vec<E11Run>)>,
+    e12_data: Option<&[E12Run]>,
 ) {
     let mut out = String::from(
         "{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n",
@@ -734,8 +788,27 @@ fn write_baseline_json(
         } else {
             out.push('\n');
         }
-        out.push_str("  }\n");
-    } else {
+        out.push_str("  }");
+        if e12_data.is_none() {
+            out.push('\n');
+        }
+    }
+    if let Some(runs) = e12_data {
+        out.push_str(",\n  \"e12_enrich\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scale\": {}, \"rows\": {}, \"sesql_median_s\": {:.9}, \"cold_cache_median_s\": {:.9}, \"baseline_median_s\": {:.9}}}{}\n",
+                r.scale,
+                r.rows,
+                r.sesql_s,
+                r.cold_cache_s,
+                r.baseline_s,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n");
+    }
+    if e11_data.is_none() && e12_data.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
@@ -802,13 +875,17 @@ fn main() {
     if want("e11") {
         e11_data = Some(e11());
     }
+    let mut e12_data: Option<Vec<E12Run>> = None;
+    if want("e12") {
+        e12_data = Some(e12());
+    }
     if let Some(path) = json_path.as_deref() {
         if e3_records.is_empty() {
             // Never clobber the checked-in baseline with an empty results
             // array: --json requires the e3 experiment in the selection.
-            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 --json {path}`)");
+            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 e12 --json {path}`)");
         } else {
-            write_baseline_json(path, &e3_records, e11_data.as_ref());
+            write_baseline_json(path, &e3_records, e11_data.as_ref(), e12_data.as_deref());
         }
     }
     println!("\nall requested experiments done in {:?}", t0.elapsed());

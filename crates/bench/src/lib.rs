@@ -168,7 +168,7 @@ pub fn materialise_kb_to_table(engine: &SesqlEngine, user: &str, table: &str) {
         .iter()
         .filter_map(|r| match (&r[0], &r[1]) {
             (Some(s), Some(o)) => Some(vec![
-                crosse_relational::Value::Str(s.local_name().to_string()),
+                crosse_relational::Value::from(s.local_name()),
                 crosse_relational::Value::Int(o.lexical_form().parse().unwrap_or(0)),
             ]),
             _ => None,

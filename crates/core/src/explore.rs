@@ -40,7 +40,7 @@ pub fn summarize(rows: &RowSet) -> Vec<ColumnSummary> {
                     continue;
                 }
                 non_null += 1;
-                distinct.insert(v.group_key());
+                distinct.insert(v.clone());
                 let replace_min = match &min {
                     None => true,
                     Some(m) => v.total_cmp(m) == std::cmp::Ordering::Less,

@@ -21,7 +21,8 @@
 //! per-language collect adapters keep every pre-cursor call site working
 //! mechanically.
 
-use crosse_federation::join_manager::term_to_value;
+use crosse_federation::join_manager::term_to_value_in;
+use crosse_relational::Interner;
 use crosse_rdf::sparql::eval::{EvalOptions, Solutions};
 use crosse_rdf::sparql::{Prepared as PreparedSparql, SolutionCursor, SparqlParams};
 use crosse_relational::{Column, DataType, Params, Prepared as PreparedSql, RowSet, Schema, Value};
@@ -78,15 +79,17 @@ impl Rows for crosse_relational::Rows {
 }
 
 /// SPARQL solutions as a cursor: variables become columns, terms render
-/// to values lazily per pulled row (unbound → NULL).
+/// to values lazily per pulled row (unbound → NULL). A cursor-local
+/// interner makes a term that occurs in many rows cost one allocation.
 #[derive(Debug)]
 pub struct SparqlRows {
     cursor: SolutionCursor,
+    interner: Interner,
 }
 
 impl SparqlRows {
     pub fn new(sols: Solutions) -> Self {
-        SparqlRows { cursor: SolutionCursor::new(sols) }
+        SparqlRows { cursor: SolutionCursor::new(sols), interner: Interner::new() }
     }
 }
 
@@ -96,10 +99,15 @@ impl Rows for SparqlRows {
     }
 
     fn next_row(&mut self) -> Option<Result<Vec<Value>>> {
+        let interner = &self.interner;
         self.cursor.next().map(|row| {
             Ok(row
                 .iter()
-                .map(|t| t.as_ref().map(term_to_value).unwrap_or(Value::Null))
+                .map(|t| {
+                    t.as_ref()
+                        .map(|t| term_to_value_in(t, interner))
+                        .unwrap_or(Value::Null)
+                })
                 .collect())
         })
     }

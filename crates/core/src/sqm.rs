@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crosse_cache::Lru;
-use crosse_federation::join_manager::{combine, term_to_value, CombineKind, JoinSpec};
+use crosse_federation::join_manager::{combine_in, term_to_value_in, CombineKind, JoinSpec};
 use crosse_federation::mapping::{MapStrategy, ResourceMapping};
 use crosse_federation::tempdb::TempDb;
 use crosse_rdf::provenance::KnowledgeBase;
@@ -23,7 +23,7 @@ use crosse_rdf::sparql::eval::Solutions;
 use crosse_rdf::stored::StoredQueries;
 use crosse_rdf::term::Term;
 use crosse_relational::sql::ast::{BinaryOp, Expr, Select, TableRef};
-use crosse_relational::{Column, DataType, Database, RowSet, Schema, Value};
+use crosse_relational::{Column, DataType, Database, Row, RowSet, Schema, Value};
 
 use crate::error::{Error, Result};
 use crate::sesql::ast::{Enrichment, SesqlQuery};
@@ -157,16 +157,38 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 #[derive(Debug)]
 struct SparqlLegCache {
     entries: Mutex<Lru<(String, String), (u64, Solutions)>>,
-    // Hit/miss counters live outside the LRU: a version-stale entry is a
+    /// REPLACEVARIABLE pairs tables, keyed by (context graphs, property +
+    /// expansion direction) and version-checked like `entries`: a hit
+    /// skips the SPARQL leg *and* the term→value conversion + dedup that
+    /// builds the relational pairs table. Only hits touch the counters —
+    /// a pairs miss falls through to the solution-cache path, which
+    /// counts the leg itself, keeping "one leg, one counter event".
+    pairs: Mutex<Lru<(String, String), CachedPairs>>,
+    // Hit/miss counters live outside the LRUs: a version-stale entry is a
     // *miss* for the caller even though the LRU lookup succeeded.
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// One cached REPLACEVARIABLE pairs table.
+#[derive(Debug, Clone)]
+struct CachedPairs {
+    /// KB version the rows were built against.
+    version: u64,
+    /// The SPARQL leg text that produced them (for reporting).
+    sparql: String,
+    /// Solution count of that leg (reported on hits, so warm and cold
+    /// runs of one query show the same `SparqlRun::solutions`).
+    solutions: usize,
+    /// Oriented, deduplicated pairs rows.
+    rows: Arc<Vec<Row>>,
 }
 
 impl Default for SparqlLegCache {
     fn default() -> Self {
         SparqlLegCache {
             entries: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
+            pairs: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -174,8 +196,8 @@ impl Default for SparqlLegCache {
 }
 
 impl SparqlLegCache {
-    fn key(graphs: &[&str], sparql: &str) -> (String, String) {
-        (graphs.join("\u{1f}"), sparql.to_string())
+    fn key(graphs: &[&str], second: &str) -> (String, String) {
+        (graphs.join("\u{1f}"), second.to_string())
     }
 
     fn get(&self, graphs: &[&str], sparql: &str, version: u64) -> Option<Solutions> {
@@ -198,11 +220,31 @@ impl SparqlLegCache {
             .put(Self::key(graphs, sparql), (version, sols.clone()));
     }
 
+    /// Version-valid cached pairs, counting a *hit* on success. A miss is
+    /// deliberately not counted here: the caller falls through to
+    /// `run_sparql_leg`, whose own cache lookup counts the event (one leg
+    /// executed = one hit-or-miss, warm or cold).
+    fn get_pairs(&self, graphs: &[&str], prop_key: &str, version: u64) -> Option<CachedPairs> {
+        let key = Self::key(graphs, prop_key);
+        match self.pairs.lock().get(&key) {
+            Some(cached) if cached.version == version => {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                Some(cached.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn put_pairs(&self, graphs: &[&str], prop_key: &str, cached: CachedPairs) {
+        self.pairs.lock().put(Self::key(graphs, prop_key), cached);
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(AtomicOrdering::Relaxed),
             misses: self.misses.load(AtomicOrdering::Relaxed),
-            evictions: self.entries.lock().stats().evictions,
+            evictions: self.entries.lock().stats().evictions
+                + self.pairs.lock().stats().evictions,
         }
     }
 }
@@ -302,13 +344,16 @@ impl SesqlEngine {
     /// queries). Capacity 0 disables them.
     pub fn set_cache_capacity(&self, capacity: usize) {
         self.cache.entries.lock().set_capacity(capacity);
+        self.cache.pairs.lock().set_capacity(capacity);
         self.parsed.lock().set_capacity(capacity);
         self.prepared.lock().set_capacity(capacity);
     }
 
-    /// Drop all cached SPARQL-leg results.
+    /// Drop all cached SPARQL-leg results (including REPLACEVARIABLE
+    /// pairs tables).
     pub fn clear_cache(&self) {
         self.cache.entries.lock().clear();
+        self.cache.pairs.lock().clear();
     }
 
     /// Evaluate one SPARQL leg with version-checked caching and record it
@@ -452,7 +497,16 @@ impl SesqlEngine {
                 );
             } else {
                 let predicates = self.resolve_predicates(&refs, property);
-                let sparql = sparql_pairs_query(&predicates, property);
+                // REPLACECONSTANT pushes its constant into the pattern as
+                // resolved subject IRIs; every other enrichment fetches
+                // the property's (s, o) pairs.
+                let sparql = match e {
+                    Enrichment::ReplaceConstant { constant, .. } => {
+                        let subjects = self.resolve_constant_subjects(constant);
+                        sparql_objects_query(&subjects, &predicates)
+                    }
+                    _ => sparql_pairs_query(&predicates, property),
+                };
                 let _ = writeln!(out, "  SPARQL leg: {}", sparql.replace('\n', " "));
             }
         }
@@ -589,7 +643,7 @@ impl SesqlEngine {
                         strategy: self.attr_strategy(&rows.schema, attr_index),
                     };
                     let t = Instant::now();
-                    rows = combine(&rows, &sols, &spec)?;
+                    rows = combine_in(&rows, &sols, &spec, self.db.interner())?;
                     report.join += t.elapsed();
                     applied.push(AppliedColumn {
                         attr_index,
@@ -777,9 +831,32 @@ impl SesqlEngine {
         }
     }
 
+    /// Resolve a constant argument to concrete subject IRIs: an argument
+    /// containing `://` is used verbatim; otherwise every IRI in the
+    /// store's dictionary whose local name (or full text) equals the
+    /// argument is a candidate — the ID-native evaluator short-circuits
+    /// candidates that never occur as subjects, so over-approximating
+    /// costs nothing.
+    fn resolve_constant_subjects(&self, constant: &str) -> Vec<Term> {
+        if constant.contains("://") {
+            return vec![Term::iri(constant)];
+        }
+        let matching = self.kb.store().dictionary().iris_matching_lexical(constant);
+        if matching.is_empty() {
+            // Keep the literal name: the generated query still runs (and
+            // returns no solutions), the honest outcome for an unknown
+            // constant.
+            vec![Term::iri(constant)]
+        } else {
+            matching
+        }
+    }
+
     /// Values replacing an ontology constant (paper Sec. IV-A.5): a stored
     /// SPARQL query's output if `property` names one, else the objects of
-    /// `<constant> <property> ?o`.
+    /// `<constant> <property> ?o` — with the constant resolved and pushed
+    /// into the SPARQL pattern, so the leg fetches only the constant's own
+    /// objects instead of every (s, o) pair of the property.
     fn replacement_values(
         &self,
         user: &str,
@@ -788,6 +865,7 @@ impl SesqlEngine {
         e: &Enrichment,
         report: &mut PipelineReport,
     ) -> Result<Vec<Value>> {
+        let interner = self.db.interner();
         if let Some(stored) = self.stored.get(property) {
             let graphs = self.kb.context_graphs(user);
             let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
@@ -799,24 +877,108 @@ impl SesqlEngine {
                 report,
             )?;
             let terms = sols.column(&stored.output_variable)?;
-            return Ok(terms.iter().map(term_to_value).collect());
+            return Ok(terms.iter().map(|t| term_to_value_in(t, interner)).collect());
         }
         // Property-based: objects of (constant, property, ?o).
-        let sols = self.property_pairs(user, property, e.to_string(), report)?;
-        let s_idx = sols.var_index("s").expect("pairs query binds ?s");
-        let o_idx = sols.var_index("o").expect("pairs query binds ?o");
-        let mut out = Vec::new();
+        let graphs = self.kb.context_graphs(user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let predicates = self.resolve_predicates(&refs, property);
+        let subjects = self.resolve_constant_subjects(constant);
+        let sparql = sparql_objects_query(&subjects, &predicates);
+        let sols = self.run_sparql_leg(&refs, &sparql, None, e.to_string(), report)?;
+        let o_idx = sols.var_index("o").expect("objects query binds ?o");
+        let mut seen: std::collections::HashSet<Value> =
+            std::collections::HashSet::with_capacity(sols.rows.len());
+        let mut out = Vec::with_capacity(sols.rows.len());
         for row in &sols.rows {
-            if let (Some(s), Some(o)) = (&row[s_idx], &row[o_idx]) {
-                if s.matches_lexical(constant) {
-                    let v = term_to_value(o);
-                    if !out.contains(&v) {
-                        out.push(v);
-                    }
+            if let Some(o) = &row[o_idx] {
+                let v = term_to_value_in(o, interner);
+                if seen.insert(v.clone()) {
+                    out.push(v);
                 }
             }
         }
         Ok(out)
+    }
+
+    /// The oriented, deduplicated KB pairs rows for `property` in `user`'s
+    /// context — the relational form of the REPLACEVARIABLE expansion. A
+    /// row (a, b) means "a value equal to `a` may also match as `b`"; the
+    /// expansion direction decides the orientation(s). Results are cached
+    /// keyed by (context graphs, property + direction, KB version), so
+    /// repeated enrichments over an unchanged knowledge base skip the
+    /// SPARQL leg *and* the conversion entirely.
+    fn kb_pairs(
+        &self,
+        user: &str,
+        property: &str,
+        purpose: String,
+        report: &mut PipelineReport,
+    ) -> Result<Arc<Vec<Row>>> {
+        let graphs = self.kb.context_graphs(user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let version = self.kb.store().version();
+        let prop_key = format!("{property}\u{1f}{:?}", self.options.expand);
+        if self.options.use_cache {
+            if let Some(cached) = self.cache.get_pairs(&refs, &prop_key, version) {
+                report.sparql_runs.push(SparqlRun {
+                    purpose,
+                    sparql: cached.sparql,
+                    solutions: cached.solutions,
+                    duration: Duration::ZERO,
+                    cached: true,
+                });
+                return Ok(cached.rows);
+            }
+        }
+        let sols = self.property_pairs(user, property, purpose, report)?;
+        let sparql = report
+            .sparql_runs
+            .last()
+            .map(|r| r.sparql.clone())
+            .unwrap_or_default();
+        let s_idx = sols.var_index("s").expect("pairs query binds ?s");
+        let o_idx = sols.var_index("o").expect("pairs query binds ?o");
+        let interner = self.db.interner();
+        let symmetric = self.options.expand == ExpandDirection::Symmetric;
+        let capacity = sols.rows.len() * if symmetric { 2 } else { 1 };
+        // Hash-dedup (first-seen order) instead of sort+dedup: O(n) with
+        // cheap interned keys, and no O(n log n) comparison pass.
+        let mut seen: std::collections::HashSet<(Value, Value)> =
+            std::collections::HashSet::with_capacity(capacity);
+        let mut rows: Vec<Row> = Vec::with_capacity(capacity);
+        let mut push = |a: Value, b: Value, rows: &mut Vec<Row>| {
+            if seen.insert((a.clone(), b.clone())) {
+                rows.push(vec![a, b]);
+            }
+        };
+        for r in &sols.rows {
+            if let (Some(s), Some(o)) = (&r[s_idx], &r[o_idx]) {
+                let (sv, ov) = (term_to_value_in(s, interner), term_to_value_in(o, interner));
+                match self.options.expand {
+                    ExpandDirection::Forward => push(sv, ov, &mut rows),
+                    ExpandDirection::Inverse => push(ov, sv, &mut rows),
+                    ExpandDirection::Symmetric => {
+                        push(sv.clone(), ov.clone(), &mut rows);
+                        push(ov, sv, &mut rows);
+                    }
+                }
+            }
+        }
+        let rows = Arc::new(rows);
+        if self.options.use_cache {
+            self.cache.put_pairs(
+                &refs,
+                &prop_key,
+                CachedPairs {
+                    version,
+                    sparql,
+                    solutions: sols.len(),
+                    rows: Arc::clone(&rows),
+                },
+            );
+        }
+        Ok(rows)
     }
 
     /// REPLACEVARIABLE execution strategy: the ontology pairs for `prop`
@@ -833,43 +995,16 @@ impl SesqlEngine {
         property: &str,
         report: &mut PipelineReport,
     ) -> Result<RowSet> {
-        let sols = self.property_pairs(
+        let pair_rows = self.kb_pairs(
             user,
             property,
             format!("REPLACEVARIABLE(_, {attr}, {property})"),
             report,
         )?;
-        let s_idx = sols.var_index("s").expect("pairs query binds ?s");
-        let o_idx = sols.var_index("o").expect("pairs query binds ?o");
-
-        // KB pairs table (subject, object) in lexical/local form. The row
-        // orientation encodes the expansion direction: a row (a, b) means
-        // "a value equal to `a` may also match as `b`".
-        let mut pair_rows: Vec<Vec<Value>> = Vec::new();
-        for r in &sols.rows {
-            if let (Some(s), Some(o)) = (&r[s_idx], &r[o_idx]) {
-                let (sv, ov) = (term_to_value(s), term_to_value(o));
-                match self.options.expand {
-                    ExpandDirection::Forward => pair_rows.push(vec![sv, ov]),
-                    ExpandDirection::Inverse => pair_rows.push(vec![ov, sv]),
-                    ExpandDirection::Symmetric => {
-                        pair_rows.push(vec![sv.clone(), ov.clone()]);
-                        pair_rows.push(vec![ov, sv]);
-                    }
-                }
-            }
-        }
-        pair_rows.sort_by(|a, b| {
-            a[0].total_cmp(&b[0]).then_with(|| a[1].total_cmp(&b[1]))
-        });
-        pair_rows.dedup_by(|a, b| a[0] == b[0] && a[1] == b[1]);
-        let pairs = RowSet {
-            schema: Schema::new(vec![
-                Column::new("subj", DataType::Text),
-                Column::new("obj", DataType::Text),
-            ]),
-            rows: pair_rows,
-        };
+        let pairs_schema = Schema::new(vec![
+            Column::new("subj", DataType::Text),
+            Column::new("obj", DataType::Text),
+        ]);
         let alias = "__exp";
         // Unique per execution: concurrent REPLACEVARIABLE queries on the
         // same engine must not collide on the pairs table.
@@ -879,7 +1014,9 @@ impl SesqlEngine {
             "__kb_pairs_{}",
             PAIRS_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         );
-        self.db.materialise(&tmp_name, &pairs)?;
+        // One row-copy total: the cached rows stay shared in the cache,
+        // and this clone is consumed by the temp table directly.
+        self.db.materialise_owned(&tmp_name, &pairs_schema, pair_rows.as_ref().clone())?;
 
         let run = (|| -> Result<RowSet> {
             // Q2: join through the pairs table.
@@ -1116,15 +1253,17 @@ fn local_label(arg: &str) -> String {
     Term::iri(arg).local_name().to_string()
 }
 
+/// A term as it appears inside a generated SPARQL pattern.
+fn pattern_iri(t: &Term) -> &str {
+    match t {
+        Term::Iri(i) => i,
+        other => other.lexical_form(),
+    }
+}
+
 /// Generate the pairs SPARQL text for a set of candidate predicates.
 fn sparql_pairs_query(predicates: &[Term], property: &str) -> String {
-    let branch = |p: &Term| -> String {
-        let iri = match p {
-            Term::Iri(i) => i.clone(),
-            other => other.lexical_form().to_string(),
-        };
-        format!("?s <{iri}> ?o")
-    };
+    let branch = |p: &Term| format!("?s <{}> ?o", pattern_iri(p));
     match predicates {
         [] => format!("SELECT ?s ?o WHERE {{ ?s <{property}> ?o }}"),
         [single] => format!("SELECT ?s ?o WHERE {{ {} }}", branch(single)),
@@ -1132,6 +1271,27 @@ fn sparql_pairs_query(predicates: &[Term], property: &str) -> String {
             let branches: Vec<String> =
                 many.iter().map(|p| format!("{{ {} }}", branch(p))).collect();
             format!("SELECT ?s ?o WHERE {{ {} }}", branches.join(" UNION "))
+        }
+    }
+}
+
+/// Generate the objects SPARQL text for resolved constant subjects ×
+/// candidate predicates: `SELECT ?o WHERE { <s> <p> ?o }`, UNION-ing over
+/// every (subject, predicate) combination. This pushes a REPLACECONSTANT
+/// argument into the pattern, so the knowledge base is probed by constant
+/// instead of streamed and filtered client-side.
+fn sparql_objects_query(subjects: &[Term], predicates: &[Term]) -> String {
+    let mut branches: Vec<String> = Vec::with_capacity(subjects.len() * predicates.len());
+    for s in subjects {
+        for p in predicates {
+            branches.push(format!("<{}> <{}> ?o", pattern_iri(s), pattern_iri(p)));
+        }
+    }
+    match branches.as_slice() {
+        [single] => format!("SELECT ?o WHERE {{ {single} }}"),
+        many => {
+            let parts: Vec<String> = many.iter().map(|b| format!("{{ {b} }}")).collect();
+            format!("SELECT ?o WHERE {{ {} }}", parts.join(" UNION "))
         }
     }
 }

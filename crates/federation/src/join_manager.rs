@@ -6,11 +6,11 @@
 //! using the resource mapping to decide when a relational value and an RDF
 //! term denote the same thing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crosse_rdf::sparql::eval::Solutions;
 use crosse_rdf::term::Term;
-use crosse_relational::{Column, DataType, Error, Result, RowSet, Schema, Value};
+use crosse_relational::{Column, DataType, Error, Interner, Result, RowSet, Schema, Value};
 
 use crate::mapping::MapStrategy;
 
@@ -37,6 +37,21 @@ pub struct JoinSpec {
     pub strategy: MapStrategy,
 }
 
+/// Numeric/boolean interpretation of a literal's lexical form, if any.
+fn scalar_literal(value: &str) -> Option<Value> {
+    if let Ok(i) = value.parse::<i64>() {
+        Some(Value::Int(i))
+    } else if let Ok(f) = value.parse::<f64>() {
+        Some(Value::Float(f))
+    } else if value == "true" {
+        Some(Value::Bool(true))
+    } else if value == "false" {
+        Some(Value::Bool(false))
+    } else {
+        None
+    }
+}
+
 /// Convert an RDF term to a relational value. Literals that parse as
 /// numbers become numeric; everything else arrives as text (IRIs by local
 /// name, so enriched columns read like the paper's examples: `Italy`, not
@@ -44,25 +59,40 @@ pub struct JoinSpec {
 pub fn term_to_value(term: &Term) -> Value {
     match term {
         Term::Literal { value, .. } => {
-            if let Ok(i) = value.parse::<i64>() {
-                Value::Int(i)
-            } else if let Ok(f) = value.parse::<f64>() {
-                Value::Float(f)
-            } else if value == "true" {
-                Value::Bool(true)
-            } else if value == "false" {
-                Value::Bool(false)
-            } else {
-                Value::Str(value.clone())
-            }
+            scalar_literal(value).unwrap_or_else(|| Value::from(value.as_str()))
         }
-        Term::Iri(_) => Value::Str(term.local_name().to_string()),
-        Term::Blank(b) => Value::Str(format!("_:{b}")),
+        Term::Iri(_) => Value::from(term.local_name()),
+        Term::Blank(b) => Value::from(format!("_:{b}")),
     }
 }
 
-/// Join `rows` with `sols` according to `spec`.
+/// [`term_to_value`] interning text through `interner`: N occurrences of a
+/// term across a solution set cost one allocation total, and downstream
+/// equality checks get the interner's pointer fast path.
+pub fn term_to_value_in(term: &Term, interner: &Interner) -> Value {
+    match term {
+        Term::Literal { value, .. } => {
+            scalar_literal(value).unwrap_or_else(|| interner.value(value))
+        }
+        Term::Iri(_) => interner.value(term.local_name()),
+        Term::Blank(b) => interner.value(&format!("_:{b}")),
+    }
+}
+
+/// Join `rows` with `sols` according to `spec` (ad-hoc interner; prefer
+/// [`combine_in`] with the owning database's interner on hot paths).
 pub fn combine(rows: &RowSet, sols: &Solutions, spec: &JoinSpec) -> Result<RowSet> {
+    combine_in(rows, sols, spec, &Interner::new())
+}
+
+/// Join `rows` with `sols` according to `spec`, interning imported term
+/// values through `interner`.
+pub fn combine_in(
+    rows: &RowSet,
+    sols: &Solutions,
+    spec: &JoinSpec,
+    interner: &Interner,
+) -> Result<RowSet> {
     let col_idx = rows
         .column_index(&spec.column)
         .ok_or_else(|| Error::plan(format!("no output column `{}` to enrich", spec.column)))?;
@@ -92,32 +122,50 @@ pub fn combine(rows: &RowSet, sols: &Solutions, spec: &JoinSpec) -> Result<RowSe
         }
     }
 
-    let mut out: Vec<Vec<Value>> = Vec::new();
+    // Every input row produces at least one output row under LeftOuter;
+    // reserving up front spares the doubling reallocations on the
+    // (dominant) 1:1 match shape.
+    let width = rows.schema.len() + take_idx.len();
+    let mut out: Vec<Vec<Value>> = Vec::with_capacity(match spec.kind {
+        CombineKind::LeftOuter => rows.rows.len(),
+        CombineKind::Inner => 0,
+    });
+    // Output type of each appended column, unified while rows are built
+    // (Int+Float widen to Float, anything else mixed falls back to Text)
+    // so typing needs no second scan over the output.
+    let mut take_types: Vec<Option<DataType>> = vec![None; take_idx.len()];
     for row in &rows.rows {
         let value = &row[col_idx];
-        let key = value.lexical_form();
         let mut matched = false;
         if !value.is_null() {
-            if let Some(cands) = index.get(key.as_str()) {
+            // Borrows the cell for text values — no per-row key allocation.
+            let key = value.lexical();
+            if let Some(cands) = index.get(key.as_ref()) {
                 for &si in cands {
                     let term = sols.rows[si][var_idx].as_ref().expect("indexed ⇒ bound");
                     if !spec.strategy.matches(value, term) {
                         continue;
                     }
                     matched = true;
-                    let mut new_row = row.clone();
-                    for &ti in &take_idx {
-                        new_row.push(match &sols.rows[si][ti] {
-                            Some(t) => term_to_value(t),
+                    // Exact-width allocation instead of clone-then-push
+                    // (which would copy at base width, then reallocate).
+                    let mut new_row = Vec::with_capacity(width);
+                    new_row.extend_from_slice(row);
+                    for (k, &ti) in take_idx.iter().enumerate() {
+                        let v = match &sols.rows[si][ti] {
+                            Some(t) => term_to_value_in(t, interner),
                             None => Value::Null,
-                        });
+                        };
+                        unify_type(&mut take_types[k], &v);
+                        new_row.push(v);
                     }
                     out.push(new_row);
                 }
             }
         }
         if !matched && spec.kind == CombineKind::LeftOuter {
-            let mut new_row = row.clone();
+            let mut new_row = Vec::with_capacity(width);
+            new_row.extend_from_slice(row);
             new_row.extend(std::iter::repeat_n(Value::Null, take_idx.len()));
             out.push(new_row);
         }
@@ -129,39 +177,40 @@ pub fn combine(rows: &RowSet, sols: &Solutions, spec: &JoinSpec) -> Result<RowSe
     let mut schema = Schema::new(rows.schema.columns.clone());
     let base = rows.schema.len();
     for (k, (_, name)) in spec.take.iter().enumerate() {
-        let dt = unify_column_type(&mut out, base + k);
+        let dt = take_types[k].unwrap_or(DataType::Text);
+        widen_column(&mut out, base + k, dt);
         schema.columns.push(Column::new(name.clone(), dt));
     }
     Ok(RowSet { schema, rows: out })
 }
 
-/// Pick a single type for column `idx`, widening Int→Float when mixed and
-/// falling back to Text (converting values in place) when heterogeneous.
-fn unify_column_type(rows: &mut [Vec<Value>], idx: usize) -> DataType {
-    let mut ty: Option<DataType> = None;
-    for row in rows.iter() {
-        let Some(dt) = row[idx].data_type() else { continue };
-        ty = Some(match ty {
-            None => dt,
-            Some(t) if t == dt => t,
-            Some(DataType::Int) if dt == DataType::Float => DataType::Float,
-            Some(DataType::Float) if dt == DataType::Int => DataType::Float,
-            Some(_) => DataType::Text,
-        });
-    }
-    let ty = ty.unwrap_or(DataType::Text);
+/// Fold one produced value into the running unified type of its column.
+fn unify_type(ty: &mut Option<DataType>, v: &Value) {
+    let Some(dt) = v.data_type() else { return };
+    *ty = Some(match *ty {
+        None => dt,
+        Some(t) if t == dt => t,
+        Some(DataType::Int) if dt == DataType::Float => DataType::Float,
+        Some(DataType::Float) if dt == DataType::Int => DataType::Float,
+        Some(_) => DataType::Text,
+    });
+}
+
+/// Convert column `idx` to its unified type in a single pass: Int widens
+/// to Float, heterogeneous columns stringify to Text, NULLs stay NULL.
+/// Values already of type `ty` are left untouched.
+fn widen_column(rows: &mut [Vec<Value>], idx: usize, ty: DataType) {
     for row in rows.iter_mut() {
-        let v = std::mem::replace(&mut row[idx], Value::Null);
-        row[idx] = match (v, ty) {
-            (Value::Null, _) => Value::Null,
-            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
-            (v, DataType::Text) if v.data_type() != Some(DataType::Text) => {
-                Value::Str(v.lexical_form())
+        let v = &mut row[idx];
+        match (&*v, ty) {
+            (Value::Int(i), DataType::Float) => *v = Value::Float(*i as f64),
+            (Value::Null, _) => {}
+            (other, DataType::Text) if other.data_type() != Some(DataType::Text) => {
+                *v = Value::from(other.lexical_form());
             }
-            (v, _) => v,
-        };
+            _ => {}
+        }
     }
-    ty
 }
 
 /// The set of relational values (lexical forms) for which a binding of
@@ -171,10 +220,11 @@ pub fn matching_keys(sols: &Solutions, variable: &str) -> Result<Vec<Term>> {
     let var_idx = sols
         .var_index(variable)
         .ok_or_else(|| Error::plan(format!("no solution variable `?{variable}`")))?;
+    let mut seen: HashSet<&Term> = HashSet::new();
     let mut out: Vec<Term> = Vec::new();
     for row in &sols.rows {
         if let Some(t) = &row[var_idx] {
-            if !out.contains(t) {
+            if seen.insert(t) {
                 out.push(t.clone());
             }
         }

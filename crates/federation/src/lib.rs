@@ -21,7 +21,9 @@ pub mod source;
 pub mod tempdb;
 
 pub use fdw::{FederatedDatabase, FederatedPrepared};
-pub use join_manager::{combine, matching_keys, term_to_value, CombineKind, JoinSpec};
+pub use join_manager::{
+    combine, combine_in, matching_keys, term_to_value, term_to_value_in, CombineKind, JoinSpec,
+};
 pub use mapping::{MapStrategy, ResourceMapping};
 pub use source::{DataSource, LatencyModel, LocalSource, RemoteSource, SourceStats};
 pub use tempdb::TempDb;

@@ -36,18 +36,20 @@ pub enum MapStrategy {
 }
 
 impl MapStrategy {
-    /// Does `value` denote `term` under this strategy?
+    /// Does `value` denote `term` under this strategy? Borrows the value's
+    /// text — no allocation per probe for text columns.
     pub fn matches(&self, value: &Value, term: &Term) -> bool {
         if value.is_null() {
             return false;
         }
-        let v = value.lexical_form();
+        let v = value.lexical();
         match self {
-            MapStrategy::Literal => term.is_literal() && term.lexical_form() == v,
+            MapStrategy::Literal => term.is_literal() && term.lexical_form() == v.as_ref(),
             MapStrategy::LocalName => term.matches_lexical(&v),
-            MapStrategy::IriPrefix(ns) => {
-                matches!(term, Term::Iri(i) if *i == format!("{ns}{v}"))
-            }
+            MapStrategy::IriPrefix(ns) => matches!(
+                term,
+                Term::Iri(i) if i.strip_prefix(ns.as_str()) == Some(v.as_ref())
+            ),
         }
     }
 

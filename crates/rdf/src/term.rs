@@ -173,6 +173,21 @@ impl Dictionary {
     pub fn literal_flags(&self) -> Vec<bool> {
         self.inner.read().terms.iter().map(Term::is_literal).collect()
     }
+
+    /// All interned IRI terms a plain string denotes under the resource-
+    /// mapping rule (exact text or local-name match; see
+    /// [`Term::matches_lexical`]). Lets query generators push a lexical
+    /// constant into a SPARQL pattern as concrete IRIs instead of
+    /// fetching everything and filtering client-side.
+    pub fn iris_matching_lexical(&self, name: &str) -> Vec<Term> {
+        self.inner
+            .read()
+            .terms
+            .iter()
+            .filter(|t| t.is_iri() && t.matches_lexical(name))
+            .cloned()
+            .collect()
+    }
 }
 
 /// Borrowed view of the dictionary (see [`Dictionary::reader`]).

@@ -8,7 +8,7 @@
 
 use crate::error::{Error, Result};
 use crate::storage::Table;
-use crate::value::{DataType, Value};
+use crate::value::{DataType, Interner, Value};
 use crate::RowSet;
 
 /// Parse CSV text into records of string fields.
@@ -70,13 +70,19 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
     Ok(records)
 }
 
-/// Convert one CSV field to a typed value. Empty fields become NULL.
-fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
+/// Convert one CSV field to a typed value. Empty fields become NULL; text
+/// fields intern through `interner` when given, so the (typically very
+/// repetitive) categorical columns of a flat-file delivery share one
+/// allocation per distinct value.
+fn field_to_value(field: &str, ty: DataType, interner: Option<&Interner>) -> Result<Value> {
     if field.is_empty() {
         return Ok(Value::Null);
     }
     match ty {
-        DataType::Text => Ok(Value::Str(field.to_string())),
+        DataType::Text => Ok(match interner {
+            Some(i) => i.value(field),
+            None => Value::from(field),
+        }),
         DataType::Int => field
             .trim()
             .parse::<i64>()
@@ -100,6 +106,18 @@ fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
 /// it, fields map positionally. Returns the number of rows inserted
 /// (atomically: any bad row aborts the whole import).
 pub fn import_csv(table: &Table, text: &str, has_header: bool) -> Result<usize> {
+    import_csv_interned(table, text, has_header, None)
+}
+
+/// [`import_csv`] with text fields interned through `interner` (the
+/// `Database` CSV path passes its own, so loads share allocations with
+/// query literals and enrichment values).
+pub fn import_csv_interned(
+    table: &Table,
+    text: &str,
+    has_header: bool,
+    interner: Option<&Interner>,
+) -> Result<usize> {
     let mut records = parse_csv(text)?;
     if records.is_empty() {
         return Ok(0);
@@ -127,7 +145,7 @@ pub fn import_csv(table: &Table, text: &str, has_header: bool) -> Result<usize> 
         }
         let mut row = vec![Value::Null; schema.len()];
         for (field, &pos) in record.iter().zip(&positions) {
-            row[pos] = field_to_value(field, schema.columns[pos].data_type)?;
+            row[pos] = field_to_value(field, schema.columns[pos].data_type, interner)?;
         }
         rows.push(row);
     }
@@ -258,9 +276,12 @@ mod tests {
     #[test]
     fn bool_spellings() {
         for (text, want) in [("1", true), ("no", false), ("T", true), ("False", false)] {
-            assert_eq!(field_to_value(text, DataType::Bool).unwrap(), Value::Bool(want));
+            assert_eq!(
+                field_to_value(text, DataType::Bool, None).unwrap(),
+                Value::Bool(want)
+            );
         }
-        assert!(field_to_value("maybe", DataType::Bool).is_err());
+        assert!(field_to_value("maybe", DataType::Bool, None).is_err());
     }
 
     #[test]

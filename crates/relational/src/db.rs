@@ -16,7 +16,7 @@ use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, Select, Statement};
 use crate::sql::parser::{parse_script, parse_statement, parse_statement_with_params};
 use crate::storage::Catalog;
-use crate::value::{Row, Value};
+use crate::value::{Interner, Row, Value};
 
 /// A materialised query result: a schema plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +64,7 @@ impl RowSet {
                     .enumerate()
                     .map(|(i, v)| {
                         let s = match v {
-                            Value::Str(s) => s.clone(),
+                            Value::Str(s) => s.to_string(),
                             other => other.to_string(),
                         };
                         widths[i] = widths[i].max(s.len());
@@ -153,6 +153,10 @@ pub struct Database {
     /// Worker threads for morsel-parallel query execution (shared across
     /// clones — one engine, one setting). 1 = sequential.
     exec_threads: Arc<std::sync::atomic::AtomicUsize>,
+    /// Shared string interner: repeated lexical forms entering the engine
+    /// (CSV loads, enrichment term decodes) share one allocation, so text
+    /// equality gets a pointer fast path across independent producers.
+    interner: Arc<Interner>,
 }
 
 impl Default for Database {
@@ -161,6 +165,7 @@ impl Default for Database {
             catalog: Catalog::default(),
             plans: Arc::new(Mutex::new(Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
             exec_threads: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
+            interner: Arc::new(Interner::new()),
         }
     }
 }
@@ -172,6 +177,20 @@ impl Database {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The database's string interner (shared across clones). Layers that
+    /// convert external data into [`Value`]s intern through this so
+    /// repeated lexical forms cost one allocation total.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Import CSV text into `table_name`, interning text fields through
+    /// the database's interner. See [`crate::csv::import_csv`].
+    pub fn import_csv(&self, table_name: &str, text: &str, has_header: bool) -> Result<usize> {
+        let table = self.catalog.get_table(table_name)?;
+        crate::csv::import_csv_interned(&table, text, has_header, Some(&self.interner))
     }
 
     /// Set the worker-thread budget for morsel-parallel query execution
@@ -301,7 +320,7 @@ impl Database {
                 let rows = plan
                     .explain()
                     .lines()
-                    .map(|l| vec![Value::Str(l.to_string())])
+                    .map(|l| vec![Value::from(l)])
                     .collect();
                 Ok(ExecOutcome::Rows(RowSet { schema, rows }))
             }
@@ -488,14 +507,20 @@ impl Database {
     /// Materialise a row set as a new table (the SESQL temporary support
     /// database stores JoinManager output this way).
     pub fn materialise(&self, name: &str, rows: &RowSet) -> Result<()> {
-        let cols: Vec<Column> = rows
-            .schema
+        self.materialise_owned(name, &rows.schema, rows.rows.clone())
+    }
+
+    /// [`Database::materialise`] for callers that already own the rows —
+    /// no re-clone (the REPLACEVARIABLE pairs-cache hit path hands over
+    /// one copy of its cached rows directly).
+    pub fn materialise_owned(&self, name: &str, schema: &Schema, rows: Vec<Row>) -> Result<()> {
+        let cols: Vec<Column> = schema
             .columns
             .iter()
             .map(|c| Column::new(c.name.clone(), c.data_type))
             .collect();
         let table = self.catalog.create_or_replace_table(name, cols)?;
-        table.insert_many(rows.rows.clone())?;
+        table.insert_many(rows)?;
         Ok(())
     }
 }
@@ -1327,5 +1352,26 @@ mod tests {
         let names: Vec<String> =
             rs.rows.iter().map(|r| r[0].lexical_form()).collect();
         assert_eq!(names, vec!["Gerbido", "Barricalla", "Basse di Stura"]);
+    }
+
+    #[test]
+    fn hash_join_agrees_with_filter_for_huge_ints() {
+        // 2^53 and 2^53+1 both round to the same f64. The hash-keyed join
+        // and the comparison-based filter form must agree on how many
+        // rows match the float — a non-transitive Value::Eq would make
+        // the hash table drop one of the two build entries.
+        let d = Database::new();
+        d.execute_script(
+            "CREATE TABLE a (i INT); CREATE TABLE b (f FLOAT);
+             INSERT INTO a VALUES (9007199254740992), (9007199254740993);
+             INSERT INTO b VALUES (9007199254740992.0);",
+        )
+        .unwrap();
+        let joined = d.query("SELECT b.f, a.i FROM b, a WHERE b.f = a.i").unwrap();
+        let filtered = d
+            .query("SELECT b.f, a.i FROM b, a WHERE b.f <= a.i AND b.f >= a.i")
+            .unwrap();
+        assert_eq!(joined.rows.len(), filtered.rows.len());
+        assert_eq!(joined.rows.len(), 2);
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use crate::error::{Error, Result};
-use crate::value::{GroupKey, Value};
+use crate::value::Value;
 
 /// Which aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,7 @@ impl AggFn {
 pub struct Accumulator {
     func: AggFn,
     distinct: bool,
-    seen: HashSet<GroupKey>,
+    seen: HashSet<Value>,
     count: i64,
     sum_i: i64,
     sum_f: f64,
@@ -73,7 +73,7 @@ impl Accumulator {
         if self.func != AggFn::CountStar && v.is_null() {
             return Ok(());
         }
-        if self.distinct && !self.seen.insert(v.group_key()) {
+        if self.distinct && !self.seen.insert(v.clone()) {
             return Ok(());
         }
         match self.func {

@@ -363,8 +363,8 @@ fn eval_binary(
     match op {
         Concat => {
             let mut s = left.lexical_form();
-            s.push_str(&right.lexical_form());
-            Ok(Value::Str(s))
+            s.push_str(&right.lexical());
+            Ok(Value::from(s))
         }
         Plus | Minus | Multiply | Divide | Modulo => arith(left, op, right),
         And | Or => unreachable!("handled above"),
@@ -437,9 +437,9 @@ fn eval_scalar_fn(func: ScalarFn, mut vals: Vec<Value>) -> Result<Value> {
             let v = vals.remove(0);
             match (func, v) {
                 (_, Value::Null) => Ok(Value::Null),
-                (ScalarFn::Upper, Value::Str(s)) => Ok(Value::Str(s.to_uppercase())),
-                (ScalarFn::Lower, Value::Str(s)) => Ok(Value::Str(s.to_lowercase())),
-                (ScalarFn::Trim, Value::Str(s)) => Ok(Value::Str(s.trim().to_string())),
+                (ScalarFn::Upper, Value::Str(s)) => Ok(Value::from(s.to_uppercase())),
+                (ScalarFn::Lower, Value::Str(s)) => Ok(Value::from(s.to_lowercase())),
+                (ScalarFn::Trim, Value::Str(s)) => Ok(Value::from(s.trim())),
                 (ScalarFn::Length, Value::Str(s)) => {
                     Ok(Value::Int(s.chars().count() as i64))
                 }
@@ -497,7 +497,7 @@ fn eval_scalar_fn(func: ScalarFn, mut vals: Vec<Value>) -> Result<Value> {
                         Some(l) => it.take(l).collect(),
                         None => it.collect(),
                     };
-                    Ok(Value::Str(out))
+                    Ok(Value::from(out))
                 }
                 v => Err(Error::eval(format!("SUBSTR requires a string, got {v}"))),
             }

@@ -45,7 +45,7 @@ use crate::plan::{AggSpec, IndexLookup, Plan, SortKey};
 use crate::schema::Schema;
 use crate::sql::ast::JoinKind;
 use crate::storage::{Table, TableSnapshot};
-use crate::value::{GroupKey, Row, Value};
+use crate::value::{Row, Value};
 
 use super::aggregate::Accumulator;
 use super::expr::BoundExpr;
@@ -207,7 +207,7 @@ enum MorselWork {
     /// snapshot row probes the shared build table.
     HashProbe {
         prefilter: Option<BoundExpr>,
-        table: HashMap<Vec<GroupKey>, Vec<usize>>,
+        table: HashMap<Vec<Value>, Vec<usize>>,
         right_rows: Vec<Row>,
         left_keys: Vec<BoundExpr>,
         residual: Option<BoundExpr>,
@@ -265,7 +265,7 @@ impl MorselWork {
                             null_key = true;
                             break;
                         }
-                        key.push(v.group_key());
+                        key.push(v);
                     }
                     if !null_key {
                         if let Some(matches) = table.get(&key) {
@@ -534,7 +534,9 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             let right_rows: Vec<Row> =
                 stream_plan(*right, ctx.clone())?.collect::<Result<_>>()?;
             // Build side: NULL keys never participate (SQL equi-join).
-            let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            // Keys are the evaluated values themselves — `Value`'s Eq/Hash
+            // carry grouping semantics, and moving them in costs nothing.
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             'rows: for (i, r) in right_rows.iter().enumerate() {
                 let mut key = Vec::with_capacity(right_keys.len());
                 for k in &right_keys {
@@ -542,7 +544,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                     if v.is_null() {
                         continue 'rows;
                     }
-                    key.push(v.group_key());
+                    key.push(v);
                 }
                 table.entry(key).or_default().push(i);
             }
@@ -592,7 +594,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                         if v.is_null() {
                             return Ok(());
                         }
-                        key.push(v.group_key());
+                        key.push(v);
                     }
                     if let Some(matches) = table.get(&key) {
                         for &ri in matches {
@@ -622,13 +624,14 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
         }
         Plan::Distinct { input } => {
             let mut child = stream_plan(*input, ctx)?;
-            let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+            // The row itself is the key: Value clones are refcount bumps,
+            // and Eq/Hash already mean grouping equality.
+            let mut seen: HashSet<Row> = HashSet::new();
             Ok(Box::new(std::iter::from_fn(move || loop {
                 match child.next()? {
                     Err(e) => return Some(Err(e)),
                     Ok(row) => {
-                        let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
-                        if seen.insert(key) {
+                        if seen.insert(row.clone()) {
                             return Some(Ok(row));
                         }
                     }
@@ -668,7 +671,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             // never executes the later ones.
             let mut pending: VecDeque<Plan> = inputs.into_iter().collect();
             let mut current: Option<BoxRowIter> = None;
-            let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+            let mut seen: HashSet<Row> = HashSet::new();
             Ok(Box::new(std::iter::from_fn(move || loop {
                 let iter = match &mut current {
                     Some(it) => it,
@@ -695,8 +698,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                         if all {
                             return Some(Ok(row));
                         }
-                        let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
-                        if seen.insert(key) {
+                        if seen.insert(row.clone()) {
                             return Some(Ok(row));
                         }
                     }
@@ -767,7 +769,7 @@ fn aggregate_rows(
     group: &[BoundExpr],
     aggs: &[AggSpec],
 ) -> Result<Vec<Row>> {
-    let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     for row in child {
         let row = row?;
@@ -775,16 +777,17 @@ fn aggregate_rows(
         for g in group {
             key_vals.push(g.eval(&row)?);
         }
-        let key: Vec<GroupKey> = key_vals.iter().map(|v| v.group_key()).collect();
-        let gi = match index.get(&key) {
+        let gi = match index.get(&key_vals) {
             Some(&gi) => gi,
             None => {
                 let accs = aggs
                     .iter()
                     .map(|a| Accumulator::new(a.func, a.distinct))
                     .collect();
+                // The group's output values and its hash key are the same
+                // vector; the clone is a row of refcount bumps.
+                index.insert(key_vals.clone(), groups.len());
                 groups.push((key_vals, accs));
-                index.insert(key, groups.len() - 1);
                 groups.len() - 1
             }
         };

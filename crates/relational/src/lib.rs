@@ -44,4 +44,4 @@ pub use error::{Error, Result};
 pub use exec::Rows;
 pub use prepared::{Params, Prepared, SlotInfo};
 pub use schema::{Column, Schema};
-pub use value::{DataType, Row, Value};
+pub use value::{DataType, Interner, Row, Str, Value};

@@ -586,6 +586,10 @@ impl<'a> Planner<'a> {
                 Ok(plan)
             };
 
+        // Schema in *declared* FROM order, kept for wildcard expansion:
+        // the greedy join ordering below may join items in a different
+        // order, but `SELECT *` output must follow the SQL text.
+        let mut declared_schema: Option<Schema> = None;
         let mut plan = if select.from.is_empty() {
             Plan::Values { schema: Schema::default(), rows: vec![vec![]] }
         } else {
@@ -594,21 +598,39 @@ impl<'a> Planner<'a> {
                 .iter()
                 .map(|tr| self.table_ref(tr))
                 .collect::<Result<_>>()?;
+            let full = item_plans
+                .iter()
+                .skip(1)
+                .fold(item_plans[0].schema().clone(), |s, p| s.join(p.schema()));
             // Validate the original WHERE against the full FROM schema
             // before any pushdown, so ambiguous references error exactly as
             // they would without the optimisation.
             if let Some(filter) = &select.filter {
-                let full = item_plans
-                    .iter()
-                    .skip(1)
-                    .fold(item_plans[0].schema().clone(), |s, p| s.join(p.schema()));
                 bind(filter, &full)?;
             }
-            let mut it = item_plans.into_iter();
-            let mut acc = it.next().expect("non-empty");
+            declared_schema = Some(full);
+            let mut remaining: std::collections::VecDeque<Plan> = item_plans.into();
+            let mut acc = remaining.pop_front().expect("non-empty");
             acc = push_single(acc, &conjuncts, &mut used)?;
-            for right in it {
-                let mut right = right;
+            while !remaining.is_empty() {
+                // Greedy equi-aware ordering: prefer the FROM item that an
+                // unused cross-table equality links to what is already
+                // joined — that join hashes instead of building a cross
+                // product. SESQL's REPLACEVARIABLE rewrite depends on this:
+                // its pairs table relates the *two ends* of the query's
+                // original equi-join, so FROM order would put the only
+                // non-equi conjunct (e.g. `l1 <> l2`) in the middle and
+                // materialise the full cross product first. Falls back to
+                // FROM order when nothing links.
+                let pick = remaining
+                    .iter()
+                    .position(|cand| {
+                        conjuncts.iter().zip(&used).any(|(c, u)| {
+                            !u && is_equi_link(c, acc.schema(), cand.schema())
+                        })
+                    })
+                    .unwrap_or(0);
+                let mut right = remaining.remove(pick).expect("position in bounds");
                 right = push_single(right, &conjuncts, &mut used)?;
                 // Cross-table conjuncts that become resolvable once both
                 // sides are in scope turn the cross join into a predicated
@@ -643,8 +665,13 @@ impl<'a> Planner<'a> {
             plan = Plan::Filter { input: Box::new(plan), predicate };
         }
 
-        // Expand wildcards to (expr, alias) pairs.
+        // Expand wildcards to (expr, alias) pairs — against the declared
+        // FROM-order schema, not the (possibly reordered) joined plan's,
+        // so `SELECT *` columns come out in SQL order. The generated
+        // references are qualified, so they bind correctly against the
+        // actual join output regardless of its internal order.
         let input_schema = plan.schema().clone();
+        let wildcard_schema = declared_schema.as_ref().unwrap_or(&input_schema);
         let mut projections: Vec<(Expr, Option<String>)> = Vec::new();
         for item in &select.projections {
             match item {
@@ -652,7 +679,7 @@ impl<'a> Planner<'a> {
                     if select.from.is_empty() {
                         return Err(Error::plan("`SELECT *` requires a FROM clause"));
                     }
-                    for c in &input_schema.columns {
+                    for c in &wildcard_schema.columns {
                         projections.push((
                             Expr::Column {
                                 qualifier: c.qualifier.clone(),
@@ -664,7 +691,7 @@ impl<'a> Planner<'a> {
                 }
                 SelectItem::QualifiedWildcard(q) => {
                     let mut any = false;
-                    for c in &input_schema.columns {
+                    for c in &wildcard_schema.columns {
                         if c.qualifier.as_deref().map(|x| x.eq_ignore_ascii_case(q))
                             == Some(true)
                         {
@@ -1248,6 +1275,31 @@ pub fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     }
 }
 
+/// Whether `c` is an equality with one side resolvable in `left` and the
+/// other in `right` — i.e. it would become a hash-join key for the pair.
+/// Both sides must actually reference a column: a literal binds against
+/// *every* schema, so `b.x = 5` must not count as a cross-table link.
+fn is_equi_link(c: &Expr, left: &Schema, right: &Schema) -> bool {
+    fn has_column(e: &Expr) -> bool {
+        let mut found = false;
+        e.visit(&mut |node| {
+            if matches!(node, Expr::Column { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+    match c {
+        Expr::Binary { left: l, op: BinaryOp::Eq, right: r } => {
+            has_column(l)
+                && has_column(r)
+                && ((bind(l, left).is_ok() && bind(r, right).is_ok())
+                    || (bind(l, right).is_ok() && bind(r, left).is_ok()))
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1312,6 +1364,84 @@ mod tests {
             }
         }
         assert!(find_hash(&p));
+    }
+
+    /// Walk a plan and record every base-table qualifier (alias) in join
+    /// order (left-deep: left subtree first).
+    fn scan_order(p: &Plan, out: &mut Vec<String>) {
+        match p {
+            Plan::Scan { schema, .. } | Plan::IndexScan { schema, .. } => {
+                if let Some(q) = schema.columns.first().and_then(|c| c.qualifier.clone()) {
+                    out.push(q);
+                }
+            }
+            Plan::Project { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Limit { input, .. }
+            | Plan::Aggregate { input, .. } => scan_order(input, out),
+            Plan::HashJoin { left, right, .. }
+            | Plan::NestedLoopJoin { left, right, .. } => {
+                scan_order(left, out);
+                scan_order(right, out);
+            }
+            Plan::Values { .. } | Plan::Union { .. } => {}
+        }
+    }
+
+    #[test]
+    fn greedy_order_prefers_equi_linked_from_item() {
+        // FROM order would cross-join e1×e2 on the non-equi `<>` alone;
+        // the greedy planner must pull `x` (equi-linked to e1) forward.
+        let p = plan(
+            "SELECT e1.elem_name FROM elem_contained e1, elem_contained e2, landfill x \
+             WHERE e1.landfill_name <> e2.landfill_name \
+               AND x.name = e1.landfill_name AND x.city = e2.landfill_name",
+        )
+        .unwrap();
+        let mut order = Vec::new();
+        scan_order(&p, &mut order);
+        assert_eq!(order, vec!["e1", "x", "e2"], "equi-linked item joins first");
+    }
+
+    #[test]
+    fn wildcard_follows_declared_from_order_despite_join_reordering() {
+        // Same shape as above: the planner joins e1 ⋈ x ⋈ e2, but
+        // `SELECT *` must still produce e1.*, e2.*, x.* (SQL text order).
+        let p = plan(
+            "SELECT * FROM elem_contained e1, elem_contained e2, landfill x \
+             WHERE e1.landfill_name <> e2.landfill_name \
+               AND x.name = e1.landfill_name AND x.city = e2.landfill_name",
+        )
+        .unwrap();
+        let quals: Vec<&str> = p
+            .schema()
+            .columns
+            .iter()
+            .map(|c| c.qualifier.as_deref().unwrap_or(""))
+            .collect();
+        assert_eq!(
+            quals,
+            vec!["e1", "e1", "e1", "e2", "e2", "e2", "x", "x", "x"],
+            "SELECT * column order must follow the FROM clause"
+        );
+    }
+
+    #[test]
+    fn single_table_literal_equality_is_not_an_equi_link() {
+        // `e2.amount = 5` binds a literal on one side; it must not count
+        // as a cross-table link, or e2 would be preferred (cross product)
+        // over x, the genuine hash-join partner of e1.
+        let p = plan(
+            "SELECT e1.elem_name FROM elem_contained e1, elem_contained e2, landfill x \
+             WHERE e2.amount = 5 AND e1.landfill_name <> e2.landfill_name \
+               AND x.name = e1.landfill_name AND x.city = e2.landfill_name",
+        )
+        .unwrap();
+        let mut order = Vec::new();
+        scan_order(&p, &mut order);
+        assert_eq!(order, vec!["e1", "x", "e2"]);
     }
 
     #[test]

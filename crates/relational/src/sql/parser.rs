@@ -780,7 +780,9 @@ impl Parser {
             }
             TokenKind::String(s) => {
                 self.advance();
-                Ok(Expr::Literal(Value::Str(s)))
+                // One shared allocation per literal: every per-row clone
+                // during evaluation is then a refcount bump.
+                Ok(Expr::Literal(Value::from(s)))
             }
             TokenKind::LParen => {
                 self.advance();

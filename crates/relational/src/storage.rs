@@ -16,7 +16,6 @@
 //! transactions — but single-statement reads are now true point-in-time
 //! snapshots rather than prefix-consistent lock-step scans.
 
-use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
@@ -27,26 +26,6 @@ use parking_lot::RwLock;
 use crate::error::{Error, Result};
 use crate::schema::{Column, Schema};
 use crate::value::{Row, Value};
-
-/// A [`Value`] wrapper with the *total* ordering (`Value::total_cmp`), so it
-/// can key a `BTreeMap`. NULLs never reach an index (they are skipped at
-/// build/insert time), so the NULL position in the total order is moot.
-#[derive(Debug, Clone, PartialEq)]
-struct IndexKey(Value);
-
-impl Eq for IndexKey {}
-
-impl PartialOrd for IndexKey {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for IndexKey {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// A secondary index over one column of a [`Table`].
 ///
@@ -61,7 +40,11 @@ pub struct Index {
     pub name: String,
     /// Column position in the owning table's schema.
     pub column: usize,
-    entries: RwLock<BTreeMap<IndexKey, Vec<usize>>>,
+    /// Keyed directly by `Value` — its `Ord` is the total order — so
+    /// probes borrow the caller's key instead of cloning it. NULLs never
+    /// reach the index (skipped at build/insert time), so NULL's position
+    /// in the total order is moot.
+    entries: RwLock<BTreeMap<Value, Vec<usize>>>,
     dirty: AtomicBool,
 }
 
@@ -83,7 +66,7 @@ impl Index {
     }
 
     fn rebuild_into(
-        entries: &mut BTreeMap<IndexKey, Vec<usize>>,
+        entries: &mut BTreeMap<Value, Vec<usize>>,
         column: usize,
         rows: &[Row],
     ) {
@@ -91,7 +74,7 @@ impl Index {
         for (i, row) in rows.iter().enumerate() {
             let v = &row[column];
             if !v.is_null() {
-                entries.entry(IndexKey(v.clone())).or_default().push(i);
+                entries.entry(v.clone()).or_default().push(i);
             }
         }
     }
@@ -103,11 +86,7 @@ impl Index {
         }
         let v = &row[self.column];
         if !v.is_null() {
-            self.entries
-                .write()
-                .entry(IndexKey(v.clone()))
-                .or_default()
-                .push(pos);
+            self.entries.write().entry(v.clone()).or_default().push(pos);
         }
     }
 
@@ -378,14 +357,15 @@ impl Table {
         self.ensure_clean(&idx, &rows);
         // Entry positions are resolved while the rows read lock is held, so
         // they are guaranteed consistent with the heap we pin; row
-        // materialisation then happens off-lock from the snapshot.
+        // materialisation then happens off-lock from the snapshot. Probes
+        // borrow the caller's keys — no per-lookup clone.
         let entries = idx.entries.read();
         let mut positions: Vec<usize> = Vec::new();
         for key in keys {
             if key.is_null() {
                 continue;
             }
-            if let Some(ps) = entries.get(&IndexKey(key.clone())) {
+            if let Some(ps) = entries.get(key) {
                 positions.extend_from_slice(ps);
             }
         }
@@ -412,13 +392,10 @@ impl Table {
         let rows = self.rows.read();
         self.ensure_clean(&idx, &rows);
         let entries = idx.entries.read();
-        let map_bound = |b: Bound<&Value>| match b {
-            Bound::Included(v) => Bound::Included(IndexKey(v.clone())),
-            Bound::Excluded(v) => Bound::Excluded(IndexKey(v.clone())),
-            Bound::Unbounded => Bound::Unbounded,
-        };
+        // The bounds are borrowed as-is: `BTreeMap::range` accepts
+        // `Bound<&Value>` directly, so range probes allocate nothing.
         let mut positions: Vec<usize> = Vec::new();
-        for (_, ps) in entries.range((map_bound(low), map_bound(high))) {
+        for (_, ps) in entries.range::<Value, _>((low, high)) {
             positions.extend_from_slice(ps);
         }
         drop(entries);

@@ -8,6 +8,11 @@
 //!   binary (release build) so future PRs have a perf trajectory to
 //!   compare against. Includes the e11 concurrency record (QPS + latency
 //!   percentiles at 1 vs 4 worker threads).
+//! * `bench-diff` — re-run the E3 experiments and compare each
+//!   `sesql_median_s` against the committed `BENCH_e3.json`, printing
+//!   per-experiment deltas. Exits non-zero when any experiment regresses
+//!   beyond the threshold (default 25%; `--threshold 0.4` or
+//!   `CROSSE_BENCH_THRESHOLD=0.4` to tune).
 //! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`.
 //! * `stress` — run the concurrency test suite (release) with elevated
 //!   iteration counts (`CROSSE_STRESS_ITERS=10`) under worker-thread
@@ -58,7 +63,7 @@ fn bench_smoke() {
 
 fn bench_baseline() {
     run(
-        "regenerate BENCH_e3.json (e3 + e11 concurrency record)",
+        "regenerate BENCH_e3.json (e3 + e11 concurrency + e12 enrichment records)",
         cargo().args([
             "run",
             "--release",
@@ -69,11 +74,125 @@ fn bench_baseline() {
             "--",
             "e3",
             "e11",
+            "e12",
             "--json",
             "BENCH_e3.json",
         ]),
     );
     println!("xtask: baseline written to BENCH_e3.json");
+}
+
+/// Extract the e3 `(name, sesql_median_s)` pairs from a BENCH_e3.json.
+/// Hand-rolled (the workspace has no serde): scans the flat, generated
+/// schema `{"name": "...", "sesql_median_s": <f64>, ...}` line by line.
+fn parse_e3_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        let Some(rest) = rest.split_once("\"sesql_median_s\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+fn bench_diff(args: &[String]) {
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("CROSSE_BENCH_THRESHOLD").ok())
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("xtask: invalid threshold `{s}` (want a fraction, e.g. 0.25)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let committed = std::fs::read_to_string("BENCH_e3.json").unwrap_or_else(|e| {
+        eprintln!("xtask: cannot read committed BENCH_e3.json: {e}");
+        std::process::exit(1);
+    });
+    let baseline = parse_e3_medians(&committed);
+    if baseline.is_empty() {
+        eprintln!("xtask: no e3 records in the committed BENCH_e3.json");
+        std::process::exit(1);
+    }
+
+    let fresh_path = "target/bench-diff-e3.json";
+    run(
+        "re-run e3 experiments",
+        cargo().args([
+            "run",
+            "--release",
+            "-p",
+            "crosse-bench",
+            "--bin",
+            "experiments",
+            "--",
+            "e3",
+            "--json",
+            fresh_path,
+        ]),
+    );
+    let fresh_json = std::fs::read_to_string(fresh_path).unwrap_or_else(|e| {
+        eprintln!("xtask: experiments run produced no {fresh_path}: {e}");
+        std::process::exit(1);
+    });
+    let fresh = parse_e3_medians(&fresh_json);
+
+    println!("\nbench-diff vs committed BENCH_e3.json (threshold {:.0}%)", threshold * 100.0);
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "experiment", "committed", "fresh", "delta"
+    );
+    let mut regressions = Vec::new();
+    for (name, old) in &baseline {
+        let Some((_, new)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("{name:<28} {:>14.6} {:>14} {:>9}", old, "MISSING", "-");
+            regressions.push(format!("{name}: missing from fresh run"));
+            continue;
+        };
+        let delta = new / old - 1.0;
+        let marker = if delta > threshold { "  << REGRESSION" } else { "" };
+        println!(
+            "{:<28} {:>12.2}µs {:>12.2}µs {:>+8.1}%{}",
+            name,
+            old * 1e6,
+            new * 1e6,
+            delta * 100.0,
+            marker
+        );
+        if delta > threshold {
+            regressions.push(format!("{name}: {:+.1}%", delta * 100.0));
+        }
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<28} (new experiment, no committed baseline)");
+        }
+    }
+    if regressions.is_empty() {
+        println!("\nxtask: bench-diff OK (no experiment slower than {:.0}%)", threshold * 100.0);
+    } else {
+        eprintln!("\nxtask: bench-diff FAILED — {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn stress() {
@@ -92,17 +211,21 @@ fn stress() {
 }
 
 fn main() {
-    let task = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let task = args.first().cloned().unwrap_or_default();
     match task.as_str() {
         "bench-smoke" => bench_smoke(),
         "bench-baseline" => bench_baseline(),
+        "bench-diff" => bench_diff(&args[1..]),
         "clippy" => clippy(),
         "stress" => stress(),
         other => {
             eprintln!(
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
                  tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on the workspace\n\
-                 bench-baseline  regenerate BENCH_e3.json via the experiments binary (e3 + e11)\n\
+                 bench-baseline  regenerate BENCH_e3.json via the experiments binary (e3 + e11 + e12)\n\
+                 bench-diff      re-run e3 and diff against the committed BENCH_e3.json\n\
+                                 (--threshold 0.25 / CROSSE_BENCH_THRESHOLD; non-zero exit on regression)\n\
                  clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
                  stress          concurrency tests (release), 10x iterations, worker threads 1/4/8"
             );

@@ -271,7 +271,7 @@ impl Shell {
             // Strip exactly one closing quote, then undo `''` escapes —
             // `'abc'''` binds `abc'`.
             let inner = stripped.strip_suffix('\'').unwrap_or(stripped);
-            return Value::Str(inner.replace("''", "'"));
+            return Value::from(inner.replace("''", "'"));
         }
         if t.eq_ignore_ascii_case("null") {
             return Value::Null;
@@ -288,7 +288,7 @@ impl Shell {
         if let Ok(f) = t.parse::<f64>() {
             return Value::Float(f);
         }
-        Value::Str(t.to_string())
+        Value::from(t)
     }
 
     /// Handle a backslash meta-command (`\prepare`, `\exec`, `\prepared`).

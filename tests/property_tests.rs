@@ -17,7 +17,7 @@ fn arb_value() -> impl Strategy<Value = RValue> {
         // Finite floats only: total_cmp handles NaN, but SQL never
         // produces one from our literals.
         (-1e12f64..1e12).prop_map(RValue::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(RValue::Str),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(RValue::from),
     ]
 }
 
@@ -40,6 +40,134 @@ proptest! {
     fn sql_cmp_consistent_with_total(a in arb_value(), b in arb_value()) {
         if let Some(ord) = a.sql_cmp(&b) {
             prop_assert_eq!(ord, a.total_cmp(&b));
+        }
+    }
+}
+
+// ---- interned value semantics -----------------------------------------------
+
+/// Text across scripts (ASCII, accented Latin, Greek/Cyrillic, CJK) so
+/// interning is exercised on multi-byte UTF-8, not just ASCII.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| s),
+        "[À-ÿ]{1,8}".prop_map(|s| s),
+        "[α-ωа-я]{1,8}".prop_map(|s| s),
+        "[一-十]{1,6}".prop_map(|s| s),
+    ]
+}
+
+fn value_hash(v: &RValue) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Interned values are observationally identical to fresh values:
+    /// round-trip through the lexical form, equality mirrors string
+    /// equality, ordering mirrors string ordering, and hashes agree with
+    /// equality — across Unicode scripts.
+    #[test]
+    fn interning_preserves_lexical_semantics(s in arb_text(), t in arb_text()) {
+        let interner = crosse::relational::Interner::new();
+        let interned_s = interner.value(&s);
+        let fresh_s = RValue::from(s.as_str());
+        prop_assert_eq!(&interned_s, &fresh_s);
+        prop_assert_eq!(interned_s.lexical_form(), s.clone());
+        prop_assert_eq!(value_hash(&interned_s), value_hash(&fresh_s));
+
+        // A second interned string compares exactly like the raw strings
+        // (the pointer fast path must never change the answer).
+        let interned_t = interner.value(&t);
+        prop_assert_eq!(interned_s == interned_t, s == t);
+        prop_assert_eq!(interned_s.total_cmp(&interned_t), s.cmp(&t));
+        if s == t {
+            prop_assert_eq!(value_hash(&interned_s), value_hash(&interned_t));
+        }
+    }
+
+    /// NULL and NaN have stable positions under the grouping semantics:
+    /// ORDER BY puts NULLs first and NaNs inside the numeric class, and
+    /// DISTINCT collapses NULL==NULL / NaN==NaN while keeping them apart.
+    #[test]
+    fn null_and_nan_ordering_in_group_keys_and_order_by(
+        floats in prop::collection::vec(-1e9f64..1e9, 0..12),
+        nulls in 0usize..3,
+        nans in 0usize..3,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x FLOAT)").unwrap();
+        let table = db.catalog().get_table("t").unwrap();
+        let mut rows: Vec<Vec<RValue>> =
+            floats.iter().map(|f| vec![RValue::Float(*f)]).collect();
+        rows.extend((0..nulls).map(|_| vec![RValue::Null]));
+        rows.extend((0..nans).map(|_| vec![RValue::Float(f64::NAN)]));
+        table.insert_many(rows).unwrap();
+
+        // ORDER BY follows the total order: NULLs first, then numbers
+        // (NaN sorted by the IEEE total order, i.e. after every finite).
+        let sorted = db.query("SELECT x FROM t ORDER BY x").unwrap();
+        for pair in sorted.rows.windows(2) {
+            prop_assert!(
+                pair[0][0].total_cmp(&pair[1][0]) != std::cmp::Ordering::Greater,
+                "ORDER BY out of total order"
+            );
+        }
+        for (i, row) in sorted.rows.iter().enumerate() {
+            prop_assert_eq!(row[0].is_null(), i < nulls, "NULLs sort first");
+        }
+
+        // DISTINCT groups by the same semantics: all NULLs collapse to
+        // one row, all NaNs to one row, finite values by value.
+        let distinct = db.query("SELECT DISTINCT x FROM t").unwrap();
+        let mut expect: std::collections::HashSet<u64> = floats
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        if nans > 0 {
+            expect.insert(f64::NAN.to_bits());
+        }
+        let want = expect.len() + usize::from(nulls > 0);
+        prop_assert_eq!(distinct.rows.len(), want);
+    }
+
+    /// A table loaded through the interner and one loaded with fresh
+    /// strings answer every query shape identically (grouping, DISTINCT,
+    /// ORDER BY, self-join through text keys).
+    #[test]
+    fn interned_and_fresh_tables_agree(
+        rows in prop::collection::vec((0i64..20, "[a-zA-Z ]{0,6}"), 1..30),
+    ) {
+        let fresh_db = Database::new();
+        let interned_db = Database::new();
+        for db in [&fresh_db, &interned_db] {
+            db.execute("CREATE TABLE t (x INT, tag TEXT)").unwrap();
+        }
+        let fresh_rows: Vec<Vec<RValue>> = rows
+            .iter()
+            .map(|(x, s)| vec![RValue::Int(*x), RValue::from(s.as_str())])
+            .collect();
+        let interned_rows: Vec<Vec<RValue>> = rows
+            .iter()
+            .map(|(x, s)| {
+                vec![RValue::Int(*x), interned_db.interner().value(s)]
+            })
+            .collect();
+        fresh_db.catalog().get_table("t").unwrap().insert_many(fresh_rows).unwrap();
+        interned_db.catalog().get_table("t").unwrap().insert_many(interned_rows).unwrap();
+
+        for q in [
+            "SELECT tag, COUNT(*), SUM(x) FROM t GROUP BY tag ORDER BY tag",
+            "SELECT DISTINCT tag FROM t ORDER BY tag",
+            "SELECT x, tag FROM t ORDER BY tag, x",
+            "SELECT a.x, b.x FROM t a, t b WHERE a.tag = b.tag ORDER BY a.x, b.x",
+            "SELECT COUNT(DISTINCT tag) FROM t",
+        ] {
+            let f = fresh_db.query(q).unwrap();
+            let i = interned_db.query(q).unwrap();
+            prop_assert_eq!(&f.rows, &i.rows, "query: {}", q);
         }
     }
 }
@@ -230,7 +358,7 @@ proptest! {
         db.execute("CREATE TABLE t (elem TEXT)").unwrap();
         let tab = db.catalog().get_table("t").unwrap();
         tab.insert_many(
-            elems.iter().map(|e| vec![RValue::Str(format!("E{e}"))]).collect()
+            elems.iter().map(|e| vec![RValue::from(format!("E{e}"))]).collect()
         ).unwrap();
 
         let kb = KnowledgeBase::new();
@@ -266,7 +394,7 @@ proptest! {
         let db = Database::new();
         db.execute("CREATE TABLE t (elem TEXT)").unwrap();
         db.catalog().get_table("t").unwrap().insert_many(
-            elems.iter().map(|e| vec![RValue::Str(format!("E{e}"))]).collect()
+            elems.iter().map(|e| vec![RValue::from(format!("E{e}"))]).collect()
         ).unwrap();
         let kb = KnowledgeBase::new();
         kb.register_user("u");
@@ -311,7 +439,7 @@ proptest! {
             db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
             db.catalog().get_table("t").unwrap().insert_many(
                 rows.iter()
-                    .map(|(k, v)| vec![RValue::Str(format!("k{k}")), RValue::Int(*v)])
+                    .map(|(k, v)| vec![RValue::from(format!("k{k}")), RValue::Int(*v)])
                     .collect(),
             ).unwrap();
             if indexed {
@@ -392,7 +520,7 @@ proptest! {
         for row in &rs.rows {
             let RValue::Int(v) = row[0] else { panic!() };
             let want = if v < 0 { "neg" } else if v == 0 { "zero" } else { "pos" };
-            prop_assert_eq!(&row[1], &RValue::Str(want.to_string()));
+            prop_assert_eq!(&row[1], &RValue::from(want));
         }
     }
 }
@@ -726,7 +854,7 @@ proptest! {
         table
             .insert_many(
                 rows.iter()
-                    .map(|(x, s)| vec![RValue::Int(*x), RValue::Str(s.clone())])
+                    .map(|(x, s)| vec![RValue::Int(*x), RValue::from(s.as_str())])
                     .collect(),
             )
             .unwrap();
@@ -752,7 +880,7 @@ proptest! {
 
         let textual = shape
             .replace("$n", &sql_literal(&RValue::Int(needle)))
-            .replace('?', &sql_literal(&RValue::Str(tag.clone())));
+            .replace('?', &sql_literal(&RValue::from(tag.as_str())));
         let direct = db.query(&textual).unwrap();
         prop_assert_eq!(&bound.rows, &direct.rows, "shape: {}", shape);
 
