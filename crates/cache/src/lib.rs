@@ -98,13 +98,26 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         self.stamp
     }
 
-    fn evict_one(&mut self) {
+    fn evict_one(&mut self) -> Option<(K, V)> {
         if let Some((&oldest, _)) = self.order.iter().next() {
             if let Some(key) = self.order.remove(&oldest) {
-                self.map.remove(&key);
+                let entry = self.map.remove(&key);
                 self.stats.evictions += 1;
+                return entry.map(|e| (key, e.value));
             }
         }
+        None
+    }
+
+    /// Look up `key` without touching recency or the hit/miss counters —
+    /// for diagnostic paths (e.g. `EXPLAIN`) that must not perturb what
+    /// they observe.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get(key).map(|e| &e.value)
     }
 
     /// Look up `key`, refreshing its recency. Clones are the caller's
@@ -132,19 +145,30 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
 
     /// Insert (or refresh) an entry, evicting the LRU entry if full.
     pub fn put(&mut self, key: K, value: V) {
+        self.put_evicting(key, value);
+    }
+
+    /// [`Lru::put`], returning the entries this insert displaced — the
+    /// replaced value under the same key and/or capacity evictions — so
+    /// callers owning resources tied to cached values (e.g. materialised
+    /// tables) can release them.
+    pub fn put_evicting(&mut self, key: K, value: V) -> Vec<(K, V)> {
         if self.capacity == 0 {
-            return;
+            return Vec::new();
         }
+        let mut displaced = Vec::new();
         let stamp = self.next_stamp();
         if let Some(old) = self.map.remove(&key) {
             self.order.remove(&old.stamp);
+            displaced.push((key.clone(), old.value));
         } else {
             while self.map.len() >= self.capacity {
-                self.evict_one();
+                displaced.extend(self.evict_one());
             }
         }
         self.order.insert(stamp, key.clone());
         self.map.insert(key.clone(), Entry { stamp, key, value });
+        displaced
     }
 }
 

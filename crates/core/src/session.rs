@@ -245,6 +245,22 @@ impl Session {
         self.engine.exec_threads()
     }
 
+    /// Explain a SESQL (or plain SQL) statement without executing it: the
+    /// cleaned SQL, the optimized relational plan with its rewrite-pass
+    /// annotations (shared spools, pushdowns), and — for enriched queries
+    /// — the SPARQL legs the SQM would issue plus the rewritten
+    /// REPLACEVARIABLE compound. The session-level face of `EXPLAIN`.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        self.engine.explain(&self.user, text)
+    }
+
+    /// Explain a plain SQL SELECT against the databank: the optimized
+    /// plan tree plus pass annotations (`EXPLAIN <stmt>` as a string).
+    pub fn explain_sql(&self, sql: &str) -> Result<String> {
+        let prepared = self.prepare_sql(sql)?;
+        Ok(prepared.explain()?)
+    }
+
     // ---- SESQL ----------------------------------------------------------
 
     /// Prepare a SESQL query (LRU-cached compilation).

@@ -96,6 +96,12 @@ pub struct SparqlRun {
     /// Served from the SPARQL-leg cache (knowledge base unchanged since
     /// the cached evaluation).
     pub cached: bool,
+    /// Served from the REPLACEVARIABLE pairs table (the relational form
+    /// that feeds the shared/spooled leg of the rewritten compound): the
+    /// SPARQL evaluation *and* the term→value pairs conversion were both
+    /// skipped. `cached && !shared` is a solution-cache hit; `!cached` is
+    /// a recomputed leg.
+    pub shared: bool,
 }
 
 /// Stage-by-stage timing of one SESQL execution (Fig. 6 pipeline).
@@ -164,6 +170,11 @@ struct SparqlLegCache {
     /// a pairs miss falls through to the solution-cache path, which
     /// counts the leg itself, keeping "one leg, one counter event".
     pairs: Mutex<Lru<(String, String), CachedPairs>>,
+    /// Names of the persistent pairs tables this cache has materialised,
+    /// so `clear_cache` can drop them from the catalog. Replaced entries
+    /// drop (and un-track) their table eagerly; only capacity evictions
+    /// linger until the next clear.
+    pairs_tables: Mutex<Vec<String>>,
     // Hit/miss counters live outside the LRUs: a version-stale entry is a
     // *miss* for the caller even though the LRU lookup succeeded.
     hits: AtomicU64,
@@ -182,6 +193,12 @@ struct CachedPairs {
     solutions: usize,
     /// Oriented, deduplicated pairs rows.
     rows: Arc<Vec<Row>>,
+    /// Name of the relational table these rows are materialised under.
+    /// The table persists across executions while the entry is valid, so
+    /// a warm REPLACEVARIABLE run joins against it directly — no
+    /// re-materialisation, no catalog version churn (which would
+    /// invalidate every cached plan template engine-wide).
+    table: String,
 }
 
 impl Default for SparqlLegCache {
@@ -189,6 +206,7 @@ impl Default for SparqlLegCache {
         SparqlLegCache {
             entries: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
             pairs: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
+            pairs_tables: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -235,8 +253,38 @@ impl SparqlLegCache {
         }
     }
 
-    fn put_pairs(&self, graphs: &[&str], prop_key: &str, cached: CachedPairs) {
-        self.pairs.lock().put(Self::key(graphs, prop_key), cached);
+    /// Version-valid cached pairs without touching recency or the
+    /// hit/miss counters — the diagnostic (`EXPLAIN`) lookup.
+    fn peek_pairs(&self, graphs: &[&str], prop_key: &str, version: u64) -> Option<CachedPairs> {
+        match self.pairs.lock().peek(&Self::key(graphs, prop_key)) {
+            Some(cached) if cached.version == version => Some(cached.clone()),
+            _ => None,
+        }
+    }
+
+    /// Publish a pairs entry, tracking its persistent table. Returns the
+    /// table names this insert displaced — the replaced entry under the
+    /// same key and/or LRU capacity evictions — so the caller can drop
+    /// them from the catalog (otherwise a bounded cache would leak an
+    /// unbounded catalog).
+    fn put_pairs(&self, graphs: &[&str], prop_key: &str, cached: CachedPairs) -> Vec<String> {
+        let key = Self::key(graphs, prop_key);
+        let table = cached.table.clone();
+        let mut pairs = self.pairs.lock();
+        let displaced: Vec<String> = pairs
+            .put_evicting(key, cached)
+            .into_iter()
+            .map(|(_, v)| v.table)
+            .collect();
+        let mut tables = self.pairs_tables.lock();
+        tables.retain(|t| !displaced.contains(t));
+        tables.push(table);
+        displaced
+    }
+
+    /// Drain the tracked persistent pairs tables (for `clear_cache`).
+    fn drain_pairs_tables(&self) -> Vec<String> {
+        std::mem::take(&mut *self.pairs_tables.lock())
     }
 
     fn stats(&self) -> CacheStats {
@@ -350,10 +398,13 @@ impl SesqlEngine {
     }
 
     /// Drop all cached SPARQL-leg results (including REPLACEVARIABLE
-    /// pairs tables).
+    /// pairs entries and their persistent relational pairs tables).
     pub fn clear_cache(&self) {
         self.cache.entries.lock().clear();
         self.cache.pairs.lock().clear();
+        for table in self.cache.drain_pairs_tables() {
+            let _ = self.db.catalog().drop_table(&table);
+        }
     }
 
     /// Evaluate one SPARQL leg with version-checked caching and record it
@@ -411,6 +462,7 @@ impl SesqlEngine {
             solutions: sols.len(),
             duration,
             cached,
+            shared: false,
         });
         Ok(sols)
     }
@@ -460,11 +512,13 @@ impl SesqlEngine {
         // The cleaned SQL may reference ontology constants that only become
         // valid after the WHERE-clause enrichments rewrite them (e.g.
         // Example 4.5's `elem_name = HazardousWaste`); planning is
-        // best-effort here.
-        match crosse_relational::plan::plan_select(self.db.catalog(), &query.select) {
-            Ok(plan) => {
+        // best-effort here. The plan shown is the *optimized* one — the
+        // tree the executor actually runs, annotated with the rewrite
+        // passes that fired.
+        match self.db.plan_optimized(&query.select) {
+            Ok(optimized) => {
                 let _ = writeln!(out, "relational plan:");
-                for line in plan.explain().lines() {
+                for line in optimized.render().lines() {
                     let _ = writeln!(out, "  {line}");
                 }
             }
@@ -508,6 +562,73 @@ impl SesqlEngine {
                     _ => sparql_pairs_query(&predicates, property),
                 };
                 let _ = writeln!(out, "  SPARQL leg: {}", sparql.replace('\n', " "));
+            }
+        }
+        // REPLACEVARIABLE rewrites the relational side into a compound
+        // (`Q1 UNION Q2` with include_self) over a materialised pairs
+        // table. Show the optimized compound the engine will actually run
+        // — its `Shared spool` nodes are how the optimizer de-duplicates
+        // the base-table work both members read. The real pairs table
+        // only exists during execution; plan against an empty stand-in.
+        for e in &query.enrichments {
+            let Enrichment::ReplaceVariable { cond, attr, property } = e else {
+                continue;
+            };
+            let cond_expr = &query.conditions[cond.as_str()];
+            // Prefer the live persistent pairs table (a warm engine plans
+            // with zero DDL — no catalog-version churn, no cache-stat
+            // perturbation: `peek` bypasses recency and counters); cold
+            // engines plan against an ephemeral empty stand-in.
+            let prop_key = format!("{property}\u{1f}{:?}", self.options.expand);
+            let live_table = if self.options.use_cache {
+                self.cache
+                    .peek_pairs(&refs, &prop_key, self.kb.store().version())
+                    .map(|c| c.table)
+                    .filter(|t| self.db.catalog().has_table(t))
+            } else {
+                None
+            };
+            let (tmp_name, ephemeral) = match &live_table {
+                Some(t) => (t.as_str(), false),
+                None => ("__kb_pairs_explain", true),
+            };
+            let planned = if ephemeral {
+                self.db
+                    .materialise_owned(tmp_name, &pairs_table_schema(), Vec::new())
+                    .map_err(crate::error::Error::from)
+            } else {
+                Ok(())
+            }
+            .and_then(|()| {
+                let q = variable_expansion_select(
+                    &query.select,
+                    cond_expr,
+                    attr,
+                    tmp_name,
+                    self.options.include_self,
+                )?;
+                Ok(self.db.plan_optimized(&q)?)
+            });
+            if ephemeral {
+                let _ = self.db.catalog().drop_table(tmp_name);
+            }
+            match planned {
+                Ok(optimized) => {
+                    let _ = writeln!(
+                        out,
+                        "rewritten plan (REPLACEVARIABLE, include_self={}):",
+                        self.options.include_self
+                    );
+                    for line in optimized.render().lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+                Err(err) => {
+                    let _ = writeln!(
+                        out,
+                        "rewritten plan (REPLACEVARIABLE): deferred ({err})"
+                    );
+                }
             }
         }
         Ok(out)
@@ -901,34 +1022,48 @@ impl SesqlEngine {
         Ok(out)
     }
 
-    /// The oriented, deduplicated KB pairs rows for `property` in `user`'s
-    /// context — the relational form of the REPLACEVARIABLE expansion. A
-    /// row (a, b) means "a value equal to `a` may also match as `b`"; the
-    /// expansion direction decides the orientation(s). Results are cached
-    /// keyed by (context graphs, property + direction, KB version), so
-    /// repeated enrichments over an unchanged knowledge base skip the
-    /// SPARQL leg *and* the conversion entirely.
-    fn kb_pairs(
+    /// The materialised relational pairs table for `property` in `user`'s
+    /// context — the oriented, deduplicated KB pairs rows of the
+    /// REPLACEVARIABLE expansion. A row (a, b) means "a value equal to
+    /// `a` may also match as `b`"; the expansion direction decides the
+    /// orientation(s). With caching on, the entry (keyed by context
+    /// graphs, property + direction, KB version) keeps its table alive in
+    /// the catalog across executions: a warm run skips the SPARQL leg,
+    /// the term→value conversion *and* the re-materialisation (no catalog
+    /// version churn), reporting the leg as `cached + shared`. Returns
+    /// `(table name, persistent)`; a non-persistent table is the caller's
+    /// to drop.
+    fn pairs_table(
         &self,
         user: &str,
         property: &str,
         purpose: String,
         report: &mut PipelineReport,
-    ) -> Result<Arc<Vec<Row>>> {
+    ) -> Result<(String, bool)> {
         let graphs = self.kb.context_graphs(user);
         let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
         let version = self.kb.store().version();
         let prop_key = format!("{property}\u{1f}{:?}", self.options.expand);
         if self.options.use_cache {
             if let Some(cached) = self.cache.get_pairs(&refs, &prop_key, version) {
+                if !self.db.catalog().has_table(&cached.table) {
+                    // The table was dropped behind our back (explicit DDL);
+                    // re-materialise it from the cached rows.
+                    self.db.materialise_owned(
+                        &cached.table,
+                        &pairs_table_schema(),
+                        cached.rows.as_ref().clone(),
+                    )?;
+                }
                 report.sparql_runs.push(SparqlRun {
                     purpose,
                     sparql: cached.sparql,
                     solutions: cached.solutions,
                     duration: Duration::ZERO,
                     cached: true,
+                    shared: true,
                 });
-                return Ok(cached.rows);
+                return Ok((cached.table, true));
             }
         }
         let sols = self.property_pairs(user, property, purpose, report)?;
@@ -965,20 +1100,36 @@ impl SesqlEngine {
                 }
             }
         }
-        let rows = Arc::new(rows);
+        // Unique per materialisation: concurrent REPLACEVARIABLE queries
+        // (and successive KB versions) never collide on a table name.
+        static PAIRS_SEQ: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(0);
+        let table = format!(
+            "__kb_pairs_{}",
+            PAIRS_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
         if self.options.use_cache {
-            self.cache.put_pairs(
+            self.db
+                .materialise_owned(&table, &pairs_table_schema(), rows.clone())?;
+            let displaced = self.cache.put_pairs(
                 &refs,
                 &prop_key,
                 CachedPairs {
                     version,
                     sparql,
                     solutions: sols.len(),
-                    rows: Arc::clone(&rows),
+                    rows: Arc::new(rows),
+                    table: table.clone(),
                 },
             );
+            for old in displaced {
+                let _ = self.db.catalog().drop_table(&old);
+            }
+            Ok((table, true))
+        } else {
+            self.db.materialise_owned(&table, &pairs_table_schema(), rows)?;
+            Ok((table, false))
         }
-        Ok(rows)
     }
 
     /// REPLACEVARIABLE execution strategy: the ontology pairs for `prop`
@@ -995,77 +1146,111 @@ impl SesqlEngine {
         property: &str,
         report: &mut PipelineReport,
     ) -> Result<RowSet> {
-        let pair_rows = self.kb_pairs(
-            user,
-            property,
-            format!("REPLACEVARIABLE(_, {attr}, {property})"),
-            report,
-        )?;
-        let pairs_schema = Schema::new(vec![
-            Column::new("subj", DataType::Text),
-            Column::new("obj", DataType::Text),
-        ]);
-        let alias = "__exp";
-        // Unique per execution: concurrent REPLACEVARIABLE queries on the
-        // same engine must not collide on the pairs table.
-        static PAIRS_SEQ: std::sync::atomic::AtomicU64 =
-            std::sync::atomic::AtomicU64::new(0);
-        let tmp_name = format!(
-            "__kb_pairs_{}",
-            PAIRS_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        );
-        // One row-copy total: the cached rows stay shared in the cache,
-        // and this clone is consumed by the temp table directly.
-        self.db.materialise_owned(&tmp_name, &pairs_schema, pair_rows.as_ref().clone())?;
-
-        let run = (|| -> Result<RowSet> {
-            // Q2: join through the pairs table.
-            let (qualifier, name) = split_attr(attr);
-            let attr_col = Expr::Column { qualifier: qualifier.clone(), name: name.clone() };
-            let expanded_cond = {
-                let target = attr_col.clone();
-                let replacement = Expr::qcol(alias, "obj");
-                let rewritten = cond_expr.clone().rewrite(&mut |node| {
-                    if node == target {
-                        replacement.clone()
-                    } else {
-                        node
-                    }
-                });
-                if rewritten == *cond_expr {
-                    return Err(Error::sqm(format!(
-                        "REPLACEVARIABLE: attribute `{attr}` does not occur in the \
-                         tagged condition `{cond_expr}`"
-                    )));
+        // A persistent pairs table belongs to the cache entry, and a
+        // concurrent replacement/eviction/`clear_cache` may drop it
+        // between `pairs_table` handing us its name and the SELECT
+        // resolving it. That race is legitimate (the dropper couldn't
+        // know we were in flight), so one retry re-fetches the table —
+        // re-materialising or rebuilding it as needed.
+        for attempt in 0..2 {
+            let (tmp_name, persistent) = self.pairs_table(
+                user,
+                property,
+                format!("REPLACEVARIABLE(_, {attr}, {property})"),
+                report,
+            )?;
+            let run = (|| -> Result<RowSet> {
+                let query = variable_expansion_select(
+                    select,
+                    cond_expr,
+                    attr,
+                    &tmp_name,
+                    self.options.include_self,
+                )?;
+                Ok(self.db.run_select(&query)?)
+            })();
+            // A cache-backed table stays for the next execution (the
+            // cache entry owns it); an uncached one is dropped now.
+            if !persistent {
+                let _ = self.db.catalog().drop_table(&tmp_name);
+            }
+            match run {
+                Err(e)
+                    if attempt == 0
+                        && persistent
+                        && e.to_string().contains(&tmp_name) =>
+                {
+                    continue;
                 }
-                Expr::and(
-                    Expr::eq(Expr::qcol(alias, "subj"), attr_col),
-                    rewritten,
-                )
-            };
-            let mut q2 = select.clone();
-            q2.from.push(TableRef::Table {
-                name: tmp_name.clone(),
-                alias: Some(alias.to_string()),
-            });
-            replace_condition(&mut q2, cond_expr, expanded_cond)?;
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the second attempt")
+    }
+}
 
-            // The expansion can hit several KB pairs per row; the paper's
-            // replacement semantics are set-oriented, so deduplicate. With
-            // include_self the original query is united in through a native
-            // compound SELECT (`Q1 UNION Q2`), which also deduplicates.
-            let rows = if self.options.include_self {
-                let mut compound = select.clone();
-                compound.union.push((false, q2));
-                self.db.run_select(&compound)?
+/// Schema of a materialised REPLACEVARIABLE pairs table.
+fn pairs_table_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("subj", DataType::Text),
+        Column::new("obj", DataType::Text),
+    ])
+}
+
+/// Build the rewritten SELECT for a REPLACEVARIABLE expansion over the
+/// materialised pairs table `tmp_name`: Q2 adds the pairs table to the
+/// FROM clause and rewrites the tagged condition so the enriched
+/// attribute matches *through* a pair. With `include_self` the emitted
+/// statement is the native compound `Q1 UNION Q2` — no longer an opaque
+/// second copy of the original query: the relational optimizer's
+/// common-subplan pass fingerprints the base-table subtrees both members
+/// read and rewrites them to one shared, spooled scan per table, so Q1's
+/// scan work runs once per execution (visible as `Shared spool` nodes in
+/// `EXPLAIN`). Without `include_self`, Q2 runs alone under DISTINCT (the
+/// expansion can hit several KB pairs per row; the paper's replacement
+/// semantics are set-oriented).
+fn variable_expansion_select(
+    select: &Select,
+    cond_expr: &Expr,
+    attr: &str,
+    tmp_name: &str,
+    include_self: bool,
+) -> Result<Select> {
+    let alias = "__exp";
+    let (qualifier, name) = split_attr(attr);
+    let attr_col = Expr::Column { qualifier, name };
+    let expanded_cond = {
+        let target = attr_col.clone();
+        let replacement = Expr::qcol(alias, "obj");
+        let rewritten = cond_expr.clone().rewrite(&mut |node| {
+            if node == target {
+                replacement.clone()
             } else {
-                q2.distinct = true;
-                self.db.run_select(&q2)?
-            };
-            Ok(rows)
-        })();
-        let _ = self.db.catalog().drop_table(&tmp_name);
-        run
+                node
+            }
+        });
+        if rewritten == *cond_expr {
+            return Err(Error::sqm(format!(
+                "REPLACEVARIABLE: attribute `{attr}` does not occur in the \
+                 tagged condition `{cond_expr}`"
+            )));
+        }
+        Expr::and(Expr::eq(Expr::qcol(alias, "subj"), attr_col), rewritten)
+    };
+    let mut q2 = select.clone();
+    q2.from.push(TableRef::Table {
+        name: tmp_name.to_string(),
+        alias: Some(alias.to_string()),
+    });
+    replace_condition(&mut q2, cond_expr, expanded_cond)?;
+
+    if include_self {
+        let mut compound = select.clone();
+        compound.union.push((false, q2));
+        Ok(compound)
+    } else {
+        q2.distinct = true;
+        Ok(q2)
     }
 }
 

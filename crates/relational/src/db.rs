@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use crate::error::{Error, Result};
 use crate::exec::expr::bind;
 use crate::exec::Rows;
+use crate::opt::{optimize, OptimizerConfig};
 use crate::plan::{plan_select, Plan};
 use crate::prepared::{infer_slot_types, normalize_sql, Prepared, SlotInfo};
 use crate::schema::{Column, Schema};
@@ -157,6 +158,9 @@ pub struct Database {
     /// (CSV loads, enrichment term decodes) share one allocation, so text
     /// equality gets a pointer fast path across independent producers.
     interner: Arc<Interner>,
+    /// Which plan-rewrite passes run between planning and execution
+    /// (shared across clones — one engine, one setting).
+    opt: Arc<Mutex<OptimizerConfig>>,
 }
 
 impl Default for Database {
@@ -166,6 +170,7 @@ impl Default for Database {
             plans: Arc::new(Mutex::new(Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
             exec_threads: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
             interner: Arc::new(Interner::new()),
+            opt: Arc::new(Mutex::new(OptimizerConfig::default())),
         }
     }
 }
@@ -205,6 +210,33 @@ impl Database {
     /// Current worker-thread budget for query execution.
     pub fn exec_threads(&self) -> usize {
         self.exec_threads.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Set which plan-rewrite passes run between planning and execution
+    /// (see [`crate::opt`]). The default enables every pass;
+    /// [`OptimizerConfig::none`] executes plans exactly as built —
+    /// the equivalence property tests compare the two. Applies to every
+    /// clone of this database and also invalidates cached plan templates
+    /// (they embed the optimized shape).
+    pub fn set_optimizer_config(&self, cfg: OptimizerConfig) {
+        *self.opt.lock() = cfg;
+        // Cached `Prepared` templates were optimized under the old
+        // config; drop them rather than serve stale shapes.
+        self.plans.lock().clear();
+    }
+
+    /// The active plan-rewrite pass configuration.
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        *self.opt.lock()
+    }
+
+    /// Plan a SELECT and run it through the configured rewrite passes.
+    /// This is what every execution path uses; it is public so other
+    /// layers (the SESQL engine's `EXPLAIN`, tooling) can inspect the
+    /// exact plan a statement would run as.
+    pub fn plan_optimized(&self, select: &Select) -> Result<crate::opt::Optimized> {
+        let plan = plan_select(&self.catalog, select)?;
+        Ok(optimize(plan, &self.optimizer_config()))
     }
 
     /// Compile a SELECT into a [`Prepared`] handle: parse, collect typed
@@ -254,7 +286,9 @@ impl Database {
         let raw_slots = crate::sql::parser::collect_params(&select);
         let slots = Arc::new(infer_slot_types(&self.catalog, &select, &raw_slots));
         let plan = if slots.is_empty() {
-            Some((Arc::new(plan_select(&self.catalog, &select)?), version))
+            // Templates are cached post-optimization: repeated executions
+            // replay the rewritten (pushed-down, spooled) shape directly.
+            Some((Arc::new(self.plan_optimized(&select)?.plan), version))
         } else {
             None
         };
@@ -285,7 +319,7 @@ impl Database {
         let Statement::Select(select) = stmt else {
             return Err(Error::plan("query_cursor expects a SELECT statement"));
         };
-        let plan = plan_select(&self.catalog, &select)?;
+        let plan = self.plan_optimized(&select)?.plan;
         Rows::from_plan_parallel(plan, self.exec_threads())
     }
 
@@ -315,11 +349,10 @@ impl Database {
         match stmt {
             Statement::Select(s) => self.run_select(s).map(ExecOutcome::Rows),
             Statement::Explain(s) => {
-                let plan = plan_select(&self.catalog, s)?;
+                let optimized = self.plan_optimized(s)?;
                 let schema = Schema::new(vec![Column::new("plan", crate::value::DataType::Text)]);
-                let rows = plan
-                    .explain()
-                    .lines()
+                let rows = explain_lines(&optimized)
+                    .into_iter()
                     .map(|l| vec![Value::from(l)])
                     .collect();
                 Ok(ExecOutcome::Rows(RowSet { schema, rows }))
@@ -497,11 +530,14 @@ impl Database {
         bind(&resolved, schema)
     }
 
-    /// Plan and run a SELECT.
+    /// Plan a SELECT, optimize it and run it.
     pub fn run_select(&self, select: &Select) -> Result<RowSet> {
-        let plan = plan_select(&self.catalog, select)?;
-        let rows = crate::exec::execute_plan_parallel(&plan, self.exec_threads())?;
-        Ok(RowSet { schema: plan.schema().clone(), rows })
+        let plan = self.plan_optimized(select)?.plan;
+        let schema = plan.schema().clone();
+        let rows = Rows::from_plan_parallel(plan, self.exec_threads())?
+            .collect_rows()?
+            .rows;
+        Ok(RowSet { schema, rows })
     }
 
     /// Materialise a row set as a new table (the SESQL temporary support
@@ -523,6 +559,11 @@ impl Database {
         table.insert_many(rows)?;
         Ok(())
     }
+}
+
+/// `EXPLAIN` rendering of an optimized plan, line by line.
+pub(crate) fn explain_lines(optimized: &crate::opt::Optimized) -> Vec<String> {
+    optimized.render().lines().map(str::to_string).collect()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 pub mod aggregate;
 pub mod expr;
+pub mod fasthash;
 pub mod stream;
 
 use crate::error::Result;

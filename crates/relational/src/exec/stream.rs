@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use crosse_exec::WorkerPool;
+use parking_lot::Mutex;
 
 use crate::db::RowSet;
 use crate::error::{Error, Result};
@@ -49,6 +50,17 @@ use crate::value::{Row, Value};
 
 use super::aggregate::Accumulator;
 use super::expr::BoundExpr;
+use super::fasthash::FastBuild;
+
+/// The executor's internal hash-table types (join builds, dedup sets,
+/// group indexes) use the keyed-for-speed [`FastBuild`] hasher — see
+/// `exec/fasthash.rs` for why HashDoS keying is not needed here.
+type RowKeyMap<V> = HashMap<Vec<Value>, V, FastBuild>;
+type RowSeen = HashSet<Row, FastBuild>;
+
+/// Shared hash-join builds of one execution, keyed by
+/// `(spool id, key-expression fingerprint)`.
+type BuildRegistry = HashMap<(usize, String), Arc<BuiltSide>>;
 
 /// Rows copied out of a pinned snapshot per cursor step; also the morsel
 /// size for parallel pipelines.
@@ -61,11 +73,18 @@ pub const PARALLEL_MIN_ROWS: usize = 4096;
 type BoxRowIter = Box<dyn Iterator<Item = Result<Row>> + Send>;
 
 /// Shared execution state threaded through plan lowering: the scanned-rows
-/// counter and the worker pool for morsel-parallel operators.
+/// counter, the worker pool for morsel-parallel operators, and the spool
+/// registry backing [`Plan::Shared`] nodes (one spool per shared-subtree
+/// id per execution).
 #[derive(Clone)]
 pub struct ExecCtx {
     scanned: Arc<AtomicU64>,
     pool: Arc<WorkerPool>,
+    spools: Arc<Mutex<HashMap<usize, Arc<Spool>>>>,
+    /// Hash-join build sides over shared spools, keyed by
+    /// `(spool id, key-expression fingerprint)` — joins that hash the
+    /// same spooled input on the same keys share one build.
+    builds: Arc<Mutex<BuildRegistry>>,
 }
 
 impl ExecCtx {
@@ -73,6 +92,112 @@ impl ExecCtx {
         ExecCtx {
             scanned: Arc::new(AtomicU64::new(0)),
             pool: Arc::new(WorkerPool::new(threads)),
+            spools: Arc::new(Mutex::new(HashMap::new())),
+            builds: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+// ---- shared-subtree spools -------------------------------------------------
+
+/// The once-per-execution materialisation behind a [`Plan::Shared`] node.
+///
+/// The first consumer to be lowered opens the source pipeline (pinning
+/// its base-table snapshots right then, so every consumer reads the same
+/// point-in-time data even when members of a compound start at different
+/// times); all consumers then pull through [`SpoolReader`]s that fill the
+/// buffer incrementally, one [`SCAN_BATCH`] per refill. Filling is lazy —
+/// a `LIMIT` that satisfies every consumer early leaves the tail of the
+/// source unevaluated — and the source runs through the ordinary
+/// `stream_plan` lowering, so a spooled `Filter(Scan)` fragment still
+/// executes morsel-parallel on the context's worker pool.
+struct Spool {
+    state: Mutex<SpoolState>,
+}
+
+struct SpoolState {
+    source: Option<BoxRowIter>,
+    rows: Vec<Row>,
+    /// A source error ends the spool; every reader replays it (after the
+    /// rows buffered before it) exactly as a solo consumer would see it.
+    error: Option<Error>,
+    done: bool,
+}
+
+impl Spool {
+    fn new(source: BoxRowIter) -> Self {
+        Spool {
+            state: Mutex::new(SpoolState {
+                source: Some(source),
+                rows: Vec::new(),
+                error: None,
+                done: false,
+            }),
+        }
+    }
+}
+
+/// One consumer's cursor over a [`Spool`]: copies buffered rows out in
+/// batches (one lock per [`SCAN_BATCH`], not per row) and advances the
+/// shared materialisation when it reaches the frontier.
+struct SpoolReader {
+    spool: Arc<Spool>,
+    /// Next spool-buffer position this reader has not yet copied.
+    pos: usize,
+    batch: std::vec::IntoIter<Row>,
+    finished: bool,
+}
+
+impl SpoolReader {
+    fn new(spool: Arc<Spool>) -> Self {
+        SpoolReader { spool, pos: 0, batch: Vec::new().into_iter(), finished: false }
+    }
+}
+
+impl Iterator for SpoolReader {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.batch.next() {
+                return Some(Ok(row));
+            }
+            if self.finished {
+                return None;
+            }
+            let mut st = self.spool.state.lock();
+            if self.pos < st.rows.len() {
+                let hi = (self.pos + SCAN_BATCH).min(st.rows.len());
+                let mut copied = Vec::with_capacity(hi - self.pos);
+                copied.extend_from_slice(&st.rows[self.pos..hi]);
+                self.batch = copied.into_iter();
+                self.pos = hi;
+                continue;
+            }
+            if st.done {
+                self.finished = true;
+                return st.error.clone().map(Err);
+            }
+            // At the frontier: advance the shared materialisation by one
+            // batch. `done` above guarantees the source is still present.
+            let mut source = st.source.take().expect("open spool has a source");
+            for _ in 0..SCAN_BATCH {
+                match source.next() {
+                    Some(Ok(row)) => st.rows.push(row),
+                    Some(Err(e)) => {
+                        st.error = Some(e);
+                        st.done = true;
+                        break;
+                    }
+                    None => {
+                        st.done = true;
+                        break;
+                    }
+                }
+            }
+            if !st.done {
+                st.source = Some(source);
+            }
         }
     }
 }
@@ -207,13 +332,45 @@ enum MorselWork {
     /// snapshot row probes the shared build table.
     HashProbe {
         prefilter: Option<BoundExpr>,
-        table: HashMap<Vec<Value>, Vec<usize>>,
-        right_rows: Vec<Row>,
+        built: Arc<BuiltSide>,
         left_keys: Vec<BoundExpr>,
         residual: Option<BoundExpr>,
         kind: JoinKind,
         right_width: usize,
+        /// Fused projection over the combined row (inner joins only).
+        project: Option<Vec<BoundExpr>>,
     },
+}
+
+/// A materialised hash-join build side: the right-hand rows plus the key
+/// table over them. Ref-counted so two joins whose build inputs resolve
+/// to the same shared spool (and use the same key expressions) build it
+/// once per execution and probe one table.
+pub(crate) struct BuiltSide {
+    table: RowKeyMap<Vec<usize>>,
+    rows: Vec<Row>,
+}
+
+impl BuiltSide {
+    /// Evaluate `keys` over `rows` and index them. NULL keys never
+    /// participate (SQL equi-join); keys are the evaluated values
+    /// themselves — `Value`'s Eq/Hash carry grouping semantics.
+    fn build(rows: Vec<Row>, keys: &[BoundExpr]) -> Result<BuiltSide> {
+        let mut table: RowKeyMap<Vec<usize>> = RowKeyMap::default();
+        table.reserve(rows.len());
+        'rows: for (i, r) in rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(keys.len());
+            for k in keys {
+                let v = k.eval(r)?;
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(i);
+        }
+        Ok(BuiltSide { table, rows })
+    }
 }
 
 impl MorselWork {
@@ -242,14 +399,18 @@ impl MorselWork {
             }
             MorselWork::HashProbe {
                 prefilter,
-                table,
-                right_rows,
+                built,
                 left_keys,
                 residual,
                 kind,
                 right_width,
+                project,
             } => {
                 let mut out = Vec::new();
+                // Probe-key and combined-row buffers for the whole morsel
+                // — cleared per row, never re-allocated.
+                let mut key: Vec<Value> = Vec::with_capacity(left_keys.len());
+                let mut scratch: Vec<Value> = Vec::new();
                 for l in morsel {
                     if let Some(p) = prefilter {
                         if !p.eval_predicate(l)? {
@@ -257,7 +418,7 @@ impl MorselWork {
                         }
                     }
                     let before = out.len();
-                    let mut key = Vec::with_capacity(left_keys.len());
+                    key.clear();
                     let mut null_key = false;
                     for k in left_keys {
                         let v = k.eval(l)?;
@@ -268,16 +429,38 @@ impl MorselWork {
                         key.push(v);
                     }
                     if !null_key {
-                        if let Some(matches) = table.get(&key) {
+                        if let Some(matches) = built.table.get(&key) {
                             for &ri in matches {
-                                let mut combined = l.to_vec();
-                                combined.extend(right_rows[ri].iter().cloned());
-                                if let Some(p) = residual {
-                                    if !p.eval_predicate(&combined)? {
-                                        continue;
+                                match project {
+                                    None => {
+                                        let mut combined = l.to_vec();
+                                        combined
+                                            .extend(built.rows[ri].iter().cloned());
+                                        if let Some(p) = residual {
+                                            if !p.eval_predicate(&combined)? {
+                                                continue;
+                                            }
+                                        }
+                                        out.push(combined);
+                                    }
+                                    Some(exprs) => {
+                                        scratch.clear();
+                                        scratch.extend_from_slice(l);
+                                        scratch
+                                            .extend(built.rows[ri].iter().cloned());
+                                        if let Some(p) = residual {
+                                            if !p.eval_predicate(&scratch)? {
+                                                continue;
+                                            }
+                                        }
+                                        let mut projected =
+                                            Vec::with_capacity(exprs.len());
+                                        for e in exprs {
+                                            projected.push(e.eval(&scratch)?);
+                                        }
+                                        out.push(projected);
                                     }
                                 }
-                                out.push(combined);
                             }
                         }
                     }
@@ -494,15 +677,52 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             })))
         }
         Plan::Project { input, exprs, .. } => {
-            let child = stream_plan(*input, ctx)?;
-            Ok(Box::new(child.map(move |r| {
-                let row = r?;
-                let mut projected = Vec::with_capacity(exprs.len());
-                for e in &exprs {
-                    projected.push(e.eval(&row)?);
+            // Identity projection: the rows pass through unchanged (output
+            // names live on the plan node's schema, not in the rows), so
+            // skip the per-row rebuild entirely.
+            if exprs.len() == input.schema().len()
+                && exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, BoundExpr::Column(c) if *c == i))
+            {
+                return stream_plan(*input, ctx);
+            }
+            match *input {
+                // Fuse the projection into an inner hash join below it:
+                // the combined row is built in a reused scratch buffer and
+                // projected immediately — one output allocation per match
+                // instead of combined + projected.
+                Plan::HashJoin {
+                    left,
+                    right,
+                    kind: JoinKind::Inner,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    ..
+                } => lower_hash_join(
+                    *left,
+                    *right,
+                    JoinKind::Inner,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    Some(exprs),
+                    ctx,
+                ),
+                other => {
+                    let child = stream_plan(other, ctx)?;
+                    Ok(Box::new(child.map(move |r| {
+                        let row = r?;
+                        let mut projected = Vec::with_capacity(exprs.len());
+                        for e in &exprs {
+                            projected.push(e.eval(&row)?);
+                        }
+                        Ok(projected)
+                    })))
                 }
-                Ok(projected)
-            })))
+            }
         }
         Plan::NestedLoopJoin { left, right, kind, predicate, .. } => {
             let right_width = right.schema().len();
@@ -530,87 +750,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             )))
         }
         Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, .. } => {
-            let right_width = right.schema().len();
-            let right_rows: Vec<Row> =
-                stream_plan(*right, ctx.clone())?.collect::<Result<_>>()?;
-            // Build side: NULL keys never participate (SQL equi-join).
-            // Keys are the evaluated values themselves — `Value`'s Eq/Hash
-            // carry grouping semantics, and moving them in costs nothing.
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            'rows: for (i, r) in right_rows.iter().enumerate() {
-                let mut key = Vec::with_capacity(right_keys.len());
-                for k in &right_keys {
-                    let v = k.eval(r)?;
-                    if v.is_null() {
-                        continue 'rows;
-                    }
-                    key.push(v);
-                }
-                table.entry(key).or_default().push(i);
-            }
-            // Partition-parallel probe: when the probe side is a (filtered)
-            // scan of a big enough table, workers probe the shared build
-            // table over disjoint snapshot morsels, in snapshot order.
-            if ctx.pool.is_parallel() && matches!(kind, JoinKind::Inner | JoinKind::Left) {
-                let probe_scan = match *left {
-                    Plan::Scan { ref table, .. } => Some((Arc::clone(table), None)),
-                    Plan::Filter { ref input, ref predicate } => match **input {
-                        Plan::Scan { ref table, .. } => {
-                            Some((Arc::clone(table), Some(predicate.clone())))
-                        }
-                        _ => None,
-                    },
-                    _ => None,
-                };
-                if let Some((probe_table, prefilter)) = probe_scan {
-                    let snap = probe_table.snapshot();
-                    if snap.len() >= PARALLEL_MIN_ROWS {
-                        return Ok(Box::new(MorselScan::new(
-                            snap,
-                            Arc::clone(&ctx.pool),
-                            MorselWork::HashProbe {
-                                prefilter,
-                                table,
-                                right_rows,
-                                left_keys,
-                                residual,
-                                kind,
-                                right_width,
-                            },
-                            Arc::clone(&ctx.scanned),
-                        )));
-                    }
-                }
-            }
-            let left_iter = stream_plan(*left, ctx)?;
-            Ok(Box::new(JoinStream::new(
-                left_iter,
-                kind,
-                right_width,
-                move |l, out| {
-                    let mut key = Vec::with_capacity(left_keys.len());
-                    for k in &left_keys {
-                        let v = k.eval(l)?;
-                        if v.is_null() {
-                            return Ok(());
-                        }
-                        key.push(v);
-                    }
-                    if let Some(matches) = table.get(&key) {
-                        for &ri in matches {
-                            let mut combined = l.to_vec();
-                            combined.extend(right_rows[ri].iter().cloned());
-                            if let Some(p) = &residual {
-                                if !p.eval_predicate(&combined)? {
-                                    continue;
-                                }
-                            }
-                            out.push_back(combined);
-                        }
-                    }
-                    Ok(())
-                },
-            )))
+            lower_hash_join(*left, *right, kind, left_keys, right_keys, residual, None, ctx)
         }
         Plan::Aggregate { input, group, aggs, .. } => {
             let child = stream_plan(*input, ctx)?;
@@ -623,20 +763,8 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             Ok(Box::new(out.into_iter().map(Ok)))
         }
         Plan::Distinct { input } => {
-            let mut child = stream_plan(*input, ctx)?;
-            // The row itself is the key: Value clones are refcount bumps,
-            // and Eq/Hash already mean grouping equality.
-            let mut seen: HashSet<Row> = HashSet::new();
-            Ok(Box::new(std::iter::from_fn(move || loop {
-                match child.next()? {
-                    Err(e) => return Some(Err(e)),
-                    Ok(row) => {
-                        if seen.insert(row.clone()) {
-                            return Some(Ok(row));
-                        }
-                    }
-                }
-            })))
+            let child = stream_plan(*input, ctx)?;
+            Ok(Box::new(DedupStream::new(child)))
         }
         Plan::Limit { input, limit, offset } => {
             let mut child = stream_plan(*input, ctx)?;
@@ -671,8 +799,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             // never executes the later ones.
             let mut pending: VecDeque<Plan> = inputs.into_iter().collect();
             let mut current: Option<BoxRowIter> = None;
-            let mut seen: HashSet<Row> = HashSet::new();
-            Ok(Box::new(std::iter::from_fn(move || loop {
+            let concat = Box::new(std::iter::from_fn(move || loop {
                 let iter = match &mut current {
                     Some(it) => it,
                     None => {
@@ -695,17 +822,231 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                                 "UNION member produced a row of different width",
                             )));
                         }
-                        if all {
-                            return Some(Ok(row));
+                        return Some(Ok(row));
+                    }
+                }
+            }));
+            if all {
+                Ok(concat)
+            } else {
+                Ok(Box::new(DedupStream::new(concat)))
+            }
+        }
+        Plan::Shared { id, input } => {
+            // One spool per shared-subtree id per execution. Opening the
+            // spool lowers the source pipeline immediately (pinning its
+            // snapshots), so every consumer — even one lowered later, e.g.
+            // a lazily-started UNION member — replays the same data.
+            let existing = ctx.spools.lock().get(&id).cloned();
+            let spool = match existing {
+                Some(s) => s,
+                None => {
+                    let source = stream_plan((*input).clone(), ctx.clone())?;
+                    let spool = Arc::new(Spool::new(source));
+                    ctx.spools.lock().insert(id, Arc::clone(&spool));
+                    spool
+                }
+            };
+            Ok(Box::new(SpoolReader::new(spool)))
+        }
+    }
+}
+
+/// Streaming duplicate elimination (DISTINCT, deduplicating UNION),
+/// vectorised: rows are pulled from the child in [`SCAN_BATCH`] blocks
+/// and inserted into the seen-set with capacity reserved per block, so a
+/// large dedup never pays per-row incremental rehash growth. Still lazy
+/// at block granularity — a `LIMIT k` consumer pulls at most one block
+/// beyond its k-th distinct row.
+struct DedupStream {
+    child: BoxRowIter,
+    seen: RowSeen,
+    out: std::vec::IntoIter<Row>,
+    pending_err: Option<Error>,
+    done: bool,
+}
+
+impl DedupStream {
+    fn new(child: BoxRowIter) -> Self {
+        DedupStream {
+            child,
+            seen: RowSeen::default(),
+            out: Vec::new().into_iter(),
+            pending_err: None,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for DedupStream {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.out.next() {
+                return Some(Ok(row));
+            }
+            if let Some(e) = self.pending_err.take() {
+                self.done = true;
+                return Some(Err(e));
+            }
+            if self.done {
+                return None;
+            }
+            // Dedup one block: reserve set capacity for the whole block
+            // up front, then insert as rows are pulled.
+            self.seen.reserve(SCAN_BATCH);
+            let mut fresh = Vec::new();
+            for _ in 0..SCAN_BATCH {
+                match self.child.next() {
+                    Some(Ok(row)) => {
+                        if self.seen.insert(row.clone()) {
+                            fresh.push(row);
                         }
-                        if seen.insert(row.clone()) {
-                            return Some(Ok(row));
+                    }
+                    Some(Err(e)) => {
+                        // Yield the fresh rows gathered before the error,
+                        // then surface it (sequential-order semantics).
+                        self.pending_err = Some(e);
+                        break;
+                    }
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                }
+            }
+            self.out = fresh.into_iter();
+        }
+    }
+}
+
+/// Lower a hash join (optionally with a projection fused over it).
+///
+/// The build side is materialised and indexed once; when it sits behind a
+/// shared spool, the built table itself is registered in the execution
+/// context keyed by `(spool id, key fingerprint)`, so a second join over
+/// the same spooled input with the same key expressions probes the same
+/// ref-counted [`BuiltSide`] instead of rebuilding it. With `project`
+/// (inner joins only), matched rows are assembled in a reused scratch
+/// buffer and projected immediately — the wide combined row never hits
+/// the heap.
+#[allow(clippy::too_many_arguments)]
+fn lower_hash_join(
+    left: Plan,
+    right: Plan,
+    kind: JoinKind,
+    left_keys: Vec<BoundExpr>,
+    right_keys: Vec<BoundExpr>,
+    residual: Option<BoundExpr>,
+    project: Option<Vec<BoundExpr>>,
+    ctx: ExecCtx,
+) -> Result<BoxRowIter> {
+    let right_width = right.schema().len();
+    let build_key = match &right {
+        Plan::Shared { id, .. } => Some((*id, format!("{right_keys:?}"))),
+        _ => None,
+    };
+    let cached = build_key
+        .as_ref()
+        .and_then(|k| ctx.builds.lock().get(k).cloned());
+    let built: Arc<BuiltSide> = match cached {
+        Some(b) => b,
+        None => {
+            let right_rows: Vec<Row> =
+                stream_plan(right, ctx.clone())?.collect::<Result<_>>()?;
+            let b = Arc::new(BuiltSide::build(right_rows, &right_keys)?);
+            if let Some(k) = build_key {
+                ctx.builds.lock().insert(k, Arc::clone(&b));
+            }
+            b
+        }
+    };
+    // Partition-parallel probe: when the probe side is a (filtered) scan
+    // of a big enough table, workers probe the shared build table over
+    // disjoint snapshot morsels, in snapshot order.
+    if ctx.pool.is_parallel() && matches!(kind, JoinKind::Inner | JoinKind::Left) {
+        let probe_scan = match left {
+            Plan::Scan { ref table, .. } => Some((Arc::clone(table), None)),
+            Plan::Filter { ref input, ref predicate } => match **input {
+                Plan::Scan { ref table, .. } => {
+                    Some((Arc::clone(table), Some(predicate.clone())))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some((probe_table, prefilter)) = probe_scan {
+            let snap = probe_table.snapshot();
+            if snap.len() >= PARALLEL_MIN_ROWS {
+                return Ok(Box::new(MorselScan::new(
+                    snap,
+                    Arc::clone(&ctx.pool),
+                    MorselWork::HashProbe {
+                        prefilter,
+                        built,
+                        left_keys,
+                        residual,
+                        kind,
+                        right_width,
+                        project,
+                    },
+                    Arc::clone(&ctx.scanned),
+                )));
+            }
+        }
+    }
+    let left_iter = stream_plan(left, ctx)?;
+    // Probe-key and combined-row scratch: cleared per row, allocated once.
+    let mut key: Vec<Value> = Vec::with_capacity(left_keys.len());
+    let mut scratch: Vec<Value> = Vec::new();
+    Ok(Box::new(JoinStream::new(
+        left_iter,
+        kind,
+        right_width,
+        move |l, out| {
+            key.clear();
+            for k in &left_keys {
+                let v = k.eval(l)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                key.push(v);
+            }
+            if let Some(matches) = built.table.get(&key) {
+                for &ri in matches {
+                    match &project {
+                        None => {
+                            let mut combined = l.to_vec();
+                            combined.extend(built.rows[ri].iter().cloned());
+                            if let Some(p) = &residual {
+                                if !p.eval_predicate(&combined)? {
+                                    continue;
+                                }
+                            }
+                            out.push_back(combined);
+                        }
+                        Some(exprs) => {
+                            scratch.clear();
+                            scratch.extend_from_slice(l);
+                            scratch.extend(built.rows[ri].iter().cloned());
+                            if let Some(p) = &residual {
+                                if !p.eval_predicate(&scratch)? {
+                                    continue;
+                                }
+                            }
+                            let mut projected = Vec::with_capacity(exprs.len());
+                            for e in exprs {
+                                projected.push(e.eval(&scratch)?);
+                            }
+                            out.push_back(projected);
                         }
                     }
                 }
-            })))
-        }
-    }
+            }
+            Ok(())
+        },
+    )))
 }
 
 /// Streams a join: pulls one outer row at a time, expands it into zero or
@@ -769,7 +1110,7 @@ fn aggregate_rows(
     group: &[BoundExpr],
     aggs: &[AggSpec],
 ) -> Result<Vec<Row>> {
-    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut index: RowKeyMap<usize> = RowKeyMap::default();
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     for row in child {
         let row = row?;

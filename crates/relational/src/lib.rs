@@ -32,6 +32,7 @@ pub mod csv;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod opt;
 pub mod plan;
 pub mod prepared;
 pub mod schema;
@@ -42,6 +43,7 @@ pub mod value;
 pub use db::{Database, ExecOutcome, RowSet};
 pub use error::{Error, Result};
 pub use exec::Rows;
+pub use opt::{optimize, Optimized, OptimizerConfig};
 pub use prepared::{Params, Prepared, SlotInfo};
 pub use schema::{Column, Schema};
 pub use value::{DataType, Interner, Row, Str, Value};

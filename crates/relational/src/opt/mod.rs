@@ -1,0 +1,165 @@
+//! The plan-rewrite optimizer: an explicit pass pipeline over [`Plan`].
+//!
+//! Planning is split into **build → optimize → execute**: the planner
+//! ([`crate::plan::plan_select`]) lowers the AST into a correct bound plan,
+//! and this module rewrites that plan through a sequence of independent
+//! passes before execution:
+//!
+//! 1. **filter pushdown** ([`rules::pushdown_filters`]) — moves `Filter`
+//!    nodes below projections (substituting column references), below
+//!    sorts, into `UNION` members and into the children of inner joins.
+//! 2. **projection pruning** ([`rules::prune_projections`]) — composes
+//!    adjacent `Project` nodes and narrows `Aggregate` inputs to the
+//!    columns the group/aggregate expressions actually reference.
+//! 3. **limit pushdown** ([`rules::pushdown_limits`]) — sinks `Limit`
+//!    beneath row-preserving `Project`s and caps the members of
+//!    `UNION ALL` compounds, so `LIMIT k` stops each member's scan early.
+//! 4. **common-subplan elimination** ([`cse::share_common_subplans`]) —
+//!    fingerprints structurally equal subtrees and rewrites duplicates to
+//!    one [`Plan::Shared`] spool, evaluated once per execution.
+//!
+//! Each pass is individually toggleable through [`OptimizerConfig`] (the
+//! equivalence property tests run every subset against the unoptimized
+//! plan), and each pass that fires records a human-readable annotation
+//! surfaced by `EXPLAIN`.
+
+pub mod cse;
+pub mod rules;
+
+use crate::plan::Plan;
+
+/// Which rewrite passes run. The default enables everything; `none()` is
+/// the identity pipeline (used as the baseline in equivalence tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Move filters below projections/sorts and into union members and
+    /// inner-join children.
+    pub filter_pushdown: bool,
+    /// Compose adjacent projections; narrow aggregate inputs.
+    pub prune_projections: bool,
+    /// Sink LIMIT below projections and into `UNION ALL` members.
+    pub limit_pushdown: bool,
+    /// Deduplicate structurally equal subtrees through shared spools.
+    pub shared_subplans: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            filter_pushdown: true,
+            prune_projections: true,
+            limit_pushdown: true,
+            shared_subplans: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The identity pipeline: no pass runs, the plan is returned as built.
+    pub fn none() -> Self {
+        OptimizerConfig {
+            filter_pushdown: false,
+            prune_projections: false,
+            limit_pushdown: false,
+            shared_subplans: false,
+        }
+    }
+}
+
+/// An optimized plan plus the annotations of every pass that fired.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    pub plan: Plan,
+    /// One line per pass that changed the plan (empty when the plan came
+    /// through untouched). Rendered by `EXPLAIN` after the tree.
+    pub notes: Vec<String>,
+}
+
+impl Optimized {
+    /// The `EXPLAIN` rendering: the plan tree, then one `--` annotation
+    /// line per rewrite pass that changed it.
+    pub fn render(&self) -> String {
+        let mut out = self.plan.explain();
+        for note in &self.notes {
+            out.push_str("-- ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Run the configured rewrite passes over `plan`.
+pub fn optimize(plan: Plan, cfg: &OptimizerConfig) -> Optimized {
+    let mut notes = Vec::new();
+    let mut plan = plan;
+    if cfg.filter_pushdown {
+        plan = rules::pushdown_filters(plan, &mut notes);
+    }
+    if cfg.prune_projections {
+        plan = rules::prune_projections(plan, &mut notes);
+    }
+    if cfg.limit_pushdown {
+        plan = rules::pushdown_limits(plan, &mut notes);
+    }
+    if cfg.shared_subplans {
+        plan = cse::share_common_subplans(plan, &mut notes);
+    }
+    Optimized { plan, notes }
+}
+
+/// Rebuild `plan` with every direct child mapped through `f` (shared
+/// spool inputs are left untouched — CSE runs last and owns them).
+pub(crate) fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
+    match plan {
+        p @ (Plan::Values { .. } | Plan::Scan { .. } | Plan::IndexScan { .. }) => p,
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        Plan::Project { input, exprs, schema } => Plan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        Plan::NestedLoopJoin { left, right, kind, predicate, schema } => {
+            Plan::NestedLoopJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                kind,
+                predicate,
+                schema,
+            }
+        }
+        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
+            Plan::HashJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            }
+        }
+        Plan::Aggregate { input, group, aggs, schema } => Plan::Aggregate {
+            input: Box::new(f(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(f(*input)), keys },
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(f(*input)) },
+        Plan::Limit { input, limit, offset } => Plan::Limit {
+            input: Box::new(f(*input)),
+            limit,
+            offset,
+        },
+        Plan::Union { inputs, all, schema } => Plan::Union {
+            inputs: inputs.into_iter().map(f).collect(),
+            all,
+            schema,
+        },
+        p @ Plan::Shared { .. } => p,
+    }
+}

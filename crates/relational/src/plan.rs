@@ -92,6 +92,16 @@ pub enum Plan {
         all: bool,
         schema: Schema,
     },
+    /// A subtree referenced from more than one place in the plan, produced
+    /// by the optimizer's common-subplan elimination (see [`crate::opt`]).
+    /// All occurrences with the same `id` read one spool: the subtree is
+    /// evaluated once per execution (against one pinned snapshot) and its
+    /// rows are replayed to every consumer.
+    Shared {
+        /// Spool identity within one optimized plan.
+        id: usize,
+        input: Arc<Plan>,
+    },
 }
 
 /// What an [`Plan::IndexScan`] asks of the index.
@@ -153,11 +163,11 @@ impl Plan {
     /// Render the plan tree as an indented `EXPLAIN`-style listing.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        self.explain_into(0, &mut out, &mut Vec::new());
         out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
+    fn explain_into(&self, depth: usize, out: &mut String, seen_spools: &mut Vec<usize>) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
         match self {
@@ -181,11 +191,11 @@ impl Plan {
             }
             Plan::Filter { input, .. } => {
                 let _ = writeln!(out, "{pad}Filter");
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Project { input, exprs, .. } => {
                 let _ = writeln!(out, "{pad}Project: {} column(s)", exprs.len());
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::NestedLoopJoin { left, right, kind, predicate, .. } => {
                 let _ = writeln!(
@@ -193,8 +203,8 @@ impl Plan {
                     "{pad}NestedLoopJoin ({kind:?}{})",
                     if predicate.is_some() { ", predicated" } else { "" }
                 );
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                left.explain_into(depth + 1, out, seen_spools);
+                right.explain_into(depth + 1, out, seen_spools);
             }
             Plan::HashJoin { left, right, kind, left_keys, residual, .. } => {
                 let _ = writeln!(
@@ -203,8 +213,8 @@ impl Plan {
                     left_keys.len(),
                     if residual.is_some() { ", residual" } else { "" }
                 );
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                left.explain_into(depth + 1, out, seen_spools);
+                right.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Aggregate { input, group, aggs, .. } => {
                 let _ = writeln!(
@@ -213,19 +223,19 @@ impl Plan {
                     group.len(),
                     aggs.len()
                 );
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Sort { input, keys } => {
                 let _ = writeln!(out, "{pad}Sort: {} key(s)", keys.len());
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Distinct { input } => {
                 let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Limit { input, limit, offset } => {
                 let _ = writeln!(out, "{pad}Limit: limit={limit:?} offset={offset}");
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, seen_spools);
             }
             Plan::Union { inputs, all, .. } => {
                 let _ = writeln!(
@@ -235,7 +245,16 @@ impl Plan {
                     inputs.len()
                 );
                 for i in inputs {
-                    i.explain_into(depth + 1, out);
+                    i.explain_into(depth + 1, out, seen_spools);
+                }
+            }
+            Plan::Shared { id, input } => {
+                if seen_spools.contains(id) {
+                    let _ = writeln!(out, "{pad}Shared spool #{id} (reused)");
+                } else {
+                    seen_spools.push(*id);
+                    let _ = writeln!(out, "{pad}Shared spool #{id}");
+                    input.explain_into(depth + 1, out, seen_spools);
                 }
             }
         }
@@ -255,6 +274,7 @@ impl Plan {
             Plan::Distinct { input } => input.schema(),
             Plan::Limit { input, .. } => input.schema(),
             Plan::Union { schema, .. } => schema,
+            Plan::Shared { input, .. } => input.schema(),
         }
     }
 }
@@ -1386,6 +1406,7 @@ mod tests {
                 scan_order(left, out);
                 scan_order(right, out);
             }
+            Plan::Shared { input, .. } => scan_order(input, out),
             Plan::Values { .. } | Plan::Union { .. } => {}
         }
     }

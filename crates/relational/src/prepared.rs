@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 use crate::db::{Database, RowSet};
 use crate::error::{Error, Result};
 use crate::exec::Rows;
-use crate::plan::{plan_select, Plan};
+use crate::plan::Plan;
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, Select, SelectItem, TableRef};
 use crate::sql::lexer::tokenize;
@@ -501,7 +501,7 @@ impl Prepared {
             }
             // DDL since planning (or no template): re-plan against the
             // live catalog.
-            let plan = plan_select(self.db.catalog(), &self.select)?;
+            let plan = self.db.plan_optimized(&self.select)?.plan;
             return Rows::from_plan_parallel(plan, threads);
         }
         // DDL since preparation: the parse stays valid, but slot types must
@@ -509,8 +509,32 @@ impl Prepared {
         // (never the stale inference, which could reject or mis-coerce).
         // `bind` routes through the same per-version memoised re-inference.
         let bound = self.bind(params)?;
-        let plan = plan_select(self.db.catalog(), &bound)?;
+        let plan = self.db.plan_optimized(&bound)?.plan;
         Rows::from_plan_parallel(plan, threads)
+    }
+
+    /// Render the optimized execution plan of this statement — the
+    /// `EXPLAIN` tree plus one annotation line per rewrite pass that
+    /// fired. Parameterless statements only; a parameterised statement's
+    /// plan depends on its bound values, so use
+    /// [`Prepared::explain_with`].
+    pub fn explain(&self) -> Result<String> {
+        if !self.slots.is_empty() {
+            return Err(Error::plan(
+                "statement has parameters — use explain_with(params) so \
+                 value-dependent access paths can be chosen",
+            ));
+        }
+        let optimized = self.db.plan_optimized(&self.select)?;
+        Ok(optimized.render())
+    }
+
+    /// [`Prepared::explain`] with parameters bound — shows the plan the
+    /// next [`Prepared::execute`] with these values would run.
+    pub fn explain_with(&self, params: &Params) -> Result<String> {
+        let bound = self.bind(params)?;
+        let optimized = self.db.plan_optimized(&bound)?;
+        Ok(optimized.render())
     }
 
     /// Execute and materialise (the `collect()` adapter over

@@ -8,11 +8,15 @@
 //!   binary (release build) so future PRs have a perf trajectory to
 //!   compare against. Includes the e11 concurrency record (QPS + latency
 //!   percentiles at 1 vs 4 worker threads).
-//! * `bench-diff` — re-run the E3 experiments and compare each
-//!   `sesql_median_s` against the committed `BENCH_e3.json`, printing
-//!   per-experiment deltas. Exits non-zero when any experiment regresses
-//!   beyond the threshold (default 25%; `--threshold 0.4` or
-//!   `CROSSE_BENCH_THRESHOLD=0.4` to tune).
+//! * `bench-diff` — re-run the E3 experiments (plus the E12 ex4.6
+//!   REPLACEVARIABLE record) and compare each `sesql_median_s` against
+//!   the committed `BENCH_e3.json`, printing per-experiment deltas.
+//!   Exits non-zero when any experiment regresses beyond the threshold
+//!   (default 25%; `--threshold 0.4` or `CROSSE_BENCH_THRESHOLD=0.4` to
+//!   tune).
+//! * `explain-snapshots` — regenerate the golden EXPLAIN snapshots
+//!   (`tests/snapshots/*.snap`) and `git diff --exit-code` them against
+//!   the committed ones.
 //! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`.
 //! * `stress` — run the concurrency test suite (release) with elevated
 //!   iteration counts (`CROSSE_STRESS_ITERS=10`) under worker-thread
@@ -106,6 +110,29 @@ fn parse_e3_medians(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extract the e12 `(scale label, sesql_median_s)` pairs from a
+/// BENCH_e3.json (flat generated schema, same hand-rolled parsing as e3).
+fn parse_e12_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"scale\": ") else {
+            continue;
+        };
+        let Some((scale, rest)) = rest.split_once(',') else { continue };
+        let Some(rest) = rest.split_once("\"sesql_median_s\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((format!("e12/ex4.6 scale {}", scale.trim()), v));
+        }
+    }
+    out
+}
+
 fn bench_diff(args: &[String]) {
     let threshold: f64 = args
         .iter()
@@ -125,15 +152,19 @@ fn bench_diff(args: &[String]) {
         eprintln!("xtask: cannot read committed BENCH_e3.json: {e}");
         std::process::exit(1);
     });
-    let baseline = parse_e3_medians(&committed);
+    let mut baseline = parse_e3_medians(&committed);
     if baseline.is_empty() {
         eprintln!("xtask: no e3 records in the committed BENCH_e3.json");
         std::process::exit(1);
     }
+    // e12 (the ex4.6 REPLACEVARIABLE scaling record) rides along when the
+    // committed baseline has it.
+    let baseline_e12 = parse_e12_medians(&committed);
+    baseline.extend(baseline_e12.iter().cloned());
 
     let fresh_path = "target/bench-diff-e3.json";
     run(
-        "re-run e3 experiments",
+        "re-run e3 + e12 experiments",
         cargo().args([
             "run",
             "--release",
@@ -143,6 +174,7 @@ fn bench_diff(args: &[String]) {
             "experiments",
             "--",
             "e3",
+            "e12",
             "--json",
             fresh_path,
         ]),
@@ -151,7 +183,8 @@ fn bench_diff(args: &[String]) {
         eprintln!("xtask: experiments run produced no {fresh_path}: {e}");
         std::process::exit(1);
     });
-    let fresh = parse_e3_medians(&fresh_json);
+    let mut fresh = parse_e3_medians(&fresh_json);
+    fresh.extend(parse_e12_medians(&fresh_json));
 
     println!("\nbench-diff vs committed BENCH_e3.json (threshold {:.0}%)", threshold * 100.0);
     println!(
@@ -195,6 +228,44 @@ fn bench_diff(args: &[String]) {
     }
 }
 
+/// Regenerate the golden EXPLAIN snapshots (tests/snapshots/*.snap) and
+/// fail if they differ from the committed ones — the cheap CI gate for
+/// "the optimizer still produces the plans the snapshots promise". After
+/// an intentional plan change, run this once and commit the updated
+/// snapshots it leaves behind.
+fn explain_snapshots() {
+    run(
+        "regenerate EXPLAIN snapshots",
+        cargo()
+            .args(["test", "--test", "explain_golden", "--quiet"])
+            .env("CROSSE_UPDATE_SNAPSHOTS", "1"),
+    );
+    // `git status --porcelain` covers both modified *and* untracked
+    // snapshot files (`git diff --exit-code` alone would silently pass a
+    // brand-new .snap that was never committed).
+    let status = Command::new("git")
+        .args(["status", "--porcelain", "--", "tests/snapshots"])
+        .output()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: failed to run git status: {e}");
+            std::process::exit(1);
+        });
+    let dirty = String::from_utf8_lossy(&status.stdout);
+    if !dirty.trim().is_empty() {
+        run(
+            "diff regenerated snapshots against the committed ones",
+            Command::new("git").args(["diff", "--", "tests/snapshots"]),
+        );
+        eprintln!(
+            "xtask: explain-snapshots FAILED — snapshots differ from (or are \
+             missing in) the committed set:\n{dirty}\
+             commit the regenerated files if the plan change is intentional"
+        );
+        std::process::exit(1);
+    }
+    println!("xtask: explain-snapshots OK (snapshots match the committed plans)");
+}
+
 fn stress() {
     // Elevated iterations; one pass per worker-thread budget. Release
     // build: the point is to shake out races, not to wait on debug code.
@@ -217,6 +288,7 @@ fn main() {
         "bench-smoke" => bench_smoke(),
         "bench-baseline" => bench_baseline(),
         "bench-diff" => bench_diff(&args[1..]),
+        "explain-snapshots" => explain_snapshots(),
         "clippy" => clippy(),
         "stress" => stress(),
         other => {
@@ -224,8 +296,9 @@ fn main() {
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
                  tasks:\n  bench-smoke     run all benches in --test mode + clippy -D warnings on the workspace\n\
                  bench-baseline  regenerate BENCH_e3.json via the experiments binary (e3 + e11 + e12)\n\
-                 bench-diff      re-run e3 and diff against the committed BENCH_e3.json\n\
+                 bench-diff      re-run e3 + e12 (ex4.6) and diff against the committed BENCH_e3.json\n\
                                  (--threshold 0.25 / CROSSE_BENCH_THRESHOLD; non-zero exit on regression)\n\
+                 explain-snapshots  regenerate tests/snapshots/*.snap and diff against the committed ones\n\
                  clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
                  stress          concurrency tests (release), 10x iterations, worker threads 1/4/8"
             );

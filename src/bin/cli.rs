@@ -27,6 +27,9 @@ struct Shell {
     show_report: bool,
     /// `--timing`: report prepare vs execute wall time separately.
     timing: bool,
+    /// `--explain`: print the optimized plan (with rewrite-pass
+    /// annotations) before each statement's results.
+    explain: bool,
     /// Named prepared statements (`\prepare` / `\exec`).
     prepared: HashMap<String, PreparedSesql>,
 }
@@ -43,6 +46,7 @@ fn main() {
     let mut landfills = 50usize;
     let mut seed = 42u64;
     let mut timing = false;
+    let mut explain = false;
     let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +64,7 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--timing" => timing = true,
+            "--explain" => explain = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -69,11 +74,13 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "crosse-cli [--landfills N] [--seed N] [--timing] [--threads N]\n\
+                    "crosse-cli [--landfills N] [--seed N] [--timing] [--explain] [--threads N]\n\
                      \n\
                      --landfills N  databank scale: number of generated landfills (default 50)\n\
                      --seed N       databank RNG seed (default 42)\n\
                      --timing       report prepare vs execute wall time per statement\n\
+                     --explain      print the optimized plan (EXPLAIN, with rewrite-pass\n\
+                     \x20              annotations and shared spools) before each result\n\
                      --threads N    worker threads for intra-query parallelism (default 1).\n\
                      \x20              Scans, filters, projections and hash-join probes\n\
                      \x20              partition table snapshots across N threads; SPARQL\n\
@@ -98,6 +105,7 @@ fn main() {
         user: "director".to_string(),
         show_report: false,
         timing,
+        explain,
         prepared: HashMap::new(),
     };
 
@@ -167,6 +175,9 @@ impl Shell {
     /// lifecycle so the two phases are reported separately (and repeated
     /// statements hit the prepared cache).
     fn run_statement(&mut self, stmt: &str) {
+        if self.explain {
+            self.print_explain(stmt);
+        }
         if self.timing {
             let t0 = Instant::now();
             let prepared = match self.platform.engine().prepare(stmt) {
@@ -190,6 +201,12 @@ impl Shell {
                         stats.misses,
                         fmt_duration(t_execute),
                     );
+                    // With --timing, how each SPARQL leg was served
+                    // (recomputed / cached / shared pairs table) is part
+                    // of the picture even without `.report on`.
+                    if !self.show_report {
+                        self.print_legs(&report);
+                    }
                     if self.show_report {
                         self.print_report(&report);
                     }
@@ -209,6 +226,16 @@ impl Shell {
         }
     }
 
+    /// Print the optimized plan of a statement (SESQL superset — covers
+    /// plain SQL too): the `EXPLAIN` tree with rewrite-pass annotations,
+    /// shared spools included.
+    fn print_explain(&self, stmt: &str) {
+        match self.platform.engine().explain(&self.user, stmt) {
+            Ok(text) => print!("{text}"),
+            Err(e) => println!("explain error: {e}"),
+        }
+    }
+
     fn print_report(&self, report: &crosse::core::sqm::PipelineReport) {
         println!(
             "-- parse {:?} | sql {:?} | sparql {:?} | join {:?} | final {:?} | total {:?}",
@@ -219,11 +246,23 @@ impl Shell {
             report.final_sql,
             report.total()
         );
+        self.print_legs(report);
+    }
+
+    /// One line per SPARQL leg, tagging how it was served: `shared` =
+    /// the persistent REPLACEVARIABLE pairs table (the spooled relational
+    /// leg); `cached` alone = SPARQL solution-cache hit; no tag =
+    /// recomputed.
+    fn print_legs(&self, report: &crosse::core::sqm::PipelineReport) {
         for run in &report.sparql_runs {
+            let origin = match (run.shared, run.cached) {
+                (true, _) => ", shared",
+                (false, true) => ", cached",
+                (false, false) => "",
+            };
             println!(
-                "--   leg [{}{}] {} solution(s): {}",
+                "--   leg [{}{origin}] {} solution(s): {}",
                 run.purpose,
-                if run.cached { ", cached" } else { "" },
                 run.solutions,
                 run.sparql.replace('\n', " ")
             );
@@ -367,6 +406,19 @@ impl Shell {
                     }
                     Err(e) => println!("error: {e}"),
                 }
+            }
+            "\\explain" => {
+                if rest.is_empty() {
+                    println!("usage: \\explain <statement>   (or \\explain <prepared-name>)");
+                    return;
+                }
+                // A bare prepared-statement name explains its compiled
+                // text; anything else is explained as statement text.
+                let stmt = match self.prepared.get(rest) {
+                    Some(p) => p.text().to_string(),
+                    None => rest.trim_end_matches(';').to_string(),
+                };
+                self.print_explain(&stmt);
             }
             "\\prepared" => {
                 if self.prepared.is_empty() {
@@ -556,6 +608,8 @@ Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
   \\exec NAME [$k=v | v]...  execute it with named/positional bindings
                             (single-quote values with spaces/=/$: $k='a b',
                              '' escapes a quote inside a quoted value)
+  \\explain STMT|NAME        show the optimized plan (pass annotations,
+                            shared spools) for a statement or a prepared name
   \\prepared                 list prepared statements
 Dot-commands:
   .help                      this text

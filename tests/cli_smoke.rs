@@ -143,6 +143,98 @@ fn quoted_numeric_binds_as_text_not_int() {
 }
 
 #[test]
+fn explain_meta_command_prints_optimized_plan() {
+    let out = run_script(
+        "\\explain SELECT name FROM landfill WHERE city = 'X' LIMIT 2\n\
+         \\prepare q SELECT COUNT(*) AS n FROM landfill;\n\
+         \\explain q\n",
+    );
+    // Plain statement: the SESQL explain shape with the optimized tree.
+    assert!(out.contains("SESQL plan"), "{out}");
+    assert!(out.contains("SeqScan: landfill"), "{out}");
+    // Prepared name resolves to its compiled text.
+    assert!(out.contains("Aggregate"), "{out}");
+    assert!(!out.contains("error:"), "{out}");
+}
+
+#[test]
+fn explain_meta_command_shows_shared_spools_for_self_join() {
+    let out = run_script(
+        "\\explain SELECT e1.elem_name FROM elem_contained e1, elem_contained e2 \
+         WHERE e1.elem_name = e2.elem_name AND e1.landfill_name <> e2.landfill_name\n",
+    );
+    // The self-join scans one table twice; CSE spools it.
+    assert!(out.contains("Shared spool #0"), "{out}");
+    assert!(out.contains("-- cse:"), "{out}");
+}
+
+#[test]
+fn explain_flag_prints_plan_before_results() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1", "--explain"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crosse-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"SELECT name FROM landfill ORDER BY name LIMIT 2;\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Plan first (EXPLAIN shape), then the result table.
+    let plan_at = stdout.find("relational plan:").expect("plan printed");
+    let rows_at = stdout.find("(2 rows)").expect("results printed");
+    assert!(plan_at < rows_at, "{stdout}");
+
+    let help = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .arg("--help")
+        .output()
+        .expect("run --help");
+    let help_text = String::from_utf8(help.stdout).unwrap();
+    assert!(help_text.contains("--explain"), "{help_text}");
+}
+
+#[test]
+fn timing_output_tags_shared_pairs_table_legs() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1", "--timing"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crosse-cli");
+    let q = "SELECT e1.landfill_name AS l1, e2.landfill_name AS l2 \
+             FROM elem_contained AS e1, elem_contained AS e2 \
+             WHERE e1.landfill_name <> e2.landfill_name AND \
+             ${ e1.elem_name = e2.elem_name :cond1} \
+             ENRICH REPLACEVARIABLE(cond1, e2.elem_name, oreAssemblage);\n";
+    let script = format!("{q}{q}");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // First execution recomputes the leg; the second is served from the
+    // persistent pairs table and tagged `shared`.
+    assert!(stdout.contains("-- leg") || stdout.contains("--   leg"), "{stdout}");
+    assert!(stdout.contains(", shared]"), "{stdout}");
+    let recomputed = stdout
+        .lines()
+        .filter(|l| l.contains("leg [") && !l.contains(", shared]") && !l.contains(", cached]"))
+        .count();
+    assert!(recomputed >= 1, "first leg should be recomputed:\n{stdout}");
+}
+
+#[test]
 fn threads_flag_accepted_and_reported_in_help() {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
         .args(["--landfills", "10", "--seed", "1", "--threads", "4"])

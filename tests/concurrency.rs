@@ -232,8 +232,10 @@ fn concurrent_sesql_execution_with_kb_updates() {
 
 #[test]
 fn concurrent_replace_variable_queries_do_not_collide() {
-    // REPLACEVARIABLE materialises a temporary KB-pairs table in the main
-    // database; parallel executions must use distinct names.
+    // REPLACEVARIABLE materialises a KB-pairs table in the main database;
+    // parallel executions must not corrupt each other. The cache keeps
+    // one table alive per (graphs, property) for warm reuse — after
+    // `clear_cache` nothing may remain.
     let engine = Arc::new(
         crosse::smartground::standard_engine(&SmartGroundConfig::tiny(), "director")
             .unwrap(),
@@ -257,15 +259,21 @@ fn concurrent_replace_variable_queries_do_not_collide() {
     for h in handles {
         h.join().unwrap();
     }
-    // No leaked pairs tables.
-    let leftovers: Vec<String> = engine
-        .database()
-        .catalog()
-        .table_names()
-        .into_iter()
-        .filter(|t| t.starts_with("__kb_pairs"))
-        .collect();
-    assert!(leftovers.is_empty(), "leaked: {leftovers:?}");
+    let pairs_tables = |engine: &crosse::core::sqm::SesqlEngine| -> Vec<String> {
+        engine
+            .database()
+            .catalog()
+            .table_names()
+            .into_iter()
+            .filter(|t| t.starts_with("__kb_pairs"))
+            .collect()
+    };
+    // The cache owns at most one persistent pairs table for this query
+    // shape; concurrent executions must not have leaked extras.
+    assert!(pairs_tables(&engine).len() <= 1, "leaked: {:?}", pairs_tables(&engine));
+    // Dropping the caches drops the persistent table too.
+    engine.clear_cache();
+    assert!(pairs_tables(&engine).is_empty(), "leaked: {:?}", pairs_tables(&engine));
 }
 
 #[test]

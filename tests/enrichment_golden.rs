@@ -223,6 +223,48 @@ fn ex46_replace_variable_golden_stable_under_caching() {
 }
 
 #[test]
+fn ex46_leg_reporting_distinguishes_recomputed_cached_shared() {
+    // Cold run: the SPARQL leg is recomputed (not a pairs-table hit).
+    let e = engine();
+    let cold = e.execute("director", EX46).unwrap();
+    assert_eq!(cold.report.sparql_runs.len(), 1);
+    assert!(!cold.report.sparql_runs[0].shared, "cold leg cannot be shared");
+    // Warm run: served from the persistent pairs table — `shared: true`
+    // with the original leg's solution count, zero duration.
+    let warm = e.execute("director", EX46).unwrap();
+    let leg = &warm.report.sparql_runs[0];
+    assert!(leg.cached && leg.shared, "warm pairs hit must report cached+shared");
+    assert_eq!(leg.solutions, cold.report.sparql_runs[0].solutions);
+    // The persistent pairs table exists exactly once and clear_cache
+    // removes it.
+    let pairs: Vec<String> = e
+        .database()
+        .catalog()
+        .table_names()
+        .into_iter()
+        .filter(|t| t.starts_with("__kb_pairs"))
+        .collect();
+    assert_eq!(pairs.len(), 1, "{pairs:?}");
+    e.clear_cache();
+    assert!(
+        !e.database().catalog().table_names().iter().any(|t| t.starts_with("__kb_pairs")),
+        "clear_cache must drop the persistent pairs table"
+    );
+    // Cache off: recomputed every time, never shared, no persistent table.
+    let uncached = engine().with_options(EnrichOptions {
+        use_cache: false,
+        ..EnrichOptions::default()
+    });
+    uncached.execute("director", EX46).unwrap();
+    let again = uncached.execute("director", EX46).unwrap();
+    assert!(!again.report.sparql_runs[0].shared);
+    assert!(
+        !uncached.database().catalog().table_names().iter().any(|t| t.starts_with("__kb_pairs")),
+        "uncached executions must drop their pairs table"
+    );
+}
+
+#[test]
 fn ex46_cache_invalidates_on_kb_change() {
     let e = engine();
     assert_eq!(golden(&e, EX46), rows(EX46_GOLDEN));

@@ -1,0 +1,281 @@
+//! The plan-rewrite optimizer layer: pass toggles, limit pushdown
+//! semantics (asserted through the scanned-rows counter), shared-subplan
+//! spooling, and property tests that every pass subset is result-
+//! equivalent to the unoptimized plan.
+
+use proptest::prelude::*;
+
+use crosse::relational::{Database, OptimizerConfig, Row, Value};
+
+fn db_two_tables() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t1 (a INT, b TEXT, c FLOAT);
+         CREATE TABLE t2 (d INT, e TEXT);",
+    )
+    .unwrap();
+    let t1 = db.catalog().get_table("t1").unwrap();
+    let t2 = db.catalog().get_table("t2").unwrap();
+    let tags = ["x", "y", "z", "x", "w"];
+    let mut rows = Vec::new();
+    for i in 0i64..200 {
+        rows.push(vec![
+            Value::Int(i % 23),
+            if i % 11 == 0 { Value::Null } else { Value::from(tags[(i % 5) as usize]) },
+            Value::Float((i % 7) as f64 * 1.5),
+        ]);
+    }
+    t1.insert_many(rows).unwrap();
+    let mut rows = Vec::new();
+    for i in 0i64..120 {
+        rows.push(vec![
+            Value::Int(i % 19),
+            if i % 13 == 0 { Value::Null } else { Value::from(tags[(i % 4) as usize]) },
+        ]);
+    }
+    t2.insert_many(rows).unwrap();
+    db
+}
+
+/// Run `sql` under `cfg` and return the result rows.
+fn run_with(db: &Database, cfg: OptimizerConfig, sql: &str) -> Vec<Row> {
+    db.set_optimizer_config(cfg);
+    let out = db.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}")).rows;
+    db.set_optimizer_config(OptimizerConfig::default());
+    out
+}
+
+fn explain(db: &Database, sql: &str) -> String {
+    let rs = db.query(&format!("EXPLAIN {sql}")).unwrap();
+    rs.rows
+        .iter()
+        .map(|r| r[0].lexical_form())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---- limit pushdown --------------------------------------------------------
+
+#[test]
+fn limit_sinks_below_project_and_into_union_all_members() {
+    let db = db_two_tables();
+    let text = explain(
+        &db,
+        "SELECT a FROM t1 UNION ALL SELECT d FROM t2 LIMIT 3 OFFSET 2",
+    );
+    // Pass fired and the member caps sit below the member projections.
+    assert!(text.contains("limit-pushdown"), "{text}");
+    let union_at = text.find("UnionAll").expect("union in plan");
+    let inner_limit = text[union_at..].find("Limit: limit=Some(5)");
+    assert!(
+        inner_limit.is_some(),
+        "members should be capped at limit+offset:\n{text}"
+    );
+}
+
+#[test]
+fn limit_over_projected_union_stops_member_scans_early() {
+    let db = Database::new();
+    db.execute_script("CREATE TABLE big1 (x INT); CREATE TABLE big2 (y INT);").unwrap();
+    for name in ["big1", "big2"] {
+        let t = db.catalog().get_table(name).unwrap();
+        t.insert_many((0..50_000).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
+    }
+    let mut cur = db
+        .query_cursor("SELECT x + 1 FROM big1 UNION ALL SELECT y + 1 FROM big2 LIMIT 5")
+        .unwrap();
+    let mut n = 0;
+    while let Some(r) = cur.next_row() {
+        r.unwrap();
+        n += 1;
+    }
+    assert_eq!(n, 5);
+    let scanned = cur.rows_scanned();
+    assert!(
+        scanned < 5_000,
+        "LIMIT 5 over two projected 50k members scanned {scanned} rows"
+    );
+}
+
+#[test]
+fn limit_offset_over_union_all_matches_unoptimized() {
+    let db = db_two_tables();
+    let sql = "SELECT b FROM t1 UNION ALL SELECT e FROM t2 LIMIT 7 OFFSET 5";
+    let optimized = run_with(&db, OptimizerConfig::default(), sql);
+    let plain = run_with(&db, OptimizerConfig::none(), sql);
+    assert_eq!(optimized, plain);
+}
+
+// ---- shared subplans -------------------------------------------------------
+
+#[test]
+fn self_join_scans_base_table_once_through_spool() {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (x INT, t TEXT)").unwrap();
+    let t = db.catalog().get_table("big").unwrap();
+    t.insert_many(
+        (0..10_000)
+            .map(|i| vec![Value::Int(i % 97), Value::from("k")])
+            .collect(),
+    )
+    .unwrap();
+    // Both union members scan `big` twice each; the spool makes the heap
+    // fetch happen once, and the scanned counter proves it.
+    let sql = "SELECT e1.x FROM big e1, big e2 WHERE e1.x = e2.x AND e1.t <> e2.t \
+               UNION ALL SELECT e1.x FROM big e1, big e2 WHERE e1.x = e2.x AND e1.t <> e2.t";
+    let text = explain(&db, sql);
+    assert!(text.contains("Shared spool #"), "{text}");
+    assert!(text.contains("-- cse:"), "{text}");
+
+    let mut cur = db.query_cursor(sql).unwrap();
+    while let Some(r) = cur.next_row() {
+        r.unwrap();
+    }
+    assert_eq!(
+        cur.rows_scanned(),
+        10_000,
+        "four structurally-equal scans must fetch the heap exactly once"
+    );
+}
+
+#[test]
+fn shared_spool_results_match_unshared() {
+    let db = db_two_tables();
+    let sql = "SELECT b FROM t1 WHERE a > 5 UNION SELECT b FROM t1 WHERE a > 5";
+    let optimized = run_with(&db, OptimizerConfig::default(), sql);
+    let plain = run_with(&db, OptimizerConfig::none(), sql);
+    assert_eq!(optimized, plain);
+}
+
+#[test]
+fn optimizer_config_toggles_are_independent() {
+    let db = db_two_tables();
+    let sql = "SELECT a FROM t1 UNION ALL SELECT d FROM t2 LIMIT 3";
+    // CSE off, limit on: no spool note, limit note present.
+    db.set_optimizer_config(OptimizerConfig {
+        shared_subplans: false,
+        ..OptimizerConfig::default()
+    });
+    let text = explain(&db, "SELECT x.b FROM t1 x, t1 y WHERE x.a = y.a");
+    assert!(!text.contains("Shared spool"), "{text}");
+    db.set_optimizer_config(OptimizerConfig::none());
+    let text = explain(&db, sql);
+    assert!(!text.contains("--"), "no pass may fire when disabled:\n{text}");
+    db.set_optimizer_config(OptimizerConfig::default());
+}
+
+// ---- equivalence property tests --------------------------------------------
+
+/// Every subset of passes worth distinguishing.
+fn configs() -> Vec<OptimizerConfig> {
+    vec![
+        OptimizerConfig::none(),
+        OptimizerConfig { filter_pushdown: true, ..OptimizerConfig::none() },
+        OptimizerConfig { prune_projections: true, ..OptimizerConfig::none() },
+        OptimizerConfig { limit_pushdown: true, ..OptimizerConfig::none() },
+        OptimizerConfig { shared_subplans: true, ..OptimizerConfig::none() },
+        OptimizerConfig::default(),
+    ]
+}
+
+/// A generated SELECT core over t1/t2 that is type-correct by
+/// construction (comparisons stay within one column's type).
+fn arb_core() -> impl Strategy<Value = String> {
+    let filter = prop_oneof![
+        Just(String::new()),
+        (0i64..25).prop_map(|n| format!(" WHERE a > {n}")),
+        "[wxyz]".prop_map(|s| format!(" WHERE b = '{s}'")),
+        (0i64..25, "[wxyz]").prop_map(|(n, s)| format!(" WHERE a < {n} AND b <> '{s}'")),
+        (0i64..10).prop_map(|n| format!(" WHERE c >= {n}.0 OR b IS NULL")),
+    ];
+    // Single-table shapes take the random filter; join shapes carry
+    // their own complete WHERE (extra unqualified conjuncts would be
+    // ambiguous across the join).
+    prop_oneof![
+        (
+            prop_oneof![
+                Just("SELECT a, b FROM t1"),
+                Just("SELECT b, a + 1 FROM t1"),
+                Just("SELECT DISTINCT b, a FROM t1"),
+            ],
+            filter,
+        )
+            .prop_map(|(shape, filter)| format!("{shape}{filter}")),
+        prop_oneof![
+            Just("SELECT t1.a, t2.e FROM t1, t2 WHERE t1.a = t2.d".to_string()),
+            Just(
+                "SELECT t1.b, t2.e FROM t1 JOIN t2 ON t1.b = t2.e WHERE t1.a > 3"
+                    .to_string()
+            ),
+            Just(
+                "SELECT x.a, y.b FROM t1 x, t1 y WHERE x.a = y.a AND x.c > y.c"
+                    .to_string()
+            ),
+        ],
+    ]
+}
+
+/// Optional ORDER BY / LIMIT / OFFSET suffix.
+fn arb_tail() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just(" ORDER BY 1".to_string()),
+        (1u64..8).prop_map(|k| format!(" LIMIT {k}")),
+        (1u64..8, 0u64..4).prop_map(|(k, o)| format!(" ORDER BY 1, 2 LIMIT {k} OFFSET {o}")),
+    ]
+}
+
+/// A two-column core suitable as a UNION member.
+fn arb_member() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SELECT a, b FROM t1".to_string()),
+        Just("SELECT d, e FROM t2".to_string()),
+        Just("SELECT a, b FROM t1 WHERE a > 7".to_string()),
+        Just("SELECT t1.a, t2.e FROM t1, t2 WHERE t1.a = t2.d".to_string()),
+    ]
+}
+
+/// A full statement: one core, optionally UNION/UNION ALL another core of
+/// the same arity, optionally ORDER BY / LIMIT.
+fn arb_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (arb_core(), arb_tail()).prop_map(|(core, tail)| format!("{core}{tail}")),
+        (
+            arb_member(),
+            prop_oneof![Just("UNION"), Just("UNION ALL")],
+            arb_member(),
+            arb_tail(),
+        )
+            .prop_map(|(a, u, b, tail)| format!("{a} {u} {b}{tail}")),
+    ]
+}
+
+proptest! {
+    /// Optimized execution is row-for-row identical to the unoptimized
+    /// plan, for every pass subset — the passes are pure plan rewrites.
+    #[test]
+    fn optimized_equals_unoptimized(sql in arb_query()) {
+        let db = db_two_tables();
+        let baseline = run_with(&db, OptimizerConfig::none(), &sql);
+        for cfg in configs() {
+            let got = run_with(&db, cfg, &sql);
+            prop_assert_eq!(&got, &baseline, "config {:?} diverged on {}", cfg, sql);
+        }
+    }
+}
+
+#[test]
+fn prepared_explain_shows_optimized_plan() {
+    let db = db_two_tables();
+    let p = db.prepare("SELECT a FROM t1 ORDER BY a LIMIT 2").unwrap();
+    let text = p.explain().unwrap();
+    assert!(text.contains("SeqScan: t1"), "{text}");
+    // Parameterised statements defer to explain_with.
+    let p = db.prepare("SELECT a FROM t1 WHERE b = $tag").unwrap();
+    assert!(p.explain().is_err());
+    let text = p
+        .explain_with(&crosse::relational::Params::new().set("tag", "x"))
+        .unwrap();
+    assert!(text.contains("Filter") || text.contains("SeqScan"), "{text}");
+}
