@@ -736,6 +736,129 @@ fn e11() -> (usize, usize, Vec<E11Run>) {
     (CLIENT_THREADS, host_cores, runs)
 }
 
+struct E13Run {
+    mode: &'static str,
+    batches: usize,
+    batches_per_s: f64,
+}
+
+/// E13: durability cost — write throughput of the same batch workload
+/// with the WAL off (pure in-memory engine) vs on, across sync policies.
+///
+/// Each batch is one multi-row INSERT (one redo record) plus one KB
+/// assertion, mirroring the crash-recovery harness. `every_n:256` is the
+/// group-commit default the CLI ships with; the target is that it costs
+/// no more than ~10% throughput against the in-memory baseline.
+fn e13() -> Vec<E13Run> {
+    use crosse_core::sqm::SesqlEngine;
+    use crosse_core::{SyncPolicy, WalOptions};
+    use crosse_rdf::provenance::KnowledgeBase;
+    use crosse_relational::Database;
+
+    header("E13", "Durability cost: batch write throughput, WAL off vs sync policies");
+    // Bulk-load shape: fsync latency is milliseconds on ordinary disks, so
+    // group commit can only amortise it against batches with real compute.
+    // 512-row inserts put one fsync behind ~32 batches (2 records each).
+    const BATCHES: usize = 100;
+    const ROWS_PER_BATCH: usize = 512;
+
+    let workload = |engine: &SesqlEngine| -> Duration {
+        let db = engine.database();
+        let kb = engine.knowledge_base();
+        db.execute("CREATE TABLE wal_bench (batch INT, item INT)").unwrap();
+        kb.register_user("bench");
+        // One untimed batch to warm the plan cache and interner.
+        let batch = |b: usize| {
+            let values: Vec<String> =
+                (0..ROWS_PER_BATCH).map(|i| format!("({b}, {i})")).collect();
+            db.execute(&format!("INSERT INTO wal_bench VALUES {}", values.join(", ")))
+                .unwrap();
+            kb.assert_statement(
+                "bench",
+                &Triple::new(
+                    Term::iri(format!("bench:batch{b}")),
+                    Term::iri("bench:completed"),
+                    Term::lit(b.to_string()),
+                ),
+            )
+            .unwrap();
+            // The read-back every ingest pipeline does (validation /
+            // rolling aggregate): pure compute, no redo — the part of a
+            // mixed workload the WAL must not tax.
+            let floor = b.saturating_sub(8);
+            db.query(&format!(
+                "SELECT COUNT(*) AS n, SUM(item) AS s FROM wal_bench WHERE batch >= {floor}"
+            ))
+            .unwrap();
+        };
+        batch(999_999);
+        let t0 = Instant::now();
+        for b in 0..BATCHES {
+            batch(b);
+        }
+        t0.elapsed()
+    };
+
+    println!(
+        "workload: {BATCHES} batches of one {ROWS_PER_BATCH}-row INSERT + one KB assert \
+         + one aggregate read-back"
+    );
+    println!("{:<14} {:>12} {:>12}", "mode", "elapsed", "batches/s");
+    let mut runs = Vec::new();
+    let modes: [(&'static str, Option<SyncPolicy>); 4] = [
+        ("wal-off", None),
+        ("sync:off", Some(SyncPolicy::Off)),
+        ("every_n:256", Some(SyncPolicy::EveryN(256))),
+        ("always", Some(SyncPolicy::Always)),
+    ];
+    // Median of 5 fresh runs per mode, rounds interleaved across modes so
+    // disk/host load drift taxes every mode equally.
+    const ROUNDS: usize = 5;
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::new(); modes.len()];
+    for _ in 0..ROUNDS {
+        for (i, (mode, policy)) in modes.iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!(
+                "crosse-e13-{}-{}",
+                std::process::id(),
+                mode.replace(':', "-")
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let elapsed = match policy {
+                None => workload(&SesqlEngine::new(Database::new(), KnowledgeBase::new())),
+                Some(sync) => {
+                    let engine = SesqlEngine::open_with(&dir, WalOptions { sync: *sync }).unwrap();
+                    let e = workload(&engine);
+                    drop(engine);
+                    e
+                }
+            };
+            let _ = std::fs::remove_dir_all(&dir);
+            samples[i].push(elapsed);
+        }
+    }
+    for (i, (mode, _)) in modes.iter().enumerate() {
+        samples[i].sort();
+        let elapsed = samples[i][ROUNDS / 2];
+        let run = E13Run {
+            mode,
+            batches: BATCHES,
+            batches_per_s: BATCHES as f64 / elapsed.as_secs_f64(),
+        };
+        println!("{:<14} {:>12} {:>12.0}", run.mode, fmt(elapsed), run.batches_per_s);
+        runs.push(run);
+    }
+    if let (Some(off), Some(group)) = (
+        runs.iter().find(|r| r.mode == "wal-off"),
+        runs.iter().find(|r| r.mode == "every_n:256"),
+    ) {
+        println!(
+            "every_n:256 throughput cost vs wal-off: {:.1}%",
+            (1.0 - group.batches_per_s / off.batches_per_s) * 100.0
+        );
+    }
+    runs
+}
+
 /// Write the JSON baseline: the e3 table plus (when run) the e11
 /// concurrency record. Hand-rolled JSON — the workspace has no serde and
 /// the schema is flat.
@@ -744,6 +867,7 @@ fn write_baseline_json(
     e3_records: &[(String, Duration, Duration, usize)],
     e11_data: Option<&(usize, usize, Vec<E11Run>)>,
     e12_data: Option<&[E12Run]>,
+    e13_data: Option<&[E13Run]>,
 ) {
     let mut out = String::from(
         "{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n",
@@ -789,7 +913,7 @@ fn write_baseline_json(
             out.push('\n');
         }
         out.push_str("  }");
-        if e12_data.is_none() {
+        if e12_data.is_none() && e13_data.is_none() {
             out.push('\n');
         }
     }
@@ -806,9 +930,42 @@ fn write_baseline_json(
                 if i + 1 < runs.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n");
+        out.push_str("  ]");
+        if e13_data.is_none() {
+            out.push('\n');
+        }
     }
-    if e11_data.is_none() && e12_data.is_none() {
+    if let Some(runs) = e13_data {
+        out.push_str(",\n  \"e13_durability\": {\n");
+        out.push_str(
+            "    \"workload\": \"mixed batches: one 512-row INSERT + one KB assert + one aggregate read-back\",\n",
+        );
+        if let Some(r) = runs.first() {
+            out.push_str(&format!("    \"batches\": {},\n", r.batches));
+        }
+        out.push_str("    \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"batches_per_s\": {:.1}}}{}\n",
+                r.mode,
+                r.batches_per_s,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]");
+        let off = runs.iter().find(|r| r.mode == "wal-off");
+        let group = runs.iter().find(|r| r.mode == "every_n:256");
+        if let (Some(off), Some(group)) = (off, group) {
+            out.push_str(&format!(
+                ",\n    \"every_n_cost_pct\": {:.1}\n",
+                (1.0 - group.batches_per_s / off.batches_per_s) * 100.0
+            ));
+        } else {
+            out.push('\n');
+        }
+        out.push_str("  }\n");
+    }
+    if e11_data.is_none() && e12_data.is_none() && e13_data.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
@@ -879,13 +1036,23 @@ fn main() {
     if want("e12") {
         e12_data = Some(e12());
     }
+    let mut e13_data: Option<Vec<E13Run>> = None;
+    if want("e13") {
+        e13_data = Some(e13());
+    }
     if let Some(path) = json_path.as_deref() {
         if e3_records.is_empty() {
             // Never clobber the checked-in baseline with an empty results
             // array: --json requires the e3 experiment in the selection.
-            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 e12 --json {path}`)");
+            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 e12 e13 --json {path}`)");
         } else {
-            write_baseline_json(path, &e3_records, e11_data.as_ref(), e12_data.as_deref());
+            write_baseline_json(
+                path,
+                &e3_records,
+                e11_data.as_ref(),
+                e12_data.as_deref(),
+                e13_data.as_deref(),
+            );
         }
     }
     println!("\nall requested experiments done in {:?}", t0.elapsed());

@@ -15,6 +15,8 @@ pub enum Error {
     Sqm(String),
     /// Platform-level error (unknown user, scenario violation, ...).
     Platform(String),
+    /// Durability error (write-ahead log, snapshot, recovery).
+    Storage(String),
 }
 
 impl Error {
@@ -26,6 +28,9 @@ impl Error {
     }
     pub fn platform(message: impl Into<String>) -> Self {
         Error::Platform(message.into())
+    }
+    pub fn storage(message: impl Into<String>) -> Self {
+        Error::Storage(message.into())
     }
 }
 
@@ -39,6 +44,7 @@ impl fmt::Display for Error {
             Error::Semantic(e) => write!(f, "semantic: {e}"),
             Error::Sqm(m) => write!(f, "semantic query module: {m}"),
             Error::Platform(m) => write!(f, "platform: {m}"),
+            Error::Storage(m) => write!(f, "storage: {m}"),
         }
     }
 }
@@ -65,6 +71,12 @@ impl From<crosse_rdf::Error> for Error {
     }
 }
 
+impl From<crosse_wal::WalError> for Error {
+    fn from(e: crosse_wal::WalError) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
 pub type Result<T> = std::result::Result<T, Error>;
 
 #[cfg(test)]
@@ -80,5 +92,8 @@ mod tests {
         assert!(Error::sesql("bad", 2).to_string().contains("byte 2"));
         assert!(Error::sqm("z").to_string().contains("module"));
         assert!(Error::platform("p").to_string().contains("platform"));
+        assert!(Error::storage("s").to_string().contains("storage"));
+        let e: Error = crosse_wal::WalError::MissingSnapshot { base_lsn: 3 }.into();
+        assert!(matches!(e, Error::Storage(_)), "{e:?}");
     }
 }

@@ -22,8 +22,10 @@ pub mod recommend;
 pub mod sesql;
 pub mod session;
 pub mod sqm;
+pub mod storage;
 
 pub use error::{Error, Result};
+pub use storage::{SyncPolicy, WalOptions, WalStats};
 pub use sesql::ast::{Enrichment, SesqlQuery};
 pub use sesql::parser::parse_sesql;
 pub use session::{EnrichedRows, Rows, Session, SparqlRows};

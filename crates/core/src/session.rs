@@ -224,6 +224,18 @@ impl Session {
         Ok(Session { engine: engine.clone(), user: user.to_string() })
     }
 
+    /// Open a durable engine at `dir` and start a session for `user` in
+    /// one step, registering the user on first contact (registration is
+    /// idempotent and — like every mutation on a durable engine — logged,
+    /// so the user survives restarts).
+    pub fn open(dir: impl AsRef<std::path::Path>, user: &str) -> Result<Session> {
+        let engine = SesqlEngine::open(dir)?;
+        if !engine.knowledge_base().is_registered(user) {
+            engine.knowledge_base().register_user(user);
+        }
+        Session::new(&engine, user)
+    }
+
     pub fn user(&self) -> &str {
         &self.user
     }

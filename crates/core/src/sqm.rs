@@ -345,6 +345,60 @@ impl SesqlEngine {
         }
     }
 
+    /// Open (or create) a durable engine backed by the write-ahead log at
+    /// `dir`: loads the latest snapshot of both substrates, replays the
+    /// log tail, and attaches the redo sinks so every subsequent
+    /// relational or RDF mutation is logged. See [`crate::storage`].
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<SesqlEngine> {
+        crate::storage::open_engine(dir, crate::storage::WalOptions::default())
+    }
+
+    /// [`SesqlEngine::open`] with explicit WAL options (sync policy).
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        opts: crate::storage::WalOptions,
+    ) -> Result<SesqlEngine> {
+        crate::storage::open_engine(dir, opts)
+    }
+
+    /// Whether this engine logs to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.db.is_durable()
+    }
+
+    /// Take a checkpoint: pin the relational catalog and the triple store
+    /// at one LSN under the WAL barrier, write the two-section snapshot
+    /// off-thread, truncate the log. Surfaces any parked background
+    /// storage error first. Errors if the engine is in-memory.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.storage_check()?;
+        Ok(self.db.checkpoint()?)
+    }
+
+    /// Wait for any in-flight checkpoint and surface its error, if any.
+    pub fn checkpoint_join(&self) -> Result<()> {
+        Ok(self.db.checkpoint_join()?)
+    }
+
+    /// WAL statistics, or `None` for an in-memory engine.
+    pub fn wal_stats(&self) -> Option<crate::storage::WalStats> {
+        self.db.wal_stats()
+    }
+
+    /// Non-fatal notes from recovery (e.g. a torn final record truncated
+    /// away). Empty for in-memory engines and clean opens.
+    pub fn recovery_warnings(&self) -> Vec<String> {
+        self.db.recovery_warnings()
+    }
+
+    /// Surface a storage error parked by an RDF mutator whose signature
+    /// cannot return one (`insert` → bool, `insert_all` → usize): once a
+    /// redo append fails, the store refuses further writes and this
+    /// reports why. `Ok` on healthy and in-memory engines.
+    pub fn storage_check(&self) -> Result<()> {
+        Ok(self.kb.store().storage_check()?)
+    }
+
     /// Set the engine-wide worker-thread budget for intra-query
     /// parallelism: relational scans/filters/projections and hash-join
     /// probes partition pinned table snapshots, and SPARQL probe batches

@@ -168,7 +168,7 @@ impl FederatedDatabase {
         let source = Arc::clone(&self.sources.read()[idx]);
         let rows = source.fetch_table(&remote)?;
         let table = self.local.catalog().get_table(foreign_name)?;
-        table.truncate();
+        table.truncate()?;
         table.insert_many(rows.rows)
     }
 
@@ -210,7 +210,7 @@ impl FederatedDatabase {
         for (fname, result) in fetched {
             let rows = result?;
             let table = self.local.catalog().get_table(&fname)?;
-            table.truncate();
+            table.truncate()?;
             total += table.insert_many(rows.rows)?;
         }
         Ok(total)

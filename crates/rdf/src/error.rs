@@ -11,6 +11,10 @@ pub enum Error {
     Eval(String),
     /// Store-level error (unknown graph, unknown stored query, ...).
     Store(String),
+    /// Durability / storage error (WAL append failure, corrupt snapshot on
+    /// recovery, I/O). Carries a rendered message so the enum stays
+    /// `Clone + Eq`; match on the variant, not the text.
+    Storage(String),
 }
 
 impl Error {
@@ -23,6 +27,15 @@ impl Error {
     pub fn store(message: impl Into<String>) -> Self {
         Error::Store(message.into())
     }
+    pub fn storage(message: impl Into<String>) -> Self {
+        Error::Storage(message.into())
+    }
+}
+
+impl From<crosse_wal::WalError> for Error {
+    fn from(e: crosse_wal::WalError) -> Self {
+        Error::Storage(e.to_string())
+    }
 }
 
 impl fmt::Display for Error {
@@ -33,6 +46,7 @@ impl fmt::Display for Error {
             }
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Store(m) => write!(f, "store error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -50,5 +64,6 @@ mod tests {
         assert!(Error::parse("bad", 3).to_string().contains("byte 3"));
         assert!(Error::eval("x").to_string().contains("evaluation"));
         assert!(Error::store("x").to_string().contains("store"));
+        assert!(Error::storage("x").to_string().contains("storage"));
     }
 }

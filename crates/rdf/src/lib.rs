@@ -41,6 +41,7 @@
 
 pub mod error;
 pub mod export;
+pub mod persist;
 pub mod provenance;
 pub mod reasoner;
 pub mod schema;

@@ -17,7 +17,19 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::error::{Error, Result};
+use crate::persist::{encode_rdf_op, RdfOp, RdfRedoSink};
 use crate::term::{Dictionary, Term, TermId};
+
+/// Take the sink's barrier in read mode for one log-then-apply critical
+/// section (no-op when no sink is attached). Must be acquired **before**
+/// the graphs lock — the checkpointer takes the write side and then reads
+/// the store, so acquiring in the other order deadlocks.
+fn sink_guard(
+    sink: &Option<Arc<dyn RdfRedoSink>>,
+) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+    sink.as_ref()
+        .map(|s| s.barrier().read().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// A concrete triple of terms.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -209,6 +221,13 @@ pub struct TripleStore {
     /// query-result caches (e.g. the SESQL engine's SPARQL-leg cache) can
     /// validate entries without diffing graphs.
     version: Arc<std::sync::atomic::AtomicU64>,
+    /// Redo sink when the store is durable; shared across clones.
+    sink: Arc<RwLock<Option<Arc<dyn RdfRedoSink>>>>,
+    /// First WAL append failure. Mutators whose signatures cannot carry a
+    /// `Result` (e.g. [`TripleStore::insert`] returning `bool`) refuse the
+    /// write and park the error here; [`TripleStore::storage_check`]
+    /// surfaces it.
+    storage_err: Arc<RwLock<Option<Error>>>,
 }
 
 impl TripleStore {
@@ -229,10 +248,51 @@ impl TripleStore {
         self.version.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
+    fn sink(&self) -> Option<Arc<dyn RdfRedoSink>> {
+        self.sink.read().clone()
+    }
+
+    /// Attach a redo sink: all future mutations log through it. Called
+    /// once, right after recovery has replayed the log into this store.
+    pub fn attach_sink(&self, sink: Arc<dyn RdfRedoSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// Whether this store logs to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.sink.read().is_some()
+    }
+
+    fn note_storage_err(&self, e: Error) {
+        self.storage_err.write().get_or_insert(e);
+    }
+
+    /// Surface the first WAL append failure, if any. Mutators returning
+    /// `bool`/`usize` cannot propagate one directly: they refuse the write
+    /// and park the error here. Engines call this after mutation batches.
+    pub fn storage_check(&self) -> Result<()> {
+        match self.storage_err.read().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Create a graph if absent (inserting into a missing graph also
     /// creates it; this is for explicitly registering empty graphs).
     pub fn ensure_graph(&self, name: &str) {
-        self.graphs.write().entry(name.to_string()).or_default();
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
+        let mut graphs = self.graphs.write();
+        if graphs.contains_key(name) {
+            return;
+        }
+        if let Some(s) = &sink {
+            if let Err(e) = s.log(&encode_rdf_op(&RdfOp::EnsureGraph { graph: name })) {
+                self.note_storage_err(e);
+                return;
+            }
+        }
+        graphs.entry(name.to_string()).or_default();
     }
 
     pub fn graph_names(&self) -> Vec<String> {
@@ -244,33 +304,76 @@ impl TripleStore {
     }
 
     pub fn drop_graph(&self, name: &str) -> Result<()> {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
+        let mut graphs = self.graphs.write();
+        if !graphs.contains_key(name) {
+            return Err(Error::store(format!("graph `{name}` does not exist")));
+        }
+        if let Some(s) = &sink {
+            s.log(&encode_rdf_op(&RdfOp::DropGraph { graph: name }))?;
+        }
+        graphs.remove(name);
+        drop(graphs);
         self.bump_version();
-        self.graphs
-            .write()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| Error::store(format!("graph `{name}` does not exist")))
+        Ok(())
     }
 
-    /// Insert a triple into a graph; returns false if it was already there.
+    /// Insert a triple into a graph; returns false if it was already there
+    /// (or if the write-ahead append failed — see
+    /// [`TripleStore::storage_check`]).
     pub fn insert(&self, graph: &str, triple: &Triple) -> bool {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let t = (
             self.dict.intern(&triple.subject),
             self.dict.intern(&triple.predicate),
             self.dict.intern(&triple.object),
         );
         self.bump_version();
-        self.graphs.write().entry(graph.to_string()).or_default().insert(t)
+        let mut graphs = self.graphs.write();
+        if let Some(s) = &sink {
+            let op = RdfOp::InsertAll { graph, triples: std::slice::from_ref(triple) };
+            if let Err(e) = s.log(&encode_rdf_op(&op)) {
+                self.note_storage_err(e);
+                return false;
+            }
+        }
+        graphs.entry(graph.to_string()).or_default().insert(t)
     }
 
-    /// Insert many triples; returns how many were new.
+    /// Insert many triples; returns how many were new. One redo record
+    /// covers the whole batch, so recovery replays it all-or-nothing.
     pub fn insert_all<'t>(
         &self,
         graph: &str,
         triples: impl IntoIterator<Item = &'t Triple>,
     ) -> usize {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         self.bump_version();
         let mut graphs = self.graphs.write();
+        if let Some(s) = &sink {
+            let batch: Vec<Triple> = triples.into_iter().cloned().collect();
+            if !batch.is_empty() {
+                let op = RdfOp::InsertAll { graph, triples: &batch };
+                if let Err(e) = s.log(&encode_rdf_op(&op)) {
+                    self.note_storage_err(e);
+                    return 0;
+                }
+            }
+            let g = graphs.entry(graph.to_string()).or_default();
+            return batch
+                .iter()
+                .filter(|triple| {
+                    g.insert((
+                        self.dict.intern(&triple.subject),
+                        self.dict.intern(&triple.predicate),
+                        self.dict.intern(&triple.object),
+                    ))
+                })
+                .count();
+        }
         let g = graphs.entry(graph.to_string()).or_default();
         let mut fresh = 0;
         for triple in triples {
@@ -288,6 +391,8 @@ impl TripleStore {
 
     /// Remove a triple; returns true if present.
     pub fn remove(&self, graph: &str, triple: &Triple) -> bool {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let (Some(s), Some(p), Some(o)) = (
             self.dict.id_of(&triple.subject),
             self.dict.id_of(&triple.predicate),
@@ -296,10 +401,21 @@ impl TripleStore {
             return false;
         };
         self.bump_version();
-        match self.graphs.write().get_mut(graph) {
-            Some(g) => g.remove((s, p, o)),
-            None => false,
+        let mut graphs = self.graphs.write();
+        let Some(g) = graphs.get_mut(graph) else {
+            return false;
+        };
+        if !g.contains((s, p, o)) {
+            return false;
         }
+        if let Some(sk) = &sink {
+            let op = RdfOp::Remove { graph, triple };
+            if let Err(e) = sk.log(&encode_rdf_op(&op)) {
+                self.note_storage_err(e);
+                return false;
+            }
+        }
+        g.remove((s, p, o))
     }
 
     pub fn contains(&self, graph: &str, triple: &Triple) -> bool {
@@ -424,16 +540,113 @@ impl TripleStore {
 
     /// Insert already-interned triples (ids must come from this store's
     /// dictionary); returns how many were new. The reasoner writes its
-    /// closure through this, skipping re-interning entirely.
+    /// closure through this, skipping re-interning entirely. When a sink
+    /// is attached the ids are resolved back to terms for the redo record
+    /// (the log speaks terms, never ids — ids are not stable across
+    /// recovery).
     pub(crate) fn insert_ids(
         &self,
         graph: &str,
         triples: impl IntoIterator<Item = IdTriple>,
     ) -> usize {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
+        self.bump_version();
+        let mut graphs = self.graphs.write();
+        if let Some(sk) = &sink {
+            let batch: Vec<IdTriple> = triples.into_iter().collect();
+            if !batch.is_empty() {
+                let reader = self.dict.reader();
+                let terms: Vec<Triple> = batch
+                    .iter()
+                    .map(|&(s, p, o)| {
+                        Triple::new(
+                            reader.term(s).clone(),
+                            reader.term(p).clone(),
+                            reader.term(o).clone(),
+                        )
+                    })
+                    .collect();
+                drop(reader);
+                let op = RdfOp::InsertAll { graph, triples: &terms };
+                if let Err(e) = sk.log(&encode_rdf_op(&op)) {
+                    self.note_storage_err(e);
+                    return 0;
+                }
+            }
+            let g = graphs.entry(graph.to_string()).or_default();
+            return batch.into_iter().filter(|&t| g.insert(t)).count();
+        }
+        let g = graphs.entry(graph.to_string()).or_default();
+        triples.into_iter().filter(|&t| g.insert(t)).count()
+    }
+
+    // ---- replay / snapshot plumbing (no logging) --------------------------
+
+    /// Insert triples without logging — the redo-replay path.
+    pub(crate) fn apply_insert(&self, graph: &str, triples: &[Triple]) {
         self.bump_version();
         let mut graphs = self.graphs.write();
         let g = graphs.entry(graph.to_string()).or_default();
-        triples.into_iter().filter(|&t| g.insert(t)).count()
+        for triple in triples {
+            g.insert((
+                self.dict.intern(&triple.subject),
+                self.dict.intern(&triple.predicate),
+                self.dict.intern(&triple.object),
+            ));
+        }
+    }
+
+    /// Remove a triple without logging (replay path).
+    pub(crate) fn apply_remove(&self, graph: &str, triple: &Triple) {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return;
+        };
+        self.bump_version();
+        if let Some(g) = self.graphs.write().get_mut(graph) {
+            g.remove((s, p, o));
+        }
+    }
+
+    /// Drop a graph without logging (replay path); missing graph is a no-op.
+    pub(crate) fn apply_drop_graph(&self, graph: &str) {
+        self.bump_version();
+        self.graphs.write().remove(graph);
+    }
+
+    /// Create an empty graph without logging (replay path).
+    pub(crate) fn apply_ensure_graph(&self, graph: &str) {
+        self.graphs.write().entry(graph.to_string()).or_default();
+    }
+
+    /// Insert already-interned triples without logging (snapshot-restore
+    /// path; ids must come from this store's dictionary).
+    pub(crate) fn apply_insert_ids(
+        &self,
+        graph: &str,
+        triples: impl IntoIterator<Item = IdTriple>,
+    ) {
+        self.bump_version();
+        let mut graphs = self.graphs.write();
+        let g = graphs.entry(graph.to_string()).or_default();
+        for t in triples {
+            g.insert(t);
+        }
+    }
+
+    /// Pin every graph's id-triples (SPO order) for a checkpoint. Runs
+    /// under the checkpoint barrier, so the copy is a consistent cut; the
+    /// cost is one memcpy-ish walk of the indexes, no term cloning.
+    pub(crate) fn pin_graphs(&self) -> Vec<(String, Vec<IdTriple>)> {
+        self.graphs
+            .read()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.spo.iter().copied().collect()))
+            .collect()
     }
 
     /// Dump a whole graph as concrete triples (sorted by id order).

@@ -167,6 +167,13 @@ impl Dictionary {
         DictReader { guard: self.inner.read() }
     }
 
+    /// All interned terms in id order (index = id). Checkpoint pinning
+    /// uses this to serialise the dictionary; pinned *after* the graphs
+    /// (under the same barrier) so every id in any pinned graph resolves.
+    pub fn terms_snapshot(&self) -> Vec<Term> {
+        self.inner.read().terms.clone()
+    }
+
     /// Literal-kind flag per id (index = id). Covers every term interned
     /// at call time; used by the reasoner to test literalness without
     /// locking per triple.

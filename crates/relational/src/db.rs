@@ -16,6 +16,11 @@ use crate::prepared::{infer_slot_types, normalize_sql, Prepared, SlotInfo};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, Select, Statement};
 use crate::sql::parser::{parse_script, parse_statement, parse_statement_with_params};
+use crate::storage::durable::{
+    DurabilityHandle, RelDurability, WalOptions, WalRedoSink, WalStats,
+};
+use crate::storage::snapshot::decode_catalog;
+use crate::storage::wal::apply_rel_op;
 use crate::storage::Catalog;
 use crate::value::{Interner, Row, Value};
 
@@ -161,6 +166,9 @@ pub struct Database {
     /// Which plan-rewrite passes run between planning and execution
     /// (shared across clones — one engine, one setting).
     opt: Arc<Mutex<OptimizerConfig>>,
+    /// Durability handle when the database was opened from a data
+    /// directory ([`Database::open`]); `None` for in-memory databases.
+    durability: Option<Arc<dyn DurabilityHandle>>,
 }
 
 impl Default for Database {
@@ -171,6 +179,7 @@ impl Default for Database {
             exec_threads: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
             interner: Arc::new(Interner::new()),
             opt: Arc::new(Mutex::new(OptimizerConfig::default())),
+            durability: None,
         }
     }
 }
@@ -182,6 +191,87 @@ impl Database {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Open (or create) a durable database at `path` with the default WAL
+    /// options. Loads the latest snapshot, replays the log tail, then
+    /// attaches the redo sink so every subsequent mutation is logged.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database> {
+        Self::open_with(path, WalOptions::default())
+    }
+
+    /// [`Database::open`] with explicit [`WalOptions`] (sync policy).
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> Result<Database> {
+        let (wal, recovered) = crosse_wal::WalStore::open(path, opts)?;
+        let mut db = Database::new();
+        // 1. Restore the checkpoint snapshot (if any).
+        for (tag, bytes) in &recovered.sections {
+            if *tag == crosse_wal::CHAN_REL {
+                decode_catalog(&db.catalog, bytes, Some(&db.interner))?;
+            }
+        }
+        // 2. Replay the log tail. No sink is attached yet, so replay never
+        //    re-logs.
+        for rec in &recovered.records {
+            if rec.chan == crosse_wal::CHAN_REL {
+                apply_rel_op(&db.catalog, &rec.payload, Some(&db.interner))?;
+            }
+        }
+        // 3. Start logging.
+        db.catalog
+            .attach_sink(Arc::new(WalRedoSink::new(Arc::clone(&wal), crosse_wal::CHAN_REL)));
+        db.durability = Some(Arc::new(RelDurability::new(
+            wal,
+            db.catalog.clone(),
+            recovered.warnings.clone(),
+        )));
+        Ok(db)
+    }
+
+    /// Install a durability handle (used by `crosse-core`, which owns a
+    /// combined relational+RDF checkpoint and shares one log).
+    pub fn set_durability(&mut self, handle: Arc<dyn DurabilityHandle>) {
+        self.durability = Some(handle);
+    }
+
+    /// Whether this database logs to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    fn durability(&self) -> Result<&Arc<dyn DurabilityHandle>> {
+        self.durability.as_ref().ok_or_else(|| {
+            Error::storage("database was not opened from a data directory")
+        })
+    }
+
+    /// Take a checkpoint: pin both stores' state under the WAL barrier,
+    /// write the snapshot off-thread, truncate the log. Returns the pinned
+    /// LSN. Errors if the database is not durable.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.durability()?.checkpoint()
+    }
+
+    /// Wait for any in-flight checkpoint and surface its error, if any.
+    pub fn checkpoint_join(&self) -> Result<()> {
+        self.durability()?.checkpoint_join()
+    }
+
+    /// WAL statistics, or `None` for an in-memory database.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.wal_stats())
+    }
+
+    /// Non-fatal notes from recovery (e.g. a torn final record that was
+    /// truncated away). Empty for in-memory databases and clean opens.
+    pub fn recovery_warnings(&self) -> Vec<String> {
+        self.durability
+            .as_ref()
+            .map(|d| d.recovery_warnings())
+            .unwrap_or_default()
     }
 
     /// The database's string interner (shared across clones). Layers that
@@ -459,7 +549,7 @@ impl Database {
                 let n = match filter {
                     None => {
                         let n = t.row_count();
-                        t.truncate();
+                        t.truncate()?;
                         n
                     }
                     Some(f) => {
@@ -482,7 +572,7 @@ impl Database {
                             return Err(e);
                         }
                         let mut it = matches.iter();
-                        t.delete_where(|_| *it.next().unwrap_or(&false))
+                        t.delete_where(|_| *it.next().unwrap_or(&false))?
                     }
                 };
                 Ok(ExecOutcome::Affected(n))
@@ -548,14 +638,16 @@ impl Database {
 
     /// [`Database::materialise`] for callers that already own the rows —
     /// no re-clone (the REPLACEVARIABLE pairs-cache hit path hands over
-    /// one copy of its cached rows directly).
+    /// one copy of its cached rows directly). Materialised tables are
+    /// **ephemeral**: derived intermediates are rebuildable, so they stay
+    /// out of the write-ahead log and checkpoint snapshots.
     pub fn materialise_owned(&self, name: &str, schema: &Schema, rows: Vec<Row>) -> Result<()> {
         let cols: Vec<Column> = schema
             .columns
             .iter()
             .map(|c| Column::new(c.name.clone(), c.data_type))
             .collect();
-        let table = self.catalog.create_or_replace_table(name, cols)?;
+        let table = self.catalog.create_ephemeral_table(name, cols)?;
         table.insert_many(rows)?;
         Ok(())
     }

@@ -21,6 +21,10 @@ pub enum Error {
     Eval(String),
     /// Constraint violation (arity mismatch on INSERT, type mismatch).
     Constraint(String),
+    /// Durability / storage error (WAL append failure, corrupt log or
+    /// snapshot on recovery, I/O). Carries a rendered message so the enum
+    /// stays `Clone + Eq`; match on the variant, not the text.
+    Storage(String),
 }
 
 impl Error {
@@ -42,6 +46,15 @@ impl Error {
     pub fn constraint(message: impl Into<String>) -> Self {
         Error::Constraint(message.into())
     }
+    pub fn storage(message: impl Into<String>) -> Self {
+        Error::Storage(message.into())
+    }
+}
+
+impl From<crosse_wal::WalError> for Error {
+    fn from(e: crosse_wal::WalError) -> Self {
+        Error::Storage(e.to_string())
+    }
 }
 
 impl fmt::Display for Error {
@@ -57,6 +70,7 @@ impl fmt::Display for Error {
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -83,5 +97,13 @@ mod tests {
         assert!(Error::plan("x").to_string().contains("planning"));
         assert!(Error::constraint("x").to_string().contains("constraint"));
         assert!(Error::lex("x", 0).to_string().contains("lexical"));
+        assert!(Error::storage("x").to_string().contains("storage"));
+    }
+
+    #[test]
+    fn wal_errors_convert_to_storage() {
+        let e: Error = crosse_wal::WalError::BadRecord("short".into()).into();
+        assert!(matches!(e, Error::Storage(_)));
+        assert!(e.to_string().contains("short"));
     }
 }

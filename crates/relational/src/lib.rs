@@ -42,6 +42,7 @@ pub mod value;
 
 pub use db::{Database, ExecOutcome, RowSet};
 pub use error::{Error, Result};
+pub use storage::durable::{DurabilityHandle, SyncPolicy, WalOptions, WalStats};
 pub use exec::Rows;
 pub use opt::{optimize, Optimized, OptimizerConfig};
 pub use prepared::{Params, Prepared, SlotInfo};

@@ -11,10 +11,22 @@
 //! is pinned the writer clones the heap and readers keep their frozen
 //! version. This is what makes lock-free morsel-parallel scans safe: a
 //! worker pool can partition a pinned snapshot freely because nothing can
-//! mutate it. The engine still stands in for the PostgreSQL "main
-//! platform" of the CroSSE paper — no WAL, no multi-statement
-//! transactions — but single-statement reads are now true point-in-time
-//! snapshots rather than prefix-consistent lock-step scans.
+//! mutate it.
+//!
+//! ## Durability hooks
+//!
+//! A catalog may carry a [`wal::RedoSink`]: when one is attached (the
+//! database was opened from a data directory), every mutation logs a redo
+//! record *before* applying — under the sink's barrier lock, so checkpoint
+//! pinning can exclude in-flight mutations — and a failed log append fails
+//! the statement without touching the heap. Tables registered through
+//! [`Catalog::register`] are **ephemeral** (foreign/federation tables):
+//! they are excluded from both logging and snapshots. Without a sink
+//! everything behaves exactly as before: a purely in-memory engine.
+
+pub mod durable;
+pub mod snapshot;
+pub mod wal;
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -26,6 +38,19 @@ use parking_lot::RwLock;
 use crate::error::{Error, Result};
 use crate::schema::{Column, Schema};
 use crate::value::{Row, Value};
+
+use wal::{encode_rel_op, RedoSink, RelOp};
+
+/// Take the sink's barrier in read mode for one log-then-apply critical
+/// section (no-op when no sink is attached). Must be acquired **before**
+/// any storage lock — the checkpointer takes the write side and then reads
+/// the stores, so acquiring in the other order deadlocks.
+fn sink_guard(
+    sink: &Option<Arc<dyn RedoSink>>,
+) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+    sink.as_ref()
+        .map(|s| s.barrier().read().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// A secondary index over one column of a [`Table`].
 ///
@@ -138,6 +163,11 @@ pub struct Table {
     /// under the rows write lock.
     generation: AtomicU64,
     indexes: RwLock<Vec<Arc<Index>>>,
+    /// Redo sink for durability; `None` on purely in-memory tables.
+    sink: RwLock<Option<Arc<dyn RedoSink>>>,
+    /// Ephemeral tables (foreign/federation registrations) are excluded
+    /// from logging and snapshots.
+    ephemeral: AtomicBool,
 }
 
 impl Table {
@@ -148,7 +178,30 @@ impl Table {
             rows: RwLock::new(Arc::new(Vec::new())),
             generation: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
+            sink: RwLock::new(None),
+            ephemeral: AtomicBool::new(false),
         }
+    }
+
+    /// The redo sink, if this table participates in durability.
+    fn sink(&self) -> Option<Arc<dyn RedoSink>> {
+        if self.ephemeral.load(AtomicOrdering::Acquire) {
+            return None;
+        }
+        self.sink.read().clone()
+    }
+
+    pub(crate) fn set_sink(&self, sink: Option<Arc<dyn RedoSink>>) {
+        *self.sink.write() = sink;
+    }
+
+    /// Mark this table as excluded from durability (see [`Catalog::register`]).
+    pub fn set_ephemeral(&self, ephemeral: bool) {
+        self.ephemeral.store(ephemeral, AtomicOrdering::Release);
+    }
+
+    pub fn is_ephemeral(&self) -> bool {
+        self.ephemeral.load(AtomicOrdering::Acquire)
     }
 
     /// Number of stored rows.
@@ -171,7 +224,15 @@ impl Table {
     /// append it.
     pub fn insert(&self, row: Row) -> Result<()> {
         let coerced = self.check_row(row)?;
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut rows = self.rows.write();
+        if let Some(s) = &sink {
+            s.log(&encode_rel_op(&RelOp::Insert {
+                table: &self.name,
+                rows: std::slice::from_ref(&coerced),
+            }))?;
+        }
         let rows = Arc::make_mut(&mut *rows);
         let pos = rows.len();
         for idx in self.indexes.read().iter() {
@@ -183,14 +244,25 @@ impl Table {
     }
 
     /// Insert many rows; fails atomically (no partial insert) on the first
-    /// invalid row.
+    /// invalid row. One redo record covers the whole batch, so recovery
+    /// replays it all-or-nothing too.
     pub fn insert_many(&self, rows: Vec<Row>) -> Result<usize> {
         let mut checked = Vec::with_capacity(rows.len());
         for row in rows {
             checked.push(self.check_row(row)?);
         }
         let n = checked.len();
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut stored = self.rows.write();
+        if let Some(s) = &sink {
+            if !checked.is_empty() {
+                s.log(&encode_rel_op(&RelOp::Insert {
+                    table: &self.name,
+                    rows: &checked,
+                }))?;
+            }
+        }
         let stored = Arc::make_mut(&mut *stored);
         let indexes = self.indexes.read();
         for (offset, row) in checked.iter().enumerate() {
@@ -201,6 +273,58 @@ impl Table {
         stored.extend(checked);
         self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         Ok(n)
+    }
+
+    /// Append already-validated rows without logging — the redo-replay
+    /// path (the rows come *from* the log or a snapshot).
+    pub(crate) fn apply_insert(&self, new_rows: Vec<Row>) {
+        let mut stored = self.rows.write();
+        let stored = Arc::make_mut(&mut *stored);
+        let indexes = self.indexes.read();
+        for (offset, row) in new_rows.iter().enumerate() {
+            for idx in indexes.iter() {
+                idx.note_append(stored.len() + offset, row);
+            }
+        }
+        stored.extend(new_rows);
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+    }
+
+    /// Remove rows by ascending heap position without logging (replay path).
+    pub(crate) fn apply_delete(&self, positions: &[usize]) {
+        if positions.is_empty() {
+            return;
+        }
+        let mut rows = self.rows.write();
+        let rows = Arc::make_mut(&mut *rows);
+        let mut next = positions.iter().peekable();
+        let mut i = 0usize;
+        rows.retain(|_| {
+            let drop_it = next.peek().is_some_and(|&&p| p == i);
+            if drop_it {
+                next.next();
+            }
+            i += 1;
+            !drop_it
+        });
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+        self.mark_indexes_dirty();
+    }
+
+    /// Overwrite rows at given heap positions without logging (replay path).
+    pub(crate) fn apply_update(&self, changes: Vec<(usize, Row)>) {
+        if changes.is_empty() {
+            return;
+        }
+        let mut rows = self.rows.write();
+        let rows = Arc::make_mut(&mut *rows);
+        for (pos, row) in changes {
+            if pos < rows.len() {
+                rows[pos] = row;
+            }
+        }
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+        self.mark_indexes_dirty();
     }
 
     fn check_row(&self, row: Row) -> Result<Row> {
@@ -232,36 +356,63 @@ impl Table {
         }
     }
 
-    /// Delete rows matching `pred`; returns the number removed.
-    pub fn delete_where(&self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+    /// Delete rows matching `pred`; returns the number removed. The redo
+    /// record carries the matched heap positions, so replay removes
+    /// exactly the same rows without re-evaluating the predicate.
+    pub fn delete_where(&self, mut pred: impl FnMut(&Row) -> bool) -> Result<usize> {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut rows = self.rows.write();
-        let rows = Arc::make_mut(&mut *rows);
-        let before = rows.len();
-        rows.retain(|r| !pred(r));
-        let removed = before - rows.len();
-        if removed > 0 {
-            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
-            self.mark_indexes_dirty();
+        let positions: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| pred(r).then_some(i))
+            .collect();
+        if positions.is_empty() {
+            return Ok(0);
         }
-        removed
+        if let Some(s) = &sink {
+            s.log(&encode_rel_op(&RelOp::Delete {
+                table: &self.name,
+                positions: &positions,
+            }))?;
+        }
+        let rows = Arc::make_mut(&mut *rows);
+        let mut next = positions.iter().peekable();
+        let mut i = 0usize;
+        rows.retain(|_| {
+            let drop_it = next.peek().is_some_and(|&&p| p == i);
+            if drop_it {
+                next.next();
+            }
+            i += 1;
+            !drop_it
+        });
+        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+        self.mark_indexes_dirty();
+        Ok(positions.len())
     }
 
-    /// Update rows in place: `f` receives each row mutably and returns true
-    /// if it modified the row. Updated rows are re-validated. If `f` errors
-    /// mid-iteration, rows it already rewrote stay rewritten (per-statement
-    /// atomicity is the executor's job) — the generation bump and the
-    /// index-dirty mark still happen, so no index serves the stale keys.
+    /// Update rows: `f` receives a copy of each row mutably and returns
+    /// true if it modified the row; modified copies replace their heap
+    /// rows. If `f` errors mid-iteration, rows it already rewrote stay
+    /// rewritten (per-statement atomicity is the executor's job) — the
+    /// generation bump and the index-dirty mark still happen, so no index
+    /// serves the stale keys. The redo record carries the materialised
+    /// `(position, new row)` pairs, so replay is deterministic.
     pub fn update_where(
         &self,
         mut f: impl FnMut(&mut Row) -> Result<bool>,
     ) -> Result<usize> {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut rows = self.rows.write();
-        let rows = Arc::make_mut(&mut *rows);
-        let mut updated = 0;
+        let mut changes: Vec<(usize, Row)> = Vec::new();
         let mut failed: Option<Error> = None;
-        for row in rows.iter_mut() {
-            match f(row) {
-                Ok(true) => updated += 1,
+        for (pos, row) in rows.iter().enumerate() {
+            let mut candidate = row.clone();
+            match f(&mut candidate) {
+                Ok(true) => changes.push((pos, candidate)),
                 Ok(false) => {}
                 Err(e) => {
                     failed = Some(e);
@@ -269,10 +420,20 @@ impl Table {
                 }
             }
         }
-        // A failed closure may have mutated its row in place before
-        // erroring, so an error conservatively invalidates too — better a
-        // spurious index rebuild than a lookup serving stale keys.
-        if updated > 0 || failed.is_some() {
+        let updated = changes.len();
+        if !changes.is_empty() {
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::Update {
+                    table: &self.name,
+                    changes: &changes,
+                }))?;
+            }
+        }
+        if !changes.is_empty() || failed.is_some() {
+            let rows = Arc::make_mut(&mut *rows);
+            for (pos, row) in changes {
+                rows[pos] = row;
+            }
             self.generation.fetch_add(1, AtomicOrdering::AcqRel);
             self.mark_indexes_dirty();
         }
@@ -284,13 +445,19 @@ impl Table {
 
     /// Remove all rows, keeping the schema. Pinned snapshots keep the old
     /// rows; the table publishes a fresh empty heap.
-    pub fn truncate(&self) {
+    pub fn truncate(&self) -> Result<()> {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut rows = self.rows.write();
+        if let Some(s) = &sink {
+            s.log(&encode_rel_op(&RelOp::Truncate { table: &self.name }))?;
+        }
         // Don't clear through make_mut: dropping the reference entirely is
         // cheaper when a reader has the old heap pinned.
         *rows = Arc::new(Vec::new());
         self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         self.mark_indexes_dirty();
+        Ok(())
     }
 
     fn mark_indexes_dirty(&self) {
@@ -305,6 +472,8 @@ impl Table {
     /// unknown or an index of that name already exists on this table.
     pub fn create_index(&self, index_name: &str, column_name: &str) -> Result<()> {
         let column = self.schema.resolve(None, column_name)?;
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let rows = self.rows.read();
         let mut indexes = self.indexes.write();
         if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
@@ -313,16 +482,32 @@ impl Table {
                 self.name
             )));
         }
+        if let Some(s) = &sink {
+            s.log(&encode_rel_op(&RelOp::CreateIndex {
+                table: &self.name,
+                index: index_name,
+                column: column_name,
+            }))?;
+        }
         indexes.push(Arc::new(Index::build(index_name.to_string(), column, &rows)));
         Ok(())
     }
 
     /// Drop an index by name; returns whether one was removed.
-    pub fn drop_index(&self, index_name: &str) -> bool {
+    pub fn drop_index(&self, index_name: &str) -> Result<bool> {
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
         let mut indexes = self.indexes.write();
-        let before = indexes.len();
-        indexes.retain(|i| !i.name.eq_ignore_ascii_case(index_name));
-        before != indexes.len()
+        let Some(pos) =
+            indexes.iter().position(|i| i.name.eq_ignore_ascii_case(index_name))
+        else {
+            return Ok(false);
+        };
+        if let Some(s) = &sink {
+            s.log(&encode_rel_op(&RelOp::DropIndex { index: index_name }))?;
+        }
+        indexes.remove(pos);
+        Ok(true)
     }
 
     /// `(index name, indexed column name)` pairs, in creation order.
@@ -432,6 +617,9 @@ pub struct Catalog {
     /// Cached query plans are valid only for the version they were
     /// planned against.
     version: Arc<std::sync::atomic::AtomicU64>,
+    /// Redo sink propagated to every (non-ephemeral) table; shared across
+    /// catalog clones.
+    sink: Arc<RwLock<Option<Arc<dyn RedoSink>>>>,
 }
 
 impl Catalog {
@@ -452,13 +640,57 @@ impl Catalog {
         self.version.fetch_add(1, AtomicOrdering::AcqRel);
     }
 
+    fn sink(&self) -> Option<Arc<dyn RedoSink>> {
+        self.sink.read().clone()
+    }
+
+    /// Attach a redo sink: all future mutations (and mutations of existing
+    /// non-ephemeral tables) log through it. Called once, right after
+    /// recovery has replayed the log into this catalog.
+    pub fn attach_sink(&self, sink: Arc<dyn RedoSink>) {
+        *self.sink.write() = Some(Arc::clone(&sink));
+        for table in self.tables.read().values() {
+            if !table.is_ephemeral() {
+                table.set_sink(Some(Arc::clone(&sink)));
+            }
+        }
+    }
+
     /// Create a table; errors if the name is taken.
     pub fn create_table(&self, name: &str, columns: Vec<Column>) -> Result<Arc<Table>> {
-        let mut tables = self.tables.write();
-        let key = Self::key(name);
-        if tables.contains_key(&key) {
-            return Err(Error::catalog(format!("table `{name}` already exists")));
-        }
+        self.create_table_impl(name, columns, false, false)
+    }
+
+    /// Create, replacing any existing table of the same name.
+    pub fn create_or_replace_table(
+        &self,
+        name: &str,
+        columns: Vec<Column>,
+    ) -> Result<Arc<Table>> {
+        self.create_table_impl(name, columns, true, false)
+    }
+
+    /// Create (replacing) an **ephemeral** table: a materialised
+    /// intermediate that is excluded from the write-ahead log and from
+    /// checkpoint snapshots, like [`Catalog::register`]ed foreign tables.
+    /// Query-cache spools (REPLACEVARIABLE pairs tables, tempdb
+    /// materialisations) are derived state — rebuildable from the durable
+    /// stores — so persisting them would only bloat the log.
+    pub fn create_ephemeral_table(
+        &self,
+        name: &str,
+        columns: Vec<Column>,
+    ) -> Result<Arc<Table>> {
+        self.create_table_impl(name, columns, true, true)
+    }
+
+    fn create_table_impl(
+        &self,
+        name: &str,
+        columns: Vec<Column>,
+        replace: bool,
+        ephemeral: bool,
+    ) -> Result<Arc<Table>> {
         let mut seen: Vec<&str> = Vec::new();
         for c in &columns {
             if seen.iter().any(|s| s.eq_ignore_ascii_case(&c.name)) {
@@ -469,29 +701,61 @@ impl Catalog {
             }
             seen.push(&c.name);
         }
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
+        let mut tables = self.tables.write();
+        let key = Self::key(name);
+        if !replace && tables.contains_key(&key) {
+            return Err(Error::catalog(format!("table `{name}` already exists")));
+        }
+        if let Some(s) = &sink {
+            if !ephemeral {
+                s.log(&encode_rel_op(&RelOp::CreateTable {
+                    name,
+                    columns: &columns,
+                    replace,
+                }))?;
+            } else if let Some(prev) = tables.get(&key) {
+                // An ephemeral table may replace a durable one (explicit
+                // DDL reused the name); the displacement itself must be
+                // durable even though the new table is not.
+                if !prev.is_ephemeral() {
+                    s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+                }
+            }
+        }
+        if replace {
+            tables.remove(&key);
+        }
         let table = Arc::new(Table::new(name, Schema::new(columns)));
+        if ephemeral {
+            table.set_ephemeral(true);
+        } else {
+            table.set_sink(sink.clone());
+        }
         tables.insert(key, Arc::clone(&table));
         drop(tables);
         self.bump_version();
         Ok(table)
     }
 
-    /// Create, replacing any existing table of the same name.
-    pub fn create_or_replace_table(
-        &self,
-        name: &str,
-        columns: Vec<Column>,
-    ) -> Result<Arc<Table>> {
-        self.tables.write().remove(&Self::key(name));
-        self.create_table(name, columns)
-    }
-
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        self.tables
-            .write()
-            .remove(&Self::key(name))
-            .map(|_| self.bump_version())
-            .ok_or_else(|| Error::catalog(format!("table `{name}` does not exist")))
+        let sink = self.sink();
+        let _barrier = sink_guard(&sink);
+        let mut tables = self.tables.write();
+        let key = Self::key(name);
+        let Some(table) = tables.get(&key) else {
+            return Err(Error::catalog(format!("table `{name}` does not exist")));
+        };
+        if let Some(s) = &sink {
+            if !table.is_ephemeral() {
+                s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+            }
+        }
+        tables.remove(&key);
+        drop(tables);
+        self.bump_version();
+        Ok(())
     }
 
     pub fn get_table(&self, name: &str) -> Result<Arc<Table>> {
@@ -509,6 +773,11 @@ impl Catalog {
     /// Sorted list of table names (lower-cased keys).
     pub fn table_names(&self) -> Vec<String> {
         self.tables.read().keys().cloned().collect()
+    }
+
+    /// All live tables (used by checkpoint pinning).
+    pub(crate) fn tables(&self) -> Vec<Arc<Table>> {
+        self.tables.read().values().cloned().collect()
     }
 
     /// Create a named index on `table_name(column_name)`. Index names are
@@ -530,9 +799,22 @@ impl Catalog {
     }
 
     /// Drop an index by name, wherever it lives.
+    ///
+    /// The owning table is resolved *before* the drop so the barrier lock
+    /// (taken inside [`Table::drop_index`]) is never requested while the
+    /// catalog map is locked — that order would deadlock against a
+    /// checkpoint pinning the catalog.
     pub fn drop_index(&self, index_name: &str) -> Result<()> {
-        for table in self.tables.read().values() {
-            if table.drop_index(index_name) {
+        let owner = self
+            .tables
+            .read()
+            .values()
+            .find(|t| {
+                t.index_names().iter().any(|(n, _)| n.eq_ignore_ascii_case(index_name))
+            })
+            .cloned();
+        if let Some(table) = owner {
+            if table.drop_index(index_name)? {
                 self.bump_version();
                 return Ok(());
             }
@@ -549,8 +831,12 @@ impl Catalog {
     }
 
     /// Register an externally constructed table (used by the federation
-    /// layer to expose foreign tables).
+    /// layer to expose foreign tables). Registered tables are marked
+    /// **ephemeral**: their contents mirror an external source, so they are
+    /// excluded from the write-ahead log and from snapshots — recovery
+    /// re-registers them from the source instead.
     pub fn register(&self, table: Arc<Table>) -> Result<()> {
+        table.set_ephemeral(true);
         let mut tables = self.tables.write();
         let key = Self::key(&table.name);
         if tables.contains_key(&key) {
@@ -663,7 +949,7 @@ mod tests {
         let t = cat.create_table("t", landfill_cols()).unwrap();
         t.insert_many(vec![row!["a", "x", 1.0], row!["b", "x", 2.0], row!["c", "y", 3.0]])
             .unwrap();
-        let n = t.delete_where(|r| r[1] == Value::from("x"));
+        let n = t.delete_where(|r| r[1] == Value::from("x")).unwrap();
         assert_eq!(n, 2);
         assert_eq!(t.row_count(), 1);
     }
@@ -683,6 +969,15 @@ mod tests {
         let cat2 = cat.clone();
         cat.create_table("t", landfill_cols()).unwrap();
         assert!(cat2.has_table("t"));
+    }
+
+    #[test]
+    fn registered_table_is_ephemeral() {
+        let cat = Catalog::new();
+        let t = Arc::new(Table::new("foreign", Schema::new(landfill_cols())));
+        cat.register(Arc::clone(&t)).unwrap();
+        assert!(t.is_ephemeral());
+        assert!(cat.get_table("foreign").unwrap().is_ephemeral());
     }
 
     // ---- snapshots ---------------------------------------------------------
@@ -708,8 +1003,8 @@ mod tests {
         .unwrap();
         assert_eq!(s2.rows()[0][2], Value::Float(1.0), "frozen across UPDATE");
 
-        t.delete_where(|r| r[0] == Value::from("a"));
-        t.truncate();
+        t.delete_where(|r| r[0] == Value::from("a")).unwrap();
+        t.truncate().unwrap();
         assert_eq!(t.row_count(), 0);
         assert_eq!(s1.len(), 2, "frozen across DELETE + TRUNCATE");
         assert_eq!(s2.len(), 3);
@@ -823,7 +1118,7 @@ mod tests {
     fn index_rebuilds_after_delete_and_update() {
         let (_cat, t) = indexed_table();
         let col = t.schema.resolve(None, "city").unwrap();
-        t.delete_where(|r| r[0] == Value::from("a"));
+        t.delete_where(|r| r[0] == Value::from("a")).unwrap();
         let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::from("c"));
@@ -845,7 +1140,7 @@ mod tests {
     fn truncate_dirties_index() {
         let (_cat, t) = indexed_table();
         let col = t.schema.resolve(None, "city").unwrap();
-        t.truncate();
+        t.truncate().unwrap();
         let rows = t.index_lookup_eq(col, &[Value::from("Torino")]).unwrap();
         assert!(rows.is_empty());
     }

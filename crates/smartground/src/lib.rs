@@ -12,4 +12,4 @@ pub mod workload;
 
 pub use datagen::{generate, landfill_name, populate, SmartGroundConfig};
 pub use ontogen::{danger_level, director_ontology, random_kb};
-pub use workload::{paper_examples, standard_engine, WorkloadQuery, DANGER_QUERY_SPARQL};
+pub use workload::{paper_examples, standard_engine, standard_engine_at, standard_engine_at_with, WorkloadQuery, DANGER_QUERY_SPARQL};

@@ -5,7 +5,7 @@ use crosse_core::sqm::SesqlEngine;
 use crosse_rdf::provenance::KnowledgeBase;
 use crosse_relational::Database;
 
-use crate::datagen::{generate, SmartGroundConfig};
+use crate::datagen::{generate, populate, SmartGroundConfig};
 use crate::ontogen::director_ontology;
 
 /// One workload query: a name, the SESQL text, and (when meaningful) a
@@ -96,6 +96,41 @@ pub fn standard_engine(config: &SmartGroundConfig, user: &str) -> crosse_core::R
     kb.register_user(user);
     director_ontology(&kb, user)?;
     let engine = SesqlEngine::new(db, kb);
+    engine.stored_queries().register("dangerQuery", DANGER_QUERY_SPARQL)?;
+    Ok(engine)
+}
+
+/// [`standard_engine`] persisted at `dir`: open (or create) a durable
+/// engine and seed the databank + ontology only on first contact — an
+/// already-populated directory recovers as-is, since re-seeding would
+/// duplicate rows and statements. Stored queries live in an in-process
+/// registry (not the stores), so they are re-registered on every open.
+/// The CLI's `--data-dir` and the crash-recovery harness both build their
+/// engines through this.
+pub fn standard_engine_at(
+    config: &SmartGroundConfig,
+    user: &str,
+    dir: impl AsRef<std::path::Path>,
+) -> crosse_core::Result<SesqlEngine> {
+    standard_engine_at_with(config, user, dir, crosse_core::WalOptions::default())
+}
+
+/// [`standard_engine_at`] with explicit WAL options (sync policy).
+pub fn standard_engine_at_with(
+    config: &SmartGroundConfig,
+    user: &str,
+    dir: impl AsRef<std::path::Path>,
+    opts: crosse_core::WalOptions,
+) -> crosse_core::Result<SesqlEngine> {
+    let engine = SesqlEngine::open_with(dir, opts)?;
+    if !engine.database().catalog().has_table("landfill") {
+        populate(engine.database(), config)?;
+    }
+    let kb = engine.knowledge_base();
+    if !kb.is_registered(user) {
+        kb.register_user(user);
+        director_ontology(kb, user)?;
+    }
     engine.stored_queries().register("dangerQuery", DANGER_QUERY_SPARQL)?;
     Ok(engine)
 }

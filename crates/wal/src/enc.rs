@@ -1,0 +1,280 @@
+//! Hand-rolled binary encoding: little-endian fixed-width integers,
+//! length-prefixed strings, and the CRC32 (IEEE 802.3) checksum. The
+//! workspace has no serde; every store serialises its records and
+//! snapshot sections through these two small helpers so the byte-level
+//! conventions stay identical across crates.
+
+use crate::error::{Result, WalError};
+
+/// CRC32 lookup tables (IEEE polynomial, reflected: 0xEDB88320), built at
+/// compile time. Eight tables for the slicing-by-8 kernel: table 0 is the
+/// classic per-byte table, table k folds a byte that sits k positions
+/// ahead in the stream.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// CRC32 (IEEE) of a byte string. Slicing-by-8: records are kilobytes
+/// (a bulk INSERT is one record), so the checksum is on the hot write
+/// path and the per-byte kernel would tax every append.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Raw bytes with no length prefix (framing the caller controls).
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor-style reader over an encoded byte string. Every accessor is
+/// bounds-checked and returns a typed error instead of panicking — the
+/// input may be a half-written or corrupted record.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(WalError::BadRecord(format!(
+                "unexpected end of payload (need {n} bytes at offset {}, have {})",
+                self.pos,
+                self.buf.len().saturating_sub(self.pos)
+            ))),
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WalError::BadRecord(format!("invalid utf-8 string: {e}")))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Remaining unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the whole payload was consumed — trailing garbage on a
+    /// record means the encoder and decoder disagree about the schema.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WalError::BadRecord(format!(
+                "{} unconsumed trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.i64(-42);
+        e.f64(3.25);
+        e.str("héllo");
+        e.bytes(&[1, 2, 3]);
+        let buf = e.into_vec();
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap(), 3.25);
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_is_typed_error_not_panic() {
+        let mut e = Encoder::new();
+        e.str("hello");
+        let buf = e.into_vec();
+        let mut d = Decoder::new(&buf[..3]); // inside the length prefix
+        assert!(d.str().is_err());
+        let mut d = Decoder::new(&buf[..6]); // length ok, body short
+        assert!(d.str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        e.u8(2);
+        let buf = e.into_vec();
+        let mut d = Decoder::new(&buf);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+        d.u8().unwrap();
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed_error() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let buf = e.into_vec();
+        let mut d = Decoder::new(&buf);
+        assert!(d.str().is_err());
+    }
+}

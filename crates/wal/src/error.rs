@@ -1,0 +1,84 @@
+//! Typed durability errors.
+//!
+//! I/O failures are carried as rendered messages (not `std::io::Error`)
+//! so the enum stays `Clone + PartialEq + Eq` — the engine error enums it
+//! threads through derive those.
+
+use std::fmt;
+
+/// Errors raised by the write-ahead log, checkpointer, or recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Underlying filesystem error (open/write/fsync/rename), with the
+    /// path context baked into the message.
+    Io(String),
+    /// A record in the *middle* of a segment failed its CRC or framing
+    /// check — silent data corruption, not a torn tail. Recovery refuses
+    /// to replay past it.
+    Corrupt { segment: String, offset: u64, reason: String },
+    /// The snapshot file exists but is unreadable (bad magic, bad CRC,
+    /// truncated).
+    CorruptSnapshot(String),
+    /// The log claims a snapshot base the directory does not have: records
+    /// start after LSN 0 but no snapshot file exists.
+    MissingSnapshot { base_lsn: u64 },
+    /// The surviving snapshot + log leave a hole in the LSN sequence
+    /// (e.g. a newer log paired with an older snapshot than it was
+    /// truncated against).
+    LsnGap { expected: u64, found: u64 },
+    /// A record payload failed to decode during replay.
+    BadRecord(String),
+}
+
+impl WalError {
+    pub fn io(context: impl fmt::Display, e: std::io::Error) -> Self {
+        WalError::Io(format!("{context}: {e}"))
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(m) => write!(f, "wal i/o error: {m}"),
+            WalError::Corrupt { segment, offset, reason } => write!(
+                f,
+                "corrupt wal record in {segment} at byte {offset}: {reason}"
+            ),
+            WalError::CorruptSnapshot(m) => write!(f, "corrupt snapshot: {m}"),
+            WalError::MissingSnapshot { base_lsn } => write!(
+                f,
+                "log starts at LSN {base_lsn} but no snapshot file exists"
+            ),
+            WalError::LsnGap { expected, found } => write!(
+                f,
+                "lsn gap in recovery: expected {expected}, found {found}"
+            ),
+            WalError::BadRecord(m) => write!(f, "bad wal record payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+pub type Result<T> = std::result::Result<T, WalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WalError::Io("x".into()).to_string().contains("i/o"));
+        assert!(WalError::Corrupt {
+            segment: "wal.log".into(),
+            offset: 7,
+            reason: "crc".into()
+        }
+        .to_string()
+        .contains("byte 7"));
+        assert!(WalError::CorruptSnapshot("m".into()).to_string().contains("snapshot"));
+        assert!(WalError::MissingSnapshot { base_lsn: 3 }.to_string().contains("LSN 3"));
+        assert!(WalError::LsnGap { expected: 4, found: 9 }.to_string().contains("gap"));
+        assert!(WalError::BadRecord("p".into()).to_string().contains("payload"));
+    }
+}

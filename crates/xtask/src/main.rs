@@ -22,6 +22,11 @@
 //!   iteration counts (`CROSSE_STRESS_ITERS=10`) under worker-thread
 //!   budgets {1, 4, 8} (`CROSSE_EXEC_THREADS`): the snapshot-isolation
 //!   and morsel-parallelism invariants must hold at every budget.
+//! * `crash` — fault-injection at the process level: spawn the CLI's
+//!   write-heavy crash workload against a scratch `--data-dir`, SIGKILL
+//!   it mid-batch, reopen and verify that every acknowledged batch
+//!   survived intact in both substrates (twice, so the second kill lands
+//!   on already-recovered state).
 
 use std::process::Command;
 
@@ -67,7 +72,7 @@ fn bench_smoke() {
 
 fn bench_baseline() {
     run(
-        "regenerate BENCH_e3.json (e3 + e11 concurrency + e12 enrichment records)",
+        "regenerate BENCH_e3.json (e3 + e11 concurrency + e12 enrichment + e13 durability)",
         cargo().args([
             "run",
             "--release",
@@ -79,6 +84,7 @@ fn bench_baseline() {
             "e3",
             "e11",
             "e12",
+            "e13",
             "--json",
             "BENCH_e3.json",
         ]),
@@ -133,6 +139,29 @@ fn parse_e12_medians(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extract the e13 `(mode, batches_per_s)` pairs from a BENCH_e3.json
+/// (flat generated schema, same hand-rolled parsing as e3/e12).
+fn parse_e13_qps(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"mode\": \"") else {
+            continue;
+        };
+        let Some((mode, rest)) = rest.split_once('"') else { continue };
+        let Some(rest) = rest.split_once("\"batches_per_s\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((mode.to_string(), v));
+        }
+    }
+    out
+}
+
 fn bench_diff(args: &[String]) {
     let threshold: f64 = args
         .iter()
@@ -164,7 +193,7 @@ fn bench_diff(args: &[String]) {
 
     let fresh_path = "target/bench-diff-e3.json";
     run(
-        "re-run e3 + e12 experiments",
+        "re-run e3 + e12 + e13 experiments",
         cargo().args([
             "run",
             "--release",
@@ -175,6 +204,7 @@ fn bench_diff(args: &[String]) {
             "--",
             "e3",
             "e12",
+            "e13",
             "--json",
             fresh_path,
         ]),
@@ -215,6 +245,30 @@ fn bench_diff(args: &[String]) {
     for (name, _) in &fresh {
         if !baseline.iter().any(|(n, _)| n == name) {
             println!("{name:<28} (new experiment, no committed baseline)");
+        }
+    }
+    // e13 durability guard: group-commit (`every_n:256`) must stay within
+    // 10% write throughput of the WAL-off baseline, measured fresh. A
+    // slack of half the time threshold absorbs fsync jitter.
+    let fresh_e13 = parse_e13_qps(&fresh_json);
+    let off = fresh_e13.iter().find(|(m, _)| m == "wal-off");
+    let group = fresh_e13.iter().find(|(m, _)| m == "every_n:256");
+    if let (Some((_, off)), Some((_, group))) = (off, group) {
+        let cost = 1.0 - group / off;
+        let budget = 0.10 + threshold / 2.0;
+        let marker = if cost > budget { "  << REGRESSION" } else { "" };
+        println!(
+            "\ne13 durability: wal-off {off:.0} batches/s, every_n:256 {group:.0} batches/s \
+             — cost {:.1}% (budget {:.0}%){marker}",
+            cost * 100.0,
+            budget * 100.0,
+        );
+        if cost > budget {
+            regressions.push(format!(
+                "e13 durability: every_n:256 costs {:.1}% throughput (> {:.0}%)",
+                cost * 100.0,
+                budget * 100.0
+            ));
         }
     }
     if regressions.is_empty() {
@@ -281,6 +335,71 @@ fn stress() {
     println!("xtask: stress OK (worker threads 1/4/8)");
 }
 
+/// Crash-recovery harness: spawn the CLI in `--crash-workload` mode
+/// against a scratch data directory, read acknowledged batch numbers off
+/// its stdout, SIGKILL it mid-batch, then reopen the directory with
+/// `--verify-crash <last ack>` — no acknowledged batch may be lost and no
+/// partial batch may surface. Two rounds: the second kills a process that
+/// itself recovered from the first crash (snapshot + tail + log
+/// consolidation all get exercised).
+fn crash() {
+    use std::io::BufRead;
+    run(
+        "build crosse-cli (release)",
+        cargo().args(["build", "--release", "--bin", "crosse-cli"]),
+    );
+    let bin = "target/release/crosse-cli";
+    let dir = std::env::temp_dir().join(format!("crosse-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().to_string();
+    for round in 1..=2 {
+        let mut child = Command::new(bin)
+            .args(["--landfills", "5", "--data-dir", &dir_arg, "--crash-workload"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("xtask: failed to spawn the crash workload: {e}");
+                std::process::exit(1);
+            });
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut last_ack: Option<u64> = None;
+        let mut acked = 0u32;
+        for line in std::io::BufReader::new(stdout).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(n) = line.strip_prefix("ack ").and_then(|s| s.parse::<u64>().ok())
+            {
+                last_ack = Some(n);
+                acked += 1;
+                // Enough batches this round to pass the workload's
+                // mid-run checkpoint; the child keeps writing while we
+                // stop reading, so the kill lands mid-batch.
+                if acked >= 8 {
+                    break;
+                }
+            }
+        }
+        let _ = child.kill(); // SIGKILL — no destructors, no flush
+        let _ = child.wait();
+        let last_ack = last_ack.unwrap_or_else(|| {
+            eprintln!("xtask: crash workload produced no acks (round {round})");
+            std::process::exit(1);
+        });
+        run(
+            &format!("verify recovered state (round {round}, last ack {last_ack})"),
+            Command::new(bin).args([
+                "--landfills",
+                "5",
+                "--data-dir",
+                &dir_arg,
+                "--verify-crash",
+                &last_ack.to_string(),
+            ]),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("xtask: crash OK (2 kill -9 rounds, no acked batch lost, no torn batch)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let task = args.first().cloned().unwrap_or_default();
@@ -291,6 +410,7 @@ fn main() {
         "explain-snapshots" => explain_snapshots(),
         "clippy" => clippy(),
         "stress" => stress(),
+        "crash" => crash(),
         other => {
             eprintln!(
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
@@ -300,7 +420,9 @@ fn main() {
                                  (--threshold 0.25 / CROSSE_BENCH_THRESHOLD; non-zero exit on regression)\n\
                  explain-snapshots  regenerate tests/snapshots/*.snap and diff against the committed ones\n\
                  clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
-                 stress          concurrency tests (release), 10x iterations, worker threads 1/4/8"
+                 stress          concurrency tests (release), 10x iterations, worker threads 1/4/8\n\
+                 crash           kill -9 a write-heavy child mid-batch, reopen, verify no acked\n\
+                                 write is lost and no partial batch surfaces (2 rounds)"
             );
             std::process::exit(2);
         }

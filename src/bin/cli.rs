@@ -15,11 +15,13 @@ use std::io::{self, BufRead, Write};
 use std::time::{Duration, Instant};
 
 use crosse::core::platform::CrossePlatform;
-use crosse::core::sqm::{EnrichedResult, PreparedSesql};
+use crosse::core::sqm::{EnrichedResult, PreparedSesql, SesqlEngine};
+use crosse::core::{SyncPolicy, WalOptions};
 use crosse::rdf::sparql::eval::{query_any, QueryOutcome};
+use crosse::rdf::store::Triple;
 use crosse::rdf::term::Term;
-use crosse::relational::{Params, Value};
-use crosse::smartground::{standard_engine, SmartGroundConfig};
+use crosse::relational::{ExecOutcome, Params, Value};
+use crosse::smartground::{standard_engine, standard_engine_at_with, SmartGroundConfig};
 
 struct Shell {
     platform: CrossePlatform,
@@ -48,6 +50,10 @@ fn main() {
     let mut timing = false;
     let mut explain = false;
     let mut threads = 1usize;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut wal_sync: Option<String> = None;
+    let mut crash_workload = false;
+    let mut verify_crash: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -65,6 +71,25 @@ fn main() {
             }
             "--timing" => timing = true,
             "--explain" => explain = true,
+            "--data-dir" => {
+                data_dir = Some(
+                    args.next().unwrap_or_else(|| die("--data-dir needs a path")).into(),
+                );
+            }
+            "--wal-sync" => {
+                wal_sync =
+                    Some(args.next().unwrap_or_else(|| die("--wal-sync needs a policy")));
+            }
+            // Internal hooks for the crash-recovery harness (`cargo xtask
+            // crash`); deliberately undocumented in --help.
+            "--crash-workload" => crash_workload = true,
+            "--verify-crash" => {
+                verify_crash = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--verify-crash needs a batch number")),
+                );
+            }
             "--threads" => {
                 threads = args
                     .next()
@@ -75,6 +100,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "crosse-cli [--landfills N] [--seed N] [--timing] [--explain] [--threads N]\n\
+                     \x20          [--data-dir DIR] [--wal-sync POLICY]\n\
                      \n\
                      --landfills N  databank scale: number of generated landfills (default 50)\n\
                      --seed N       databank RNG seed (default 42)\n\
@@ -84,7 +110,13 @@ fn main() {
                      --threads N    worker threads for intra-query parallelism (default 1).\n\
                      \x20              Scans, filters, projections and hash-join probes\n\
                      \x20              partition table snapshots across N threads; SPARQL\n\
-                     \x20              probe batches use the same budget."
+                     \x20              probe batches use the same budget.\n\
+                     --data-dir DIR persist the databank and knowledge base at DIR through\n\
+                     \x20              a write-ahead log: first run seeds and logs, later\n\
+                     \x20              runs recover (snapshot + log replay). Adds the\n\
+                     \x20              \\checkpoint and \\wal-stats commands.\n\
+                     --wal-sync P   WAL fsync policy: always, every_n:<N> (default\n\
+                     \x20              every_n:256) or off. Requires --data-dir."
                 );
                 return;
             }
@@ -95,10 +127,44 @@ fn main() {
     let config = SmartGroundConfig::default()
         .with_landfills(landfills)
         .with_seed(seed);
-    let engine = standard_engine(&config, "director").unwrap_or_else(|e| {
-        die(&format!("failed to build the databank: {e}"));
-    });
+    let engine = match &data_dir {
+        Some(dir) => {
+            let opts = match &wal_sync {
+                Some(p) => WalOptions {
+                    sync: SyncPolicy::parse(p).unwrap_or_else(|| {
+                        die("--wal-sync needs always, every_n:<N> or off")
+                    }),
+                },
+                None => WalOptions::default(),
+            };
+            let engine =
+                standard_engine_at_with(&config, "director", dir, opts).unwrap_or_else(
+                    |e| die(&format!("failed to open data dir {}: {e}", dir.display())),
+                );
+            for w in engine.recovery_warnings() {
+                eprintln!("crosse-cli: recovery: {w}");
+            }
+            engine
+        }
+        None => {
+            if wal_sync.is_some() {
+                die("--wal-sync requires --data-dir");
+            }
+            standard_engine(&config, "director").unwrap_or_else(|e| {
+                die(&format!("failed to build the databank: {e}"));
+            })
+        }
+    };
     engine.set_exec_threads(threads);
+    if crash_workload || verify_crash.is_some() {
+        if data_dir.is_none() {
+            die("--crash-workload / --verify-crash require --data-dir");
+        }
+        if crash_workload {
+            run_crash_workload(&engine);
+        }
+        verify_crash_state(&engine, verify_crash.unwrap());
+    }
     let platform = CrossePlatform::from_engine(engine);
     let mut shell = Shell {
         platform,
@@ -164,6 +230,119 @@ fn die(msg: &str) -> ! {
     std::process::exit(1)
 }
 
+/// Rows per crash-workload batch. Each batch is ONE multi-row INSERT —
+/// one WAL record — so recovery either replays the whole batch or none
+/// of it; the verifier checks exactly that.
+const CRASH_ROWS_PER_BATCH: i64 = 32;
+
+/// `--crash-workload`: write batches forever (until killed). Per batch:
+/// one multi-row INSERT into `crash_log` and one provenance statement,
+/// then an `ack <batch>` line on stdout. The harness (`cargo xtask
+/// crash`) SIGKILLs this process mid-batch and reopens the directory
+/// with `--verify-crash <last acked batch>`.
+fn run_crash_workload(engine: &SesqlEngine) -> ! {
+    let db = engine.database();
+    let kb = engine.knowledge_base();
+    if !db.catalog().has_table("crash_log") {
+        db.execute("CREATE TABLE crash_log (batch INT, item INT)")
+            .unwrap_or_else(|e| die(&format!("crash-workload setup: {e}")));
+    }
+    // Resume after the highest batch already recovered (re-runs append).
+    let start = match db.query("SELECT MAX(batch) AS m FROM crash_log") {
+        Ok(rs) => match rs.rows.first().and_then(|r| r.first()) {
+            Some(Value::Int(m)) => m + 1,
+            _ => 0,
+        },
+        Err(e) => die(&format!("crash-workload resume: {e}")),
+    };
+    use std::io::Write as _;
+    let mut out = io::stdout();
+    for b in start.. {
+        let values: Vec<String> = (0..CRASH_ROWS_PER_BATCH)
+            .map(|i| format!("({b}, {i})"))
+            .collect();
+        db.execute(&format!("INSERT INTO crash_log VALUES {}", values.join(", ")))
+            .unwrap_or_else(|e| die(&format!("crash-workload insert: {e}")));
+        kb.assert_statement(
+            "director",
+            &Triple::new(
+                Term::iri(format!("crash:batch{b}")),
+                Term::iri("crash:completed"),
+                Term::lit(b.to_string()),
+            ),
+        )
+        .unwrap_or_else(|e| die(&format!("crash-workload assert: {e}")));
+        if b == start + 3 {
+            // One mid-workload checkpoint so the kill also exercises
+            // snapshot + tail recovery, not just log replay.
+            engine
+                .checkpoint()
+                .and_then(|_| engine.checkpoint_join())
+                .unwrap_or_else(|e| die(&format!("crash-workload checkpoint: {e}")));
+        }
+        println!("ack {b}");
+        let _ = out.flush();
+    }
+    unreachable!("crash workload runs until killed")
+}
+
+/// `--verify-crash N`: after recovery, check the crash-workload
+/// invariants — every batch present in `crash_log` is complete (batch
+/// atomicity), every acked batch `0..=N` is present in both substrates
+/// (no lost acknowledged writes), and the store took no parked storage
+/// error. Exits 0 on success, 2 on a violated invariant.
+fn verify_crash_state(engine: &SesqlEngine, acked: u64) -> ! {
+    let mut failures: Vec<String> = Vec::new();
+    if let Err(e) = engine.storage_check() {
+        failures.push(format!("storage check: {e}"));
+    }
+    let per_batch = engine
+        .database()
+        .query("SELECT batch, COUNT(*) AS n FROM crash_log GROUP BY batch")
+        .unwrap_or_else(|e| die(&format!("verify-crash query: {e}")));
+    let mut present = std::collections::HashSet::new();
+    for row in &per_batch.rows {
+        let (Value::Int(b), Value::Int(n)) = (&row[0], &row[1]) else {
+            failures.push(format!("unexpected row shape: {row:?}"));
+            continue;
+        };
+        present.insert(*b);
+        if *n != CRASH_ROWS_PER_BATCH {
+            failures.push(format!(
+                "batch {b} is partial: {n} of {CRASH_ROWS_PER_BATCH} rows (torn batch \
+                 replayed)"
+            ));
+        }
+    }
+    let kb = engine.knowledge_base();
+    for b in 0..=acked as i64 {
+        if !present.contains(&b) {
+            failures.push(format!("acked batch {b} lost from crash_log"));
+        }
+        let sparql =
+            format!("SELECT ?o WHERE {{ <crash:batch{b}> <crash:completed> ?o }}");
+        match kb.query_as("director", &sparql) {
+            Ok(sols) if sols.is_empty() => {
+                failures.push(format!("acked batch {b} lost from the knowledge base"))
+            }
+            Ok(_) => {}
+            Err(e) => failures.push(format!("acked batch {b} KB query failed: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "crash-verify ok: {} acked batches intact, {} batches total",
+            acked + 1,
+            present.len()
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("crash-verify FAILED: {f}");
+    }
+    std::process::exit(2)
+}
+
 fn is_tty() -> bool {
     use std::io::IsTerminal;
     io::stdin().is_terminal()
@@ -175,6 +354,23 @@ impl Shell {
     /// lifecycle so the two phases are reported separately (and repeated
     /// statements hit the prepared cache).
     fn run_statement(&mut self, stmt: &str) {
+        // DDL/DML go straight to the relational engine: they have no
+        // enrichment pipeline, and with `--data-dir` they are how a user
+        // mutates durable state from the shell.
+        let head = stmt
+            .split_whitespace()
+            .next()
+            .map(|w| w.to_ascii_uppercase())
+            .unwrap_or_default();
+        if matches!(head.as_str(), "CREATE" | "INSERT" | "UPDATE" | "DELETE" | "DROP") {
+            match self.platform.engine().database().execute(stmt) {
+                Ok(ExecOutcome::Rows(rows)) => print!("{}", rows.to_ascii_table()),
+                Ok(ExecOutcome::Affected(n)) => println!("({n} rows affected)"),
+                Ok(ExecOutcome::Done) => println!("ok"),
+                Err(e) => println!("error: {e}"),
+            }
+            return;
+        }
         if self.explain {
             self.print_explain(stmt);
         }
@@ -420,6 +616,32 @@ impl Shell {
                 };
                 self.print_explain(&stmt);
             }
+            "\\checkpoint" => {
+                let engine = self.platform.engine();
+                match engine.checkpoint().and_then(|lsn| {
+                    engine.checkpoint_join()?;
+                    Ok(lsn)
+                }) {
+                    Ok(lsn) => println!("checkpoint written at LSN {lsn}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\wal-stats" => match self.platform.engine().wal_stats() {
+                Some(s) => {
+                    let age = s
+                        .last_checkpoint_age
+                        .map(|d| format!("{:.1} s ago", d.as_secs_f64()))
+                        .unwrap_or_else(|| "never".to_string());
+                    println!("last LSN:        {}", s.last_lsn);
+                    println!("snapshot LSN:    {}", s.snapshot_lsn);
+                    println!("log bytes:       {}", s.log_bytes);
+                    println!("last checkpoint: {age}");
+                    println!("sync policy:     {}", s.sync_policy);
+                }
+                None => {
+                    println!("in-memory engine (start with --data-dir to enable the WAL)")
+                }
+            },
             "\\prepared" => {
                 if self.prepared.is_empty() {
                     println!("(no prepared statements)");
@@ -611,6 +833,8 @@ Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
   \\explain STMT|NAME        show the optimized plan (pass annotations,
                             shared spools) for a statement or a prepared name
   \\prepared                 list prepared statements
+  \\checkpoint               write a snapshot and truncate the WAL (--data-dir)
+  \\wal-stats                show WAL state: LSNs, log bytes, checkpoint age
 Dot-commands:
   .help                      this text
   .user [NAME]               show or switch the active user (registers new users)

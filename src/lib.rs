@@ -53,5 +53,5 @@ pub mod prelude {
     pub use crosse_rdf::store::Triple;
     pub use crosse_rdf::term::Term;
     pub use crosse_relational::{Database, Params, RowSet, Value};
-    pub use crosse_smartground::{SmartGroundConfig, standard_engine};
+    pub use crosse_smartground::{SmartGroundConfig, standard_engine, standard_engine_at, standard_engine_at_with};
 }

@@ -5,8 +5,13 @@ use std::io::Write;
 use std::process::{Command, Stdio};
 
 fn run_script(script: &str) -> String {
+    run_script_with_args(&[], script)
+}
+
+fn run_script_with_args(extra: &[&str], script: &str) -> String {
     let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
         .args(["--landfills", "10", "--seed", "1"])
+        .args(extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -232,6 +237,50 @@ fn timing_output_tags_shared_pairs_table_legs() {
         .filter(|l| l.contains("leg [") && !l.contains(", shared]") && !l.contains(", cached]"))
         .count();
     assert!(recomputed >= 1, "first leg should be recomputed:\n{stdout}");
+}
+
+#[test]
+fn wal_stats_reports_in_memory_without_data_dir() {
+    let out = run_script("\\wal-stats\n");
+    assert!(out.contains("in-memory engine"), "{out}");
+}
+
+#[test]
+fn data_dir_persists_sessions_and_checkpoint_truncates() {
+    let dir = std::env::temp_dir().join(format!("crosse-cli-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    // Session 1: create durable state, checkpoint it, inspect the WAL.
+    let out = run_script_with_args(
+        &["--data-dir", dir_s, "--wal-sync", "every_n:8"],
+        "CREATE TABLE smoke (x INT);\n\
+         INSERT INTO smoke VALUES (1), (2);\n\
+         \\checkpoint\n\
+         \\wal-stats\n",
+    );
+    assert!(out.contains("checkpoint written at LSN"), "{out}");
+    assert!(out.contains("sync policy:     every_n:8"), "{out}");
+    assert!(out.contains("snapshot LSN:"), "{out}");
+
+    // Session 2: the same directory recovers the table without re-seeding.
+    let out = run_script_with_args(
+        &["--data-dir", dir_s],
+        "SELECT COUNT(*) AS n FROM smoke;\n\
+         SELECT COUNT(*) AS lf FROM landfill;\n",
+    );
+    assert!(out.contains("| 2 |"), "smoke table lost across restart:\n{out}");
+    assert!(out.contains("| 10 |"), "databank should not re-seed:\n{out}");
+
+    // The help text documents the durability surface.
+    let help = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .arg("--help")
+        .output()
+        .expect("run --help");
+    let help_text = String::from_utf8(help.stdout).unwrap();
+    assert!(help_text.contains("--data-dir"), "{help_text}");
+    assert!(help_text.contains("--wal-sync"), "{help_text}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
