@@ -5,6 +5,8 @@
 //! builds its inputs through these constructors, so both report on
 //! identical workloads.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -16,6 +16,8 @@
 //! call sites hold the lock only for the map operation, never while
 //! parsing or planning).
 
+#![forbid(unsafe_code)]
+
 use std::borrow::Borrow;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;

@@ -13,6 +13,8 @@
 //! without `--bench` (as `cargo test` does) executes every benchmark body
 //! once in "test mode" and skips measurement entirely.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,8 @@
 //! primitives. Poisoning is swallowed — like real parking_lot, a panicked
 //! holder does not poison the lock for later users.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::sync::{self, LockResult};
 

@@ -11,6 +11,8 @@
 //! the test name, so failures reproduce across runs) and there is no
 //! shrinking — the failing case's inputs are printed as-is.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -8,6 +8,8 @@
 //! callers only rely on determinism (same seed → same sequence), never on
 //! matching upstream rand's output.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs {

@@ -15,6 +15,8 @@
 //!   crowdsourced, Sec. III-A) and the query log.
 //! * [`recommend`] — the Sec. I-B vision services: peer discovery,
 //!   statement recommendation, and context-aware result ranking.
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod explore;
 pub mod platform;
@@ -24,6 +26,7 @@ pub mod session;
 pub mod sqm;
 pub mod storage;
 
+pub use crosse_lint::{Diagnostic, Severity, Span};
 pub use error::{Error, Result};
 pub use storage::{SyncPolicy, WalOptions, WalStats};
 pub use sesql::ast::{Enrichment, SesqlQuery};

@@ -22,6 +22,7 @@
 //! mechanically.
 
 use crosse_federation::join_manager::term_to_value_in;
+use crosse_lint::Diagnostic;
 use crosse_relational::Interner;
 use crosse_rdf::sparql::eval::{EvalOptions, Solutions};
 use crosse_rdf::sparql::{Prepared as PreparedSparql, SolutionCursor, SparqlParams};
@@ -273,6 +274,25 @@ impl Session {
         Ok(prepared.explain()?)
     }
 
+    /// Lint a SESQL (or plain SQL) statement in this session's knowledge
+    /// context without executing it. See [`SesqlEngine::lint`] for the
+    /// rule set.
+    pub fn lint(&self, text: &str) -> Result<Vec<Diagnostic>> {
+        self.engine.lint(&self.user, text)
+    }
+
+    /// Lint a plain SQL statement against the databank (`L…` rules only).
+    pub fn lint_sql(&self, sql: &str) -> Result<Vec<Diagnostic>> {
+        Ok(self.engine.database().lint(sql)?)
+    }
+
+    /// Lint a SPARQL query (`S…` rules). Parse errors are real errors;
+    /// lint findings are the returned list.
+    pub fn lint_sparql(&self, sparql: &str) -> Result<Vec<Diagnostic>> {
+        let parsed = crosse_rdf::sparql::parser::parse_any(sparql)?;
+        Ok(crosse_rdf::sparql::lint::lint_parsed(&parsed, sparql))
+    }
+
     // ---- SESQL ----------------------------------------------------------
 
     /// Prepare a SESQL query (LRU-cached compilation).
@@ -365,6 +385,125 @@ mod tests {
             .unwrap();
         }
         SesqlEngine::new(db, kb)
+    }
+
+    #[test]
+    fn lint_clean_enriched_query_is_silent() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let diags = s
+            .lint(
+                "SELECT elem_name FROM elem_contained WHERE ${amount > 10:cond1} \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel) \
+                 REPLACEVARIABLE(cond1, elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert!(diags.is_empty(), "expected clean lint, got {diags:?}");
+    }
+
+    #[test]
+    fn lint_reports_unused_and_unknown_condition_tags() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        // cond1 tagged but never referenced → E001.
+        let diags = s
+            .lint(
+                "SELECT elem_name FROM elem_contained WHERE ${amount > 10:cond1} \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E001"]);
+
+        // An enrichment naming a tag that does not exist is a *parse*
+        // error — the linter's E002 is defense-in-depth for queries built
+        // programmatically (covered in `sqm::tests`).
+        let err = s
+            .lint(
+                "SELECT elem_name FROM elem_contained WHERE ${amount > 10:cond1} \
+                 ENRICH REPLACEVARIABLE(ghost, elem_name, dangerLevel)",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn lint_flags_unresolvable_property() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let diags = s
+            .lint(
+                "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, noSuchProperty)",
+            )
+            .unwrap();
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E003"]);
+        // A verbatim IRI is deliberate — never flagged.
+        let diags = s
+            .lint(
+                "SELECT elem_name FROM elem_contained \
+                 ENRICH SCHEMAEXTENSION(elem_name, urn://no-such-property)",
+            )
+            .unwrap();
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn lint_runs_sparql_rules_over_stored_queries() {
+        let e = engine();
+        e.stored_queries()
+            .register("deadFilter", "SELECT ?s WHERE { ?s <urn:p> ?o FILTER(1 > 2) }")
+            .unwrap();
+        let s = Session::new(&e, "director").unwrap();
+        let diags = s
+            .lint(
+                "SELECT elem_name FROM elem_contained WHERE ${elem_name = 'Hg':c1} \
+                 ENRICH REPLACECONSTANT(c1, Hg, deadFilter)",
+            )
+            .unwrap();
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"S003"), "got {diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("deadFilter")));
+    }
+
+    #[test]
+    fn prepared_sesql_carries_warnings() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let p = s
+            .prepare("SELECT elem_name FROM elem_contained WHERE 1 = 2")
+            .unwrap();
+        assert_eq!(p.warnings().iter().map(|d| d.code).collect::<Vec<_>>(), vec!["L001"]);
+        // Clean parameterised query: params are fine at prepare time.
+        let p = s
+            .prepare("SELECT elem_name FROM elem_contained WHERE landfill_name = $lf")
+            .unwrap();
+        assert!(p.warnings().is_empty());
+    }
+
+    #[test]
+    fn lint_sparql_surfaces_s_rules() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let diags = s
+            .lint_sparql("SELECT ?s ?ghost WHERE { ?s <urn:p> ?o . ?o <urn:q> <urn:x> }")
+            .unwrap();
+        assert!(diags.iter().map(|d| d.code).any(|c| c == "S002"), "got {diags:?}");
+    }
+
+    #[test]
+    fn explain_carries_lint_footer() {
+        let e = engine();
+        let s = Session::new(&e, "director").unwrap();
+        let out = s
+            .explain(
+                "SELECT elem_name FROM elem_contained WHERE ${amount > 10:cond1} \
+                 ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+            )
+            .unwrap();
+        assert!(out.contains("-- lint: warning[E001]"), "got:\n{out}");
+        // Clean statements keep their EXPLAIN output footer-free.
+        let out = s.explain("SELECT elem_name FROM elem_contained").unwrap();
+        assert!(!out.contains("-- lint:"), "got:\n{out}");
     }
 
     #[test]

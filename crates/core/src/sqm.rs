@@ -22,6 +22,7 @@ use crosse_rdf::provenance::KnowledgeBase;
 use crosse_rdf::sparql::eval::Solutions;
 use crosse_rdf::stored::StoredQueries;
 use crosse_rdf::term::Term;
+use crosse_lint::Diagnostic;
 use crosse_relational::sql::ast::{BinaryOp, Expr, Select, TableRef};
 use crosse_relational::{Column, DataType, Database, Row, RowSet, Schema, Value};
 
@@ -307,6 +308,7 @@ pub use crosse_cache::CacheStats;
 struct CachedSesql {
     query: Arc<SesqlQuery>,
     slots: Arc<Vec<crosse_relational::SlotInfo>>,
+    warnings: Arc<Vec<Diagnostic>>,
     version: u64,
 }
 
@@ -685,6 +687,13 @@ impl SesqlEngine {
                 }
             }
         }
+        // Lint footer: the same diagnostics `lint` would report, rendered
+        // as trailing comment lines so EXPLAIN output stays one artifact.
+        if let Ok(diags) = self.lint(user, sesql) {
+            for d in &diags {
+                let _ = writeln!(out, "-- lint: {d}");
+            }
+        }
         Ok(out)
     }
 
@@ -712,6 +721,7 @@ impl SesqlEngine {
                     engine: self.clone(),
                     query: cached.query,
                     slots: cached.slots,
+                    warnings: cached.warnings,
                     text: key,
                     version,
                     revalidated: Arc::new(Mutex::new(None)),
@@ -731,11 +741,13 @@ impl SesqlEngine {
             &query.select,
             &query.params,
         ));
+        let warnings = Arc::new(lint_sesql_static(self.db.catalog(), &query, &key));
         self.prepared.lock().put(
             key.clone(),
             CachedSesql {
                 query: Arc::clone(&query),
                 slots: Arc::clone(&slots),
+                warnings: Arc::clone(&warnings),
                 version,
             },
         );
@@ -743,10 +755,72 @@ impl SesqlEngine {
             engine: self.clone(),
             query,
             slots,
+            warnings,
             text: key,
             version,
             revalidated: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// Lint a SESQL (or plain SQL) statement in `user`'s knowledge
+    /// context without executing it: the relational rules (`L…`) over the
+    /// cleaned SELECT, the enrichment-structure rules (`E001`/`E002`),
+    /// the context-dependent property check (`E003`), and the SPARQL
+    /// rules (`S…`) over any stored queries the enrichments reference.
+    pub fn lint(&self, user: &str, sesql: &str) -> Result<Vec<Diagnostic>> {
+        if !self.kb.is_registered(user) {
+            return Err(Error::platform(format!("user `{user}` is not registered")));
+        }
+        let query = parse_sesql(sesql)?;
+        let mut out = lint_sesql_static(self.db.catalog(), &query, sesql);
+
+        let graphs = self.kb.context_graphs(user);
+        let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
+        let known_predicates = self.kb.store().distinct_predicates(&refs);
+        let mut checked: Vec<&str> = Vec::new();
+        for e in &query.enrichments {
+            let property = match e {
+                Enrichment::SchemaExtension { property, .. }
+                | Enrichment::SchemaReplacement { property, .. }
+                | Enrichment::BoolSchemaExtension { property, .. }
+                | Enrichment::BoolSchemaReplacement { property, .. }
+                | Enrichment::ReplaceConstant { property, .. }
+                | Enrichment::ReplaceVariable { property, .. } => property.as_str(),
+            };
+            if checked.contains(&property) {
+                continue;
+            }
+            checked.push(property);
+            if let Some(stored) = self.stored.get(property) {
+                // The stored query is user-written SPARQL: run the S-rules
+                // over it, attributing each finding to the registry name.
+                if let Ok(parsed) = crosse_rdf::sparql::parser::parse_any(&stored.sparql) {
+                    for mut d in crosse_rdf::sparql::lint::lint_parsed(&parsed, &stored.sparql) {
+                        d.message =
+                            format!("in stored query `{}`: {}", stored.name, d.message);
+                        // The span indexes the stored query's text, not
+                        // the SESQL statement being linted.
+                        d.span = None;
+                        out.push(d);
+                    }
+                }
+            } else if !property.contains("://")
+                && !known_predicates.iter().any(|p| p.matches_lexical(property))
+            {
+                out.push(
+                    Diagnostic::warning(
+                        "E003",
+                        format!(
+                            "`{property}` is neither a registered stored query nor a \
+                             predicate in the context graphs; its SPARQL leg will \
+                             return no solutions"
+                        ),
+                    )
+                    .try_span_of(sesql, property),
+                );
+            }
+        }
+        Ok(out)
     }
 
     /// Execute an already-parsed SESQL query.
@@ -1328,16 +1402,80 @@ pub struct PreparedSesql {
     /// fresh expectations — mirroring the relational `Prepared`.
     version: u64,
     revalidated: Arc<Mutex<RevalidatedSesqlSlots>>,
+    /// Lint findings from prepare time (the user-independent rules; see
+    /// [`SesqlEngine::lint`] for the context-dependent ones).
+    warnings: Arc<Vec<Diagnostic>>,
 }
 
 /// The latest `(catalog version, re-inferred slots)` pair of a
 /// [`PreparedSesql`] handle (empty until the first post-DDL execution).
 type RevalidatedSesqlSlots = Option<(u64, Arc<Vec<crosse_relational::SlotInfo>>)>;
 
+/// The user-independent SESQL lint: relational rules over the cleaned
+/// SELECT (params allowed — binding them is what prepare is for) plus the
+/// enrichment-structure rules:
+///
+/// * `E001` (warning): a tagged condition `${…:id}` is never referenced by
+///   any WHERE-clause enrichment — the tag is dead syntax.
+/// * `E002` (error): a `REPLACECONSTANT`/`REPLACEVARIABLE` clause names a
+///   condition id that no tag defines; the rewrite has nothing to rewrite.
+fn lint_sesql_static(
+    catalog: &crosse_relational::storage::Catalog,
+    query: &SesqlQuery,
+    source: &str,
+) -> Vec<Diagnostic> {
+    let mut out =
+        crosse_relational::lint::lint_select(catalog, &query.select, source, true);
+    let referenced: Vec<&str> = query
+        .enrichments
+        .iter()
+        .filter_map(|e| e.condition_id())
+        .collect();
+    let mut unused: Vec<&String> = query
+        .conditions
+        .keys()
+        .filter(|id| !referenced.contains(&id.as_str()))
+        .collect();
+    unused.sort(); // HashMap order is arbitrary; snapshots need stability.
+    for id in unused {
+        out.push(
+            Diagnostic::warning(
+                "E001",
+                format!("tagged condition `{id}` is not referenced by any enrichment"),
+            )
+            .try_span_of(source, &format!(":{id}")),
+        );
+    }
+    for e in &query.enrichments {
+        if let Some(cond) = e.condition_id() {
+            if !query.conditions.contains_key(cond) {
+                out.push(
+                    Diagnostic::error(
+                        "E002",
+                        format!(
+                            "{} references unknown condition tag `{cond}`",
+                            e.keyword()
+                        ),
+                    )
+                    .try_span_of(source, cond),
+                );
+            }
+        }
+    }
+    out
+}
+
 impl PreparedSesql {
     /// The parameter slots as inferred at prepare time, in binding order.
     pub fn param_slots(&self) -> &[crosse_relational::SlotInfo] {
         &self.slots
+    }
+
+    /// Lint findings attached at prepare time (the user-independent
+    /// rules: relational `L…` plus `E001`/`E002`). Empty for clean
+    /// queries.
+    pub fn warnings(&self) -> &[Diagnostic] {
+        &self.warnings
     }
 
     /// Slot types valid for the *current* catalog: the prepare-time
@@ -1727,6 +1865,25 @@ mod tests {
     }
     fn lit(s: &str) -> Term {
         Term::lit(s)
+    }
+
+    #[test]
+    fn static_lint_catches_unknown_condition_in_built_query() {
+        // The parser rejects unknown tags, so construct the defect
+        // directly: an enrichment naming a condition no tag defines.
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a TEXT)").unwrap();
+        let src = "SELECT a FROM t";
+        let mut query = parse_sesql(src).unwrap();
+        query.enrichments.push(Enrichment::ReplaceVariable {
+            cond: "ghost".into(),
+            attr: "a".into(),
+            property: "p".into(),
+        });
+        let diags = lint_sesql_static(db.catalog(), &query, src);
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E002"]);
+        assert_eq!(diags[0].severity, crosse_lint::Severity::Error);
+        assert!(diags[0].message.contains("ghost"));
     }
 
     /// The running example data: the SmartGround fragment of Fig. 3 plus

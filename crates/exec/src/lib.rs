@@ -22,6 +22,8 @@
 //! assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -14,6 +14,8 @@
 //! * [`tempdb::TempDb`] — the temporary support database that holds
 //!   JoinManager output for the final SQL pass.
 
+#![forbid(unsafe_code)]
+
 pub mod fdw;
 pub mod join_manager;
 pub mod mapping;

@@ -39,6 +39,8 @@
 //! assert_eq!(sols.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod export;
 pub mod persist;

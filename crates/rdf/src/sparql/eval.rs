@@ -1665,7 +1665,7 @@ fn back_reachable(
 
 /// Term comparison: numeric when both sides parse as numbers, term equality
 /// for `=`/`!=`, lexical otherwise.
-fn compare_terms(a: &Term, op: CmpOp, b: &Term) -> bool {
+pub(crate) fn compare_terms(a: &Term, op: CmpOp, b: &Term) -> bool {
     if matches!(op, CmpOp::Eq | CmpOp::NotEq) {
         let eq = match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => x == y,

@@ -2,6 +2,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod lint;
 pub mod parser;
 pub mod prepared;
 

@@ -145,6 +145,8 @@ struct CachedStmt {
     select: Arc<Select>,
     slots: Arc<Vec<SlotInfo>>,
     plan: Option<(Arc<Plan>, u64)>,
+    /// Lint diagnostics computed at prepare time (parameters allowed).
+    warnings: Arc<Vec<crosse_lint::Diagnostic>>,
     version: u64,
 }
 
@@ -326,7 +328,7 @@ impl Database {
     /// exact plan a statement would run as.
     pub fn plan_optimized(&self, select: &Select) -> Result<crate::opt::Optimized> {
         let plan = plan_select(&self.catalog, select)?;
-        Ok(optimize(plan, &self.optimizer_config()))
+        Ok(optimize(plan, &self.optimizer_config())?)
     }
 
     /// Compile a SELECT into a [`Prepared`] handle: parse, collect typed
@@ -348,6 +350,7 @@ impl Database {
                     cached.select,
                     cached.slots,
                     cached.plan,
+                    cached.warnings,
                     cached.version,
                 ));
             }
@@ -374,6 +377,11 @@ impl Database {
         version: u64,
     ) -> Result<Prepared> {
         let raw_slots = crate::sql::parser::collect_params(&select);
+        // Prepare-time invariant: the AST must not reference a parameter
+        // slot outside the table we just derived (an engine bug in slot
+        // collection or AST caching, not a user error).
+        crate::opt::validate::check_param_slots(&select, raw_slots.len())
+            .map_err(Error::plan)?;
         let slots = Arc::new(infer_slot_types(&self.catalog, &select, &raw_slots));
         let plan = if slots.is_empty() {
             // Templates are cached post-optimization: repeated executions
@@ -382,14 +390,29 @@ impl Database {
         } else {
             None
         };
+        // Parameters are expected in a prepared statement, so the linter
+        // runs with L006 suppressed. Lint against the normalized text:
+        // spans are best-effort anyway and the original was not retained.
+        let warnings =
+            Arc::new(crate::lint::lint_select(&self.catalog, &select, &key, true));
         let cached = CachedStmt {
             select: Arc::clone(&select),
             slots: Arc::clone(&slots),
             plan: plan.clone(),
+            warnings: Arc::clone(&warnings),
             version,
         };
         self.plans.lock().put(key.clone(), cached);
-        Ok(Prepared::new(self.clone(), key, select, slots, plan, version))
+        Ok(Prepared::new(self.clone(), key, select, slots, plan, warnings, version))
+    }
+
+    /// Lint a statement without executing it: parse, then run the
+    /// semantic rules of [`crate::lint`] (always-false predicates,
+    /// implicit cross joins, coercing comparisons, ...). Parse errors are
+    /// returned as errors; a clean statement returns an empty list.
+    pub fn lint(&self, sql: &str) -> Result<Vec<crosse_lint::Diagnostic>> {
+        let (stmt, _) = parse_statement_with_params(sql)?;
+        Ok(crate::lint::lint_statement(&self.catalog, &stmt, sql, false))
     }
 
     /// Hit/miss/eviction statistics of the prepared-statement cache.
@@ -441,10 +464,13 @@ impl Database {
             Statement::Explain(s) => {
                 let optimized = self.plan_optimized(s)?;
                 let schema = Schema::new(vec![Column::new("plan", crate::value::DataType::Text)]);
-                let rows = explain_lines(&optimized)
-                    .into_iter()
-                    .map(|l| vec![Value::from(l)])
-                    .collect();
+                let mut lines = explain_lines(&optimized);
+                // Lint footer: one `-- lint:` line per diagnostic, so
+                // EXPLAIN doubles as a quick statement health check.
+                for d in crate::lint::lint_select(&self.catalog, s, "", true) {
+                    lines.push(format!("-- lint: {d}"));
+                }
+                let rows = lines.into_iter().map(|l| vec![Value::from(l)]).collect();
                 Ok(ExecOutcome::Rows(RowSet { schema, rows }))
             }
             Statement::CreateTable { name, columns, or_replace, if_not_exists } => {

@@ -25,6 +25,10 @@ pub enum Error {
     /// snapshot on recovery, I/O). Carries a rendered message so the enum
     /// stays `Clone + Eq`; match on the variant, not the text.
     Storage(String),
+    /// An optimizer pass broke a plan invariant (caught by the
+    /// `debug_assertions`-gated validator, see [`crate::opt::validate`]).
+    /// Always an engine bug, never a user error.
+    Invariant(crate::opt::validate::PlanInvariantError),
 }
 
 impl Error {
@@ -71,11 +75,18 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Invariant(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<crate::opt::validate::PlanInvariantError> for Error {
+    fn from(e: crate::opt::validate::PlanInvariantError) -> Self {
+        Error::Invariant(e)
+    }
+}
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;

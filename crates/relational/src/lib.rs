@@ -28,10 +28,13 @@
 //! assert_eq!(rows.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod lint;
 pub mod opt;
 pub mod plan;
 pub mod prepared;
@@ -43,8 +46,9 @@ pub mod value;
 pub use db::{Database, ExecOutcome, RowSet};
 pub use error::{Error, Result};
 pub use storage::durable::{DurabilityHandle, SyncPolicy, WalOptions, WalStats};
+pub use crosse_lint::{Diagnostic, Severity, Span};
 pub use exec::Rows;
-pub use opt::{optimize, Optimized, OptimizerConfig};
+pub use opt::{optimize, Optimized, OptimizerConfig, PlanInvariantError};
 pub use prepared::{Params, Prepared, SlotInfo};
 pub use schema::{Column, Schema};
 pub use value::{DataType, Interner, Row, Str, Value};

@@ -25,8 +25,11 @@
 
 pub mod cse;
 pub mod rules;
+pub mod validate;
 
 use crate::plan::Plan;
+
+pub use validate::PlanInvariantError;
 
 /// Which rewrite passes run. The default enables everything; `none()` is
 /// the identity pipeline (used as the baseline in equivalence tests).
@@ -41,6 +44,31 @@ pub struct OptimizerConfig {
     pub limit_pushdown: bool,
     /// Deduplicate structurally equal subtrees through shared spools.
     pub shared_subplans: bool,
+    /// Run the plan-invariant validator ([`validate`]) on the built plan
+    /// and after every pass. Defaults to on under `debug_assertions`
+    /// (tests, debug builds) and off in release, so the checks never cost
+    /// anything on the hot path.
+    pub validate: bool,
+    /// Deliberately corrupt one pass so tests can prove the validator
+    /// catches a broken rewrite. A no-op in release builds.
+    #[doc(hidden)]
+    pub sabotage: Sabotage,
+}
+
+/// Test-only pass corruption, selectable through
+/// [`OptimizerConfig::sabotage`]. Only applied under `debug_assertions`.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    #[default]
+    None,
+    /// After limit pushdown, widen the outermost LIMIT by one row — the
+    /// validator must flag the increased row bound.
+    WidenLimit,
+    /// After projection pruning, drop the last output column of the
+    /// outermost projection — the validator must flag the changed output
+    /// signature.
+    DropProjectColumn,
 }
 
 impl Default for OptimizerConfig {
@@ -50,18 +78,23 @@ impl Default for OptimizerConfig {
             prune_projections: true,
             limit_pushdown: true,
             shared_subplans: true,
+            validate: cfg!(debug_assertions),
+            sabotage: Sabotage::None,
         }
     }
 }
 
 impl OptimizerConfig {
-    /// The identity pipeline: no pass runs, the plan is returned as built.
+    /// The identity pipeline: no pass runs, the plan is returned as built
+    /// (still validated once under `debug_assertions`).
     pub fn none() -> Self {
         OptimizerConfig {
             filter_pushdown: false,
             prune_projections: false,
             limit_pushdown: false,
             shared_subplans: false,
+            validate: cfg!(debug_assertions),
+            sabotage: Sabotage::None,
         }
     }
 }
@@ -90,22 +123,86 @@ impl Optimized {
 }
 
 /// Run the configured rewrite passes over `plan`.
-pub fn optimize(plan: Plan, cfg: &OptimizerConfig) -> Optimized {
+///
+/// With [`OptimizerConfig::validate`] set (the `debug_assertions`
+/// default), the built plan is checked structurally and every pass is
+/// checked for invariant preservation; a violation aborts planning with a
+/// typed [`PlanInvariantError`] naming the offending pass.
+pub fn optimize(plan: Plan, cfg: &OptimizerConfig) -> Result<Optimized, PlanInvariantError> {
     let mut notes = Vec::new();
+    if cfg.validate {
+        validate::check_plan(&plan, "plan_select")?;
+    }
     let mut plan = plan;
+    let run_pass = |plan: Plan,
+                        name: &str,
+                        notes: &mut Vec<String>,
+                        pass: &mut dyn FnMut(Plan, &mut Vec<String>) -> Plan|
+     -> Result<Plan, PlanInvariantError> {
+        let before = cfg.validate.then(|| plan.clone());
+        let after = pass(plan, notes);
+        let after = apply_sabotage(after, name, cfg);
+        if let Some(before) = before {
+            validate::check_pass(&before, &after, name)?;
+        }
+        Ok(after)
+    };
     if cfg.filter_pushdown {
-        plan = rules::pushdown_filters(plan, &mut notes);
+        plan = run_pass(plan, "filter_pushdown", &mut notes, &mut rules::pushdown_filters)?;
     }
     if cfg.prune_projections {
-        plan = rules::prune_projections(plan, &mut notes);
+        plan = run_pass(plan, "prune_projections", &mut notes, &mut rules::prune_projections)?;
     }
     if cfg.limit_pushdown {
-        plan = rules::pushdown_limits(plan, &mut notes);
+        plan = run_pass(plan, "limit_pushdown", &mut notes, &mut rules::pushdown_limits)?;
     }
     if cfg.shared_subplans {
-        plan = cse::share_common_subplans(plan, &mut notes);
+        plan = run_pass(plan, "shared_subplans", &mut notes, &mut cse::share_common_subplans)?;
     }
-    Optimized { plan, notes }
+    if cfg.validate {
+        validate::check_plan(&plan, "final")?;
+    }
+    Ok(Optimized { plan, notes })
+}
+
+/// Apply the configured test-only corruption after its target pass.
+/// Compiled to the identity in release builds.
+#[cfg(debug_assertions)]
+fn apply_sabotage(plan: Plan, pass: &str, cfg: &OptimizerConfig) -> Plan {
+    match cfg.sabotage {
+        Sabotage::WidenLimit if pass == "limit_pushdown" => widen_first_limit(plan),
+        Sabotage::DropProjectColumn if pass == "prune_projections" => drop_project_column(plan),
+        _ => plan,
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn apply_sabotage(plan: Plan, _pass: &str, _cfg: &OptimizerConfig) -> Plan {
+    plan
+}
+
+#[cfg(debug_assertions)]
+fn widen_first_limit(plan: Plan) -> Plan {
+    match plan {
+        Plan::Limit { input, limit, offset } => Plan::Limit {
+            input,
+            limit: limit.map(|l| l + 1),
+            offset,
+        },
+        other => map_children(other, &mut widen_first_limit),
+    }
+}
+
+#[cfg(debug_assertions)]
+fn drop_project_column(plan: Plan) -> Plan {
+    match plan {
+        Plan::Project { input, mut exprs, mut schema } if exprs.len() > 1 => {
+            exprs.pop();
+            schema.columns.pop();
+            Plan::Project { input, exprs, schema }
+        }
+        other => map_children(other, &mut drop_project_column),
+    }
 }
 
 /// Rebuild `plan` with every direct child mapped through `f` (shared

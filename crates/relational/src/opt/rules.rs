@@ -19,7 +19,7 @@ use super::map_children;
 // ---- bound-expression column analysis --------------------------------------
 
 /// Visit every column reference in a bound expression.
-fn visit_cols(e: &BoundExpr, f: &mut impl FnMut(usize)) {
+pub(crate) fn visit_cols(e: &BoundExpr, f: &mut impl FnMut(usize)) {
     match e {
         BoundExpr::Literal(_) => {}
         BoundExpr::Column(i) => f(*i),

@@ -271,7 +271,7 @@ pub fn substitute_select(select: Select, values: &[Value]) -> Select {
 
 /// Best-effort schema of the FROM clause (base tables only; derived and
 /// missing tables contribute nothing). Enough to type `col <op> $p`.
-fn from_schema(catalog: &Catalog, select: &Select) -> Schema {
+pub(crate) fn from_schema(catalog: &Catalog, select: &Select) -> Schema {
     fn walk(tr: &TableRef, catalog: &Catalog, cols: &mut Vec<Column>) {
         match tr {
             TableRef::Table { name, alias } => {
@@ -406,6 +406,9 @@ pub struct Prepared {
     plan: Option<(Arc<Plan>, u64)>,
     /// Normalized statement text (the plan-cache key).
     text: String,
+    /// Lint diagnostics computed at prepare time (see
+    /// [`crate::lint`]; parameter placeholders do not warn here).
+    warnings: Arc<Vec<crosse_lint::Diagnostic>>,
     /// Catalog version the slot types were inferred against. Executions
     /// after DDL re-infer slots against the live catalog, so a handle held
     /// across `DROP TABLE` + re-`CREATE` binds with fresh expectations.
@@ -427,6 +430,7 @@ impl Prepared {
         select: Arc<Select>,
         slots: Arc<Vec<SlotInfo>>,
         plan: Option<(Arc<Plan>, u64)>,
+        warnings: Arc<Vec<crosse_lint::Diagnostic>>,
         version: u64,
     ) -> Self {
         Prepared {
@@ -435,6 +439,7 @@ impl Prepared {
             slots,
             plan,
             text,
+            warnings,
             version,
             revalidated: Arc::new(Mutex::new(None)),
         }
@@ -443,6 +448,13 @@ impl Prepared {
     /// The parameter slots, in binding order.
     pub fn param_slots(&self) -> &[SlotInfo] {
         &self.slots
+    }
+
+    /// Lint diagnostics found at prepare time (empty for a clean
+    /// statement). Parameters never warn here — binding them is the whole
+    /// point of preparing.
+    pub fn warnings(&self) -> &[crosse_lint::Diagnostic] {
+        &self.warnings
     }
 
     /// Normalized statement text (also the cache key).

@@ -5,6 +5,8 @@
 //! real EU H2020 databank is not public), persona ontologies, and the
 //! SESQL workloads built from the paper's Examples 4.1–4.6.
 
+#![forbid(unsafe_code)]
+
 pub mod datagen;
 pub mod ontogen;
 pub mod schema;

@@ -30,6 +30,8 @@
 //! record (truncate-and-warn) and rejects mid-log corruption with a typed
 //! [`WalError`] — never a panic.
 
+#![forbid(unsafe_code)]
+
 mod enc;
 mod error;
 mod log;

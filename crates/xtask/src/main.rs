@@ -28,6 +28,8 @@
 //!   survived intact in both substrates (twice, so the second kill lands
 //!   on already-recovered state).
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 fn run(desc: &str, cmd: &mut Command) {
@@ -320,6 +322,53 @@ fn explain_snapshots() {
     println!("xtask: explain-snapshots OK (snapshots match the committed plans)");
 }
 
+/// Regenerate the golden lint snapshots (tests/snapshots/lint_*.snap) by
+/// running the lint corpus test with `CROSSE_UPDATE_SNAPSHOTS=1`, then
+/// fail if they differ from the committed ones — the corpus gate for "the
+/// linter still says exactly what the snapshots promise" (no new false
+/// positives on the clean corpus, no silently dropped findings on the
+/// seeded-defect fixtures).
+fn lint_gate() {
+    run(
+        "regenerate lint snapshots",
+        cargo()
+            .args(["test", "--test", "lint_golden", "--quiet"])
+            .env("CROSSE_UPDATE_SNAPSHOTS", "1"),
+    );
+    let status = Command::new("git")
+        .args(["status", "--porcelain", "--", "tests/snapshots"])
+        .output()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: failed to run git status: {e}");
+            std::process::exit(1);
+        });
+    let dirty = String::from_utf8_lossy(&status.stdout);
+    if !dirty.trim().is_empty() {
+        run(
+            "diff regenerated lint snapshots against the committed ones",
+            Command::new("git").args(["diff", "--", "tests/snapshots"]),
+        );
+        eprintln!(
+            "xtask: lint FAILED — lint output differs from (or is missing in) \
+             the committed snapshots:\n{dirty}\
+             commit the regenerated files if the lint change is intentional"
+        );
+        std::process::exit(1);
+    }
+    println!("xtask: lint OK (corpus lint output matches the committed snapshots)");
+}
+
+/// The aggregate static-analysis + test gate: clippy (warnings are
+/// errors), the corpus lint gate, the EXPLAIN plan snapshots, and the
+/// full test suite. One command ≈ "is this tree healthy".
+fn check() {
+    clippy();
+    lint_gate();
+    explain_snapshots();
+    run("cargo test --workspace", cargo().args(["test", "--workspace", "--quiet"]));
+    println!("xtask: check OK (clippy + lint + explain-snapshots + tests)");
+}
+
 fn stress() {
     // Elevated iterations; one pass per worker-thread budget. Release
     // build: the point is to shake out races, not to wait on debug code.
@@ -408,6 +457,8 @@ fn main() {
         "bench-baseline" => bench_baseline(),
         "bench-diff" => bench_diff(&args[1..]),
         "explain-snapshots" => explain_snapshots(),
+        "lint" => lint_gate(),
+        "check" => check(),
         "clippy" => clippy(),
         "stress" => stress(),
         "crash" => crash(),
@@ -419,6 +470,9 @@ fn main() {
                  bench-diff      re-run e3 + e12 (ex4.6) and diff against the committed BENCH_e3.json\n\
                                  (--threshold 0.25 / CROSSE_BENCH_THRESHOLD; non-zero exit on regression)\n\
                  explain-snapshots  regenerate tests/snapshots/*.snap and diff against the committed ones\n\
+                 lint            regenerate the corpus lint snapshots (lint_golden) and diff against\n\
+                                 the committed ones (non-zero exit on drift)\n\
+                 check           aggregate gate: clippy + lint + explain-snapshots + full tests\n\
                  clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
                  stress          concurrency tests (release), 10x iterations, worker threads 1/4/8\n\
                  crash           kill -9 a write-heavy child mid-batch, reopen, verify no acked\n\

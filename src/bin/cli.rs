@@ -10,6 +10,8 @@
 //! SQL/SESQL statements end with `;` and may span lines; everything else is
 //! a dot-command (`.help` lists them).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::time::{Duration, Instant};
@@ -32,6 +34,14 @@ struct Shell {
     /// `--explain`: print the optimized plan (with rewrite-pass
     /// annotations) before each statement's results.
     explain: bool,
+    /// `--lint`: run the semantic linter on each statement and print its
+    /// findings before the results.
+    lint: bool,
+    /// `--deny-warnings`: refuse to execute statements with warning-or-
+    /// worse lint findings; the process exits non-zero at the end.
+    deny_warnings: bool,
+    /// Whether any statement was refused under `--deny-warnings`.
+    lint_failed: bool,
     /// Named prepared statements (`\prepare` / `\exec`).
     prepared: HashMap<String, PreparedSesql>,
 }
@@ -49,6 +59,8 @@ fn main() {
     let mut seed = 42u64;
     let mut timing = false;
     let mut explain = false;
+    let mut lint = false;
+    let mut deny_warnings = false;
     let mut threads = 1usize;
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut wal_sync: Option<String> = None;
@@ -71,6 +83,8 @@ fn main() {
             }
             "--timing" => timing = true,
             "--explain" => explain = true,
+            "--lint" => lint = true,
+            "--deny-warnings" => deny_warnings = true,
             "--data-dir" => {
                 data_dir = Some(
                     args.next().unwrap_or_else(|| die("--data-dir needs a path")).into(),
@@ -99,14 +113,20 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "crosse-cli [--landfills N] [--seed N] [--timing] [--explain] [--threads N]\n\
-                     \x20          [--data-dir DIR] [--wal-sync POLICY]\n\
+                    "crosse-cli [--landfills N] [--seed N] [--timing] [--explain] [--lint]\n\
+                     \x20          [--deny-warnings] [--threads N] [--data-dir DIR]\n\
+                     \x20          [--wal-sync POLICY]\n\
                      \n\
                      --landfills N  databank scale: number of generated landfills (default 50)\n\
                      --seed N       databank RNG seed (default 42)\n\
                      --timing       report prepare vs execute wall time per statement\n\
                      --explain      print the optimized plan (EXPLAIN, with rewrite-pass\n\
                      \x20              annotations and shared spools) before each result\n\
+                     --lint         run the semantic linter (always-false predicates,\n\
+                     \x20              cross joins, dead condition tags, ...) on each\n\
+                     \x20              statement and print its findings\n\
+                     --deny-warnings  refuse to execute statements with warning-or-worse\n\
+                     \x20              lint findings; exit non-zero if any were refused\n\
                      --threads N    worker threads for intra-query parallelism (default 1).\n\
                      \x20              Scans, filters, projections and hash-join probes\n\
                      \x20              partition table snapshots across N threads; SPARQL\n\
@@ -172,6 +192,9 @@ fn main() {
         show_report: false,
         timing,
         explain,
+        lint,
+        deny_warnings,
+        lint_failed: false,
         prepared: HashMap::new(),
     };
 
@@ -222,6 +245,9 @@ fn main() {
                 shell.run_statement(&stmt);
             }
         }
+    }
+    if shell.lint_failed {
+        std::process::exit(1);
     }
 }
 
@@ -371,6 +397,9 @@ impl Shell {
             }
             return;
         }
+        if (self.lint || self.deny_warnings) && !self.lint_statement(stmt) {
+            return;
+        }
         if self.explain {
             self.print_explain(stmt);
         }
@@ -420,6 +449,31 @@ impl Shell {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+
+    /// Lint a statement, printing every finding. Returns whether execution
+    /// may proceed (false only under `--deny-warnings` with warning-or-
+    /// worse findings).
+    fn lint_statement(&mut self, stmt: &str) -> bool {
+        use crosse::core::Severity;
+        let diags = match self.platform.engine().lint(&self.user, stmt) {
+            Ok(d) => d,
+            // A statement the linter cannot parse will fail identically at
+            // execution, which reports the error in context.
+            Err(_) => return true,
+        };
+        for d in &diags {
+            println!("-- lint: {d}");
+        }
+        if self.deny_warnings && diags.iter().any(|d| d.severity >= Severity::Warning) {
+            println!(
+                "error: statement refused under --deny-warnings ({} lint finding(s))",
+                diags.len()
+            );
+            self.lint_failed = true;
+            return false;
+        }
+        true
     }
 
     /// Print the optimized plan of a statement (SESQL superset — covers
@@ -598,6 +652,25 @@ impl Shell {
                         }
                         if self.show_report {
                             self.print_report(&report);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\lint" => {
+                if rest.is_empty() {
+                    println!("usage: \\lint <statement>   (or \\lint <prepared-name>)");
+                    return;
+                }
+                let stmt = match self.prepared.get(rest) {
+                    Some(p) => p.text().to_string(),
+                    None => rest.trim_end_matches(';').to_string(),
+                };
+                match self.platform.engine().lint(&self.user, &stmt) {
+                    Ok(diags) if diags.is_empty() => println!("(no lint findings)"),
+                    Ok(diags) => {
+                        for d in &diags {
+                            println!("{d}");
                         }
                     }
                     Err(e) => println!("error: {e}"),
@@ -832,6 +905,8 @@ Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
                              '' escapes a quote inside a quoted value)
   \\explain STMT|NAME        show the optimized plan (pass annotations,
                             shared spools) for a statement or a prepared name
+  \\lint STMT|NAME           run the semantic linter on a statement or a
+                            prepared name and list its findings
   \\prepared                 list prepared statements
   \\checkpoint               write a snapshot and truncate the WAL (--data-dir)
   \\wal-stats                show WAL state: LSNs, log bytes, checkpoint age

@@ -35,6 +35,8 @@
 //! assert_eq!(result.rows.schema.columns.last().unwrap().name, "dangerLevel");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use crosse_core as core;
 pub use crosse_federation as federation;
 pub use crosse_rdf as rdf;
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use crosse_rdf::sparql::SparqlParams;
     pub use crosse_rdf::store::Triple;
     pub use crosse_rdf::term::Term;
+    pub use crosse_core::{Diagnostic, Severity};
     pub use crosse_relational::{Database, Params, RowSet, Value};
     pub use crosse_smartground::{SmartGroundConfig, standard_engine, standard_engine_at, standard_engine_at_with};
 }

@@ -311,3 +311,49 @@ fn threads_flag_accepted_and_reported_in_help() {
     assert!(help_text.contains("--threads"), "{help_text}");
     assert!(help_text.contains("worker threads"), "{help_text}");
 }
+
+#[test]
+fn lint_meta_command_reports_findings() {
+    let out = run_script(
+        "\\lint SELECT name FROM landfill WHERE 1 = 2;\n\
+         \\lint SELECT name FROM landfill LIMIT 1;\n",
+    );
+    assert!(out.contains("error[L001]"), "{out}");
+    assert!(out.contains("(no lint findings)"), "{out}");
+}
+
+#[test]
+fn lint_flag_prints_findings_but_still_executes() {
+    let out = run_script_with_args(
+        &["--lint"],
+        "SELECT name FROM landfill WHERE 1 = 2 LIMIT 1;\n",
+    );
+    assert!(out.contains("-- lint: error[L001]"), "{out}");
+    // Without --deny-warnings the statement still runs (empty result).
+    assert!(out.contains("(0 rows)"), "{out}");
+}
+
+#[test]
+fn deny_warnings_refuses_statement_and_exits_nonzero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1", "--deny-warnings"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crosse-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"SELECT name FROM landfill WHERE 1 = 2 LIMIT 1;\nSELECT name FROM landfill LIMIT 1;\n")
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    assert!(!out.status.success(), "deny-warnings must exit non-zero: {stdout}");
+    assert!(stdout.contains("refused under --deny-warnings"), "{stdout}");
+    // The refused statement produced no result table...
+    assert!(!stdout.contains("(0 rows)"), "{stdout}");
+    // ...but the clean follow-up still ran.
+    assert!(stdout.contains("LF0"), "{stdout}");
+}

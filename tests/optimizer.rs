@@ -167,16 +167,74 @@ fn optimizer_config_toggles_are_independent() {
 
 // ---- equivalence property tests --------------------------------------------
 
-/// Every subset of passes worth distinguishing.
+/// Every subset of passes worth distinguishing, all with the plan-
+/// invariant validator explicitly on: every property-test query also
+/// asserts that no pass trips a structural invariant.
 fn configs() -> Vec<OptimizerConfig> {
     vec![
-        OptimizerConfig::none(),
-        OptimizerConfig { filter_pushdown: true, ..OptimizerConfig::none() },
-        OptimizerConfig { prune_projections: true, ..OptimizerConfig::none() },
-        OptimizerConfig { limit_pushdown: true, ..OptimizerConfig::none() },
-        OptimizerConfig { shared_subplans: true, ..OptimizerConfig::none() },
-        OptimizerConfig::default(),
+        OptimizerConfig { validate: true, ..OptimizerConfig::none() },
+        OptimizerConfig { filter_pushdown: true, validate: true, ..OptimizerConfig::none() },
+        OptimizerConfig { prune_projections: true, validate: true, ..OptimizerConfig::none() },
+        OptimizerConfig { limit_pushdown: true, validate: true, ..OptimizerConfig::none() },
+        OptimizerConfig { shared_subplans: true, validate: true, ..OptimizerConfig::none() },
+        OptimizerConfig { validate: true, ..OptimizerConfig::default() },
     ]
+}
+
+// ---- plan-invariant validator ----------------------------------------------
+
+/// Injected-bug tests: a deliberately broken pass (via the test-only
+/// sabotage hook) must be caught by the validator, with the error naming
+/// the offending pass.
+#[test]
+fn validator_catches_sabotaged_limit_pushdown() {
+    use crosse::relational::opt::Sabotage;
+    let db = db_two_tables();
+    db.set_optimizer_config(OptimizerConfig {
+        validate: true,
+        sabotage: Sabotage::WidenLimit,
+        ..OptimizerConfig::default()
+    });
+    let err = db.query("SELECT a FROM t1 LIMIT 2").unwrap_err();
+    assert!(
+        err.to_string().contains("limit_pushdown"),
+        "error should name the broken pass: {err}"
+    );
+    db.set_optimizer_config(OptimizerConfig::default());
+}
+
+#[test]
+fn validator_catches_sabotaged_projection_pruning() {
+    use crosse::relational::opt::Sabotage;
+    let db = db_two_tables();
+    db.set_optimizer_config(OptimizerConfig {
+        validate: true,
+        sabotage: Sabotage::DropProjectColumn,
+        ..OptimizerConfig::default()
+    });
+    let err = db.query("SELECT a, b FROM t1 WHERE a > 3").unwrap_err();
+    assert!(
+        err.to_string().contains("prune_projections"),
+        "error should name the broken pass: {err}"
+    );
+    db.set_optimizer_config(OptimizerConfig::default());
+}
+
+/// With validation off the sabotaged pass slips through and corrupts the
+/// result — proof the injected bug is real (and that release builds,
+/// where `validate` defaults off, rely on the debug gate having run).
+#[test]
+fn sabotage_is_a_real_bug_without_validation() {
+    use crosse::relational::opt::Sabotage;
+    let db = db_two_tables();
+    db.set_optimizer_config(OptimizerConfig {
+        validate: false,
+        sabotage: Sabotage::WidenLimit,
+        ..OptimizerConfig::default()
+    });
+    let rows = db.query("SELECT a FROM t1 LIMIT 2").unwrap().rows;
+    assert_eq!(rows.len(), 3, "WidenLimit should leak one extra row");
+    db.set_optimizer_config(OptimizerConfig::default());
 }
 
 /// A generated SELECT core over t1/t2 that is type-correct by

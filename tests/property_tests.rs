@@ -941,3 +941,126 @@ proptest! {
         prop_assert_eq!(bound.rows, textual.rows);
     }
 }
+
+// ---- semantic linter robustness ---------------------------------------------
+
+/// A small pool of composable SQL shapes over two tables: clean queries,
+/// every rule's trigger, and mixtures.
+fn arb_lint_sql() -> impl Strategy<Value = String> {
+    let filter = prop_oneof![
+        Just(String::new()),
+        (0i64..6, 0i64..6).prop_map(|(a, b)| format!(" WHERE {a} = {b}")),
+        "[a-z]{1,4}".prop_map(|s| format!(" WHERE city = '{s}'")),
+        (0i64..6).prop_map(|n| format!(" WHERE city = {n}")),
+        Just(" WHERE city = city".to_string()),
+        Just(" WHERE city = 'a' AND city = 'b'".to_string()),
+        Just(" WHERE name = $p".to_string()),
+        Just(" WHERE name = landfill_name".to_string()),
+    ];
+    (
+        any::<bool>(),
+        prop_oneof![Just("landfill"), Just("landfill, elem_contained")],
+        filter,
+        any::<bool>(),
+    )
+        .prop_map(|(distinct, from, filter, group)| {
+            let mut s = format!(
+                "SELECT {}city FROM {from}{filter}",
+                if distinct { "DISTINCT " } else { "" }
+            );
+            // Unqualified-conjunct filters are ambiguous over the join
+            // shape; GROUP BY keeps the statement well-formed either way.
+            if group {
+                s.push_str(" GROUP BY city");
+            }
+            s
+        })
+}
+
+/// SPARQL shapes mixing every S-rule trigger with clean twins.
+fn arb_lint_sparql() -> impl Strategy<Value = String> {
+    let proj = prop_oneof![
+        Just("*"),
+        Just("?s"),
+        Just("?s ?o"),
+        Just("?ghost"),
+        Just("(COUNT(*) AS ?n)"),
+    ];
+    let pattern = prop_oneof![
+        Just("?s <urn:p> ?o"),
+        Just("?s <urn:p> ?o . ?o <urn:q> ?z"),
+        Just("?s <urn:p> ?dead"),
+    ];
+    let filter = prop_oneof![
+        Just(""),
+        Just(" FILTER(1 > 2)"),
+        Just(" FILTER(2 > 1)"),
+        Just(" FILTER(?o > 3)"),
+    ];
+    (proj, pattern, filter)
+        .prop_map(|(p, b, f)| format!("SELECT {p} WHERE {{ {b}{f} }}"))
+}
+
+fn lint_fixture_session() -> crosse::core::session::Session {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE landfill (name TEXT, city TEXT);
+         CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT, amount FLOAT);",
+    )
+    .unwrap();
+    let kb = KnowledgeBase::new();
+    kb.register_user("u");
+    crosse::core::session::Session::new(&SesqlEngine::new(db, kb), "u").unwrap()
+}
+
+proptest! {
+    /// The linter never panics and never errors on any parseable SQL
+    /// statement, and rendering every diagnostic (message + span) is
+    /// total.
+    #[test]
+    fn sql_linter_total_on_parseable_statements(sql in arb_lint_sql()) {
+        let s = lint_fixture_session();
+        let diags = s.lint_sql(&sql).unwrap();
+        for d in &diags {
+            let rendered = d.to_string();
+            prop_assert!(!rendered.is_empty());
+            if let Some(span) = &d.span {
+                prop_assert!(span.start <= span.end && span.end <= sql.len());
+            }
+        }
+    }
+
+    /// Same for SESQL: the enrichment rules compose with the SQL rules
+    /// without panicking, whatever the combination.
+    #[test]
+    fn sesql_linter_total(
+        sql in arb_lint_sql(),
+        enrich in prop_oneof![
+            Just(""),
+            Just(" ENRICH SCHEMAEXTENSION(city, someProp)"),
+            Just(" ENRICH SCHEMAREPLACEMENT(city, urn://p)"),
+        ],
+    ) {
+        let s = lint_fixture_session();
+        let stmt = format!("{sql}{enrich}");
+        let diags = s.lint(&stmt).unwrap();
+        for d in &diags {
+            let rendered = d.to_string();
+            prop_assert!(!rendered.is_empty());
+        }
+    }
+
+    /// And for SPARQL: every parseable query lints without panicking.
+    #[test]
+    fn sparql_linter_total(sparql in arb_lint_sparql()) {
+        let s = lint_fixture_session();
+        let diags = s.lint_sparql(&sparql).unwrap();
+        for d in &diags {
+            let rendered = d.to_string();
+            prop_assert!(!rendered.is_empty());
+            if let Some(span) = &d.span {
+                prop_assert!(span.start <= span.end && span.end <= sparql.len());
+            }
+        }
+    }
+}
