@@ -1,3 +1,4 @@
+// srclint: allow(R002): the expect re-reads an entry inserted under the same &mut borrow (map/order coherence is this type's invariant)
 //! # crosse-cache
 //!
 //! A small bounded LRU cache shared by the query layers: the relational

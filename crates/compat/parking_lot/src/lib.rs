@@ -5,13 +5,31 @@
 //! CroSSE codebase uses (`RwLock`, `Mutex`), implemented over `std::sync`
 //! primitives. Poisoning is swallowed — like real parking_lot, a panicked
 //! holder does not poison the lock for later users.
+//!
+//! Beyond API compatibility, the shim is CroSSE's **concurrency analysis
+//! layer**: every lock can register a static site label
+//! ([`Mutex::new_labeled`] / [`RwLock::new_labeled`]) feeding the
+//! debug-gated lock-order deadlock detector, blocking-region hazard
+//! checks and per-site hold/contention counters in [`tracking`]. In
+//! release builds the instrumentation compiles out entirely: locks carry
+//! no label, guards have no `Drop` impl, and every lock call is a direct
+//! delegation to `std::sync` — bench-neutral by construction.
 
 #![forbid(unsafe_code)]
+
+pub mod tracking;
 
 use std::fmt;
 use std::sync::{self, LockResult};
 
-pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(debug_assertions)]
+use tracking::LockKind;
+
+/// Site label used by locks constructed without one ([`Mutex::new`] /
+/// `Default`). The srclint R004 rule pushes engine crates towards
+/// `new_labeled`, so `?unlabeled` appearing in `\lock-stats` output means
+/// a construction site slipped through.
+pub const UNLABELED: &str = "?unlabeled";
 
 fn unpoison<G>(r: LockResult<G>) -> G {
     match r {
@@ -20,17 +38,116 @@ fn unpoison<G>(r: LockResult<G>) -> G {
     }
 }
 
-/// `parking_lot::RwLock`-shaped wrapper over `std::sync::RwLock`.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+// ---- guards ---------------------------------------------------------------
+//
+// Hand-rolled guard wrappers (instead of re-exporting the `std::sync`
+// guards) so lock releases can feed the tracking layer in debug builds.
+// Without `debug_assertions` the wrappers are plain newtypes with no
+// `Drop` impl.
+
+macro_rules! guard_type {
+    ($name:ident, $inner:ident, $(#[$doc:meta])*) => {
+        $(#[$doc])*
+        pub struct $name<'a, T: ?Sized> {
+            #[cfg(debug_assertions)]
+            hold: Option<tracking::Hold>,
+            inner: sync::$inner<'a, T>,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl<T: ?Sized + fmt::Display> fmt::Display for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                if let Some(hold) = self.hold.take() {
+                    tracking::release(hold);
+                }
+            }
+        }
+    };
+}
+
+guard_type!(MutexGuard, MutexGuard, #[doc = "RAII guard of [`Mutex::lock`]."]);
+guard_type!(RwLockReadGuard, RwLockReadGuard, #[doc = "RAII guard of [`RwLock::read`]."]);
+guard_type!(RwLockWriteGuard, RwLockWriteGuard, #[doc = "RAII guard of [`RwLock::write`]."]);
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Wrap a raw `std::sync` guard (no tracked hold).
+macro_rules! untracked {
+    ($name:ident, $inner:expr) => {
+        $name {
+            #[cfg(debug_assertions)]
+            hold: None,
+            inner: $inner,
+        }
+    };
+}
+
+// ---- RwLock ---------------------------------------------------------------
+
+/// `parking_lot::RwLock`-shaped wrapper over `std::sync::RwLock`, with an
+/// optional tracking site label (see [`tracking`]).
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    label: &'static str,
+    inner: sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock::new_labeled(UNLABELED, value)
+    }
+
+    /// A lock registered under the static site label `label` — the name
+    /// the deadlock detector, `\lock-stats` and violation reports use.
+    /// Labels are site *classes*: every per-table rows lock shares one
+    /// `"table.rows"` label.
+    pub fn new_labeled(label: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = label;
+        RwLock {
+            #[cfg(debug_assertions)]
+            label,
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        unpoison(self.0.into_inner().map_err(|e| {
+        unpoison(self.inner.into_inner().map_err(|e| {
             sync::PoisonError::new(e.into_inner())
         }))
     }
@@ -38,31 +155,65 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        unpoison(self.0.read())
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            tracking::before_acquire(self.label, LockKind::Read);
+            let (inner, contended) = match self.inner.try_read() {
+                Ok(g) => (g, false),
+                Err(sync::TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(sync::TryLockError::WouldBlock) => (unpoison(self.inner.read()), true),
+            };
+            let hold = tracking::after_acquire(self.label, LockKind::Read, contended);
+            return RwLockReadGuard { hold: Some(hold), inner };
+        }
+        untracked!(RwLockReadGuard, unpoison(self.inner.read()))
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        unpoison(self.0.write())
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            tracking::before_acquire(self.label, LockKind::Write);
+            let (inner, contended) = match self.inner.try_write() {
+                Ok(g) => (g, false),
+                Err(sync::TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(sync::TryLockError::WouldBlock) => (unpoison(self.inner.write()), true),
+            };
+            let hold = tracking::after_acquire(self.label, LockKind::Write, contended);
+            return RwLockWriteGuard { hold: Some(hold), inner };
+        }
+        untracked!(RwLockWriteGuard, unpoison(self.inner.write()))
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
+        let inner = match self.inner.try_read() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            let hold = tracking::after_acquire(self.label, LockKind::Read, false);
+            return Some(RwLockReadGuard { hold: Some(hold), inner });
         }
+        Some(untracked!(RwLockReadGuard, inner))
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+        let inner = match self.inner.try_write() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            let hold = tracking::after_acquire(self.label, LockKind::Write, false);
+            return Some(RwLockWriteGuard { hold: Some(hold), inner });
         }
+        Some(untracked!(RwLockWriteGuard, inner))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        unpoison(self.0.get_mut().map_err(|e| {
+        unpoison(self.inner.get_mut().map_err(|e| {
             // get_mut's error type carries the same &mut T.
             sync::PoisonError::new(e.into_inner())
         }))
@@ -78,17 +229,41 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
-/// `parking_lot::Mutex`-shaped wrapper over `std::sync::Mutex`.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+// ---- Mutex ----------------------------------------------------------------
+
+/// `parking_lot::Mutex`-shaped wrapper over `std::sync::Mutex`, with an
+/// optional tracking site label (see [`tracking`]).
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    label: &'static str,
+    inner: sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex::new_labeled(UNLABELED, value)
+    }
+
+    /// A lock registered under the static site label `label`; see
+    /// [`RwLock::new_labeled`].
+    pub fn new_labeled(label: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = label;
+        Mutex {
+            #[cfg(debug_assertions)]
+            label,
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        unpoison(self.0.into_inner().map_err(|e| {
+        unpoison(self.inner.into_inner().map_err(|e| {
             sync::PoisonError::new(e.into_inner())
         }))
     }
@@ -96,19 +271,36 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        unpoison(self.0.lock())
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            tracking::before_acquire(self.label, LockKind::Write);
+            let (inner, contended) = match self.inner.try_lock() {
+                Ok(g) => (g, false),
+                Err(sync::TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(sync::TryLockError::WouldBlock) => (unpoison(self.inner.lock()), true),
+            };
+            let hold = tracking::after_acquire(self.label, LockKind::Write, contended);
+            return MutexGuard { hold: Some(hold), inner };
+        }
+        untracked!(MutexGuard, unpoison(self.inner.lock()))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        let inner = match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        }?;
+        #[cfg(debug_assertions)]
+        if tracking::enabled() {
+            let hold = tracking::after_acquire(self.label, LockKind::Write, false);
+            return Some(MutexGuard { hold: Some(hold), inner });
         }
+        Some(untracked!(MutexGuard, inner))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        unpoison(self.0.get_mut().map_err(|e| {
+        unpoison(self.inner.get_mut().map_err(|e| {
             sync::PoisonError::new(e.into_inner())
         }))
     }
@@ -140,6 +332,26 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn labeled_roundtrip() {
+        let l = RwLock::new_labeled("test.rw", 7u8);
+        assert_eq!(*l.read(), 7);
+        let m = Mutex::new_labeled("test.mu", 7u8);
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn try_paths_still_work() {
+        let l = RwLock::new(0u8);
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_some());
+        let m = Mutex::new(0u8);
+        assert!(m.try_lock().is_some());
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
     }
 
     #[test]

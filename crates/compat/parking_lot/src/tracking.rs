@@ -1,0 +1,770 @@
+//! Debug-gated lock instrumentation: acquisition-order deadlock
+//! detection, held-across-blocking hazards, and per-site hold/contention
+//! counters.
+//!
+//! The engine cannot take crates.io analysis dependencies (no loom, no
+//! TSan wrappers), so the compat shim carries the analysis itself. Every
+//! lock registers a static *site label* (`Mutex::new_labeled("catalog.rows")`);
+//! sites are **classes**, lockdep-style — all per-table row locks share
+//! the `"table.rows"` site, so the order graph stays small and the report
+//! names code locations, not addresses. Ordering between two locks of the
+//! *same* site is deliberately not tracked.
+//!
+//! Three analyses run at acquisition time when tracking is on:
+//!
+//! 1. **Lock-order cycles.** A thread-local held-lock stack feeds a global
+//!    acquisition-order graph (edge `A → B` = "held A while acquiring B",
+//!    recorded once with the held-stack that produced it). Before an edge
+//!    is added, a path `B ⇝ A` is searched; if one exists the cycle is
+//!    reported as a [`LockOrderViolation`] naming both sites and both
+//!    acquisition stacks. Read/write kinds ride on every edge and a cycle
+//!    only fires when each step can actually block the next
+//!    (read-read steps cannot), which keeps shared-read patterns from
+//!    producing false alarms.
+//! 2. **Blocking regions.** Code that is about to block outside the lock
+//!    system (fsync, file IO) brackets itself with [`blocking_region`];
+//!    entering a region while holding any lock — or acquiring one inside
+//!    it — is reported, except for sites the region explicitly expects
+//!    (the WAL's own appender/barrier, which hold across group-commit
+//!    fsync by design).
+//! 3. **Counters.** Per-site acquisitions, contended acquisitions (the
+//!    uncontended `try` path failed first), and total/max hold times,
+//!    surfaced as [`LockSiteStats`] via `Database::lock_stats` and the CLI
+//!    `\lock-stats` meta-command.
+//!
+//! ## Gating
+//!
+//! The whole module is compiled out of release builds (`debug_assertions`
+//! off ⇒ the public API is a set of empty inlinable stubs, locks carry no
+//! label field, guards have no `Drop` impl — bench-neutral by
+//! construction). In debug builds it is additionally off at runtime
+//! unless `CROSSE_LOCK_TRACK` is set in the environment (read once) or
+//! [`set_enabled`]`(true)` is called; when off, the per-acquisition cost
+//! is one relaxed atomic load.
+//!
+//! Violations are recorded in a global list ([`violations`] /
+//! [`take_violations`]) and printed to stderr once per site pair, so a
+//! tracked test run (`cargo xtask stress`) surfaces inversions even when
+//! no assertion looks for them.
+
+use std::fmt;
+
+/// Whether an acquisition (or a hold) is shared or exclusive. `Mutex`
+/// operations are always [`LockKind::Write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    Read,
+    Write,
+}
+
+/// A lock-order inversion: acquiring `acquiring` while holding `held`
+/// closes a cycle against the already-recorded path
+/// `acquiring ⇝ … ⇝ held`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderViolation {
+    /// Site already held by this thread when the cycle closed.
+    pub held: &'static str,
+    /// Site whose acquisition closed the cycle.
+    pub acquiring: &'static str,
+    /// The pre-existing conflicting path, `acquiring → … → held`.
+    pub cycle: Vec<&'static str>,
+    /// Held-lock stack recorded when the first edge of `cycle` was
+    /// registered — the other ordering's acquisition stack.
+    pub prior_stack: Vec<&'static str>,
+    /// Held-lock stack of the acquisition that closed the cycle.
+    pub current_stack: Vec<&'static str>,
+}
+
+impl fmt::Display for LockOrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lock-order violation: acquiring `{}` while holding `{}`, but the \
+             order {} was already established (prior stack: [{}]; current stack: [{}])",
+            self.acquiring,
+            self.held,
+            self.cycle.join(" -> "),
+            self.prior_stack.join(", "),
+            self.current_stack.join(", "),
+        )
+    }
+}
+
+/// One recorded hazard: a lock-order cycle or a lock held across (or
+/// taken inside) a declared blocking region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    Order(LockOrderViolation),
+    /// `locks` were held on entry to (or acquired inside) blocking region
+    /// `region` without being in its expected set.
+    HeldAcrossBlocking { region: &'static str, locks: Vec<&'static str> },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Order(v) => v.fmt(f),
+            Violation::HeldAcrossBlocking { region, locks } => write!(
+                f,
+                "blocking-region violation: [{}] held across blocking region `{region}`",
+                locks.join(", ")
+            ),
+        }
+    }
+}
+
+/// Point-in-time counters for one lock site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSiteStats {
+    pub site: &'static str,
+    /// Completed `lock()`/`read()`/`write()` calls.
+    pub acquisitions: u64,
+    /// Acquisitions whose uncontended `try` path failed first.
+    pub contended: u64,
+    pub total_hold_ns: u64,
+    pub max_hold_ns: u64,
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    const UNSET: u8 = 0;
+    const OFF: u8 = 1;
+    const ON: u8 = 2;
+
+    static ENABLED: AtomicU8 = AtomicU8::new(UNSET);
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+    struct Edge {
+        held_kind: LockKind,
+        acq_kind: LockKind,
+        /// Held-lock stack when this edge was first recorded.
+        stack: Vec<&'static str>,
+    }
+
+    #[derive(Default)]
+    struct Global {
+        /// `edges[a][b]` = "held `a` while acquiring `b`".
+        edges: HashMap<&'static str, HashMap<&'static str, Edge>>,
+        violations: Vec<Violation>,
+        /// Dedup: one report per (held, acquiring) pair / (region, lock).
+        reported: HashSet<(&'static str, &'static str)>,
+        stats: HashMap<&'static str, Counters>,
+    }
+
+    #[derive(Default)]
+    struct Counters {
+        acquisitions: u64,
+        contended: u64,
+        total_hold_ns: u64,
+        max_hold_ns: u64,
+    }
+
+    fn global() -> &'static Mutex<Global> {
+        static G: OnceLock<Mutex<Global>> = OnceLock::new();
+        G.get_or_init(|| Mutex::new(Global::default()))
+    }
+
+    fn with_global<R>(f: impl FnOnce(&mut Global) -> R) -> R {
+        let mut g = global().lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut g)
+    }
+
+    struct HeldEntry {
+        label: &'static str,
+        kind: LockKind,
+        token: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+        static REGIONS: RefCell<Vec<(&'static str, &'static [&'static str])>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Is tracking active? First call consults `CROSSE_LOCK_TRACK`.
+    pub fn enabled() -> bool {
+        match ENABLED.load(Ordering::Relaxed) {
+            ON => true,
+            OFF => false,
+            _ => {
+                let on = std::env::var("CROSSE_LOCK_TRACK")
+                    .map(|v| !v.is_empty() && v != "0")
+                    .unwrap_or(false);
+                ENABLED.store(if on { ON } else { OFF }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    /// Programmatically switch tracking on/off (overrides the env gate).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    }
+
+    /// An active tracked hold; returned by `after_acquire`, consumed by
+    /// the guard's `Drop`.
+    pub struct Hold {
+        label: &'static str,
+        token: u64,
+        start: Instant,
+    }
+
+    /// Can an acquisition of kind `acq` be blocked by a hold of kind
+    /// `held` on the same lock? (Shared readers never block each other.)
+    fn conflicts(acq: LockKind, held: LockKind) -> bool {
+        acq == LockKind::Write || held == LockKind::Write
+    }
+
+    /// DFS for a deadlock-feasible path `from ⇝ to` in the order graph.
+    /// `first_acq` is the acquisition kind of the edge that will close the
+    /// cycle (`to → from`), `closing_held` the kind `to` is held with.
+    /// Every consecutive step must be able to block (`conflicts`).
+    /// Returns the path labels `[from, …, to]` and the first edge's
+    /// recorded stack.
+    fn find_cycle(
+        g: &Global,
+        from: &'static str,
+        to: &'static str,
+        first_acq: LockKind,
+        closing_held: LockKind,
+    ) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
+        struct Search<'a> {
+            g: &'a Global,
+            to: &'static str,
+            closing_held: LockKind,
+            visited: HashSet<&'static str>,
+        }
+        impl Search<'_> {
+            fn walk(
+                &mut self,
+                node: &'static str,
+                prev_acq: LockKind,
+                path: &mut Vec<&'static str>,
+            ) -> bool {
+                let Some(out) = self.g.edges.get(node) else { return false };
+                for (next, edge) in out {
+                    if !conflicts(prev_acq, edge.held_kind) {
+                        continue;
+                    }
+                    if *next == self.to {
+                        if conflicts(edge.acq_kind, self.closing_held) {
+                            path.push(next);
+                            return true;
+                        }
+                        continue;
+                    }
+                    if self.visited.insert(next) {
+                        path.push(next);
+                        if self.walk(next, edge.acq_kind, path) {
+                            return true;
+                        }
+                        path.pop();
+                    }
+                }
+                false
+            }
+        }
+        let mut s = Search { g, to, closing_held, visited: HashSet::new() };
+        s.visited.insert(from);
+        let mut path = vec![from];
+        if s.walk(from, first_acq, &mut path) {
+            let first_stack = path
+                .get(1)
+                .and_then(|x| g.edges.get(from).and_then(|m| m.get(x)))
+                .map(|e| e.stack.clone())
+                .unwrap_or_default();
+            Some((path, first_stack))
+        } else {
+            None
+        }
+    }
+
+    /// Called before a (possibly blocking) acquisition: blocking-region
+    /// check, cycle detection, edge registration. Runs *before* the real
+    /// lock call so a true deadlock is still reported before the hang.
+    pub(crate) fn before_acquire(label: &'static str, kind: LockKind) {
+        let in_region: Option<&'static str> = REGIONS.with(|r| {
+            r.borrow()
+                .iter()
+                .find(|(_, allowed)| !allowed.contains(&label))
+                .map(|(name, _)| *name)
+        });
+        let held: Vec<(&'static str, LockKind)> =
+            HELD.with(|h| h.borrow().iter().map(|e| (e.label, e.kind)).collect());
+        if in_region.is_none() && held.is_empty() {
+            return;
+        }
+        with_global(|g| {
+            if let Some(region) = in_region {
+                if g.reported.insert((region, label)) {
+                    let v = Violation::HeldAcrossBlocking { region, locks: vec![label] };
+                    eprintln!("crosse-lock-track: lock acquired inside blocking region: {v}");
+                    g.violations.push(v);
+                }
+            }
+            let current_stack: Vec<&'static str> = held.iter().map(|(l, _)| *l).collect();
+            for &(h, hk) in &held {
+                if h == label {
+                    continue; // same-site nesting is not ordered (sites are classes)
+                }
+                let known = g.edges.get(h).is_some_and(|m| m.contains_key(label));
+                if !known {
+                    if let Some((cycle, prior_stack)) = find_cycle(g, label, h, kind, hk) {
+                        if g.reported.insert((h, label)) {
+                            let v = LockOrderViolation {
+                                held: h,
+                                acquiring: label,
+                                cycle,
+                                prior_stack,
+                                current_stack: current_stack.clone(),
+                            };
+                            eprintln!("crosse-lock-track: {v}");
+                            g.violations.push(Violation::Order(v));
+                        }
+                    }
+                    g.edges.entry(h).or_default().insert(
+                        label,
+                        Edge { held_kind: hk, acq_kind: kind, stack: current_stack.clone() },
+                    );
+                }
+            }
+        });
+    }
+
+    /// Called after the lock is held: records the hold on the thread-local
+    /// stack and bumps the site counters.
+    pub(crate) fn after_acquire(
+        label: &'static str,
+        kind: LockKind,
+        contended: bool,
+    ) -> Hold {
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|h| h.borrow_mut().push(HeldEntry { label, kind, token }));
+        with_global(|g| {
+            let c = g.stats.entry(label).or_default();
+            c.acquisitions += 1;
+            c.contended += u64::from(contended);
+        });
+        Hold { label, token, start: Instant::now() }
+    }
+
+    /// Called from the guard's `Drop`.
+    pub(crate) fn release(hold: Hold) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(i) = h.iter().rposition(|e| e.token == hold.token) {
+                h.remove(i);
+            }
+        });
+        let ns = u64::try_from(hold.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        with_global(|g| {
+            let c = g.stats.entry(hold.label).or_default();
+            c.total_hold_ns += ns;
+            c.max_hold_ns = c.max_hold_ns.max(ns);
+        });
+    }
+
+    /// RAII marker for a region that blocks outside the lock system.
+    pub struct BlockingRegionGuard {
+        active: bool,
+    }
+
+    impl Drop for BlockingRegionGuard {
+        fn drop(&mut self) {
+            if self.active {
+                REGIONS.with(|r| {
+                    r.borrow_mut().pop();
+                });
+            }
+        }
+    }
+
+    /// Declare a blocking region (fsync, file IO, …): any lock held on
+    /// entry — or acquired before the guard drops — is reported.
+    pub fn blocking_region(name: &'static str) -> BlockingRegionGuard {
+        blocking_region_allowing(name, &[])
+    }
+
+    /// [`blocking_region`], except sites in `expected` are tolerated —
+    /// for locks that hold across the block *by design* (the WAL's own
+    /// appender during group-commit fsync).
+    pub fn blocking_region_allowing(
+        name: &'static str,
+        expected: &'static [&'static str],
+    ) -> BlockingRegionGuard {
+        if !enabled() {
+            return BlockingRegionGuard { active: false };
+        }
+        let mut offending: Vec<&'static str> = Vec::new();
+        HELD.with(|h| {
+            for e in h.borrow().iter() {
+                if !expected.contains(&e.label) && !offending.contains(&e.label) {
+                    offending.push(e.label);
+                }
+            }
+        });
+        if !offending.is_empty() {
+            with_global(|g| {
+                if g.reported.insert((name, offending[0])) {
+                    let v = Violation::HeldAcrossBlocking { region: name, locks: offending };
+                    eprintln!("crosse-lock-track: {v}");
+                    g.violations.push(v);
+                }
+            });
+        }
+        REGIONS.with(|r| r.borrow_mut().push((name, expected)));
+        BlockingRegionGuard { active: true }
+    }
+
+    /// Snapshot the recorded violations (does not drain — safe to call
+    /// from concurrently-running tests that filter by their own sites).
+    pub fn violations() -> Vec<Violation> {
+        with_global(|g| g.violations.clone())
+    }
+
+    /// Drain the recorded violations. The per-pair dedup memory is kept,
+    /// so an already-reported pair is not re-recorded.
+    pub fn take_violations() -> Vec<Violation> {
+        with_global(|g| std::mem::take(&mut g.violations))
+    }
+
+    /// Per-site counters, sorted by site label.
+    pub fn stats() -> Vec<LockSiteStats> {
+        let mut out = with_global(|g| {
+            g.stats
+                .iter()
+                .map(|(site, c)| LockSiteStats {
+                    site,
+                    acquisitions: c.acquisitions,
+                    contended: c.contended,
+                    total_hold_ns: c.total_hold_ns,
+                    max_hold_ns: c.max_hold_ns,
+                })
+                .collect::<Vec<_>>()
+        });
+        out.sort_by_key(|s| s.site);
+        out
+    }
+
+    /// Clear the order graph, violations, dedup memory and counters.
+    /// Call with no locks held (held entries themselves are per-thread
+    /// and unaffected).
+    pub fn reset() {
+        with_global(|g| {
+            g.edges.clear();
+            g.violations.clear();
+            g.reported.clear();
+            g.stats.clear();
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    //! Release builds: the entire tracking layer compiles to nothing.
+    use super::*;
+
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// Zero-sized stand-in so `BlockingRegionGuard` exists in release.
+    pub struct BlockingRegionGuard;
+
+    #[inline(always)]
+    pub fn blocking_region(_name: &'static str) -> BlockingRegionGuard {
+        BlockingRegionGuard
+    }
+
+    #[inline(always)]
+    pub fn blocking_region_allowing(
+        _name: &'static str,
+        _expected: &'static [&'static str],
+    ) -> BlockingRegionGuard {
+        BlockingRegionGuard
+    }
+
+    #[inline(always)]
+    pub fn violations() -> Vec<Violation> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn take_violations() -> Vec<Violation> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn stats() -> Vec<LockSiteStats> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use imp::{
+    blocking_region, blocking_region_allowing, enabled, reset, set_enabled, stats,
+    take_violations, violations, BlockingRegionGuard,
+};
+
+#[cfg(debug_assertions)]
+pub(crate) use imp::{after_acquire, before_acquire, release, Hold};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use crate::{Mutex, RwLock};
+
+    /// Serialises tests that toggle the global enable switch.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static MU: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        MU.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn two_lock_inversion_is_reported_with_both_sites() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let a = Mutex::new_labeled("trk.test.a", 0u32);
+        let b = Mutex::new_labeled("trk.test.b", 0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // closes the cycle
+        }
+        let vs = violations();
+        set_enabled(false);
+        let v = vs
+            .iter()
+            .find_map(|v| match v {
+                Violation::Order(o) if o.acquiring == "trk.test.a" => Some(o),
+                _ => None,
+            })
+            .expect("inversion must be reported");
+        assert_eq!(v.held, "trk.test.b");
+        assert_eq!(v.cycle, vec!["trk.test.a", "trk.test.b"]);
+        assert_eq!(v.prior_stack, vec!["trk.test.a"]);
+        assert_eq!(v.current_stack, vec!["trk.test.b"]);
+    }
+
+    #[test]
+    fn read_read_cycles_do_not_fire() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let a = RwLock::new_labeled("trk.rr.a", ());
+        let b = RwLock::new_labeled("trk.rr.b", ());
+        {
+            let _ga = a.read();
+            let _gb = b.read();
+        }
+        {
+            let _gb = b.read();
+            let _ga = a.read(); // shared readers cannot deadlock
+        }
+        let vs = violations();
+        set_enabled(false);
+        assert!(
+            !vs.iter().any(|v| matches!(v, Violation::Order(o) if o.acquiring.starts_with("trk.rr"))),
+            "read-read inversion must not be flagged: {vs:?}"
+        );
+    }
+
+    #[test]
+    fn read_write_cycles_do_fire() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let a = RwLock::new_labeled("trk.rw.a", ());
+        let b = RwLock::new_labeled("trk.rw.b", ());
+        {
+            let _ga = a.read();
+            let _gb = b.write();
+        }
+        {
+            let _gb = b.read();
+            let _ga = a.write();
+        }
+        let vs = violations();
+        set_enabled(false);
+        assert!(
+            vs.iter().any(|v| matches!(v, Violation::Order(o) if o.acquiring == "trk.rw.a")),
+            "read/write inversion must be flagged: {vs:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_region_flags_held_locks_but_not_expected_ones() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let m = Mutex::new_labeled("trk.blk.held", 1u8);
+        {
+            let _gm = m.lock();
+            let _r = blocking_region_allowing("trk.blk.io", &["trk.blk.expected"]);
+        }
+        let expected = Mutex::new_labeled("trk.blk.expected", 1u8);
+        {
+            let _ge = expected.lock();
+            let _r = blocking_region_allowing("trk.blk.io2", &["trk.blk.expected"]);
+        }
+        let vs = violations();
+        set_enabled(false);
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::HeldAcrossBlocking { region: "trk.blk.io", locks } if locks.contains(&"trk.blk.held")
+        )));
+        assert!(!vs.iter().any(
+            |v| matches!(v, Violation::HeldAcrossBlocking { region: "trk.blk.io2", .. })
+        ));
+    }
+
+    #[test]
+    fn lock_inside_blocking_region_is_flagged() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let m = Mutex::new_labeled("trk.inside.lock", ());
+        {
+            let _r = blocking_region("trk.inside.io");
+            let _gm = m.lock();
+        }
+        let vs = violations();
+        set_enabled(false);
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::HeldAcrossBlocking { region: "trk.inside.io", locks } if locks.contains(&"trk.inside.lock")
+        )));
+    }
+
+    #[test]
+    fn stats_count_acquisitions_and_hold_time() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let m = Mutex::new_labeled("trk.stats.m", 0u64);
+        for _ in 0..5 {
+            *m.lock() += 1;
+        }
+        let s = stats();
+        set_enabled(false);
+        let site = s.iter().find(|s| s.site == "trk.stats.m").expect("site present");
+        assert_eq!(site.acquisitions, 5);
+        assert!(site.max_hold_ns <= site.total_hold_ns);
+    }
+
+    #[test]
+    fn contention_is_counted() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let m = std::sync::Arc::new(Mutex::new_labeled("trk.contend.m", ()));
+        let m2 = m.clone();
+        let held = m.lock();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock(); // blocks until the main thread releases
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(held);
+        t.join().unwrap();
+        let s = stats();
+        set_enabled(false);
+        let site = s.iter().find(|s| s.site == "trk.contend.m").expect("site present");
+        assert_eq!(site.acquisitions, 2);
+        assert!(site.contended >= 1, "the blocked acquisition must count as contended");
+    }
+
+    #[test]
+    fn disabled_tracking_records_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        let a = Mutex::new_labeled("trk.off.a", ());
+        let b = Mutex::new_labeled("trk.off.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        assert!(violations().is_empty());
+        assert!(stats().is_empty());
+    }
+
+    #[test]
+    fn take_violations_drains_but_keeps_dedup() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let a = Mutex::new_labeled("trk.take.a", ());
+        let b = Mutex::new_labeled("trk.take.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        let first = take_violations();
+        assert!(!first.is_empty());
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // same pair again: deduped
+        }
+        let second = take_violations();
+        set_enabled(false);
+        assert!(second.is_empty(), "already-reported pair must not re-record");
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found_transitively() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let a = Mutex::new_labeled("trk.tri.a", ());
+        let b = Mutex::new_labeled("trk.tri.b", ());
+        let c = Mutex::new_labeled("trk.tri.c", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a -> b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b -> c
+        }
+        {
+            let _gc = c.lock();
+            let _ga = a.lock(); // closes a -> b -> c -> a
+        }
+        let vs = violations();
+        set_enabled(false);
+        let v = vs
+            .iter()
+            .find_map(|v| match v {
+                Violation::Order(o) if o.acquiring == "trk.tri.a" => Some(o),
+                _ => None,
+            })
+            .expect("transitive cycle must be reported");
+        assert_eq!(v.cycle, vec!["trk.tri.a", "trk.tri.b", "trk.tri.c"]);
+        assert_eq!(v.held, "trk.tri.c");
+    }
+}

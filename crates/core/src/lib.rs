@@ -28,6 +28,7 @@ pub mod storage;
 
 pub use crosse_lint::{Diagnostic, Severity, Span};
 pub use error::{Error, Result};
+pub use crosse_relational::LockSiteStats;
 pub use storage::{SyncPolicy, WalOptions, WalStats};
 pub use sesql::ast::{Enrichment, SesqlQuery};
 pub use sesql::parser::parse_sesql;

@@ -49,11 +49,17 @@ pub struct CrossePlatform {
 
 impl CrossePlatform {
     pub fn new(db: Database, kb: KnowledgeBase) -> Self {
-        CrossePlatform { engine: SesqlEngine::new(db, kb), log: Arc::default() }
+        CrossePlatform {
+            engine: SesqlEngine::new(db, kb),
+            log: Arc::new(RwLock::new_labeled("platform.activity_log", Vec::new())),
+        }
     }
 
     pub fn from_engine(engine: SesqlEngine) -> Self {
-        CrossePlatform { engine, log: Arc::default() }
+        CrossePlatform {
+            engine,
+            log: Arc::new(RwLock::new_labeled("platform.activity_log", Vec::new())),
+        }
     }
 
     pub fn engine(&self) -> &SesqlEngine {

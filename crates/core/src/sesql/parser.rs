@@ -1,3 +1,4 @@
+// srclint: allow(R002): the tagging scanner guarantees every named condition occurs in the cleaned SQL it produced
 //! SESQL parser: ties the scanner, the SQL parser, and the enrichment
 //! grammar of Fig. 5 together (the paper's Semantic Query Parser, SQP).
 

@@ -1,3 +1,4 @@
+// srclint: allow(R002): char lookups use byte offsets produced by the same scan, always in bounds
 //! The dedicated SESQL scanner (paper Remark 4.1).
 //!
 //! Two pre-parsing passes run over the raw query text:

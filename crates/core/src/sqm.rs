@@ -1,3 +1,4 @@
+// srclint: allow(R002): the generated SPARQL always projects the ?s/?o variables the expects look up; the char walk indexes char boundaries
 //! The Semantic Query Module (SQM): SESQL execution (paper Fig. 6).
 //!
 //! Execution follows the paper's architecture: the Semantic Query Parser
@@ -205,9 +206,9 @@ struct CachedPairs {
 impl Default for SparqlLegCache {
     fn default() -> Self {
         SparqlLegCache {
-            entries: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
-            pairs: Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)),
-            pairs_tables: Mutex::new(Vec::new()),
+            entries: Mutex::new_labeled("sqm.leg_cache", Lru::new(DEFAULT_CACHE_CAPACITY)),
+            pairs: Mutex::new_labeled("sqm.pairs_cache", Lru::new(DEFAULT_CACHE_CAPACITY)),
+            pairs_tables: Mutex::new_labeled("sqm.pairs_tables", Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -342,8 +343,8 @@ impl SesqlEngine {
             tempdb: TempDb::new(),
             options: EnrichOptions::default(),
             cache: Arc::default(),
-            parsed: Arc::new(Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY))),
-            prepared: Arc::new(Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY))),
+            parsed: Arc::new(Mutex::new_labeled("sesql.ast_cache", Lru::new(DEFAULT_CACHE_CAPACITY))),
+            prepared: Arc::new(Mutex::new_labeled("sesql.prepared_cache", Lru::new(DEFAULT_CACHE_CAPACITY))),
         }
     }
 
@@ -385,6 +386,13 @@ impl SesqlEngine {
     /// WAL statistics, or `None` for an in-memory engine.
     pub fn wal_stats(&self) -> Option<crate::storage::WalStats> {
         self.db.wal_stats()
+    }
+
+    /// Per-site lock counters from the concurrency tracking layer (CLI
+    /// `\lock-stats`). Empty in release builds and when tracking is off;
+    /// see [`crosse_relational::Database::lock_stats`].
+    pub fn lock_stats(&self) -> Vec<crosse_relational::LockSiteStats> {
+        self.db.lock_stats()
     }
 
     /// Non-fatal notes from recovery (e.g. a torn final record truncated
@@ -724,7 +732,7 @@ impl SesqlEngine {
                     warnings: cached.warnings,
                     text: key,
                     version,
-                    revalidated: Arc::new(Mutex::new(None)),
+                    revalidated: Arc::new(Mutex::new_labeled("prepared.revalidated", None)),
                 });
             }
             // DDL since compilation: reuse the parse (text → AST is
@@ -758,7 +766,7 @@ impl SesqlEngine {
             warnings,
             text: key,
             version,
-            revalidated: Arc::new(Mutex::new(None)),
+            revalidated: Arc::new(Mutex::new_labeled("prepared.revalidated", None)),
         })
     }
 

@@ -1,3 +1,4 @@
+// srclint: allow(R002): each task slot is claimed by exactly one worker index; a double-take is a scheduler bug worth crashing on
 //! # crosse-exec
 //!
 //! A dependency-free scoped worker pool for intra-query parallelism, in
@@ -7,8 +8,9 @@
 //! results are merged back **in input order** so parallel operators stay
 //! deterministic.
 //!
-//! The pool is built on [`std::thread::scope`] only — no crates.io
-//! dependencies, no unsafe, no global state. Threads are spawned per call;
+//! The pool is built on [`std::thread::scope`] — no crates.io
+//! dependencies, no unsafe, no global state (its only dep is the
+//! workspace's std-backed `parking_lot` shim, for lock-order tracking). Threads are spawned per call;
 //! that costs tens of microseconds, which is why every entry point falls
 //! back to the caller's thread for single-threaded pools, single tasks, or
 //! when the caller's partitioning produced one chunk. Engines gate the
@@ -24,8 +26,8 @@
 
 #![forbid(unsafe_code)]
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A scoped worker pool: a target thread count plus the scheduling logic.
 ///
@@ -71,13 +73,16 @@ impl WorkerPool {
             return tasks.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let n = tasks.len();
-        let slots: Vec<Mutex<Option<T>>> =
-            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<T>>> = tasks
+            .into_iter()
+            .map(|t| Mutex::new_labeled("exec.task_slot", Some(t)))
+            .collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
         let mut merged: Vec<(usize, R)> = Vec::with_capacity(n);
         {
-            let collected: Mutex<&mut Vec<(usize, R)>> = Mutex::new(&mut merged);
+            let collected: Mutex<&mut Vec<(usize, R)>> =
+                Mutex::new_labeled("exec.results", &mut merged);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
@@ -89,16 +94,12 @@ impl WorkerPool {
                             }
                             let task = slots[i]
                                 .lock()
-                                .expect("task slot poisoned")
                                 .take()
                                 .expect("task claimed twice");
                             local.push((i, f(i, task)));
                         }
                         if !local.is_empty() {
-                            collected
-                                .lock()
-                                .expect("result sink poisoned")
-                                .append(&mut local);
+                            collected.lock().append(&mut local);
                         }
                     });
                 }

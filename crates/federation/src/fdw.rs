@@ -1,3 +1,4 @@
+// srclint: allow(R002): thread join() only errs when a fetch worker panicked; re-raising that panic is intended
 //! The federated database: a mediator over multiple sources.
 //!
 //! `FederatedDatabase` plays the role of the paper's integrated "Main
@@ -109,8 +110,8 @@ impl FederatedDatabase {
     pub fn new() -> Self {
         FederatedDatabase {
             local: Database::new(),
-            sources: Arc::default(),
-            foreign: Arc::default(),
+            sources: Arc::new(RwLock::new_labeled("fdw.sources", Vec::new())),
+            foreign: Arc::new(RwLock::new_labeled("fdw.foreign", HashMap::new())),
             push_gen: Arc::default(),
         }
     }

@@ -1,3 +1,4 @@
+// srclint: allow(R002): the probe index only stores solution ids whose join variable is bound
 //! The JoinManager: combines relational rows with SPARQL solutions.
 //!
 //! Fig. 6 of the paper: the SQL query and the SPARQL query are "indepen-

@@ -68,9 +68,17 @@ impl MapStrategy {
 }
 
 /// Column-level resource mapping registry. Cheap to clone.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ResourceMapping {
     rules: Arc<RwLock<HashMap<(String, String), MapStrategy>>>,
+}
+
+impl Default for ResourceMapping {
+    fn default() -> Self {
+        ResourceMapping {
+            rules: Arc::new(RwLock::new_labeled("fdw.mapping_rules", HashMap::new())),
+        }
+    }
 }
 
 impl ResourceMapping {

@@ -27,8 +27,21 @@
 //! | `E001` | warning | SESQL tagged condition not referenced by any enrichment |
 //! | `E002` | error   | SESQL enrichment references an unknown condition tag |
 //! | `E003` | warning | enrichment references an unregistered stored query |
+//! | `R000` | error   | malformed `srclint: allow` directive (unknown rule / no justification) |
+//! | `R001` | error   | `std::sync::Mutex`/`RwLock` outside the compat shim |
+//! | `R002` | error   | `.unwrap()`/`.expect(` in non-test library code |
+//! | `R003` | error   | `panic!` outside tests/sabotage hooks |
+//! | `R004` | warning | unlabeled `Mutex::new`/`RwLock::new` in engine code |
+//! | `R005` | error   | crate root missing `#![forbid(unsafe_code)]` |
+//! | `R006` | error   | `Instant::now`/`SystemTime::now` in planner/optimizer code |
+//!
+//! The `R`-prefixed rules are [`srclint`] — the workspace's own Rust
+//! sources linted by `cargo xtask srclint` with a hand-rolled,
+//! dependency-free lexer.
 
 #![forbid(unsafe_code)]
+
+pub mod srclint;
 
 use std::fmt;
 

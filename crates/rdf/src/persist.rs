@@ -8,7 +8,9 @@
 //! by each graph's triples as `3×u32` ids, and restoring into a fresh
 //! store re-interns the dictionary densely so the ids line up.
 
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use crosse_wal::{Decoder, Encoder, WalStore, CHAN_RDF};
 
@@ -24,8 +26,18 @@ pub trait RdfRedoSink: Send + Sync + std::fmt::Debug {
     /// their whole log-then-apply critical section.
     fn barrier(&self) -> &RwLock<()>;
 
-    /// Append one encoded [`RdfOp`].
+    /// Append one encoded [`RdfOp`] to the log buffer without forcing it
+    /// to disk.
     fn log(&self, payload: &[u8]) -> Result<()>;
+
+    /// Apply the sink's durability policy (fsync if due). Mutators call
+    /// this **after** releasing the graph locks so no store lock is held
+    /// across the (slow, blocking) fsync. An error here means the
+    /// mutation is applied in memory but its durability is not yet
+    /// guaranteed.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// [`RdfRedoSink`] over a shared [`WalStore`], tagging records `CHAN_RDF`.
@@ -51,7 +63,11 @@ impl RdfRedoSink for WalRdfSink {
     }
 
     fn log(&self, payload: &[u8]) -> Result<()> {
-        self.wal.append(CHAN_RDF, payload).map(drop).map_err(Error::from)
+        self.wal.append_nosync(CHAN_RDF, payload).map(drop).map_err(Error::from)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.wal.sync_policy().map_err(Error::from)
     }
 }
 

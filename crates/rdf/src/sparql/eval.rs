@@ -1,3 +1,4 @@
+// srclint: allow(R002): resolved[] slots are filled by the loop just above; the ordering pick runs over a non-empty candidate set
 //! SPARQL evaluation over the triple store.
 //!
 //! Evaluation is a two-phase, ID-native pipeline:

@@ -1,3 +1,4 @@
+// srclint: allow(R002): most hits are the parser's own Result-returning expect(&Tok) combinator; the rest are in-bounds char reads from the same scan
 //! SPARQL parser (lexer + recursive descent in one module).
 
 use std::collections::HashMap;

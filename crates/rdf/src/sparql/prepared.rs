@@ -1,3 +1,4 @@
+// srclint: allow(R002): prepare() resolves every slot before substitution can run
 //! Prepared SPARQL queries: compile once, bind terms, evaluate many times.
 //!
 //! [`prepare`] parses a SELECT into a [`Prepared`] handle carrying its
@@ -375,7 +376,7 @@ impl Default for PreparedCache {
 
 impl PreparedCache {
     pub fn new(capacity: usize) -> Self {
-        PreparedCache { entries: Mutex::new(Lru::new(capacity)) }
+        PreparedCache { entries: Mutex::new_labeled("rdf.prepared_cache", Lru::new(capacity)) }
     }
 
     /// Compile `sparql`, or return the cached compilation of equivalent

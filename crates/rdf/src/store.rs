@@ -26,9 +26,17 @@ use crate::term::{Dictionary, Term, TermId};
 /// the store, so acquiring in the other order deadlocks.
 fn sink_guard(
     sink: &Option<Arc<dyn RdfRedoSink>>,
-) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
-    sink.as_ref()
-        .map(|s| s.barrier().read().unwrap_or_else(|e| e.into_inner()))
+) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
+    sink.as_ref().map(|s| s.barrier().read())
+}
+
+/// Apply the sink's durability policy (fsync if due). Called **after** the
+/// mutator's critical section so no graph lock is held across the fsync.
+fn flush_sink(sink: &Option<Arc<dyn RdfRedoSink>>) -> Result<()> {
+    match sink {
+        Some(s) => s.flush(),
+        None => Ok(()),
+    }
 }
 
 /// A concrete triple of terms.
@@ -213,7 +221,7 @@ pub struct TriplePattern {
 }
 
 /// The multi-graph triple store. Cheap to clone (shared interior).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TripleStore {
     dict: Dictionary,
     graphs: Arc<RwLock<std::collections::BTreeMap<String, GraphData>>>,
@@ -228,6 +236,21 @@ pub struct TripleStore {
     /// write and park the error here; [`TripleStore::storage_check`]
     /// surfaces it.
     storage_err: Arc<RwLock<Option<Error>>>,
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        TripleStore {
+            dict: Dictionary::default(),
+            graphs: Arc::new(RwLock::new_labeled(
+                "rdf.graphs",
+                std::collections::BTreeMap::new(),
+            )),
+            version: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            sink: Arc::new(RwLock::new_labeled("rdf.sink", None)),
+            storage_err: Arc::new(RwLock::new_labeled("rdf.storage_err", None)),
+        }
+    }
 }
 
 impl TripleStore {
@@ -281,18 +304,25 @@ impl TripleStore {
     /// creates it; this is for explicitly registering empty graphs).
     pub fn ensure_graph(&self, name: &str) {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut graphs = self.graphs.write();
-        if graphs.contains_key(name) {
-            return;
-        }
-        if let Some(s) = &sink {
-            if let Err(e) = s.log(&encode_rdf_op(&RdfOp::EnsureGraph { graph: name })) {
-                self.note_storage_err(e);
+        {
+            let _barrier = sink_guard(&sink);
+            let mut graphs = self.graphs.write();
+            if graphs.contains_key(name) {
                 return;
             }
+            if let Some(s) = &sink {
+                if let Err(e) =
+                    s.log(&encode_rdf_op(&RdfOp::EnsureGraph { graph: name }))
+                {
+                    self.note_storage_err(e);
+                    return;
+                }
+            }
+            graphs.entry(name.to_string()).or_default();
         }
-        graphs.entry(name.to_string()).or_default();
+        if let Err(e) = flush_sink(&sink) {
+            self.note_storage_err(e);
+        }
     }
 
     pub fn graph_names(&self) -> Vec<String> {
@@ -305,18 +335,20 @@ impl TripleStore {
 
     pub fn drop_graph(&self, name: &str) -> Result<()> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut graphs = self.graphs.write();
-        if !graphs.contains_key(name) {
-            return Err(Error::store(format!("graph `{name}` does not exist")));
+        {
+            let _barrier = sink_guard(&sink);
+            let mut graphs = self.graphs.write();
+            if !graphs.contains_key(name) {
+                return Err(Error::store(format!("graph `{name}` does not exist")));
+            }
+            if let Some(s) = &sink {
+                s.log(&encode_rdf_op(&RdfOp::DropGraph { graph: name }))?;
+            }
+            graphs.remove(name);
+            drop(graphs);
+            self.bump_version();
         }
-        if let Some(s) = &sink {
-            s.log(&encode_rdf_op(&RdfOp::DropGraph { graph: name }))?;
-        }
-        graphs.remove(name);
-        drop(graphs);
-        self.bump_version();
-        Ok(())
+        flush_sink(&sink)
     }
 
     /// Insert a triple into a graph; returns false if it was already there
@@ -324,22 +356,29 @@ impl TripleStore {
     /// [`TripleStore::storage_check`]).
     pub fn insert(&self, graph: &str, triple: &Triple) -> bool {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let t = (
-            self.dict.intern(&triple.subject),
-            self.dict.intern(&triple.predicate),
-            self.dict.intern(&triple.object),
-        );
-        self.bump_version();
-        let mut graphs = self.graphs.write();
-        if let Some(s) = &sink {
-            let op = RdfOp::InsertAll { graph, triples: std::slice::from_ref(triple) };
-            if let Err(e) = s.log(&encode_rdf_op(&op)) {
-                self.note_storage_err(e);
-                return false;
+        let fresh = {
+            let _barrier = sink_guard(&sink);
+            let t = (
+                self.dict.intern(&triple.subject),
+                self.dict.intern(&triple.predicate),
+                self.dict.intern(&triple.object),
+            );
+            self.bump_version();
+            let mut graphs = self.graphs.write();
+            if let Some(s) = &sink {
+                let op =
+                    RdfOp::InsertAll { graph, triples: std::slice::from_ref(triple) };
+                if let Err(e) = s.log(&encode_rdf_op(&op)) {
+                    self.note_storage_err(e);
+                    return false;
+                }
             }
+            graphs.entry(graph.to_string()).or_default().insert(t)
+        };
+        if let Err(e) = flush_sink(&sink) {
+            self.note_storage_err(e);
         }
-        graphs.entry(graph.to_string()).or_default().insert(t)
+        fresh
     }
 
     /// Insert many triples; returns how many were new. One redo record
@@ -350,41 +389,48 @@ impl TripleStore {
         triples: impl IntoIterator<Item = &'t Triple>,
     ) -> usize {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        self.bump_version();
-        let mut graphs = self.graphs.write();
-        if let Some(s) = &sink {
-            let batch: Vec<Triple> = triples.into_iter().cloned().collect();
-            if !batch.is_empty() {
-                let op = RdfOp::InsertAll { graph, triples: &batch };
-                if let Err(e) = s.log(&encode_rdf_op(&op)) {
-                    self.note_storage_err(e);
-                    return 0;
+        let fresh = {
+            let _barrier = sink_guard(&sink);
+            self.bump_version();
+            let mut graphs = self.graphs.write();
+            if let Some(s) = &sink {
+                let batch: Vec<Triple> = triples.into_iter().cloned().collect();
+                if !batch.is_empty() {
+                    let op = RdfOp::InsertAll { graph, triples: &batch };
+                    if let Err(e) = s.log(&encode_rdf_op(&op)) {
+                        self.note_storage_err(e);
+                        return 0;
+                    }
                 }
-            }
-            let g = graphs.entry(graph.to_string()).or_default();
-            return batch
-                .iter()
-                .filter(|triple| {
-                    g.insert((
+                let g = graphs.entry(graph.to_string()).or_default();
+                batch
+                    .iter()
+                    .filter(|triple| {
+                        g.insert((
+                            self.dict.intern(&triple.subject),
+                            self.dict.intern(&triple.predicate),
+                            self.dict.intern(&triple.object),
+                        ))
+                    })
+                    .count()
+            } else {
+                let g = graphs.entry(graph.to_string()).or_default();
+                let mut fresh = 0;
+                for triple in triples {
+                    let t = (
                         self.dict.intern(&triple.subject),
                         self.dict.intern(&triple.predicate),
                         self.dict.intern(&triple.object),
-                    ))
-                })
-                .count();
-        }
-        let g = graphs.entry(graph.to_string()).or_default();
-        let mut fresh = 0;
-        for triple in triples {
-            let t = (
-                self.dict.intern(&triple.subject),
-                self.dict.intern(&triple.predicate),
-                self.dict.intern(&triple.object),
-            );
-            if g.insert(t) {
-                fresh += 1;
+                    );
+                    if g.insert(t) {
+                        fresh += 1;
+                    }
+                }
+                fresh
             }
+        };
+        if let Err(e) = flush_sink(&sink) {
+            self.note_storage_err(e);
         }
         fresh
     }
@@ -392,30 +438,36 @@ impl TripleStore {
     /// Remove a triple; returns true if present.
     pub fn remove(&self, graph: &str, triple: &Triple) -> bool {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let (Some(s), Some(p), Some(o)) = (
-            self.dict.id_of(&triple.subject),
-            self.dict.id_of(&triple.predicate),
-            self.dict.id_of(&triple.object),
-        ) else {
-            return false;
-        };
-        self.bump_version();
-        let mut graphs = self.graphs.write();
-        let Some(g) = graphs.get_mut(graph) else {
-            return false;
-        };
-        if !g.contains((s, p, o)) {
-            return false;
-        }
-        if let Some(sk) = &sink {
-            let op = RdfOp::Remove { graph, triple };
-            if let Err(e) = sk.log(&encode_rdf_op(&op)) {
-                self.note_storage_err(e);
+        let removed = {
+            let _barrier = sink_guard(&sink);
+            let (Some(s), Some(p), Some(o)) = (
+                self.dict.id_of(&triple.subject),
+                self.dict.id_of(&triple.predicate),
+                self.dict.id_of(&triple.object),
+            ) else {
+                return false;
+            };
+            self.bump_version();
+            let mut graphs = self.graphs.write();
+            let Some(g) = graphs.get_mut(graph) else {
+                return false;
+            };
+            if !g.contains((s, p, o)) {
                 return false;
             }
+            if let Some(sk) = &sink {
+                let op = RdfOp::Remove { graph, triple };
+                if let Err(e) = sk.log(&encode_rdf_op(&op)) {
+                    self.note_storage_err(e);
+                    return false;
+                }
+            }
+            g.remove((s, p, o))
+        };
+        if let Err(e) = flush_sink(&sink) {
+            self.note_storage_err(e);
         }
-        g.remove((s, p, o))
+        removed
     }
 
     pub fn contains(&self, graph: &str, triple: &Triple) -> bool {
@@ -550,35 +602,42 @@ impl TripleStore {
         triples: impl IntoIterator<Item = IdTriple>,
     ) -> usize {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        self.bump_version();
-        let mut graphs = self.graphs.write();
-        if let Some(sk) = &sink {
-            let batch: Vec<IdTriple> = triples.into_iter().collect();
-            if !batch.is_empty() {
-                let reader = self.dict.reader();
-                let terms: Vec<Triple> = batch
-                    .iter()
-                    .map(|&(s, p, o)| {
-                        Triple::new(
-                            reader.term(s).clone(),
-                            reader.term(p).clone(),
-                            reader.term(o).clone(),
-                        )
-                    })
-                    .collect();
-                drop(reader);
-                let op = RdfOp::InsertAll { graph, triples: &terms };
-                if let Err(e) = sk.log(&encode_rdf_op(&op)) {
-                    self.note_storage_err(e);
-                    return 0;
+        let fresh = {
+            let _barrier = sink_guard(&sink);
+            self.bump_version();
+            let mut graphs = self.graphs.write();
+            if let Some(sk) = &sink {
+                let batch: Vec<IdTriple> = triples.into_iter().collect();
+                if !batch.is_empty() {
+                    let reader = self.dict.reader();
+                    let terms: Vec<Triple> = batch
+                        .iter()
+                        .map(|&(s, p, o)| {
+                            Triple::new(
+                                reader.term(s).clone(),
+                                reader.term(p).clone(),
+                                reader.term(o).clone(),
+                            )
+                        })
+                        .collect();
+                    drop(reader);
+                    let op = RdfOp::InsertAll { graph, triples: &terms };
+                    if let Err(e) = sk.log(&encode_rdf_op(&op)) {
+                        self.note_storage_err(e);
+                        return 0;
+                    }
                 }
+                let g = graphs.entry(graph.to_string()).or_default();
+                batch.into_iter().filter(|&t| g.insert(t)).count()
+            } else {
+                let g = graphs.entry(graph.to_string()).or_default();
+                triples.into_iter().filter(|&t| g.insert(t)).count()
             }
-            let g = graphs.entry(graph.to_string()).or_default();
-            return batch.into_iter().filter(|&t| g.insert(t)).count();
+        };
+        if let Err(e) = flush_sink(&sink) {
+            self.note_storage_err(e);
         }
-        let g = graphs.entry(graph.to_string()).or_default();
-        triples.into_iter().filter(|&t| g.insert(t)).count()
+        fresh
     }
 
     // ---- replay / snapshot plumbing (no logging) --------------------------

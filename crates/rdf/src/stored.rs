@@ -16,9 +16,17 @@ use crate::sparql::ast::Query;
 use crate::sparql::parser::parse_query;
 
 /// A registry of named, pre-parsed SPARQL queries. Cheap to clone.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StoredQueries {
     inner: Arc<RwLock<HashMap<String, Arc<StoredQuery>>>>,
+}
+
+impl Default for StoredQueries {
+    fn default() -> Self {
+        StoredQueries {
+            inner: Arc::new(RwLock::new_labeled("rdf.stored_queries", HashMap::new())),
+        }
+    }
 }
 
 /// A registered query and its metadata.

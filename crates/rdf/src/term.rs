@@ -106,9 +106,17 @@ impl fmt::Display for Term {
 pub struct TermId(pub u32);
 
 /// Bidirectional Term ↔ TermId dictionary. Cheap to clone (shared).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Dictionary {
     inner: Arc<RwLock<DictInner>>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            inner: Arc::new(RwLock::new_labeled("rdf.dict", DictInner::default())),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -1,3 +1,4 @@
+// srclint: allow(R002): char reads are at byte offsets the byte-level match just validated
 //! A Turtle-lite loader.
 //!
 //! Supports the Turtle features needed to write ontologies by hand in tests

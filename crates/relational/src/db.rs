@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use crosse_cache::{CacheStats, Lru};
 use parking_lot::Mutex;
+pub use parking_lot::tracking::LockSiteStats;
 
 use crate::error::{Error, Result};
 use crate::exec::expr::bind;
@@ -177,10 +178,10 @@ impl Default for Database {
     fn default() -> Self {
         Database {
             catalog: Catalog::default(),
-            plans: Arc::new(Mutex::new(Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
+            plans: Arc::new(Mutex::new_labeled("db.plan_cache", Lru::new(DEFAULT_PLAN_CACHE_CAPACITY))),
             exec_threads: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
             interner: Arc::new(Interner::new()),
-            opt: Arc::new(Mutex::new(OptimizerConfig::default())),
+            opt: Arc::new(Mutex::new_labeled("db.opt_config", OptimizerConfig::default())),
             durability: None,
         }
     }
@@ -265,6 +266,16 @@ impl Database {
     /// WAL statistics, or `None` for an in-memory database.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.durability.as_ref().map(|d| d.wal_stats())
+    }
+
+    /// Per-site lock acquisition/contention/hold-time counters from the
+    /// concurrency tracking layer, sorted by site label. Counters are
+    /// process-global (every labeled lock in the process reports here, not
+    /// just this database's). Empty in release builds — the layer compiles
+    /// out — and in debug builds unless `CROSSE_LOCK_TRACK` is set or
+    /// [`parking_lot::tracking::set_enabled`] was called.
+    pub fn lock_stats(&self) -> Vec<LockSiteStats> {
+        parking_lot::tracking::stats()
     }
 
     /// Non-fatal notes from recovery (e.g. a torn final record that was

@@ -1,3 +1,4 @@
+// srclint: allow(R002): scalar-function arity is validated at bind time, so vals.pop() cannot see an empty stack
 //! Bound (schema-resolved) expressions and their evaluation.
 //!
 //! Binding resolves every column reference to a row index once, so repeated

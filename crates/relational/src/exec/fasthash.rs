@@ -1,3 +1,4 @@
+// srclint: allow(R002): chunks_exact(8) yields exactly 8-byte slices, the try_into cannot fail
 //! A fast, dependency-free hasher for the executor's internal hash
 //! tables (join builds, DISTINCT/UNION dedup, GROUP BY indexes).
 //!

@@ -1,3 +1,4 @@
+// srclint: allow(R002): the spool state machine guarantees an open (not done) spool still owns its source
 //! Streaming (pull-based) plan execution with morsel-driven parallelism.
 //!
 //! [`stream_plan`] lowers a [`Plan`] into an iterator of rows. Pipelined
@@ -92,8 +93,8 @@ impl ExecCtx {
         ExecCtx {
             scanned: Arc::new(AtomicU64::new(0)),
             pool: Arc::new(WorkerPool::new(threads)),
-            spools: Arc::new(Mutex::new(HashMap::new())),
-            builds: Arc::new(Mutex::new(HashMap::new())),
+            spools: Arc::new(Mutex::new_labeled("exec.spools", HashMap::new())),
+            builds: Arc::new(Mutex::new_labeled("exec.builds", HashMap::new())),
         }
     }
 }
@@ -127,7 +128,7 @@ struct SpoolState {
 impl Spool {
     fn new(source: BoxRowIter) -> Self {
         Spool {
-            state: Mutex::new(SpoolState {
+            state: Mutex::new_labeled("exec.spool.state", SpoolState {
                 source: Some(source),
                 rows: Vec::new(),
                 error: None,

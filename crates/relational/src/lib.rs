@@ -43,7 +43,7 @@ pub mod sql;
 pub mod storage;
 pub mod value;
 
-pub use db::{Database, ExecOutcome, RowSet};
+pub use db::{Database, ExecOutcome, LockSiteStats, RowSet};
 pub use error::{Error, Result};
 pub use storage::durable::{DurabilityHandle, SyncPolicy, WalOptions, WalStats};
 pub use crosse_lint::{Diagnostic, Severity, Span};

@@ -1,3 +1,4 @@
+// srclint: allow(R002): FROM lists are non-empty by grammar and the greedy pick indexes the deque it was computed from
 //! Logical plans and the query planner.
 //!
 //! The planner lowers a parsed [`Select`] into a tree of [`Plan`] nodes with

@@ -441,7 +441,7 @@ impl Prepared {
             text,
             warnings,
             version,
-            revalidated: Arc::new(Mutex::new(None)),
+            revalidated: Arc::new(Mutex::new_labeled("prepared.revalidated", None)),
         }
     }
 

@@ -1,3 +1,4 @@
+// srclint: allow(R002): char reads are at byte offsets produced by the same scan, always in bounds
 //! Hand-written SQL lexer.
 
 use crate::error::{Error, Result};

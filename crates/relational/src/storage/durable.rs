@@ -3,7 +3,9 @@
 //! [`DurabilityHandle`] a [`crate::Database`] opened from a data directory
 //! carries for checkpointing and stats.
 
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use crosse_wal::{WalStore, CHAN_REL};
 pub use crosse_wal::{Recovered, SyncPolicy, WalOptions, WalStats};
@@ -65,7 +67,11 @@ impl RedoSink for WalRedoSink {
     }
 
     fn log(&self, payload: &[u8]) -> Result<()> {
-        self.wal.append(self.chan, payload).map(drop).map_err(Error::from)
+        self.wal.append_nosync(self.chan, payload).map(drop).map_err(Error::from)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.wal.sync_policy().map_err(Error::from)
     }
 }
 

@@ -47,9 +47,19 @@ use wal::{encode_rel_op, RedoSink, RelOp};
 /// the stores, so acquiring in the other order deadlocks.
 fn sink_guard(
     sink: &Option<Arc<dyn RedoSink>>,
-) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
-    sink.as_ref()
-        .map(|s| s.barrier().read().unwrap_or_else(|e| e.into_inner()))
+) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
+    sink.as_ref().map(|s| s.barrier().read())
+}
+
+/// Run the sink's deferred fsync. Mutators call this **after** their
+/// log-then-apply critical section releases its heap locks — holding
+/// `table.rows` (or the barrier) across an fsync stalls every reader
+/// behind the disk, and the lock-order tracker flags exactly that.
+fn flush_sink(sink: &Option<Arc<dyn RedoSink>>) -> Result<()> {
+    match sink {
+        Some(s) => s.flush(),
+        None => Ok(()),
+    }
 }
 
 /// A secondary index over one column of a [`Table`].
@@ -78,7 +88,7 @@ impl Index {
         let idx = Index {
             name,
             column,
-            entries: RwLock::new(BTreeMap::new()),
+            entries: RwLock::new_labeled("table.index.entries", BTreeMap::new()),
             dirty: AtomicBool::new(false),
         };
         idx.rebuild(rows);
@@ -175,10 +185,10 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(Arc::new(Vec::new())),
+            rows: RwLock::new_labeled("table.rows", Arc::new(Vec::new())),
             generation: AtomicU64::new(0),
-            indexes: RwLock::new(Vec::new()),
-            sink: RwLock::new(None),
+            indexes: RwLock::new_labeled("table.indexes", Vec::new()),
+            sink: RwLock::new_labeled("table.sink", None),
             ephemeral: AtomicBool::new(false),
         }
     }
@@ -225,22 +235,24 @@ impl Table {
     pub fn insert(&self, row: Row) -> Result<()> {
         let coerced = self.check_row(row)?;
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut rows = self.rows.write();
-        if let Some(s) = &sink {
-            s.log(&encode_rel_op(&RelOp::Insert {
-                table: &self.name,
-                rows: std::slice::from_ref(&coerced),
-            }))?;
+        {
+            let _barrier = sink_guard(&sink);
+            let mut rows = self.rows.write();
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::Insert {
+                    table: &self.name,
+                    rows: std::slice::from_ref(&coerced),
+                }))?;
+            }
+            let rows = Arc::make_mut(&mut *rows);
+            let pos = rows.len();
+            for idx in self.indexes.read().iter() {
+                idx.note_append(pos, &coerced);
+            }
+            rows.push(coerced);
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         }
-        let rows = Arc::make_mut(&mut *rows);
-        let pos = rows.len();
-        for idx in self.indexes.read().iter() {
-            idx.note_append(pos, &coerced);
-        }
-        rows.push(coerced);
-        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
-        Ok(())
+        flush_sink(&sink)
     }
 
     /// Insert many rows; fails atomically (no partial insert) on the first
@@ -253,25 +265,28 @@ impl Table {
         }
         let n = checked.len();
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut stored = self.rows.write();
-        if let Some(s) = &sink {
-            if !checked.is_empty() {
-                s.log(&encode_rel_op(&RelOp::Insert {
-                    table: &self.name,
-                    rows: &checked,
-                }))?;
+        {
+            let _barrier = sink_guard(&sink);
+            let mut stored = self.rows.write();
+            if let Some(s) = &sink {
+                if !checked.is_empty() {
+                    s.log(&encode_rel_op(&RelOp::Insert {
+                        table: &self.name,
+                        rows: &checked,
+                    }))?;
+                }
             }
-        }
-        let stored = Arc::make_mut(&mut *stored);
-        let indexes = self.indexes.read();
-        for (offset, row) in checked.iter().enumerate() {
-            for idx in indexes.iter() {
-                idx.note_append(stored.len() + offset, row);
+            let stored = Arc::make_mut(&mut *stored);
+            let indexes = self.indexes.read();
+            for (offset, row) in checked.iter().enumerate() {
+                for idx in indexes.iter() {
+                    idx.note_append(stored.len() + offset, row);
+                }
             }
+            stored.extend(checked);
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
         }
-        stored.extend(checked);
-        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+        flush_sink(&sink)?;
         Ok(n)
     }
 
@@ -361,36 +376,40 @@ impl Table {
     /// exactly the same rows without re-evaluating the predicate.
     pub fn delete_where(&self, mut pred: impl FnMut(&Row) -> bool) -> Result<usize> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut rows = self.rows.write();
-        let positions: Vec<usize> = rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| pred(r).then_some(i))
-            .collect();
-        if positions.is_empty() {
-            return Ok(0);
-        }
-        if let Some(s) = &sink {
-            s.log(&encode_rel_op(&RelOp::Delete {
-                table: &self.name,
-                positions: &positions,
-            }))?;
-        }
-        let rows = Arc::make_mut(&mut *rows);
-        let mut next = positions.iter().peekable();
-        let mut i = 0usize;
-        rows.retain(|_| {
-            let drop_it = next.peek().is_some_and(|&&p| p == i);
-            if drop_it {
-                next.next();
+        let removed = {
+            let _barrier = sink_guard(&sink);
+            let mut rows = self.rows.write();
+            let positions: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| pred(r).then_some(i))
+                .collect();
+            if positions.is_empty() {
+                return Ok(0);
             }
-            i += 1;
-            !drop_it
-        });
-        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
-        self.mark_indexes_dirty();
-        Ok(positions.len())
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::Delete {
+                    table: &self.name,
+                    positions: &positions,
+                }))?;
+            }
+            let rows = Arc::make_mut(&mut *rows);
+            let mut next = positions.iter().peekable();
+            let mut i = 0usize;
+            rows.retain(|_| {
+                let drop_it = next.peek().is_some_and(|&&p| p == i);
+                if drop_it {
+                    next.next();
+                }
+                i += 1;
+                !drop_it
+            });
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+            self.mark_indexes_dirty();
+            positions.len()
+        };
+        flush_sink(&sink)?;
+        Ok(removed)
     }
 
     /// Update rows: `f` receives a copy of each row mutably and returns
@@ -405,38 +424,42 @@ impl Table {
         mut f: impl FnMut(&mut Row) -> Result<bool>,
     ) -> Result<usize> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut rows = self.rows.write();
-        let mut changes: Vec<(usize, Row)> = Vec::new();
-        let mut failed: Option<Error> = None;
-        for (pos, row) in rows.iter().enumerate() {
-            let mut candidate = row.clone();
-            match f(&mut candidate) {
-                Ok(true) => changes.push((pos, candidate)),
-                Ok(false) => {}
-                Err(e) => {
-                    failed = Some(e);
-                    break;
+        let (updated, failed) = {
+            let _barrier = sink_guard(&sink);
+            let mut rows = self.rows.write();
+            let mut changes: Vec<(usize, Row)> = Vec::new();
+            let mut failed: Option<Error> = None;
+            for (pos, row) in rows.iter().enumerate() {
+                let mut candidate = row.clone();
+                match f(&mut candidate) {
+                    Ok(true) => changes.push((pos, candidate)),
+                    Ok(false) => {}
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
                 }
             }
-        }
-        let updated = changes.len();
-        if !changes.is_empty() {
-            if let Some(s) = &sink {
-                s.log(&encode_rel_op(&RelOp::Update {
-                    table: &self.name,
-                    changes: &changes,
-                }))?;
+            let updated = changes.len();
+            if !changes.is_empty() {
+                if let Some(s) = &sink {
+                    s.log(&encode_rel_op(&RelOp::Update {
+                        table: &self.name,
+                        changes: &changes,
+                    }))?;
+                }
             }
-        }
-        if !changes.is_empty() || failed.is_some() {
-            let rows = Arc::make_mut(&mut *rows);
-            for (pos, row) in changes {
-                rows[pos] = row;
+            if !changes.is_empty() || failed.is_some() {
+                let rows = Arc::make_mut(&mut *rows);
+                for (pos, row) in changes {
+                    rows[pos] = row;
+                }
+                self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+                self.mark_indexes_dirty();
             }
-            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
-            self.mark_indexes_dirty();
-        }
+            (updated, failed)
+        };
+        flush_sink(&sink)?;
         match failed {
             Some(e) => Err(e),
             None => Ok(updated),
@@ -447,17 +470,19 @@ impl Table {
     /// rows; the table publishes a fresh empty heap.
     pub fn truncate(&self) -> Result<()> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut rows = self.rows.write();
-        if let Some(s) = &sink {
-            s.log(&encode_rel_op(&RelOp::Truncate { table: &self.name }))?;
+        {
+            let _barrier = sink_guard(&sink);
+            let mut rows = self.rows.write();
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::Truncate { table: &self.name }))?;
+            }
+            // Don't clear through make_mut: dropping the reference entirely
+            // is cheaper when a reader has the old heap pinned.
+            *rows = Arc::new(Vec::new());
+            self.generation.fetch_add(1, AtomicOrdering::AcqRel);
+            self.mark_indexes_dirty();
         }
-        // Don't clear through make_mut: dropping the reference entirely is
-        // cheaper when a reader has the old heap pinned.
-        *rows = Arc::new(Vec::new());
-        self.generation.fetch_add(1, AtomicOrdering::AcqRel);
-        self.mark_indexes_dirty();
-        Ok(())
+        flush_sink(&sink)
     }
 
     fn mark_indexes_dirty(&self) {
@@ -473,40 +498,45 @@ impl Table {
     pub fn create_index(&self, index_name: &str, column_name: &str) -> Result<()> {
         let column = self.schema.resolve(None, column_name)?;
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let rows = self.rows.read();
-        let mut indexes = self.indexes.write();
-        if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
-            return Err(Error::catalog(format!(
-                "index `{index_name}` already exists on table `{}`",
-                self.name
-            )));
+        {
+            let _barrier = sink_guard(&sink);
+            let rows = self.rows.read();
+            let mut indexes = self.indexes.write();
+            if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
+                return Err(Error::catalog(format!(
+                    "index `{index_name}` already exists on table `{}`",
+                    self.name
+                )));
+            }
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::CreateIndex {
+                    table: &self.name,
+                    index: index_name,
+                    column: column_name,
+                }))?;
+            }
+            indexes.push(Arc::new(Index::build(index_name.to_string(), column, &rows)));
         }
-        if let Some(s) = &sink {
-            s.log(&encode_rel_op(&RelOp::CreateIndex {
-                table: &self.name,
-                index: index_name,
-                column: column_name,
-            }))?;
-        }
-        indexes.push(Arc::new(Index::build(index_name.to_string(), column, &rows)));
-        Ok(())
+        flush_sink(&sink)
     }
 
     /// Drop an index by name; returns whether one was removed.
     pub fn drop_index(&self, index_name: &str) -> Result<bool> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut indexes = self.indexes.write();
-        let Some(pos) =
-            indexes.iter().position(|i| i.name.eq_ignore_ascii_case(index_name))
-        else {
-            return Ok(false);
-        };
-        if let Some(s) = &sink {
-            s.log(&encode_rel_op(&RelOp::DropIndex { index: index_name }))?;
+        {
+            let _barrier = sink_guard(&sink);
+            let mut indexes = self.indexes.write();
+            let Some(pos) =
+                indexes.iter().position(|i| i.name.eq_ignore_ascii_case(index_name))
+            else {
+                return Ok(false);
+            };
+            if let Some(s) = &sink {
+                s.log(&encode_rel_op(&RelOp::DropIndex { index: index_name }))?;
+            }
+            indexes.remove(pos);
         }
-        indexes.remove(pos);
+        flush_sink(&sink)?;
         Ok(true)
     }
 
@@ -610,7 +640,7 @@ impl Table {
 /// The table catalog. Cheap to clone (shared interior).
 ///
 /// Table names are case-insensitive, as in the SQL layer.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Catalog {
     tables: Arc<RwLock<BTreeMap<String, Arc<Table>>>>,
     /// Bumped on every DDL change (table or index create/drop/replace).
@@ -620,6 +650,16 @@ pub struct Catalog {
     /// Redo sink propagated to every (non-ephemeral) table; shared across
     /// catalog clones.
     sink: Arc<RwLock<Option<Arc<dyn RedoSink>>>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            tables: Arc::new(RwLock::new_labeled("catalog.tables", BTreeMap::new())),
+            version: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            sink: Arc::new(RwLock::new_labeled("catalog.sink", None)),
+        }
+    }
 }
 
 impl Catalog {
@@ -702,60 +742,66 @@ impl Catalog {
             seen.push(&c.name);
         }
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut tables = self.tables.write();
-        let key = Self::key(name);
-        if !replace && tables.contains_key(&key) {
-            return Err(Error::catalog(format!("table `{name}` already exists")));
-        }
-        if let Some(s) = &sink {
-            if !ephemeral {
-                s.log(&encode_rel_op(&RelOp::CreateTable {
-                    name,
-                    columns: &columns,
-                    replace,
-                }))?;
-            } else if let Some(prev) = tables.get(&key) {
-                // An ephemeral table may replace a durable one (explicit
-                // DDL reused the name); the displacement itself must be
-                // durable even though the new table is not.
-                if !prev.is_ephemeral() {
-                    s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+        let table = {
+            let _barrier = sink_guard(&sink);
+            let mut tables = self.tables.write();
+            let key = Self::key(name);
+            if !replace && tables.contains_key(&key) {
+                return Err(Error::catalog(format!("table `{name}` already exists")));
+            }
+            if let Some(s) = &sink {
+                if !ephemeral {
+                    s.log(&encode_rel_op(&RelOp::CreateTable {
+                        name,
+                        columns: &columns,
+                        replace,
+                    }))?;
+                } else if let Some(prev) = tables.get(&key) {
+                    // An ephemeral table may replace a durable one (explicit
+                    // DDL reused the name); the displacement itself must be
+                    // durable even though the new table is not.
+                    if !prev.is_ephemeral() {
+                        s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+                    }
                 }
             }
-        }
-        if replace {
-            tables.remove(&key);
-        }
-        let table = Arc::new(Table::new(name, Schema::new(columns)));
-        if ephemeral {
-            table.set_ephemeral(true);
-        } else {
-            table.set_sink(sink.clone());
-        }
-        tables.insert(key, Arc::clone(&table));
-        drop(tables);
-        self.bump_version();
+            if replace {
+                tables.remove(&key);
+            }
+            let table = Arc::new(Table::new(name, Schema::new(columns)));
+            if ephemeral {
+                table.set_ephemeral(true);
+            } else {
+                table.set_sink(sink.clone());
+            }
+            tables.insert(key, Arc::clone(&table));
+            drop(tables);
+            self.bump_version();
+            table
+        };
+        flush_sink(&sink)?;
         Ok(table)
     }
 
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let sink = self.sink();
-        let _barrier = sink_guard(&sink);
-        let mut tables = self.tables.write();
-        let key = Self::key(name);
-        let Some(table) = tables.get(&key) else {
-            return Err(Error::catalog(format!("table `{name}` does not exist")));
-        };
-        if let Some(s) = &sink {
-            if !table.is_ephemeral() {
-                s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+        {
+            let _barrier = sink_guard(&sink);
+            let mut tables = self.tables.write();
+            let key = Self::key(name);
+            let Some(table) = tables.get(&key) else {
+                return Err(Error::catalog(format!("table `{name}` does not exist")));
+            };
+            if let Some(s) = &sink {
+                if !table.is_ephemeral() {
+                    s.log(&encode_rel_op(&RelOp::DropTable { name }))?;
+                }
             }
+            tables.remove(&key);
+            drop(tables);
+            self.bump_version();
         }
-        tables.remove(&key);
-        drop(tables);
-        self.bump_version();
-        Ok(())
+        flush_sink(&sink)
     }
 
     pub fn get_table(&self, name: &str) -> Result<Arc<Table>> {

@@ -6,7 +6,7 @@
 //! positions (never predicates or expressions), so replay is deterministic
 //! regardless of planner or evaluation changes.
 
-use std::sync::RwLock;
+use parking_lot::RwLock;
 
 use crosse_wal::{Decoder, Encoder};
 
@@ -25,9 +25,20 @@ pub trait RedoSink: Send + Sync + std::fmt::Debug {
     /// [`super::sink_guard`]).
     fn barrier(&self) -> &RwLock<()>;
 
-    /// Append one encoded [`RelOp`]. An error here fails the statement
-    /// *before* it touches the heap.
+    /// Append one encoded [`RelOp`] to the log *without* forcing it to
+    /// disk. An error here fails the statement *before* it touches the
+    /// heap.
     fn log(&self, payload: &[u8]) -> Result<()>;
+
+    /// Make previously logged records durable per the sink's sync policy.
+    /// Mutators call this *after* releasing their heap locks, so no
+    /// engine lock is ever held across an fsync (the lock-order tracker
+    /// flags exactly that). An error means the mutation is applied in
+    /// memory but its durability is not yet guaranteed — callers surface
+    /// it like any other statement failure.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 const OP_CREATE_TABLE: u8 = 1;

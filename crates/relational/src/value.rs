@@ -205,7 +205,7 @@ pub struct Interner {
 impl Default for Interner {
     fn default() -> Self {
         Interner {
-            strings: Mutex::new(HashSet::new()),
+            strings: Mutex::new_labeled("interner.strings", HashSet::new()),
             capacity: DEFAULT_INTERNER_CAPACITY,
         }
     }
@@ -219,7 +219,7 @@ impl Interner {
     /// An interner bounded to `capacity` distinct strings (0 disables
     /// sharing entirely).
     pub fn with_capacity(capacity: usize) -> Self {
-        Interner { strings: Mutex::new(HashSet::new()), capacity }
+        Interner { strings: Mutex::new_labeled("interner.strings", HashSet::new()), capacity }
     }
 
     /// The shared [`Str`] for `s` (allocating only on first sight; not

@@ -1,3 +1,4 @@
+// srclint: allow(R002): take(n) returns exactly n bytes, so the fixed-width try_into cannot fail
 //! Hand-rolled binary encoding: little-endian fixed-width integers,
 //! length-prefixed strings, and the CRC32 (IEEE 802.3) checksum. The
 //! workspace has no serde; every store serialises its records and

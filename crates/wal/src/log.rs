@@ -1,3 +1,4 @@
+// srclint: allow(R002): slices are length-checked immediately before each fixed-width decode
 //! The write-ahead log store: append, rotate, checkpoint, recover.
 //!
 //! One [`WalStore`] manages one directory. Appends are serialised through
@@ -14,9 +15,11 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime};
+
+use parking_lot::{tracking, Mutex, RwLock};
 
 use crate::enc::{crc32, Decoder, Encoder};
 use crate::error::{Result, WalError};
@@ -163,9 +166,11 @@ pub struct WalStore {
     ckpt: Mutex<CkptState>,
 }
 
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+/// Locks the WAL's own group-commit discipline holds across its fsyncs by
+/// design: the appender (fsync is part of the append critical section)
+/// and the caller's barrier read side. Any *other* lock held across a WAL
+/// fsync is a latency bug the tracking layer flags.
+const FSYNC_EXPECTED: &[&str] = &["wal.appender", "wal.barrier"];
 
 impl WalStore {
     /// Open (or create) a durable directory: load the latest valid
@@ -268,11 +273,14 @@ impl WalStore {
         let store = Arc::new(WalStore {
             dir,
             policy: opts.sync,
-            barrier: RwLock::new(()),
-            appender: Mutex::new(Appender { file, last_lsn, since_sync: 0, log_bytes }),
+            barrier: RwLock::new_labeled("wal.barrier", ()),
+            appender: Mutex::new_labeled(
+                "wal.appender",
+                Appender { file, last_lsn, since_sync: 0, log_bytes },
+            ),
             snapshot_lsn: AtomicU64::new(snapshot_lsn),
-            last_ckpt_at: Mutex::new(snap_mtime),
-            ckpt: Mutex::new(CkptState::default()),
+            last_ckpt_at: Mutex::new_labeled("wal.ckpt_at", snap_mtime),
+            ckpt: Mutex::new_labeled("wal.ckpt", CkptState::default()),
         });
         Ok((store, Recovered { snapshot_lsn, sections, records, warnings }))
     }
@@ -287,7 +295,24 @@ impl WalStore {
 
     /// Append one redo record; returns its LSN. The caller is expected to
     /// hold the [`WalStore::barrier`] read lock.
+    ///
+    /// Applies the sync policy inline — the record is durable (per policy)
+    /// when this returns. Callers that hold their own data locks across
+    /// the append-then-apply critical section should prefer
+    /// [`WalStore::append_nosync`] + [`WalStore::sync_policy`] *after*
+    /// releasing them, so no engine lock is ever held across an fsync.
     pub fn append(&self, chan: u8, payload: &[u8]) -> Result<u64> {
+        let lsn = self.append_nosync(chan, payload)?;
+        self.sync_policy()?;
+        Ok(lsn)
+    }
+
+    /// Append one redo record to the OS without fsyncing; returns its
+    /// LSN. The caller is expected to hold the [`WalStore::barrier`] read
+    /// lock, and to call [`WalStore::sync_policy`] once its own locks are
+    /// released — until then the record survives `kill -9` (page cache)
+    /// but not power loss.
+    pub fn append_nosync(&self, chan: u8, payload: &[u8]) -> Result<u64> {
         if payload.len() as u64 > (MAX_RECORD_LEN - RECORD_OVERHEAD) as u64 {
             return Err(WalError::BadRecord(format!(
                 "record payload of {} bytes exceeds the {} byte limit",
@@ -295,7 +320,7 @@ impl WalStore {
                 MAX_RECORD_LEN - RECORD_OVERHEAD
             )));
         }
-        let mut app = lock(&self.appender);
+        let mut app = self.appender.lock();
         let lsn = app.last_lsn + 1;
         let mut enc = Encoder::with_capacity(payload.len() + 17);
         enc_record(&mut enc, lsn, chan, payload);
@@ -305,21 +330,31 @@ impl WalStore {
         app.last_lsn = lsn;
         app.log_bytes += enc.len() as u64;
         app.since_sync += 1;
+        Ok(lsn)
+    }
+
+    /// Fsync the live segment if (and only if) the sync policy says the
+    /// unsynced tail is due. The deferred half of
+    /// [`WalStore::append_nosync`]; cheap when nothing is due.
+    pub fn sync_policy(&self) -> Result<()> {
+        let mut app = self.appender.lock();
         let due = match self.policy {
-            SyncPolicy::Always => true,
+            SyncPolicy::Always => app.since_sync > 0,
             SyncPolicy::EveryN(n) => app.since_sync >= n,
             SyncPolicy::Off => false,
         };
         if due {
+            let _io = tracking::blocking_region_allowing("wal.fsync", FSYNC_EXPECTED);
             app.file.sync_data().map_err(|e| WalError::io("fsync wal.log", e))?;
             app.since_sync = 0;
         }
-        Ok(lsn)
+        Ok(())
     }
 
     /// Force an fsync of the live segment regardless of policy.
     pub fn sync(&self) -> Result<()> {
-        let mut app = lock(&self.appender);
+        let mut app = self.appender.lock();
+        let _io = tracking::blocking_region_allowing("wal.fsync", FSYNC_EXPECTED);
         app.file.sync_data().map_err(|e| WalError::io("fsync wal.log", e))?;
         app.since_sync = 0;
         Ok(())
@@ -342,7 +377,7 @@ impl WalStore {
         F: FnOnce() -> T,
         G: FnOnce(T) -> SnapshotSections + Send + 'static,
     {
-        let mut ckpt = lock(&self.ckpt);
+        let mut ckpt = self.ckpt.lock();
         if let Some(handle) = ckpt.running.take() {
             join_ckpt(handle, &mut ckpt)?;
         }
@@ -351,22 +386,32 @@ impl WalStore {
         let lsn;
         let pinned;
         {
-            let _barrier = self.barrier.write().unwrap_or_else(|e| e.into_inner());
-            let mut app = lock(&self.appender);
+            let _barrier = self.barrier.write();
+            let mut app = self.appender.lock();
             lsn = app.last_lsn;
-            let log_path = self.dir.join(LOG_FILE);
-            let prev_path = self.dir.join(PREV_FILE);
-            fs::rename(&log_path, &prev_path)
-                .map_err(|e| WalError::io("rotate wal.log to wal.prev", e))?;
-            let mut enc = Encoder::with_capacity(16);
-            enc_segment_header(&mut enc, lsn);
-            let mut file = File::create(&log_path)
-                .map_err(|e| WalError::io("create fresh wal.log", e))?;
-            file.write_all(enc.as_slice())
-                .map_err(|e| WalError::io("write wal.log header", e))?;
-            app.file = file;
-            app.since_sync = 0;
-            app.log_bytes = SEGMENT_HEADER_LEN;
+            {
+                // Rotation does rename/create under the barrier write lock
+                // by design — that stall is the checkpoint pin window
+                // itself. Scoped so the marker ends before `pin()` runs
+                // engine code that takes its own locks.
+                let _io = tracking::blocking_region_allowing(
+                    "wal.rotate",
+                    &["wal.ckpt", "wal.barrier", "wal.appender"],
+                );
+                let log_path = self.dir.join(LOG_FILE);
+                let prev_path = self.dir.join(PREV_FILE);
+                fs::rename(&log_path, &prev_path)
+                    .map_err(|e| WalError::io("rotate wal.log to wal.prev", e))?;
+                let mut enc = Encoder::with_capacity(16);
+                enc_segment_header(&mut enc, lsn);
+                let mut file = File::create(&log_path)
+                    .map_err(|e| WalError::io("create fresh wal.log", e))?;
+                file.write_all(enc.as_slice())
+                    .map_err(|e| WalError::io("write wal.log header", e))?;
+                app.file = file;
+                app.since_sync = 0;
+                app.log_bytes = SEGMENT_HEADER_LEN;
+            }
             drop(app);
             pinned = pin();
         }
@@ -376,7 +421,7 @@ impl WalStore {
             let sections = encode(pinned);
             me.write_snapshot(lsn, &sections)?;
             me.snapshot_lsn.store(lsn, Ordering::Release);
-            *lock(&me.last_ckpt_at) = Some(SystemTime::now());
+            *me.last_ckpt_at.lock() = Some(SystemTime::now());
             let _ = fs::remove_file(me.dir.join(PREV_FILE));
             sync_dir(&me.dir);
             Ok(())
@@ -388,7 +433,7 @@ impl WalStore {
     /// Wait for any in-flight background snapshot write and surface its
     /// result.
     pub fn checkpoint_join(&self) -> Result<()> {
-        let mut ckpt = lock(&self.ckpt);
+        let mut ckpt = self.ckpt.lock();
         if let Some(handle) = ckpt.running.take() {
             join_ckpt(handle, &mut ckpt)?;
         }
@@ -399,6 +444,9 @@ impl WalStore {
     }
 
     fn write_snapshot(&self, lsn: u64, sections: &[(u8, Vec<u8>)]) -> Result<()> {
+        // Runs on the background checkpoint thread with no locks held; the
+        // marker catches any future caller that drags a lock in here.
+        let _io = tracking::blocking_region("wal.snapshot_write");
         let mut body = Encoder::with_capacity(
             16 + sections.iter().map(|(_, b)| b.len() + 5).sum::<usize>(),
         );
@@ -424,7 +472,7 @@ impl WalStore {
 
     /// Current durability counters.
     pub fn stats(&self) -> WalStats {
-        let app = lock(&self.appender);
+        let app = self.appender.lock();
         let mut log_bytes = app.log_bytes;
         let last_lsn = app.last_lsn;
         drop(app);
@@ -435,7 +483,9 @@ impl WalStore {
             last_lsn,
             snapshot_lsn: self.snapshot_lsn.load(Ordering::Acquire),
             log_bytes,
-            last_checkpoint_age: lock(&self.last_ckpt_at)
+            last_checkpoint_age: self
+                .last_ckpt_at
+                .lock()
                 .and_then(|t| SystemTime::now().duration_since(t).ok()),
             sync_policy: self.policy,
         }

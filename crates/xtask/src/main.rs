@@ -18,10 +18,21 @@
 //!   (`tests/snapshots/*.snap`) and `git diff --exit-code` them against
 //!   the committed ones.
 //! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`.
+//! * `lint` — regenerate the corpus lint snapshots (`lint_golden`) and
+//!   fail on drift against the committed ones.
+//! * `check` — the aggregate gate: clippy + srclint + lint +
+//!   explain-snapshots + the full test suite, with a per-gate recap.
+//! * `srclint` — the in-process Rust source linter (R001–R006: lock
+//!   discipline, panic discipline, determinism; see `crosse-lint`):
+//!   lint the workspace, then regenerate and drift-check the rule
+//!   fixtures' golden snapshot.
 //! * `stress` — run the concurrency test suite (release) with elevated
 //!   iteration counts (`CROSSE_STRESS_ITERS=10`) under worker-thread
 //!   budgets {1, 4, 8} (`CROSSE_EXEC_THREADS`): the snapshot-isolation
-//!   and morsel-parallelism invariants must hold at every budget.
+//!   and morsel-parallelism invariants must hold at every budget. A
+//!   final debug-build pass with `CROSSE_LOCK_TRACK=1` gates the
+//!   lock-acquisition-order graph (no inversions, no lock held across
+//!   fsync).
 //! * `crash` — fault-injection at the process level: spawn the CLI's
 //!   write-heavy crash workload against a scratch `--data-dir`, SIGKILL
 //!   it mid-batch, reopen and verify that every acknowledged batch
@@ -358,15 +369,77 @@ fn lint_gate() {
     println!("xtask: lint OK (corpus lint output matches the committed snapshots)");
 }
 
+/// Lint the workspace's own Rust sources with the dependency-free
+/// srclint engine (rules R001–R006: no raw `std::sync` locks outside the
+/// compat shim, no `.unwrap()`/`panic!` in library code, labeled lock
+/// construction, `#![forbid(unsafe_code)]` crate roots, no wall-clock in
+/// the planner). Runs in-process, then regenerates the srclint golden
+/// snapshot and fails on drift from the committed one.
+fn srclint() {
+    let root = std::path::Path::new(".");
+    let findings = crosse_lint::srclint::lint_workspace(root).unwrap_or_else(|e| {
+        eprintln!("xtask: srclint walk failed: {e}");
+        std::process::exit(1);
+    });
+    if !findings.is_empty() {
+        print!("{}", crosse_lint::srclint::render_findings(&findings));
+    }
+    if crosse_lint::srclint::has_errors(&findings) {
+        eprintln!("xtask: srclint FAILED — fix the findings above or add a justified `// srclint: allow(RXXX): …`");
+        std::process::exit(1);
+    }
+    // Fixture corpus gate: regenerate tests/snapshots/srclint.snap and
+    // diff against the committed one, same pattern as the lint gate.
+    run(
+        "regenerate srclint snapshots",
+        cargo()
+            .args(["test", "--test", "srclint_golden", "--quiet"])
+            .env("CROSSE_UPDATE_SNAPSHOTS", "1"),
+    );
+    let status = Command::new("git")
+        .args(["status", "--porcelain", "--", "tests/snapshots/srclint.snap"])
+        .output()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: failed to run git status: {e}");
+            std::process::exit(1);
+        });
+    let dirty = String::from_utf8_lossy(&status.stdout);
+    if !dirty.trim().is_empty() {
+        run(
+            "diff regenerated srclint snapshot against the committed one",
+            Command::new("git").args(["diff", "--", "tests/snapshots/srclint.snap"]),
+        );
+        eprintln!(
+            "xtask: srclint FAILED — fixture output differs from (or is missing \
+             in) the committed snapshot:\n{dirty}\
+             commit the regenerated file if the rule change is intentional"
+        );
+        std::process::exit(1);
+    }
+    println!("xtask: srclint OK (workspace clean, fixture snapshot matches)");
+}
+
 /// The aggregate static-analysis + test gate: clippy (warnings are
-/// errors), the corpus lint gate, the EXPLAIN plan snapshots, and the
-/// full test suite. One command ≈ "is this tree healthy".
+/// errors), srclint on our own sources, the corpus lint gate, the
+/// EXPLAIN plan snapshots, and the full test suite. One command ≈ "is
+/// this tree healthy". Each sub-gate prints its own one-line verdict;
+/// the trailing block recaps them.
 fn check() {
     clippy();
+    srclint();
     lint_gate();
     explain_snapshots();
     run("cargo test --workspace", cargo().args(["test", "--workspace", "--quiet"]));
-    println!("xtask: check OK (clippy + lint + explain-snapshots + tests)");
+    println!("xtask: check OK");
+    for gate in [
+        "clippy            OK (workspace, -D warnings)",
+        "srclint           OK (R001-R006 on our own sources + fixture snapshot)",
+        "lint              OK (query-corpus snapshots match)",
+        "explain-snapshots OK (plan snapshots match)",
+        "tests             OK (cargo test --workspace)",
+    ] {
+        println!("  {gate}");
+    }
 }
 
 fn stress() {
@@ -381,7 +454,19 @@ fn stress() {
                 .env("CROSSE_EXEC_THREADS", threads),
         );
     }
-    println!("xtask: stress OK (worker threads 1/4/8)");
+    // Lock-order regression pass: one debug-build round with the
+    // parking_lot shim's acquisition-order tracker live. The suite's
+    // lock-order gate test asserts the run recorded no inversion and no
+    // lock held across an fsync (tracking compiles out of the release
+    // passes above, so only this pass can see them).
+    run(
+        "lock-order gate (debug build, CROSSE_LOCK_TRACK=1, 4 worker threads)",
+        cargo()
+            .args(["test", "--test", "concurrency", "--", "--nocapture"])
+            .env("CROSSE_LOCK_TRACK", "1")
+            .env("CROSSE_EXEC_THREADS", "4"),
+    );
+    println!("xtask: stress OK (worker threads 1/4/8 + lock-order gate)");
 }
 
 /// Crash-recovery harness: spawn the CLI in `--crash-workload` mode
@@ -458,6 +543,7 @@ fn main() {
         "bench-diff" => bench_diff(&args[1..]),
         "explain-snapshots" => explain_snapshots(),
         "lint" => lint_gate(),
+        "srclint" => srclint(),
         "check" => check(),
         "clippy" => clippy(),
         "stress" => stress(),
@@ -472,9 +558,13 @@ fn main() {
                  explain-snapshots  regenerate tests/snapshots/*.snap and diff against the committed ones\n\
                  lint            regenerate the corpus lint snapshots (lint_golden) and diff against\n\
                                  the committed ones (non-zero exit on drift)\n\
-                 check           aggregate gate: clippy + lint + explain-snapshots + full tests\n\
+                 srclint         lint our own Rust sources (R001-R006: std::sync locks, unwrap/panic\n\
+                                 discipline, lock labels, forbid(unsafe_code), planner wall-clock)\n\
+                                 and gate the fixture corpus snapshot\n\
+                 check           aggregate gate: clippy + srclint + lint + explain-snapshots + full tests\n\
                  clippy          cargo clippy --workspace --all-targets -- -D warnings\n\
-                 stress          concurrency tests (release), 10x iterations, worker threads 1/4/8\n\
+                 stress          concurrency tests (release), 10x iterations, worker threads 1/4/8,\n\
+                                 then a debug CROSSE_LOCK_TRACK=1 lock-order gate pass\n\
                  crash           kill -9 a write-heavy child mid-batch, reopen, verify no acked\n\
                                  write is lost and no partial batch surfaces (2 rounds)"
             );

@@ -1,3 +1,4 @@
+// srclint: allow(R002): the unwrap follows an is_some() branch guard and a never-returning workload call
 //! Interactive CroSSE shell: a SESQL REPL over a generated SmartGround
 //! databank with per-user knowledge bases.
 //!
@@ -715,6 +716,30 @@ impl Shell {
                     println!("in-memory engine (start with --data-dir to enable the WAL)")
                 }
             },
+            "\\lock-stats" => {
+                let stats = self.platform.engine().lock_stats();
+                if stats.is_empty() {
+                    println!(
+                        "no lock tracking data (needs a debug build with \
+                         CROSSE_LOCK_TRACK=1; the layer compiles out of release)"
+                    );
+                    return;
+                }
+                println!(
+                    "{:<24} {:>12} {:>10} {:>12} {:>12}",
+                    "site", "acquisitions", "contended", "total hold", "max hold"
+                );
+                for s in stats {
+                    println!(
+                        "{:<24} {:>12} {:>10} {:>10.3}ms {:>10.3}ms",
+                        s.site,
+                        s.acquisitions,
+                        s.contended,
+                        s.total_hold_ns as f64 / 1e6,
+                        s.max_hold_ns as f64 / 1e6,
+                    );
+                }
+            }
             "\\prepared" => {
                 if self.prepared.is_empty() {
                     println!("(no prepared statements)");
@@ -910,6 +935,8 @@ Meta-commands (one line; `$name` / `?` placeholders bind at \\exec time):
   \\prepared                 list prepared statements
   \\checkpoint               write a snapshot and truncate the WAL (--data-dir)
   \\wal-stats                show WAL state: LSNs, log bytes, checkpoint age
+  \\lock-stats               per-site lock acquisition/contention/hold-time
+                            counters (debug builds with CROSSE_LOCK_TRACK=1)
 Dot-commands:
   .help                      this text
   .user [NAME]               show or switch the active user (registers new users)

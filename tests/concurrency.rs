@@ -1,3 +1,6 @@
+// srclint: allow(R001): the lock_tracking test serializer deliberately uses
+// std::sync::Mutex so it stays invisible to the acquisition-order graph it
+// is testing.
 //! Concurrency: the platform is shared mutable state behind locks; these
 //! tests exercise parallel readers/writers across every layer.
 //!
@@ -715,5 +718,278 @@ fn parallel_session_queries_under_kb_writer() {
     writer.join().unwrap();
     for r in readers {
         r.join().unwrap();
+    }
+}
+
+/// Lock-order and blocking-region analysis: these tests drive the
+/// parking_lot shim's acquisition tracker, so they exist only in debug
+/// builds (the tracker compiles out of release — `cargo xtask stress`
+/// runs its release rounds without them and a dedicated debug round with
+/// `CROSSE_LOCK_TRACK=1` for the gate below).
+#[cfg(debug_assertions)]
+mod lock_tracking {
+    use super::*;
+    use crosse::relational::Database;
+    use parking_lot::tracking::{self, Violation};
+    use parking_lot::Mutex;
+
+    /// Tracking state (the enabled flag, the order graph, the violation
+    /// list) is process-global; tests that flip or assert on it take this
+    /// serializer. Deliberately a raw std mutex: the serializer itself
+    /// must not join the acquisition graph under test.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Does this violation involve any sabotage-labelled site (injected
+    /// by the tests below) — as opposed to real engine locks?
+    fn is_sabotage(v: &Violation) -> bool {
+        match v {
+            Violation::Order(o) => {
+                o.held.starts_with("sabotage.")
+                    || o.acquiring.starts_with("sabotage.")
+                    || o.cycle.iter().any(|s| s.starts_with("sabotage."))
+            }
+            Violation::HeldAcrossBlocking { region, locks } => {
+                region.starts_with("sabotage.")
+                    || locks.iter().any(|l| l.starts_with("sabotage."))
+            }
+        }
+    }
+
+    /// Sabotage: thread 1 acquires A then B, thread 2 acquires B then A.
+    /// No real deadlock occurs (the threads are sequenced), but the
+    /// acquisition-order graph must report the inversion.
+    #[test]
+    fn sabotage_inversion_two_threads_is_detected() {
+        let _s = serial();
+        tracking::set_enabled(true);
+        let a = Arc::new(Mutex::new_labeled("sabotage.inv_a", 0u32));
+        let b = Arc::new(Mutex::new_labeled("sabotage.inv_b", 0u32));
+
+        let (t1_done_tx, t1_done_rx) = std::sync::mpsc::channel::<()>();
+        let t1 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let ga = a.lock();
+                let gb = b.lock(); // establishes the edge inv_a -> inv_b
+                drop((ga, gb));
+                t1_done_tx.send(()).unwrap();
+            })
+        };
+        t1_done_rx.recv().unwrap();
+        let t2 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let gb = b.lock();
+                let ga = a.lock(); // closes the cycle: inv_b -> inv_a
+                drop((gb, ga));
+            })
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        let hit = tracking::violations().into_iter().any(|v| match v {
+            Violation::Order(o) => {
+                (o.held == "sabotage.inv_b" && o.acquiring == "sabotage.inv_a")
+                    || (o.held == "sabotage.inv_a" && o.acquiring == "sabotage.inv_b")
+            }
+            _ => false,
+        });
+        assert!(hit, "the A->B / B->A inversion went undetected");
+    }
+
+    /// Sabotage: enter a blocking region while holding an unexpected
+    /// lock — the declared-IO analysis must flag the held lock.
+    #[test]
+    fn sabotage_lock_held_across_blocking_region_is_detected() {
+        let _s = serial();
+        tracking::set_enabled(true);
+        let m = Mutex::new_labeled("sabotage.io_holder", ());
+        let g = m.lock();
+        let region = tracking::blocking_region("sabotage.fake_fsync");
+        drop(region);
+        drop(g);
+
+        let hit = tracking::violations().into_iter().any(|v| {
+            matches!(
+                v,
+                Violation::HeldAcrossBlocking { region, ref locks }
+                    if region == "sabotage.fake_fsync"
+                        && locks.contains(&"sabotage.io_holder")
+            )
+        });
+        assert!(hit, "lock held across a blocking region went undetected");
+    }
+
+    /// Sabotage against the *real* WAL: a caller-held lock across a
+    /// durable write must be flagged when the append fsyncs — the
+    /// `wal.fsync` region only expects the WAL's own appender/barrier.
+    #[test]
+    fn sabotage_lock_held_across_real_wal_fsync_is_detected() {
+        let _s = serial();
+        tracking::set_enabled(true);
+        let dir = std::env::temp_dir().join(format!(
+            "crosse-locktrack-fsync-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open_with(
+            &dir,
+            crosse::relational::WalOptions { sync: crosse::relational::SyncPolicy::Always },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (n INT)").unwrap();
+
+        let m = Mutex::new_labeled("sabotage.wal_holder", ());
+        let g = m.lock();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        drop(g);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let hit = tracking::violations().into_iter().any(|v| {
+            matches!(
+                v,
+                Violation::HeldAcrossBlocking { region, ref locks }
+                    if region == "wal.fsync" && locks.contains(&"sabotage.wal_holder")
+            )
+        });
+        assert!(hit, "a lock held across a real WAL fsync went undetected");
+    }
+
+    /// The regression gate `cargo xtask stress` runs in its debug round:
+    /// after a mixed engine workload (relational DML + enrichment +
+    /// durable writes + parallel scans), the tracker must have recorded
+    /// no violation among *real* engine locks. Sabotage-labelled
+    /// violations injected by the tests above are filtered out.
+    #[test]
+    fn lock_order_gate_engine_workload_runs_clean() {
+        let _s = serial();
+        tracking::set_enabled(true);
+
+        // Durable leg: WAL + checkpoint rotation under group commit.
+        let dir = std::env::temp_dir().join(format!(
+            "crosse-locktrack-gate-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open_with(
+                &dir,
+                crosse::relational::WalOptions {
+                    sync: crosse::relational::SyncPolicy::EveryN(4),
+                },
+            )
+            .unwrap();
+            db.execute("CREATE TABLE gate (n INT, s TEXT)").unwrap();
+            for i in 0..stress_iters(40) {
+                db.execute(&format!("INSERT INTO gate VALUES ({i}, 'v{i}')")).unwrap();
+            }
+            db.checkpoint().unwrap();
+            assert_eq!(db.query("SELECT COUNT(*) AS c FROM gate").unwrap().len(), 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Enrichment leg: SESQL across the relational + RDF substrates,
+        // concurrent readers against a KB writer.
+        let engine = standard_engine(&SmartGroundConfig::tiny(), "director").unwrap();
+        engine.set_exec_threads(stress_threads(4));
+        let engine = Arc::new(engine);
+        let writer = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let kb = engine.knowledge_base();
+                for i in 0..stress_iters(10) {
+                    kb.assert_statement(
+                        "director",
+                        &Triple::new(
+                            Term::iri(format!("GateExtra{i}")),
+                            Term::iri("dangerLevel"),
+                            Term::lit("2"),
+                        ),
+                    )
+                    .unwrap();
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            readers.push(thread::spawn(move || {
+                for _ in 0..stress_iters(5) {
+                    engine
+                        .execute(
+                            "director",
+                            "SELECT elem_name FROM elem_contained \
+                             ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)",
+                        )
+                        .unwrap();
+                }
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+
+        let real: Vec<String> = tracking::violations()
+            .iter()
+            .filter(|v| !is_sabotage(v))
+            .map(|v| v.to_string())
+            .collect();
+        assert!(
+            real.is_empty(),
+            "engine workload produced lock-order/blocking violations:\n{}",
+            real.join("\n")
+        );
+
+        // The workload above must also have fed the per-site counters —
+        // `\lock-stats` has something to show.
+        let stats = tracking::stats();
+        assert!(
+            stats.iter().any(|s| s.site == "table.rows" && s.acquisitions > 0),
+            "lock stats recorded no table.rows acquisitions: {stats:?}"
+        );
+    }
+}
+
+/// Tracking must be semantics-neutral: the same workload produces the
+/// same rows whether the acquisition tracker is on or off. (Debug builds
+/// only — in release the tracker does not exist to toggle.)
+#[cfg(debug_assertions)]
+mod tracking_neutrality {
+    use crosse::relational::Database;
+    use proptest::prelude::*;
+
+    fn run_workload(values: &[i64], tracked: bool) -> Vec<String> {
+        parking_lot::tracking::set_enabled(tracked);
+        let db = Database::new();
+        db.execute("CREATE TABLE t (n INT)").unwrap();
+        for v in values {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let mut out = Vec::new();
+        for sql in [
+            "SELECT n FROM t ORDER BY n",
+            "SELECT COUNT(*) AS c, SUM(n) AS s FROM t",
+            "SELECT DISTINCT n FROM t ORDER BY n DESC LIMIT 5",
+        ] {
+            for row in db.query(sql).unwrap().rows.iter() {
+                out.push(format!("{row:?}"));
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn tracked_equals_untracked(values in proptest::collection::vec(-50i64..50, 0..20)) {
+            let untracked = run_workload(&values, false);
+            let tracked = run_workload(&values, true);
+            parking_lot::tracking::set_enabled(true);
+            prop_assert_eq!(tracked, untracked);
+        }
     }
 }

@@ -1,0 +1,8 @@
+// Deliberately defective: three malformed allow directives (R000 x3),
+// none of which suppress the R002 underneath.
+// srclint: allow(R099): no such rule
+// srclint: allow(R002):
+// srclint: deny(R002): not a verb srclint knows
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+// Clean twin: a well-formed, justified allow suppresses R002 file-wide.
+// srclint: allow(R002): fixture demonstrating the directive grammar
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

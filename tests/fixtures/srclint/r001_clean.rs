@@ -1,0 +1,8 @@
+// Clean twin: the labeled shim, plus std::sync atomics (allowed).
+use std::sync::{Arc, atomic::AtomicU64};
+use parking_lot::Mutex;
+
+pub struct Registry {
+    slots: Arc<Mutex<Vec<u32>>>,
+    version: AtomicU64,
+}

@@ -1,0 +1,7 @@
+// Deliberately defective: raw std::sync locks in engine code (R001 x2).
+use std::sync::{Arc, Mutex};
+
+pub struct Registry {
+    slots: Arc<Mutex<Vec<u32>>>,
+    gate: std::sync::RwLock<()>,
+}

@@ -1,0 +1,15 @@
+// Clean twin: unwraps only in the test module, doc comments, and strings.
+/// Example: `xs.first().unwrap()`.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    let _msg = "do not .unwrap() in library code";
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let xs = [1u32];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+// Deliberately defective: unwrap/expect in library code (R002 x2).
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    *xs.get(1).expect("needs two elements") + first
+}

@@ -1,0 +1,14 @@
+// Clean twin: the panic lives in a #[cfg(test)] module.
+pub fn pick(i: usize) -> Option<u32> {
+    (i <= 3).then_some(i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_assertion() {
+        if super::pick(9).is_some() {
+            panic!("should be out of range");
+        }
+    }
+}

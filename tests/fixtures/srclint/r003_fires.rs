@@ -1,0 +1,7 @@
+// Deliberately defective: panic! in library code (R003).
+pub fn pick(i: usize) -> u32 {
+    if i > 3 {
+        panic!("index out of range");
+    }
+    i as u32
+}

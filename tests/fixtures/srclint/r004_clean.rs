@@ -1,0 +1,18 @@
+// Clean twin: labeled construction (and an unlabeled one in tests).
+use parking_lot::{Mutex, RwLock};
+
+pub fn make() -> (Mutex<u32>, RwLock<Vec<u8>>) {
+    (
+        Mutex::new_labeled("fixture.counter", 0),
+        RwLock::new_labeled("fixture.buffer", Vec::new()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_lock() {
+        let m = super::Mutex::new(7);
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,7 @@
+// Deliberately defective: unlabeled lock construction in engine code
+// (R004 x2 — warnings).
+use parking_lot::{Mutex, RwLock};
+
+pub fn make() -> (Mutex<u32>, RwLock<Vec<u8>>) {
+    (Mutex::new(0), RwLock::new(Vec::new()))
+}

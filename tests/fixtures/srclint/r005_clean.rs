@@ -1,0 +1,8 @@
+// Clean twin: the forbid attribute is present.
+#![forbid(unsafe_code)]
+
+pub mod engine;
+
+pub fn version() -> &'static str {
+    "0.0.0"
+}

@@ -1,0 +1,7 @@
+// Deliberately defective: a crate root with no #![forbid(unsafe_code)]
+// (linted under a src/lib.rs path).
+pub mod engine;
+
+pub fn version() -> &'static str {
+    "0.0.0"
+}

@@ -1,0 +1,9 @@
+// Deliberately defective: wall-clock reads in planner code (R006 x2 —
+// linted under a relational/src/opt/ path).
+use std::time::{Instant, SystemTime};
+
+pub fn cost_seed() -> u128 {
+    let t = Instant::now();
+    let _wall = SystemTime::now();
+    t.elapsed().as_nanos()
+}

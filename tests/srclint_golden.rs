@@ -1,0 +1,181 @@
+//! Golden srclint snapshots: the self-lint gate behind `cargo xtask srclint`.
+//!
+//! Three layers pin the source linter's behaviour:
+//!
+//! * the fixture corpus (`tests/fixtures/srclint/`) — one deliberately
+//!   defective and one clean twin per rule, snapshotted verbatim in
+//!   `tests/snapshots/srclint.snap`: a rule that silently stops firing,
+//!   or starts firing on its clean twin, fails the gate;
+//! * the workspace itself must lint clean — srclint runs on every `.rs`
+//!   file in the tree and any finding is a failure;
+//! * totality — the lexer must survive every workspace file *and* a pile
+//!   of pathological inputs without panicking.
+//!
+//! To regenerate after an intentional rule change:
+//!
+//! ```text
+//! CROSSE_UPDATE_SNAPSHOTS=1 cargo test --test srclint_golden
+//! cargo xtask srclint   # regenerates, then diffs via git
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crosse_lint::srclint;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check(name: &str, got: &str) {
+    let path = repo_root().join("tests/snapshots").join(format!("{name}.snap"));
+    if std::env::var_os("CROSSE_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}) — regenerate with \
+             CROSSE_UPDATE_SNAPSHOTS=1 cargo test --test srclint_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, &want,
+        "srclint output for {name} diverged from its committed snapshot; if \
+         the rule change is intentional, regenerate with \
+         CROSSE_UPDATE_SNAPSHOTS=1 cargo test --test srclint_golden"
+    );
+}
+
+fn render(diags: &[crosse_lint::Diagnostic]) -> String {
+    if diags.is_empty() {
+        "(clean)\n".to_string()
+    } else {
+        diags.iter().fold(String::new(), |mut s, d| {
+            let _ = writeln!(s, "{d}");
+            s
+        })
+    }
+}
+
+/// `(fixture file, workspace-relative path the fixture pretends to live
+/// at)` — classification is path-driven, so each fixture is linted under
+/// the path its rule targets.
+const FIXTURES: &[(&str, &str)] = &[
+    ("r001_fires.rs", "crates/core/src/fixture.rs"),
+    ("r001_clean.rs", "crates/core/src/fixture.rs"),
+    ("r002_fires.rs", "crates/core/src/fixture.rs"),
+    ("r002_clean.rs", "crates/core/src/fixture.rs"),
+    ("r003_fires.rs", "crates/core/src/fixture.rs"),
+    ("r003_clean.rs", "crates/core/src/fixture.rs"),
+    ("r004_fires.rs", "crates/core/src/fixture.rs"),
+    ("r004_clean.rs", "crates/core/src/fixture.rs"),
+    ("r005_fires.rs", "crates/core/src/lib.rs"),
+    ("r005_clean.rs", "crates/core/src/lib.rs"),
+    ("r006_fires.rs", "crates/relational/src/opt/fixture.rs"),
+    ("r006_clean.rs", "crates/relational/src/opt/fixture.rs"),
+    ("r000_bad_directives.rs", "crates/core/src/fixture.rs"),
+    ("r000_clean_directive.rs", "crates/core/src/fixture.rs"),
+];
+
+/// One firing and one non-firing fixture per rule, pinned verbatim.
+#[test]
+fn rule_fixtures() {
+    let dir = repo_root().join("tests/fixtures/srclint");
+    let mut out = String::new();
+    for (file, as_path) in FIXTURES {
+        let source = std::fs::read_to_string(dir.join(file))
+            .unwrap_or_else(|e| panic!("fixture {file} unreadable: {e}"));
+        let diags = srclint::lint_source(as_path, &source);
+        let _ = writeln!(out, "== {file} (as {as_path}) ==");
+        out.push_str(&render(&diags));
+        if file.ends_with("_fires.rs") || *file == "r000_bad_directives.rs" {
+            assert!(
+                !diags.is_empty(),
+                "firing fixture {file} produced no diagnostics — its rule went dark"
+            );
+        } else {
+            assert!(
+                diags.is_empty(),
+                "clean fixture {file} fired: {diags:?} — false-positive regression"
+            );
+        }
+    }
+    check("srclint", &out);
+}
+
+/// Every fixture file on disk is exercised — a fixture added without a
+/// FIXTURES entry is dead weight the snapshot silently ignores.
+#[test]
+fn fixture_corpus_is_fully_enumerated() {
+    let dir = repo_root().join("tests/fixtures/srclint");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = FIXTURES.iter().map(|(f, _)| f.to_string()).collect();
+    listed.sort();
+    assert_eq!(on_disk, listed, "fixture dir and FIXTURES table disagree");
+}
+
+/// The workspace's own sources must be srclint-clean: every raw
+/// `std::sync` lock migrated, every surviving unwrap justified by a
+/// directive, every engine lock labeled, every crate root fortified.
+#[test]
+fn workspace_lints_clean() {
+    let findings = srclint::lint_workspace(repo_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "srclint findings on the workspace:\n{}",
+        srclint::render_findings(&findings)
+    );
+}
+
+/// Totality: the lexer survives every real workspace file under every
+/// path class, plus pathological inputs (unterminated everything).
+#[test]
+fn linter_is_total_on_workspace_and_garbage() {
+    let mut walked = 0usize;
+    let mut stack = vec![repo_root().to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                // Lint under every class so each rule's code path runs.
+                for as_path in [
+                    "crates/core/src/x.rs",
+                    "crates/core/src/lib.rs",
+                    "crates/relational/src/opt/x.rs",
+                    "crates/compat/parking_lot/src/lib.rs",
+                    "crates/xtask/src/gates.rs",
+                    "tests/x.rs",
+                ] {
+                    let _ = srclint::lint_source(as_path, &src);
+                }
+                walked += 1;
+            }
+        }
+    }
+    assert!(walked > 50, "workspace walk looks broken: only {walked} .rs files");
+
+    for garbage in [
+        "\"", "r#\"", "/*", "'", "b\"", "br##\"x", "#![", "0b", "1e", "\\",
+        "// srclint:", "// srclint: allow(", "// srclint: allow(R001",
+        "ident\u{0}with\u{0}nuls", "🦀🦀🦀",
+    ] {
+        let _ = srclint::lint_source("crates/core/src/x.rs", garbage);
+        let _ = srclint::lint_source("crates/core/src/lib.rs", garbage);
+    }
+}
