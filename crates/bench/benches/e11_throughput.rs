@@ -138,7 +138,7 @@ fn bench_sparql_probe(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_sparql_probe");
     for threads in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("two_hop_star", threads), &threads, |b, &t| {
-            let opts = EvalOptions { threads: t };
+            let opts = EvalOptions { threads: t, ..Default::default() };
             b.iter(|| black_box(evaluate_with(&store, &["kb"], &q, &opts).unwrap().len()))
         });
     }

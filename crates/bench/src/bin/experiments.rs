@@ -736,6 +736,166 @@ fn e11() -> (usize, usize, Vec<E11Run>) {
     (CLIENT_THREADS, host_cores, runs)
 }
 
+/// One e14 measurement: the e11 query mix replayed over the wire by a
+/// fixed number of closed-loop TCP clients.
+struct E14Run {
+    clients: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    queries: usize,
+}
+
+/// The e14 overload probe: the same mix fired by more clients than the
+/// admission gate will seat, counting typed `BUSY` sheds.
+struct E14Overload {
+    clients: usize,
+    max_active: usize,
+    queue_depth: usize,
+    done: u64,
+    shed: u64,
+    shed_rate: f64,
+}
+
+/// E14: the network front-end under closed-loop TCP clients.
+///
+/// The same scan-heavy mix as e11, but spoken over CROSNET1 to an
+/// in-process `crosse-server` — so e11 vs e14 at the same client count
+/// brackets the protocol + admission-gate overhead. A second phase
+/// shrinks the gate below the client count and measures the typed-BUSY
+/// shed rate (overload must degrade by shedding, not by queue collapse).
+fn e14() -> (Vec<E14Run>, E14Overload) {
+    use crosse_server::{ErrorCode, Lang, QueryOutcome, Server, ServerConfig};
+
+    header("E14", "Over-the-wire throughput: closed-loop TCP clients vs the admission gate");
+    const ITERS_PER_CLIENT: usize = 12;
+    let engine = engine_at_scale(3_000);
+    let mix = [
+        "SELECT elem_name, amount FROM elem_contained WHERE amount > 2500.0",
+        "SELECT landfill_name, COUNT(*), SUM(amount) FROM elem_contained \
+         WHERE amount > 100.0 GROUP BY landfill_name",
+        "SELECT e.elem_name, l.city FROM elem_contained e \
+         JOIN landfill l ON e.landfill_name = l.name WHERE e.amount > 3000.0",
+    ];
+
+    // Closed-loop phase: the gate is wide enough that nothing sheds and
+    // every latency sample is service time + protocol, not queueing.
+    let config = ServerConfig { max_active: 8, queue_depth: 64, ..ServerConfig::default() };
+    let mut handle = Server::start(engine.clone(), config).expect("start e14 server");
+    let addr = handle.addr().to_string();
+    println!(
+        "workload: e11 query mix over CROSNET1, {ITERS_PER_CLIENT} iterations per client, \
+         server at {addr}"
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "clients", "qps", "p50", "p95", "p99", "queries"
+    );
+    let mut runs = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let mut c =
+                            crosse_server::Client::connect(&addr).expect("e14 client connect");
+                        c.hello("director").expect("e14 hello");
+                        let mut lat = Vec::with_capacity(ITERS_PER_CLIENT * mix.len());
+                        for _ in 0..ITERS_PER_CLIENT {
+                            for q in &mix {
+                                let t = Instant::now();
+                                let r = c.query(Lang::Sql, q, 0).expect("e14 query");
+                                assert!(
+                                    r.error().is_none(),
+                                    "e14 query failed: {:?}",
+                                    r.outcome
+                                );
+                                lat.push(t.elapsed());
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed();
+        latencies.sort();
+        let pct = |p: f64| -> f64 {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx].as_secs_f64() * 1e3
+        };
+        let run = E14Run {
+            clients,
+            qps: latencies.len() as f64 / wall.as_secs_f64(),
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            queries: latencies.len(),
+        };
+        println!(
+            "{:>8} {:>10.1} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9}",
+            run.clients, run.qps, run.p50_ms, run.p95_ms, run.p99_ms, run.queries
+        );
+        runs.push(run);
+    }
+    handle.shutdown();
+
+    // Overload phase: 8 clients against a 1-seat gate with a 2-deep
+    // queue. Every outcome must be Done or typed BUSY; the shed rate is
+    // the robustness headline (sheds are cheap, queue collapse is not).
+    let (max_active, queue_depth, clients) = (1usize, 2usize, 8usize);
+    let config = ServerConfig { max_active, queue_depth, ..ServerConfig::default() };
+    let mut handle = Server::start(engine, config).expect("start e14 overload server");
+    let addr = handle.addr().to_string();
+    let (done, shed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c =
+                        crosse_server::Client::connect(&addr).expect("e14 overload connect");
+                    c.hello("director").expect("e14 overload hello");
+                    let (mut done, mut shed) = (0u64, 0u64);
+                    for _ in 0..ITERS_PER_CLIENT {
+                        for q in &mix {
+                            let r = c.query(Lang::Sql, q, 0).expect("e14 overload query");
+                            match r.outcome {
+                                QueryOutcome::Done { .. } => done += 1,
+                                QueryOutcome::Error { code: ErrorCode::Busy, .. } => shed += 1,
+                                other => panic!("e14 overload: unexpected outcome {other:?}"),
+                            }
+                        }
+                    }
+                    (done, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0u64), |(d, s), (dd, ss)| (d + dd, s + ss))
+    });
+    handle.shutdown();
+    let overload = E14Overload {
+        clients,
+        max_active,
+        queue_depth,
+        done,
+        shed,
+        shed_rate: shed as f64 / (done + shed).max(1) as f64,
+    };
+    println!(
+        "overload: {clients} clients vs max_active={max_active}/queue={queue_depth}: \
+         {done} done, {shed} shed typed-BUSY ({:.0}% shed rate)",
+        overload.shed_rate * 100.0
+    );
+    (runs, overload)
+}
+
 struct E13Run {
     mode: &'static str,
     batches: usize,
@@ -868,6 +1028,7 @@ fn write_baseline_json(
     e11_data: Option<&(usize, usize, Vec<E11Run>)>,
     e12_data: Option<&[E12Run]>,
     e13_data: Option<&[E13Run]>,
+    e14_data: Option<&(Vec<E14Run>, E14Overload)>,
 ) {
     let mut out = String::from(
         "{\n  \"experiment\": \"e3\",\n  \"unit\": \"seconds\",\n  \"results\": [\n",
@@ -913,7 +1074,7 @@ fn write_baseline_json(
             out.push('\n');
         }
         out.push_str("  }");
-        if e12_data.is_none() && e13_data.is_none() {
+        if e12_data.is_none() && e13_data.is_none() && e14_data.is_none() {
             out.push('\n');
         }
     }
@@ -931,7 +1092,7 @@ fn write_baseline_json(
             ));
         }
         out.push_str("  ]");
-        if e13_data.is_none() {
+        if e13_data.is_none() && e14_data.is_none() {
             out.push('\n');
         }
     }
@@ -963,9 +1124,42 @@ fn write_baseline_json(
         } else {
             out.push('\n');
         }
+        out.push_str("  }");
+        if e14_data.is_none() {
+            out.push('\n');
+        }
+    }
+    if let Some((runs, overload)) = e14_data {
+        out.push_str(",\n  \"e14_server\": {\n");
+        out.push_str(
+            "    \"workload\": \"e11 query mix over CROSNET1, closed-loop TCP clients\",\n",
+        );
+        out.push_str("    \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"clients\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"queries\": {}}}{}\n",
+                r.clients,
+                r.qps,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.queries,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"overload\": {{\"clients\": {}, \"max_active\": {}, \"queue_depth\": {}, \"done\": {}, \"shed\": {}, \"shed_rate\": {:.3}}}\n",
+            overload.clients,
+            overload.max_active,
+            overload.queue_depth,
+            overload.done,
+            overload.shed,
+            overload.shed_rate,
+        ));
         out.push_str("  }\n");
     }
-    if e11_data.is_none() && e12_data.is_none() && e13_data.is_none() {
+    if e11_data.is_none() && e12_data.is_none() && e13_data.is_none() && e14_data.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
@@ -1040,11 +1234,17 @@ fn main() {
     if want("e13") {
         e13_data = Some(e13());
     }
+    let mut e14_data: Option<(Vec<E14Run>, E14Overload)> = None;
+    if want("e14") {
+        e14_data = Some(e14());
+    }
     if let Some(path) = json_path.as_deref() {
         if e3_records.is_empty() {
             // Never clobber the checked-in baseline with an empty results
             // array: --json requires the e3 experiment in the selection.
-            eprintln!("--json skipped: run e3 (e.g. `experiments e3 e11 e12 e13 --json {path}`)");
+            eprintln!(
+                "--json skipped: run e3 (e.g. `experiments e3 e11 e12 e13 e14 --json {path}`)"
+            );
         } else {
             write_baseline_json(
                 path,
@@ -1052,6 +1252,7 @@ fn main() {
                 e11_data.as_ref(),
                 e12_data.as_deref(),
                 e13_data.as_deref(),
+                e14_data.as_ref(),
             );
         }
     }

@@ -32,6 +32,19 @@ impl Error {
     pub fn storage(message: impl Into<String>) -> Self {
         Error::Storage(message.into())
     }
+
+    /// If this error is (or wraps) a cooperative interruption — a query
+    /// stopped by a [`crosse_exec::CancelToken`] or its deadline — return
+    /// which kind. Serving layers use this to map engine errors to typed
+    /// `CANCELLED` / `DEADLINE_EXCEEDED` responses regardless of which
+    /// substrate (relational or semantic) the interruption surfaced in.
+    pub fn as_interrupt(&self) -> Option<crosse_exec::Interrupt> {
+        match self {
+            Error::Relational(crosse_relational::Error::Interrupted(i)) => Some(*i),
+            Error::Semantic(crosse_rdf::Error::Interrupted(i)) => Some(*i),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -95,5 +108,16 @@ mod tests {
         assert!(Error::storage("s").to_string().contains("storage"));
         let e: Error = crosse_wal::WalError::MissingSnapshot { base_lsn: 3 }.into();
         assert!(matches!(e, Error::Storage(_)), "{e:?}");
+    }
+
+    #[test]
+    fn interrupts_are_extracted_through_wrappers() {
+        use crosse_exec::Interrupt;
+        let e: Error =
+            crosse_relational::Error::Interrupted(Interrupt::DeadlineExceeded).into();
+        assert_eq!(e.as_interrupt(), Some(Interrupt::DeadlineExceeded));
+        let e: Error = crosse_rdf::Error::Interrupted(Interrupt::Cancelled).into();
+        assert_eq!(e.as_interrupt(), Some(Interrupt::Cancelled));
+        assert_eq!(Error::sqm("x").as_interrupt(), None);
     }
 }

@@ -353,7 +353,7 @@ impl Session {
         let kb = self.engine.knowledge_base();
         let graphs = kb.context_graphs(&self.user);
         let refs: Vec<&str> = graphs.iter().map(String::as_str).collect();
-        let opts = EvalOptions { threads: self.engine.exec_threads() };
+        let opts = EvalOptions { threads: self.engine.exec_threads(), ..Default::default() };
         let sols = prepared.execute_with(kb.store(), &refs, params, &opts)?;
         Ok(SparqlRows::new(sols))
     }

@@ -486,7 +486,7 @@ impl SesqlEngine {
         // The compiled AST is cached per query text, so repeated legs skip
         // the parser even when the solution cache is off or invalidated.
         let opts =
-            crosse_rdf::sparql::eval::EvalOptions { threads: self.exec_threads() };
+            crosse_rdf::sparql::eval::EvalOptions { threads: self.exec_threads(), ..Default::default() };
         let evaluate = |parsed: Option<&crosse_rdf::sparql::ast::Query>| -> Result<Solutions> {
             match parsed {
                 Some(q) => Ok(crosse_rdf::sparql::eval::evaluate_with(

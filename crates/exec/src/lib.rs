@@ -26,6 +26,10 @@
 
 #![forbid(unsafe_code)]
 
+mod cancel;
+
+pub use cancel::{AmbientGuard, CancelToken, Interrupt};
+
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -15,6 +15,10 @@ pub enum Error {
     /// recovery, I/O). Carries a rendered message so the enum stays
     /// `Clone + Eq`; match on the variant, not the text.
     Storage(String),
+    /// Evaluation stopped cooperatively: cancelled via
+    /// [`crosse_exec::CancelToken`] or past its deadline (checked between
+    /// BGP probe batches).
+    Interrupted(crosse_exec::Interrupt),
 }
 
 impl Error {
@@ -47,7 +51,14 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Store(m) => write!(f, "store error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Interrupted(i) => write!(f, "{i}"),
         }
+    }
+}
+
+impl From<crosse_exec::Interrupt> for Error {
+    fn from(i: crosse_exec::Interrupt) -> Self {
+        Error::Interrupted(i)
     }
 }
 
@@ -65,5 +76,8 @@ mod tests {
         assert!(Error::eval("x").to_string().contains("evaluation"));
         assert!(Error::store("x").to_string().contains("store"));
         assert!(Error::storage("x").to_string().contains("storage"));
+        assert!(Error::Interrupted(crosse_exec::Interrupt::DeadlineExceeded)
+            .to_string()
+            .contains("deadline"));
     }
 }

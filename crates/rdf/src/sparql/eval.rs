@@ -62,7 +62,7 @@ impl Solutions {
     }
 }
 
-/// Evaluation knobs; [`Default`] is fully sequential.
+/// Evaluation knobs; [`Default`] is fully sequential and uncancellable.
 #[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// Worker threads for partition-parallel probe batches (the BGP join
@@ -71,11 +71,16 @@ pub struct EvalOptions {
     /// chunk outputs concatenate in order — bit-identical to sequential
     /// evaluation. 1 (the default) disables the worker pool.
     pub threads: usize,
+    /// Cooperative cancellation handle, polled between BGP probe batches
+    /// and inside long probe loops. `None` (the default) falls back to the
+    /// ambient [`CancelToken`] of the calling thread, so a serving layer's
+    /// deadline reaches SPARQL legs without explicit plumbing.
+    pub cancel: Option<crosse_exec::CancelToken>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { threads: 1 }
+        EvalOptions { threads: 1, cancel: None }
     }
 }
 
@@ -133,6 +138,10 @@ pub fn evaluate_with(
         var_index: &var_index,
         nums: RefCell::new(HashMap::new()),
         threads: options.threads.max(1),
+        cancel: options
+            .cancel
+            .clone()
+            .unwrap_or_else(crosse_exec::CancelToken::current),
     };
     let mut rows = ctx.eval_pattern(&query.pattern, vec![vec![None; vars.len()]])?;
 
@@ -772,10 +781,12 @@ fn probe_rows(
     ct: &CompiledTriple,
     prober: &Prober<'_>,
     rows: Vec<Bindings>,
+    cancel: &crosse_exec::CancelToken,
 ) -> Vec<Bindings> {
     let mut out = Vec::with_capacity(rows.len());
     let mut scratch: Vec<IdTriple> = Vec::new();
     let mut last: Option<IdPattern> = None;
+    let mut since_check = 0usize;
     // Bind the free positions of `row` to one match; false if a
     // repeated variable (e.g. ?x <p> ?x) disagrees.
     let bind = |row: &mut Bindings, (s, p, o): IdTriple| -> bool {
@@ -791,6 +802,15 @@ fn probe_rows(
         true
     };
     for mut row in rows {
+        // Stop early on cancellation: the partial output is discarded by
+        // the typed error the BGP loop raises at its next batch boundary.
+        since_check += 1;
+        if since_check >= PARALLEL_PROBE_MIN {
+            since_check = 0;
+            if cancel.check().is_err() {
+                return out;
+            }
+        }
         let pat = ct.probe(&row);
         if last != Some(pat) {
             scratch.clear();
@@ -824,6 +844,8 @@ struct EvalCtx<'a> {
     nums: RefCell<HashMap<TermId, Option<f64>>>,
     /// Worker threads for partition-parallel probe batches (1 = off).
     threads: usize,
+    /// Cooperative cancellation handle, polled between probe batches.
+    cancel: crosse_exec::CancelToken,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -1016,6 +1038,11 @@ impl<'a> EvalCtx<'a> {
         };
 
         while !remaining.is_empty() {
+            // Probe-batch boundary: each pattern extension below walks the
+            // whole solution batch, so poll the cancel token here — a
+            // cancelled SPARQL leg stops between joins with a typed error
+            // instead of running the conjunction to completion.
+            self.cancel.check()?;
             let best_pos = remaining
                 .iter()
                 .enumerate()
@@ -1112,17 +1139,20 @@ impl<'a> EvalCtx<'a> {
         if rows.len() > 16 && ct.has_var() {
             rows.sort_by_cached_key(|row| ct.probe(row));
         }
+        // Captured alone so worker closures don't borrow the (non-Sync)
+        // evaluation context.
+        let cancel = &self.cancel;
         self.store.with_prober(self.graphs, |prober| {
             if self.threads > 1 && rows.len() >= PARALLEL_PROBE_MIN {
                 let pool = crosse_exec::WorkerPool::new(self.threads);
                 pool.map_owned_chunks(rows, self.threads, |_, chunk| {
-                    probe_rows(ct, prober, chunk)
+                    probe_rows(ct, prober, chunk, cancel)
                 })
                 .into_iter()
                 .flatten()
                 .collect()
             } else {
-                probe_rows(ct, prober, rows)
+                probe_rows(ct, prober, rows, cancel)
             }
         })
     }

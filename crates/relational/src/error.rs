@@ -29,6 +29,11 @@ pub enum Error {
     /// `debug_assertions`-gated validator, see [`crate::opt::validate`]).
     /// Always an engine bug, never a user error.
     Invariant(crate::opt::validate::PlanInvariantError),
+    /// The query was stopped cooperatively: cancelled via
+    /// [`crosse_exec::CancelToken`] or past its deadline. Never a user
+    /// error in the query text; the serving layer maps this to its typed
+    /// `CANCELLED` / `DEADLINE_EXCEEDED` responses.
+    Interrupted(crosse_exec::Interrupt),
 }
 
 impl Error {
@@ -76,6 +81,7 @@ impl fmt::Display for Error {
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Invariant(e) => write!(f, "{e}"),
+            Error::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
@@ -85,6 +91,12 @@ impl std::error::Error for Error {}
 impl From<crate::opt::validate::PlanInvariantError> for Error {
     fn from(e: crate::opt::validate::PlanInvariantError) -> Self {
         Error::Invariant(e)
+    }
+}
+
+impl From<crosse_exec::Interrupt> for Error {
+    fn from(i: crosse_exec::Interrupt) -> Self {
+        Error::Interrupted(i)
     }
 }
 
@@ -109,6 +121,12 @@ mod tests {
         assert!(Error::constraint("x").to_string().contains("constraint"));
         assert!(Error::lex("x", 0).to_string().contains("lexical"));
         assert!(Error::storage("x").to_string().contains("storage"));
+        assert!(Error::Interrupted(crosse_exec::Interrupt::Cancelled)
+            .to_string()
+            .contains("cancelled"));
+        assert!(Error::Interrupted(crosse_exec::Interrupt::DeadlineExceeded)
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

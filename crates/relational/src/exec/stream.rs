@@ -38,7 +38,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
-use crosse_exec::WorkerPool;
+use crosse_exec::{CancelToken, WorkerPool};
 use parking_lot::Mutex;
 
 use crate::db::RowSet;
@@ -86,15 +86,28 @@ pub struct ExecCtx {
     /// `(spool id, key-expression fingerprint)` — joins that hash the
     /// same spooled input on the same keys share one build.
     builds: Arc<Mutex<BuildRegistry>>,
+    /// Cooperative cancellation handle, polled at batch boundaries (scan
+    /// batches, morsel waves, dedup blocks, spool refills, join output
+    /// blocks). Captured from the ambient thread-local token at context
+    /// construction, so the token set by a serving layer reaches every
+    /// operator without parameter threading.
+    cancel: CancelToken,
 }
 
 impl ExecCtx {
     pub fn new(threads: usize) -> Self {
+        Self::with_cancel(threads, CancelToken::current())
+    }
+
+    /// A context with an explicit cancellation token (overrides the
+    /// ambient one).
+    pub fn with_cancel(threads: usize, cancel: CancelToken) -> Self {
         ExecCtx {
             scanned: Arc::new(AtomicU64::new(0)),
             pool: Arc::new(WorkerPool::new(threads)),
             spools: Arc::new(Mutex::new_labeled("exec.spools", HashMap::new())),
             builds: Arc::new(Mutex::new_labeled("exec.builds", HashMap::new())),
+            cancel,
         }
     }
 }
@@ -146,12 +159,13 @@ struct SpoolReader {
     /// Next spool-buffer position this reader has not yet copied.
     pos: usize,
     batch: std::vec::IntoIter<Row>,
+    cancel: CancelToken,
     finished: bool,
 }
 
 impl SpoolReader {
-    fn new(spool: Arc<Spool>) -> Self {
-        SpoolReader { spool, pos: 0, batch: Vec::new().into_iter(), finished: false }
+    fn new(spool: Arc<Spool>, cancel: CancelToken) -> Self {
+        SpoolReader { spool, pos: 0, batch: Vec::new().into_iter(), cancel, finished: false }
     }
 }
 
@@ -165,6 +179,13 @@ impl Iterator for SpoolReader {
             }
             if self.finished {
                 return None;
+            }
+            // Refill boundary: poll before taking the spool lock, so a
+            // cancelled consumer stops without advancing the shared
+            // materialisation. Other readers of the spool are unaffected.
+            if let Err(i) = self.cancel.check() {
+                self.finished = true;
+                return Some(Err(Error::Interrupted(i)));
             }
             let mut st = self.spool.state.lock();
             if self.pos < st.rows.len() {
@@ -222,9 +243,22 @@ impl Rows {
     }
 
     /// Lower a plan into a cursor executing with up to `threads` workers
-    /// for morsel-parallel operators (1 = fully sequential).
+    /// for morsel-parallel operators (1 = fully sequential). Picks up the
+    /// ambient [`CancelToken`] if one is installed on this thread.
     pub fn from_plan_parallel(plan: Plan, threads: usize) -> Result<Rows> {
-        let ctx = ExecCtx::new(threads);
+        Self::lower(plan, ExecCtx::new(threads))
+    }
+
+    /// Lower a plan into a cursor that cooperatively honours `cancel`:
+    /// once the token trips (or its deadline passes), the cursor yields
+    /// `Error::Interrupted` at the next batch boundary instead of running
+    /// to completion — [`Rows::rows_scanned`] then proves the scan stopped
+    /// short.
+    pub fn from_plan_with(plan: Plan, threads: usize, cancel: CancelToken) -> Result<Rows> {
+        Self::lower(plan, ExecCtx::with_cancel(threads, cancel))
+    }
+
+    fn lower(plan: Plan, ctx: ExecCtx) -> Result<Rows> {
         let schema = plan.schema().clone();
         let scanned = Arc::clone(&ctx.scanned);
         let iter = stream_plan(plan, ctx)?;
@@ -291,11 +325,13 @@ struct TableCursor {
     snap: TableSnapshot,
     pos: usize,
     scanned: Arc<AtomicU64>,
+    cancel: CancelToken,
+    interrupted: bool,
 }
 
 impl TableCursor {
-    fn new(table: &Table, scanned: Arc<AtomicU64>) -> Self {
-        TableCursor { snap: table.snapshot(), pos: 0, scanned }
+    fn new(table: &Table, scanned: Arc<AtomicU64>, cancel: CancelToken) -> Self {
+        TableCursor { snap: table.snapshot(), pos: 0, scanned, cancel, interrupted: false }
     }
 }
 
@@ -303,10 +339,17 @@ impl Iterator for TableCursor {
     type Item = Result<Row>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.snap.len() {
+        if self.interrupted || self.pos >= self.snap.len() {
             return None;
         }
         if self.pos.is_multiple_of(SCAN_BATCH) {
+            // Batch boundary: poll the cancel token before charging the
+            // next batch, so an interrupted scan leaves the fetched-rows
+            // counter strictly short of the table.
+            if let Err(i) = self.cancel.check() {
+                self.interrupted = true;
+                return Some(Err(Error::Interrupted(i)));
+            }
             // Charge a whole batch as it starts (the pre-snapshot executor
             // copied out per batch; the counter's granularity is kept).
             let n = (self.snap.len() - self.pos).min(SCAN_BATCH);
@@ -489,6 +532,7 @@ struct MorselScan {
     pool: Arc<WorkerPool>,
     work: Arc<MorselWork>,
     scanned: Arc<AtomicU64>,
+    cancel: CancelToken,
     buf: std::vec::IntoIter<Row>,
     pending_err: Option<Error>,
     done: bool,
@@ -500,6 +544,7 @@ impl MorselScan {
         pool: Arc<WorkerPool>,
         work: MorselWork,
         scanned: Arc<AtomicU64>,
+        cancel: CancelToken,
     ) -> Self {
         MorselScan {
             snap,
@@ -507,6 +552,7 @@ impl MorselScan {
             pool,
             work: Arc::new(work),
             scanned,
+            cancel,
             buf: Vec::new().into_iter(),
             pending_err: None,
             done: false,
@@ -528,6 +574,12 @@ impl Iterator for MorselScan {
             }
             if self.done || self.pos >= self.snap.len() {
                 return None;
+            }
+            // Wave boundary: poll the cancel token before dispatching the
+            // next `threads × SCAN_BATCH` rows to the pool.
+            if let Err(i) = self.cancel.check() {
+                self.done = true;
+                return Some(Err(Error::Interrupted(i)));
             }
             let wave = self.pool.threads() * SCAN_BATCH;
             let hi = (self.pos + wave).min(self.snap.len());
@@ -600,6 +652,7 @@ fn try_parallel(plan: Plan, ctx: &ExecCtx) -> std::result::Result<BoxRowIter, Pl
                     Arc::clone(&ctx.pool),
                     MorselWork::FilterProject { predicate: prefilter, exprs: Some(exprs) },
                     Arc::clone(&ctx.scanned),
+                    ctx.cancel.clone(),
                 )))
             }
             Err(other) => Err(Plan::Project { input: Box::new(other), exprs, schema }),
@@ -618,6 +671,7 @@ fn try_parallel(plan: Plan, ctx: &ExecCtx) -> std::result::Result<BoxRowIter, Pl
                     Arc::clone(&ctx.pool),
                     MorselWork::FilterProject { predicate: Some(predicate), exprs: None },
                     Arc::clone(&ctx.scanned),
+                    ctx.cancel.clone(),
                 )))
             }
             Ok((table, scan_schema, None)) => Err(reassemble(table, scan_schema, None)),
@@ -636,9 +690,11 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
     };
     match plan {
         Plan::Values { rows, .. } => Ok(Box::new(rows.into_iter().map(Ok))),
-        Plan::Scan { table, .. } => {
-            Ok(Box::new(TableCursor::new(&table, Arc::clone(&ctx.scanned))))
-        }
+        Plan::Scan { table, .. } => Ok(Box::new(TableCursor::new(
+            &table,
+            Arc::clone(&ctx.scanned),
+            ctx.cancel.clone(),
+        ))),
         Plan::IndexScan { table, column, lookup, .. } => {
             let via_index = match &lookup {
                 IndexLookup::Eq(keys) => table.index_lookup_eq(column, keys),
@@ -656,7 +712,11 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                 // Index dropped between planning and execution: degrade to
                 // a filtered streaming scan with identical semantics.
                 None => {
-                    let cursor = TableCursor::new(&table, Arc::clone(&ctx.scanned));
+                    let cursor = TableCursor::new(
+                        &table,
+                        Arc::clone(&ctx.scanned),
+                        ctx.cancel.clone(),
+                    );
                     Ok(Box::new(cursor.filter(move |r| match r {
                         Ok(row) => lookup.matches(&row[column]),
                         Err(_) => true,
@@ -729,11 +789,13 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             let right_width = right.schema().len();
             let right_rows: Vec<Row> =
                 stream_plan(*right, ctx.clone())?.collect::<Result<_>>()?;
+            let cancel = ctx.cancel.clone();
             let left_iter = stream_plan(*left, ctx)?;
             Ok(Box::new(JoinStream::new(
                 left_iter,
                 kind,
                 right_width,
+                cancel,
                 move |l, out| {
                     for r in &right_rows {
                         let mut combined = l.to_vec();
@@ -764,8 +826,9 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             Ok(Box::new(out.into_iter().map(Ok)))
         }
         Plan::Distinct { input } => {
+            let cancel = ctx.cancel.clone();
             let child = stream_plan(*input, ctx)?;
-            Ok(Box::new(DedupStream::new(child)))
+            Ok(Box::new(DedupStream::new(child, cancel)))
         }
         Plan::Limit { input, limit, offset } => {
             let mut child = stream_plan(*input, ctx)?;
@@ -796,6 +859,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
         }
         Plan::Union { inputs, all, schema } => {
             let width = schema.len();
+            let cancel = ctx.cancel.clone();
             // Members start lazily: a LIMIT satisfied by the first member
             // never executes the later ones.
             let mut pending: VecDeque<Plan> = inputs.into_iter().collect();
@@ -830,7 +894,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
             if all {
                 Ok(concat)
             } else {
-                Ok(Box::new(DedupStream::new(concat)))
+                Ok(Box::new(DedupStream::new(concat, cancel)))
             }
         }
         Plan::Shared { id, input } => {
@@ -848,7 +912,7 @@ pub fn stream_plan(plan: Plan, ctx: ExecCtx) -> Result<BoxRowIter> {
                     spool
                 }
             };
-            Ok(Box::new(SpoolReader::new(spool)))
+            Ok(Box::new(SpoolReader::new(spool, ctx.cancel.clone())))
         }
     }
 }
@@ -864,16 +928,18 @@ struct DedupStream {
     seen: RowSeen,
     out: std::vec::IntoIter<Row>,
     pending_err: Option<Error>,
+    cancel: CancelToken,
     done: bool,
 }
 
 impl DedupStream {
-    fn new(child: BoxRowIter) -> Self {
+    fn new(child: BoxRowIter, cancel: CancelToken) -> Self {
         DedupStream {
             child,
             seen: RowSeen::default(),
             out: Vec::new().into_iter(),
             pending_err: None,
+            cancel,
             done: false,
         }
     }
@@ -893,6 +959,12 @@ impl Iterator for DedupStream {
             }
             if self.done {
                 return None;
+            }
+            // Block boundary: a dedup whose child yields mostly duplicates
+            // can run long without producing output, so poll here too.
+            if let Err(i) = self.cancel.check() {
+                self.done = true;
+                return Some(Err(Error::Interrupted(i)));
             }
             // Dedup one block: reserve set capacity for the whole block
             // up front, then insert as rows are pulled.
@@ -993,10 +1065,12 @@ fn lower_hash_join(
                         project,
                     },
                     Arc::clone(&ctx.scanned),
+                    ctx.cancel.clone(),
                 )));
             }
         }
     }
+    let cancel = ctx.cancel.clone();
     let left_iter = stream_plan(left, ctx)?;
     // Probe-key and combined-row scratch: cleared per row, allocated once.
     let mut key: Vec<Value> = Vec::with_capacity(left_keys.len());
@@ -1005,6 +1079,7 @@ fn lower_hash_join(
         left_iter,
         kind,
         right_width,
+        cancel,
         move |l, out| {
             key.clear();
             for k in &left_keys {
@@ -1059,14 +1134,33 @@ struct JoinStream<F> {
     right_width: usize,
     expand: F,
     pending: VecDeque<Row>,
+    cancel: CancelToken,
+    /// Output rows yielded since the last cancel poll; a cartesian blow-up
+    /// produces many rows per outer pull, so the scan-level checks alone
+    /// would be too coarse here.
+    since_check: usize,
 }
 
 impl<F> JoinStream<F>
 where
     F: FnMut(&Row, &mut VecDeque<Row>) -> Result<()>,
 {
-    fn new(left: BoxRowIter, kind: JoinKind, right_width: usize, expand: F) -> Self {
-        JoinStream { left, kind, right_width, expand, pending: VecDeque::new() }
+    fn new(
+        left: BoxRowIter,
+        kind: JoinKind,
+        right_width: usize,
+        cancel: CancelToken,
+        expand: F,
+    ) -> Self {
+        JoinStream {
+            left,
+            kind,
+            right_width,
+            expand,
+            pending: VecDeque::new(),
+            cancel,
+            since_check: 0,
+        }
     }
 }
 
@@ -1079,6 +1173,14 @@ where
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(row) = self.pending.pop_front() {
+                self.since_check += 1;
+                if self.since_check >= SCAN_BATCH {
+                    self.since_check = 0;
+                    if let Err(i) = self.cancel.check() {
+                        self.pending.clear();
+                        return Some(Err(Error::Interrupted(i)));
+                    }
+                }
                 return Some(Ok(row));
             }
             match self.left.next()? {

@@ -7,7 +7,8 @@
 //! * `bench-baseline` — regenerate `BENCH_e3.json` from the experiments
 //!   binary (release build) so future PRs have a perf trajectory to
 //!   compare against. Includes the e11 concurrency record (QPS + latency
-//!   percentiles at 1 vs 4 worker threads).
+//!   percentiles at 1 vs 4 worker threads) and the e14 over-the-wire
+//!   record (closed-loop TCP clients + overload shed rate).
 //! * `bench-diff` — re-run the E3 experiments (plus the E12 ex4.6
 //!   REPLACEVARIABLE record) and compare each `sesql_median_s` against
 //!   the committed `BENCH_e3.json`, printing per-experiment deltas.
@@ -38,6 +39,13 @@
 //!   it mid-batch, reopen and verify that every acknowledged batch
 //!   survived intact in both substrates (twice, so the second kill lands
 //!   on already-recovered state).
+//! * `chaos` — network fault injection against a spawned
+//!   `crosse-cli --serve` (debug build, `CROSSE_LOCK_TRACK=1`): malformed
+//!   / truncated / oversized / slowloris frames and connections killed
+//!   mid-query, all while concurrent typed clients keep querying; then a
+//!   `kill -9` of the server mid-write-load with WAL recovery verified
+//!   over the wire. `--quick` bounds the iteration counts for the
+//!   `check` gate.
 
 #![forbid(unsafe_code)]
 
@@ -85,7 +93,8 @@ fn bench_smoke() {
 
 fn bench_baseline() {
     run(
-        "regenerate BENCH_e3.json (e3 + e11 concurrency + e12 enrichment + e13 durability)",
+        "regenerate BENCH_e3.json (e3 + e11 concurrency + e12 enrichment + e13 durability \
+         + e14 server)",
         cargo().args([
             "run",
             "--release",
@@ -98,6 +107,7 @@ fn bench_baseline() {
             "e11",
             "e12",
             "e13",
+            "e14",
             "--json",
             "BENCH_e3.json",
         ]),
@@ -175,6 +185,31 @@ fn parse_e13_qps(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extract the e14 `(clients, qps)` pairs from a BENCH_e3.json (flat
+/// generated schema, same hand-rolled parsing as e3/e12/e13). Only the
+/// closed-loop runs match — the overload record's object is nested after
+/// `"overload": ` and so never starts a trimmed line with `{"clients": `.
+fn parse_e14_qps(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"clients\": ") else {
+            continue;
+        };
+        let Some((clients, rest)) = rest.split_once(',') else { continue };
+        let Some(rest) = rest.split_once("\"qps\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((format!("e14/server {} client(s)", clients.trim()), v));
+        }
+    }
+    out
+}
+
 fn bench_diff(args: &[String]) {
     let threshold: f64 = args
         .iter()
@@ -206,7 +241,7 @@ fn bench_diff(args: &[String]) {
 
     let fresh_path = "target/bench-diff-e3.json";
     run(
-        "re-run e3 + e12 + e13 experiments",
+        "re-run e3 + e12 + e13 + e14 experiments",
         cargo().args([
             "run",
             "--release",
@@ -218,6 +253,7 @@ fn bench_diff(args: &[String]) {
             "e3",
             "e12",
             "e13",
+            "e14",
             "--json",
             fresh_path,
         ]),
@@ -282,6 +318,40 @@ fn bench_diff(args: &[String]) {
                 cost * 100.0,
                 budget * 100.0
             ));
+        }
+    }
+    // e14 over-the-wire QPS guard: fresh closed-loop throughput must stay
+    // within budget of the committed record at every client count.
+    // Loopback scheduling is noisier than single-thread medians, so the
+    // budget gets an extra 15 points of slack on top of the threshold.
+    let baseline_e14 = parse_e14_qps(&committed);
+    let fresh_e14 = parse_e14_qps(&fresh_json);
+    if !baseline_e14.is_empty() && !fresh_e14.is_empty() {
+        let budget = threshold + 0.15;
+        println!();
+        for (name, old) in &baseline_e14 {
+            let Some((_, new)) = fresh_e14.iter().find(|(n, _)| n == name) else {
+                println!("{name:<28} {old:>12.1}qps {:>14} {:>9}", "MISSING", "-");
+                regressions.push(format!("{name}: missing from fresh run"));
+                continue;
+            };
+            let loss = 1.0 - new / old;
+            let marker = if loss > budget { "  << REGRESSION" } else { "" };
+            println!(
+                "{:<28} {:>11.1}qps {:>11.1}qps {:>+8.1}%{}",
+                name,
+                old,
+                new,
+                (new / old - 1.0) * 100.0,
+                marker
+            );
+            if loss > budget {
+                regressions.push(format!(
+                    "{name}: {:.1}% QPS loss (> {:.0}%)",
+                    loss * 100.0,
+                    budget * 100.0
+                ));
+            }
         }
     }
     if regressions.is_empty() {
@@ -430,6 +500,7 @@ fn check() {
     lint_gate();
     explain_snapshots();
     run("cargo test --workspace", cargo().args(["test", "--workspace", "--quiet"]));
+    chaos(&["--quick".to_string()]);
     println!("xtask: check OK");
     for gate in [
         "clippy            OK (workspace, -D warnings)",
@@ -437,6 +508,7 @@ fn check() {
         "lint              OK (query-corpus snapshots match)",
         "explain-snapshots OK (plan snapshots match)",
         "tests             OK (cargo test --workspace)",
+        "chaos             OK (--quick: frame abuse + kill -9 recovery, lock-tracked)",
     ] {
         println!("  {gate}");
     }
@@ -534,6 +606,388 @@ fn crash() {
     println!("xtask: crash OK (2 kill -9 rounds, no acked batch lost, no torn batch)");
 }
 
+// ---- chaos: network-server fault injection ----------------------------------
+
+/// A spawned `crosse-cli --serve` process plus its bound address.
+struct ServerProc {
+    child: std::process::Child,
+    addr: String,
+}
+
+/// Spawn the CLI in `--serve` mode (debug build, `CROSSE_LOCK_TRACK=1` so
+/// the run doubles as a lock-discipline gate) and read the bound address
+/// off its first stdout line.
+fn spawn_server(bin: &str, extra: &[&str]) -> ServerProc {
+    use std::io::BufRead;
+    let mut child = Command::new(bin)
+        .args(["--landfills", "5", "--serve", "127.0.0.1:0"])
+        .args(extra)
+        .env("CROSSE_LOCK_TRACK", "1")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: failed to spawn the server: {e}");
+            std::process::exit(1);
+        });
+    let mut line = String::new();
+    std::io::BufReader::new(child.stdout.as_mut().expect("server stdout"))
+        .read_line(&mut line)
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: server printed no address: {e}");
+            std::process::exit(1);
+        });
+    let addr = line.trim().rsplit(' ').next().unwrap_or_default().to_string();
+    if addr.is_empty() {
+        eprintln!("xtask: could not parse the server address from `{line}`");
+        std::process::exit(1);
+    }
+    ServerProc { child, addr }
+}
+
+/// Ask a server to drain (close its stdin) and require a clean exit —
+/// a lock-tracker violation recorded during serving exits non-zero.
+fn stop_server(mut server: ServerProc, what: &str) {
+    drop(server.child.stdin.take());
+    let status = server.child.wait().unwrap_or_else(|e| {
+        eprintln!("xtask: waiting for the {what} server: {e}");
+        std::process::exit(1);
+    });
+    if !status.success() {
+        eprintln!(
+            "xtask: chaos FAILED — the {what} server exited {status} \
+             (exit 3 = lock-tracker violations; see its stderr)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn chaos_client(addr: &str) -> crosse_server::Client {
+    let mut c = crosse_server::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("xtask: chaos client connect failed: {e}");
+        std::process::exit(1);
+    });
+    c.hello("director").unwrap_or_else(|e| {
+        eprintln!("xtask: chaos client hello failed: {e}");
+        std::process::exit(1);
+    });
+    c
+}
+
+/// Raw handshake: connect, exchange magic, return the socket.
+fn raw_conn(addr: &str) -> std::net::TcpStream {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("xtask: raw connect failed: {e}");
+        std::process::exit(1);
+    });
+    s.write_all(crosse_server::MAGIC).expect("magic");
+    let mut echo = [0u8; 8];
+    s.read_exact(&mut echo).expect("magic echo");
+    s
+}
+
+/// Drain a socket until the peer closes it (bounded by a read timeout so
+/// a wedged server fails the harness instead of hanging it; a timeout
+/// error also ends the abuse connection, which is all we need).
+fn read_until_close(s: &mut std::net::TcpStream) {
+    use std::io::Read;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).ok();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Abuse phase: malformed/truncated/oversized/slowloris frames and
+/// killed-mid-query connections against a live server taking real load.
+/// The server must answer everything typed (or close) and keep serving.
+fn chaos_abuse(bin: &str, rounds: usize) {
+    use crosse_server::{ErrorCode, Lang, QueryOutcome, Request};
+    use std::io::Write;
+
+    let server = spawn_server(
+        bin,
+        &["--max-active", "2", "--queue-depth", "2", "--read-timeout-ms", "250"],
+    );
+    let addr = server.addr.clone();
+    println!("xtask: chaos abuse: server at {addr}, {rounds} round(s)");
+
+    // Seed a table big enough that queries hold slots measurably.
+    let mut seed = chaos_client(&addr);
+    seed.query(Lang::Sql, "CREATE TABLE big (x INT)", 0).expect("create big");
+    let values: Vec<String> = (0..2000).map(|i| format!("({i})")).collect();
+    seed.query(Lang::Sql, &format!("INSERT INTO big VALUES {}", values.join(",")), 0)
+        .expect("fill big");
+
+    // Background load: concurrent clients issuing queries the whole time.
+    // Every outcome must be typed — Done, BUSY, or DEADLINE_EXCEEDED.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let load_threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = chaos_client(&addr);
+                let (mut done, mut shed) = (0u32, 0u32);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = c
+                        .query(Lang::Sql, "SELECT COUNT(*) FROM big a, big b WHERE a.x < 40", 5_000)
+                        .unwrap_or_else(|e| {
+                            eprintln!("xtask: load client lost its connection: {e}");
+                            std::process::exit(1);
+                        });
+                    match r.outcome {
+                        QueryOutcome::Done { .. } => done += 1,
+                        QueryOutcome::Error { code: ErrorCode::Busy, .. } => {
+                            shed += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        QueryOutcome::Error { code: ErrorCode::DeadlineExceeded, .. } => {}
+                        QueryOutcome::Error { code, message } => {
+                            eprintln!("xtask: load client got unexpected {code:?}: {message}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                (done, shed)
+            })
+        })
+        .collect();
+
+    for round in 0..rounds {
+        // 1. Wrong magic: the server closes without crashing.
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.write_all(b"HTTP/1.1 ").expect("bogus preamble");
+        read_until_close(&mut s);
+
+        // 2. Garbage payload in a well-framed message: typed error reply.
+        let mut s = raw_conn(&addr);
+        let garbage: Vec<u8> = (0..(round % 48 + 1)).map(|i| (i * 37 + round) as u8).collect();
+        s.write_all(&(garbage.len() as u32).to_le_bytes()).expect("len");
+        s.write_all(&garbage).expect("garbage");
+        read_until_close(&mut s);
+
+        // 3. Truncated frame: declare 300 bytes, send a few, vanish.
+        let mut s = raw_conn(&addr);
+        s.write_all(&300u32.to_le_bytes()).expect("len");
+        s.write_all(&[0x02, 0x00, 0x01]).expect("partial");
+        drop(s);
+
+        // 4. Oversized length prefix: typed TOO_LARGE, never an allocation.
+        let mut s = raw_conn(&addr);
+        s.write_all(&u32::MAX.to_le_bytes()).expect("huge len");
+        read_until_close(&mut s);
+
+        // 5. Slowloris: start a frame, then stall past the read timeout.
+        let mut s = raw_conn(&addr);
+        s.write_all(&[0x10, 0x00]).expect("half a length prefix");
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        read_until_close(&mut s);
+
+        // 6. Kill a connection mid-query: hello, fire a row-heavy query,
+        //    read a little, vanish. The slot must come back (the load
+        //    clients would starve into BUSY forever otherwise).
+        let mut s = raw_conn(&addr);
+        let hello = Request::Hello { user: "director".into() }.encode();
+        s.write_all(&(hello.len() as u32).to_le_bytes()).expect("len");
+        s.write_all(&hello).expect("hello");
+        let mut reply = [0u8; 64];
+        use std::io::Read;
+        let _ = s.read(&mut reply);
+        let q = Request::Query {
+            lang: Lang::Sql,
+            deadline_ms: 30_000,
+            text: "SELECT a.x, b.x FROM big a, big b".into(),
+        }
+        .encode();
+        s.write_all(&(q.len() as u32).to_le_bytes()).expect("len");
+        s.write_all(&q).expect("query");
+        let _ = s.read(&mut reply); // first bytes of the stream
+        drop(s);
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (mut done, mut shed) = (0u32, 0u32);
+    for t in load_threads {
+        let (d, s) = t.join().unwrap_or_else(|_| {
+            eprintln!("xtask: a load client panicked");
+            std::process::exit(1);
+        });
+        done += d;
+        shed += s;
+    }
+
+    // The server survived everything: a fresh session works, and the
+    // stats show the abuse was actually seen and typed.
+    let mut probe = chaos_client(&addr);
+    probe.ping().expect("post-abuse ping");
+    let r = probe.query(Lang::Sql, "SELECT COUNT(*) FROM big", 0).expect("post-abuse query");
+    if let Some((code, msg)) = r.error() {
+        eprintln!("xtask: post-abuse query failed: {code:?}: {msg}");
+        std::process::exit(1);
+    }
+    let stats = probe.stats().expect("post-abuse stats");
+    let stat = |k: &str| stats.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or(0);
+    println!(
+        "xtask: chaos abuse: {done} queries completed, {shed} shed typed-BUSY, \
+         {} protocol errors typed, {} cancelled, p95 {}µs",
+        stat("protocol_errors"),
+        stat("cancelled"),
+        stat("p95_us"),
+    );
+    if stat("protocol_errors") == 0 {
+        eprintln!("xtask: chaos FAILED — the abuse rounds left no protocol_errors trace");
+        std::process::exit(1);
+    }
+    if done == 0 {
+        eprintln!("xtask: chaos FAILED — no load query completed during abuse");
+        std::process::exit(1);
+    }
+    drop(probe);
+    stop_server(server, "abuse-phase");
+}
+
+/// Durability phase: `kill -9` the server mid-write-load against a WAL
+/// data dir, restart it on the same dir, and verify over the wire that
+/// every acknowledged batch survived whole (and none tore).
+fn chaos_kill9(bin: &str, batches: u64) {
+    use crosse_server::{Lang, QueryOutcome};
+
+    let dir = std::env::temp_dir().join(format!("crosse-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().to_string();
+
+    let mut server = spawn_server(bin, &["--data-dir", &dir_arg]);
+    println!("xtask: chaos kill-9: durable server at {} ({batches} acked batches)", server.addr);
+    let mut c = chaos_client(&server.addr);
+    c.query(Lang::Sql, "CREATE TABLE chaos_log (batch INT, item INT)", 0)
+        .expect("create chaos_log");
+    const ROWS_PER_BATCH: u64 = 16;
+    let mut last_ack = None;
+    for b in 0..batches {
+        let values: Vec<String> =
+            (0..ROWS_PER_BATCH).map(|i| format!("({b}, {i})")).collect();
+        let r = c
+            .query(Lang::Sql, &format!("INSERT INTO chaos_log VALUES {}", values.join(",")), 0)
+            .expect("insert batch");
+        match r.outcome {
+            QueryOutcome::Done { .. } => last_ack = Some(b),
+            other => {
+                eprintln!("xtask: chaos batch {b} failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // One more batch in flight when the kill lands: its DONE never
+    // arrives, so it is NOT acked — it may be lost, but must not tear.
+    let addr = server.addr.clone();
+    let torn = std::thread::spawn(move || {
+        let mut c2 = chaos_client(&addr);
+        let values: Vec<String> =
+            (0..64).map(|i| format!("({}, {i})", u64::MAX / 2)).collect();
+        // The server dies mid-exchange; any error is expected here.
+        let _ = c2.query(
+            Lang::Sql,
+            &format!("INSERT INTO chaos_log VALUES {}", values.join(",")),
+            0,
+        );
+    });
+    std::thread::sleep(std::time::Duration::from_millis(3));
+    server.child.kill().expect("kill -9 server"); // SIGKILL: no flush, no drain
+    let _ = server.child.wait();
+    let _ = torn.join();
+    let last_ack = last_ack.unwrap_or_else(|| {
+        eprintln!("xtask: no batch was ever acked before the kill");
+        std::process::exit(1);
+    });
+
+    // Reopen the same data dir and verify over the wire.
+    let server = spawn_server(bin, &["--data-dir", &dir_arg]);
+    let mut v = chaos_client(&server.addr);
+    let r = v
+        .query(
+            Lang::Sql,
+            "SELECT batch, COUNT(*) AS n FROM chaos_log GROUP BY batch ORDER BY batch",
+            0,
+        )
+        .expect("verify query");
+    if let Some((code, msg)) = r.error() {
+        eprintln!("xtask: chaos verify query failed: {code:?}: {msg}");
+        std::process::exit(1);
+    }
+    let mut present = std::collections::HashMap::new();
+    for row in &r.rows {
+        if let [batch, n] = &row[..] {
+            present.insert(value_as_i64(batch), value_as_i64(n));
+        }
+    }
+    let mut failures = Vec::new();
+    for b in 0..=last_ack {
+        match present.get(&(b as i64)) {
+            Some(&n) if n == ROWS_PER_BATCH as i64 => {}
+            Some(&n) => failures.push(format!(
+                "acked batch {b} torn: {n} of {ROWS_PER_BATCH} rows survived"
+            )),
+            None => failures.push(format!("acked batch {b} lost after kill -9")),
+        }
+    }
+    // The unacked in-flight batch: all-or-nothing.
+    if let Some(&n) = present.get(&((u64::MAX / 2) as i64)) {
+        if n != 64 {
+            failures.push(format!("in-flight batch torn: {n} of 64 rows"));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("xtask: chaos FAILED — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "xtask: chaos kill-9: {} acked batches intact after recovery, in-flight batch {}",
+        last_ack + 1,
+        if present.contains_key(&((u64::MAX / 2) as i64)) { "replayed whole" } else { "dropped whole" },
+    );
+    drop(v);
+    stop_server(server, "recovery-verify");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn value_as_i64(v: &crosse_server::Value) -> i64 {
+    match v {
+        crosse_server::Value::Int(i) => *i,
+        _ => -1,
+    }
+}
+
+/// Network-server fault injection (see ISSUE: admission control, typed
+/// shedding, cancellation, durability): an abuse phase (malformed /
+/// truncated / oversized / slowloris frames, connections killed
+/// mid-query, all under concurrent load) and a `kill -9` durability phase
+/// (WAL recovery proven over the wire). Debug build with
+/// `CROSSE_LOCK_TRACK=1`: a lock-order violation fails the server's exit.
+fn chaos(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    run(
+        "build crosse-cli (debug: the lock tracker compiles out of release)",
+        cargo().args(["build", "--bin", "crosse-cli"]),
+    );
+    let bin = "target/debug/crosse-cli";
+    let (rounds, batches) = if quick { (3, 12) } else { (12, 60) };
+    chaos_abuse(bin, rounds);
+    chaos_kill9(bin, batches);
+    println!(
+        "xtask: chaos OK ({rounds} abuse rounds survived typed, kill -9 recovery \
+         verified over the wire{})",
+        if quick { ", --quick" } else { "" }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let task = args.first().cloned().unwrap_or_default();
@@ -548,6 +1002,7 @@ fn main() {
         "clippy" => clippy(),
         "stress" => stress(),
         "crash" => crash(),
+        "chaos" => chaos(&args[1..]),
         other => {
             eprintln!(
                 "unknown task `{other}`\n\nusage: cargo xtask <task>\n\
@@ -566,7 +1021,12 @@ fn main() {
                  stress          concurrency tests (release), 10x iterations, worker threads 1/4/8,\n\
                                  then a debug CROSSE_LOCK_TRACK=1 lock-order gate pass\n\
                  crash           kill -9 a write-heavy child mid-batch, reopen, verify no acked\n\
-                                 write is lost and no partial batch surfaces (2 rounds)"
+                                 write is lost and no partial batch surfaces (2 rounds)\n\
+                 chaos           network fault injection against `crosse-cli --serve` (debug,\n\
+                                 CROSSE_LOCK_TRACK=1): malformed/truncated/slowloris frames and\n\
+                                 killed-mid-query connections under concurrent load, then kill -9\n\
+                                 the server mid-write-load and verify WAL recovery over the wire\n\
+                                 (--quick for the bounded gate run used by `check`)"
             );
             std::process::exit(2);
         }

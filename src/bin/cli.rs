@@ -24,6 +24,7 @@ use crosse::rdf::sparql::eval::{query_any, QueryOutcome};
 use crosse::rdf::store::Triple;
 use crosse::rdf::term::Term;
 use crosse::relational::{ExecOutcome, Params, Value};
+use crosse::server::{Client, Lang, QueryOutcome as WireOutcome, Server, ServerConfig};
 use crosse::smartground::{standard_engine, standard_engine_at_with, SmartGroundConfig};
 
 struct Shell {
@@ -67,6 +68,13 @@ fn main() {
     let mut wal_sync: Option<String> = None;
     let mut crash_workload = false;
     let mut verify_crash: Option<u64> = None;
+    let mut serve: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut user = "director".to_string();
+    let mut max_active: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut deadline_ms: Option<u32> = None;
+    let mut read_timeout_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -112,6 +120,47 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--threads needs a number >= 1"));
             }
+            "--serve" => {
+                serve = Some(args.next().unwrap_or_else(|| die("--serve needs HOST:PORT")));
+            }
+            "--connect" => {
+                connect =
+                    Some(args.next().unwrap_or_else(|| die("--connect needs HOST:PORT")));
+            }
+            "--user" => {
+                user = args.next().unwrap_or_else(|| die("--user needs a name"));
+            }
+            "--max-active" => {
+                max_active = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--max-active needs a number >= 1")),
+                );
+            }
+            "--queue-depth" => {
+                queue_depth = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--queue-depth needs a number")),
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--deadline-ms needs a number")),
+                );
+            }
+            // Internal hook for the chaos harness (`cargo xtask chaos`):
+            // shrink the slow-frame window so slowloris rounds are fast.
+            "--read-timeout-ms" => {
+                read_timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--read-timeout-ms needs a number")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "crosse-cli [--landfills N] [--seed N] [--timing] [--explain] [--lint]\n\
@@ -137,12 +186,28 @@ fn main() {
                      \x20              runs recover (snapshot + log replay). Adds the\n\
                      \x20              \\checkpoint and \\wal-stats commands.\n\
                      --wal-sync P   WAL fsync policy: always, every_n:<N> (default\n\
-                     \x20              every_n:256) or off. Requires --data-dir."
+                     \x20              every_n:256) or off. Requires --data-dir.\n\
+                     --serve ADDR   serve the databank over TCP (CROSNET1 framed protocol,\n\
+                     \x20              admission control + per-query deadlines; see\n\
+                     \x20              crates/server/DESIGN.md). Prints the bound address,\n\
+                     \x20              then runs until stdin closes (graceful drain).\n\
+                     --connect ADDR open the shell against a remote server instead of a\n\
+                     \x20              local databank (adds the \\server-stats command)\n\
+                     --user NAME    session user for --connect (default director)\n\
+                     --max-active N --serve: concurrent query limit (default 4)\n\
+                     --queue-depth N --serve: admission queue depth (default 16)\n\
+                     --deadline-ms N --serve: default per-query deadline (0 = none);\n\
+                     \x20              --connect: per-query deadline sent with each query"
                 );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
+    }
+
+    if let Some(addr) = connect {
+        run_connect_shell(&addr, &user, deadline_ms.unwrap_or(0));
+        return;
     }
 
     let config = SmartGroundConfig::default()
@@ -185,6 +250,23 @@ fn main() {
             run_crash_workload(&engine);
         }
         verify_crash_state(&engine, verify_crash.unwrap());
+    }
+    if let Some(addr) = serve {
+        let mut config = ServerConfig { addr, ..ServerConfig::default() };
+        if let Some(n) = max_active {
+            config.max_active = n;
+        }
+        if let Some(n) = queue_depth {
+            config.queue_depth = n;
+        }
+        if let Some(ms) = deadline_ms {
+            config.default_deadline_ms = ms;
+        }
+        if let Some(ms) = read_timeout_ms {
+            config.read_timeout = Duration::from_millis(ms);
+        }
+        run_server(engine, config);
+        return;
     }
     let platform = CrossePlatform::from_engine(engine);
     let mut shell = Shell {
@@ -373,6 +455,195 @@ fn verify_crash_state(engine: &SesqlEngine, acked: u64) -> ! {
 fn is_tty() -> bool {
     use std::io::IsTerminal;
     io::stdin().is_terminal()
+}
+
+/// `--serve`: run the CROSNET1 server until stdin closes, then drain and
+/// stop. The bound address goes to stdout first so harnesses that bind
+/// `:0` can discover the real port.
+fn run_server(engine: SesqlEngine, config: ServerConfig) {
+    let mut handle = match Server::start(engine, config) {
+        Ok(h) => h,
+        Err(e) => die(&format!("--serve failed to bind: {e}")),
+    };
+    println!("crosse-server listening on {}", handle.addr());
+    let _ = io::stdout().flush();
+    // Serve until the controlling process closes our stdin (or forever
+    // under a detached stdin that stays open). `kill -9` is the chaos
+    // harness's ungraceful path.
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    eprintln!("crosse-server: draining...");
+    handle.shutdown();
+    let shed = handle
+        .stats()
+        .into_iter()
+        .find(|(k, _)| k == "shed")
+        .map(|(_, v)| v)
+        .unwrap_or(0);
+    eprintln!("crosse-server: stopped ({shed} queries shed)");
+    // Under CROSSE_LOCK_TRACK=1 (debug builds) a serve run doubles as a
+    // lock-discipline gate: any acquisition-order inversion or lock held
+    // across a blocking region recorded during serving fails the exit.
+    let violations = parking_lot::tracking::violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("crosse-server: lock violation: {v}");
+        }
+        std::process::exit(3);
+    }
+}
+
+/// `--connect`: the remote shell. Statements end with `;` like the local
+/// shell; they travel over the wire as SESQL (a strict SQL superset, and
+/// the server routes DDL/DML itself). `.sparql` sends SPARQL. Results
+/// stream back as row batches.
+fn run_connect_shell(addr: &str, user: &str, deadline_ms: u32) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => die(&format!("--connect {addr}: {e}")),
+    };
+    let server = match client.hello(user) {
+        Ok(s) => s,
+        Err(e) => die(&format!("--connect {addr}: {e}")),
+    };
+    let interactive = is_tty();
+    if interactive {
+        println!("connected to {server} at {addr} as {user}");
+        println!("SESQL statements end with `;`. Type `.help` for commands.");
+    }
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            if buffer.is_empty() {
+                print!("crosse:{user}@{addr}> ");
+            } else {
+                print!("   ...> ");
+            }
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin: {e}")),
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.starts_with('\\')) {
+            if !remote_command(&mut client, trimmed.trim_end_matches(';'), deadline_ms) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+            buffer.clear();
+            if !stmt.is_empty() {
+                run_remote_query(&mut client, Lang::Sesql, &stmt, deadline_ms);
+            }
+        }
+    }
+    let _ = client.close();
+}
+
+/// Execute one statement over the wire and print the streamed result.
+/// `deadline_ms == 0` defers to the server's default deadline.
+fn run_remote_query(client: &mut Client, lang: Lang, stmt: &str, deadline_ms: u32) {
+    match client.query(lang, stmt, deadline_ms) {
+        Ok(result) => {
+            if !result.columns.is_empty() {
+                println!("{}", result.columns.join(" | "));
+            }
+            for row in &result.rows {
+                let cells: Vec<String> = row.iter().map(fmt_wire_value).collect();
+                println!("{}", cells.join(" | "));
+            }
+            match result.outcome {
+                WireOutcome::Done { rows, elapsed_us, .. } => {
+                    println!("({rows} row(s) in {:.2} ms)", elapsed_us as f64 / 1e3);
+                }
+                WireOutcome::Error { code, message } => {
+                    println!("error [{code:?}]: {message}");
+                }
+            }
+        }
+        Err(e) => die(&format!("connection lost: {e}")),
+    }
+}
+
+fn fmt_wire_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Str(s) => s.to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Dot/backslash commands in `--connect` mode. Returns false to exit.
+fn remote_command(client: &mut Client, cmd: &str, deadline_ms: u32) -> bool {
+    let (head, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim()),
+        None => (cmd, ""),
+    };
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                "\
+Remote shell (--connect): statements end with `;` and run on the server.
+  .sparql QUERY             run a SPARQL query in your session context
+  \\explain STMT             show the server's optimized plan
+  \\lint STMT                run the server's semantic linter
+  \\server-stats             server counters: admissions, sheds, cancels,
+                            deadline hits, queue depth, p50/p95 latency
+  \\ping                     liveness round-trip
+  .quit                      exit"
+            );
+        }
+        ".sparql" => {
+            if rest.is_empty() {
+                println!("usage: .sparql <query>");
+            } else {
+                run_remote_query(client, Lang::Sparql, rest, deadline_ms);
+            }
+        }
+        "\\explain" => match client.explain(rest) {
+            Ok(Ok(text)) => print!("{text}"),
+            Ok(Err(msg)) => println!("explain error: {msg}"),
+            Err(e) => die(&format!("connection lost: {e}")),
+        },
+        "\\lint" => match client.lint(rest) {
+            Ok(Ok(text)) if text.is_empty() => println!("(no lint findings)"),
+            Ok(Ok(text)) => println!("{text}"),
+            Ok(Err(msg)) => println!("error: {msg}"),
+            Err(e) => die(&format!("connection lost: {e}")),
+        },
+        "\\server-stats" => match client.stats() {
+            Ok(entries) => {
+                for (k, v) in entries {
+                    println!("{k:<18} {v}");
+                }
+            }
+            Err(e) => die(&format!("connection lost: {e}")),
+        },
+        "\\ping" => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => die(&format!("connection lost: {e}")),
+        },
+        other => println!("unknown command `{other}` in --connect mode (try .help)"),
+    }
+    true
 }
 
 impl Shell {

@@ -13,6 +13,7 @@
 //! | [`rdf`] | `crosse-rdf` | triple store + SPARQL + RDFS (the "semantic platform") |
 //! | [`federation`] | `crosse-federation` | postgres_fdw simulation, JoinManager, temp DB |
 //! | [`core`] | `crosse-core` | SESQL language + Semantic Query Module + platform services |
+//! | [`server`] | `crosse-server` | CROSNET1 TCP front-end: wire protocol, admission control, deadlines |
 //! | [`smartground`] | `crosse-smartground` | use-case schema, data generators, workloads |
 //!
 //! ## Quickstart
@@ -38,9 +39,11 @@
 #![forbid(unsafe_code)]
 
 pub use crosse_core as core;
+pub use crosse_exec as exec;
 pub use crosse_federation as federation;
 pub use crosse_rdf as rdf;
 pub use crosse_relational as relational;
+pub use crosse_server as server;
 pub use crosse_smartground as smartground;
 
 /// The most common imports in one place.

@@ -357,3 +357,104 @@ fn deny_warnings_refuses_statement_and_exits_nonzero() {
     // ...but the clean follow-up still ran.
     assert!(stdout.contains("LF0"), "{stdout}");
 }
+
+/// Spawn `--serve 127.0.0.1:0`, read the bound address off stdout, and
+/// hand it (plus the server child, whose stdin keeps it alive) to `f`.
+fn with_server(extra: &[&str], f: impl FnOnce(&str)) {
+    use std::io::{BufRead, BufReader};
+    let mut server = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .args(["--landfills", "10", "--seed", "1", "--serve", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    let mut line = String::new();
+    BufReader::new(server.stdout.as_mut().expect("stdout"))
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line.trim().rsplit(' ').next().expect("address").to_string();
+    f(&addr);
+    // Closing stdin asks the server to drain and stop.
+    drop(server.stdin.take());
+    let status = server.wait().expect("server wait");
+    assert!(status.success(), "server exit: {status:?}");
+}
+
+#[test]
+fn connect_mode_round_trips_queries_over_the_wire() {
+    with_server(&[], |addr| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+            .args(["--connect", addr])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn client");
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin")
+            .write_all(
+                b"SELECT name FROM landfill ORDER BY name LIMIT 2;\n\
+                  SELECT elem_name FROM elem_contained WHERE landfill_name = 'LF00000' \
+                  ENRICH SCHEMAEXTENSION(elem_name, dangerLevel);\n\
+                  CREATE TABLE wire_t (a INT);\n\
+                  INSERT INTO wire_t VALUES (1), (2);\n\
+                  SELECT nope FROM landfill;\n\
+                  .sparql SELECT ?s WHERE { ?s ?p ?o } LIMIT 1\n\
+                  \\server-stats\n\
+                  \\ping\n",
+            )
+            .expect("write script");
+        let out = child.wait_with_output().expect("client wait");
+        assert!(out.status.success(), "client exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("LF00000"), "{stdout}");
+        assert!(stdout.contains("dangerLevel"), "{stdout}");
+        assert!(stdout.contains("(2 row(s) in"), "{stdout}");
+        assert!(stdout.contains("error [Query]"), "{stdout}");
+        assert!(stdout.contains("accepted_queries"), "{stdout}");
+        assert!(stdout.contains("pong"), "{stdout}");
+    });
+}
+
+#[test]
+fn connect_mode_explain_and_lint_run_remotely() {
+    with_server(&[], |addr| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+            .args(["--connect", addr])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn client");
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin")
+            .write_all(
+                b"\\explain SELECT name FROM landfill LIMIT 1\n\
+                  \\lint SELECT name FROM landfill WHERE 1 = 2\n",
+            )
+            .expect("write script");
+        let out = child.wait_with_output().expect("client wait");
+        assert!(out.status.success(), "client exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.to_lowercase().contains("scan"), "{stdout}");
+        assert!(stdout.contains("L001"), "{stdout}");
+    });
+}
+
+#[test]
+fn help_mentions_server_modes() {
+    let help = Command::new(env!("CARGO_BIN_EXE_crosse-cli"))
+        .arg("--help")
+        .output()
+        .expect("run --help");
+    let text = String::from_utf8(help.stdout).unwrap();
+    assert!(text.contains("--serve"), "{text}");
+    assert!(text.contains("--connect"), "{text}");
+    assert!(text.contains("crates/server/DESIGN.md"), "{text}");
+}

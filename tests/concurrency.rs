@@ -667,9 +667,9 @@ fn parallel_sparql_probe_matches_sequential() {
         "SELECT ?hub ?leaf ?w WHERE { ?hub <linksTo> ?leaf . ?leaf <weight> ?w }",
     )
     .unwrap();
-    let sequential = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads: 1 }).unwrap();
+    let sequential = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads: 1, ..Default::default() }).unwrap();
     let threads = stress_threads(4);
-    let parallel = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads }).unwrap();
+    let parallel = evaluate_with(&store, &["kb"], &q, &EvalOptions { threads, ..Default::default() }).unwrap();
     assert_eq!(sequential.len(), 60 * 40);
     assert_eq!(sequential.rows, parallel.rows, "parallel probe must be bit-identical");
 }
